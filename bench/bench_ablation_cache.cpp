@@ -1,0 +1,52 @@
+// Ablation: cache effects on the V-sweep.  The paper models t_c as a
+// constant (its measured tiles fit the Pentium III's cache); with a finite
+// cache the right side of the U-curve bends up sooner — big tiles spill —
+// pulling V_optimal toward smaller tiles for both schedules.  The overlap
+// advantage survives: it hides communication, which the cache does not
+// change.
+#include <iostream>
+
+#include "../bench/common.hpp"
+
+int main() {
+  using namespace tilo;
+  using util::i64;
+
+  std::cout << "== Ablation — cache capacity vs optimal tile height ==\n";
+  std::cout << "space 16 x 16 x 16384, 16 processors; tiles are 4 x 4 x V "
+               "floats (16V bytes + halos)\n\n";
+
+  util::Table table;
+  table.set_header({"cache", "V* ovl", "t* ovl", "V* non", "t* non",
+                    "improvement"});
+  struct Config {
+    const char* name;
+    mach::CacheModel cache;
+  };
+  const Config configs[] = {
+      {"infinite (paper model)", {}},
+      {"64 KiB, penalty 2x", {64 * 1024, 2.0}},
+      {"16 KiB, penalty 4x", {16 * 1024, 4.0}},
+      {"4 KiB, penalty 6x", {4 * 1024, 6.0}},
+  };
+  for (const Config& cfg : configs) {
+    core::Problem p = core::paper_problem_i();
+    p.machine.cache = cfg.cache;
+    const core::Autotune over = core::autotune_tile_height(
+        p, sched::ScheduleKind::kOverlap, 16, p.max_tile_height() / 4);
+    const core::Autotune non = core::autotune_tile_height(
+        p, sched::ScheduleKind::kNonOverlap, 16, p.max_tile_height() / 4);
+    table.add_row({cfg.name, std::to_string(over.V_opt),
+                   util::fmt_seconds(over.t_opt), std::to_string(non.V_opt),
+                   util::fmt_seconds(non.t_opt),
+                   util::fmt_fixed(
+                       100.0 * (non.t_opt - over.t_opt) / non.t_opt, 1) +
+                       " %"});
+  }
+  table.write_text(std::cout);
+  std::cout << "\nsmaller caches shrink the optimal grain (the classical "
+               "cache-tiling pressure) while the overlap advantage holds — "
+               "\nthe two optimizations compose, which is why production "
+               "codes tile twice (cache inside node).\n";
+  return 0;
+}

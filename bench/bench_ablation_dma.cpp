@@ -1,0 +1,49 @@
+// Ablation: how much of the overlap win comes from DMA offload vs from the
+// modified hyperplane?  Sweeps the kernel-copy cost multiplier (modelling
+// progressively weaker DMA engines / heavier TCP stacks) and reports both
+// schedules' tuned optima.  This probes the paper's Section 6 remark that
+// "modern hardware capabilities (DMA engines, parallel I/O, NICs) are not
+// fully exploited by the overlying software layers".
+#include <iostream>
+
+#include "../bench/common.hpp"
+
+int main() {
+  using namespace tilo;
+  using util::i64;
+
+  std::cout << "== Ablation — overlap benefit vs kernel-copy cost ==\n";
+  std::cout << "space 16 x 16 x 16384, 16 processors; kernel-copy cost "
+               "scaled by f\n\n";
+
+  util::Table table;
+  table.set_header({"f (kernel-copy scale)", "V* ovl", "t* ovl", "V* non",
+                    "t* non", "improvement"});
+
+  for (double f : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    core::Problem p = core::paper_problem_i();
+    p.machine.fill_kernel_buffer.base *= f;
+    p.machine.fill_kernel_buffer.per_byte *= f;
+
+    const core::Autotune over = core::autotune_tile_height(
+        p, sched::ScheduleKind::kOverlap, 16, p.max_tile_height() / 4);
+    const core::Autotune non = core::autotune_tile_height(
+        p, sched::ScheduleKind::kNonOverlap, 16, p.max_tile_height() / 4);
+    table.add_row({util::fmt_fixed(f, 2), std::to_string(over.V_opt),
+                   util::fmt_seconds(over.t_opt), std::to_string(non.V_opt),
+                   util::fmt_seconds(non.t_opt),
+                   util::fmt_fixed(
+                       100.0 * (non.t_opt - over.t_opt) / non.t_opt, 1) +
+                       " %"});
+  }
+  table.write_text(std::cout);
+  std::cout << "\nf = 0 models a perfect zero-copy DMA path; larger f "
+               "models stacks where kernel buffering dominates.  The\n"
+               "advantage peaks in the balanced regime (f around 1-2): "
+               "there the overlapping schedule hides expensive B stages\n"
+               "that the non-overlapping one pays serially.  At f = 0 "
+               "there is little left to hide; at large f even the\n"
+               "overlapping step turns communication-bound (paper case 2) "
+               "and both schedules degrade together.\n";
+  return 0;
+}

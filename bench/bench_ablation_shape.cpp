@@ -1,0 +1,87 @@
+// Ablation: tile shape (paper Section 2.4, eqs. 1-2; Boulet et al.).
+// For several dependence sets, compares the communication volume of square
+// tiles vs the communication-minimal rectangular shape at equal volume, and
+// confirms the eq. (1) <-> eq. (2) relationship under processor mapping.
+#include <cmath>
+#include <iostream>
+
+#include "tilo/loopnest/deps.hpp"
+#include "tilo/tiling/cost.hpp"
+#include "tilo/tiling/shape.hpp"
+#include "tilo/util/csv.hpp"
+
+int main() {
+  using namespace tilo;
+  using lat::Vec;
+  using loop::DependenceSet;
+  using util::i64;
+
+  struct Case {
+    const char* name;
+    DependenceSet deps;
+    i64 g;
+  };
+  const Case cases[] = {
+      {"paper 3-D stencil",
+       DependenceSet({Vec{1, 0, 0}, Vec{0, 1, 0}, Vec{0, 0, 1}}), 1000},
+      {"paper Example 1 (2-D, corner dep)",
+       DependenceSet({Vec{1, 1}, Vec{1, 0}, Vec{0, 1}}), 100},
+      {"anisotropic (heavy j-traffic)",
+       DependenceSet({Vec{1, 0}, Vec{0, 1}, Vec{0, 1}, Vec{0, 2}}), 144},
+      {"skew-ish 3-D",
+       DependenceSet({Vec{1, 1, 0}, Vec{0, 1, 1}, Vec{1, 0, 1}}), 512},
+  };
+
+  std::cout << "== Ablation — tile shape vs communication volume ==\n\n";
+  util::Table table;
+  table.set_header({"dependence set", "g", "square sides", "V_comm square",
+                    "optimal sides", "V_comm optimal", "saving"});
+  for (const Case& c : cases) {
+    const std::size_t n = c.deps.dims();
+    // Square side = g^(1/n), clamped to containment.
+    i64 side = static_cast<i64>(std::llround(
+        std::pow(static_cast<double>(c.g), 1.0 / static_cast<double>(n))));
+    for (std::size_t d = 0; d < n; ++d)
+      side = std::max(side, c.deps.max_component(d) + 1);
+    const tile::RectTiling square(Vec(std::vector<i64>(n, side)));
+    const i64 v_square = tile::v_comm_total_rect(square, c.deps);
+
+    const tile::ShapeResult opt = tile::comm_minimal_shape(c.deps, c.g);
+    const double saving =
+        100.0 * (static_cast<double>(v_square) -
+                 static_cast<double>(opt.v_comm)) /
+        static_cast<double>(v_square);
+
+    table.add_row({c.deps.str(), std::to_string(c.g),
+                   square.sides().str(), std::to_string(v_square),
+                   opt.sides.str(), std::to_string(opt.v_comm),
+                   util::fmt_fixed(saving, 1) + " %"});
+  }
+  table.write_text(std::cout);
+
+  // Mapping removes one surface from the bill: eq. (2) vs eq. (1).
+  std::cout << "\nprocessor mapping (eq. 2): mapped dimension's surface "
+               "costs nothing\n\n";
+  util::Table mapped;
+  mapped.set_header({"tile", "eq. (1) total", "eq. (2) mapped dim 0",
+                     "eq. (2) mapped dim " /*n-1*/ "last"});
+  const DependenceSet stencil(
+      {Vec{1, 0, 0}, Vec{0, 1, 0}, Vec{0, 0, 1}});
+  for (const Vec& sides : {Vec{10, 10, 10}, Vec{4, 4, 444}, Vec{2, 2, 1000}}) {
+    const tile::RectTiling rt(sides);
+    mapped.add_row(
+        {sides.str(),
+         std::to_string(tile::v_comm_total_rect(rt, stencil)),
+         std::to_string(tile::v_comm_mapped_rect(rt, stencil, 0)),
+         std::to_string(tile::v_comm_mapped_rect(rt, stencil, 2))});
+  }
+  mapped.write_text(std::cout);
+  std::cout << "\nmapping removes the mapped dimension's faces from the "
+               "bill.  Note the tension the paper's setup embraces: "
+               "mapping\nalong the tall k axis only removes the tiny k "
+               "faces (eq. 2, mapped dim last), yet it is still the right "
+               "choice\nbecause the tiled space is deepest along k — the "
+               "pipeline length P(g), not per-tile volume, dominates "
+               "completion\ntime (see bench_schedule_length).\n";
+  return 0;
+}

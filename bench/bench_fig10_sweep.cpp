@@ -1,0 +1,15 @@
+// Reproduces paper Fig. 10: completion time vs tile height V for the
+// 16 x 16 x 32768 space on 16 processors.
+//
+// Paper reference points: V_optimal = 538, t_optimal(overlap) = 0.4679 s,
+// t_optimal(non-overlap) = 0.6945 s, improvement ~33 %.
+#include "../bench/common.hpp"
+
+int main() {
+  using namespace tilo;
+  const core::Problem problem = core::paper_problem_ii();
+  bench::run_figure_sweep(problem,
+                          "Fig. 10 — 16 x 16 x 32768 space, 16 processors",
+                          4, problem.max_tile_height() / 4);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces paper Fig. 11: completion time vs tile height V for the
+// 32 x 32 x 4096 space on 16 processors (8 x 8 x V tiles).
+//
+// Paper reference points: V_optimal = 164, t_optimal(overlap) = 0.2191 s,
+// t_optimal(non-overlap) = 0.3241 s, improvement ~32 %.
+#include "../bench/common.hpp"
+
+int main() {
+  using namespace tilo;
+  const core::Problem problem = core::paper_problem_iii();
+  bench::run_figure_sweep(problem,
+                          "Fig. 11 — 32 x 32 x 4096 space, 16 processors",
+                          4, problem.max_tile_height() / 4);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces paper Fig. 9: completion time vs tile height V for the
+// 16 x 16 x 16384 space on 16 processors (4 x 4 grid, 4 x 4 x V tiles),
+// overlapping vs non-overlapping schedules.
+//
+// Paper reference points: V_optimal = 444, t_optimal(overlap) = 0.2339 s,
+// t_optimal(non-overlap) = 0.3766 s, improvement ~38 %.
+#include "../bench/common.hpp"
+
+int main() {
+  using namespace tilo;
+  const core::Problem problem = core::paper_problem_i();
+  bench::run_figure_sweep(problem,
+                          "Fig. 9 — 16 x 16 x 16384 space, 16 processors",
+                          4, problem.max_tile_height() / 4);
+  return 0;
+}

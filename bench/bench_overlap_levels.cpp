@@ -1,0 +1,72 @@
+// Reproduces the structure of paper Figs. 3 and 4: the decomposition of one
+// time step into the A stages (CPU: fill MPI buffers + compute) and the B
+// stages (DMA/NIC: kernel copies + wire), and the step duration at the
+// three overlap levels:
+//   (a) no overlap         step = A1+A2+A3 + B1+B2+B3+B4
+//   (b) DMA overlap        step = max(A1+A2+A3, B1+B2+B3+B4)
+//   (c) duplex DMA         step = max(A1+A2+A3, max(B1+B2, B3+B4))
+// Also cross-checks (b) and (c) against the discrete-event simulator.
+#include <iostream>
+
+#include "tilo/core/predict.hpp"
+#include "tilo/core/problem.hpp"
+#include "tilo/exec/run.hpp"
+#include "tilo/util/csv.hpp"
+
+int main() {
+  using namespace tilo;
+  using mach::OverlapLevel;
+  using util::i64;
+
+  const core::Problem p = core::paper_problem_i();
+  const i64 V = 444;  // the paper's Fig. 12 optimum for space i
+  const exec::TilePlan over = p.plan(V, sched::ScheduleKind::kOverlap);
+  const exec::TilePlan non = p.plan(V, sched::ScheduleKind::kNonOverlap);
+  const mach::StepShape shape = core::steady_step_shape(over, p.machine);
+  const mach::StepCost c = mach::step_cost(p.machine, shape);
+
+  std::cout << "== Figs. 3/4 — one time step at V = " << V << " ==\n\n";
+  util::Table stages;
+  stages.set_header({"stage", "meaning", "time"});
+  stages.add_row({"A1", "fill MPI send buffers (CPU)",
+                  util::fmt_seconds(c.a1)});
+  stages.add_row({"A2", "tile computation g*t_c (CPU)",
+                  util::fmt_seconds(c.a2)});
+  stages.add_row({"A3", "fill MPI recv buffers (CPU)",
+                  util::fmt_seconds(c.a3)});
+  stages.add_row({"B1", "receive-side wire", util::fmt_seconds(c.b1)});
+  stages.add_row({"B2", "kernel recv copies", util::fmt_seconds(c.b2)});
+  stages.add_row({"B3", "kernel send copies", util::fmt_seconds(c.b3)});
+  stages.add_row({"B4", "send-side wire", util::fmt_seconds(c.b4)});
+  stages.write_text(std::cout);
+
+  std::cout << "\nA-side = " << util::fmt_seconds(c.cpu_side())
+            << ", B-side = " << util::fmt_seconds(c.comm_side()) << "\n\n";
+
+  util::Table levels;
+  levels.set_header({"level (Fig. 3)", "step time (model)",
+                     "total (model)", "total (simulated)"});
+  for (OverlapLevel level :
+       {OverlapLevel::kNone, OverlapLevel::kDma, OverlapLevel::kDuplexDma}) {
+    double simulated = 0.0;
+    if (level == OverlapLevel::kNone) {
+      // Level (a) is the blocking program on the non-overlapping schedule.
+      simulated = exec::run_plan(p.nest, non, p.machine).seconds;
+    } else {
+      exec::RunOptions opts;
+      opts.level = level;
+      simulated = exec::run_plan(p.nest, over, p.machine, opts).seconds;
+    }
+    const i64 P = level == OverlapLevel::kNone ? non.schedule_length()
+                                               : over.schedule_length();
+    levels.add_row({mach::to_string(level),
+                    util::fmt_seconds(c.step_time(level)),
+                    util::fmt_seconds(static_cast<double>(P) *
+                                      c.step_time(level)),
+                    util::fmt_seconds(simulated)});
+  }
+  levels.write_text(std::cout);
+  std::cout << "\n(the step is CPU-bound at this V, so (b) and (c) "
+               "coincide — exactly the paper's case 1, eq. 5)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared helpers for the paper-reproduction benches: V-sweeps with
+// paper-style tables, ASCII curves, and optimum extraction.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tilo/core/predict.hpp"
+#include "tilo/core/problem.hpp"
+#include "tilo/core/sweep.hpp"
+#include "tilo/util/csv.hpp"
+
+namespace tilo::bench {
+
+using core::Problem;
+using core::SweepPoint;
+using util::i64;
+
+/// Result of one schedule's tuned optimum.
+struct Optimum {
+  i64 V = 0;
+  double t = 0.0;
+};
+
+/// Extracts the per-schedule optima from a sweep.
+inline Optimum best_overlap(const std::vector<SweepPoint>& pts) {
+  Optimum best{pts.front().V, pts.front().t_overlap};
+  for (const auto& p : pts)
+    if (p.t_overlap < best.t) best = Optimum{p.V, p.t_overlap};
+  return best;
+}
+
+inline Optimum best_nonoverlap(const std::vector<SweepPoint>& pts) {
+  Optimum best{pts.front().V, pts.front().t_nonoverlap};
+  for (const auto& p : pts)
+    if (p.t_nonoverlap < best.t) best = Optimum{p.V, p.t_nonoverlap};
+  return best;
+}
+
+/// Renders one series as a crude ASCII curve (log-x grid as given).
+inline void ascii_curve(std::ostream& os, const std::string& label,
+                        const std::vector<SweepPoint>& pts,
+                        bool overlap_series, double t_max) {
+  constexpr int kHeight = 12;
+  os << label << " (top = " << util::fmt_seconds(t_max) << ")\n";
+  for (int row = kHeight; row >= 1; --row) {
+    const double level = t_max * row / kHeight;
+    const double prev_level = t_max * (row + 1) / kHeight;
+    os << "  |";
+    for (const auto& p : pts) {
+      const double v = overlap_series ? p.t_overlap : p.t_nonoverlap;
+      os << (v <= prev_level && v > level - t_max / kHeight ? '*' : ' ');
+    }
+    os << '\n';
+  }
+  os << "  +";
+  for (std::size_t i = 0; i < pts.size(); ++i) os << '-';
+  os << "-> V (log grid " << pts.front().V << " .. " << pts.back().V
+     << ")\n";
+}
+
+/// Runs the paper's Fig. 9/10/11 experiment: sweep V, print the series
+/// table, the two optima and the improvement.  Returns the sweep points.
+inline std::vector<SweepPoint> run_figure_sweep(const Problem& problem,
+                                                const std::string& title,
+                                                i64 v_lo, i64 v_hi,
+                                                double ratio = 1.35) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << "space " << problem.nest.domain().extents().str() << ", "
+            << problem.procs.str() << " processor grid, t_c = "
+            << problem.machine.t_c * 1e6 << " us\n\n";
+
+  const auto grid = core::height_grid(v_lo, v_hi, ratio);
+  const auto pts = core::sweep_tile_height(problem, grid);
+
+  util::Table table;
+  table.set_header({"V", "g", "t_overlap", "t_nonoverlap", "eq(4) pred",
+                    "eq(3) pred", "eq(5) pred"});
+  for (const auto& p : pts) {
+    table.add_row({std::to_string(p.V), std::to_string(p.g),
+                   util::fmt_seconds(p.t_overlap),
+                   util::fmt_seconds(p.t_nonoverlap),
+                   util::fmt_seconds(p.predicted_overlap),
+                   util::fmt_seconds(p.predicted_nonoverlap),
+                   util::fmt_seconds(p.predicted_cpu_bound)});
+  }
+  table.write_text(std::cout);
+
+  const Optimum over = best_overlap(pts);
+  const Optimum non = best_nonoverlap(pts);
+  std::cout << "\noverlapping optimum:     V = " << over.V << "  t = "
+            << util::fmt_seconds(over.t) << '\n';
+  std::cout << "non-overlapping optimum: V = " << non.V << "  t = "
+            << util::fmt_seconds(non.t) << '\n';
+  std::cout << "improvement overlap vs non-overlap: "
+            << util::fmt_fixed(100.0 * (non.t - over.t) / non.t, 1)
+            << " %\n\n";
+
+  double t_max = 0;
+  for (const auto& p : pts)
+    t_max = std::max({t_max, p.t_overlap, p.t_nonoverlap});
+  ascii_curve(std::cout, "completion time vs V — overlapping", pts, true,
+              t_max);
+  ascii_curve(std::cout, "completion time vs V — non-overlapping", pts,
+              false, t_max);
+  std::cout << std::endl;
+  return pts;
+}
+
+}  // namespace tilo::bench

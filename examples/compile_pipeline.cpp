@@ -1,0 +1,91 @@
+// The whole compiler pipeline in one walk: parse a textual loop nest,
+// extract its dependencies, choose the tiling and mapping, predict and
+// simulate both schedules, validate the distributed execution, and emit
+// the final C + MPI program — what a tiling compiler built on this
+// library does end to end.
+//
+//   ./examples/compile_pipeline          # print summary
+//   ./examples/compile_pipeline --emit   # also print the generated program
+#include <cstring>
+#include <iostream>
+
+#include "tilo/codegen/mpi_program.hpp"
+#include "tilo/core/analytic.hpp"
+#include "tilo/core/predict.hpp"
+#include "tilo/core/problem.hpp"
+#include "tilo/loopnest/parse.hpp"
+#include "tilo/util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tilo;
+  using lat::Vec;
+
+  const bool emit = argc > 1 && std::strcmp(argv[1], "--emit") == 0;
+
+  // 1. Front end: the paper's experimental kernel as source text.
+  const char* source = R"(
+# Section 5 test application (scaled down)
+FOR i = 0 TO 15
+  FOR j = 0 TO 15
+    FOR k = 0 TO 2047
+      A(i, j, k) = sqrt(A(i-1, j, k)) + sqrt(A(i, j-1, k)) + sqrt(A(i, j, k-1))
+    ENDFOR
+  ENDFOR
+ENDFOR
+)";
+  const loop::LoopNest nest = loop::parse_nest(source);
+  std::cout << "parsed nest '" << nest.name() << "': domain "
+            << nest.domain() << "\n  dependencies " << nest.deps().str()
+            << "\n  body " << nest.kernel().statement() << "\n\n";
+
+  // 2. Problem setup: the calibrated cluster, 4x4 processors.
+  const core::Problem problem{nest, mach::MachineParams::paper_cluster(),
+                              Vec{4, 4, 1}};
+  std::cout << "mapping dimension: " << problem.mapped_dim()
+            << " (largest extent), processors: 16\n";
+
+  // 3. Grain selection: analytic closed form (no runs needed).
+  const core::AnalyticOptimum g_opt =
+      core::analytic_optimal_height_overlap(problem);
+  std::cout << "analytic optimal tile height V = " << g_opt.V
+            << " (continuous " << util::fmt_fixed(g_opt.V_continuous, 1)
+            << ", " << (g_opt.cpu_bound ? "CPU" : "communication")
+            << "-bound step)\n\n";
+
+  // 4. Both schedules: predict, simulate, validate.
+  util::Table table;
+  table.set_header({"schedule", "P(g)", "predicted", "simulated",
+                    "max |err| vs sequential"});
+  for (auto kind : {sched::ScheduleKind::kNonOverlap,
+                    sched::ScheduleKind::kOverlap}) {
+    const exec::TilePlan plan = problem.plan(g_opt.V, kind);
+    const double predicted = core::predict_completion(plan, problem.machine);
+    const exec::RunResult timed =
+        exec::run_plan(problem.nest, plan, problem.machine);
+    const double err =
+        exec::run_and_validate(problem.nest, plan, problem.machine);
+    table.add_row({kind == sched::ScheduleKind::kOverlap ? "overlapping"
+                                                         : "non-overlapping",
+                   std::to_string(plan.schedule_length()),
+                   util::fmt_seconds(predicted),
+                   util::fmt_seconds(timed.seconds),
+                   util::fmt_fixed(err, 12)});
+  }
+  table.write_text(std::cout);
+
+  // 5. Back end: emit the overlapping program.
+  const exec::TilePlan final_plan =
+      problem.plan(g_opt.V, sched::ScheduleKind::kOverlap);
+  gen::CodegenOptions copts;
+  copts.element_type = "float";  // the paper uses floats
+  const std::string program =
+      gen::generate_mpi_program(problem.nest, final_plan, copts);
+  std::cout << "\ngenerated " << program.size()
+            << " bytes of C (ProcNB variant)";
+  if (emit) {
+    std::cout << ":\n\n" << program;
+  } else {
+    std::cout << "; rerun with --emit to print it.\n";
+  }
+  return 0;
+}

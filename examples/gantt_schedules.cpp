@@ -1,0 +1,60 @@
+// Reproduces the structure of the paper's Fig. 1 (non-overlapping time
+// schedule) and Fig. 2 (overlapping time schedule) as ASCII Gantt charts:
+// a 2-D tiled space whose columns are mapped to 6 processors, exactly like
+// the paper's illustration.
+//
+//   ./examples/gantt_schedules
+#include <iostream>
+
+#include "tilo/exec/run.hpp"
+#include "tilo/loopnest/workloads.hpp"
+#include "tilo/trace/gantt.hpp"
+#include "tilo/util/csv.hpp"
+
+int main() {
+  using namespace tilo;
+  using lat::Vec;
+
+  // 2-D nest: 6 tile columns (one per processor), 8 tiles deep along the
+  // mapping dimension.  The tile grain (24 x 8 = 192 iterations, ~2 t_s)
+  // is tuned the way Section 4 prescribes: computation slightly larger
+  // than the per-step communication, so the overlap can hide all of it.
+  const loop::LoopNest nest("fig12-demo",
+                            lat::Box::from_extents(Vec{192, 48}),
+                            loop::DependenceSet({Vec{1, 0}, Vec{0, 1}}),
+                            std::make_shared<loop::SumKernel>());
+  const tile::RectTiling tiling(Vec{24, 8});
+
+  const mach::MachineParams m = mach::MachineParams::idealized_example();
+
+  for (auto kind : {sched::ScheduleKind::kNonOverlap,
+                    sched::ScheduleKind::kOverlap}) {
+    const bool overlap = kind == sched::ScheduleKind::kOverlap;
+    const exec::TilePlan plan =
+        exec::make_plan_explicit(nest, tiling, kind, 0, Vec{1, 6});
+
+    trace::Timeline timeline;
+    exec::RunOptions opts;
+    opts.timeline = &timeline;
+    const exec::RunResult r = exec::run_plan(nest, plan, m, opts);
+
+    std::cout << "== " << (overlap ? "Fig. 2 — overlapping (pipelined)"
+                                   : "Fig. 1 — non-overlapping")
+              << " schedule, 6 processors ==\n";
+    std::cout << "completion " << util::fmt_seconds(r.seconds)
+              << ", mean compute utilization "
+              << util::fmt_fixed(
+                     100.0 * timeline.mean_compute_utilization(), 1)
+              << " %\n\n";
+    trace::GanttOptions gopts;
+    gopts.width = 96;
+    trace::render_gantt(std::cout, timeline, gopts);
+    std::cout << '\n';
+  }
+  std::cout << "In Fig. 1 every processor serializes r(ecv)-C(ompute)-"
+               "s(end) triplets;\nin Fig. 2 the compute phases tile the "
+               "rows almost seamlessly while the\nDMA channel (k/q/w rows "
+               "folded in) moves data underneath — the paper's\n"
+               "pipelined datapath.\n";
+  return 0;
+}

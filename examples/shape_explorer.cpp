@@ -1,0 +1,87 @@
+// Interactive-style exploration of the supernode transformation itself:
+// builds rectangular and skewed tilings for a dependence set, checks
+// legality and containment, prints the H / P matrices, tile coordinates of
+// sample points, the tile dependence matrix D^S and the communication
+// volumes of eqs. (1)/(2) — the algebra of paper Section 2.
+//
+//   ./examples/shape_explorer
+#include <cmath>
+#include <iostream>
+
+#include "tilo/tiling/cost.hpp"
+#include "tilo/tiling/shape.hpp"
+#include "tilo/tiling/supernode.hpp"
+#include "tilo/util/csv.hpp"
+
+int main() {
+  using namespace tilo;
+  using lat::Mat;
+  using lat::Vec;
+  using loop::DependenceSet;
+
+  const DependenceSet deps({Vec{1, 1}, Vec{1, 0}, Vec{0, 1}});
+  std::cout << "dependence set D = " << deps.str()
+            << "  (paper Example 1)\n\n";
+
+  struct Candidate {
+    const char* name;
+    Mat sides;  // P: columns are tile side vectors
+  };
+  const Candidate candidates[] = {
+      {"square 10x10", Mat{{10, 0}, {0, 10}}},
+      {"flat 20x5", Mat{{20, 0}, {0, 5}}},
+      // P = [[10,-10],[0,10]] skews tiles against the wavefront: H has
+      // only nonnegative entries on D, so it is legal for this D.
+      {"skewed parallelogram", Mat{{10, -10}, {0, 10}}},
+      // P = [[10,10],[0,10]] skews the other way: H row 0 goes negative
+      // on d = (0,1) — an illegal (deadlocking) tiling.
+      {"reversed skew (illegal)", Mat{{10, 10}, {0, 10}}},
+  };
+
+  util::Table table;
+  table.set_header({"tiling", "H", "g=|det P|", "legal (HD>=0)",
+                    "contained (|HD|<1)", "V_comm eq(1)",
+                    "V_comm eq(2), map dim 0"});
+  for (const Candidate& c : candidates) {
+    const tile::Supernode sn = tile::Supernode::from_sides(c.sides);
+    const bool legal = sn.is_legal(deps);
+    const bool contained = sn.contains_deps(deps);
+    table.add_row(
+        {c.name, sn.H().str(), std::to_string(sn.tile_volume()),
+         legal ? "yes" : "no", contained ? "yes" : "no",
+         legal ? tile::v_comm_total(sn, deps).str() : "-",
+         legal ? tile::v_comm_mapped(sn, deps, 0).str() : "-"});
+  }
+  table.write_text(std::cout);
+
+  // The supernode map r(j) on sample points (paper Section 2.3).
+  const tile::Supernode sq =
+      tile::Supernode::from_sides(Mat{{10, 0}, {0, 10}});
+  std::cout << "\nr(j) = [ tile ; offset ] under the square tiling:\n";
+  for (const Vec& j : {Vec{0, 0}, Vec{25, 7}, Vec{99, 99}, Vec{-3, 12}}) {
+    std::cout << "  j = " << j << "  ->  tile " << sq.tile_of(j)
+              << ", offset " << sq.local_of(j) << '\n';
+  }
+
+  // Tile dependence matrix D^S: 0/1 directions, including the corner.
+  std::cout << "\ntile dependencies D^S (directions a tile ships data):\n ";
+  for (const Vec& e : sq.tile_deps(deps)) std::cout << ' ' << e;
+  std::cout << "\n\n";
+
+  // Communication-minimal shapes across grains.
+  util::Table shapes;
+  shapes.set_header({"g", "comm-minimal sides", "V_comm", "square V_comm"});
+  for (util::i64 g : {25, 100, 400, 1600}) {
+    const tile::ShapeResult r = tile::comm_minimal_shape(deps, g);
+    const util::i64 side = static_cast<util::i64>(std::llround(
+        std::sqrt(static_cast<double>(g))));
+    const tile::RectTiling square(Vec{side, side});
+    shapes.add_row({std::to_string(g), r.sides.str(),
+                    std::to_string(r.v_comm),
+                    std::to_string(tile::v_comm_total_rect(square, deps))});
+  }
+  shapes.write_text(std::cout);
+  std::cout << "\n(symmetric dependence sets keep square tiles optimal — "
+               "the paper's choice in Example 1.)\n";
+  return 0;
+}

@@ -1,0 +1,235 @@
+// tilo_cli — the library as a command-line tool: read a loop nest from a
+// file (or use the built-in demo), tile it, schedule it, simulate it, and
+// optionally sweep V, draw a Gantt chart or emit the C + MPI program.
+//
+//   tilo_cli [nest.loop] [options]
+//     --procs P0xP1x...   processor grid (default: 4 per cross dim)
+//     --auto N            let the planner pick the grid for N processors
+//     --height V          tile height (default: analytic optimum)
+//     --schedule S        overlap | nonoverlap | both (default both)
+//     --sweep             sweep tile heights and print the table
+//     --gantt             render the phase timeline
+//     --emit-c            print the generated MPI program
+//     --emit-loop         print the nest serialized back to grammar form
+//     --validate          functional run vs sequential reference
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tilo/codegen/mpi_program.hpp"
+#include "tilo/core/analytic.hpp"
+#include "tilo/core/recommend.hpp"
+#include "tilo/core/predict.hpp"
+#include "tilo/core/sweep.hpp"
+#include "tilo/loopnest/parse.hpp"
+#include "tilo/trace/gantt.hpp"
+#include "tilo/util/csv.hpp"
+
+namespace {
+
+const char* kDemoSource = R"(# built-in demo: the paper's kernel, reduced
+FOR i = 0 TO 15
+  FOR j = 0 TO 15
+    FOR k = 0 TO 4095
+      A(i, j, k) = sqrt(A(i-1, j, k)) + sqrt(A(i, j-1, k)) + sqrt(A(i, j, k-1))
+    ENDFOR
+  ENDFOR
+ENDFOR
+)";
+
+struct CliOptions {
+  std::string source = kDemoSource;
+  std::string source_name = "<built-in demo>";
+  std::optional<tilo::lat::Vec> procs;
+  std::optional<tilo::util::i64> height;
+  std::optional<tilo::util::i64> auto_procs;
+  bool run_overlap = true;
+  bool run_nonoverlap = true;
+  bool sweep = false;
+  bool gantt = false;
+  bool emit_c = false;
+  bool emit_loop = false;
+  bool validate = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [nest.loop] [--procs AxBx..] [--height V] "
+               "[--schedule overlap|nonoverlap|both] [--sweep] [--gantt] "
+               "[--emit-c] [--validate]\n";
+  return 2;
+}
+
+bool parse_procs(const std::string& text, std::size_t dims,
+                 tilo::lat::Vec& out) {
+  out = tilo::lat::Vec(dims, 1);
+  std::stringstream ss(text);
+  std::string part;
+  std::size_t d = 0;
+  while (std::getline(ss, part, 'x')) {
+    if (d >= dims) return false;
+    try {
+      out[d++] = std::stoll(part);
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return d == dims;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tilo;
+  using util::i64;
+
+  CliOptions cli;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::optional<std::string> procs_text;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      return ++i < args.size() ? args[i] : std::string();
+    };
+    if (a == "--procs") {
+      procs_text = value();
+    } else if (a == "--auto") {
+      try {
+        cli.auto_procs = std::stoll(value());
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (a == "--height") {
+      try {
+        cli.height = std::stoll(value());
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (a == "--schedule") {
+      const std::string s = value();
+      cli.run_overlap = s == "overlap" || s == "both";
+      cli.run_nonoverlap = s == "nonoverlap" || s == "both";
+      if (!cli.run_overlap && !cli.run_nonoverlap) return usage(argv[0]);
+    } else if (a == "--sweep") {
+      cli.sweep = true;
+    } else if (a == "--gantt") {
+      cli.gantt = true;
+    } else if (a == "--emit-c") {
+      cli.emit_c = true;
+    } else if (a == "--emit-loop") {
+      cli.emit_loop = true;
+    } else if (a == "--validate") {
+      cli.validate = true;
+    } else if (!a.empty() && a[0] != '-') {
+      std::ifstream in(a);
+      if (!in) {
+        std::cerr << "cannot open " << a << '\n';
+        return 2;
+      }
+      std::ostringstream body;
+      body << in.rdbuf();
+      cli.source = body.str();
+      cli.source_name = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    const loop::LoopNest nest = loop::parse_nest(cli.source);
+    std::cout << "nest '" << nest.name() << "' from " << cli.source_name
+              << ": domain " << nest.domain() << ", deps "
+              << nest.deps().str() << '\n';
+
+    core::Problem problem{nest, mach::MachineParams::paper_cluster(),
+                          lat::Vec(nest.dims(), 1)};
+    const std::size_t md = problem.mapped_dim();
+    if (cli.auto_procs) {
+      const core::Recommendation rec = core::recommend_plan(
+          nest, problem.machine, *cli.auto_procs);
+      problem.procs = rec.problem.procs;
+      if (!cli.height) cli.height = rec.V;
+      std::cout << "planner chose grid " << problem.procs.str()
+                << " for " << *cli.auto_procs << " processors\n";
+    } else if (procs_text) {
+      lat::Vec procs;
+      if (!parse_procs(*procs_text, nest.dims(), procs))
+        return usage(argv[0]);
+      problem.procs = procs;
+    } else {
+      for (std::size_t d = 0; d < nest.dims(); ++d)
+        problem.procs[d] = d == md ? 1 : 4;
+    }
+    problem.procs[md] = 1;
+    std::cout << "processor grid " << problem.procs.str()
+              << ", mapping dimension " << md << "\n\n";
+
+    if (cli.sweep) {
+      const auto pts = core::sweep_tile_height(
+          problem, core::height_grid(4, problem.max_tile_height() / 2, 1.6));
+      util::Table t;
+      t.set_header({"V", "t_overlap", "t_nonoverlap"});
+      for (const auto& p : pts)
+        t.add_row({std::to_string(p.V), util::fmt_seconds(p.t_overlap),
+                   util::fmt_seconds(p.t_nonoverlap)});
+      t.write_text(std::cout);
+      std::cout << '\n';
+    }
+
+    const i64 V = cli.height.value_or(
+        core::analytic_optimal_height_overlap(problem).V);
+    std::cout << "tile height V = " << V
+              << (cli.height ? "" : " (analytic optimum)") << "\n\n";
+
+    for (auto kind : {sched::ScheduleKind::kNonOverlap,
+                      sched::ScheduleKind::kOverlap}) {
+      if (kind == sched::ScheduleKind::kOverlap && !cli.run_overlap)
+        continue;
+      if (kind == sched::ScheduleKind::kNonOverlap && !cli.run_nonoverlap)
+        continue;
+      const exec::TilePlan plan = problem.plan(V, kind);
+      trace::Timeline timeline;
+      exec::RunOptions opts;
+      if (cli.gantt) opts.timeline = &timeline;
+      const exec::RunResult r =
+          exec::run_plan(problem.nest, plan, problem.machine, opts);
+      std::cout << (kind == sched::ScheduleKind::kOverlap
+                        ? "overlapping:     "
+                        : "non-overlapping: ")
+                << util::fmt_seconds(r.seconds) << "  (P(g) = "
+                << plan.schedule_length() << ", predicted "
+                << util::fmt_seconds(
+                       core::predict_completion(plan, problem.machine))
+                << ")\n";
+      if (cli.validate) {
+        const double err =
+            exec::run_and_validate(problem.nest, plan, problem.machine);
+        std::cout << "  validation vs sequential: max |err| = " << err
+                  << '\n';
+      }
+      if (cli.gantt) {
+        trace::GanttOptions gopts;
+        gopts.width = 100;
+        trace::render_gantt(std::cout, timeline, gopts);
+      }
+    }
+
+    if (cli.emit_loop) {
+      std::cout << '\n' << loop::to_source(problem.nest);
+    }
+
+    if (cli.emit_c) {
+      const exec::TilePlan plan =
+          problem.plan(V, sched::ScheduleKind::kOverlap);
+      std::cout << '\n'
+                << gen::generate_mpi_program(problem.nest, plan);
+    }
+  } catch (const util::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

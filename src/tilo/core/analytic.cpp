@@ -1,0 +1,166 @@
+#include "tilo/core/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::core {
+
+AnalyticModel derive_analytic_model(const Problem& problem) {
+  const std::size_t md = problem.mapped_dim();
+  const lat::Box& dom = problem.nest.domain();
+  const auto& deps = problem.nest.deps();
+  const mach::MachineParams& m = problem.machine;
+  TILO_REQUIRE(!deps.empty(), "analytic model needs dependencies");
+  TILO_REQUIRE(deps.is_nonneg(),
+               "analytic model assumes rectangular-legal dependencies");
+
+  // Cross-section geometry: one tile column per processor block.
+  double cross_iterations = 1.0;
+  std::vector<double> sides(dom.dims(), 1.0);
+  for (std::size_t d = 0; d < dom.dims(); ++d) {
+    if (d == md) continue;
+    sides[d] = static_cast<double>(
+        util::ceil_div(dom.extent(d), problem.procs[d]));
+    cross_iterations *= sides[d];
+  }
+
+  AnalyticModel model;
+  model.a1 = cross_iterations * m.t_c;  // tile compute per unit height
+  model.n1 = cross_iterations * m.t_c;
+  const double bpe = static_cast<double>(m.bytes_per_element);
+
+  for (std::size_t d = 0; d < dom.dims(); ++d) {
+    if (d == md) continue;
+    if (problem.procs[d] <= 1) continue;  // no cross-processor face
+    double c_d = 0.0;
+    for (const lat::Vec& dep : deps.vectors())
+      c_d += static_cast<double>(dep[d]);
+    if (c_d == 0.0) continue;
+    // One message each way per step across this face (eq. 2 volume).
+    const double beta = bpe * (cross_iterations / sides[d]) * c_d;
+
+    model.a0 += 2.0 * m.fill_mpi_buffer.base;
+    model.a1 += 2.0 * m.fill_mpi_buffer.per_byte * beta;
+    model.b0 += 2.0 * m.fill_kernel_buffer.base;
+    model.b1 += (2.0 * m.fill_kernel_buffer.per_byte + m.t_t) * beta;
+    // Non-overlap pays the whole pipeline serially: 2 startups + transmit.
+    model.n0 += 2.0 * (m.fill_mpi_buffer.base + m.fill_kernel_buffer.base);
+    model.n1 += (2.0 * (m.fill_mpi_buffer.per_byte +
+                        m.fill_kernel_buffer.per_byte) +
+                 m.t_t) *
+                beta;
+  }
+
+  // Schedule lengths: P = Σ coeff_d · u_d + 1 with u_d = procs_d - 1 on
+  // cross dimensions and u_m ≈ K/V - 1 on the mapped one.
+  double c0_over = 0.0;
+  double c0_non = 0.0;
+  for (std::size_t d = 0; d < dom.dims(); ++d) {
+    if (d == md) continue;
+    c0_over += 2.0 * static_cast<double>(problem.procs[d] - 1);
+    c0_non += static_cast<double>(problem.procs[d] - 1);
+  }
+  model.c0_overlap = c0_over;      // + K/V covers the "+ u_m + 1" part
+  model.c0_nonoverlap = c0_non;
+  model.k = static_cast<double>(dom.extent(md));
+  return model;
+}
+
+namespace {
+
+/// Minimizes (C0 + K/v)(x0 + x1 v) over v in [lo, hi] (affine step).
+double branch_opt(double c0, double k, double x0, double x1, double lo,
+                  double hi) {
+  if (x1 <= 0.0 || c0 <= 0.0) return hi;  // degenerate: taller is better
+  const double v = std::sqrt(k * x0 / (c0 * x1));
+  return std::clamp(v, lo, hi);
+}
+
+AnalyticOptimum finish(const Problem& problem, const AnalyticModel& model,
+                       bool overlap, double v_cont) {
+  AnalyticOptimum out;
+  out.V_continuous = v_cont;
+  const util::i64 hi = problem.max_tile_height();
+  // Probe the two integer neighbors of the continuous optimum.
+  const util::i64 v_lo = std::clamp<util::i64>(
+      static_cast<util::i64>(std::floor(v_cont)), 1, hi);
+  const util::i64 v_hi = std::clamp<util::i64>(v_lo + 1, 1, hi);
+  auto total = [&](util::i64 v) {
+    const double vd = static_cast<double>(v);
+    return overlap ? model.total_overlap(vd) : model.total_nonoverlap(vd);
+  };
+  out.V = total(v_lo) <= total(v_hi) ? v_lo : v_hi;
+  out.t_predicted = total(out.V);
+  out.cpu_bound =
+      model.cpu_side(static_cast<double>(out.V)) >=
+      model.comm_side(static_cast<double>(out.V));
+  return out;
+}
+
+}  // namespace
+
+AnalyticOptimum analytic_optimal_height_overlap(const Problem& problem) {
+  const AnalyticModel model = derive_analytic_model(problem);
+  const double hi = static_cast<double>(problem.max_tile_height());
+
+  // The step is max of two affines; the CPU side has the larger slope
+  // contribution from compute, the comm side typically the larger base.
+  // Optimize each branch inside its validity region, then compare with
+  // the crossover point.
+  double candidates[3];
+  int n = 0;
+  const double denom = model.a1 - model.b1;
+  double v_cross = -1.0;
+  if (denom != 0.0) v_cross = (model.b0 - model.a0) / denom;
+
+  // CPU-bound branch (A >= B).
+  {
+    double lo = 1.0;
+    double branch_hi = hi;
+    if (v_cross > 0.0) {
+      if (model.a1 > model.b1) {
+        lo = std::max(lo, v_cross);  // CPU side wins above the crossover
+      } else {
+        branch_hi = std::min(branch_hi, v_cross);
+      }
+    }
+    if (lo <= branch_hi)
+      candidates[n++] = branch_opt(model.c0_overlap, model.k, model.a0,
+                                   model.a1, lo, branch_hi);
+  }
+  // Comm-bound branch (B >= A).
+  {
+    double lo = 1.0;
+    double branch_hi = hi;
+    if (v_cross > 0.0) {
+      if (model.b1 > model.a1) {
+        lo = std::max(lo, v_cross);
+      } else {
+        branch_hi = std::min(branch_hi, v_cross);
+      }
+    }
+    if (lo <= branch_hi)
+      candidates[n++] = branch_opt(model.c0_overlap, model.k, model.b0,
+                                   model.b1, lo, branch_hi);
+  }
+  if (v_cross >= 1.0 && v_cross <= hi) candidates[n++] = v_cross;
+  TILO_ASSERT(n > 0, "no analytic branch candidate");
+
+  double best = candidates[0];
+  for (int i = 1; i < n; ++i)
+    if (model.total_overlap(candidates[i]) < model.total_overlap(best))
+      best = candidates[i];
+  return finish(problem, model, /*overlap=*/true, best);
+}
+
+AnalyticOptimum analytic_optimal_height_nonoverlap(const Problem& problem) {
+  const AnalyticModel model = derive_analytic_model(problem);
+  const double hi = static_cast<double>(problem.max_tile_height());
+  const double v = branch_opt(model.c0_nonoverlap, model.k, model.n0,
+                              model.n1, 1.0, hi);
+  return finish(problem, model, /*overlap=*/false, v);
+}
+
+}  // namespace tilo::core

@@ -1,0 +1,77 @@
+// Analytic optimal tile height — the paper's stated future work:
+//
+//   "What remains open is an analytical expression for A_i(g) and B_i(g)
+//    so that we can calculate g_optimal from the parallel architecture's
+//    internal characteristics (t_c, t_t) and MPI internal communication
+//    latencies."
+//
+// With the affine per-message cost model fill(bytes) = base + per_byte·bytes
+// (which is exactly how MachineParams is calibrated), both sides of the
+// overlapping step become affine in the tile height V:
+//
+//   message bytes along cross dimension i:  β_i·V,  β_i = b·(A_x/s_i)·c_i
+//   CPU side   A(V) = a0 + a1·V   a0 = Σ 2·fill_mpi.base
+//                                 a1 = Σ 2·fill_mpi.per_byte·β_i + A_x·t_c
+//   comm side  B(V) = b0 + b1·V   b0 = Σ 2·fill_kernel.base
+//                                 b1 = Σ (2·fill_kernel.per_byte + t_t)·β_i
+//
+// (A_x = cross-section iterations per k-layer, c_i = Σ_j d_{i,j}, sums over
+// cross dimensions that actually communicate.)  The schedule length is
+// P(V) ≈ C0 + K/V with C0 = 2·Σ (procs_d − 1) + 1 − 1-tile correction and
+// K the mapped extent, so on each branch
+//
+//   T(V) = (C0 + K/V)(x0 + x1·V)  ⇒  V* = sqrt(K·x0 / (C0·x1)),
+//
+// the standard square-root rule.  The overall optimum is the best of the
+// two branch optima (each clamped into its validity region) and the
+// branch-crossover point.  The same derivation with
+// step = x0 + x1·V = full serialized step applies to the non-overlapping
+// schedule (eq. 3).
+#pragma once
+
+#include "tilo/core/problem.hpp"
+
+namespace tilo::core {
+
+/// The affine decomposition of a problem's steady step in V.
+struct AnalyticModel {
+  double a0 = 0, a1 = 0;  ///< CPU side A(V) = a0 + a1 V (overlap)
+  double b0 = 0, b1 = 0;  ///< comm side B(V) = b0 + b1 V (overlap)
+  double n0 = 0, n1 = 0;  ///< serialized step N(V) = n0 + n1 V (non-overlap)
+  double c0_overlap = 0;  ///< constant part of P(V) for the overlap Π
+  double c0_nonoverlap = 0;
+  double k = 0;           ///< mapped-dimension extent (P ≈ C0 + K/V)
+
+  double cpu_side(double v) const { return a0 + a1 * v; }
+  double comm_side(double v) const { return b0 + b1 * v; }
+  double step_overlap(double v) const {
+    return cpu_side(v) > comm_side(v) ? cpu_side(v) : comm_side(v);
+  }
+  double step_nonoverlap(double v) const { return n0 + n1 * v; }
+  double total_overlap(double v) const {
+    return (c0_overlap + k / v) * step_overlap(v);
+  }
+  double total_nonoverlap(double v) const {
+    return (c0_nonoverlap + k / v) * step_nonoverlap(v);
+  }
+};
+
+/// Derives the affine coefficients from the problem's geometry and machine.
+AnalyticModel derive_analytic_model(const Problem& problem);
+
+/// Result of the closed-form optimization.
+struct AnalyticOptimum {
+  double V_continuous = 0;  ///< unclamped continuous optimum
+  util::i64 V = 0;          ///< rounded + clamped to [1, mapped extent]
+  double t_predicted = 0;   ///< model completion time at V
+  bool cpu_bound = false;   ///< which side of eq. (4) is active at V
+};
+
+/// Closed-form optimal tile height for the overlapping schedule.
+AnalyticOptimum analytic_optimal_height_overlap(const Problem& problem);
+
+/// Closed-form optimal tile height for the non-overlapping schedule
+/// (the Hodzic–Shang optimization with our detailed cost model).
+AnalyticOptimum analytic_optimal_height_nonoverlap(const Problem& problem);
+
+}  // namespace tilo::core

@@ -1,0 +1,84 @@
+#include "tilo/core/recommend.hpp"
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "tilo/core/predict.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::core {
+
+namespace {
+
+using lat::Vec;
+using util::i64;
+
+/// Enumerates ordered factorizations of `remaining` over dims[idx..],
+/// honoring per-dimension caps, and reports each complete assignment.
+void enumerate_grids(const std::vector<std::size_t>& dims,
+                     const std::vector<i64>& caps, std::size_t idx,
+                     i64 remaining, Vec& current,
+                     const std::function<void(const Vec&)>& emit) {
+  if (idx == dims.size()) {
+    if (remaining == 1) emit(current);
+    return;
+  }
+  for (i64 f = 1; f <= remaining && f <= caps[idx]; ++f) {
+    if (remaining % f != 0) continue;
+    current[dims[idx]] = f;
+    enumerate_grids(dims, caps, idx + 1, remaining / f, current, emit);
+  }
+  current[dims[idx]] = 1;
+}
+
+}  // namespace
+
+Recommendation recommend_plan(const loop::LoopNest& nest,
+                              const mach::MachineParams& machine,
+                              i64 total_procs, sched::ScheduleKind kind) {
+  TILO_REQUIRE(total_procs >= 1, "need at least one processor");
+  TILO_REQUIRE(nest.deps().is_nonneg(),
+               "recommend_plan needs rectangular-legal dependencies "
+               "(skew first: tile::find_legal_skew + loop::make_skewed_nest)");
+
+  // The paper's rule: map along the dimension with the largest extent.
+  const Problem probe{nest, machine, Vec(nest.dims(), 1)};
+  const std::size_t md = probe.mapped_dim();
+
+  std::vector<std::size_t> cross_dims;
+  std::vector<i64> caps;
+  for (std::size_t d = 0; d < nest.dims(); ++d) {
+    if (d == md) continue;
+    cross_dims.push_back(d);
+    // At most one processor per iteration row, and tile sides must still
+    // exceed the dependence components: extent / (max_component + 1).
+    const i64 cap = std::max<i64>(
+        1, nest.domain().extent(d) / (nest.deps().max_component(d) + 1));
+    caps.push_back(cap);
+  }
+
+  std::optional<Recommendation> best;
+  Vec current(nest.dims(), 1);
+  enumerate_grids(cross_dims, caps, 0, total_procs, current,
+                  [&](const Vec& procs) {
+    Problem problem{nest, machine, procs};
+    const AnalyticOptimum opt =
+        kind == sched::ScheduleKind::kOverlap
+            ? analytic_optimal_height_overlap(problem)
+            : analytic_optimal_height_nonoverlap(problem);
+    exec::TilePlan plan = problem.plan(opt.V, kind);
+    const double predicted = predict_completion(plan, machine);
+    if (!best || predicted < best->predicted_seconds) {
+      best = Recommendation{std::move(problem), std::move(plan), opt.V,
+                            predicted, opt};
+    }
+  });
+  TILO_REQUIRE(best.has_value(),
+               "no processor grid with ", total_procs,
+               " processors fits this nest (too many processors for the "
+               "cross-section?)");
+  return std::move(*best);
+}
+
+}  // namespace tilo::core

@@ -1,0 +1,72 @@
+#include "tilo/core/sweep.hpp"
+
+#include "tilo/machine/optimize.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::core {
+
+namespace {
+
+double run_once(const Problem& problem, i64 V, ScheduleKind kind,
+                const SweepOptions& opts) {
+  const TilePlan plan = problem.plan(V, kind);
+  exec::RunOptions ro;
+  ro.level = opts.level;
+  ro.network = opts.network;
+  return exec::run_plan(problem.nest, plan, problem.machine, ro).seconds;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> sweep_tile_height(const Problem& problem,
+                                          const std::vector<i64>& heights,
+                                          const SweepOptions& opts) {
+  std::vector<SweepPoint> out;
+  out.reserve(heights.size());
+  for (i64 V : heights) {
+    SweepPoint pt;
+    pt.V = V;
+    const TilePlan over = problem.plan(V, ScheduleKind::kOverlap);
+    const TilePlan nonover = problem.plan(V, ScheduleKind::kNonOverlap);
+    pt.g = over.space.tiling().tile_volume();
+    pt.predicted_overlap = predict_completion(over, problem.machine,
+                                              opts.level);
+    pt.predicted_nonoverlap = predict_completion(nonover, problem.machine);
+    pt.predicted_cpu_bound = predict_overlap_cpu_bound(over, problem.machine);
+    if (opts.run_overlap)
+      pt.t_overlap = run_once(problem, V, ScheduleKind::kOverlap, opts);
+    if (opts.run_nonoverlap)
+      pt.t_nonoverlap = run_once(problem, V, ScheduleKind::kNonOverlap, opts);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<i64> height_grid(i64 lo, i64 hi, double ratio) {
+  TILO_REQUIRE(lo >= 1 && lo <= hi, "bad height range [", lo, ", ", hi, "]");
+  TILO_REQUIRE(ratio > 1.0, "grid ratio must be > 1");
+  std::vector<i64> grid;
+  double x = static_cast<double>(lo);
+  i64 last = 0;
+  while (static_cast<i64>(x) <= hi) {
+    const i64 v = std::max<i64>(static_cast<i64>(x), last + 1);
+    if (v > hi) break;
+    grid.push_back(v);
+    last = v;
+    x *= ratio;
+  }
+  if (grid.empty() || grid.back() != hi) grid.push_back(hi);
+  return grid;
+}
+
+Autotune autotune_tile_height(const Problem& problem, ScheduleKind kind,
+                              i64 lo, i64 hi, const SweepOptions& opts) {
+  TILO_REQUIRE(lo >= 1 && lo <= hi, "bad height range");
+  const auto objective = [&](i64 V) {
+    return run_once(problem, V, kind, opts);
+  };
+  const mach::IntMinimum best = mach::geometric_sweep(objective, lo, hi);
+  return Autotune{best.x, best.value};
+}
+
+}  // namespace tilo::core

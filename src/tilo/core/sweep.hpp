@@ -1,0 +1,53 @@
+// The paper's experimental procedure (Section 5): sweep the tile height V,
+// run both the overlapping and the non-overlapping programs, and find
+// V_optimal / t_optimal for each.
+#pragma once
+
+#include <vector>
+
+#include "tilo/core/predict.hpp"
+#include "tilo/core/problem.hpp"
+
+namespace tilo::core {
+
+/// One sweep sample.
+struct SweepPoint {
+  i64 V = 0;            ///< tile height
+  i64 g = 0;            ///< tile volume (iterations per full tile)
+  double t_overlap = 0;     ///< simulated, overlapping schedule
+  double t_nonoverlap = 0;  ///< simulated, non-overlapping schedule
+  double predicted_overlap = 0;     ///< eq. (4)
+  double predicted_nonoverlap = 0;  ///< eq. (3)
+  double predicted_cpu_bound = 0;   ///< eq. (5)
+};
+
+/// Sweep options.
+struct SweepOptions {
+  mach::OverlapLevel level = mach::OverlapLevel::kDma;
+  msg::Network network = msg::Network::kSwitched;
+  bool run_nonoverlap = true;
+  bool run_overlap = true;
+};
+
+/// Runs both schedules (timed mode) for each V in `heights`.
+std::vector<SweepPoint> sweep_tile_height(const Problem& problem,
+                                          const std::vector<i64>& heights,
+                                          const SweepOptions& opts = {});
+
+/// A geometric grid of candidate heights in [lo, hi] (dividing nothing:
+/// heights need not divide the extent; boundary tiles are partial).
+std::vector<i64> height_grid(i64 lo, i64 hi, double ratio = 1.3);
+
+/// Result of autotuning one schedule.
+struct Autotune {
+  i64 V_opt = 0;
+  double t_opt = 0.0;
+};
+
+/// Finds the simulated-optimal tile height for the given schedule kind via
+/// a geometric sweep plus local refinement — the paper's "experimentally
+/// tune tile size g" procedure.
+Autotune autotune_tile_height(const Problem& problem, ScheduleKind kind,
+                              i64 lo, i64 hi, const SweepOptions& opts = {});
+
+}  // namespace tilo::core

@@ -1,0 +1,24 @@
+// Performance-model audit: a contention-free critical-path lower bound on
+// the completion time of a plan.
+//
+// Dynamic programming over tiles: a tile finishes no earlier than
+//  * the previous tile in its rank's program order (CPU is serial), and
+//  * every producer tile plus the cheapest possible message pipeline
+//    (kernel copies + wire, ignoring CPU fills and all contention),
+// plus its own compute time.  Because every ignored cost only makes the
+// real execution slower, `simulated completion >= lower bound` is an
+// invariant of any correct executor/simulator pair — the tests use it to
+// catch optimistic-timing bugs in either.
+#pragma once
+
+#include "tilo/exec/plan.hpp"
+#include "tilo/machine/params.hpp"
+
+namespace tilo::exec {
+
+/// Contention-free critical-path lower bound (seconds) for either
+/// schedule kind of the plan.
+double critical_path_lower_bound(const TilePlan& plan,
+                                 const mach::MachineParams& params);
+
+}  // namespace tilo::exec

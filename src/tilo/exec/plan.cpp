@@ -1,0 +1,45 @@
+#include "tilo/exec/plan.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::exec {
+
+util::i64 TilePlan::schedule_length() const {
+  // Normalize the last tile to first-tile-at-origin coordinates.
+  const lat::Vec u = space.tile_space().hi() - space.tile_space().lo();
+  return kind == ScheduleKind::kOverlap
+             ? sched::overlap_schedule_length(u, mapped_dim)
+             : sched::nonoverlap_schedule_length(u);
+}
+
+TilePlan make_plan(const loop::LoopNest& nest, tile::RectTiling tiling,
+                   ScheduleKind kind) {
+  TiledSpace space(nest, std::move(tiling));
+  const std::size_t mapped = sched::choose_mapped_dim(space.tile_space());
+  ProcessorMapping mapping =
+      ProcessorMapping::one_column_per_proc(space.tile_space(), mapped);
+  return TilePlan{std::move(space), mapped, std::move(mapping), kind};
+}
+
+TilePlan make_plan_with_procs(const loop::LoopNest& nest,
+                              tile::RectTiling tiling, ScheduleKind kind,
+                              lat::Vec procs) {
+  TiledSpace space(nest, tiling);
+  const std::size_t mapped = sched::choose_mapped_dim(space.tile_space());
+  return make_plan_explicit(nest, std::move(tiling), kind, mapped,
+                            std::move(procs));
+}
+
+TilePlan make_plan_explicit(const loop::LoopNest& nest,
+                            tile::RectTiling tiling, ScheduleKind kind,
+                            std::size_t mapped_dim, lat::Vec procs) {
+  TiledSpace space(nest, std::move(tiling));
+  TILO_REQUIRE(mapped_dim < space.dims(), "mapped_dim out of range");
+  TILO_REQUIRE(procs.size() == space.dims(),
+               "procs dimensionality mismatch");
+  procs[mapped_dim] = 1;
+  ProcessorMapping mapping(space.tile_space(), mapped_dim, std::move(procs));
+  return TilePlan{std::move(space), mapped_dim, std::move(mapping), kind};
+}
+
+}  // namespace tilo::exec

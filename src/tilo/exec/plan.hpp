@@ -1,0 +1,48 @@
+// A complete execution plan: tiled space + processor mapping + schedule
+// kind.  This is what the executors and the closed-form predictors consume.
+#pragma once
+
+#include <cstddef>
+
+#include "tilo/loopnest/nest.hpp"
+#include "tilo/sched/mapping.hpp"
+#include "tilo/sched/tiled.hpp"
+#include "tilo/tiling/tilespace.hpp"
+
+namespace tilo::exec {
+
+using sched::ProcessorMapping;
+using sched::ScheduleKind;
+using tile::TiledSpace;
+
+/// Everything needed to execute a tiled nest on a (simulated) cluster.
+struct TilePlan {
+  TiledSpace space;
+  std::size_t mapped_dim;
+  ProcessorMapping mapping;
+  ScheduleKind kind;
+
+  /// Theoretical number of time hyperplanes P(g) for this plan's schedule
+  /// (the paper's closed forms; assumes one tile column per processor).
+  util::i64 schedule_length() const;
+};
+
+/// Builds a plan with the paper's defaults: the mapping dimension is the
+/// largest tiled dimension, one processor per tile column.
+TilePlan make_plan(const loop::LoopNest& nest, tile::RectTiling tiling,
+                   ScheduleKind kind);
+
+/// Same, but with an explicit processor-grid size per dimension
+/// (procs[mapped_dim] is forced to 1); tile columns are block-distributed.
+TilePlan make_plan_with_procs(const loop::LoopNest& nest,
+                              tile::RectTiling tiling, ScheduleKind kind,
+                              lat::Vec procs);
+
+/// Fully explicit variant: caller fixes the mapping dimension too.  Needed
+/// when sweeping the tile height V makes the mapped dimension's tiled
+/// extent temporarily smaller than another dimension's.
+TilePlan make_plan_explicit(const loop::LoopNest& nest,
+                            tile::RectTiling tiling, ScheduleKind kind,
+                            std::size_t mapped_dim, lat::Vec procs);
+
+}  // namespace tilo::exec

@@ -1,0 +1,64 @@
+#include "tilo/exec/regions.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::exec {
+
+std::vector<CommRegion> comm_regions(const tile::TiledSpace& space,
+                                     const Vec& t_src, const Vec& e) {
+  TILO_REQUIRE(space.tile_space().contains(t_src),
+               "source tile outside tile space");
+  const Vec t_dst = t_src + e;
+  std::vector<CommRegion> out;
+  if (!space.tile_space().contains(t_dst)) return out;
+
+  const Box src_box = space.tile_iterations(t_src);
+  const Box dst_box = space.tile_iterations(t_dst);
+  const auto& deps = space.deps();
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    // Points p of the producer tile whose value p + d lands in the consumer
+    // tile: p ∈ B(src) ∩ (B(dst) - d).
+    const Box needed = src_box.intersect(dst_box.shifted(-deps[i]));
+    if (!needed.empty()) out.push_back(CommRegion{i, needed});
+  }
+  return out;
+}
+
+i64 region_points(const std::vector<CommRegion>& regions) {
+  i64 acc = 0;
+  for (const CommRegion& r : regions)
+    acc = util::checked_add(acc, r.points.volume());
+  return acc;
+}
+
+i64 region_bytes(const std::vector<CommRegion>& regions,
+                 int bytes_per_element) {
+  TILO_REQUIRE(bytes_per_element >= 1, "bytes_per_element must be >= 1");
+  return util::checked_mul(region_points(regions), bytes_per_element);
+}
+
+std::vector<TileComm> outgoing(const tile::TiledSpace& space, const Vec& t) {
+  std::vector<TileComm> out;
+  for (const Vec& e : space.tile_deps()) {
+    std::vector<CommRegion> regions = comm_regions(space, t, e);
+    if (regions.empty()) continue;
+    const i64 pts = region_points(regions);
+    out.push_back(TileComm{e, std::move(regions), pts});
+  }
+  return out;
+}
+
+std::vector<TileComm> incoming(const tile::TiledSpace& space, const Vec& t) {
+  std::vector<TileComm> in;
+  for (const Vec& e : space.tile_deps()) {
+    const Vec t_src = t - e;
+    if (!space.tile_space().contains(t_src)) continue;
+    std::vector<CommRegion> regions = comm_regions(space, t_src, e);
+    if (regions.empty()) continue;
+    const i64 pts = region_points(regions);
+    in.push_back(TileComm{e, std::move(regions), pts});
+  }
+  return in;
+}
+
+}  // namespace tilo::exec

@@ -1,0 +1,468 @@
+#include "tilo/exec/run.hpp"
+
+#include <cmath>
+#include <coroutine>
+#include <set>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "tilo/exec/coro.hpp"
+#include "tilo/exec/regions.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::exec {
+
+namespace {
+
+using lat::Box;
+using lat::Vec;
+using util::i64;
+
+/// Per-rank distributed state.  `extended` grows `owned` on its low sides by
+/// the maximum dependence component, so every read p - d of an owned point p
+/// is an in-array access: cells outside the domain hold boundary values,
+/// cells owned by neighbors are filled by received messages.
+struct RankState {
+  Box owned;
+  Box extended;
+  std::vector<double> values;  // functional mode only, over `extended`
+
+  double& at(const Vec& p) {
+    return values[static_cast<std::size_t>(extended.linear_index(p))];
+  }
+  double get(const Vec& p) const {
+    return values[static_cast<std::size_t>(extended.linear_index(p))];
+  }
+};
+
+struct Ctx {
+  const loop::LoopNest* nest = nullptr;
+  const TilePlan* plan = nullptr;
+  RunOptions opts;
+  std::unique_ptr<msg::Cluster> cluster;
+  std::vector<RankState> ranks;
+  ProgramErrorSink sink;
+  int bpe = 4;
+  i64 ndirs = 1;
+  int completed_ranks = 0;
+
+  ProgramErrorSink& error_sink() { return sink; }
+};
+
+std::size_t dir_index(const Ctx& ctx, const Vec& e) {
+  const auto& dirs = ctx.plan->space.tile_deps();
+  for (std::size_t i = 0; i < dirs.size(); ++i)
+    if (dirs[i] == e) return i;
+  TILO_ASSERT(false, "unknown tile-dependence direction ", e.str());
+  return 0;
+}
+
+/// Message tags are unique per (consumer tile, direction).
+i64 tag_for(const Ctx& ctx, const Vec& consumer_tile, std::size_t dir) {
+  const i64 lin = ctx.plan->space.tile_space().linear_index(consumer_tile);
+  return util::checked_add(util::checked_mul(lin, ctx.ndirs),
+                           static_cast<i64>(dir));
+}
+
+void init_rank_state(Ctx& ctx, int rank) {
+  const auto& mapping = ctx.plan->mapping;
+  const auto& tiling = ctx.plan->space.tiling();
+  const Box tiles = mapping.tiles_of_rank(rank);
+  // A rank can own no tiles when the block distribution does not divide
+  // evenly (e.g. 4 tile columns over 3 processors); it then simply idles.
+  if (tiles.empty()) {
+    ctx.ranks[static_cast<std::size_t>(rank)] =
+        RankState{tiles, tiles, {}};
+    return;
+  }
+  const Box owned = Box(tiling.tile_origin(tiles.lo()),
+                        tiling.tile_box(tiles.hi()).hi())
+                        .intersect(ctx.plan->space.domain());
+  TILO_ASSERT(!owned.empty(), "rank ", rank, " owns no iterations");
+
+  Vec elo = owned.lo();
+  for (std::size_t d = 0; d < elo.size(); ++d)
+    elo[d] -= ctx.nest->deps().max_component(d);
+  const Box extended(elo, owned.hi());
+
+  RankState rs{owned, extended, {}};
+  if (ctx.opts.functional) {
+    const loop::Kernel& kernel = ctx.nest->kernel();
+    const Box& domain = ctx.plan->space.domain();
+    rs.values.assign(static_cast<std::size_t>(extended.volume()),
+                     std::numeric_limits<double>::quiet_NaN());
+    // Ghost cells outside the domain hold the boundary values, so every
+    // kernel input is a plain array read.  In-domain cells start as NaN:
+    // a read of a never-filled cell poisons the result visibly.
+    extended.for_each_point([&](const Vec& p) {
+      if (!domain.contains(p)) rs.at(p) = kernel.boundary(p);
+    });
+  }
+  ctx.ranks[static_cast<std::size_t>(rank)] = std::move(rs);
+}
+
+/// Bytes a tile's computation touches: its own cells plus the low-side
+/// halo slabs it reads (the paper's Fig. 6 working set).
+i64 tile_working_set_bytes(const Ctx& ctx, const Box& box) {
+  i64 cells = box.volume();
+  for (std::size_t d = 0; d < box.dims(); ++d) {
+    const i64 halo = ctx.nest->deps().max_component(d);
+    if (halo > 0)
+      cells = util::checked_add(
+          cells, util::checked_mul(box.volume() / box.extent(d), halo));
+  }
+  return util::checked_mul(cells, ctx.bpe);
+}
+
+void compute_tile_values(Ctx& ctx, RankState& rs, const Box& box) {
+  const auto& deps = ctx.nest->deps();
+  const loop::Kernel& kernel = ctx.nest->kernel();
+  std::vector<double> inputs(deps.size());
+  box.for_each_point([&](const Vec& p) {
+    for (std::size_t i = 0; i < deps.size(); ++i)
+      inputs[i] = rs.at(p - deps[i]);
+    rs.at(p) = kernel.apply(p, inputs);
+  });
+}
+
+msg::Payload encode_payload(const RankState& rs,
+                            const std::vector<CommRegion>& regions) {
+  auto data = std::make_shared<std::vector<double>>();
+  data->reserve(static_cast<std::size_t>(region_points(regions)));
+  for (const CommRegion& r : regions) {
+    r.points.for_each_point(
+        [&](const Vec& p) { data->push_back(rs.get(p)); });
+  }
+  return msg::Payload{std::move(data)};
+}
+
+void apply_payload(RankState& rs, const std::vector<CommRegion>& regions,
+                   const msg::Payload& payload) {
+  if (!payload.has_data()) return;  // timed mode
+  std::size_t off = 0;
+  for (const CommRegion& r : regions) {
+    r.points.for_each_point([&](const Vec& p) {
+      TILO_ASSERT(off < payload.data->size(), "payload shorter than region");
+      rs.at(p) = (*payload.data)[off++];
+    });
+  }
+  TILO_ASSERT(off == payload.data->size(), "payload longer than region");
+}
+
+/// The paper's blocking ProcB program (Section 5 pseudocode): for every
+/// owned tile, in column-major k order: blocking-receive all inbound
+/// messages, compute, blocking-send all outbound messages.
+RankProgram blocking_program(Ctx& ctx, int rank) {
+  msg::Endpoint& ep = ctx.cluster->node(rank);
+  const tile::TiledSpace& space = ctx.plan->space;
+  const sched::ProcessorMapping& mapping = ctx.plan->mapping;
+  RankState& rs = ctx.ranks[static_cast<std::size_t>(rank)];
+  const std::size_t md = ctx.plan->mapped_dim;
+  const i64 klo = space.tile_space().lo()[md];
+  const i64 khi = space.tile_space().hi()[md];
+
+  // Temporaries are hoisted into named locals before every loop that
+  // crosses a suspension point (GCC 12 mishandles lifetime-extended
+  // range-for temporaries in coroutine frames).
+  const std::vector<Vec> columns = mapping.columns_of_rank(rank);
+  for (const Vec& col : columns) {
+    for (i64 k = klo; k <= khi; ++k) {
+      Vec t = col;
+      t[md] = k;
+
+      // Receive phase: block until each message is on the wire-side done,
+      // then pay the receive pipeline on the CPU (no overlap, Fig. 7).
+      const std::vector<TileComm> ins = incoming(space, t);
+      for (const TileComm& in : ins) {
+        const Vec src_t = t - in.offset;
+        const i64 src_rank = mapping.rank_of_tile(src_t);
+        if (src_rank == rank) continue;
+        auto h = ep.irecv(static_cast<int>(src_rank),
+                          tag_for(ctx, t, dir_index(ctx, in.offset)));
+        co_await RecvReadyAwait{*ctx.cluster, rank, h};
+        const i64 bytes = util::checked_mul(in.points, ctx.bpe);
+        co_await CpuAwait{ep,
+                          ctx.cluster->half_wire_ns(bytes) +
+                              ctx.cluster->fill_kernel_ns(bytes),
+                          trace::Phase::kKernelRecv};
+        co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
+                          trace::Phase::kFillMpiRecv};
+        if (ctx.opts.functional) apply_payload(rs, in.regions, h->payload);
+      }
+
+      // Compute phase.
+      const Box box = space.tile_iterations(t);
+      co_await CpuAwait{ep,
+                        ctx.cluster->compute_ns(
+                            box.volume(), tile_working_set_bytes(ctx, box)),
+                        trace::Phase::kCompute};
+      if (ctx.opts.functional) compute_tile_values(ctx, rs, box);
+
+      // Send phase: the whole send pipeline runs on the CPU.
+      const std::vector<TileComm> outs = outgoing(space, t);
+      for (const TileComm& out : outs) {
+        const Vec dst_t = t + out.offset;
+        const i64 dst_rank = mapping.rank_of_tile(dst_t);
+        if (dst_rank == rank) continue;
+        const i64 bytes = util::checked_mul(out.points, ctx.bpe);
+        co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
+                          trace::Phase::kFillMpiSend};
+        co_await CpuAwait{ep, ctx.cluster->fill_kernel_ns(bytes),
+                          trace::Phase::kKernelSend};
+        co_await CpuAwait{ep, ctx.cluster->half_wire_ns(bytes),
+                          trace::Phase::kWire};
+        msg::Payload payload;
+        if (ctx.opts.functional) payload = encode_payload(rs, out.regions);
+        ep.post_blocking(static_cast<int>(dst_rank),
+                         tag_for(ctx, dst_t, dir_index(ctx, out.offset)),
+                         bytes, std::move(payload));
+      }
+    }
+  }
+  ++ctx.completed_ranks;
+}
+
+/// The paper's nonblocking ProcNB program (Section 5 pseudocode): at step k
+/// send the results of tile k-1, post receives for tile k+1, compute tile k,
+/// then wait on all handles — the pipelined overlapping schedule of Fig. 2.
+RankProgram nonblocking_program(Ctx& ctx, int rank) {
+  msg::Endpoint& ep = ctx.cluster->node(rank);
+  const tile::TiledSpace& space = ctx.plan->space;
+  const sched::ProcessorMapping& mapping = ctx.plan->mapping;
+  RankState& rs = ctx.ranks[static_cast<std::size_t>(rank)];
+  const std::size_t md = ctx.plan->mapped_dim;
+  const i64 klo = space.tile_space().lo()[md];
+  const i64 khi = space.tile_space().hi()[md];
+
+  struct PendingRecv {
+    std::shared_ptr<msg::RecvHandle> handle;
+    TileComm comm;
+  };
+
+  const std::vector<Vec> columns = mapping.columns_of_rank(rank);
+  for (const Vec& col : columns) {
+    std::vector<PendingRecv> pending;
+
+    // Pipeline prologue: fetch the first tile's inbound data.
+    {
+      Vec t0 = col;
+      t0[md] = klo;
+      std::vector<TileComm> ins = incoming(space, t0);
+      for (TileComm& in : ins) {
+        const Vec src_t = t0 - in.offset;
+        const i64 src_rank = mapping.rank_of_tile(src_t);
+        if (src_rank == rank) continue;
+        auto h = ep.irecv(static_cast<int>(src_rank),
+                          tag_for(ctx, t0, dir_index(ctx, in.offset)));
+        pending.push_back(PendingRecv{std::move(h), std::move(in)});
+      }
+      for (PendingRecv& pr : pending) {
+        co_await RecvReadyAwait{*ctx.cluster, rank, pr.handle};
+        const i64 bytes = util::checked_mul(pr.comm.points, ctx.bpe);
+        co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
+                          trace::Phase::kFillMpiRecv};
+        if (ctx.opts.functional)
+          apply_payload(rs, pr.comm.regions, pr.handle->payload);
+      }
+      pending.clear();
+    }
+
+    std::vector<std::shared_ptr<msg::SendHandle>> sends;
+    for (i64 k = klo; k <= khi; ++k) {
+      Vec t = col;
+      t[md] = k;
+
+      // 1. Nonblocking sends of tile (k-1)'s results (A1 on the CPU, the
+      //    rest of the pipeline on the DMA channel).
+      if (k > klo) {
+        Vec prev = col;
+        prev[md] = k - 1;
+        const std::vector<TileComm> outs = outgoing(space, prev);
+        for (const TileComm& out : outs) {
+          const Vec dst_t = prev + out.offset;
+          const i64 dst_rank = mapping.rank_of_tile(dst_t);
+          if (dst_rank == rank) continue;
+          const i64 bytes = util::checked_mul(out.points, ctx.bpe);
+          co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
+                            trace::Phase::kFillMpiSend};
+          msg::Payload payload;
+          if (ctx.opts.functional) payload = encode_payload(rs, out.regions);
+          sends.push_back(ep.isend(
+              static_cast<int>(dst_rank),
+              tag_for(ctx, dst_t, dir_index(ctx, out.offset)), bytes,
+              std::move(payload)));
+        }
+      }
+
+      // 2. Post receives for tile (k+1)'s data.
+      if (k < khi) {
+        Vec next = col;
+        next[md] = k + 1;
+        std::vector<TileComm> ins = incoming(space, next);
+        for (TileComm& in : ins) {
+          const Vec src_t = next - in.offset;
+          const i64 src_rank = mapping.rank_of_tile(src_t);
+          if (src_rank == rank) continue;
+          auto h = ep.irecv(static_cast<int>(src_rank),
+                            tag_for(ctx, next, dir_index(ctx, in.offset)));
+          pending.push_back(PendingRecv{std::move(h), std::move(in)});
+        }
+      }
+
+      // 3. Compute tile k while the DMA channels move data.
+      const Box box = space.tile_iterations(t);
+      co_await CpuAwait{ep,
+                        ctx.cluster->compute_ns(
+                            box.volume(), tile_working_set_bytes(ctx, box)),
+                        trace::Phase::kCompute};
+      if (ctx.opts.functional) compute_tile_values(ctx, rs, box);
+
+      // 4. Wait for the sends (buffer reuse) ...
+      for (auto& s : sends) co_await SendDoneAwait{*ctx.cluster, rank, s};
+      sends.clear();
+
+      // 5. ... and for the receives: kernel-ready, then the A3 CPU copy.
+      for (PendingRecv& pr : pending) {
+        co_await RecvReadyAwait{*ctx.cluster, rank, pr.handle};
+        const i64 bytes = util::checked_mul(pr.comm.points, ctx.bpe);
+        co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
+                          trace::Phase::kFillMpiRecv};
+        if (ctx.opts.functional)
+          apply_payload(rs, pr.comm.regions, pr.handle->payload);
+      }
+      pending.clear();
+    }
+
+    // Column epilogue: ship the last tile's results.
+    {
+      Vec tl = col;
+      tl[md] = khi;
+      const std::vector<TileComm> outs = outgoing(space, tl);
+      for (const TileComm& out : outs) {
+        const Vec dst_t = tl + out.offset;
+        const i64 dst_rank = mapping.rank_of_tile(dst_t);
+        if (dst_rank == rank) continue;
+        const i64 bytes = util::checked_mul(out.points, ctx.bpe);
+        co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
+                          trace::Phase::kFillMpiSend};
+        msg::Payload payload;
+        if (ctx.opts.functional) payload = encode_payload(rs, out.regions);
+        sends.push_back(ep.isend(
+            static_cast<int>(dst_rank),
+            tag_for(ctx, dst_t, dir_index(ctx, out.offset)), bytes,
+            std::move(payload)));
+      }
+      for (auto& s : sends) co_await SendDoneAwait{*ctx.cluster, rank, s};
+      sends.clear();
+    }
+  }
+  ++ctx.completed_ranks;
+}
+
+loop::DenseField assemble_field(const Ctx& ctx) {
+  const Box& domain = ctx.plan->space.domain();
+  loop::DenseField field{
+      domain,
+      std::vector<double>(static_cast<std::size_t>(domain.volume()), 0.0)};
+  for (const RankState& rs : ctx.ranks) {
+    rs.owned.for_each_point([&](const Vec& p) {
+      field.values[static_cast<std::size_t>(domain.linear_index(p))] =
+          rs.get(p);
+    });
+  }
+  return field;
+}
+
+}  // namespace
+
+RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
+                   const mach::MachineParams& params,
+                   const RunOptions& opts) {
+  TILO_REQUIRE(nest.domain() == plan.space.domain(),
+               "plan was built for a different domain");
+  if (opts.functional)
+    TILO_REQUIRE(nest.has_kernel(),
+                 "functional execution needs a loop body");
+
+  const i64 num_ranks = plan.mapping.num_ranks();
+  TILO_REQUIRE(num_ranks <= std::numeric_limits<int>::max(),
+               "too many ranks");
+
+  Ctx ctx;
+  ctx.nest = &nest;
+  ctx.plan = &plan;
+  ctx.opts = opts;
+  ctx.bpe = params.bytes_per_element;
+  ctx.ndirs = static_cast<i64>(std::max<std::size_t>(
+      1, plan.space.tile_deps().size()));
+
+  // The blocking executor models the no-overlap machine; the nonblocking
+  // executor needs a DMA-capable level.
+  mach::OverlapLevel level = mach::OverlapLevel::kNone;
+  if (plan.kind == sched::ScheduleKind::kOverlap) {
+    TILO_REQUIRE(opts.level != mach::OverlapLevel::kNone,
+                 "the overlapping schedule needs OverlapLevel::kDma or "
+                 "kDuplexDma");
+    level = opts.level;
+  }
+
+  ctx.cluster = std::make_unique<msg::Cluster>(
+      static_cast<int>(num_ranks), params, level, opts.network,
+      opts.timeline, opts.protocol);
+  if (opts.inject_message_loss >= 0)
+    ctx.cluster->inject_message_loss(opts.inject_message_loss);
+  ctx.ranks.resize(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < static_cast<int>(num_ranks); ++r)
+    init_rank_state(ctx, r);
+
+  for (int r = 0; r < static_cast<int>(num_ranks); ++r) {
+    if (plan.kind == sched::ScheduleKind::kOverlap) {
+      nonblocking_program(ctx, r);
+    } else {
+      blocking_program(ctx, r);
+    }
+  }
+
+  const sim::Time end = ctx.cluster->run();
+  // Reclaim any programs still parked on message waits (lost message or
+  // deadlock): destroying the frames releases their buffers and handles.
+  const std::set<void*> stalled = ctx.cluster->take_suspended();
+  for (void* address : stalled)
+    std::coroutine_handle<>::from_address(address).destroy();
+  if (ctx.sink.error) std::rethrow_exception(ctx.sink.error);
+  TILO_REQUIRE(ctx.completed_ranks == static_cast<int>(num_ranks),
+               "rank programs stalled: only ", ctx.completed_ranks, " of ",
+               num_ranks,
+               " completed — lost message or scheduling deadlock (",
+               stalled.size(), " programs reclaimed)");
+
+  RunResult result;
+  result.completion = end;
+  result.seconds = sim::to_seconds(end);
+  result.messages = ctx.cluster->messages_sent();
+  result.bytes = ctx.cluster->bytes_sent();
+  result.peak_inflight_bytes = ctx.cluster->peak_inflight_bytes();
+  for (const RankState& rs : ctx.ranks) {
+    const i64 cells = rs.extended.volume() - rs.owned.volume();
+    result.halo_bytes =
+        util::checked_add(result.halo_bytes,
+                          util::checked_mul(cells, ctx.bpe));
+  }
+  result.events = ctx.cluster->engine().events_processed();
+  result.traffic = ctx.cluster->traffic();
+  if (opts.functional) result.field = assemble_field(ctx);
+  return result;
+}
+
+double run_and_validate(const loop::LoopNest& nest, const TilePlan& plan,
+                        const mach::MachineParams& params) {
+  RunOptions opts;
+  opts.functional = true;
+  const RunResult run = run_plan(nest, plan, params, opts);
+  TILO_ASSERT(run.field.has_value(), "functional run produced no field");
+  const loop::DenseField ref = loop::run_sequential(nest);
+  return loop::max_abs_diff(*run.field, ref);
+}
+
+}  // namespace tilo::exec

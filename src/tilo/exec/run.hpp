@@ -1,0 +1,74 @@
+// The executors: run a TilePlan on the simulated cluster.
+//
+// ScheduleKind::kNonOverlap runs the paper's blocking ProcB program
+// (receive - compute - send triplets, Section 3 / Fig. 1) and
+// ScheduleKind::kOverlap runs the nonblocking ProcNB program
+// (isend(k-1) / irecv(k+1) / compute(k) / wait, Section 4.1 / Fig. 2).
+//
+// Timed mode advances the clock by the machine cost model; functional mode
+// additionally moves real values through the messages and can validate the
+// distributed result against the sequential nest.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "tilo/exec/plan.hpp"
+#include "tilo/loopnest/reference.hpp"
+#include "tilo/machine/cost.hpp"
+#include "tilo/msg/cluster.hpp"
+#include "tilo/trace/timeline.hpp"
+
+namespace tilo::exec {
+
+/// Execution options.
+struct RunOptions {
+  /// Move and verify real values (tests/examples); otherwise timing only.
+  bool functional = false;
+  /// DMA capability for the overlapping executor (kDma or kDuplexDma).
+  mach::OverlapLevel level = mach::OverlapLevel::kDma;
+  /// Interconnect model.
+  msg::Network network = msg::Network::kSwitched;
+  /// Message protocol for the nonblocking path (eager vs rendezvous).
+  msg::Protocol protocol = msg::Protocol::kEager;
+  /// Optional phase timeline (Gantt/CSV output).
+  trace::Timeline* timeline = nullptr;
+  /// Failure injection (tests): lose the N-th message on the wire
+  /// (-1 = off).  Lets tests verify the stall detector below.
+  util::i64 inject_message_loss = -1;
+};
+
+/// Execution outcome.
+struct RunResult {
+  double seconds = 0.0;       ///< simulated completion time
+  sim::Time completion = 0;   ///< same, in ns
+  util::i64 messages = 0;     ///< messages sent
+  util::i64 bytes = 0;        ///< payload bytes sent
+  /// Peak bytes simultaneously in flight — the extra message buffering the
+  /// overlap needs (paper Fig. 6).
+  util::i64 peak_inflight_bytes = 0;
+  /// Total halo storage across ranks (extended minus owned cells, in
+  /// bytes) — the per-node extra space of Fig. 6.
+  util::i64 halo_bytes = 0;
+  std::uint64_t events = 0;   ///< simulator events processed
+  /// Bytes sent per (src rank, dst rank) — the communication matrix.
+  std::map<std::pair<int, int>, util::i64> traffic;
+  /// Functional mode: the assembled global result field.
+  std::optional<loop::DenseField> field;
+};
+
+/// Runs the plan on a simulated cluster with the given machine parameters.
+/// The nest must be the one the plan's tiled space was built from.
+/// Throws util::Error if any rank program stalls (e.g. a lost message or a
+/// scheduling deadlock) instead of silently returning partial results.
+RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
+                   const mach::MachineParams& params,
+                   const RunOptions& opts = {});
+
+/// Convenience: functional run + comparison against the sequential
+/// reference.  Returns the max absolute element difference.
+double run_and_validate(const loop::LoopNest& nest, const TilePlan& plan,
+                        const mach::MachineParams& params);
+
+}  // namespace tilo::exec

@@ -1,0 +1,124 @@
+#include "tilo/lattice/box.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::lat {
+
+Box::Box(Vec lo, Vec hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
+  TILO_REQUIRE(lo_.size() == hi_.size(), "Box lo/hi dimension mismatch: ",
+               lo_.size(), " vs ", hi_.size());
+}
+
+Box Box::from_extents(const Vec& extents) {
+  Vec lo(extents.size(), 0);
+  Vec hi(extents.size());
+  for (std::size_t d = 0; d < extents.size(); ++d) {
+    TILO_REQUIRE(extents[d] >= 0, "negative extent ", extents[d]);
+    hi[d] = extents[d] - 1;
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+bool Box::empty() const {
+  for (std::size_t d = 0; d < dims(); ++d)
+    if (hi_[d] < lo_[d]) return true;
+  return dims() == 0;
+}
+
+i64 Box::extent(std::size_t d) const {
+  TILO_REQUIRE(d < dims(), "Box::extent dim out of range");
+  if (empty()) return 0;
+  return util::checked_add(util::checked_sub(hi_[d], lo_[d]), 1);
+}
+
+Vec Box::extents() const {
+  Vec e(dims());
+  for (std::size_t d = 0; d < dims(); ++d) e[d] = extent(d);
+  return e;
+}
+
+i64 Box::volume() const {
+  if (empty()) return 0;
+  i64 v = 1;
+  for (std::size_t d = 0; d < dims(); ++d)
+    v = util::checked_mul(v, extent(d));
+  return v;
+}
+
+bool Box::contains(const Vec& p) const {
+  TILO_REQUIRE(p.size() == dims(), "Box::contains dimension mismatch");
+  for (std::size_t d = 0; d < dims(); ++d)
+    if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
+  return !empty();
+}
+
+Box Box::intersect(const Box& o) const {
+  TILO_REQUIRE(dims() == o.dims(), "Box::intersect dimension mismatch");
+  Vec lo(dims());
+  Vec hi(dims());
+  for (std::size_t d = 0; d < dims(); ++d) {
+    lo[d] = std::max(lo_[d], o.lo_[d]);
+    hi[d] = std::min(hi_[d], o.hi_[d]);
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+Box Box::shifted(const Vec& delta) const {
+  return Box(lo_ + delta, hi_ + delta);
+}
+
+Box Box::clamped_dim(std::size_t d, i64 a, i64 b) const {
+  TILO_REQUIRE(d < dims(), "clamped_dim out of range");
+  Box out = *this;
+  Vec lo = lo_;
+  Vec hi = hi_;
+  lo[d] = std::max(lo[d], a);
+  hi[d] = std::min(hi[d], b);
+  return Box(std::move(lo), std::move(hi));
+}
+
+void Box::for_each_point(const std::function<void(const Vec&)>& fn) const {
+  if (empty()) return;
+  Vec p = lo_;
+  const std::size_t n = dims();
+  while (true) {
+    fn(p);
+    // Row-major increment: last dimension fastest.
+    std::size_t d = n;
+    while (d > 0) {
+      --d;
+      if (p[d] < hi_[d]) {
+        ++p[d];
+        break;
+      }
+      p[d] = lo_[d];
+      if (d == 0) return;
+    }
+    if (n == 0) return;
+  }
+}
+
+i64 Box::linear_index(const Vec& p) const {
+  TILO_REQUIRE(contains(p), "linear_index of point outside box");
+  i64 idx = 0;
+  for (std::size_t d = 0; d < dims(); ++d)
+    idx = util::checked_add(util::checked_mul(idx, extent(d)),
+                            util::checked_sub(p[d], lo_[d]));
+  return idx;
+}
+
+std::string Box::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  return os << '[' << b.lo() << " .. " << b.hi() << ']';
+}
+
+}  // namespace tilo::lat

@@ -1,0 +1,71 @@
+// Integer hyper-rectangles (boxes).  Iteration spaces, tiles and halo
+// regions are all boxes; the executors do their region arithmetic here.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "tilo/lattice/vec.hpp"
+
+namespace tilo::lat {
+
+/// An axis-aligned integer box [lo, hi] with *inclusive* bounds, matching
+/// the paper's l_i <= j_i <= u_i loop-bound convention.  A box where any
+/// hi[i] < lo[i] is empty.
+class Box {
+ public:
+  Box() = default;
+  Box(Vec lo, Vec hi);
+
+  /// Box [0, extent-1] in every dimension.
+  static Box from_extents(const Vec& extents);
+
+  std::size_t dims() const { return lo_.size(); }
+  const Vec& lo() const { return lo_; }
+  const Vec& hi() const { return hi_; }
+
+  bool empty() const;
+
+  /// Extent along dimension d: hi[d] - lo[d] + 1 (0 when empty).
+  i64 extent(std::size_t d) const;
+  /// All extents as a vector.
+  Vec extents() const;
+
+  /// Number of lattice points (0 when empty); overflow-checked.
+  i64 volume() const;
+
+  bool contains(const Vec& p) const;
+
+  /// Intersection (possibly empty).
+  Box intersect(const Box& o) const;
+
+  /// Box translated by +delta.
+  Box shifted(const Vec& delta) const;
+
+  /// Box clamped so dimension d spans [lo, hi] ∩ [a, b].
+  Box clamped_dim(std::size_t d, i64 a, i64 b) const;
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+  friend bool operator!=(const Box& a, const Box& b) { return !(a == b); }
+
+  /// Visits every point in row-major order (last dimension fastest) — the
+  /// sequential execution order of the loop nest.
+  void for_each_point(const std::function<void(const Vec&)>& fn) const;
+
+  /// Row-major linear offset of p relative to lo(); p must be inside.
+  i64 linear_index(const Vec& p) const;
+
+  std::string str() const;
+
+ private:
+  Vec lo_;
+  Vec hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Box& b);
+
+}  // namespace tilo::lat

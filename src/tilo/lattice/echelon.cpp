@@ -1,0 +1,93 @@
+#include "tilo/lattice/echelon.hpp"
+
+#include "tilo/lattice/ratmat.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::lat {
+
+namespace {
+
+void swap_cols(Mat& m, std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t r = 0; r < m.rows(); ++r) std::swap(m(r, a), m(r, b));
+}
+
+void negate_col(Mat& m, std::size_t c) {
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    m(r, c) = util::checked_sub(0, m(r, c));
+}
+
+/// col_dst -= q * col_src.
+void axpy_col(Mat& m, std::size_t dst, std::size_t src, i64 q) {
+  if (q == 0) return;
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    m(r, dst) = util::checked_sub(m(r, dst),
+                                  util::checked_mul(q, m(r, src)));
+}
+
+}  // namespace
+
+ColumnEchelon column_echelon(const Mat& a) {
+  ColumnEchelon out{a, Mat::identity(a.cols()), 0};
+  Mat& h = out.h;
+  Mat& u = out.u;
+
+  std::size_t col = 0;
+  for (std::size_t row = 0; row < a.rows() && col < a.cols(); ++row) {
+    // Euclidean elimination across columns col..end in this row.
+    while (true) {
+      // Find the column with the smallest nonzero |entry| in this row.
+      std::size_t best = a.cols();
+      for (std::size_t j = col; j < a.cols(); ++j) {
+        if (h(row, j) == 0) continue;
+        if (best == a.cols() ||
+            std::abs(h(row, j)) < std::abs(h(row, best)))
+          best = j;
+      }
+      if (best == a.cols()) break;  // row is all zero from col on
+      swap_cols(h, col, best);
+      swap_cols(u, col, best);
+      if (h(row, col) < 0) {
+        negate_col(h, col);
+        negate_col(u, col);
+      }
+      // Reduce every other column in this row modulo the pivot.
+      bool clean = true;
+      for (std::size_t j = col + 1; j < a.cols(); ++j) {
+        const i64 q = util::floor_div(h(row, j), h(row, col));
+        axpy_col(h, j, col, q);
+        axpy_col(u, j, col, q);
+        if (h(row, j) != 0) clean = false;
+      }
+      if (clean) {
+        ++col;
+        ++out.rank;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t int_rank(const Mat& a) { return column_echelon(a).rank; }
+
+Mat unimodular_complete(const Vec& v) {
+  TILO_REQUIRE(!v.is_zero(), "cannot complete the zero vector");
+  i64 g = 0;
+  for (i64 x : v) g = util::gcd(g, x);
+  TILO_REQUIRE(g == 1, "unimodular completion needs gcd(v) = 1, got ", g);
+
+  // Column-reduce the 1 x n matrix v to (1, 0, ..., 0): v · U = e_1^T,
+  // hence the first row of U^{-1} is v, and U^{-1} is integral because U
+  // is unimodular.
+  Mat row(1, v.size());
+  for (std::size_t c = 0; c < v.size(); ++c) row(0, c) = v[c];
+  const ColumnEchelon ech = column_echelon(row);
+  TILO_ASSERT(ech.rank == 1 && ech.h(0, 0) == 1,
+              "echelon of a gcd-1 row must pivot at 1");
+  const Mat m = RatMat(ech.u).inverse().as_integer();
+  TILO_ASSERT(m.row(0) == v, "completion lost the input vector");
+  return m;
+}
+
+}  // namespace tilo::lat

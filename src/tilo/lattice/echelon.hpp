@@ -1,0 +1,34 @@
+// Integer column-echelon decomposition (Hermite-style) and unimodular
+// completions — the lattice algebra behind independent partitioning
+// (Shang & Fortes [9], cited in the paper's introduction) and space-time
+// mapping completions.
+#pragma once
+
+#include "tilo/lattice/mat.hpp"
+
+namespace tilo::lat {
+
+/// Result of a column-echelon reduction A·U = H with U unimodular.
+struct ColumnEchelon {
+  Mat h;             ///< lower-trapezoidal echelon form
+  Mat u;             ///< unimodular column-operation accumulator
+  std::size_t rank;  ///< number of nonzero columns of h
+};
+
+/// Reduces A by unimodular column operations (swap, negate, add integer
+/// multiples) to column-echelon form: in each nonzero column the topmost
+/// nonzero entry (its pivot) is positive, pivot rows strictly increase
+/// left to right, and every entry right of a pivot in its row is zero.
+/// Zero columns are moved to the end.  A may be any shape.
+ColumnEchelon column_echelon(const Mat& a);
+
+/// The rank of an integer matrix (over Q; echelon pivot count).
+std::size_t int_rank(const Mat& a);
+
+/// A unimodular matrix whose first row is `v`.  Requires gcd(v) == 1
+/// (otherwise no unimodular completion exists); throws when violated or
+/// when v is zero.  Used to complete a schedule vector Π into a full
+/// space-time coordinate transformation.
+Mat unimodular_complete(const Vec& v);
+
+}  // namespace tilo::lat

@@ -1,0 +1,208 @@
+#include "tilo/lattice/mat.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::lat {
+
+Mat::Mat(std::initializer_list<std::initializer_list<i64>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  a_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    TILO_REQUIRE(r.size() == cols_, "ragged matrix initializer");
+    a_.insert(a_.end(), r.begin(), r.end());
+  }
+}
+
+Mat Mat::identity(std::size_t n) {
+  Mat m(n, n, 0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1;
+  return m;
+}
+
+Mat Mat::diagonal(const Vec& d) {
+  Mat m(d.size(), d.size(), 0);
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Mat Mat::from_columns(const std::vector<Vec>& cols) {
+  TILO_REQUIRE(!cols.empty(), "from_columns with no columns");
+  const std::size_t n = cols.front().size();
+  Mat m(n, cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    TILO_REQUIRE(cols[c].size() == n, "from_columns: ragged column sizes");
+    for (std::size_t r = 0; r < n; ++r) m(r, c) = cols[c][r];
+  }
+  return m;
+}
+
+i64 Mat::at(std::size_t r, std::size_t c) const {
+  TILO_REQUIRE(r < rows_ && c < cols_, "Mat::at(", r, ", ", c,
+               ") out of range ", rows_, "x", cols_);
+  return (*this)(r, c);
+}
+
+Vec Mat::row(std::size_t r) const {
+  TILO_REQUIRE(r < rows_, "row index out of range");
+  Vec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vec Mat::col(std::size_t c) const {
+  TILO_REQUIRE(c < cols_, "col index out of range");
+  Vec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+std::vector<Vec> Mat::columns() const {
+  std::vector<Vec> out;
+  out.reserve(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out.push_back(col(c));
+  return out;
+}
+
+Mat Mat::transpose() const {
+  Mat t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Mat Mat::without_col(std::size_t drop) const {
+  TILO_REQUIRE(drop < cols_, "without_col index out of range");
+  Mat m(rows_, cols_ - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::size_t out = 0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c == drop) continue;
+      m(r, out++) = (*this)(r, c);
+    }
+  }
+  return m;
+}
+
+Mat Mat::without_row(std::size_t drop) const {
+  TILO_REQUIRE(drop < rows_, "without_row index out of range");
+  Mat m(rows_ - 1, cols_);
+  std::size_t out = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r == drop) continue;
+    for (std::size_t c = 0; c < cols_; ++c) m(out, c) = (*this)(r, c);
+    ++out;
+  }
+  return m;
+}
+
+Mat operator+(const Mat& a, const Mat& b) {
+  TILO_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+               "Mat add shape mismatch");
+  Mat m(a.rows_, a.cols_);
+  for (std::size_t i = 0; i < m.a_.size(); ++i)
+    m.a_[i] = util::checked_add(a.a_[i], b.a_[i]);
+  return m;
+}
+
+Mat operator-(const Mat& a, const Mat& b) {
+  TILO_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+               "Mat sub shape mismatch");
+  Mat m(a.rows_, a.cols_);
+  for (std::size_t i = 0; i < m.a_.size(); ++i)
+    m.a_[i] = util::checked_sub(a.a_[i], b.a_[i]);
+  return m;
+}
+
+Mat operator*(const Mat& a, const Mat& b) {
+  TILO_REQUIRE(a.cols_ == b.rows_, "Mat mul shape mismatch: ", a.cols_,
+               " vs ", b.rows_);
+  Mat m(a.rows_, b.cols_, 0);
+  for (std::size_t r = 0; r < a.rows_; ++r)
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const i64 arx = a(r, k);
+      if (arx == 0) continue;
+      for (std::size_t c = 0; c < b.cols_; ++c)
+        m(r, c) = util::checked_add(m(r, c), util::checked_mul(arx, b(k, c)));
+    }
+  return m;
+}
+
+Vec operator*(const Mat& a, const Vec& x) {
+  TILO_REQUIRE(a.cols_ == x.size(), "Mat*Vec shape mismatch");
+  Vec y(a.rows_);
+  for (std::size_t r = 0; r < a.rows_; ++r) {
+    i64 acc = 0;
+    for (std::size_t c = 0; c < a.cols_; ++c)
+      acc = util::checked_add(acc, util::checked_mul(a(r, c), x[c]));
+    y[r] = acc;
+  }
+  return y;
+}
+
+Mat operator*(const Mat& a, i64 s) {
+  Mat m = a;
+  for (auto& x : m.a_) x = util::checked_mul(x, s);
+  return m;
+}
+
+bool operator==(const Mat& a, const Mat& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.a_ == b.a_;
+}
+
+i64 Mat::det() const {
+  TILO_REQUIRE(is_square(), "det of non-square matrix");
+  const std::size_t n = rows_;
+  if (n == 0) return 1;
+  // Bareiss fraction-free elimination: every division below is exact.
+  Mat w = *this;
+  i64 sign = 1;
+  i64 prev = 1;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    if (w(k, k) == 0) {
+      std::size_t pivot = k + 1;
+      while (pivot < n && w(pivot, k) == 0) ++pivot;
+      if (pivot == n) return 0;
+      for (std::size_t c = 0; c < n; ++c) std::swap(w(k, c), w(pivot, c));
+      sign = -sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j < n; ++j) {
+        const i64 num = util::checked_sub(
+            util::checked_mul(w(i, j), w(k, k)),
+            util::checked_mul(w(i, k), w(k, j)));
+        TILO_ASSERT(num % prev == 0, "Bareiss division not exact");
+        w(i, j) = num / prev;
+      }
+      w(i, k) = 0;
+    }
+    prev = w(k, k);
+  }
+  return util::checked_mul(sign, w(n - 1, n - 1));
+}
+
+bool Mat::is_nonneg() const {
+  for (i64 x : a_)
+    if (x < 0) return false;
+  return true;
+}
+
+std::string Mat::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Mat& m) {
+  os << '[';
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (r) os << "; ";
+    os << m.row(r);
+  }
+  return os << ']';
+}
+
+}  // namespace tilo::lat

@@ -1,0 +1,76 @@
+// Dense integer matrices — dependence matrices D, integer side matrices P.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tilo/lattice/vec.hpp"
+
+namespace tilo::lat {
+
+/// A dense row-major int64 matrix with exact arithmetic.  Dependence sets are
+/// stored with one dependence vector per *column*, matching the paper's
+/// D = [d_1 d_2 ... d_m] convention.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, i64 fill = 0)
+      : rows_(rows), cols_(cols), a_(rows * cols, fill) {}
+  /// Row-major initializer: Mat{{1, 0}, {0, 1}}.
+  Mat(std::initializer_list<std::initializer_list<i64>> rows);
+
+  static Mat identity(std::size_t n);
+  /// Diagonal matrix from a vector.
+  static Mat diagonal(const Vec& d);
+  /// Matrix whose columns are the given vectors (all of equal size).
+  static Mat from_columns(const std::vector<Vec>& cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool is_square() const { return rows_ == cols_; }
+
+  i64& operator()(std::size_t r, std::size_t c) { return a_[r * cols_ + c]; }
+  i64 operator()(std::size_t r, std::size_t c) const {
+    return a_[r * cols_ + c];
+  }
+  /// Bounds-checked access.
+  i64 at(std::size_t r, std::size_t c) const;
+
+  Vec row(std::size_t r) const;
+  Vec col(std::size_t c) const;
+  std::vector<Vec> columns() const;
+
+  Mat transpose() const;
+  /// Copy with column c removed — the paper's H_{-x} construction (eq. 2).
+  Mat without_col(std::size_t c) const;
+  /// Copy with row r removed.
+  Mat without_row(std::size_t r) const;
+
+  friend Mat operator+(const Mat& a, const Mat& b);
+  friend Mat operator-(const Mat& a, const Mat& b);
+  friend Mat operator*(const Mat& a, const Mat& b);
+  friend Vec operator*(const Mat& a, const Vec& x);
+  friend Mat operator*(const Mat& a, i64 s);
+  friend bool operator==(const Mat& a, const Mat& b);
+  friend bool operator!=(const Mat& a, const Mat& b) { return !(a == b); }
+
+  /// Exact determinant via fraction-free Bareiss elimination.  Square only.
+  i64 det() const;
+
+  /// True if all entries are >= 0 (the legality test HD >= 0 uses this).
+  bool is_nonneg() const;
+
+  /// "[ (r0) ; (r1) ; ... ]" rendering.
+  std::string str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<i64> a_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Mat& m);
+
+}  // namespace tilo::lat

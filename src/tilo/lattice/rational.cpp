@@ -1,0 +1,74 @@
+#include "tilo/lattice/rational.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace tilo::lat {
+
+Rat::Rat(i64 num, i64 den) : num_(num), den_(den) {
+  TILO_REQUIRE(den_ != 0, "rational with zero denominator");
+  if (den_ < 0) {
+    num_ = util::checked_sub(0, num_);
+    den_ = util::checked_sub(0, den_);
+  }
+  const i64 g = util::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+i64 Rat::as_integer() const {
+  TILO_REQUIRE(den_ == 1, "rational ", str(), " is not an integer");
+  return num_;
+}
+
+Rat Rat::operator-() const { return Rat(util::checked_sub(0, num_), den_); }
+
+Rat operator+(const Rat& a, const Rat& b) {
+  // a.num/a.den + b.num/b.den over lcm denominator to keep magnitudes small.
+  const i64 g = util::gcd(a.den_, b.den_);
+  const i64 bs = b.den_ / g;
+  const i64 as = a.den_ / g;
+  const i64 num = util::checked_add(util::checked_mul(a.num_, bs),
+                                    util::checked_mul(b.num_, as));
+  const i64 den = util::checked_mul(a.den_, bs);
+  return Rat(num, den);
+}
+
+Rat operator-(const Rat& a, const Rat& b) { return a + (-b); }
+
+Rat operator*(const Rat& a, const Rat& b) {
+  // Cross-cancel before multiplying to avoid overflow.
+  const i64 g1 = util::gcd(a.num_, b.den_);
+  const i64 g2 = util::gcd(b.num_, a.den_);
+  const i64 num =
+      util::checked_mul(a.num_ / (g1 ? g1 : 1), b.num_ / (g2 ? g2 : 1));
+  const i64 den =
+      util::checked_mul(a.den_ / (g2 ? g2 : 1), b.den_ / (g1 ? g1 : 1));
+  return Rat(num, den);
+}
+
+Rat operator/(const Rat& a, const Rat& b) {
+  TILO_REQUIRE(!b.is_zero(), "rational division by zero");
+  return a * Rat(b.den_, b.num_);
+}
+
+bool operator<(const Rat& a, const Rat& b) {
+  // a.num * b.den < b.num * a.den (denominators positive).
+  return util::checked_mul(a.num_, b.den_) < util::checked_mul(b.num_, a.den_);
+}
+
+std::string Rat::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rat& r) {
+  os << r.num();
+  if (r.den() != 1) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace tilo::lat

@@ -1,0 +1,73 @@
+// Exact rational arithmetic — entries of H and H^{-1} are rationals.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tilo/util/math.hpp"
+
+namespace tilo::lat {
+
+using util::i64;
+
+/// An exact rational number num/den with den > 0, always kept normalized
+/// (gcd(num, den) == 1).  All operations are overflow-checked.
+class Rat {
+ public:
+  /// Zero.
+  constexpr Rat() : num_(0), den_(1) {}
+  /// Integer n/1.
+  Rat(i64 n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+  /// num/den; den must be nonzero (sign is normalized onto num).
+  Rat(i64 num, i64 den);
+
+  i64 num() const { return num_; }
+  i64 den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_integer() const { return den_ == 1; }
+  int sign() const { return num_ > 0 ? 1 : (num_ < 0 ? -1 : 0); }
+
+  /// ⌊num/den⌋ — the floor used by the supernode map r(j) = ⌊Hj⌋.
+  i64 floor() const { return util::floor_div(num_, den_); }
+  /// ⌈num/den⌉.
+  i64 ceil() const { return util::ceil_div(num_, den_); }
+
+  /// Exact integer value; throws when not an integer.
+  i64 as_integer() const;
+
+  /// Approximate double value (for cost models / plots only).
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  Rat operator-() const;
+  friend Rat operator+(const Rat& a, const Rat& b);
+  friend Rat operator-(const Rat& a, const Rat& b);
+  friend Rat operator*(const Rat& a, const Rat& b);
+  friend Rat operator/(const Rat& a, const Rat& b);
+  Rat& operator+=(const Rat& o) { return *this = *this + o; }
+  Rat& operator-=(const Rat& o) { return *this = *this - o; }
+  Rat& operator*=(const Rat& o) { return *this = *this * o; }
+  Rat& operator/=(const Rat& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rat& a, const Rat& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rat& a, const Rat& b) { return !(a == b); }
+  friend bool operator<(const Rat& a, const Rat& b);
+  friend bool operator<=(const Rat& a, const Rat& b) { return !(b < a); }
+  friend bool operator>(const Rat& a, const Rat& b) { return b < a; }
+  friend bool operator>=(const Rat& a, const Rat& b) { return !(a < b); }
+
+  /// "num/den" (or just "num" for integers).
+  std::string str() const;
+
+ private:
+  i64 num_;
+  i64 den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rat& r);
+
+}  // namespace tilo::lat

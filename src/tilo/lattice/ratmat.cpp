@@ -1,0 +1,200 @@
+#include "tilo/lattice/ratmat.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::lat {
+
+RatVec::RatVec(const Vec& v) : v_(v.size()) {
+  for (std::size_t i = 0; i < v.size(); ++i) v_[i] = Rat(v[i]);
+}
+
+Vec RatVec::floor() const {
+  Vec out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = v_[i].floor();
+  return out;
+}
+
+bool RatVec::is_integral() const {
+  for (const Rat& r : v_)
+    if (!r.is_integer()) return false;
+  return true;
+}
+
+Vec RatVec::as_integer() const {
+  Vec out(size());
+  for (std::size_t i = 0; i < size(); ++i) out[i] = v_[i].as_integer();
+  return out;
+}
+
+RatVec operator+(const RatVec& a, const RatVec& b) {
+  TILO_REQUIRE(a.size() == b.size(), "RatVec add size mismatch");
+  RatVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+RatVec operator-(const RatVec& a, const RatVec& b) {
+  TILO_REQUIRE(a.size() == b.size(), "RatVec sub size mismatch");
+  RatVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::string RatVec::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+RatMat::RatMat(const Mat& m) : rows_(m.rows()), cols_(m.cols()),
+                               a_(m.rows() * m.cols()) {
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = Rat(m(r, c));
+}
+
+RatMat RatMat::identity(std::size_t n) {
+  RatMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = Rat(1);
+  return m;
+}
+
+RatMat operator*(const RatMat& a, const RatMat& b) {
+  TILO_REQUIRE(a.cols_ == b.rows_, "RatMat mul shape mismatch");
+  RatMat m(a.rows_, b.cols_);
+  for (std::size_t r = 0; r < a.rows_; ++r)
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const Rat& arx = a(r, k);
+      if (arx.is_zero()) continue;
+      for (std::size_t c = 0; c < b.cols_; ++c)
+        m(r, c) += arx * b(k, c);
+    }
+  return m;
+}
+
+RatVec operator*(const RatMat& a, const RatVec& x) {
+  TILO_REQUIRE(a.cols_ == x.size(), "RatMat*RatVec shape mismatch");
+  RatVec y(a.rows_);
+  for (std::size_t r = 0; r < a.rows_; ++r) {
+    Rat acc;
+    for (std::size_t c = 0; c < a.cols_; ++c) acc += a(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+RatVec operator*(const RatMat& a, const Vec& x) { return a * RatVec(x); }
+
+bool operator==(const RatMat& a, const RatMat& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.a_ == b.a_;
+}
+
+Rat RatMat::det() const {
+  TILO_REQUIRE(is_square(), "det of non-square matrix");
+  const std::size_t n = rows_;
+  if (n == 0) return Rat(1);
+  RatMat w = *this;
+  Rat result(1);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    while (pivot < n && w(pivot, k).is_zero()) ++pivot;
+    if (pivot == n) return Rat(0);
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(w(k, c), w(pivot, c));
+      result = -result;
+    }
+    result *= w(k, k);
+    const Rat inv = Rat(1) / w(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const Rat f = w(i, k) * inv;
+      if (f.is_zero()) continue;
+      for (std::size_t c = k; c < n; ++c) w(i, c) -= f * w(k, c);
+    }
+  }
+  return result;
+}
+
+RatMat RatMat::inverse() const {
+  TILO_REQUIRE(is_square(), "inverse of non-square matrix");
+  const std::size_t n = rows_;
+  RatMat w = *this;
+  RatMat inv = RatMat::identity(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    while (pivot < n && w(pivot, k).is_zero()) ++pivot;
+    TILO_REQUIRE(pivot < n, "matrix is singular, no inverse");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(w(k, c), w(pivot, c));
+        std::swap(inv(k, c), inv(pivot, c));
+      }
+    }
+    const Rat s = Rat(1) / w(k, k);
+    for (std::size_t c = 0; c < n; ++c) {
+      w(k, c) *= s;
+      inv(k, c) *= s;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == k || w(i, k).is_zero()) continue;
+      const Rat f = w(i, k);
+      for (std::size_t c = 0; c < n; ++c) {
+        w(i, c) -= f * w(k, c);
+        inv(i, c) -= f * inv(k, c);
+      }
+    }
+  }
+  return inv;
+}
+
+bool RatMat::is_integral() const {
+  for (const Rat& r : a_)
+    if (!r.is_integer()) return false;
+  return true;
+}
+
+Mat RatMat::as_integer() const {
+  Mat out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out(r, c) = (*this)(r, c).as_integer();
+  return out;
+}
+
+bool RatMat::is_nonneg() const {
+  for (const Rat& r : a_)
+    if (r.sign() < 0) return false;
+  return true;
+}
+
+std::string RatMat::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const RatVec& v) {
+  os << '(';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  return os << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const RatMat& m) {
+  os << '[';
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (r) os << "; ";
+    os << '(';
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c) os << ", ";
+      os << m(r, c);
+    }
+    os << ')';
+  }
+  return os << ']';
+}
+
+}  // namespace tilo::lat

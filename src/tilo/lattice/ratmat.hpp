@@ -1,0 +1,99 @@
+// Rational vectors and matrices — the tiling matrix H itself is rational
+// (H = P^{-1} with integer side matrix P), and the supernode map needs the
+// exact floor ⌊Hj⌋.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tilo/lattice/mat.hpp"
+#include "tilo/lattice/rational.hpp"
+
+namespace tilo::lat {
+
+/// Dense vector of exact rationals.
+class RatVec {
+ public:
+  RatVec() = default;
+  explicit RatVec(std::size_t n) : v_(n) {}
+  explicit RatVec(std::vector<Rat> v) : v_(std::move(v)) {}
+  /// Promotes an integer vector.
+  explicit RatVec(const Vec& v);
+
+  std::size_t size() const { return v_.size(); }
+  Rat& operator[](std::size_t i) { return v_[i]; }
+  const Rat& operator[](std::size_t i) const { return v_[i]; }
+
+  /// Component-wise floor: ⌊v⌋ — exact.
+  Vec floor() const;
+  /// True when every component is an integer.
+  bool is_integral() const;
+  /// Exact integer vector; throws when any component is fractional.
+  Vec as_integer() const;
+
+  friend RatVec operator+(const RatVec& a, const RatVec& b);
+  friend RatVec operator-(const RatVec& a, const RatVec& b);
+  friend bool operator==(const RatVec& a, const RatVec& b) {
+    return a.v_ == b.v_;
+  }
+
+  std::string str() const;
+
+ private:
+  std::vector<Rat> v_;
+};
+
+/// Dense matrix of exact rationals with inverse and determinant.
+class RatMat {
+ public:
+  RatMat() = default;
+  RatMat(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols),
+                                               a_(rows * cols) {}
+  /// Promotes an integer matrix.
+  explicit RatMat(const Mat& m);
+
+  static RatMat identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool is_square() const { return rows_ == cols_; }
+
+  Rat& operator()(std::size_t r, std::size_t c) { return a_[r * cols_ + c]; }
+  const Rat& operator()(std::size_t r, std::size_t c) const {
+    return a_[r * cols_ + c];
+  }
+
+  friend RatMat operator*(const RatMat& a, const RatMat& b);
+  friend RatVec operator*(const RatMat& a, const RatVec& x);
+  friend RatVec operator*(const RatMat& a, const Vec& x);
+  friend bool operator==(const RatMat& a, const RatMat& b);
+  friend bool operator!=(const RatMat& a, const RatMat& b) {
+    return !(a == b);
+  }
+
+  /// Exact determinant (Gauss elimination over Q).
+  Rat det() const;
+
+  /// Exact inverse; throws when singular.
+  RatMat inverse() const;
+
+  /// True when every entry is an integer.
+  bool is_integral() const;
+  /// Exact integer matrix; throws when any entry is fractional.
+  Mat as_integer() const;
+  /// True when every entry is >= 0.
+  bool is_nonneg() const;
+
+  std::string str() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Rat> a_;
+};
+
+std::ostream& operator<<(std::ostream& os, const RatVec& v);
+std::ostream& operator<<(std::ostream& os, const RatMat& m);
+
+}  // namespace tilo::lat

@@ -1,0 +1,108 @@
+#include "tilo/lattice/vec.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::lat {
+
+i64 Vec::at(std::size_t i) const {
+  TILO_REQUIRE(i < v_.size(), "Vec::at(", i, ") out of range, size ",
+               v_.size());
+  return v_[i];
+}
+
+i64& Vec::at(std::size_t i) {
+  TILO_REQUIRE(i < v_.size(), "Vec::at(", i, ") out of range, size ",
+               v_.size());
+  return v_[i];
+}
+
+Vec& Vec::operator+=(const Vec& o) {
+  TILO_REQUIRE(size() == o.size(), "Vec add size mismatch: ", size(), " vs ",
+               o.size());
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    v_[i] = util::checked_add(v_[i], o.v_[i]);
+  return *this;
+}
+
+Vec& Vec::operator-=(const Vec& o) {
+  TILO_REQUIRE(size() == o.size(), "Vec sub size mismatch: ", size(), " vs ",
+               o.size());
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    v_[i] = util::checked_sub(v_[i], o.v_[i]);
+  return *this;
+}
+
+Vec& Vec::operator*=(i64 s) {
+  for (auto& x : v_) x = util::checked_mul(x, s);
+  return *this;
+}
+
+Vec Vec::operator-() const {
+  Vec out(size());
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    out[i] = util::checked_sub(0, v_[i]);
+  return out;
+}
+
+i64 Vec::dot(const Vec& o) const {
+  TILO_REQUIRE(size() == o.size(), "Vec dot size mismatch: ", size(), " vs ",
+               o.size());
+  i64 acc = 0;
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    acc = util::checked_add(acc, util::checked_mul(v_[i], o.v_[i]));
+  return acc;
+}
+
+i64 Vec::sum() const {
+  i64 acc = 0;
+  for (i64 x : v_) acc = util::checked_add(acc, x);
+  return acc;
+}
+
+bool Vec::is_zero() const {
+  for (i64 x : v_)
+    if (x != 0) return false;
+  return true;
+}
+
+bool Vec::is_nonneg() const {
+  for (i64 x : v_)
+    if (x < 0) return false;
+  return true;
+}
+
+bool Vec::lex_less(const Vec& o) const {
+  TILO_REQUIRE(size() == o.size(), "lex_less size mismatch");
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] != o.v_[i]) return v_[i] < o.v_[i];
+  }
+  return false;
+}
+
+bool Vec::lex_positive() const {
+  for (i64 x : v_) {
+    if (x > 0) return true;
+    if (x < 0) return false;
+  }
+  return false;
+}
+
+std::string Vec::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec& v) {
+  os << '(';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  return os << ')';
+}
+
+}  // namespace tilo::lat

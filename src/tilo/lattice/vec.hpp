@@ -1,0 +1,82 @@
+// Dense integer vectors — index points, dependence vectors, schedule vectors.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tilo/util/math.hpp"
+
+namespace tilo::lat {
+
+using util::i64;
+
+/// A dense vector of int64 components with exact (overflow-checked)
+/// arithmetic.  Used for iteration points j, dependence vectors d and
+/// schedule vectors Π throughout the library.
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(std::size_t n, i64 fill = 0) : v_(n, fill) {}
+  Vec(std::initializer_list<i64> init) : v_(init) {}
+  explicit Vec(std::vector<i64> init) : v_(std::move(init)) {}
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+
+  i64& operator[](std::size_t i) { return v_[i]; }
+  i64 operator[](std::size_t i) const { return v_[i]; }
+
+  /// Bounds-checked access; throws util::Error when out of range.
+  i64 at(std::size_t i) const;
+  i64& at(std::size_t i);
+
+  auto begin() { return v_.begin(); }
+  auto end() { return v_.end(); }
+  auto begin() const { return v_.begin(); }
+  auto end() const { return v_.end(); }
+
+  const std::vector<i64>& data() const { return v_; }
+
+  Vec& operator+=(const Vec& o);
+  Vec& operator-=(const Vec& o);
+  Vec& operator*=(i64 s);
+
+  friend Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend Vec operator*(Vec a, i64 s) { return a *= s; }
+  friend Vec operator*(i64 s, Vec a) { return a *= s; }
+  Vec operator-() const;
+
+  friend bool operator==(const Vec& a, const Vec& b) { return a.v_ == b.v_; }
+  friend bool operator!=(const Vec& a, const Vec& b) { return !(a == b); }
+
+  /// Inner product; sizes must match.
+  i64 dot(const Vec& o) const;
+
+  /// Sum of components.
+  i64 sum() const;
+
+  /// True if every component is zero.
+  bool is_zero() const;
+
+  /// True if every component is >= 0.
+  bool is_nonneg() const;
+
+  /// Strict lexicographic order (the legality order of dependence vectors).
+  bool lex_less(const Vec& o) const;
+
+  /// True if the vector is lexicographically positive (first nonzero > 0).
+  bool lex_positive() const;
+
+  /// "(a, b, c)" rendering.
+  std::string str() const;
+
+ private:
+  std::vector<i64> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Vec& v);
+
+}  // namespace tilo::lat

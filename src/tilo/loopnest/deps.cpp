@@ -1,0 +1,54 @@
+#include "tilo/loopnest/deps.hpp"
+
+#include <sstream>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::loop {
+
+DependenceSet::DependenceSet(std::vector<Vec> deps) : deps_(std::move(deps)) {
+  for (const Vec& d : deps_) {
+    TILO_REQUIRE(d.size() == deps_[0].size(),
+                 "dependence vectors of mixed dimensionality");
+    TILO_REQUIRE(!d.is_zero(), "zero dependence vector");
+    TILO_REQUIRE(d.lex_positive(),
+                 "dependence vector ", d.str(),
+                 " is not lexicographically positive");
+  }
+}
+
+Mat DependenceSet::as_matrix() const {
+  TILO_REQUIRE(!deps_.empty(), "dependence matrix of empty set");
+  return Mat::from_columns(deps_);
+}
+
+i64 DependenceSet::max_component(std::size_t dim) const {
+  i64 m = 0;
+  for (const Vec& d : deps_) m = std::max(m, d.at(dim));
+  return m;
+}
+
+bool DependenceSet::touches_dim(std::size_t dim) const {
+  for (const Vec& d : deps_)
+    if (d.at(dim) != 0) return true;
+  return false;
+}
+
+bool DependenceSet::is_nonneg() const {
+  for (const Vec& d : deps_)
+    if (!d.is_nonneg()) return false;
+  return true;
+}
+
+std::string DependenceSet::str() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < deps_.size(); ++i) {
+    if (i) os << ", ";
+    os << deps_[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace tilo::loop

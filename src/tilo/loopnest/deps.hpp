@@ -1,0 +1,56 @@
+// Uniform (constant) loop-carried dependence sets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tilo/lattice/mat.hpp"
+#include "tilo/lattice/vec.hpp"
+
+namespace tilo::loop {
+
+using lat::Mat;
+using lat::Vec;
+using util::i64;
+
+/// The dependence set D = {d_1, ..., d_m} of a perfectly nested loop with
+/// uniform dependencies.  A dependence d means iteration j reads the value
+/// produced by iteration j - d, so every d must be lexicographically
+/// positive for the sequential nest to be well defined.
+class DependenceSet {
+ public:
+  DependenceSet() = default;
+  /// Validates every vector: same dimensionality, nonzero, lex-positive.
+  explicit DependenceSet(std::vector<Vec> deps);
+
+  std::size_t size() const { return deps_.size(); }
+  bool empty() const { return deps_.empty(); }
+  std::size_t dims() const { return deps_.empty() ? 0 : deps_[0].size(); }
+
+  const Vec& operator[](std::size_t i) const { return deps_[i]; }
+  const std::vector<Vec>& vectors() const { return deps_; }
+
+  auto begin() const { return deps_.begin(); }
+  auto end() const { return deps_.end(); }
+
+  /// Dependence matrix D with one dependence per column (paper convention).
+  Mat as_matrix() const;
+
+  /// max_i d_i[dim] over all dependences (0 when empty) — the halo width a
+  /// block needs on its low side of `dim`.
+  i64 max_component(std::size_t dim) const;
+
+  /// True when some dependence has a nonzero component along `dim`.
+  bool touches_dim(std::size_t dim) const;
+
+  /// True when all components of all dependences are >= 0 (required for
+  /// rectangular tiling H = diag(1/s) to be legal: HD >= 0).
+  bool is_nonneg() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<Vec> deps_;
+};
+
+}  // namespace tilo::loop

@@ -1,0 +1,133 @@
+#include "tilo/loopnest/kernel.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::loop {
+
+double SqrtSumKernel::boundary(const Vec& j) const {
+  // Mildly point-dependent so schedule bugs shift values detectably.
+  double acc = 1.0;
+  for (std::size_t d = 0; d < j.size(); ++d)
+    acc += 0.125 * static_cast<double>((j[d] % 7 + 7) % 7);
+  return acc;
+}
+
+double SqrtSumKernel::apply(const Vec& /*j*/,
+                            const std::vector<double>& inputs) const {
+  double acc = 0.0;
+  for (double v : inputs) acc += std::sqrt(std::fabs(v));
+  return acc;
+}
+
+std::string SqrtSumKernel::statement() const {
+  return "A(j) = sum_d sqrt(A(j - d))";
+}
+
+std::string SqrtSumKernel::c_expression(
+    const std::vector<std::string>& inputs,
+    const std::vector<std::string>& /*coords*/) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i) os << " + ";
+    os << "sqrt(fabs(" << inputs[i] << "))";
+  }
+  return os.str();
+}
+
+std::string SqrtSumKernel::source_expression(
+    const std::vector<std::string>& refs) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (i) os << " + ";
+    os << "sqrt(" << refs[i] << ")";  // grammar sqrt is sqrt(|x|)
+  }
+  return os.str();
+}
+
+double SumKernel::boundary(const Vec& j) const {
+  double acc = 1.0;
+  for (std::size_t d = 0; d < j.size(); ++d)
+    acc += 0.0625 * static_cast<double>((j[d] % 5 + 5) % 5);
+  return acc;
+}
+
+double SumKernel::apply(const Vec& /*j*/,
+                        const std::vector<double>& inputs) const {
+  double acc = 0.0;
+  for (double v : inputs) acc += v;
+  return acc * scale_;
+}
+
+std::string SumKernel::statement() const {
+  std::ostringstream os;
+  os << "A(j) = " << scale_ << " * sum_d A(j - d)";
+  return os.str();
+}
+
+std::string SumKernel::c_expression(
+    const std::vector<std::string>& inputs,
+    const std::vector<std::string>& /*coords*/) const {
+  std::ostringstream os;
+  os << scale_ << " * (";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i) os << " + ";
+    os << inputs[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string SumKernel::source_expression(
+    const std::vector<std::string>& refs) const {
+  std::ostringstream os;
+  os << scale_ << " * (";
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (i) os << " + ";
+    os << refs[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+WeightedKernel::WeightedKernel(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  TILO_REQUIRE(!weights_.empty(), "WeightedKernel needs at least one weight");
+}
+
+double WeightedKernel::boundary(const Vec& j) const {
+  double acc = 0.5;
+  double f = 0.03125;
+  for (std::size_t d = 0; d < j.size(); ++d) {
+    acc += f * static_cast<double>((j[d] % 11 + 11) % 11);
+    f *= 0.5;
+  }
+  return acc;
+}
+
+double WeightedKernel::apply(const Vec& j,
+                             const std::vector<double>& inputs) const {
+  TILO_REQUIRE(inputs.size() == weights_.size(),
+               "WeightedKernel arity mismatch: ", inputs.size(), " inputs, ",
+               weights_.size(), " weights");
+  // Point-dependent source term keeps values asymmetric across dimensions.
+  double acc = 0.0;
+  for (std::size_t d = 0; d < j.size(); ++d)
+    acc += 1e-3 * static_cast<double>(d + 1) *
+           static_cast<double>((j[d] % 3 + 3) % 3);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    acc += weights_[i] * inputs[i];
+  return acc;
+}
+
+std::string WeightedKernel::statement() const {
+  std::ostringstream os;
+  os << "A(j) = src(j)";
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    os << " + " << weights_[i] << "*A(j - d" << i + 1 << ')';
+  return os.str();
+}
+
+}  // namespace tilo::loop

@@ -1,0 +1,105 @@
+// Functional loop bodies.  A Kernel gives the single assignment statement of
+// the paper's algorithm model: A(j) = E(A(j - d_1), ..., A(j - d_m)).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tilo/lattice/vec.hpp"
+
+namespace tilo::loop {
+
+using lat::Vec;
+
+/// The loop body V0 = E(V1, ..., Vl) of the paper's algorithm model
+/// (Section 2.1).  `inputs[i]` is the value at point j - d_i, where d_i is
+/// the i-th vector of the owning nest's DependenceSet; reads that fall
+/// outside the iteration space receive boundary(j - d_i) instead.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Value of array cells outside the iteration space (initial conditions).
+  virtual double boundary(const Vec& j) const = 0;
+
+  /// The expression E applied at point j.
+  virtual double apply(const Vec& j, const std::vector<double>& inputs)
+      const = 0;
+
+  /// Human-readable statement, e.g. "A(i,j) = A(i-1,j-1)+A(i-1,j)+A(i,j-1)".
+  virtual std::string statement() const = 0;
+
+  /// The body as a C expression over the given input names (one per
+  /// dependence, in dependence order) and coordinate names (one per
+  /// dimension), used by the code generator.  Returns "" when the kernel
+  /// cannot print itself; the generator then emits a plain sum.
+  virtual std::string c_expression(
+      const std::vector<std::string>& inputs,
+      const std::vector<std::string>& coords) const {
+    (void)inputs;
+    (void)coords;
+    return {};
+  }
+
+  /// The body in the parse_nest grammar over the given reference texts
+  /// (e.g. "A(i1-1, i2)"), used by loop::to_source.  "" when the kernel
+  /// has no source form.  Note the grammar's sqrt already means
+  /// sqrt(|x|), matching SqrtSumKernel's semantics.
+  virtual std::string source_expression(
+      const std::vector<std::string>& refs) const {
+    (void)refs;
+    return {};
+  }
+};
+
+/// The paper's experimental kernel (Section 5):
+///   A(i,j,k) = sqrt(A(i-1,j,k)) + sqrt(A(i,j-1,k)) + sqrt(A(i,j,k-1)).
+/// Works for any arity: sums sqrt(|input|) over all dependences.
+class SqrtSumKernel final : public Kernel {
+ public:
+  double boundary(const Vec& j) const override;
+  double apply(const Vec& j, const std::vector<double>& inputs) const override;
+  std::string statement() const override;
+  std::string c_expression(
+      const std::vector<std::string>& inputs,
+      const std::vector<std::string>& coords) const override;
+  std::string source_expression(
+      const std::vector<std::string>& refs) const override;
+};
+
+/// The paper's Example 1 kernel (Section 3):
+///   A(i1,i2) = A(i1-1,i2-1) + A(i1-1,i2) + A(i1,i2-1),
+/// generalized to a plain sum over all dependences, damped so long runs stay
+/// finite.
+class SumKernel final : public Kernel {
+ public:
+  explicit SumKernel(double scale = 0.25) : scale_(scale) {}
+  double boundary(const Vec& j) const override;
+  double apply(const Vec& j, const std::vector<double>& inputs) const override;
+  std::string statement() const override;
+  std::string c_expression(
+      const std::vector<std::string>& inputs,
+      const std::vector<std::string>& coords) const override;
+  std::string source_expression(
+      const std::vector<std::string>& refs) const override;
+
+ private:
+  double scale_;
+};
+
+/// Weighted sum with per-dependence weights plus a point-dependent source
+/// term; used by the property tests to make value mismatches detectable
+/// (symmetric kernels can mask transposed-halo bugs).
+class WeightedKernel final : public Kernel {
+ public:
+  explicit WeightedKernel(std::vector<double> weights);
+  double boundary(const Vec& j) const override;
+  double apply(const Vec& j, const std::vector<double>& inputs) const override;
+  std::string statement() const override;
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace tilo::loop

@@ -1,0 +1,32 @@
+#include "tilo/loopnest/nest.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::loop {
+
+LoopNest::LoopNest(std::string name, Box domain, DependenceSet deps,
+                   std::shared_ptr<const Kernel> kernel)
+    : name_(std::move(name)),
+      domain_(std::move(domain)),
+      deps_(std::move(deps)),
+      kernel_(std::move(kernel)) {
+  TILO_REQUIRE(!domain_.empty(), "loop nest '", name_, "' has empty domain");
+  TILO_REQUIRE(deps_.empty() || deps_.dims() == domain_.dims(),
+               "dependence dimensionality ", deps_.dims(),
+               " != domain dimensionality ", domain_.dims());
+}
+
+const Kernel& LoopNest::kernel() const {
+  TILO_REQUIRE(kernel_ != nullptr, "loop nest '", name_, "' has no kernel");
+  return *kernel_;
+}
+
+LoopNest LoopNest::with_kernel(std::shared_ptr<const Kernel> kernel) const {
+  return LoopNest(name_, domain_, deps_, std::move(kernel));
+}
+
+LoopNest LoopNest::with_domain(Box domain) const {
+  return LoopNest(name_, std::move(domain), deps_, kernel_);
+}
+
+}  // namespace tilo::loop

@@ -1,0 +1,51 @@
+// The paper's algorithm model (Section 2.1): a perfectly nested FOR-loop
+// over a rectangular index space with uniform dependence vectors and a
+// single-assignment body.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tilo/lattice/box.hpp"
+#include "tilo/loopnest/deps.hpp"
+#include "tilo/loopnest/kernel.hpp"
+
+namespace tilo::loop {
+
+using lat::Box;
+
+/// A perfect loop nest: rectangular index space J^n, uniform dependence set
+/// D, and the (optional, for functional execution) loop body.
+class LoopNest {
+ public:
+  /// `domain` is J^n with inclusive bounds; `deps` must match its
+  /// dimensionality and `domain` must be non-empty.
+  LoopNest(std::string name, Box domain, DependenceSet deps,
+           std::shared_ptr<const Kernel> kernel = nullptr);
+
+  const std::string& name() const { return name_; }
+  const Box& domain() const { return domain_; }
+  const DependenceSet& deps() const { return deps_; }
+  std::size_t dims() const { return domain_.dims(); }
+
+  /// Total number of iterations |J^n|.
+  util::i64 iterations() const { return domain_.volume(); }
+
+  bool has_kernel() const { return kernel_ != nullptr; }
+  /// The loop body; throws when the nest was built without one.
+  const Kernel& kernel() const;
+  std::shared_ptr<const Kernel> kernel_ptr() const { return kernel_; }
+
+  /// Copy of this nest with a different body.
+  LoopNest with_kernel(std::shared_ptr<const Kernel> kernel) const;
+  /// Copy of this nest with a different domain (same deps / body).
+  LoopNest with_domain(Box domain) const;
+
+ private:
+  std::string name_;
+  Box domain_;
+  DependenceSet deps_;
+  std::shared_ptr<const Kernel> kernel_;
+};
+
+}  // namespace tilo::loop

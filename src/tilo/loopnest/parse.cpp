@@ -1,0 +1,551 @@
+#include "tilo/loopnest/parse.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::loop {
+
+namespace {
+
+using lat::Vec;
+using util::i64;
+
+// ----------------------------------------------------------- tokenizer ----
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  double number = 0.0;
+  bool number_is_int = false;
+  i64 int_value = 0;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw util::Error(util::concat("parse error (line ", line, "): ",
+                                 message));
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_'))
+        ++j;
+      out.push_back(Token{Tok::kIdent, source.substr(i, j - i), 0.0, false,
+                          0, line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t j = i;
+      bool is_int = true;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '.')) {
+        if (source[j] == '.') is_int = false;
+        ++j;
+      }
+      const std::string text = source.substr(i, j - i);
+      Token t{Tok::kNumber, text, 0.0, is_int, 0, line};
+      try {
+        t.number = std::stod(text);
+        if (is_int) t.int_value = std::stoll(text);
+      } catch (const std::exception&) {
+        fail(line, "bad numeric literal '" + text + "'");
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    Tok kind = Tok::kEnd;
+    switch (c) {
+      case '(': kind = Tok::kLParen; break;
+      case ')': kind = Tok::kRParen; break;
+      case ',': kind = Tok::kComma; break;
+      case '=': kind = Tok::kAssign; break;
+      case '+': kind = Tok::kPlus; break;
+      case '-': kind = Tok::kMinus; break;
+      case '*': kind = Tok::kStar; break;
+      case '/': kind = Tok::kSlash; break;
+      default:
+        fail(line, util::concat("unexpected character '", c, "'"));
+    }
+    out.push_back(Token{kind, std::string(1, c), 0.0, false, 0, line});
+    ++i;
+  }
+  out.push_back(Token{Tok::kEnd, "<eof>", 0.0, false, 0, line});
+  return out;
+}
+
+bool keyword_is(const Token& t, const char* kw) {
+  if (t.kind != Tok::kIdent) return false;
+  const std::string& s = t.text;
+  std::size_t i = 0;
+  for (; kw[i] != '\0'; ++i) {
+    if (i >= s.size() ||
+        std::toupper(static_cast<unsigned char>(s[i])) != kw[i])
+      return false;
+  }
+  return i == s.size();
+}
+
+// ------------------------------------------------------------------ AST ----
+
+struct EvalContext {
+  const Vec* point = nullptr;
+  const std::vector<double>* inputs = nullptr;
+};
+
+struct Expr {
+  virtual ~Expr() = default;
+  virtual double eval(const EvalContext& ctx) const = 0;
+  /// Renders the expression over the given input names; c_mode selects C
+  /// syntax (sqrt(fabs(x)), fabs) vs the parse grammar (sqrt(x), abs).
+  virtual std::string print(const std::vector<std::string>& inputs,
+                            bool c_mode) const = 0;
+};
+
+struct NumExpr final : Expr {
+  double value;
+  explicit NumExpr(double v) : value(v) {}
+  double eval(const EvalContext&) const override { return value; }
+  std::string print(const std::vector<std::string>&, bool) const override {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+};
+
+struct RefExpr final : Expr {
+  std::size_t input_slot;
+  explicit RefExpr(std::size_t slot) : input_slot(slot) {}
+  double eval(const EvalContext& ctx) const override {
+    return (*ctx.inputs)[input_slot];
+  }
+  std::string print(const std::vector<std::string>& inputs,
+                    bool) const override {
+    return inputs.at(input_slot);
+  }
+};
+
+enum class UnOp { kNeg, kSqrt, kAbs };
+
+struct UnaryExpr final : Expr {
+  UnOp op;
+  std::unique_ptr<Expr> arg;
+  UnaryExpr(UnOp o, std::unique_ptr<Expr> a) : op(o), arg(std::move(a)) {}
+  double eval(const EvalContext& ctx) const override {
+    const double v = arg->eval(ctx);
+    switch (op) {
+      case UnOp::kNeg: return -v;
+      case UnOp::kSqrt: return std::sqrt(std::fabs(v));
+      case UnOp::kAbs: return std::fabs(v);
+    }
+    return v;
+  }
+  std::string print(const std::vector<std::string>& inputs,
+                    bool c_mode) const override {
+    const std::string a = arg->print(inputs, c_mode);
+    switch (op) {
+      case UnOp::kNeg: return c_mode ? "(-" + a + ")" : "(0 - " + a + ")";
+      case UnOp::kSqrt:
+        return c_mode ? "sqrt(fabs(" + a + "))" : "sqrt(" + a + ")";
+      case UnOp::kAbs: return (c_mode ? "fabs(" : "abs(") + a + ")";
+    }
+    return a;
+  }
+};
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+struct BinaryExpr final : Expr {
+  BinOp op;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+  BinaryExpr(BinOp o, std::unique_ptr<Expr> l, std::unique_ptr<Expr> r)
+      : op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  double eval(const EvalContext& ctx) const override {
+    const double a = lhs->eval(ctx);
+    const double b = rhs->eval(ctx);
+    switch (op) {
+      case BinOp::kAdd: return a + b;
+      case BinOp::kSub: return a - b;
+      case BinOp::kMul: return a * b;
+      case BinOp::kDiv: return a / b;
+    }
+    return 0.0;
+  }
+  std::string print(const std::vector<std::string>& inputs,
+                    bool c_mode) const override {
+    const char* sym = "+";
+    switch (op) {
+      case BinOp::kAdd: sym = "+"; break;
+      case BinOp::kSub: sym = "-"; break;
+      case BinOp::kMul: sym = "*"; break;
+      case BinOp::kDiv: sym = "/"; break;
+    }
+    return "(" + lhs->print(inputs, c_mode) + " " + sym + " " +
+           rhs->print(inputs, c_mode) + ")";
+  }
+};
+
+/// Kernel backed by the parsed right-hand side.
+class ParsedKernel final : public Kernel {
+ public:
+  ParsedKernel(std::unique_ptr<Expr> body, std::string statement,
+               double boundary_value)
+      : body_(std::move(body)),
+        statement_(std::move(statement)),
+        boundary_(boundary_value) {}
+
+  double boundary(const Vec&) const override { return boundary_; }
+
+  double apply(const Vec& j, const std::vector<double>& inputs)
+      const override {
+    EvalContext ctx{&j, &inputs};
+    return body_->eval(ctx);
+  }
+
+  std::string statement() const override { return statement_; }
+
+  std::string c_expression(
+      const std::vector<std::string>& inputs,
+      const std::vector<std::string>& /*coords*/) const override {
+    return body_->print(inputs, /*c_mode=*/true);
+  }
+
+  std::string source_expression(
+      const std::vector<std::string>& refs) const override {
+    return body_->print(refs, /*c_mode=*/false);
+  }
+
+ private:
+  std::unique_ptr<Expr> body_;
+  std::string statement_;
+  double boundary_;
+};
+
+// --------------------------------------------------------------- parser ----
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : tokens_(tokenize(source)) {}
+
+  LoopNest parse(const ParseOptions& options) {
+    Token first = peek();
+    TILO_REQUIRE(keyword_is(first, "FOR"),
+                 "program must start with FOR (line ", first.line, ")");
+    parse_loop_header_chain();
+    parse_statement();
+    // Close every open loop.
+    for (std::size_t k = 0; k < loop_vars_.size(); ++k) {
+      const Token& t = next();
+      if (!keyword_is(t, "ENDFOR"))
+        fail(t.line, "expected ENDFOR, got '" + t.text + "'");
+    }
+    const Token& eof = next();
+    if (eof.kind != Tok::kEnd)
+      fail(eof.line, "trailing input after the outermost ENDFOR");
+
+    // Assemble the nest.
+    Vec lo(loop_vars_.size());
+    Vec hi(loop_vars_.size());
+    for (std::size_t d = 0; d < loop_vars_.size(); ++d) {
+      lo[d] = bounds_[d].first;
+      hi[d] = bounds_[d].second;
+      if (hi[d] < lo[d])
+        fail(1, util::concat("empty loop range for ", loop_vars_[d]));
+    }
+    DependenceSet deps(offsets_);
+    auto kernel = std::make_shared<ParsedKernel>(
+        std::move(body_), statement_text_, options.boundary_value);
+    return LoopNest(array_name_, lat::Box(lo, hi), std::move(deps),
+                    std::move(kernel));
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  void expect(Tok kind, const char* what) {
+    const Token& t = next();
+    if (t.kind != kind)
+      fail(t.line, util::concat("expected ", what, ", got '", t.text, "'"));
+  }
+
+  i64 parse_signed_int() {
+    bool negative = false;
+    if (peek().kind == Tok::kMinus) {
+      next();
+      negative = true;
+    }
+    const Token& t = next();
+    if (t.kind != Tok::kNumber || !t.number_is_int)
+      fail(t.line, "expected an integer bound, got '" + t.text + "'");
+    return negative ? -t.int_value : t.int_value;
+  }
+
+  void parse_loop_header_chain() {
+    while (keyword_is(peek(), "FOR")) {
+      const Token& kw = next();
+      const Token& var = next();
+      if (var.kind != Tok::kIdent)
+        fail(var.line, "expected a loop variable after FOR");
+      for (const std::string& existing : loop_vars_)
+        if (existing == var.text)
+          fail(var.line, "duplicate loop variable '" + var.text + "'");
+      expect(Tok::kAssign, "'='");
+      const i64 lo = parse_signed_int();
+      const Token& to = next();
+      if (!keyword_is(to, "TO"))
+        fail(to.line, "expected TO in loop bounds");
+      const i64 hi = parse_signed_int();
+      loop_vars_.push_back(var.text);
+      bounds_.emplace_back(lo, hi);
+      (void)kw;
+    }
+    if (loop_vars_.empty()) fail(peek().line, "no loops found");
+  }
+
+  std::size_t loop_var_index(const Token& t) const {
+    for (std::size_t d = 0; d < loop_vars_.size(); ++d)
+      if (loop_vars_[d] == t.text) return d;
+    fail(t.line, "unknown loop variable '" + t.text + "'");
+  }
+
+  /// Parses "var", "var + c", "var - c" for the dimension `dim`; returns
+  /// the dependence component (value read from var - component).
+  i64 parse_offset(std::size_t dim) {
+    const Token& var = next();
+    if (var.kind != Tok::kIdent)
+      fail(var.line, "expected a loop variable in array index");
+    const std::size_t got = loop_var_index(var);
+    if (got != dim)
+      fail(var.line, util::concat(
+                         "array index ", dim + 1, " must use loop variable ",
+                         loop_vars_[dim], " (the paper's uniform model), "
+                         "got ", var.text));
+    if (peek().kind == Tok::kPlus || peek().kind == Tok::kMinus) {
+      const bool plus = next().kind == Tok::kPlus;
+      const Token& num = next();
+      if (num.kind != Tok::kNumber || !num.number_is_int)
+        fail(num.line, "expected integer offset in array index");
+      return plus ? -num.int_value : num.int_value;
+    }
+    return 0;
+  }
+
+  /// Parses a full reference "A(i1-1, i2)"; returns the input slot.
+  std::size_t parse_ref(const Token& name) {
+    if (name.text != array_name_)
+      fail(name.line, util::concat("only the output array '", array_name_,
+                                   "' may be read (got '", name.text, "')"));
+    expect(Tok::kLParen, "'('");
+    Vec d(loop_vars_.size());
+    for (std::size_t dim = 0; dim < loop_vars_.size(); ++dim) {
+      if (dim) expect(Tok::kComma, "','");
+      d[dim] = parse_offset(dim);
+    }
+    expect(Tok::kRParen, "')'");
+    if (d.is_zero())
+      fail(name.line, "a statement may not read the cell it writes");
+    if (!d.lex_positive())
+      fail(name.line,
+           util::concat("dependence ", d.str(),
+                        " is not lexicographically positive (reads a value "
+                        "not yet computed)"));
+    for (std::size_t s = 0; s < offsets_.size(); ++s)
+      if (offsets_[s] == d) return s;
+    offsets_.push_back(d);
+    return offsets_.size() - 1;
+  }
+
+  std::unique_ptr<Expr> parse_factor() {
+    const Token& t = next();
+    if (t.kind == Tok::kMinus)
+      return std::make_unique<UnaryExpr>(UnOp::kNeg, parse_factor());
+    if (t.kind == Tok::kNumber) return std::make_unique<NumExpr>(t.number);
+    if (t.kind == Tok::kLParen) {
+      auto e = parse_expr();
+      expect(Tok::kRParen, "')'");
+      return e;
+    }
+    if (t.kind == Tok::kIdent) {
+      if (keyword_is(t, "SQRT") || keyword_is(t, "ABS")) {
+        const UnOp op = keyword_is(t, "SQRT") ? UnOp::kSqrt : UnOp::kAbs;
+        expect(Tok::kLParen, "'('");
+        auto e = parse_expr();
+        expect(Tok::kRParen, "')'");
+        return std::make_unique<UnaryExpr>(op, std::move(e));
+      }
+      return std::make_unique<RefExpr>(parse_ref(t));
+    }
+    fail(t.line, "expected a number, reference or '(' in expression");
+  }
+
+  std::unique_ptr<Expr> parse_term() {
+    auto lhs = parse_factor();
+    while (peek().kind == Tok::kStar || peek().kind == Tok::kSlash) {
+      const BinOp op = next().kind == Tok::kStar ? BinOp::kMul : BinOp::kDiv;
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_factor());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_expr() {
+    auto lhs = parse_term();
+    while (peek().kind == Tok::kPlus || peek().kind == Tok::kMinus) {
+      const BinOp op = next().kind == Tok::kPlus ? BinOp::kAdd : BinOp::kSub;
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_term());
+    }
+    return lhs;
+  }
+
+  void parse_statement() {
+    const Token& name = next();
+    if (name.kind != Tok::kIdent || keyword_is(name, "ENDFOR"))
+      fail(name.line, "expected an assignment statement in the innermost "
+                      "loop");
+    array_name_ = name.text;
+    const int stmt_line = name.line;
+    expect(Tok::kLParen, "'('");
+    for (std::size_t dim = 0; dim < loop_vars_.size(); ++dim) {
+      if (dim) expect(Tok::kComma, "','");
+      const Token& var = next();
+      if (var.kind != Tok::kIdent || loop_var_index(var) != dim ||
+          peek().kind == Tok::kPlus || peek().kind == Tok::kMinus)
+        fail(var.line, util::concat("left-hand side must be ", array_name_,
+                                    "(", "loop variables in order)"));
+    }
+    expect(Tok::kRParen, "')'");
+    expect(Tok::kAssign, "'='");
+    body_ = parse_expr();
+    if (keyword_is(peek(), "ENDFOR") == false && peek().kind != Tok::kEnd) {
+      // A second statement: the executable kernel model supports a single
+      // assignment; reject with a clear message rather than mis-running.
+      if (peek().kind == Tok::kIdent)
+        fail(peek().line,
+             "multiple assignment statements are not supported; fold them "
+             "into one expression");
+    }
+    TILO_REQUIRE(!offsets_.empty(),
+                 "statement has no dependencies (line ", stmt_line,
+                 "); embarrassingly parallel nests need no tiling");
+    statement_text_ = reconstruct_statement();
+  }
+
+  std::string reconstruct_statement() const {
+    std::string s = array_name_ + "(";
+    for (std::size_t d = 0; d < loop_vars_.size(); ++d) {
+      if (d) s += ", ";
+      s += loop_vars_[d];
+    }
+    s += ") = f(";
+    for (std::size_t k = 0; k < offsets_.size(); ++k) {
+      if (k) s += ", ";
+      s += array_name_ + "(j - " + offsets_[k].str() + ")";
+    }
+    s += ")";
+    return s;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+
+  std::vector<std::string> loop_vars_;
+  std::vector<std::pair<i64, i64>> bounds_;
+  std::string array_name_;
+  std::vector<Vec> offsets_;
+  std::unique_ptr<Expr> body_;
+  std::string statement_text_;
+};
+
+}  // namespace
+
+LoopNest parse_nest(const std::string& source, const ParseOptions& options) {
+  Parser parser(source);
+  return parser.parse(options);
+}
+
+std::string to_source(const LoopNest& nest) {
+  TILO_REQUIRE(nest.has_kernel(), "nest has no kernel to serialize");
+  const std::size_t n = nest.dims();
+
+  // Reference texts per dependence: A(i1-1, i2), ...
+  std::vector<std::string> refs;
+  for (const Vec& d : nest.deps().vectors()) {
+    std::string r = nest.name() + "(";
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k) r += ", ";
+      r += "i" + std::to_string(k + 1);
+      if (d[k] > 0) r += "-" + std::to_string(d[k]);
+      if (d[k] < 0) r += "+" + std::to_string(-d[k]);
+    }
+    r += ")";
+    refs.push_back(std::move(r));
+  }
+  const std::string body = nest.kernel().source_expression(refs);
+  TILO_REQUIRE(!body.empty(), "kernel of nest '", nest.name(),
+               "' has no source form");
+
+  std::ostringstream os;
+  std::string indent;
+  for (std::size_t d = 0; d < n; ++d) {
+    os << indent << "FOR i" << d + 1 << " = " << nest.domain().lo()[d]
+       << " TO " << nest.domain().hi()[d] << "\n";
+    indent += "  ";
+  }
+  os << indent << nest.name() << "(";
+  for (std::size_t d = 0; d < n; ++d) {
+    if (d) os << ", ";
+    os << "i" << d + 1;
+  }
+  os << ") = " << body << "\n";
+  for (std::size_t d = n; d-- > 0;) {
+    indent.resize(indent.size() - 2);
+    os << indent << "ENDFOR\n";
+  }
+  return os.str();
+}
+
+}  // namespace tilo::loop

@@ -1,0 +1,58 @@
+// Front end: parses the paper's algorithm model (Section 2.1) from text,
+//
+//   FOR i1 = 0 TO 9999
+//     FOR i2 = 0 TO 999
+//       A(i1, i2) = A(i1-1, i2-1) + A(i1-1, i2) + A(i1, i2-1)
+//     ENDFOR
+//   ENDFOR
+//
+// extracting the rectangular index space, the uniform dependence set (the
+// distinct nonzero offsets of reads of the output array), and an
+// executable kernel (the right-hand-side expression compiled to an AST),
+// so parsed programs run through the whole pipeline: sequential reference,
+// tiling, scheduling and both simulated executors.
+//
+// Grammar (keywords case-insensitive, '#' starts a comment):
+//   program   := loop
+//   loop      := 'FOR' ident '=' int 'TO' int (loop | stmt+) 'ENDFOR'
+//   stmt      := ident '(' ident (',' ident)* ')' '=' expr
+//   expr      := term (('+' | '-') term)*
+//   term      := factor (('*' | '/') factor)*
+//   factor    := number | ref | func '(' expr ')' | '(' expr ')'
+//              | '-' factor
+//   func      := 'sqrt' | 'abs'
+//   ref       := ident '(' offset (',' offset)* ')'
+//   offset    := ident | ident '+' int | ident '-' int
+//
+// Constraints (the paper's model): a single output array; perfect nesting
+// (statements only in the innermost loop); every reference indexes with
+// the loop variables in order, offset by constants; all dependence offsets
+// lexicographically positive (flow dependencies).
+#pragma once
+
+#include <string>
+
+#include "tilo/loopnest/nest.hpp"
+
+namespace tilo::loop {
+
+/// Options for parsing.
+struct ParseOptions {
+  /// Value returned for reads outside the iteration space.
+  double boundary_value = 1.0;
+};
+
+/// Parses `source` into a LoopNest with an executable kernel.  Throws
+/// util::Error with a line-numbered message on any syntax or model
+/// violation.
+LoopNest parse_nest(const std::string& source, const ParseOptions& options = {});
+
+/// Serializes a nest back into the grammar above (loop variables are
+/// renamed i1..iN).  Requires a kernel that can print itself in source
+/// form — parsed kernels and the built-in sqrt-sum/sum kernels can;
+/// kernels with point-dependent terms throw.  Value-level round-tripping
+/// additionally needs a position-independent boundary (parse_nest's
+/// boundary is the constant from ParseOptions).
+std::string to_source(const LoopNest& nest);
+
+}  // namespace tilo::loop

@@ -1,0 +1,37 @@
+#include "tilo/loopnest/reference.hpp"
+
+#include <cmath>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::loop {
+
+DenseField run_sequential(const LoopNest& nest) {
+  const Kernel& kernel = nest.kernel();
+  const Box& dom = nest.domain();
+  DenseField field{dom, std::vector<double>(
+                            static_cast<std::size_t>(dom.volume()), 0.0)};
+
+  std::vector<double> inputs(nest.deps().size());
+  dom.for_each_point([&](const Vec& j) {
+    for (std::size_t i = 0; i < nest.deps().size(); ++i) {
+      const Vec src = j - nest.deps()[i];
+      // Row-major order + lex-positive deps guarantee src was already
+      // computed whenever it is inside the domain.
+      inputs[i] = dom.contains(src) ? field.at(src) : kernel.boundary(src);
+    }
+    field.values[static_cast<std::size_t>(dom.linear_index(j))] =
+        kernel.apply(j, inputs);
+  });
+  return field;
+}
+
+double max_abs_diff(const DenseField& a, const DenseField& b) {
+  TILO_REQUIRE(a.domain == b.domain, "max_abs_diff over different domains");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.values.size(); ++i)
+    m = std::max(m, std::fabs(a.values[i] - b.values[i]));
+  return m;
+}
+
+}  // namespace tilo::loop

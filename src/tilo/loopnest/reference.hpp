@@ -1,0 +1,28 @@
+// Sequential (single-processor) execution of a loop nest — the ground truth
+// against which both distributed executors are validated.
+#pragma once
+
+#include <vector>
+
+#include "tilo/loopnest/nest.hpp"
+
+namespace tilo::loop {
+
+/// A dense array over a box, row-major, used for reference results.
+struct DenseField {
+  Box domain;
+  std::vector<double> values;  // row-major over `domain`
+
+  double at(const Vec& p) const {
+    return values[static_cast<std::size_t>(domain.linear_index(p))];
+  }
+};
+
+/// Runs the nest sequentially in row-major order (the original loop order).
+/// Reads outside the domain take kernel().boundary().  Requires a kernel.
+DenseField run_sequential(const LoopNest& nest);
+
+/// Maximum absolute difference between two fields over the same domain.
+double max_abs_diff(const DenseField& a, const DenseField& b);
+
+}  // namespace tilo::loop

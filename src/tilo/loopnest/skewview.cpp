@@ -1,0 +1,125 @@
+#include "tilo/loopnest/skewview.hpp"
+
+#include <memory>
+
+#include "tilo/lattice/ratmat.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::loop {
+
+namespace {
+
+using lat::Box;
+using lat::Mat;
+using lat::Vec;
+using util::i64;
+
+/// Evaluates the original kernel at S^{-1}·q.  Bounding-box cells whose
+/// preimage lies outside the original domain take the original *boundary*
+/// value instead of applying the body: an image point's read q - S·d is
+/// then correct whether S^{-1}(q - S·d) = j - d is an interior point or a
+/// boundary read that happens to land inside the box.
+class SkewedKernel final : public Kernel {
+ public:
+  SkewedKernel(std::shared_ptr<const Kernel> inner, Mat inverse,
+               Box original_domain)
+      : inner_(std::move(inner)),
+        inverse_(std::move(inverse)),
+        original_domain_(std::move(original_domain)) {}
+
+  double boundary(const Vec& q) const override {
+    return inner_->boundary(inverse_ * q);
+  }
+
+  double apply(const Vec& q, const std::vector<double>& inputs)
+      const override {
+    const Vec j = inverse_ * q;
+    if (!original_domain_.contains(j)) return inner_->boundary(j);
+    return inner_->apply(j, inputs);
+  }
+
+  std::string statement() const override {
+    return inner_->statement() + "  [skewed view]";
+  }
+
+  // No c_expression: the domain-membership test has no single-expression
+  // C form, so code generation falls back to the generic sum (a compiler
+  // would emit the guard as a conditional).
+
+ private:
+  std::shared_ptr<const Kernel> inner_;
+  Mat inverse_;
+  Box original_domain_;
+};
+
+/// Bounding box of S·J: per output row, min/max over the corner choices.
+Box image_bounding_box(const Mat& skew, const Box& domain) {
+  const std::size_t n = domain.dims();
+  Vec lo(n);
+  Vec hi(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    i64 mn = 0;
+    i64 mx = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const i64 a = util::checked_mul(skew(r, c), domain.lo()[c]);
+      const i64 b = util::checked_mul(skew(r, c), domain.hi()[c]);
+      mn = util::checked_add(mn, std::min(a, b));
+      mx = util::checked_add(mx, std::max(a, b));
+    }
+    lo[r] = mn;
+    hi[r] = mx;
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+Mat unimodular_inverse(const Mat& skew) {
+  const i64 det = skew.det();
+  TILO_REQUIRE(det == 1 || det == -1,
+               "skew must be unimodular, det = ", det);
+  return lat::RatMat(skew).inverse().as_integer();
+}
+
+}  // namespace
+
+LoopNest make_skewed_nest(const LoopNest& nest, const Mat& skew) {
+  TILO_REQUIRE(skew.is_square() && skew.rows() == nest.dims(),
+               "skew shape mismatch");
+  const Mat inverse = unimodular_inverse(skew);
+
+  std::vector<Vec> skewed_deps;
+  skewed_deps.reserve(nest.deps().size());
+  for (const Vec& d : nest.deps()) {
+    const Vec sd = skew * d;
+    TILO_REQUIRE(sd.is_nonneg(), "skew does not legalize dependence ",
+                 d.str(), " (S*d = ", sd.str(), ")");
+    skewed_deps.push_back(sd);
+  }
+
+  std::shared_ptr<const Kernel> kernel;
+  if (nest.has_kernel())
+    kernel = std::make_shared<SkewedKernel>(nest.kernel_ptr(), inverse,
+                                            nest.domain());
+
+  return LoopNest(nest.name() + "-skewed",
+                  image_bounding_box(skew, nest.domain()),
+                  DependenceSet(std::move(skewed_deps)), std::move(kernel));
+}
+
+DenseField unskew_field(const DenseField& skewed, const Mat& skew,
+                        const Box& original_domain) {
+  TILO_REQUIRE(skew.is_square() && skew.rows() == original_domain.dims(),
+               "skew shape mismatch");
+  DenseField out{original_domain,
+                 std::vector<double>(
+                     static_cast<std::size_t>(original_domain.volume()))};
+  original_domain.for_each_point([&](const Vec& j) {
+    const Vec q = skew * j;
+    TILO_REQUIRE(skewed.domain.contains(q),
+                 "skewed field does not cover image point ", q.str());
+    out.values[static_cast<std::size_t>(original_domain.linear_index(j))] =
+        skewed.at(q);
+  });
+  return out;
+}
+
+}  // namespace tilo::loop

@@ -1,0 +1,32 @@
+// Skewed views of a loop nest: execute a nest whose dependencies have
+// negative components by running it in unimodularly skewed coordinates.
+//
+// Given a unimodular S with S·D >= 0 (tiling/skew.hpp), the view is a new
+// nest over the bounding box of S·J with dependencies S·D — all
+// nonnegative, so the rectangular tiling machinery, both schedules and the
+// code generator apply unchanged.  The view's kernel evaluates the
+// original body at S^{-1}·q, so values at image points q = S·j are exactly
+// the original values at j.
+//
+// The bounding box over-approximates the skewed domain: the non-image
+// cells compute deterministic but meaningless values that image cells
+// never read (an image cell's inputs q - S·d are images of j - d or
+// boundary reads).  This is the classical cost of executing a skewed
+// space rectangularly; extents grow by the skew factors.
+#pragma once
+
+#include "tilo/lattice/mat.hpp"
+#include "tilo/loopnest/nest.hpp"
+#include "tilo/loopnest/reference.hpp"
+
+namespace tilo::loop {
+
+/// The skewed view of `nest` under the unimodular skew S.
+LoopNest make_skewed_nest(const LoopNest& nest, const lat::Mat& skew);
+
+/// Maps a field computed over the skewed view back to the original
+/// domain: result(j) = skewed(S·j).
+DenseField unskew_field(const DenseField& skewed, const lat::Mat& skew,
+                        const lat::Box& original_domain);
+
+}  // namespace tilo::loop

@@ -1,0 +1,75 @@
+#include "tilo/loopnest/workloads.hpp"
+
+#include <memory>
+#include <set>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::loop {
+
+using util::i64;
+
+LoopNest example1_nest(i64 scale_down) {
+  TILO_REQUIRE(scale_down >= 1, "scale_down must be >= 1");
+  const i64 n1 = 10000 / scale_down;
+  const i64 n2 = 1000 / scale_down;
+  TILO_REQUIRE(n1 >= 2 && n2 >= 2, "scale_down ", scale_down, " too large");
+  return LoopNest(
+      "example1", Box::from_extents(Vec{n1, n2}),
+      DependenceSet({Vec{1, 1}, Vec{1, 0}, Vec{0, 1}}),
+      std::make_shared<SumKernel>());
+}
+
+LoopNest stencil3d_nest(i64 ni, i64 nj, i64 nk) {
+  return LoopNest(
+      "stencil3d", Box::from_extents(Vec{ni, nj, nk}),
+      DependenceSet({Vec{1, 0, 0}, Vec{0, 1, 0}, Vec{0, 0, 1}}),
+      std::make_shared<SqrtSumKernel>());
+}
+
+LoopNest paper_space_i() { return stencil3d_nest(16, 16, 16384); }
+LoopNest paper_space_ii() { return stencil3d_nest(16, 16, 32768); }
+LoopNest paper_space_iii() { return stencil3d_nest(32, 32, 4096); }
+
+LoopNest random_nest(util::Rng& rng, const RandomNestOptions& opts) {
+  TILO_REQUIRE(opts.dims >= 1, "random nest needs >= 1 dimension");
+  TILO_REQUIRE(opts.num_deps >= 1, "random nest needs >= 1 dependence");
+  TILO_REQUIRE(opts.max_dep_component >= 1, "max_dep_component must be >= 1");
+  TILO_REQUIRE(opts.min_extent >= 2 && opts.max_extent >= opts.min_extent,
+               "bad extent range");
+
+  Vec extents(opts.dims);
+  for (std::size_t d = 0; d < opts.dims; ++d)
+    extents[d] = rng.uniform(opts.min_extent, opts.max_extent);
+
+  std::set<std::vector<i64>> seen;
+  std::vector<Vec> deps;
+  // Draw until we have num_deps distinct valid vectors; the acceptance rate
+  // is high, but guard against pathological option combinations.
+  int attempts = 0;
+  while (deps.size() < opts.num_deps) {
+    TILO_REQUIRE(++attempts < 10000,
+                 "could not generate ", opts.num_deps,
+                 " distinct dependence vectors");
+    Vec d(opts.dims);
+    for (std::size_t k = 0; k < opts.dims; ++k) {
+      const i64 lo = opts.nonneg_deps ? 0 : -opts.max_dep_component;
+      d[k] = rng.uniform(lo, opts.max_dep_component);
+    }
+    if (d.is_zero() || !d.lex_positive()) continue;
+    if (!seen.insert(d.data()).second) continue;
+    deps.push_back(std::move(d));
+  }
+
+  std::vector<double> weights(opts.num_deps);
+  for (auto& w : weights) {
+    // Keep |sum of weights| < 1 so long chains do not blow up numerically.
+    w = (rng.uniform01() - 0.5) * 1.2 / static_cast<double>(opts.num_deps);
+  }
+
+  return LoopNest("random", Box::from_extents(extents),
+                  DependenceSet(std::move(deps)),
+                  std::make_shared<WeightedKernel>(std::move(weights)));
+}
+
+}  // namespace tilo::loop

@@ -1,0 +1,42 @@
+// The paper's concrete workloads plus a random-algorithm generator for
+// property tests.
+#pragma once
+
+#include "tilo/loopnest/nest.hpp"
+#include "tilo/util/rng.hpp"
+
+namespace tilo::loop {
+
+/// Example 1 (Section 3): 10000 x 1000 nest,
+/// A(i1,i2) = A(i1-1,i2-1) + A(i1-1,i2) + A(i1,i2-1),
+/// D = {(1,1), (1,0), (0,1)}.  `scale_down` divides both extents to get
+/// test-sized instances (1 = paper size).
+LoopNest example1_nest(util::i64 scale_down = 1);
+
+/// The Section 5 experimental kernel on an i x j x k space:
+/// A(i,j,k) = sqrt(A(i-1,j,k)) + sqrt(A(i,j-1,k)) + sqrt(A(i,j,k-1)),
+/// D = {(1,0,0), (0,1,0), (0,0,1)}.
+LoopNest stencil3d_nest(util::i64 ni, util::i64 nj, util::i64 nk);
+
+/// The paper's three evaluation spaces (Fig. 9/10/11):
+/// 16x16x16384, 16x16x32768 and 32x32x4096.
+LoopNest paper_space_i();
+LoopNest paper_space_ii();
+LoopNest paper_space_iii();
+
+/// Options for random nest generation.
+struct RandomNestOptions {
+  std::size_t dims = 3;
+  std::size_t num_deps = 3;
+  util::i64 max_dep_component = 2;
+  util::i64 min_extent = 6;
+  util::i64 max_extent = 24;
+  /// When true, components are all >= 0 (needed for rectangular tiling).
+  bool nonneg_deps = true;
+};
+
+/// Generates a random uniform-dependence nest with a WeightedKernel body.
+/// Deterministic in `rng`; dependencies are distinct, nonzero, lex-positive.
+LoopNest random_nest(util::Rng& rng, const RandomNestOptions& opts);
+
+}  // namespace tilo::loop

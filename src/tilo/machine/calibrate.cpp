@@ -1,0 +1,65 @@
+#include "tilo/machine/calibrate.hpp"
+
+#include <cmath>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::mach {
+
+AffineCost fit_affine(const std::vector<CostSample>& samples) {
+  TILO_REQUIRE(!samples.empty(), "calibration needs at least one sample");
+  for (const CostSample& s : samples) {
+    TILO_REQUIRE(s.bytes >= 0, "negative message size in sample");
+    TILO_REQUIRE(s.seconds >= 0.0, "negative cost in sample");
+  }
+  if (samples.size() == 1) return AffineCost{samples[0].seconds, 0.0};
+
+  const double n = static_cast<double>(samples.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (const CostSample& s : samples) {
+    const double x = static_cast<double>(s.bytes);
+    sx += x;
+    sy += s.seconds;
+    sxx += x * x;
+    sxy += x * s.seconds;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    // All sizes identical: only the base is identifiable.
+    return AffineCost{sy / n, 0.0};
+  }
+  double slope = (n * sxy - sx * sy) / denom;
+  double base = (sy - slope * sx) / n;
+  if (base < 0.0) {
+    // Physical costs have nonnegative startup; refit through the origin.
+    base = 0.0;
+    slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  }
+  if (slope < 0.0) {
+    // Degenerate decreasing costs: fall back to a pure base.
+    slope = 0.0;
+    base = sy / n;
+  }
+  return AffineCost{base, slope};
+}
+
+double fit_residual(const AffineCost& fit,
+                    const std::vector<CostSample>& samples) {
+  double worst = 0.0;
+  for (const CostSample& s : samples) {
+    if (s.seconds == 0.0) continue;
+    const double predicted = fit.at(s.bytes);
+    worst = std::max(worst,
+                     std::fabs(predicted - s.seconds) / s.seconds);
+  }
+  return worst;
+}
+
+std::vector<CostSample> paper_fill_mpi_samples() {
+  return {{7104, 627e-6}, {8608, 745e-6}};
+}
+
+}  // namespace tilo::mach

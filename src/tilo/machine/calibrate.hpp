@@ -1,0 +1,35 @@
+// Calibration: fit the affine per-message cost model from measurements —
+// exactly what the paper does in Section 5 ("we wrote a simple program
+// with 10,000 successive nonblocking sends ... to calculate
+// T_fill_MPI_buffer" at its observed packet sizes).
+#pragma once
+
+#include <vector>
+
+#include "tilo/machine/params.hpp"
+
+namespace tilo::mach {
+
+/// One measured point: a message size and the observed per-message cost.
+struct CostSample {
+  i64 bytes = 0;
+  double seconds = 0.0;
+};
+
+/// Least-squares fit of cost(bytes) = base + per_byte * bytes.
+/// One sample pins a pure base; two or more give the usual closed-form
+/// regression.  A negative fitted base (possible with noisy samples) is
+/// clamped to zero with the slope refitted through the origin-free mean.
+AffineCost fit_affine(const std::vector<CostSample>& samples);
+
+/// Largest relative residual of the fit over the samples (0 for exact
+/// fits) — the calibration quality the paper implicitly reports when it
+/// compares theory to experiment per space.
+double fit_residual(const AffineCost& fit,
+                    const std::vector<CostSample>& samples);
+
+/// The paper's two published T_fill_MPI_buffer measurements for spaces i
+/// and ii: (7104 B, 627 us) and (8608 B, 745 us).
+std::vector<CostSample> paper_fill_mpi_samples();
+
+}  // namespace tilo::mach

@@ -1,0 +1,73 @@
+#include "tilo/machine/cost.hpp"
+
+#include <algorithm>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::mach {
+
+double StepCost::step_time(OverlapLevel level) const {
+  switch (level) {
+    case OverlapLevel::kNone:
+      return cpu_side() + comm_side();
+    case OverlapLevel::kDma:
+      return std::max(cpu_side(), comm_side());
+    case OverlapLevel::kDuplexDma:
+      // Independent send and receive channels: the receive pipeline
+      // (B1 + B2) and the send pipeline (B3 + B4) proceed in parallel.
+      return std::max(cpu_side(), std::max(b1 + b2, b3 + b4));
+  }
+  TILO_ASSERT(false, "unknown OverlapLevel");
+  return 0.0;
+}
+
+StepCost step_cost(const MachineParams& params, const StepShape& shape) {
+  TILO_REQUIRE(shape.iterations >= 0, "negative iteration count");
+  StepCost c;
+  c.a2 = static_cast<double>(shape.iterations) * params.t_c *
+         params.cache.factor(shape.working_set_bytes);
+  for (i64 bytes : shape.send_bytes) {
+    TILO_REQUIRE(bytes >= 0, "negative send size");
+    c.a1 += params.fill_mpi_buffer.at(bytes);
+    c.b3 += params.fill_kernel_buffer.at(bytes);
+    c.b4 += 0.5 * params.t_t * static_cast<double>(bytes) +
+            params.wire_latency;
+  }
+  for (i64 bytes : shape.recv_bytes) {
+    TILO_REQUIRE(bytes >= 0, "negative recv size");
+    c.a3 += params.fill_mpi_buffer.at(bytes);
+    c.b2 += params.fill_kernel_buffer.at(bytes);
+    c.b1 += 0.5 * params.t_t * static_cast<double>(bytes);
+  }
+  return c;
+}
+
+double total_nonoverlap(const MachineParams& params, const StepShape& shape,
+                        i64 hyperplanes) {
+  TILO_REQUIRE(hyperplanes >= 0, "negative schedule length");
+  const StepCost c = step_cost(params, shape);
+  return static_cast<double>(hyperplanes) * c.step_time(OverlapLevel::kNone);
+}
+
+double total_overlap(const MachineParams& params, const StepShape& shape,
+                     i64 hyperplanes, OverlapLevel level) {
+  TILO_REQUIRE(hyperplanes >= 0, "negative schedule length");
+  const StepCost c = step_cost(params, shape);
+  return static_cast<double>(hyperplanes) * c.step_time(level);
+}
+
+double total_overlap_cpu_bound(const MachineParams& params,
+                               const StepShape& shape, i64 hyperplanes) {
+  TILO_REQUIRE(hyperplanes >= 0, "negative schedule length");
+  const StepCost c = step_cost(params, shape);
+  return static_cast<double>(hyperplanes) * c.cpu_side();
+}
+
+double hodzic_shang_optimal_g(const MachineParams& params, int neighbors,
+                              i64 message_bytes) {
+  TILO_REQUIRE(neighbors >= 1, "need at least one neighbor");
+  return static_cast<double>(neighbors) * params.t_s(message_bytes) /
+         params.t_c;
+}
+
+}  // namespace tilo::mach

@@ -1,0 +1,68 @@
+// The paper's closed-form completion-time model:
+//   eq. (3)  T = P(g) (T_comp + T_comm)                      non-overlapping
+//   eq. (4)  T = P(g) max(A1+A2+A3, B1+B2+B3+B4)             overlapping
+//   eq. (5)  T = P(g) (A1+A2+A3)                             CPU-bound case
+// plus the Hodzic–Shang optimal tile size g = c * t_s / t_c.
+#pragma once
+
+#include <vector>
+
+#include "tilo/machine/params.hpp"
+
+namespace tilo::mach {
+
+/// What one steady-state time step of one processor looks like: the tile
+/// grain and the message sizes it exchanges with its neighbors.
+struct StepShape {
+  i64 iterations = 0;            ///< g: iterations computed per tile
+  i64 working_set_bytes = 0;     ///< tile bytes incl. halos (cache model)
+  std::vector<i64> send_bytes;   ///< one entry per outgoing message
+  std::vector<i64> recv_bytes;   ///< one entry per incoming message
+};
+
+/// The A/B decomposition of one time step (paper Fig. 4b).
+struct StepCost {
+  double a1 = 0;  ///< fill MPI send buffers (CPU)
+  double a2 = 0;  ///< tile computation g * t_c (CPU)
+  double a3 = 0;  ///< fill MPI receive buffers (CPU)
+  double b1 = 0;  ///< receive-side wire time
+  double b2 = 0;  ///< kernel receive-buffer copies
+  double b3 = 0;  ///< kernel send-buffer copies
+  double b4 = 0;  ///< send-side wire time
+
+  /// A1 + A2 + A3: the non-overlappable CPU side.
+  double cpu_side() const { return a1 + a2 + a3; }
+  /// B1 + B2 + B3 + B4: the DMA/NIC side.
+  double comm_side() const { return b1 + b2 + b3 + b4; }
+
+  /// Step duration under the given overlap level (paper Fig. 3 a/b/c).
+  double step_time(OverlapLevel level) const;
+};
+
+/// Computes the A/B stage costs of one step.  The wire time of a message is
+/// split evenly into B4 (send half) and B1 (receive half), following the
+/// paper ("the overall transmission is splitted into the sender side
+/// transmission time and the receiver side receive time").
+StepCost step_cost(const MachineParams& params, const StepShape& shape);
+
+/// Equation (3): total non-overlapping time for `hyperplanes` steps.
+double total_nonoverlap(const MachineParams& params, const StepShape& shape,
+                        i64 hyperplanes);
+
+/// Equation (4): total overlapping time.
+double total_overlap(const MachineParams& params, const StepShape& shape,
+                     i64 hyperplanes,
+                     OverlapLevel level = OverlapLevel::kDma);
+
+/// Equation (5): the CPU-bound overlapping bound P(g) * (A1 + A2 + A3) —
+/// what the paper evaluates its experiments against.
+double total_overlap_cpu_bound(const MachineParams& params,
+                               const StepShape& shape, i64 hyperplanes);
+
+/// Hodzic–Shang optimal tile size for the non-overlapping schedule
+/// (expression (11) of [4], quoted in the paper's Example 1):
+/// g = c * t_s / t_c with c the number of neighboring processors.
+double hodzic_shang_optimal_g(const MachineParams& params, int neighbors,
+                              i64 message_bytes = 0);
+
+}  // namespace tilo::mach

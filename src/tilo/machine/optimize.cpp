@@ -1,0 +1,94 @@
+#include "tilo/machine/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::mach {
+
+Minimum golden_section(const std::function<double(double)>& f, double lo,
+                       double hi, double tol, int max_iters) {
+  TILO_REQUIRE(lo < hi, "golden_section: lo >= hi");
+  TILO_REQUIRE(tol > 0, "golden_section: tol must be positive");
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;  // 0.618...
+  double a = lo;
+  double b = hi;
+  double x1 = b - phi * (b - a);
+  double x2 = a + phi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int i = 0; i < max_iters && (b - a) > tol; ++i) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  const double x = 0.5 * (a + b);
+  return Minimum{x, f(x)};
+}
+
+IntMinimum integer_sweep(const std::function<double(i64)>& f, i64 lo, i64 hi,
+                         i64 step) {
+  TILO_REQUIRE(lo <= hi, "integer_sweep: lo > hi");
+  TILO_REQUIRE(step >= 1, "integer_sweep: step must be >= 1");
+  IntMinimum best{lo, f(lo)};
+  for (i64 x = lo + step; x <= hi; x += step) {
+    const double v = f(x);
+    if (v < best.value) best = IntMinimum{x, v};
+  }
+  return best;
+}
+
+IntMinimum geometric_sweep(const std::function<double(i64)>& f, i64 lo,
+                           i64 hi, double ratio) {
+  TILO_REQUIRE(lo >= 1 && lo <= hi, "geometric_sweep: bad range");
+  TILO_REQUIRE(ratio > 1.0, "geometric_sweep: ratio must be > 1");
+
+  // Coarse pass on a multiplicative grid.
+  std::vector<i64> grid;
+  double x = static_cast<double>(lo);
+  i64 last = -1;
+  while (static_cast<i64>(x) <= hi) {
+    const i64 xi = std::max<i64>(static_cast<i64>(x), last + 1);
+    if (xi > hi) break;
+    grid.push_back(xi);
+    last = xi;
+    x *= ratio;
+  }
+  if (grid.empty() || grid.back() != hi) grid.push_back(hi);
+
+  std::size_t best_idx = 0;
+  double best_val = f(grid[0]);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double v = f(grid[i]);
+    if (v < best_val) {
+      best_val = v;
+      best_idx = i;
+    }
+  }
+
+  // Linear refinement between the neighbors of the best coarse point.
+  const i64 ref_lo = best_idx > 0 ? grid[best_idx - 1] : grid[best_idx];
+  const i64 ref_hi =
+      best_idx + 1 < grid.size() ? grid[best_idx + 1] : grid[best_idx];
+  // Cap the refinement work; completion-time curves are flat near the
+  // optimum, so a stride > 1 on huge intervals costs little accuracy.
+  const i64 span = ref_hi - ref_lo;
+  const i64 stride = std::max<i64>(1, span / 512);
+  IntMinimum fine = integer_sweep(f, ref_lo, ref_hi, stride);
+  if (fine.value < best_val) return fine;
+  return IntMinimum{grid[best_idx], best_val};
+}
+
+}  // namespace tilo::mach

@@ -1,0 +1,43 @@
+// One-dimensional minimizers used to find the optimal tile grain g (the
+// paper finds g_optimal experimentally because A_i(g) has no closed form;
+// we expose both a continuous and an exhaustive integer search).
+#pragma once
+
+#include <functional>
+
+#include "tilo/util/math.hpp"
+
+namespace tilo::mach {
+
+using util::i64;
+
+/// Result of a 1-D minimization.
+struct Minimum {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Golden-section search for a (quasi-)unimodal f on [lo, hi].
+/// `tol` is the absolute interval width at which the search stops.
+Minimum golden_section(const std::function<double(double)>& f, double lo,
+                       double hi, double tol = 1e-6, int max_iters = 200);
+
+/// Result of an integer sweep.
+struct IntMinimum {
+  i64 x = 0;
+  double value = 0.0;
+};
+
+/// Evaluates f on {lo, lo+step, ..., <= hi} and returns the argmin.
+/// Ties resolve to the smallest x.  This is the paper's experimental
+/// procedure ("for all possible values of V ... we ran both programs").
+IntMinimum integer_sweep(const std::function<double(i64)>& f, i64 lo, i64 hi,
+                         i64 step = 1);
+
+/// Geometric sweep: evaluates f on a multiplicative grid (ratio > 1), then
+/// refines linearly around the best coarse point.  Much cheaper than a full
+/// sweep when f(x) is smooth, as the completion-time curves are.
+IntMinimum geometric_sweep(const std::function<double(i64)>& f, i64 lo,
+                           i64 hi, double ratio = 1.25);
+
+}  // namespace tilo::mach

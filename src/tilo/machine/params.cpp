@@ -1,0 +1,45 @@
+#include "tilo/machine/params.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::mach {
+
+std::string to_string(OverlapLevel level) {
+  switch (level) {
+    case OverlapLevel::kNone:
+      return "none";
+    case OverlapLevel::kDma:
+      return "dma";
+    case OverlapLevel::kDuplexDma:
+      return "duplex-dma";
+  }
+  TILO_ASSERT(false, "unknown OverlapLevel");
+  return {};
+}
+
+MachineParams MachineParams::paper_cluster() {
+  MachineParams p;
+  p.t_c = 0.441e-6;
+  p.t_t = 0.08e-6;  // 100 Mb/s FastEthernet
+  p.bytes_per_element = 4;
+  p.wire_latency = 30e-6;  // switch + stack propagation, one hop
+  // Fit through (7104 B, 627 us) and (8608 B, 745 us):
+  //   per_byte = (745 - 627) us / 1504 B = 78.5 ns/B, base = 69.3 us.
+  p.fill_mpi_buffer = AffineCost{69.3e-6, 78.5e-9};
+  p.fill_kernel_buffer = AffineCost{69.3e-6, 78.5e-9};
+  return p;
+}
+
+MachineParams MachineParams::idealized_example() {
+  MachineParams p;
+  p.t_c = 1e-6;
+  p.t_t = 0.8e-6;  // the paper's "Ethernet 10 Mbps" figure, per byte
+  p.bytes_per_element = 4;
+  p.wire_latency = 0.0;
+  // t_s = 100 t_c split evenly between MPI and kernel buffer fills.
+  p.fill_mpi_buffer = AffineCost{50e-6, 0.0};
+  p.fill_kernel_buffer = AffineCost{50e-6, 0.0};
+  return p;
+}
+
+}  // namespace tilo::mach

@@ -1,0 +1,101 @@
+// Machine model (paper Section 2.6 and Fig. 5).
+//
+// All times are in seconds (double) at this layer; the discrete-event
+// simulator converts to integer nanoseconds.
+//
+// A message passes through five stages (Fig. 5):
+//   sender CPU : fill MPI (user-space) send buffer            -> A1
+//   sender OS  : copy MPI buffer to kernel buffer             -> B3
+//   wire       : transmission (split into send/recv halves)   -> B4 | B1
+//   receiver OS: copy into kernel receive buffer              -> B2
+//   receiver CPU: copy kernel buffer into MPI receive buffer  -> A3
+// The A-stages always burn CPU; the B-stages can be overlapped with
+// computation when the node has DMA/NIC support (Section 4).
+#pragma once
+
+#include <string>
+
+#include "tilo/util/math.hpp"
+
+namespace tilo::mach {
+
+using util::i64;
+
+/// Affine per-message cost: seconds(bytes) = base + per_byte * bytes.
+struct AffineCost {
+  double base = 0.0;
+  double per_byte = 0.0;
+
+  double at(i64 bytes) const {
+    return base + per_byte * static_cast<double>(bytes);
+  }
+};
+
+/// How much of the communication pipeline overlaps with computation
+/// (paper Fig. 3).
+enum class OverlapLevel {
+  kNone,       ///< (a) fully serialized receive-compute-send triplets
+  kDma,        ///< (b) kernel copies + transmission on DMA/NIC, shared channel
+  kDuplexDma,  ///< (c) independent send and receive DMA channels
+};
+
+std::string to_string(OverlapLevel level);
+
+/// Optional cache model: tiles whose working set exceeds the capacity pay
+/// a compute-time penalty proportional to the fraction of accesses that
+/// spill to memory.  effective_tc = t_c * (1 + miss_penalty * spill) with
+/// spill = max(0, 1 - capacity / working_set).  Off by default (capacity
+/// 0 = infinite cache), matching the paper's model where t_c is constant.
+struct CacheModel {
+  i64 capacity_bytes = 0;      ///< 0 disables the model
+  double miss_penalty = 0.0;   ///< extra cost factor at full spill
+
+  bool enabled() const { return capacity_bytes > 0; }
+  /// Compute-time multiplier for a tile touching `working_set` bytes.
+  double factor(i64 working_set) const {
+    if (!enabled() || working_set <= capacity_bytes) return 1.0;
+    const double spill = 1.0 - static_cast<double>(capacity_bytes) /
+                                   static_cast<double>(working_set);
+    return 1.0 + miss_penalty * spill;
+  }
+};
+
+/// Parameters of the target cluster.
+struct MachineParams {
+  /// Seconds per iteration of the original loop body (t_c).
+  double t_c = 1e-6;
+  /// Wire transmission seconds per byte (t_t); FastEthernet ~ 0.08 us/B.
+  double t_t = 0.08e-6;
+  /// Bytes per array element (b); the paper uses 4-byte floats.
+  int bytes_per_element = 4;
+  /// Propagation delay of the interconnect added once per message.
+  double wire_latency = 0.0;
+  /// Per-message CPU cost to fill/drain the user-space MPI buffer
+  /// (A1 for sends, A3 for receives; the paper measures them equal).
+  AffineCost fill_mpi_buffer;
+  /// Per-message OS cost to copy between MPI and kernel buffers
+  /// (B3 send side, B2 receive side).
+  AffineCost fill_kernel_buffer;
+  /// Cache behaviour of tile computation (disabled by default).
+  CacheModel cache;
+
+  /// The communication startup latency t_s of the classic model, which the
+  /// paper decomposes as T_fill_MPI_buffer + T_fill_kernel_buffer.
+  double t_s(i64 bytes = 0) const {
+    return fill_mpi_buffer.at(bytes) + fill_kernel_buffer.at(bytes);
+  }
+
+  /// The NTUA cluster of Section 5: 16 x 500 MHz Pentium III, Linux 2.2.14,
+  /// MPICH over switched FastEthernet.  t_c measured 0.441 us; the MPI
+  /// buffer-fill cost is an affine fit through the paper's measured points
+  /// (7104 B, 627 us) and (8608 B, 745 us); kernel copies are taken equal to
+  /// MPI copies (the paper's Example 3 assumption T_fill_MPI = t_s / 2).
+  static MachineParams paper_cluster();
+
+  /// The idealized constants of Examples 1 and 3 (Section 3/4):
+  /// t_c = 1 us, t_s = 100 t_c (so each buffer fill is 50 t_c),
+  /// t_t = 0.8 t_c per byte, 4-byte elements.
+  static MachineParams idealized_example();
+};
+
+}  // namespace tilo::mach

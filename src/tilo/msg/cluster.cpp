@@ -1,0 +1,217 @@
+#include "tilo/msg/cluster.hpp"
+
+#include <algorithm>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::msg {
+
+Cluster::Cluster(int num_nodes, const mach::MachineParams& params,
+                 mach::OverlapLevel level, Network network,
+                 trace::Timeline* timeline, Protocol protocol)
+    : params_(params), level_(level), network_(network),
+      protocol_(protocol), timeline_(timeline) {
+  TILO_REQUIRE(num_nodes >= 1, "cluster needs at least one node");
+  nodes_.resize(static_cast<std::size_t>(num_nodes));
+  for (int r = 0; r < num_nodes; ++r) {
+    auto& st = nodes_[static_cast<std::size_t>(r)];
+    st.endpoint = std::make_unique<Endpoint>(*this, r);
+    st.channel[0] = std::make_unique<sim::Resource>(
+        engine_, util::concat("node", r, ".dma0"));
+    if (level == mach::OverlapLevel::kDuplexDma) {
+      st.channel[1] = std::make_unique<sim::Resource>(
+          engine_, util::concat("node", r, ".dma1"));
+    }
+  }
+  if (network_ == Network::kSharedBus)
+    bus_ = std::make_unique<sim::Resource>(engine_, "bus");
+}
+
+Endpoint& Cluster::node(int rank) {
+  TILO_REQUIRE(rank >= 0 && rank < num_nodes(), "rank ", rank,
+               " out of range [0, ", num_nodes(), ")");
+  return *nodes_[static_cast<std::size_t>(rank)].endpoint;
+}
+
+sim::Time Cluster::run() {
+  engine_.run();
+  return engine_.now();
+}
+
+sim::Time Cluster::fill_mpi_ns(i64 bytes) const {
+  return sim::from_seconds(params_.fill_mpi_buffer.at(bytes));
+}
+
+sim::Time Cluster::fill_kernel_ns(i64 bytes) const {
+  return sim::from_seconds(params_.fill_kernel_buffer.at(bytes));
+}
+
+sim::Time Cluster::half_wire_ns(i64 bytes) const {
+  return sim::from_seconds(0.5 * params_.t_t * static_cast<double>(bytes));
+}
+
+sim::Time Cluster::latency_ns() const {
+  return sim::from_seconds(params_.wire_latency);
+}
+
+sim::Time Cluster::compute_ns(i64 iterations, i64 working_set_bytes) const {
+  TILO_REQUIRE(iterations >= 0, "negative iteration count");
+  return sim::from_seconds(params_.t_c * static_cast<double>(iterations) *
+                           params_.cache.factor(working_set_bytes));
+}
+
+sim::Resource& Cluster::send_channel(int rank) {
+  return *nodes_[static_cast<std::size_t>(rank)].channel[0];
+}
+
+sim::Resource& Cluster::recv_channel(int rank) {
+  auto& st = nodes_[static_cast<std::size_t>(rank)];
+  // kDma shares one channel for both directions; kDuplexDma splits them.
+  return st.channel[1] ? *st.channel[1] : *st.channel[0];
+}
+
+void Cluster::track_sent(int src, int dst, i64 bytes) {
+  ++messages_;
+  bytes_ += bytes;
+  inflight_ += bytes;
+  peak_inflight_ = std::max(peak_inflight_, inflight_);
+  traffic_[{src, dst}] += bytes;
+}
+
+void Cluster::track_delivered(i64 bytes) {
+  inflight_ -= bytes;
+  TILO_ASSERT(inflight_ >= 0, "in-flight byte accounting went negative");
+}
+
+void Cluster::start_transfer(Message m,
+                             const std::shared_ptr<SendHandle>& handle) {
+  const i64 index = messages_;
+  track_sent(m.src, m.dst, m.bytes);
+  if (index == drop_index_) {
+    // Lost on the wire: the local send "succeeds", nothing arrives.
+    handle->done = true;
+    if (handle->waiter) {
+      auto w = std::move(handle->waiter);
+      handle->waiter = nullptr;
+      w();
+    }
+    track_delivered(m.bytes);
+    return;
+  }
+  if (protocol_ == Protocol::kRendezvous) {
+    // Request-to-send travels to the receiver; the data pipeline starts
+    // only once a matching receive is posted (clear_to_send).
+    const int dst = m.dst;
+    engine_.after(latency_ns(), [this, dst, handle,
+                                 m = std::move(m)]() mutable {
+      nodes_[static_cast<std::size_t>(dst)].endpoint->rts_arrived(
+          std::move(m), handle);
+    });
+    return;
+  }
+  start_pipeline(std::move(m), handle);
+}
+
+void Cluster::clear_to_send(Message m, std::shared_ptr<SendHandle> handle) {
+  // CTS travels back to the sender, then the data ships.
+  engine_.after(latency_ns(), [this, handle = std::move(handle),
+                               m = std::move(m)]() mutable {
+    start_pipeline(std::move(m), handle);
+  });
+}
+
+void Cluster::start_pipeline(Message m,
+                             const std::shared_ptr<SendHandle>& handle) {
+  const sim::Time b3 = fill_kernel_ns(m.bytes);
+  const sim::Time b4 = half_wire_ns(m.bytes);
+  const sim::Time b1 = b4;
+  const sim::Time b2 = fill_kernel_ns(m.bytes);
+  const int src = m.src;
+  const int dst = m.dst;
+
+  auto recv_leg = [this, dst, b1, b2](Message msg, sim::Time earliest) {
+    auto grant = recv_channel(dst).acquire(
+        earliest, b1 + b2,
+        [this, dst, msg = std::move(msg)]() mutable {
+          nodes_[static_cast<std::size_t>(dst)].endpoint->deliver(
+              std::move(msg));
+        });
+    if (timeline_) {
+      timeline_->record(dst, trace::Phase::kWire, grant.start,
+                        grant.start + b1);
+      timeline_->record(dst, trace::Phase::kKernelRecv, grant.start + b1,
+                        grant.completion);
+    }
+  };
+
+  if (network_ == Network::kSwitched) {
+    // Sender channel: kernel copy + send half of the wire time; then the
+    // receiver channel picks up after the propagation latency.
+    auto grant = send_channel(src).acquire(
+        engine_.now(), b3 + b4,
+        [this, handle, recv_leg, m = std::move(m)]() mutable {
+          handle->done = true;
+          if (handle->waiter) {
+            auto w = std::move(handle->waiter);
+            handle->waiter = nullptr;
+            w();
+          }
+          recv_leg(std::move(m), engine_.now() + latency_ns());
+        });
+    if (timeline_) {
+      timeline_->record(src, trace::Phase::kKernelSend, grant.start,
+                        grant.start + b3);
+      timeline_->record(src, trace::Phase::kWire, grant.start + b3,
+                        grant.completion);
+    }
+  } else {
+    // Shared bus: the kernel copy runs on the sender channel, then the
+    // whole frame occupies the single bus, then the receiver kernel copy.
+    (void)recv_leg;  // switched-network path only
+    auto grant = send_channel(src).acquire(
+        engine_.now(), b3,
+        [this, handle, b4, b1, b2, src, dst, m = std::move(m)]() mutable {
+          auto bus_grant = bus_->acquire(
+              engine_.now(), b4 + b1,
+              [this, handle, b2, dst, m = std::move(m)]() mutable {
+                handle->done = true;
+                if (handle->waiter) {
+                  auto w = std::move(handle->waiter);
+                  handle->waiter = nullptr;
+                  w();
+                }
+                // Only the kernel copy remains on the receiver channel.
+                auto grant2 = recv_channel(dst).acquire(
+                    engine_.now() + latency_ns(), b2,
+                    [this, dst, m = std::move(m)]() mutable {
+                      nodes_[static_cast<std::size_t>(dst)]
+                          .endpoint->deliver(std::move(m));
+                    });
+                if (timeline_)
+                  timeline_->record(dst, trace::Phase::kKernelRecv,
+                                    grant2.start, grant2.completion);
+              });
+          if (timeline_)
+            timeline_->record(src, trace::Phase::kWire, bus_grant.start,
+                              bus_grant.completion);
+        });
+    if (timeline_)
+      timeline_->record(src, trace::Phase::kKernelSend, grant.start,
+                        grant.completion);
+  }
+}
+
+void Cluster::start_blocking_transfer(Message m) {
+  const i64 index = messages_;
+  track_sent(m.src, m.dst, m.bytes);
+  if (index == drop_index_) {
+    track_delivered(m.bytes);
+    return;  // lost on the wire
+  }
+  const int dst = m.dst;
+  engine_.after(latency_ns(), [this, dst, m = std::move(m)]() mutable {
+    nodes_[static_cast<std::size_t>(dst)].endpoint->deliver(std::move(m));
+  });
+}
+
+}  // namespace tilo::msg

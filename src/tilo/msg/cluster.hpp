@@ -1,0 +1,140 @@
+// The simulated cluster: engine + per-node endpoints, DMA channels and the
+// network model.  Substitutes the paper's 16-node Pentium/FastEthernet
+// testbed (see DESIGN.md §2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "tilo/machine/params.hpp"
+#include "tilo/msg/endpoint.hpp"
+#include "tilo/sim/engine.hpp"
+#include "tilo/sim/resource.hpp"
+#include "tilo/trace/timeline.hpp"
+
+namespace tilo::msg {
+
+/// Network topology model.
+enum class Network {
+  kSwitched,  ///< full-duplex switch: contention only at node ports (default)
+  kSharedBus, ///< classic shared Ethernet: one bus serializes all wire time
+};
+
+/// Message protocol for the nonblocking (DMA) path.
+enum class Protocol {
+  kEager,       ///< data ships immediately; receiver buffers unexpected
+                ///< messages (MPICH's small-message behavior, the paper's
+                ///< regime)
+  kRendezvous,  ///< data ships only after a request-to-send /
+                ///< clear-to-send handshake with a posted receive
+                ///< (large-message behavior; adds round-trip latency)
+};
+
+/// A simulated cluster of `num_nodes` identical nodes.
+class Cluster {
+ public:
+  Cluster(int num_nodes, const mach::MachineParams& params,
+          mach::OverlapLevel level = mach::OverlapLevel::kDma,
+          Network network = Network::kSwitched,
+          trace::Timeline* timeline = nullptr,
+          Protocol protocol = Protocol::kEager);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  sim::Engine& engine() { return engine_; }
+  const mach::MachineParams& params() const { return params_; }
+  mach::OverlapLevel level() const { return level_; }
+  Protocol protocol() const { return protocol_; }
+  trace::Timeline* timeline() { return timeline_; }
+
+  Endpoint& node(int rank);
+
+  /// Runs the simulation to completion and returns the final time.
+  sim::Time run();
+
+  /// Totals across the whole run.
+  i64 messages_sent() const { return messages_; }
+  i64 bytes_sent() const { return bytes_; }
+  /// Peak bytes simultaneously in flight (sent but not yet handed to a
+  /// receive) — the extra buffer space communication overlap needs
+  /// (paper Fig. 6).
+  i64 peak_inflight_bytes() const { return peak_inflight_; }
+
+  /// Failure injection (tests): the `index`-th message sent (0-based)
+  /// is silently lost on the wire — its send completes locally, the
+  /// receiver never sees it.  -1 disables (default).
+  void inject_message_loss(i64 index) { drop_index_ = index; }
+
+  /// Bytes sent per (src, dst) pair — the communication matrix.
+  const std::map<std::pair<int, int>, i64>& traffic() const {
+    return traffic_;
+  }
+
+  /// Suspended-program registry (used by the executors' coroutine
+  /// awaitables): a program parks its coroutine address while waiting on a
+  /// message handle and removes it on resume.  After the engine drains, a
+  /// stalled run reclaims whatever is still parked so injected failures
+  /// cannot leak coroutine frames.
+  void register_suspended(void* coroutine_address) {
+    suspended_.insert(coroutine_address);
+  }
+  void unregister_suspended(void* coroutine_address) {
+    suspended_.erase(coroutine_address);
+  }
+  /// Returns and clears the parked set.
+  std::set<void*> take_suspended() { return std::move(suspended_); }
+
+  // --- cost conversion helpers (seconds model -> simulated ns) ---
+  sim::Time fill_mpi_ns(i64 bytes) const;
+  sim::Time fill_kernel_ns(i64 bytes) const;
+  sim::Time half_wire_ns(i64 bytes) const;
+  sim::Time latency_ns() const;
+  sim::Time compute_ns(i64 iterations, i64 working_set_bytes = 0) const;
+
+ private:
+  friend class Endpoint;
+
+  struct NodeState {
+    std::unique_ptr<Endpoint> endpoint;
+    // kDma: send and recv share channel[0]; kDuplexDma: [0]=send, [1]=recv.
+    std::unique_ptr<sim::Resource> channel[2];
+  };
+
+  sim::Resource& send_channel(int rank);
+  sim::Resource& recv_channel(int rank);
+
+  /// Overlapped (DMA) transfer entry; called by Endpoint::isend.  Eager
+  /// protocol pipelines immediately; rendezvous first runs the RTS/CTS
+  /// handshake against the receiver's posted-receive table.
+  void start_transfer(Message m, const std::shared_ptr<SendHandle>& handle);
+  /// The data pipeline itself (post-handshake under rendezvous).
+  void start_pipeline(Message m, const std::shared_ptr<SendHandle>& handle);
+  /// Rendezvous: receiver granted the transfer; CTS travels back, then the
+  /// pipeline runs.  Called by Endpoint when a matching irecv is posted.
+  void clear_to_send(Message m, std::shared_ptr<SendHandle> handle);
+  /// Blocking-path delivery; called by Endpoint::post_blocking.
+  void start_blocking_transfer(Message m);
+
+  sim::Engine engine_;
+  mach::MachineParams params_;
+  mach::OverlapLevel level_;
+  Network network_;
+  Protocol protocol_;
+  trace::Timeline* timeline_;
+  std::vector<NodeState> nodes_;
+  std::unique_ptr<sim::Resource> bus_;  // kSharedBus only
+  i64 messages_ = 0;
+  i64 bytes_ = 0;
+  i64 inflight_ = 0;
+  i64 peak_inflight_ = 0;
+  i64 drop_index_ = -1;
+  std::map<std::pair<int, int>, i64> traffic_;
+  std::set<void*> suspended_;
+
+  void track_sent(int src, int dst, i64 bytes);
+  void track_delivered(i64 bytes);
+};
+
+}  // namespace tilo::msg

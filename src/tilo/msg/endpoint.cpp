@@ -1,0 +1,134 @@
+#include "tilo/msg/endpoint.hpp"
+
+#include "tilo/msg/cluster.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::msg {
+
+Endpoint::Endpoint(Cluster& cluster, int rank)
+    : cluster_(&cluster), rank_(rank) {}
+
+void Endpoint::cpu(sim::Time dt, trace::Phase phase,
+                   std::function<void()> fn, std::string label) {
+  TILO_REQUIRE(dt >= 0, "negative CPU time");
+  if (trace::Timeline* tl = cluster_->timeline()) {
+    const sim::Time now = cluster_->engine().now();
+    tl->record(rank_, phase, now, now + dt, std::move(label));
+  }
+  cluster_->engine().after(dt, std::move(fn));
+}
+
+std::shared_ptr<SendHandle> Endpoint::isend(int dst, i64 tag, i64 bytes,
+                                            Payload payload) {
+  TILO_REQUIRE(cluster_->level() != mach::OverlapLevel::kNone,
+               "isend needs a DMA-capable overlap level; use the blocking "
+               "path for OverlapLevel::kNone");
+  TILO_REQUIRE(dst >= 0 && dst < cluster_->num_nodes(), "bad destination ",
+               dst);
+  TILO_REQUIRE(dst != rank_, "self-send is not supported");
+  TILO_REQUIRE(bytes >= 0, "negative message size");
+  auto handle = std::make_shared<SendHandle>();
+  handle->bytes = bytes;
+  cluster_->start_transfer(
+      Message{rank_, dst, tag, bytes, std::move(payload)}, handle);
+  return handle;
+}
+
+std::shared_ptr<RecvHandle> Endpoint::irecv(int src, i64 tag) {
+  TILO_REQUIRE(src >= 0 && src < cluster_->num_nodes(), "bad source ", src);
+  TILO_REQUIRE(src != rank_, "self-receive is not supported");
+  auto handle = std::make_shared<RecvHandle>();
+  handle->src = src;
+  handle->tag = tag;
+
+  const Key key{src, tag};
+  auto it = arrived_.find(key);
+  if (it != arrived_.end() && !it->second.empty()) {
+    Message m = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) arrived_.erase(it);
+    handle->ready = true;
+    handle->payload = std::move(m.payload);
+    handle->bytes = m.bytes;
+    return handle;
+  }
+  posted_[key].push_back(handle);
+  if (cluster_->protocol() == Protocol::kRendezvous) {
+    auto rts = rts_pending_.find(key);
+    if (rts != rts_pending_.end() && !rts->second.empty()) {
+      // A sender is parked on this key: grant its clear-to-send now.
+      auto [message, sender] = std::move(rts->second.front());
+      rts->second.pop_front();
+      if (rts->second.empty()) rts_pending_.erase(rts);
+      cluster_->clear_to_send(std::move(message), std::move(sender));
+    } else {
+      ++ungranted_posted_[key];
+    }
+  }
+  return handle;
+}
+
+void Endpoint::rts_arrived(Message m, std::shared_ptr<SendHandle> handle) {
+  const Key key{m.src, m.tag};
+  auto it = ungranted_posted_.find(key);
+  if (it != ungranted_posted_.end() && it->second > 0) {
+    if (--it->second == 0) ungranted_posted_.erase(it);
+    cluster_->clear_to_send(std::move(m), std::move(handle));
+    return;
+  }
+  rts_pending_[key].emplace_back(std::move(m), std::move(handle));
+}
+
+void Endpoint::when_done(const std::shared_ptr<SendHandle>& h,
+                         std::function<void()> fn) {
+  TILO_REQUIRE(h != nullptr, "null send handle");
+  if (h->done) {
+    fn();
+    return;
+  }
+  TILO_REQUIRE(!h->waiter, "send handle already has a waiter");
+  h->waiter = std::move(fn);
+}
+
+void Endpoint::when_ready(const std::shared_ptr<RecvHandle>& h,
+                          std::function<void()> fn) {
+  TILO_REQUIRE(h != nullptr, "null recv handle");
+  if (h->ready) {
+    fn();
+    return;
+  }
+  TILO_REQUIRE(!h->waiter, "recv handle already has a waiter");
+  h->waiter = std::move(fn);
+}
+
+void Endpoint::post_blocking(int dst, i64 tag, i64 bytes, Payload payload) {
+  TILO_REQUIRE(dst >= 0 && dst < cluster_->num_nodes(), "bad destination ",
+               dst);
+  TILO_REQUIRE(dst != rank_, "self-send is not supported");
+  TILO_REQUIRE(bytes >= 0, "negative message size");
+  cluster_->start_blocking_transfer(
+      Message{rank_, dst, tag, bytes, std::move(payload)});
+}
+
+void Endpoint::deliver(Message m) {
+  cluster_->track_delivered(m.bytes);
+  const Key key{m.src, m.tag};
+  auto it = posted_.find(key);
+  if (it != posted_.end() && !it->second.empty()) {
+    std::shared_ptr<RecvHandle> h = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) posted_.erase(it);
+    h->ready = true;
+    h->payload = std::move(m.payload);
+    h->bytes = m.bytes;
+    if (h->waiter) {
+      auto w = std::move(h->waiter);
+      h->waiter = nullptr;
+      w();
+    }
+    return;
+  }
+  arrived_[key].push_back(std::move(m));
+}
+
+}  // namespace tilo::msg

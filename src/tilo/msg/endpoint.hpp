@@ -1,0 +1,109 @@
+// One simulated rank's messaging endpoint: nonblocking isend/irecv with
+// (source, tag) matching and DMA-pipelined transfers, plus the blocking
+// wire path used by the non-overlapping executor.
+//
+// Cost placement follows the paper's Fig. 4/5 decomposition.  The CPU-bound
+// A-stages (A1 fill-MPI-send, A3 fill-MPI-recv) are *not* charged here —
+// the executor charges them on the calling processor via Endpoint::cpu(),
+// which is what makes the overlap explicit.  The B-stages are charged here:
+//   isend:  B3 (kernel copy) + B4 (send-half wire) on the sender's channel,
+//   then, after the wire latency,
+//           B1 (recv-half wire) + B2 (kernel copy) on the receiver's channel,
+// after which the message is "kernel-ready" and a matching irecv completes.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "tilo/msg/message.hpp"
+#include "tilo/sim/resource.hpp"
+#include "tilo/trace/timeline.hpp"
+
+namespace tilo::msg {
+
+class Cluster;
+
+/// Completion state of a nonblocking send.  `done` means the local pipeline
+/// (kernel copy + wire send half) finished and the send buffer is free.
+struct SendHandle {
+  bool done = false;
+  std::function<void()> waiter;
+  i64 bytes = 0;
+};
+
+/// Completion state of a nonblocking receive.  `ready` means the message is
+/// in the kernel buffer; the CPU-side A3 copy is still the caller's to pay.
+struct RecvHandle {
+  bool ready = false;
+  std::function<void()> waiter;
+  int src = -1;
+  i64 tag = 0;
+  Payload payload;
+  i64 bytes = 0;
+};
+
+/// The per-rank endpoint.  Created and owned by Cluster.
+class Endpoint {
+ public:
+  Endpoint(Cluster& cluster, int rank);
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  int rank() const { return rank_; }
+
+  /// Occupies the CPU for `dt`, records `phase` on the timeline, then runs
+  /// `fn`.  The executor's building block for A1/A2/A3 costs.
+  void cpu(sim::Time dt, trace::Phase phase, std::function<void()> fn,
+           std::string label = {});
+
+  /// Nonblocking send (MPI_Isend).  The caller must charge A1 via cpu()
+  /// first.  Requires a DMA-capable overlap level.
+  std::shared_ptr<SendHandle> isend(int dst, i64 tag, i64 bytes,
+                                    Payload payload = {});
+
+  /// Nonblocking receive (MPI_Irecv): posts the buffer; matches by
+  /// (src, tag), FIFO within a key.  Matches an already-arrived message
+  /// immediately (the paper's "underlying layers receive the message before
+  /// the actual issue of the receive call").
+  std::shared_ptr<RecvHandle> irecv(int src, i64 tag);
+
+  /// Runs `fn` when the send pipeline completes (immediately if done).
+  static void when_done(const std::shared_ptr<SendHandle>& h,
+                        std::function<void()> fn);
+  /// Runs `fn` when the message is kernel-ready (immediately if ready).
+  static void when_ready(const std::shared_ptr<RecvHandle>& h,
+                         std::function<void()> fn);
+
+  /// Blocking-path transfer: the caller has already charged the whole send
+  /// side (A1 + B3 + B4) on its CPU; this just delivers the message after
+  /// the wire latency.  The receiver charges B1 + B2 + A3 on its own CPU
+  /// when it picks the message up (non-overlapping semantics, Fig. 7).
+  void post_blocking(int dst, i64 tag, i64 bytes, Payload payload = {});
+
+ private:
+  friend class Cluster;
+
+  /// Called by Cluster when a message addressed to this rank becomes
+  /// kernel-ready.
+  void deliver(Message m);
+
+  /// Rendezvous protocol: a request-to-send reached this rank.  Grants a
+  /// clear-to-send immediately when an ungranted matching receive is
+  /// posted; otherwise parks the request until irecv.
+  void rts_arrived(Message m, std::shared_ptr<SendHandle> handle);
+
+  Cluster* cluster_;
+  int rank_;
+
+  using Key = std::pair<int, i64>;  // (src, tag)
+  std::map<Key, std::deque<Message>> arrived_;
+  std::map<Key, std::deque<std::shared_ptr<RecvHandle>>> posted_;
+  // Rendezvous bookkeeping: parked senders and not-yet-granted receives.
+  std::map<Key, std::deque<std::pair<Message, std::shared_ptr<SendHandle>>>>
+      rts_pending_;
+  std::map<Key, int> ungranted_posted_;
+};
+
+}  // namespace tilo::msg

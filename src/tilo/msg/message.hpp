@@ -1,0 +1,33 @@
+// Messages exchanged between simulated ranks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tilo/lattice/box.hpp"
+#include "tilo/sim/engine.hpp"
+
+namespace tilo::msg {
+
+using util::i64;
+
+/// Optional functional payload: region values concatenated in the sender's
+/// region order (the receiver reconstructs the region list from the tag, so
+/// no geometry travels with the message).  Timed runs leave `data` null and
+/// only the byte count matters.
+struct Payload {
+  std::shared_ptr<const std::vector<double>> data;
+
+  bool has_data() const { return data != nullptr; }
+};
+
+/// A message in flight.
+struct Message {
+  int src = -1;
+  int dst = -1;
+  i64 tag = 0;
+  i64 bytes = 0;
+  Payload payload;
+};
+
+}  // namespace tilo::msg

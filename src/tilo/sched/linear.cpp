@@ -1,0 +1,56 @@
+#include "tilo/sched/linear.hpp"
+
+#include <algorithm>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::sched {
+
+namespace {
+
+/// min (sign=+1) or max (sign=-1) of Π·j over a box: pick the per-dimension
+/// extreme corner (Π is linear, the box is axis-aligned).
+i64 extreme_dot(const Vec& pi, const Box& space, bool want_min) {
+  i64 acc = 0;
+  for (std::size_t d = 0; d < pi.size(); ++d) {
+    const i64 pick = (pi[d] >= 0) == want_min ? space.lo()[d] : space.hi()[d];
+    acc = util::checked_add(acc, util::checked_mul(pi[d], pick));
+  }
+  return acc;
+}
+
+}  // namespace
+
+LinearSchedule::LinearSchedule(Vec pi, const Box& space,
+                               const DependenceSet& deps)
+    : pi_(std::move(pi)) {
+  TILO_REQUIRE(pi_.size() == space.dims(),
+               "schedule vector dimensionality mismatch");
+  TILO_REQUIRE(!space.empty(), "schedule over empty space");
+
+  disp_ = 0;
+  for (const Vec& d : deps) {
+    const i64 pd = pi_.dot(d);
+    TILO_REQUIRE(pd >= 1, "schedule ", pi_.str(),
+                 " violates dependence ", d.str(), " (Π·d = ", pd, ")");
+    disp_ = disp_ == 0 ? pd : std::min(disp_, pd);
+  }
+  if (disp_ == 0) disp_ = 1;  // independent iterations
+
+  t0_ = util::checked_sub(0, extreme_dot(pi_, space, /*want_min=*/true));
+  const i64 max_dot = extreme_dot(pi_, space, /*want_min=*/false);
+  length_ = util::floor_div(util::checked_add(max_dot, t0_), disp_) + 1;
+}
+
+i64 LinearSchedule::time_of(const Vec& j) const {
+  return util::floor_div(util::checked_add(pi_.dot(j), t0_), disp_);
+}
+
+bool LinearSchedule::satisfies_gap(const Vec& pi, const std::vector<Vec>& deps,
+                                   i64 min_gap) {
+  for (const Vec& d : deps)
+    if (pi.dot(d) < min_gap) return false;
+  return true;
+}
+
+}  // namespace tilo::sched

@@ -1,0 +1,48 @@
+// Linear time schedules (paper Section 2.5, after Shang/Fortes [10]):
+// a point j runs at t_j = ⌊(Π·j + t0) / dispΠ⌋ with
+// t0 = -min{Π·i : i ∈ J} and dispΠ = min{Π·d : d ∈ D}.
+#pragma once
+
+#include <vector>
+
+#include "tilo/lattice/box.hpp"
+#include "tilo/loopnest/deps.hpp"
+
+namespace tilo::sched {
+
+using lat::Box;
+using lat::Vec;
+using loop::DependenceSet;
+using util::i64;
+
+/// A linear schedule over an index space.
+class LinearSchedule {
+ public:
+  /// Builds the schedule for vector `pi` over `space` with dependence set
+  /// `deps`.  Requires Π·d >= 1 for every dependence (causality); dispΠ is
+  /// min Π·d (or 1 when deps is empty).
+  LinearSchedule(Vec pi, const Box& space, const DependenceSet& deps);
+
+  const Vec& pi() const { return pi_; }
+  i64 t0() const { return t0_; }
+  i64 disp() const { return disp_; }
+
+  /// Execution step of point j (>= 0 for points in the space).
+  i64 time_of(const Vec& j) const;
+
+  /// Number of time hyperplanes P = max time - min time + 1 over the space.
+  i64 length() const { return length_; }
+
+  /// True when Π·d >= min_gap for every dependence — used to check that the
+  /// overlapping schedule leaves >= 2 steps between communicating tiles.
+  static bool satisfies_gap(const Vec& pi, const std::vector<Vec>& deps,
+                            i64 min_gap);
+
+ private:
+  Vec pi_;
+  i64 t0_ = 0;
+  i64 disp_ = 1;
+  i64 length_ = 0;
+};
+
+}  // namespace tilo::sched

@@ -1,0 +1,32 @@
+#include "tilo/sched/partition.hpp"
+
+#include "tilo/lattice/echelon.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::sched {
+
+Partitioning independent_partitioning(const loop::DependenceSet& deps) {
+  TILO_REQUIRE(!deps.empty(), "partitioning analysis needs dependencies");
+  const std::size_t n = deps.dims();
+
+  // y · d = 0 for all d  <=>  D^T y = 0.  Column-reduce D^T: the columns
+  // of U whose image column is zero form an integer basis of the null
+  // space.
+  const Mat dt = deps.as_matrix().transpose();  // m x n
+  const lat::ColumnEchelon ech = lat::column_echelon(dt);
+
+  Partitioning out;
+  out.rank = ech.rank;
+  out.degree = n - ech.rank;
+  for (std::size_t c = ech.rank; c < n; ++c) {
+    Vec y = ech.u.col(c);
+    // Echelon guarantees D^T y = 0; keep the invariant checked.
+    for (const Vec& d : deps)
+      TILO_ASSERT(y.dot(d) == 0, "null-space basis vector ", y.str(),
+                  " is not orthogonal to ", d.str());
+    out.basis.push_back(std::move(y));
+  }
+  return out;
+}
+
+}  // namespace tilo::sched

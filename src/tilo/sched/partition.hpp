@@ -1,0 +1,38 @@
+// Independent partitioning analysis (Shang & Fortes [9], Hollander [5] —
+// the communication-free decomposition the paper's introduction contrasts
+// tiling against).
+//
+// If the dependence matrix D has rank r < n, the iteration space splits
+// into independent sets along n - r directions orthogonal to all
+// dependencies: iterations in different classes never exchange data, so
+// those directions can be distributed across processors with zero
+// communication and no tiling at all.  When r = n (the paper's evaluation
+// kernels), no such partitioning exists and tiling + scheduling is the
+// right tool — this module is the test that tells the two regimes apart.
+#pragma once
+
+#include <vector>
+
+#include "tilo/loopnest/deps.hpp"
+
+namespace tilo::sched {
+
+using lat::Mat;
+using lat::Vec;
+
+/// The independent-partitioning structure of a dependence set.
+struct Partitioning {
+  std::size_t rank = 0;    ///< rank of the dependence matrix
+  std::size_t degree = 0;  ///< n - rank: independent directions
+  /// Integer basis of the orthogonal (communication-free) directions:
+  /// every basis vector y satisfies y · d = 0 for all dependencies.
+  std::vector<Vec> basis;
+
+  bool is_partitionable() const { return degree > 0; }
+};
+
+/// Computes rank, degree and an integer basis of directions orthogonal to
+/// every dependence vector.
+Partitioning independent_partitioning(const loop::DependenceSet& deps);
+
+}  // namespace tilo::sched

@@ -1,0 +1,75 @@
+#include "tilo/sched/pi_search.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::sched {
+
+namespace {
+
+/// Unit-step makespan of Π over a box: the span of Π·j plus one.
+i64 makespan(const Vec& pi, const Box& space) {
+  i64 lo = 0;
+  i64 hi = 0;
+  for (std::size_t d = 0; d < pi.size(); ++d) {
+    const i64 a = util::checked_mul(pi[d], space.lo()[d]);
+    const i64 b = util::checked_mul(pi[d], space.hi()[d]);
+    lo = util::checked_add(lo, std::min(a, b));
+    hi = util::checked_add(hi, std::max(a, b));
+  }
+  return util::checked_sub(hi, lo) + 1;
+}
+
+}  // namespace
+
+PiSearchResult optimal_pi(const Box& space, const std::vector<Vec>& deps,
+                          const std::vector<i64>& gaps, i64 max_coeff) {
+  TILO_REQUIRE(!space.empty(), "empty space");
+  TILO_REQUIRE(deps.size() == gaps.size(),
+               "one gap per dependence required");
+  TILO_REQUIRE(max_coeff >= 1, "max_coeff must be >= 1");
+  const std::size_t n = space.dims();
+  TILO_REQUIRE(n >= 1 && n <= 8, "pi search supports 1..8 dimensions");
+
+  PiSearchResult best;
+  bool found = false;
+  Vec pi(n, 0);
+  // Odometer over [0, max_coeff]^n.
+  while (true) {
+    // Advance.
+    std::size_t d = n;
+    while (d > 0) {
+      --d;
+      if (pi[d] < max_coeff) {
+        ++pi[d];
+        break;
+      }
+      pi[d] = 0;
+      if (d == 0) {
+        TILO_REQUIRE(found,
+                     "no feasible schedule vector with coefficients <= ",
+                     max_coeff);
+        return best;
+      }
+    }
+    // Feasibility.
+    bool ok = true;
+    for (std::size_t i = 0; i < deps.size() && ok; ++i)
+      if (pi.dot(deps[i]) < gaps[i]) ok = false;
+    if (!ok) continue;
+    const i64 len = makespan(pi, space);
+    if (!found || len < best.length ||
+        (len == best.length && pi.lex_less(best.pi))) {
+      best = PiSearchResult{pi, len};
+      found = true;
+    }
+  }
+}
+
+PiSearchResult optimal_pi_uniform(const Box& space,
+                                  const std::vector<Vec>& deps, i64 gap,
+                                  i64 max_coeff) {
+  return optimal_pi(space, deps, std::vector<i64>(deps.size(), gap),
+                    max_coeff);
+}
+
+}  // namespace tilo::sched

@@ -1,0 +1,43 @@
+// Exhaustive search for time-optimal linear schedules (Shang/Fortes [10],
+// the machinery behind the paper's Section 2.5).
+//
+// Given an index space (a box), dependence vectors and a per-dependence
+// minimum step gap (1 for plain precedence; 2 for the overlapping model's
+// communicating tile dependencies), finds the integer vector Π with
+// bounded coefficients that minimizes the unit-step makespan
+//   max{Π·j} - min{Π·j} + 1  over the space,
+// subject to Π·d >= gap(d) for every dependence.  This is how the
+// optimality of Π = (1,...,1) for the non-overlapping tiled space and of
+// Π = (2,...,2,1,2,...,2) for the UET-UCT overlap model can be *checked*
+// rather than assumed.
+#pragma once
+
+#include <vector>
+
+#include "tilo/lattice/box.hpp"
+
+namespace tilo::sched {
+
+using lat::Box;
+using lat::Vec;
+using util::i64;
+
+/// Result of a schedule-vector search.
+struct PiSearchResult {
+  Vec pi;          ///< the optimal schedule vector
+  i64 length = 0;  ///< its unit-step makespan over the space
+};
+
+/// Enumerates Π with components in [0, max_coeff] (not all zero) and
+/// returns a makespan-minimizing vector satisfying Π·deps[i] >= gaps[i].
+/// Ties resolve to the lexicographically smallest Π.  Throws when no
+/// feasible vector exists within the coefficient bound.
+PiSearchResult optimal_pi(const Box& space, const std::vector<Vec>& deps,
+                          const std::vector<i64>& gaps, i64 max_coeff = 3);
+
+/// Convenience: uniform gap for all dependencies.
+PiSearchResult optimal_pi_uniform(const Box& space,
+                                  const std::vector<Vec>& deps, i64 gap = 1,
+                                  i64 max_coeff = 3);
+
+}  // namespace tilo::sched

@@ -1,0 +1,67 @@
+#include "tilo/sched/tiled.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::sched {
+
+Vec nonoverlap_pi(std::size_t dims) { return Vec(dims, 1); }
+
+Vec overlap_pi(std::size_t dims, std::size_t mapped_dim) {
+  TILO_REQUIRE(mapped_dim < dims, "mapped_dim out of range");
+  Vec pi(dims, 2);
+  pi[mapped_dim] = 1;
+  return pi;
+}
+
+std::size_t choose_mapped_dim(const lat::Box& tile_space) {
+  TILO_REQUIRE(!tile_space.empty(), "empty tile space");
+  std::size_t best = 0;
+  for (std::size_t d = 1; d < tile_space.dims(); ++d)
+    if (tile_space.extent(d) > tile_space.extent(best)) best = d;
+  return best;
+}
+
+LinearSchedule make_tile_schedule(const tile::TiledSpace& space,
+                                  ScheduleKind kind, std::size_t mapped_dim) {
+  TILO_REQUIRE(mapped_dim < space.dims(), "mapped_dim out of range");
+  const Vec pi = kind == ScheduleKind::kOverlap
+                     ? overlap_pi(space.dims(), mapped_dim)
+                     : nonoverlap_pi(space.dims());
+
+  // D^S as a DependenceSet for the causality check inside LinearSchedule.
+  DependenceSet tile_deps(space.tile_deps());
+  LinearSchedule sched(pi, space.tile_space(), tile_deps);
+
+  if (kind == ScheduleKind::kOverlap) {
+    // Communicating dependencies (any component off the mapping dimension)
+    // need two steps of slack: the producing tile's results are sent during
+    // step t+1 and consumed at step t+2 (paper Example 2).
+    std::vector<Vec> comm_deps;
+    for (const Vec& d : space.tile_deps()) {
+      bool communicates = false;
+      for (std::size_t k = 0; k < d.size(); ++k)
+        if (k != mapped_dim && d[k] != 0) communicates = true;
+      if (communicates) comm_deps.push_back(d);
+    }
+    TILO_ASSERT(LinearSchedule::satisfies_gap(pi, comm_deps, 2),
+                "overlap schedule leaves < 2 steps on a communicating "
+                "dependence");
+  }
+  return sched;
+}
+
+i64 overlap_schedule_length(const Vec& last_tile, std::size_t mapped_dim) {
+  TILO_REQUIRE(mapped_dim < last_tile.size(), "mapped_dim out of range");
+  i64 acc = 0;
+  for (std::size_t d = 0; d < last_tile.size(); ++d) {
+    const i64 coeff = d == mapped_dim ? 1 : 2;
+    acc = util::checked_add(acc, util::checked_mul(coeff, last_tile[d]));
+  }
+  return acc + 1;
+}
+
+i64 nonoverlap_schedule_length(const Vec& last_tile) {
+  return last_tile.sum() + 1;
+}
+
+}  // namespace tilo::sched

@@ -1,0 +1,44 @@
+// Time schedules for tiled spaces: the non-overlapping optimal hyperplane
+// Π = (1, ..., 1) (Section 3) and the paper's overlapping hyperplane with
+// coefficient 1 on the mapping dimension and 2 elsewhere (Section 4):
+//   t(j^S) = 2 j^S_1 + ... + 2 j^S_{i-1} + j^S_i + 2 j^S_{i+1} + ... + 2 j^S_n.
+#pragma once
+
+#include "tilo/sched/linear.hpp"
+#include "tilo/tiling/tilespace.hpp"
+
+namespace tilo::sched {
+
+/// Which of the paper's two schedules.
+enum class ScheduleKind {
+  kNonOverlap,  ///< Π = (1 ... 1), serialized recv-compute-send steps
+  kOverlap,     ///< Π = (2 ... 2, 1, 2 ... 2), pipelined steps
+};
+
+/// Π = (1, ..., 1) — optimal for a tiled space with 0/1 dependencies.
+Vec nonoverlap_pi(std::size_t dims);
+
+/// Π with 1 on `mapped_dim` and 2 elsewhere.
+Vec overlap_pi(std::size_t dims, std::size_t mapped_dim);
+
+/// The paper's mapping-dimension rule: the dimension with the largest tiled
+/// extent maps to the same processor (ties resolve to the lowest index).
+std::size_t choose_mapped_dim(const lat::Box& tile_space);
+
+/// Builds the requested schedule over a tiled space, checking validity
+/// against the tile dependence matrix D^S.  For the overlapping schedule
+/// every dependence that leaves the mapping dimension (i.e. communicates)
+/// must have Π·d >= 2, which the 2...2,1,2...2 hyperplane guarantees for
+/// 0/1 tile dependencies.
+LinearSchedule make_tile_schedule(const tile::TiledSpace& space,
+                                  ScheduleKind kind, std::size_t mapped_dim);
+
+/// Schedule length P(g) for the overlapping schedule, the paper's
+/// closed form: 2 u^S_1 + ... + u^S_i + ... + 2 u^S_n + 1 with u^S the last
+/// tile (Section 4).
+i64 overlap_schedule_length(const Vec& last_tile, std::size_t mapped_dim);
+
+/// Schedule length for Π = (1 ... 1): u^S_1 + ... + u^S_n + 1 (Example 1).
+i64 nonoverlap_schedule_length(const Vec& last_tile);
+
+}  // namespace tilo::sched

@@ -1,0 +1,55 @@
+#include "tilo/sched/uetuct.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "tilo/lattice/box.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::sched {
+
+i64 uetuct_makespan(const Vec& u, std::size_t mapped_dim) {
+  TILO_REQUIRE(mapped_dim < u.size(), "mapped_dim out of range");
+  TILO_REQUIRE(u.is_nonneg(), "grid terminal point must be nonnegative");
+  i64 acc = 1;
+  for (std::size_t d = 0; d < u.size(); ++d)
+    acc = util::checked_add(
+        acc, util::checked_mul(d == mapped_dim ? 1 : 2, u[d]));
+  return acc;
+}
+
+i64 uetuct_optimal_makespan(const Vec& u) {
+  TILO_REQUIRE(!u.empty(), "empty grid");
+  i64 best = uetuct_makespan(u, 0);
+  for (std::size_t d = 1; d < u.size(); ++d)
+    best = std::min(best, uetuct_makespan(u, d));
+  return best;
+}
+
+i64 uetuct_makespan_dp(const Vec& u, std::size_t mapped_dim) {
+  TILO_REQUIRE(mapped_dim < u.size(), "mapped_dim out of range");
+  const lat::Box grid(Vec(u.size(), 0), u);
+  TILO_REQUIRE(grid.volume() <= (i64{1} << 24),
+               "grid too large for DP verification");
+
+  std::vector<i64> start(static_cast<std::size_t>(grid.volume()), 0);
+  i64 makespan = 0;
+  grid.for_each_point([&](const Vec& p) {
+    i64 t = 0;
+    for (std::size_t d = 0; d < u.size(); ++d) {
+      if (p[d] == 0) continue;
+      Vec q = p;
+      --q[d];
+      // Same processor iff the predecessor differs only along mapped_dim.
+      const i64 gap = d == mapped_dim ? 1 : 2;
+      const i64 cand =
+          start[static_cast<std::size_t>(grid.linear_index(q))] + gap;
+      t = std::max(t, cand);
+    }
+    start[static_cast<std::size_t>(grid.linear_index(p))] = t;
+    makespan = std::max(makespan, t + 1);  // unit execution time
+  });
+  return makespan;
+}
+
+}  // namespace tilo::sched

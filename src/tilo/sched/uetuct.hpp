@@ -1,0 +1,39 @@
+// UET-UCT scheduling of n-dimensional grid task graphs (Andronikos, Koziris,
+// Papakonstantinou, Tsanakas, JPDC 1999 — the paper's reference [1]).
+//
+// A grid graph with terminal point u = (u_1, ..., u_n) has one unit-time
+// task per lattice point of [0, u] and unit-communication-time edges along
+// every +e_i.  Reference [1] proves:
+//  * the optimal linear time schedule is Π = (2, ..., 2, 1, 2, ..., 2) with
+//    coefficient 1 on a dimension of maximal extent, and
+//  * the optimal space schedule maps all points along that dimension to the
+//    same processor,
+// which is exactly the overlapping tile schedule when computation and
+// communication times are equal.  This module provides the optimal makespan
+// and an exhaustive-verification helper used by the property tests.
+#pragma once
+
+#include "tilo/lattice/vec.hpp"
+
+namespace tilo::sched {
+
+using lat::Vec;
+using util::i64;
+
+/// Optimal UET-UCT makespan of the grid with terminal point `u` when points
+/// along `mapped_dim` share a processor: u_i + 2 * sum_{k != i} u_k + 1.
+i64 uetuct_makespan(const Vec& u, std::size_t mapped_dim);
+
+/// Optimal makespan over all choices of mapping dimension — minimized by
+/// mapping along a dimension of maximal extent ([1], Theorem on optimal
+/// space schedule).
+i64 uetuct_optimal_makespan(const Vec& u);
+
+/// Earliest-start makespan of the same grid computed by longest-path
+/// dynamic programming under the UET-UCT rule: a task may start one step
+/// after a same-processor predecessor and two steps after a
+/// cross-processor predecessor.  Exponential in no way, linear in the grid
+/// volume — used by tests to verify the closed form on small grids.
+i64 uetuct_makespan_dp(const Vec& u, std::size_t mapped_dim);
+
+}  // namespace tilo::sched

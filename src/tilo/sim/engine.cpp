@@ -1,0 +1,44 @@
+#include "tilo/sim/engine.hpp"
+
+#include <cmath>
+
+namespace tilo::sim {
+
+Time from_seconds(double seconds) {
+  TILO_REQUIRE(seconds >= 0.0 && std::isfinite(seconds),
+               "cannot convert ", seconds, " s to simulated time");
+  return static_cast<Time>(std::llround(seconds * 1e9));
+}
+
+double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+void Engine::at(Time t, std::function<void()> fn) {
+  TILO_REQUIRE(t >= now_, "scheduling into the past: ", t, " < ", now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::after(Time dt, std::function<void()> fn) {
+  TILO_REQUIRE(dt >= 0, "negative delay ", dt);
+  at(util::checked_add(now_, dt), std::move(fn));
+}
+
+void Engine::run() {
+  TILO_REQUIRE(!running_, "Engine::run is not reentrant");
+  running_ = true;
+  // Move each event out before popping so handlers can schedule new events.
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    try {
+      ev.fn();
+    } catch (...) {
+      running_ = false;
+      throw;
+    }
+  }
+  running_ = false;
+}
+
+}  // namespace tilo::sim

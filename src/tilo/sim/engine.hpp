@@ -1,0 +1,73 @@
+// Deterministic discrete-event simulation engine.
+//
+// Time is integer nanoseconds.  Events at equal times run in scheduling
+// order (a monotone sequence number breaks ties), so simulations are
+// byte-for-byte reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "tilo/util/error.hpp"
+#include "tilo/util/math.hpp"
+
+namespace tilo::sim {
+
+/// Simulated time in nanoseconds.
+using Time = std::int64_t;
+
+/// Converts wall seconds to simulated nanoseconds (rounding to nearest).
+Time from_seconds(double seconds);
+/// Converts simulated nanoseconds to seconds.
+double to_seconds(Time t);
+
+/// The event queue and clock.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` at now + dt (dt >= 0).
+  void after(Time dt, std::function<void()> fn);
+
+  /// Runs events until the queue drains.  Exceptions thrown by event
+  /// handlers abort the run and are rethrown to the caller.
+  void run();
+
+  /// Number of events processed so far.
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// True while run() is draining the queue.
+  bool running() const { return running_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool running_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace tilo::sim

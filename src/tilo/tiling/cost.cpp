@@ -1,0 +1,69 @@
+#include "tilo/tiling/cost.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::tile {
+
+i64 v_comp(const Supernode& sn) { return sn.tile_volume(); }
+
+namespace {
+
+/// (1/|det H|) * sum over rows in `rows` and deps of (H D)_{i,j}.
+Rat v_comm_rows(const Supernode& sn, const DependenceSet& deps,
+                const std::vector<std::size_t>& rows) {
+  Rat det = sn.H().det();
+  TILO_REQUIRE(!det.is_zero(), "singular H in v_comm");
+  if (det.sign() < 0) det = -det;
+  Rat acc;
+  for (const Vec& d : deps) {
+    const lat::RatVec hd = sn.H() * d;
+    for (std::size_t i : rows) acc += hd[i];
+  }
+  return acc / det;
+}
+
+}  // namespace
+
+Rat v_comm_total(const Supernode& sn, const DependenceSet& deps) {
+  std::vector<std::size_t> rows(sn.dims());
+  for (std::size_t i = 0; i < sn.dims(); ++i) rows[i] = i;
+  return v_comm_rows(sn, deps, rows);
+}
+
+Rat v_comm_mapped(const Supernode& sn, const DependenceSet& deps,
+                  std::size_t mapped_dim) {
+  TILO_REQUIRE(mapped_dim < sn.dims(), "mapped_dim out of range");
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < sn.dims(); ++i)
+    if (i != mapped_dim) rows.push_back(i);
+  return v_comm_rows(sn, deps, rows);
+}
+
+i64 rect_face_traffic(const RectTiling& t, const DependenceSet& deps,
+                      std::size_t dim) {
+  TILO_REQUIRE(dim < t.dims(), "face dimension out of range");
+  const i64 cross_section = t.tile_volume() / t.side(dim);
+  i64 dep_sum = 0;
+  for (const Vec& d : deps)
+    dep_sum = util::checked_add(dep_sum, d.at(dim));
+  return util::checked_mul(cross_section, dep_sum);
+}
+
+i64 v_comm_total_rect(const RectTiling& t, const DependenceSet& deps) {
+  i64 acc = 0;
+  for (std::size_t dim = 0; dim < t.dims(); ++dim)
+    acc = util::checked_add(acc, rect_face_traffic(t, deps, dim));
+  return acc;
+}
+
+i64 v_comm_mapped_rect(const RectTiling& t, const DependenceSet& deps,
+                       std::size_t mapped_dim) {
+  TILO_REQUIRE(mapped_dim < t.dims(), "mapped_dim out of range");
+  i64 acc = 0;
+  for (std::size_t dim = 0; dim < t.dims(); ++dim)
+    if (dim != mapped_dim)
+      acc = util::checked_add(acc, rect_face_traffic(t, deps, dim));
+  return acc;
+}
+
+}  // namespace tilo::tile

@@ -1,0 +1,39 @@
+// Computation and communication volume of a tile (paper Section 2.4,
+// equations (1) and (2)).
+#pragma once
+
+#include "tilo/tiling/rect.hpp"
+#include "tilo/tiling/supernode.hpp"
+
+namespace tilo::tile {
+
+/// V_comp = det(P): iteration points per (full) tile.
+i64 v_comp(const Supernode& sn);
+
+/// Equation (1): total communication volume of a tile,
+///   V_comm(H) = (1/|det H|) * sum_{i,j} (H D)_{i,j}
+/// = number of iteration points whose value crosses some tile boundary,
+/// counted once per (boundary surface, dependence) pair.  Exact rational.
+Rat v_comm_total(const Supernode& sn, const DependenceSet& deps);
+
+/// Equation (2): communication volume when all tiles along dimension
+/// `mapped_dim` are mapped to the same processor, so dependencies crossing
+/// that surface move no data between processors:
+///   V_comm(H) = (1/|det H|) * sum_{i != x, j} (H_{-x} D)_{i,j}.
+Rat v_comm_mapped(const Supernode& sn, const DependenceSet& deps,
+                  std::size_t mapped_dim);
+
+/// Rectangular special case of eq. (1): sum_i (g / s_i) * sum_j d_{i,j}.
+i64 v_comm_total_rect(const RectTiling& t, const DependenceSet& deps);
+
+/// Rectangular special case of eq. (2).
+i64 v_comm_mapped_rect(const RectTiling& t, const DependenceSet& deps,
+                       std::size_t mapped_dim);
+
+/// Points a full tile sends across its high boundary surface in dimension
+/// `dim` (one slab per dependence, thickness d_dim):
+///   (g / s_dim) * sum_j d_{dim,j}.
+i64 rect_face_traffic(const RectTiling& t, const DependenceSet& deps,
+                      std::size_t dim);
+
+}  // namespace tilo::tile

@@ -1,0 +1,69 @@
+#include "tilo/tiling/rect.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::tile {
+
+RectTiling::RectTiling(Vec sides) : sides_(std::move(sides)) {
+  TILO_REQUIRE(!sides_.empty(), "RectTiling needs at least one dimension");
+  for (std::size_t d = 0; d < sides_.size(); ++d)
+    TILO_REQUIRE(sides_[d] >= 1, "tile side ", d, " is ", sides_[d],
+                 ", must be >= 1");
+}
+
+i64 RectTiling::tile_volume() const {
+  i64 v = 1;
+  for (i64 s : sides_) v = util::checked_mul(v, s);
+  return v;
+}
+
+Supernode RectTiling::as_supernode() const {
+  return Supernode::from_sides(lat::Mat::diagonal(sides_));
+}
+
+Vec RectTiling::tile_of(const Vec& j) const {
+  TILO_REQUIRE(j.size() == dims(), "tile_of dimension mismatch");
+  Vec t(dims());
+  for (std::size_t d = 0; d < dims(); ++d)
+    t[d] = util::floor_div(j[d], sides_[d]);
+  return t;
+}
+
+Vec RectTiling::local_of(const Vec& j) const {
+  TILO_REQUIRE(j.size() == dims(), "local_of dimension mismatch");
+  Vec r(dims());
+  for (std::size_t d = 0; d < dims(); ++d)
+    r[d] = util::floor_mod(j[d], sides_[d]);
+  return r;
+}
+
+Vec RectTiling::tile_origin(const Vec& t) const {
+  TILO_REQUIRE(t.size() == dims(), "tile_origin dimension mismatch");
+  Vec o(dims());
+  for (std::size_t d = 0; d < dims(); ++d)
+    o[d] = util::checked_mul(t[d], sides_[d]);
+  return o;
+}
+
+Box RectTiling::tile_box(const Vec& t) const {
+  const Vec lo = tile_origin(t);
+  Vec hi(dims());
+  for (std::size_t d = 0; d < dims(); ++d)
+    hi[d] = util::checked_sub(util::checked_add(lo[d], sides_[d]), 1);
+  return Box(lo, hi);
+}
+
+bool RectTiling::is_legal(const DependenceSet& deps) const {
+  // H = diag(1/s_i) with s_i > 0, so HD >= 0 iff D >= 0.
+  return deps.is_nonneg();
+}
+
+bool RectTiling::contains_deps(const DependenceSet& deps) const {
+  if (!deps.is_nonneg()) return false;
+  for (const Vec& d : deps)
+    for (std::size_t k = 0; k < dims(); ++k)
+      if (d[k] >= sides_[k]) return false;
+  return true;
+}
+
+}  // namespace tilo::tile

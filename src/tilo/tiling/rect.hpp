@@ -1,0 +1,47 @@
+// Rectangular tilings — the shape the paper actually executes
+// (H = diag(1/s_1, ..., 1/s_n), cubic/rectangular tiles of sides s_i).
+// A thin, fast specialization of Supernode with exact integer arithmetic.
+#pragma once
+
+#include "tilo/lattice/box.hpp"
+#include "tilo/tiling/supernode.hpp"
+
+namespace tilo::tile {
+
+using lat::Box;
+
+/// Rectangular supernode transformation with side lengths s_i >= 1.
+class RectTiling {
+ public:
+  explicit RectTiling(Vec sides);
+
+  std::size_t dims() const { return sides_.size(); }
+  const Vec& sides() const { return sides_; }
+  i64 side(std::size_t d) const { return sides_.at(d); }
+
+  /// Tile volume g = prod(s_i).
+  i64 tile_volume() const;
+
+  /// The equivalent general transformation (H = diag(1/s_i)).
+  Supernode as_supernode() const;
+
+  /// ⌊Hj⌋, computed with exact floor division.
+  Vec tile_of(const Vec& j) const;
+  /// Intra-tile offset (componentwise positive modulus).
+  Vec local_of(const Vec& j) const;
+  /// Origin of tile t: componentwise t_d * s_d.
+  Vec tile_origin(const Vec& t) const;
+
+  /// The full (unclipped) box covered by tile t.
+  Box tile_box(const Vec& t) const;
+
+  /// Legality for rectangular tiles: every dependence component >= 0.
+  bool is_legal(const DependenceSet& deps) const;
+  /// Containment: 0 <= d_i < s_i for every dependence and dimension.
+  bool contains_deps(const DependenceSet& deps) const;
+
+ private:
+  Vec sides_;
+};
+
+}  // namespace tilo::tile

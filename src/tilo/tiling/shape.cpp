@@ -1,0 +1,148 @@
+#include "tilo/tiling/shape.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::tile {
+
+std::vector<double> comm_minimal_sides_continuous(const DependenceSet& deps,
+                                                  double g) {
+  TILO_REQUIRE(!deps.empty(), "shape optimization needs dependencies");
+  TILO_REQUIRE(g >= 1.0, "tile volume must be >= 1");
+  const std::size_t n = deps.dims();
+
+  std::vector<double> c(n, 0.0);
+  for (const Vec& d : deps)
+    for (std::size_t i = 0; i < n; ++i) {
+      TILO_REQUIRE(d[i] >= 0,
+                   "rectangular shape optimization needs nonneg deps");
+      c[i] += static_cast<double>(d[i]);
+    }
+
+  std::vector<std::size_t> comm_dims;
+  for (std::size_t i = 0; i < n; ++i)
+    if (c[i] > 0.0) comm_dims.push_back(i);
+  TILO_REQUIRE(!comm_dims.empty(), "all-zero dependence matrix");
+
+  // Lagrange condition for min sum (g/s_i)c_i with prod s_i = g: s_i ∝ c_i.
+  double prod_c = 1.0;
+  for (std::size_t i : comm_dims) prod_c *= c[i];
+  const double t =
+      std::pow(g / prod_c, 1.0 / static_cast<double>(comm_dims.size()));
+
+  std::vector<double> s(n, 1.0);
+  for (std::size_t i : comm_dims) s[i] = std::max(1.0, c[i] * t);
+  return s;
+}
+
+ShapeResult comm_minimal_shape(const DependenceSet& deps, i64 g,
+                               std::optional<std::size_t> mapped_dim,
+                               i64 fixed_side) {
+  TILO_REQUIRE(g >= 1, "tile volume must be >= 1");
+  const std::size_t n = deps.dims();
+  TILO_REQUIRE(n >= 1 && n <= 16, "shape search supports 1..16 dimensions");
+  if (mapped_dim) {
+    TILO_REQUIRE(*mapped_dim < n, "mapped_dim out of range");
+    TILO_REQUIRE(fixed_side >= 1, "fixed_side must be >= 1");
+  }
+
+  // Continuous seed.  With a mapped dimension its side is pinned and the
+  // remaining volume is distributed over the other dimensions.
+  std::vector<double> cont;
+  if (mapped_dim) {
+    // Build a reduced dependence set over the unmapped dimensions.
+    std::vector<Vec> reduced;
+    for (const Vec& d : deps) {
+      Vec r(n - 1);
+      std::size_t out = 0;
+      bool nonzero = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == *mapped_dim) continue;
+        r[out] = d[i];
+        if (d[i] != 0) nonzero = true;
+        ++out;
+      }
+      if (nonzero) reduced.push_back(std::move(r));
+    }
+    const double g_cross =
+        std::max(1.0, static_cast<double>(g) / static_cast<double>(fixed_side));
+    std::vector<double> sub(n - 1, 1.0);
+    if (!reduced.empty()) {
+      // Reduced vectors may not be lex-positive, so we cannot reuse
+      // comm_minimal_sides_continuous directly; only component sums matter.
+      std::vector<double> c(n - 1, 0.0);
+      for (const Vec& r : reduced)
+        for (std::size_t i = 0; i + 1 < n; ++i) c[i] += std::abs(
+            static_cast<double>(r[i]));
+      std::vector<std::size_t> comm_dims;
+      double prod_c = 1.0;
+      for (std::size_t i = 0; i + 1 < n; ++i)
+        if (c[i] > 0.0) {
+          comm_dims.push_back(i);
+          prod_c *= c[i];
+        }
+      if (!comm_dims.empty()) {
+        const double t = std::pow(
+            g_cross / prod_c, 1.0 / static_cast<double>(comm_dims.size()));
+        for (std::size_t i : comm_dims) sub[i] = std::max(1.0, c[i] * t);
+      }
+    }
+    cont.assign(n, 1.0);
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == *mapped_dim) {
+        cont[i] = static_cast<double>(fixed_side);
+      } else {
+        cont[i] = sub[out++];
+      }
+    }
+  } else {
+    cont = comm_minimal_sides_continuous(deps, static_cast<double>(g));
+  }
+
+  // Integer refinement: floor/ceil neighborhood, clamped to containment
+  // (s_i > max dependence component in dimension i).
+  Vec min_side(n);
+  for (std::size_t i = 0; i < n; ++i)
+    min_side[i] = deps.max_component(i) + 1;
+
+  auto eval_comm = [&](const Vec& sides) -> i64 {
+    RectTiling rt(sides);
+    return mapped_dim ? v_comm_mapped_rect(rt, deps, *mapped_dim)
+                      : v_comm_total_rect(rt, deps);
+  };
+
+  ShapeResult best;
+  bool have_best = false;
+  const std::size_t combos = std::size_t{1} << n;
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    Vec sides(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double base = (mask >> i) & 1 ? std::ceil(cont[i])
+                                          : std::floor(cont[i]);
+      sides[i] = std::max<i64>(min_side[i], static_cast<i64>(base));
+      if (mapped_dim && i == *mapped_dim)
+        sides[i] = std::max<i64>(min_side[i], fixed_side);
+    }
+    i64 vol = 1;
+    for (std::size_t i = 0; i < n; ++i) vol = util::checked_mul(vol, sides[i]);
+    const i64 comm = eval_comm(sides);
+
+    auto closer = [&](i64 va, i64 ca, i64 vb, i64 cb) {
+      const i64 da = va > g ? va - g : g - va;
+      const i64 db = vb > g ? vb - g : g - vb;
+      if (da != db) return da < db;
+      return ca < cb;
+    };
+    if (!have_best || closer(vol, comm, best.volume, best.v_comm)) {
+      best = ShapeResult{sides, vol, comm};
+      have_best = true;
+    }
+  }
+  TILO_ASSERT(have_best, "shape search produced no candidate");
+  return best;
+}
+
+}  // namespace tilo::tile

@@ -1,0 +1,38 @@
+// Communication-minimal rectangular tile shapes for a given tile volume
+// (the Boulet/Xue technique referenced in paper Section 2.4: tile shape can
+// be optimized independently of tile volume).
+#pragma once
+
+#include <optional>
+
+#include "tilo/tiling/cost.hpp"
+#include "tilo/tiling/rect.hpp"
+
+namespace tilo::tile {
+
+/// Result of an integer shape search.
+struct ShapeResult {
+  Vec sides;       ///< chosen tile sides s_i
+  i64 volume = 0;  ///< prod(s_i), close to the requested g
+  i64 v_comm = 0;  ///< eq. (1) or (2) communication volume of the shape
+};
+
+/// Continuous communication-minimal sides for volume g under eq. (1):
+/// minimizing sum_i (g/s_i)·c_i with c_i = sum_j d_{i,j} subject to
+/// prod s_i = g gives s_i ∝ c_i.  Dimensions with c_i = 0 carry no
+/// communication, so they take side 1 and all volume goes to the
+/// communicating dimensions (enlarging their sides lowers the objective).
+std::vector<double> comm_minimal_sides_continuous(const DependenceSet& deps,
+                                                  double g);
+
+/// Integer shape minimizing eq. (1) communication near volume g.
+/// Starts from the continuous solution, then searches the floor/ceil
+/// neighborhood, keeping only shapes that contain all dependencies
+/// (s_i > max_j d_{i,j}).  Prefers volume closest to g, then minimal
+/// communication.  `mapped_dim`, when set, optimizes eq. (2) instead (the
+/// mapped dimension's side is then fixed by the caller via `fixed_side`).
+ShapeResult comm_minimal_shape(const DependenceSet& deps, i64 g,
+                               std::optional<std::size_t> mapped_dim = {},
+                               i64 fixed_side = 1);
+
+}  // namespace tilo::tile

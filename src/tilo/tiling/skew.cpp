@@ -1,0 +1,67 @@
+#include "tilo/tiling/skew.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::tile {
+
+std::optional<Mat> find_legal_skew(const DependenceSet& deps) {
+  TILO_REQUIRE(!deps.empty(), "skew search needs dependencies");
+  const std::size_t n = deps.dims();
+
+  // Lower-triangular T with T[k][j] = M^(k-j) below the diagonal and 1 on
+  // it.  For every lexicographically positive d and M >= maxabs + 2,
+  // (T d)_k = d_k + Σ_{j<k} M^(k-j) d_j is nonnegative: the first nonzero
+  // component dominates the geometric tail.  det T = 1.
+  i64 maxabs = 0;
+  for (const Vec& d : deps)
+    for (std::size_t i = 0; i < n; ++i)
+      maxabs = std::max(maxabs, d[i] < 0 ? -d[i] : d[i]);
+  const i64 m = maxabs + 2;
+
+  // Guard against overflow of M^(n-1).
+  i64 power = 1;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (power > (i64{1} << 40) / m) return std::nullopt;
+    power *= m;
+  }
+
+  Mat skew = Mat::identity(n);
+  for (std::size_t k = 1; k < n; ++k) {
+    i64 coeff = 1;
+    for (std::size_t j = k; j-- > 0;) {
+      coeff = util::checked_mul(coeff, m);
+      skew(k, j) = coeff;  // T[k][j] = m^(k-j)
+    }
+  }
+
+  // Verify the construction (cheap, and guards the proof's assumptions).
+  for (const Vec& d : deps) {
+    const Vec sd = skew * d;
+    TILO_ASSERT(sd.is_nonneg(), "skew construction failed on ", d.str());
+  }
+  return skew;
+}
+
+DependenceSet skew_deps(const Mat& skew, const DependenceSet& deps) {
+  std::vector<Vec> out;
+  out.reserve(deps.size());
+  for (const Vec& d : deps) out.push_back(skew * d);
+  return DependenceSet(std::move(out));
+}
+
+Supernode skewed_tiling(const Mat& skew, const lat::Vec& sides) {
+  TILO_REQUIRE(skew.is_square(), "skew must be square");
+  TILO_REQUIRE(sides.size() == skew.rows(), "sides dimensionality mismatch");
+  const i64 det = skew.det();
+  TILO_REQUIRE(det == 1 || det == -1, "skew must be unimodular, det = ",
+               det);
+  lat::RatMat h(skew.rows(), skew.cols());
+  for (std::size_t r = 0; r < skew.rows(); ++r) {
+    TILO_REQUIRE(sides[r] >= 1, "tile side must be >= 1");
+    for (std::size_t c = 0; c < skew.cols(); ++c)
+      h(r, c) = lat::Rat(skew(r, c), sides[r]);
+  }
+  return Supernode::from_h(h);
+}
+
+}  // namespace tilo::tile

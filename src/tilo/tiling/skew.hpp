@@ -1,0 +1,39 @@
+// Legal tiling construction for dependence sets with negative components.
+//
+// Rectangular tiles require D >= 0.  When some dependence has a negative
+// component (e.g. the wavefront set {(1,-1), (1,0), (1,1)}), a valid tiling
+// still exists whenever a nonsingular H with HD >= 0 does (Irigoin/Triolet;
+// Ramanujam & Sadayappan's extreme-vector formulation, both cited by the
+// paper).  This module finds a *unimodular skew* S with S·D >= 0; tiling
+// the skewed space rectangularly then corresponds to the parallelepiped
+// tiling H = diag(1/s)·S of the original space, legal by construction:
+//   H·D = diag(1/s)·(S·D) >= 0.
+//
+// The search is the classical row-by-row construction: row k of S starts
+// as e_k and, while any S_k·d_j is negative, adds a large-enough multiple
+// of a previously fixed row with strictly positive products (row 0 starts
+// from the lexicographic-positivity witness Π = (1, N, N², ...)-style
+// vector).  Dependence sets with lexicographically positive vectors always
+// admit such an S.
+#pragma once
+
+#include <optional>
+
+#include "tilo/tiling/supernode.hpp"
+
+namespace tilo::tile {
+
+/// A unimodular skew S (|det S| = 1) with S·D >= 0, or nullopt when the
+/// construction fails (it cannot for lexicographically positive D, but the
+/// bound guard may trip on adversarial magnitudes).
+std::optional<Mat> find_legal_skew(const DependenceSet& deps);
+
+/// The skewed dependence set S·D (components of each S·d_j).
+DependenceSet skew_deps(const Mat& skew, const DependenceSet& deps);
+
+/// Builds the parallelepiped supernode H = diag(1/sides)·S for a skew S
+/// and per-row tile sides; legal for D whenever S·D >= 0 and sides exceed
+/// the skewed dependence components.
+Supernode skewed_tiling(const Mat& skew, const lat::Vec& sides);
+
+}  // namespace tilo::tile

@@ -1,0 +1,94 @@
+#include "tilo/tiling/supernode.hpp"
+
+#include <set>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::tile {
+
+Supernode Supernode::from_sides(const Mat& P) {
+  TILO_REQUIRE(P.is_square(), "tile side matrix P must be square");
+  TILO_REQUIRE(P.det() != 0, "tile side matrix P is singular");
+  RatMat H = RatMat(P).inverse();
+  return Supernode(std::move(H), P);
+}
+
+Supernode Supernode::from_h(const RatMat& H) {
+  TILO_REQUIRE(H.is_square(), "tiling matrix H must be square");
+  TILO_REQUIRE(!H.det().is_zero(), "tiling matrix H is singular");
+  RatMat Pinv = H.inverse();
+  TILO_REQUIRE(Pinv.is_integral(),
+               "H^{-1} must be integral so tile origins are lattice points");
+  return Supernode(H, Pinv.as_integer());
+}
+
+i64 Supernode::tile_volume() const {
+  const i64 d = P_.det();
+  return d < 0 ? -d : d;
+}
+
+Vec Supernode::tile_of(const Vec& j) const {
+  TILO_REQUIRE(j.size() == dims(), "tile_of dimension mismatch");
+  return (H_ * j).floor();
+}
+
+Vec Supernode::local_of(const Vec& j) const {
+  return j - tile_origin(tile_of(j));
+}
+
+Vec Supernode::tile_origin(const Vec& t) const {
+  TILO_REQUIRE(t.size() == dims(), "tile_origin dimension mismatch");
+  return P_ * t;
+}
+
+bool Supernode::is_legal(const DependenceSet& deps) const {
+  for (const Vec& d : deps) {
+    const RatVec hd = H_ * d;
+    for (std::size_t i = 0; i < dims(); ++i)
+      if (hd[i].sign() < 0) return false;
+  }
+  return true;
+}
+
+bool Supernode::contains_deps(const DependenceSet& deps) const {
+  for (const Vec& d : deps) {
+    const RatVec hd = H_ * d;
+    for (std::size_t i = 0; i < dims(); ++i)
+      if (hd[i].sign() < 0 || hd[i] >= Rat(1)) return false;
+  }
+  return true;
+}
+
+std::vector<Vec> Supernode::tile_deps(const DependenceSet& deps) const {
+  TILO_REQUIRE(contains_deps(deps),
+               "tile_deps requires dependencies contained in a tile "
+               "(0 <= Hd < 1)");
+  const std::size_t n = dims();
+  TILO_REQUIRE(n <= 62, "dimensionality too large for mask enumeration");
+
+  // Per dependence d: component i of ⌊H(j0 + d)⌋ over source points j0 in
+  // the fundamental tile (0 <= Hj0 < 1) is 0 or 1, and 1 is achievable
+  // exactly when h_i·d > 0.  The achievable tile dependencies for d are
+  // therefore the nonzero 0/1 vectors e <= mask(d), mask_i(d) = [h_i·d > 0].
+  std::set<std::vector<i64>> out;
+  for (const Vec& d : deps) {
+    std::uint64_t mask = 0;
+    const RatVec hd = H_ * d;
+    for (std::size_t i = 0; i < n; ++i)
+      if (hd[i].sign() > 0) mask |= (std::uint64_t{1} << i);
+    // Enumerate nonzero submasks of `mask`.
+    for (std::uint64_t sub = mask; sub != 0; sub = (sub - 1) & mask) {
+      std::vector<i64> e(n, 0);
+      for (std::size_t i = 0; i < n; ++i)
+        if (sub & (std::uint64_t{1} << i)) e[i] = 1;
+      out.insert(std::move(e));
+    }
+  }
+
+  std::vector<Vec> result;
+  result.reserve(out.size());
+  for (const auto& e : out) result.push_back(Vec(e));
+  return result;
+}
+
+}  // namespace tilo::tile

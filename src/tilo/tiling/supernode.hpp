@@ -1,0 +1,78 @@
+// The supernode (tiling) transformation of Irigoin/Triolet (Section 2.3):
+//
+//   r : Z^n -> Z^2n,  r(j) = [ ⌊Hj⌋ ; j - H^{-1}⌊Hj⌋ ]
+//
+// H is the n x n nonsingular rational matrix whose rows are perpendicular to
+// the tile-forming hyperplane families; P = H^{-1} holds the tile side
+// vectors as columns and is required to be integral so tile origins are
+// lattice points.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tilo/lattice/ratmat.hpp"
+#include "tilo/loopnest/deps.hpp"
+
+namespace tilo::tile {
+
+using lat::Mat;
+using lat::Rat;
+using lat::RatMat;
+using lat::RatVec;
+using lat::Vec;
+using loop::DependenceSet;
+using util::i64;
+
+/// A general (parallelepiped) supernode transformation.
+class Supernode {
+ public:
+  /// From the integer side matrix P (columns = tile side vectors);
+  /// H = P^{-1}.  P must be nonsingular.
+  static Supernode from_sides(const Mat& P);
+
+  /// From a rational H whose inverse is integral; throws otherwise.
+  static Supernode from_h(const RatMat& H);
+
+  std::size_t dims() const { return P_.rows(); }
+  const RatMat& H() const { return H_; }
+  const Mat& P() const { return P_; }
+
+  /// Tile volume g = |det(P)| — the paper's V_comp (Section 2.4).
+  i64 tile_volume() const;
+
+  /// Tile coordinates of index point j: ⌊Hj⌋.
+  Vec tile_of(const Vec& j) const;
+
+  /// Intra-tile offset of j relative to its tile origin:
+  /// j - P·⌊Hj⌋ (the second half of r(j)).
+  Vec local_of(const Vec& j) const;
+
+  /// Origin (lattice point) of tile t: P·t.
+  Vec tile_origin(const Vec& t) const;
+
+  /// Legality (Section 2.3): HD >= 0, so tiles are atomic and deadlock-free.
+  bool is_legal(const DependenceSet& deps) const;
+
+  /// Containment assumption ⌊HD⌋ < 1: every dependence is shorter than the
+  /// tile, i.e. H·d ∈ [0,1)^n for every d.  Implies is_legal.
+  bool contains_deps(const DependenceSet& deps) const;
+
+  /// The supernode dependence matrix D^S as a set of distinct nonzero 0/1
+  /// vectors.  Requires contains_deps.
+  ///
+  /// For each source dependence d and row h_i with h_i·d > 0 the component
+  /// can be 0 or 1 depending on the position of the source point inside its
+  /// tile; this returns the full achievable-pattern superset (exact for
+  /// rectangular H, a tight upper set for skewed H) — the set a correct
+  /// message-generation and schedule-validity analysis must cover.
+  std::vector<Vec> tile_deps(const DependenceSet& deps) const;
+
+ private:
+  Supernode(RatMat H, Mat P) : H_(std::move(H)), P_(std::move(P)) {}
+
+  RatMat H_;
+  Mat P_;
+};
+
+}  // namespace tilo::tile

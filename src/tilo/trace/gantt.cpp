@@ -1,0 +1,96 @@
+#include "tilo/trace/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "tilo/util/csv.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::trace {
+
+namespace {
+
+bool is_cpu_phase(Phase p) {
+  return p == Phase::kCompute || p == Phase::kFillMpiSend ||
+         p == Phase::kFillMpiRecv || p == Phase::kBlocked;
+}
+
+}  // namespace
+
+void render_gantt(std::ostream& os, const Timeline& timeline,
+                  const GanttOptions& options) {
+  TILO_REQUIRE(options.width >= 1, "Gantt width must be >= 1");
+  const Time span = timeline.makespan();
+  const int nodes = timeline.num_nodes();
+  if (span == 0 || nodes == 0) {
+    os << "(empty timeline)\n";
+    return;
+  }
+
+  const int width = options.width;
+  // occupancy[node][bucket][phase] = time covered
+  std::vector<std::vector<std::map<Phase, Time>>> occ(
+      static_cast<std::size_t>(nodes),
+      std::vector<std::map<Phase, Time>>(static_cast<std::size_t>(width)));
+
+  const double bucket_ns = static_cast<double>(span) / width;
+  for (const Interval& iv : timeline.intervals()) {
+    if (options.cpu_phases_only && !is_cpu_phase(iv.phase)) continue;
+    int b0 = static_cast<int>(static_cast<double>(iv.start) / bucket_ns);
+    int b1 = static_cast<int>(static_cast<double>(iv.end) / bucket_ns);
+    b0 = std::clamp(b0, 0, width - 1);
+    b1 = std::clamp(b1, 0, width - 1);
+    for (int b = b0; b <= b1; ++b) {
+      const Time lo = std::max<Time>(iv.start,
+                                     static_cast<Time>(b * bucket_ns));
+      const Time hi = std::min<Time>(iv.end,
+                                     static_cast<Time>((b + 1) * bucket_ns));
+      if (hi > lo) occ[static_cast<std::size_t>(iv.node)]
+                      [static_cast<std::size_t>(b)][iv.phase] += hi - lo;
+    }
+  }
+
+  os << "time -> 0 .. " << util::fmt_seconds(sim::to_seconds(span))
+     << "  (" << width << " buckets)\n";
+  for (int n = 0; n < nodes; ++n) {
+    os << 'P';
+    if (n < 10) os << '0';
+    os << n << " |";
+    for (int b = 0; b < width; ++b) {
+      const auto& cell = occ[static_cast<std::size_t>(n)]
+                            [static_cast<std::size_t>(b)];
+      if (cell.empty()) {
+        os << ' ';
+        continue;
+      }
+      // CPU phases beat DMA/wire; within a class, longest occupancy wins.
+      Phase best = cell.begin()->first;
+      Time best_t = -1;
+      bool best_cpu = false;
+      for (const auto& [phase, t] : cell) {
+        const bool cpu = is_cpu_phase(phase) && phase != Phase::kBlocked;
+        if ((cpu && !best_cpu) || (cpu == best_cpu && t > best_t)) {
+          best = phase;
+          best_t = t;
+          best_cpu = cpu;
+        }
+      }
+      os << phase_code(best);
+    }
+    os << "|\n";
+  }
+
+  if (options.legend) {
+    os << "legend:";
+    for (Phase p : {Phase::kCompute, Phase::kFillMpiSend, Phase::kFillMpiRecv,
+                    Phase::kKernelSend, Phase::kKernelRecv, Phase::kWire,
+                    Phase::kBlocked}) {
+      os << "  " << phase_code(p) << "=" << phase_name(p);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace tilo::trace

@@ -1,0 +1,26 @@
+// ASCII Gantt rendering of a Timeline — one row per processor, one column
+// per time bucket; reproduces the visual structure of the paper's Figs. 1-4
+// (interleaved vs pipelined receive/compute/send phases).
+#pragma once
+
+#include <iosfwd>
+
+#include "tilo/trace/timeline.hpp"
+
+namespace tilo::trace {
+
+/// Rendering options.
+struct GanttOptions {
+  int width = 100;          ///< number of time buckets (columns)
+  bool cpu_phases_only = false;  ///< drop DMA/wire rows for compact output
+  bool legend = true;       ///< print the phase-code legend below the chart
+};
+
+/// Renders the timeline to `os`.  When several phases overlap inside one
+/// bucket on the same node, CPU phases win over DMA/wire phases and longer
+/// occupancy wins within a class, so the chart stays readable at low
+/// resolution.
+void render_gantt(std::ostream& os, const Timeline& timeline,
+                  const GanttOptions& options = {});
+
+}  // namespace tilo::trace

@@ -1,0 +1,84 @@
+#include "tilo/trace/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "tilo/util/csv.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::trace {
+
+Time NodeStats::time(Phase p) const {
+  for (std::size_t i = 0; i < kAllPhases.size(); ++i)
+    if (kAllPhases[i] == p) return phase_time[i];
+  TILO_ASSERT(false, "unknown phase");
+  return 0;
+}
+
+RunStats summarize(const Timeline& timeline) {
+  RunStats stats;
+  stats.makespan = timeline.makespan();
+  const int n = timeline.num_nodes();
+  stats.nodes.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    stats.nodes[static_cast<std::size_t>(i)].node = i;
+
+  for (const Interval& iv : timeline.intervals()) {
+    NodeStats& ns = stats.nodes[static_cast<std::size_t>(iv.node)];
+    for (std::size_t p = 0; p < kAllPhases.size(); ++p)
+      if (kAllPhases[p] == iv.phase) ns.phase_time[p] += iv.end - iv.start;
+  }
+
+  double sum = 0.0;
+  double mn = 1.0;
+  double mx = 0.0;
+  for (NodeStats& ns : stats.nodes) {
+    ns.cpu_busy = ns.time(Phase::kCompute) + ns.time(Phase::kFillMpiSend) +
+                  ns.time(Phase::kFillMpiRecv);
+    ns.compute_utilization =
+        stats.makespan > 0
+            ? static_cast<double>(ns.time(Phase::kCompute)) /
+                  static_cast<double>(stats.makespan)
+            : 0.0;
+    sum += ns.compute_utilization;
+    mn = std::min(mn, ns.compute_utilization);
+    mx = std::max(mx, ns.compute_utilization);
+  }
+  if (!stats.nodes.empty()) {
+    stats.mean_compute_utilization = sum / static_cast<double>(n);
+    stats.min_compute_utilization = mn;
+    stats.max_compute_utilization = mx;
+  }
+  return stats;
+}
+
+void write_stats_table(std::ostream& os, const RunStats& stats) {
+  util::Table table;
+  table.set_header({"proc", "compute", "fill-send", "fill-recv",
+                    "dma-send", "dma-recv", "wire", "blocked",
+                    "compute util"});
+  auto fmt = [](Time t) { return util::fmt_seconds(sim::to_seconds(t)); };
+  for (const NodeStats& ns : stats.nodes) {
+    table.add_row({std::to_string(ns.node),
+                   fmt(ns.time(Phase::kCompute)),
+                   fmt(ns.time(Phase::kFillMpiSend)),
+                   fmt(ns.time(Phase::kFillMpiRecv)),
+                   fmt(ns.time(Phase::kKernelSend)),
+                   fmt(ns.time(Phase::kKernelRecv)),
+                   fmt(ns.time(Phase::kWire)),
+                   fmt(ns.time(Phase::kBlocked)),
+                   util::fmt_fixed(100.0 * ns.compute_utilization, 1) +
+                       " %"});
+  }
+  table.write_text(os);
+  os << "makespan " << util::fmt_seconds(sim::to_seconds(stats.makespan))
+     << ", compute utilization mean "
+     << util::fmt_fixed(100.0 * stats.mean_compute_utilization, 1)
+     << " % (min "
+     << util::fmt_fixed(100.0 * stats.min_compute_utilization, 1)
+     << " %, max "
+     << util::fmt_fixed(100.0 * stats.max_compute_utilization, 1)
+     << " %)\n";
+}
+
+}  // namespace tilo::trace

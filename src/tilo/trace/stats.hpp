@@ -1,0 +1,48 @@
+// Per-processor phase statistics over a Timeline — the numbers behind the
+// paper's processor-utilization argument (Section 4: "theoretically 100%
+// processor utilization" for the pipelined schedule).
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <vector>
+
+#include "tilo/trace/timeline.hpp"
+
+namespace tilo::trace {
+
+/// All phases, in reporting order.
+inline constexpr std::array<Phase, 7> kAllPhases = {
+    Phase::kCompute,    Phase::kFillMpiSend, Phase::kFillMpiRecv,
+    Phase::kKernelSend, Phase::kKernelRecv,  Phase::kWire,
+    Phase::kBlocked};
+
+/// One processor's totals.
+struct NodeStats {
+  int node = 0;
+  std::array<Time, kAllPhases.size()> phase_time{};
+  /// CPU-occupying time: compute + MPI buffer fills.
+  Time cpu_busy = 0;
+  /// Share of the makespan spent computing.
+  double compute_utilization = 0.0;
+
+  Time time(Phase p) const;
+};
+
+/// Whole-run summary.
+struct RunStats {
+  Time makespan = 0;
+  std::vector<NodeStats> nodes;
+  double mean_compute_utilization = 0.0;
+  double min_compute_utilization = 0.0;
+  double max_compute_utilization = 0.0;
+};
+
+/// Aggregates a timeline into per-node and whole-run statistics.
+RunStats summarize(const Timeline& timeline);
+
+/// Renders the summary as an aligned table (one row per processor plus a
+/// mean row).
+void write_stats_table(std::ostream& os, const RunStats& stats);
+
+}  // namespace tilo::trace

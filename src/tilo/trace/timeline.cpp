@@ -1,0 +1,102 @@
+#include "tilo/trace/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::trace {
+
+char phase_code(Phase p) {
+  switch (p) {
+    case Phase::kCompute:
+      return 'C';
+    case Phase::kFillMpiSend:
+      return 's';
+    case Phase::kFillMpiRecv:
+      return 'r';
+    case Phase::kKernelSend:
+      return 'k';
+    case Phase::kKernelRecv:
+      return 'q';
+    case Phase::kWire:
+      return 'w';
+    case Phase::kBlocked:
+      return '.';
+  }
+  TILO_ASSERT(false, "unknown Phase");
+  return '?';
+}
+
+std::string phase_name(Phase p) {
+  switch (p) {
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kFillMpiSend:
+      return "fill-mpi-send";
+    case Phase::kFillMpiRecv:
+      return "fill-mpi-recv";
+    case Phase::kKernelSend:
+      return "kernel-copy-send";
+    case Phase::kKernelRecv:
+      return "kernel-copy-recv";
+    case Phase::kWire:
+      return "wire";
+    case Phase::kBlocked:
+      return "blocked";
+  }
+  TILO_ASSERT(false, "unknown Phase");
+  return {};
+}
+
+void Timeline::record(int node, Phase phase, Time start, Time end,
+                      std::string label) {
+  TILO_REQUIRE(node >= 0, "negative node id");
+  TILO_REQUIRE(end >= start, "interval ends before it starts");
+  if (end == start) return;
+  intervals_.push_back(Interval{node, phase, start, end, std::move(label)});
+}
+
+Time Timeline::makespan() const {
+  Time m = 0;
+  for (const Interval& iv : intervals_) m = std::max(m, iv.end);
+  return m;
+}
+
+int Timeline::num_nodes() const {
+  int n = 0;
+  for (const Interval& iv : intervals_) n = std::max(n, iv.node + 1);
+  return n;
+}
+
+Time Timeline::phase_time(int node, Phase phase) const {
+  Time acc = 0;
+  for (const Interval& iv : intervals_)
+    if (iv.node == node && iv.phase == phase) acc += iv.end - iv.start;
+  return acc;
+}
+
+double Timeline::compute_utilization(int node) const {
+  const Time total = makespan();
+  if (total == 0) return 0.0;
+  return static_cast<double>(phase_time(node, Phase::kCompute)) /
+         static_cast<double>(total);
+}
+
+double Timeline::mean_compute_utilization() const {
+  const int n = num_nodes();
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += compute_utilization(i);
+  return acc / n;
+}
+
+void Timeline::write_csv(std::ostream& os) const {
+  os << "node,phase,start_ns,end_ns,label\n";
+  for (const Interval& iv : intervals_) {
+    os << iv.node << ',' << phase_name(iv.phase) << ',' << iv.start << ','
+       << iv.end << ',' << iv.label << '\n';
+  }
+}
+
+}  // namespace tilo::trace

@@ -1,0 +1,71 @@
+// Execution timelines: per-processor phase intervals recorded by the
+// executors, with utilization statistics.  These regenerate the *structure*
+// of the paper's Figs. 1-4 (receive/compute/send phases per time step).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tilo/sim/engine.hpp"
+
+namespace tilo::trace {
+
+using sim::Time;
+
+/// What a processor (or its DMA/NIC) is doing during an interval.
+enum class Phase {
+  kCompute,       ///< tile computation (A2)
+  kFillMpiSend,   ///< CPU filling the MPI send buffer (A1)
+  kFillMpiRecv,   ///< CPU draining the kernel buffer into user space (A3)
+  kKernelSend,    ///< kernel/DMA copy on the send side (B3)
+  kKernelRecv,    ///< kernel/DMA copy on the receive side (B2)
+  kWire,          ///< wire transmission (B4 / B1)
+  kBlocked,       ///< CPU idle, waiting on a blocking call
+};
+
+/// Single-character code used by the Gantt renderer.
+char phase_code(Phase p);
+std::string phase_name(Phase p);
+
+/// One recorded interval on one node.
+struct Interval {
+  int node = 0;
+  Phase phase = Phase::kCompute;
+  Time start = 0;
+  Time end = 0;
+  std::string label;
+};
+
+/// Append-only recording of intervals for a whole run.
+class Timeline {
+ public:
+  /// Records [start, end) on `node`; zero-length intervals are dropped.
+  void record(int node, Phase phase, Time start, Time end,
+              std::string label = {});
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  bool empty() const { return intervals_.empty(); }
+
+  /// Largest end time recorded (0 when empty).
+  Time makespan() const;
+  /// Largest node id recorded plus 1.
+  int num_nodes() const;
+
+  /// Total time `node` spends in `phase`.
+  Time phase_time(int node, Phase phase) const;
+
+  /// Fraction of [0, makespan] that `node` spends computing — the paper's
+  /// processor-utilization argument for the overlapping schedule.
+  double compute_utilization(int node) const;
+  /// Mean compute utilization over all nodes.
+  double mean_compute_utilization() const;
+
+  /// Writes one CSV row per interval (node, phase, start_ns, end_ns, label).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace tilo::trace

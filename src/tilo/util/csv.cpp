@@ -1,0 +1,95 @@
+#include "tilo/util/csv.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::util {
+
+void Table::set_header(std::vector<std::string> names) {
+  TILO_REQUIRE(rows_.empty(), "set_header after rows were added");
+  header_ = std::move(names);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TILO_REQUIRE(header_.empty() || cells.size() == header_.size(),
+               "row width ", cells.size(), " != header width ",
+               header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_text(std::ostream& os) const {
+  std::vector<std::size_t> width;
+  auto widen = [&width](const std::vector<std::string>& row) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? " | " : "") << std::left << std::setw(static_cast<int>(width[i]))
+         << row[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width.size(); ++i)
+      total += width[i] + (i ? 3 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_fixed(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (seconds >= 1.0) {
+    os << std::setprecision(4) << seconds << " s";
+  } else if (seconds >= 1e-3) {
+    os << std::setprecision(3) << seconds * 1e3 << " ms";
+  } else {
+    os << std::setprecision(3) << seconds * 1e6 << " us";
+  }
+  return os.str();
+}
+
+}  // namespace tilo::util

@@ -1,0 +1,41 @@
+// Minimal CSV / fixed-width table writers used by examples and benches to
+// print paper-style result tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tilo::util {
+
+/// Accumulates rows of string cells and renders them either as CSV or as an
+/// aligned fixed-width text table (the form used for paper tables).
+class Table {
+ public:
+  /// Sets the header row; must be called before any add_row.
+  void set_header(std::vector<std::string> names);
+
+  /// Appends a data row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders as RFC-4180-style CSV (quoting cells containing , " or \n).
+  void write_csv(std::ostream& os) const;
+
+  /// Renders as an aligned, pipe-separated text table.
+  void write_text(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt_fixed(double v, int precision);
+
+/// Formats seconds with appropriate unit (s / ms / µs).
+std::string fmt_seconds(double seconds);
+
+}  // namespace tilo::util

@@ -1,0 +1,14 @@
+#include "tilo/util/error.hpp"
+
+namespace tilo::util::detail {
+
+void throw_error(const char* kind, const char* expr, const char* file,
+                 int line, const std::string& message) {
+  std::ostringstream os;
+  os << "tilo " << kind << " failed: " << expr;
+  if (!message.empty()) os << " — " << message;
+  os << " [" << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace tilo::util::detail

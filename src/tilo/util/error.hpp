@@ -1,0 +1,55 @@
+// Error handling for the tilo library.
+//
+// Library-level contract violations (bad user input: illegal tiling matrix,
+// inconsistent bounds, ...) throw tilo::util::Error with a formatted message.
+// Internal invariant violations use TILO_ASSERT, which also throws so that
+// tests can exercise failure paths without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tilo::util {
+
+/// Exception thrown on any tilo precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+/// Builds a message from stream-style arguments: tilo::util::concat("x=", x).
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace tilo::util
+
+/// Precondition check on user-supplied values; throws tilo::util::Error.
+#define TILO_REQUIRE(cond, ...)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::tilo::util::detail::throw_error("precondition", #cond, __FILE__,     \
+                                        __LINE__,                            \
+                                        ::tilo::util::concat(__VA_ARGS__));  \
+    }                                                                        \
+  } while (0)
+
+/// Internal invariant check; throws tilo::util::Error.
+#define TILO_ASSERT(cond, ...)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::tilo::util::detail::throw_error("invariant", #cond, __FILE__,        \
+                                        __LINE__,                            \
+                                        ::tilo::util::concat(__VA_ARGS__));  \
+    }                                                                        \
+  } while (0)

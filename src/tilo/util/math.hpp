@@ -1,0 +1,65 @@
+// Small exact integer helpers used across the lattice / tiling code.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::util {
+
+using i64 = std::int64_t;
+
+/// Floor division: floor_div(7, 2) == 3, floor_div(-7, 2) == -4.
+constexpr i64 floor_div(i64 a, i64 b) {
+  TILO_REQUIRE(b != 0, "floor_div by zero");
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division: ceil_div(7, 2) == 4, ceil_div(-7, 2) == -3.
+constexpr i64 ceil_div(i64 a, i64 b) {
+  TILO_REQUIRE(b != 0, "ceil_div by zero");
+  return -floor_div(-a, b);
+}
+
+/// Mathematical modulus with result in [0, |b|): floor_mod(-7, 2) == 1.
+constexpr i64 floor_mod(i64 a, i64 b) { return a - floor_div(a, b) * b; }
+
+/// Overflow-checked arithmetic; throws util::Error on wraparound.
+inline i64 checked_add(i64 a, i64 b) {
+  i64 out = 0;
+  TILO_REQUIRE(!__builtin_add_overflow(a, b, &out), "i64 add overflow: ", a,
+               " + ", b);
+  return out;
+}
+
+inline i64 checked_sub(i64 a, i64 b) {
+  i64 out = 0;
+  TILO_REQUIRE(!__builtin_sub_overflow(a, b, &out), "i64 sub overflow: ", a,
+               " - ", b);
+  return out;
+}
+
+inline i64 checked_mul(i64 a, i64 b) {
+  i64 out = 0;
+  TILO_REQUIRE(!__builtin_mul_overflow(a, b, &out), "i64 mul overflow: ", a,
+               " * ", b);
+  return out;
+}
+
+/// gcd that is safe for negative inputs; gcd(0, 0) == 0.
+constexpr i64 gcd(i64 a, i64 b) { return std::gcd(a, b); }
+
+/// lcm with overflow checking; result is always nonnegative.
+inline i64 lcm(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  if (a < 0) a = checked_sub(0, a);
+  if (b < 0) b = checked_sub(0, b);
+  return checked_mul(a / gcd(a, b), b);
+}
+
+}  // namespace tilo::util

@@ -1,0 +1,52 @@
+// Deterministic, seed-stable RNG for property tests and workload generators.
+//
+// std::mt19937 distributions are not guaranteed identical across standard
+// library implementations; SplitMix64 gives byte-for-byte reproducible
+// streams everywhere, which the property-test suites rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::util {
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    TILO_REQUIRE(lo <= hi, "Rng::uniform bounds: ", lo, " > ", hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Rejection sampling for an unbiased draw.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tilo::util

@@ -1,0 +1,103 @@
+// Tests for the measurement-driven calibration fitter.
+#include <gtest/gtest.h>
+
+#include "tilo/machine/calibrate.hpp"
+#include "tilo/msg/cluster.hpp"
+#include "tilo/util/rng.hpp"
+
+using namespace tilo;
+using mach::AffineCost;
+using mach::CostSample;
+
+TEST(CalibrateTest, TwoPointsFitExactly) {
+  const auto fit = mach::fit_affine({{100, 10e-6}, {300, 20e-6}});
+  EXPECT_NEAR(fit.per_byte, 0.05e-6, 1e-12);
+  EXPECT_NEAR(fit.base, 5e-6, 1e-12);
+  EXPECT_NEAR(mach::fit_residual(fit, {{100, 10e-6}, {300, 20e-6}}), 0.0,
+              1e-9);
+}
+
+TEST(CalibrateTest, PaperSamplesReproduceTheDefaultModel) {
+  const auto fit = mach::fit_affine(mach::paper_fill_mpi_samples());
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  EXPECT_NEAR(fit.base, p.fill_mpi_buffer.base, 2e-6);
+  EXPECT_NEAR(fit.per_byte, p.fill_mpi_buffer.per_byte, 1e-10);
+  EXPECT_LT(mach::fit_residual(fit, mach::paper_fill_mpi_samples()), 1e-9);
+}
+
+TEST(CalibrateTest, SingleSamplePinsTheBase) {
+  const auto fit = mach::fit_affine({{512, 42e-6}});
+  EXPECT_DOUBLE_EQ(fit.base, 42e-6);
+  EXPECT_DOUBLE_EQ(fit.per_byte, 0.0);
+}
+
+TEST(CalibrateTest, IdenticalSizesAverageTheBase) {
+  const auto fit = mach::fit_affine({{64, 10e-6}, {64, 14e-6}});
+  EXPECT_DOUBLE_EQ(fit.base, 12e-6);
+  EXPECT_DOUBLE_EQ(fit.per_byte, 0.0);
+}
+
+TEST(CalibrateTest, NoisyOverdeterminedFitRecoversTruth) {
+  // Synthesize samples from a known model with +/-2 % deterministic noise.
+  const AffineCost truth{30e-6, 0.08e-9 * 1000};  // 80 ns/KB
+  util::Rng rng(7);
+  std::vector<CostSample> samples;
+  for (int i = 1; i <= 20; ++i) {
+    const util::i64 bytes = i * 500;
+    const double noise = 1.0 + (rng.uniform01() - 0.5) * 0.04;
+    samples.push_back({bytes, truth.at(bytes) * noise});
+  }
+  const auto fit = mach::fit_affine(samples);
+  EXPECT_NEAR(fit.base, truth.base, truth.base * 0.2);
+  EXPECT_NEAR(fit.per_byte, truth.per_byte, truth.per_byte * 0.05);
+  EXPECT_LT(mach::fit_residual(fit, samples), 0.05);
+}
+
+TEST(CalibrateTest, NegativeBaseClampsToOrigin) {
+  // Points that extrapolate below zero at bytes = 0.
+  const auto fit = mach::fit_affine({{1000, 1e-6}, {2000, 3e-6}});
+  EXPECT_GE(fit.base, 0.0);
+  EXPECT_GT(fit.per_byte, 0.0);
+}
+
+TEST(CalibrateTest, FitsTheSimulatorsEmergentMessageCost) {
+  // The paper's Section 5 methodology, run against the simulator instead
+  // of the cluster: stream back-to-back messages of several sizes, time
+  // them, fit the affine model — the fitted slope/base must recover the
+  // configured B-side pipeline (B3 + B4 + B1 + B2 per message on the
+  // shared channel; the one-off latency washes out over the stream).
+  mach::MachineParams p;
+  p.t_c = 1e-6;
+  p.t_t = 0.1e-6;
+  p.bytes_per_element = 4;
+  p.wire_latency = 20e-6;
+  p.fill_mpi_buffer = mach::AffineCost{10e-6, 1e-9};
+  p.fill_kernel_buffer = mach::AffineCost{15e-6, 2e-9};
+
+  std::vector<CostSample> samples;
+  for (util::i64 bytes : {1000, 2000, 4000, 8000}) {
+    constexpr int kMessages = 64;
+    msg::Cluster c(2, p);
+    for (int i = 0; i < kMessages; ++i) c.node(1).irecv(0, i);
+    c.engine().at(0, [&] {
+      for (int i = 0; i < kMessages; ++i) c.node(0).isend(1, i, bytes);
+    });
+    const double total = sim::to_seconds(c.run());
+    samples.push_back({bytes, total / kMessages});
+  }
+  const AffineCost fit = mach::fit_affine(samples);
+  // Steady state per message: sender leg B3+B4 and receiver leg B1+B2
+  // pipeline, so the stream advances at max(leg) = the slower leg; with
+  // symmetric kernel costs both legs are equal: 15us + 2ns/B + 0.05us/B.
+  const double expect_base = p.fill_kernel_buffer.base;
+  const double expect_slope =
+      p.fill_kernel_buffer.per_byte + 0.5 * p.t_t;
+  EXPECT_NEAR(fit.per_byte, expect_slope, 0.05 * expect_slope);
+  EXPECT_NEAR(fit.base, expect_base, 0.25 * expect_base + 2e-6);
+}
+
+TEST(CalibrateTest, RejectsBadInput) {
+  EXPECT_THROW(mach::fit_affine({}), util::Error);
+  EXPECT_THROW(mach::fit_affine({{-1, 1e-6}}), util::Error);
+  EXPECT_THROW(mach::fit_affine({{1, -1e-6}}), util::Error);
+}

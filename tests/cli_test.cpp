@@ -1,0 +1,106 @@
+// End-to-end smoke tests of the tilo_cli driver binary: exercises the
+// parse -> plan -> simulate -> report pipeline exactly as a user would.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifndef TILO_CLI_PATH
+#error "TILO_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+/// Runs the CLI with `args`, captures stdout, returns {exit, output}.
+std::pair<int, std::string> run_cli(const std::string& args) {
+  static int counter = 0;
+  const std::string out_path = ::testing::TempDir() + "tilo_cli_out_" +
+                               std::to_string(counter++) + ".txt";
+  const std::string cmd = std::string(TILO_CLI_PATH) + " " + args + " > " +
+                          out_path + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::ifstream in(out_path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  return {rc, body.str()};
+}
+
+}  // namespace
+
+TEST(CliTest, DefaultRunReportsBothSchedules) {
+  const auto [rc, out] = run_cli("--height 64");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("non-overlapping:"), std::string::npos) << out;
+  EXPECT_NE(out.find("overlapping:"), std::string::npos);
+  EXPECT_NE(out.find("tile height V = 64"), std::string::npos);
+}
+
+TEST(CliTest, ValidateFlagChecksValues) {
+  const auto [rc, out] = run_cli("--height 64 --validate");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("max |err| = 0"), std::string::npos) << out;
+}
+
+TEST(CliTest, NestFileIsParsed) {
+  const std::string nest_path = ::testing::TempDir() + "cli_nest.loop";
+  {
+    std::ofstream os(nest_path);
+    os << "FOR i = 0 TO 31\n FOR j = 0 TO 255\n"
+          "  B(i, j) = 0.5 * (B(i-1, j) + B(i, j-1))\n ENDFOR\nENDFOR\n";
+  }
+  const auto [rc, out] =
+      run_cli(nest_path + " --procs 4x1 --height 16 --validate");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("nest 'B'"), std::string::npos) << out;
+  EXPECT_NE(out.find("max |err| = 0"), std::string::npos);
+}
+
+TEST(CliTest, EmitCPrintsProgram) {
+  const auto [rc, out] = run_cli("--height 64 --emit-c");
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("#include <mpi.h>"), std::string::npos);
+  EXPECT_NE(out.find("MPI_Isend"), std::string::npos);
+}
+
+TEST(CliTest, AnalyticDefaultHeight) {
+  const auto [rc, out] = run_cli("--schedule overlap");
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("(analytic optimum)"), std::string::npos) << out;
+  EXPECT_EQ(out.find("non-overlapping:"), std::string::npos);
+}
+
+TEST(CliTest, AutoPlannerChoosesGrid) {
+  const auto [rc, out] = run_cli("--auto 16 --schedule overlap");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("planner chose grid (4, 4, 1)"), std::string::npos)
+      << out;
+}
+
+TEST(CliTest, EmitLoopRoundTripsThroughTheCli) {
+  // Serialize the built-in demo back to grammar form, feed it back in.
+  const auto [rc, out] = run_cli("--height 64 --schedule overlap --emit-loop");
+  EXPECT_EQ(rc, 0) << out;
+  const auto pos = out.find("FOR i1 = 0 TO 15");
+  ASSERT_NE(pos, std::string::npos) << out;
+  const std::string nest_path = ::testing::TempDir() + "cli_roundtrip.loop";
+  {
+    std::ofstream os(nest_path);
+    os << out.substr(pos);
+  }
+  const auto [rc2, out2] =
+      run_cli(nest_path + " --height 64 --schedule overlap --validate");
+  EXPECT_EQ(rc2, 0) << out2;
+  EXPECT_NE(out2.find("max |err| = 0"), std::string::npos) << out2;
+}
+
+TEST(CliTest, BadSourceFailsWithDiagnostic) {
+  const std::string nest_path = ::testing::TempDir() + "cli_bad.loop";
+  {
+    std::ofstream os(nest_path);
+    os << "FOR i = 0 TO 9\n A(i) = A(i+1)\nENDFOR\n";
+  }
+  const auto [rc, out] = run_cli(nest_path);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}

@@ -1,0 +1,149 @@
+// The strongest code-generator check available without a real MPI: compile
+// the generated C program against the fork-based multi-process MPI stub
+// (tests/stub_mpi_fork.h), run it with 4 actual ranks exchanging real
+// messages over socketpairs, and compare the reduced checksum against the
+// sequential reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "tilo/codegen/mpi_program.hpp"
+#include "tilo/loopnest/parse.hpp"
+#include "tilo/loopnest/reference.hpp"
+#include "tilo/loopnest/workloads.hpp"
+
+#ifndef TILO_TESTS_DIR
+#error "TILO_TESTS_DIR must be defined by the build"
+#endif
+
+using namespace tilo;
+using lat::Vec;
+using loop::LoopNest;
+using sched::ScheduleKind;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream os(path);
+  ASSERT_TRUE(os.good()) << path;
+  os << text;
+}
+
+/// Builds and runs the generated program under the fork stub with `ranks`
+/// processes; returns the printed checksum.
+double run_multirank(const std::string& program, int ranks, int* exit_code) {
+  static int counter = 0;
+  const std::string dir = ::testing::TempDir() + "tilo_multirank_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++);
+  EXPECT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  spit(dir + "/mpi.h",
+       slurp(std::string(TILO_TESTS_DIR) + "/stub_mpi_fork.h"));
+  spit(dir + "/prog.c", program);
+  const std::string build = "gcc -x c -std=c99 -O1 -I " + dir + " -o " +
+                            dir + "/prog " + dir + "/prog.c -lm 2> " +
+                            dir + "/log.txt";
+  EXPECT_EQ(std::system(build.c_str()), 0) << slurp(dir + "/log.txt");
+  const std::string run = "TILO_STUB_RANKS=" + std::to_string(ranks) + " " +
+                          dir + "/prog > " + dir + "/out.txt 2>&1";
+  *exit_code = std::system(run.c_str());
+
+  std::ifstream out(dir + "/out.txt");
+  std::string word;
+  double checksum = std::nan("");
+  out >> word >> checksum;
+  EXPECT_EQ(word, "checksum") << slurp(dir + "/out.txt");
+  return checksum;
+}
+
+}  // namespace
+
+class MultiRankCodegenTest
+    : public ::testing::TestWithParam<sched::ScheduleKind> {};
+
+TEST_P(MultiRankCodegenTest, FourRanksMatchSequentialChecksum) {
+  // Parsed nests have the constant boundary the generated code also uses
+  // (the built-in kernels' boundaries are point-dependent, so they cannot
+  // value-round-trip through codegen).
+  const LoopNest nest = loop::parse_nest(
+      "FOR i = 0 TO 7\n FOR j = 0 TO 7\n FOR k = 0 TO 23\n"
+      "  A(i,j,k) = sqrt(A(i-1,j,k)) + sqrt(A(i,j-1,k)) + "
+      "sqrt(A(i,j,k-1))\n ENDFOR\n ENDFOR\nENDFOR\n");
+  const exec::TilePlan plan = exec::make_plan_explicit(
+      nest, tile::RectTiling(Vec{4, 4, 6}), GetParam(), 2, Vec{2, 2, 1});
+  ASSERT_EQ(plan.mapping.num_ranks(), 4);
+  const std::string program = gen::generate_mpi_program(nest, plan);
+
+  int exit_code = -1;
+  const double checksum = run_multirank(program, 4, &exit_code);
+  ASSERT_EQ(exit_code, 0);
+
+  const loop::DenseField ref = loop::run_sequential(nest);
+  double expect = 0.0;
+  for (double v : ref.values) expect += v;
+  EXPECT_NEAR(checksum, expect, 1e-9 * std::abs(expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, MultiRankCodegenTest,
+                         ::testing::Values(ScheduleKind::kNonOverlap,
+                                           ScheduleKind::kOverlap),
+                         [](const auto& info) {
+                           return info.param == ScheduleKind::kOverlap
+                                      ? std::string("ProcNB")
+                                      : std::string("ProcB");
+                         });
+
+TEST(MultiRankCodegenTest, PartialTilesAcrossRanks) {
+  // Extents that do not divide: partial boundary tiles on real ranks.
+  const LoopNest nest = loop::parse_nest(
+      "FOR i = 0 TO 6\n FOR j = 0 TO 5\n FOR k = 0 TO 22\n"
+      "  A(i,j,k) = 0.4 * (A(i-1,j,k) + A(i,j-1,k) + A(i,j,k-1))\n"
+      " ENDFOR\n ENDFOR\nENDFOR\n");
+  const exec::TilePlan plan = exec::make_plan_explicit(
+      nest, tile::RectTiling(Vec{4, 3, 5}), ScheduleKind::kOverlap, 2,
+      Vec{2, 2, 1});
+  ASSERT_EQ(plan.mapping.num_ranks(), 4);
+  const std::string program = gen::generate_mpi_program(nest, plan);
+
+  int exit_code = -1;
+  const double checksum = run_multirank(program, 4, &exit_code);
+  ASSERT_EQ(exit_code, 0);
+
+  const loop::DenseField ref = loop::run_sequential(nest);
+  double expect = 0.0;
+  for (double v : ref.values) expect += v;
+  EXPECT_NEAR(checksum, expect, 1e-9 * std::abs(expect));
+}
+
+TEST(MultiRankCodegenTest, CornerDependence2D) {
+  // Example-1-style corner dependence through generated code on 3 ranks.
+  const LoopNest nest2 = loop::parse_nest(
+      "FOR i1 = 0 TO 23\n FOR i2 = 0 TO 17\n"
+      "  A(i1,i2) = 0.25 * (A(i1-1,i2-1) + A(i1-1,i2) + A(i1,i2-1))\n"
+      " ENDFOR\nENDFOR\n");
+  const exec::TilePlan plan = exec::make_plan_explicit(
+      nest2, tile::RectTiling(Vec{8, 6}), ScheduleKind::kOverlap, 0,
+      Vec{1, 3});
+  ASSERT_EQ(plan.mapping.num_ranks(), 3);
+  const std::string program = gen::generate_mpi_program(nest2, plan);
+
+  int exit_code = -1;
+  const double checksum = run_multirank(program, 3, &exit_code);
+  ASSERT_EQ(exit_code, 0);
+
+  const loop::DenseField ref = loop::run_sequential(nest2);
+  double expect = 0.0;
+  for (double v : ref.values) expect += v;
+  EXPECT_NEAR(checksum, expect, 1e-9 * std::abs(expect));
+}

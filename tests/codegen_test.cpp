@@ -1,0 +1,235 @@
+// Tests for the C + MPI code generator: structural checks on both program
+// variants, a syntax check of the emitted translation unit with a stub
+// mpi.h, and a full end-to-end run: the generated single-rank program is
+// compiled with the host C compiler and its checksum compared against the
+// sequential reference executor.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "tilo/codegen/mpi_program.hpp"
+#include "tilo/loopnest/parse.hpp"
+#include "tilo/loopnest/reference.hpp"
+#include "tilo/loopnest/workloads.hpp"
+
+using namespace tilo;
+using lat::Vec;
+using loop::LoopNest;
+using sched::ScheduleKind;
+using tile::RectTiling;
+
+namespace {
+
+// A minimal, functional single-rank MPI stand-in: enough for the generated
+// program to compile everywhere and to *run* correctly with one rank.
+const char* kStubMpiH = R"(#ifndef TILO_STUB_MPI_H
+#define TILO_STUB_MPI_H
+#include <stdlib.h>
+typedef int MPI_Comm;
+typedef int MPI_Request;
+typedef int MPI_Status;
+typedef int MPI_Datatype;
+typedef int MPI_Op;
+#define MPI_COMM_WORLD 0
+#define MPI_FLOAT 4
+#define MPI_DOUBLE 8
+#define MPI_SUM 1
+#define MPI_STATUS_IGNORE ((MPI_Status *)0)
+#define MPI_STATUSES_IGNORE ((MPI_Status *)0)
+static int MPI_Init(int *argc, char ***argv) { (void)argc; (void)argv; return 0; }
+static int MPI_Finalize(void) { return 0; }
+static int MPI_Comm_rank(MPI_Comm c, int *r) { (void)c; *r = 0; return 0; }
+static int MPI_Comm_size(MPI_Comm c, int *s) { (void)c; *s = 1; return 0; }
+static int MPI_Abort(MPI_Comm c, int code) { (void)c; exit(code); return 0; }
+static int MPI_Send(const void *b, int n, MPI_Datatype t, int dst, int tag, MPI_Comm c)
+{ (void)b; (void)n; (void)t; (void)dst; (void)tag; (void)c; return 0; }
+static int MPI_Recv(void *b, int n, MPI_Datatype t, int src, int tag, MPI_Comm c, MPI_Status *s)
+{ (void)b; (void)n; (void)t; (void)src; (void)tag; (void)c; (void)s; return 0; }
+static int MPI_Isend(const void *b, int n, MPI_Datatype t, int dst, int tag, MPI_Comm c, MPI_Request *q)
+{ (void)b; (void)n; (void)t; (void)dst; (void)tag; (void)c; *q = 0; return 0; }
+static int MPI_Irecv(void *b, int n, MPI_Datatype t, int src, int tag, MPI_Comm c, MPI_Request *q)
+{ (void)b; (void)n; (void)t; (void)src; (void)tag; (void)c; *q = 0; return 0; }
+static int MPI_Waitall(int n, MPI_Request *q, MPI_Status *s)
+{ (void)n; (void)q; (void)s; return 0; }
+static int MPI_Reduce(const void *in, void *out, int n, MPI_Datatype t, MPI_Op op, int root, MPI_Comm c)
+{ (void)op; (void)root; (void)c; { long i; long bytes = (long)n * (t == MPI_DOUBLE ? 8 : 4);
+  for (i = 0; i < bytes; ++i) ((char *)out)[i] = ((const char *)in)[i]; } return 0; }
+#endif
+)";
+
+/// Writes `text` to `path`.
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path);
+  ASSERT_TRUE(os.good()) << path;
+  os << text;
+}
+
+/// Returns a scratch directory with the stub mpi.h in place.
+std::string scratch_dir() {
+  static int counter = 0;
+  std::string dir = ::testing::TempDir() + "tilo_codegen_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(counter++);
+  const std::string cmd = "mkdir -p " + dir;
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  write_file(dir + "/mpi.h", kStubMpiH);
+  return dir;
+}
+
+int syntax_check(const std::string& program) {
+  const std::string dir = scratch_dir();
+  write_file(dir + "/prog.c", program);
+  const std::string cmd = "gcc -x c -std=c99 -fsyntax-only -I " + dir + " " +
+                          dir + "/prog.c 2> " + dir + "/log.txt";
+  return std::system(cmd.c_str());
+}
+
+LoopNest small_nest() { return loop::stencil3d_nest(8, 8, 16); }
+
+}  // namespace
+
+TEST(CodegenTest, BlockingProgramHasProcBStructure) {
+  const LoopNest nest = small_nest();
+  const exec::TilePlan plan = exec::make_plan(
+      nest, RectTiling(Vec{4, 4, 4}), ScheduleKind::kNonOverlap);
+  const std::string src = gen::generate_mpi_program(nest, plan);
+  EXPECT_NE(src.find("non-overlapping (ProcB"), std::string::npos);
+  EXPECT_NE(src.find("MPI_Recv("), std::string::npos);
+  EXPECT_NE(src.find("MPI_Send("), std::string::npos);
+  EXPECT_EQ(src.find("MPI_Isend("), std::string::npos);
+  // Receive phase precedes compute precedes send, the ProcB order.
+  const auto recv_pos = src.find("MPI_Recv(");
+  const auto compute_pos = src.find("compute_tile(tlo, thi)", recv_pos);
+  const auto send_pos = src.find("MPI_Send(", compute_pos);
+  EXPECT_NE(compute_pos, std::string::npos);
+  EXPECT_NE(send_pos, std::string::npos);
+}
+
+TEST(CodegenTest, NonblockingProgramHasProcNBStructure) {
+  const LoopNest nest = small_nest();
+  const exec::TilePlan plan = exec::make_plan(
+      nest, RectTiling(Vec{4, 4, 4}), ScheduleKind::kOverlap);
+  const std::string src = gen::generate_mpi_program(nest, plan);
+  EXPECT_NE(src.find("overlapping (ProcNB"), std::string::npos);
+  // Isend of kt-1, then Irecv of kt+1, then compute, then the waits.
+  const auto isend = src.find("MPI_Isend(");
+  ASSERT_NE(isend, std::string::npos);
+  const auto irecv = src.find("MPI_Irecv(", isend);
+  ASSERT_NE(irecv, std::string::npos);
+  const auto compute = src.find("compute_tile(tlo, thi)", irecv);
+  ASSERT_NE(compute, std::string::npos);
+  const auto wait = src.find("MPI_Waitall(", compute);
+  EXPECT_NE(wait, std::string::npos);
+}
+
+TEST(CodegenTest, ConstantsMatchPlanGeometry) {
+  const LoopNest nest = loop::paper_space_i();
+  const exec::TilePlan plan = exec::make_plan(
+      nest, RectTiling(Vec{4, 4, 444}), ScheduleKind::kOverlap);
+  const std::string src = gen::generate_mpi_program(nest, plan);
+  EXPECT_NE(src.find("#define TOTAL_RANKS 16"), std::string::npos);
+  EXPECT_NE(src.find("#define MAPPED 2"), std::string::npos);
+  EXPECT_NE(src.find("TS[NDIMS] = {4L, 4L, 444L}"), std::string::npos);
+  EXPECT_NE(src.find("DHI[NDIMS] = {15L, 15L, 16383L}"), std::string::npos);
+  EXPECT_NE(src.find("DIR[NDIRS][NDIMS]"), std::string::npos);
+}
+
+TEST(CodegenTest, KernelExpressionEmitted) {
+  const LoopNest nest = small_nest();  // sqrt-sum kernel
+  const exec::TilePlan plan = exec::make_plan(
+      nest, RectTiling(Vec{4, 4, 4}), ScheduleKind::kOverlap);
+  const std::string src = gen::generate_mpi_program(nest, plan);
+  EXPECT_NE(src.find("sqrt(fabs(in[0])) + sqrt(fabs(in[1])) + "
+                     "sqrt(fabs(in[2]))"),
+            std::string::npos);
+}
+
+TEST(CodegenTest, ParsedKernelRoundTripsToC) {
+  const LoopNest nest = loop::parse_nest(
+      "FOR i = 0 TO 19\n FOR j = 0 TO 19\n"
+      "  A(i, j) = 0.5 * A(i-1, j) + sqrt(A(i, j-1))\n ENDFOR\nENDFOR\n");
+  const exec::TilePlan plan = exec::make_plan(
+      nest, RectTiling(Vec{5, 5}), ScheduleKind::kOverlap);
+  const std::string src = gen::generate_mpi_program(nest, plan);
+  EXPECT_NE(src.find("((0.5 * in[0]) + sqrt(fabs(in[1])))"),
+            std::string::npos);
+}
+
+TEST(CodegenTest, FloatElementTypeUsesMpiFloat) {
+  const LoopNest nest = small_nest();
+  const exec::TilePlan plan = exec::make_plan(
+      nest, RectTiling(Vec{4, 4, 4}), ScheduleKind::kOverlap);
+  gen::CodegenOptions opts;
+  opts.element_type = "float";
+  opts.boundary_value = 2.5;
+  const std::string src = gen::generate_mpi_program(nest, plan, opts);
+  EXPECT_NE(src.find("typedef float ELEM;"), std::string::npos);
+  EXPECT_NE(src.find("#define MPI_ELEM MPI_FLOAT"), std::string::npos);
+  EXPECT_NE(src.find("#define BOUNDARY_VALUE 2.5"), std::string::npos);
+  EXPECT_EQ(syntax_check(src), 0);
+}
+
+TEST(CodegenTest, RejectsBadInputs) {
+  const LoopNest nest = small_nest();
+  const exec::TilePlan plan = exec::make_plan(
+      nest, RectTiling(Vec{4, 4, 4}), ScheduleKind::kOverlap);
+  gen::CodegenOptions opts;
+  opts.element_type = "long double";
+  EXPECT_THROW(gen::generate_mpi_program(nest, plan, opts), util::Error);
+
+  const LoopNest other = loop::stencil3d_nest(8, 8, 32);
+  EXPECT_THROW(gen::generate_mpi_program(other, plan), util::Error);
+}
+
+TEST(CodegenTest, GeneratedProgramsAreValidC) {
+  const LoopNest nest = small_nest();
+  for (auto kind : {ScheduleKind::kNonOverlap, ScheduleKind::kOverlap}) {
+    const exec::TilePlan plan =
+        exec::make_plan(nest, RectTiling(Vec{4, 4, 4}), kind);
+    const std::string src = gen::generate_mpi_program(nest, plan);
+    EXPECT_EQ(syntax_check(src), 0)
+        << "generated program fails to parse, kind "
+        << static_cast<int>(kind);
+  }
+}
+
+TEST(CodegenTest, SingleRankProgramComputesTheNest) {
+  // Compile the generated program against the functional single-rank MPI
+  // stub, run it, and compare its checksum with the sequential reference.
+  const LoopNest nest = loop::parse_nest(
+      "FOR i = 0 TO 11\n FOR j = 0 TO 9\n FOR k = 0 TO 13\n"
+      "  A(i, j, k) = 0.25*(A(i-1, j, k) + A(i, j-1, k)) + "
+      "sqrt(A(i, j, k-1))\n"
+      " ENDFOR\n ENDFOR\nENDFOR\n");
+  for (auto kind : {ScheduleKind::kNonOverlap, ScheduleKind::kOverlap}) {
+    // One rank; tile sides chosen so boundary tiles are partial.
+    const exec::TilePlan plan = exec::make_plan_explicit(
+        nest, RectTiling(Vec{5, 4, 6}), kind, 2, Vec{1, 1, 1});
+    const std::string src = gen::generate_mpi_program(nest, plan);
+
+    const std::string dir = scratch_dir();
+    write_file(dir + "/prog.c", src);
+    const std::string build = "gcc -x c -std=c99 -O1 -I " + dir + " -o " +
+                              dir + "/prog " + dir + "/prog.c -lm 2> " +
+                              dir + "/log.txt";
+    ASSERT_EQ(std::system(build.c_str()), 0) << "kind "
+                                             << static_cast<int>(kind);
+    const std::string run = dir + "/prog > " + dir + "/out.txt";
+    ASSERT_EQ(std::system(run.c_str()), 0);
+
+    std::ifstream out(dir + "/out.txt");
+    std::string word;
+    double checksum = 0.0;
+    out >> word >> checksum;
+    ASSERT_EQ(word, "checksum");
+
+    const loop::DenseField ref = loop::run_sequential(nest);
+    double expect = 0.0;
+    for (double v : ref.values) expect += v;
+    EXPECT_NEAR(checksum, expect, 1e-9 * std::abs(expect))
+        << "kind " << static_cast<int>(kind);
+  }
+}

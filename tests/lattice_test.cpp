@@ -1,0 +1,284 @@
+// Unit tests for tilo::lat — integer vectors/matrices, exact rationals,
+// rational matrices (inverse/determinant) and boxes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tilo/lattice/box.hpp"
+#include "tilo/lattice/mat.hpp"
+#include "tilo/lattice/ratmat.hpp"
+#include "tilo/lattice/rational.hpp"
+#include "tilo/lattice/vec.hpp"
+#include "tilo/util/rng.hpp"
+
+using tilo::lat::Box;
+using tilo::lat::Mat;
+using tilo::lat::Rat;
+using tilo::lat::RatMat;
+using tilo::lat::RatVec;
+using tilo::lat::Vec;
+using tilo::util::i64;
+
+// ---------------------------------------------------------------- Vec ----
+
+TEST(VecTest, ArithmeticIsComponentwise) {
+  const Vec a{1, 2, 3};
+  const Vec b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec{3, 3, 3}));
+  EXPECT_EQ(a * 3, (Vec{3, 6, 9}));
+  EXPECT_EQ(-a, (Vec{-1, -2, -3}));
+}
+
+TEST(VecTest, DotProduct) {
+  EXPECT_EQ((Vec{1, 2, 3}).dot(Vec{4, 5, 6}), 32);
+  EXPECT_EQ((Vec{1, 1}).dot(Vec{-1, 1}), 0);
+}
+
+TEST(VecTest, SizeMismatchThrows) {
+  EXPECT_THROW(Vec({1, 2}) + Vec({1, 2, 3}), tilo::util::Error);
+  EXPECT_THROW((Vec{1, 2}).dot(Vec{1}), tilo::util::Error);
+}
+
+TEST(VecTest, LexOrder) {
+  EXPECT_TRUE((Vec{0, 5}).lex_less(Vec{1, 0}));
+  EXPECT_TRUE((Vec{1, 0}).lex_less(Vec{1, 1}));
+  EXPECT_FALSE((Vec{1, 1}).lex_less(Vec{1, 1}));
+  EXPECT_TRUE((Vec{0, 0, 1}).lex_positive());
+  EXPECT_TRUE((Vec{1, -5, 0}).lex_positive());
+  EXPECT_FALSE((Vec{0, -1, 2}).lex_positive());
+  EXPECT_FALSE((Vec{0, 0, 0}).lex_positive());
+}
+
+TEST(VecTest, Predicates) {
+  EXPECT_TRUE((Vec{0, 0}).is_zero());
+  EXPECT_FALSE((Vec{0, 1}).is_zero());
+  EXPECT_TRUE((Vec{0, 2}).is_nonneg());
+  EXPECT_FALSE((Vec{0, -1}).is_nonneg());
+  EXPECT_EQ((Vec{1, 2, 3}).sum(), 6);
+}
+
+TEST(VecTest, StreamFormat) { EXPECT_EQ((Vec{1, -2}).str(), "(1, -2)"); }
+
+// ---------------------------------------------------------------- Mat ----
+
+TEST(MatTest, IdentityAndDiagonal) {
+  EXPECT_EQ(Mat::identity(2), (Mat{{1, 0}, {0, 1}}));
+  EXPECT_EQ(Mat::diagonal(Vec{2, 3}), (Mat{{2, 0}, {0, 3}}));
+}
+
+TEST(MatTest, MultiplyMatchesHandComputation) {
+  const Mat a{{1, 2}, {3, 4}};
+  const Mat b{{5, 6}, {7, 8}};
+  EXPECT_EQ(a * b, (Mat{{19, 22}, {43, 50}}));
+  EXPECT_EQ(a * Vec({1, 1}), (Vec{3, 7}));
+}
+
+TEST(MatTest, TransposeRoundTrip) {
+  const Mat a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(a.transpose().transpose(), a);
+  EXPECT_EQ(a.transpose(), (Mat{{1, 4}, {2, 5}, {3, 6}}));
+}
+
+TEST(MatTest, DeterminantSmallCases) {
+  EXPECT_EQ((Mat{{3}}).det(), 3);
+  EXPECT_EQ((Mat{{1, 2}, {3, 4}}).det(), -2);
+  EXPECT_EQ((Mat{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}).det(), 24);
+  EXPECT_EQ((Mat{{1, 2}, {2, 4}}).det(), 0);
+  // Needs a row swap to find a pivot.
+  EXPECT_EQ((Mat{{0, 1}, {1, 0}}).det(), -1);
+}
+
+TEST(MatTest, DeterminantOfProductIsProductOfDeterminants) {
+  tilo::util::Rng rng(123);
+  for (int iter = 0; iter < 50; ++iter) {
+    Mat a(3, 3);
+    Mat b(3, 3);
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) {
+        a(r, c) = rng.uniform(-4, 4);
+        b(r, c) = rng.uniform(-4, 4);
+      }
+    EXPECT_EQ((a * b).det(), a.det() * b.det());
+  }
+}
+
+TEST(MatTest, WithoutRowAndColumn) {
+  const Mat a{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  EXPECT_EQ(a.without_col(1), (Mat{{1, 3}, {4, 6}, {7, 9}}));
+  EXPECT_EQ(a.without_row(0), (Mat{{4, 5, 6}, {7, 8, 9}}));
+}
+
+TEST(MatTest, FromColumnsLaysOutByColumn) {
+  const Mat d = Mat::from_columns({Vec{1, 0}, Vec{1, 1}});
+  EXPECT_EQ(d, (Mat{{1, 1}, {0, 1}}));
+  EXPECT_EQ(d.col(1), (Vec{1, 1}));
+  EXPECT_EQ(d.row(0), (Vec{1, 1}));
+}
+
+TEST(MatTest, IsNonneg) {
+  EXPECT_TRUE((Mat{{0, 1}, {2, 3}}).is_nonneg());
+  EXPECT_FALSE((Mat{{0, 1}, {-1, 3}}).is_nonneg());
+}
+
+// ---------------------------------------------------------------- Rat ----
+
+TEST(RatTest, NormalizesSignAndGcd) {
+  EXPECT_EQ(Rat(2, 4), Rat(1, 2));
+  EXPECT_EQ(Rat(1, -2), Rat(-1, 2));
+  EXPECT_EQ(Rat(-3, -6), Rat(1, 2));
+  EXPECT_EQ(Rat(0, 7), Rat(0));
+  EXPECT_THROW(Rat(1, 0), tilo::util::Error);
+}
+
+TEST(RatTest, Arithmetic) {
+  EXPECT_EQ(Rat(1, 2) + Rat(1, 3), Rat(5, 6));
+  EXPECT_EQ(Rat(1, 2) - Rat(1, 3), Rat(1, 6));
+  EXPECT_EQ(Rat(2, 3) * Rat(3, 4), Rat(1, 2));
+  EXPECT_EQ(Rat(1, 2) / Rat(1, 4), Rat(2));
+  EXPECT_THROW(Rat(1) / Rat(0), tilo::util::Error);
+}
+
+TEST(RatTest, ComparisonsAndFloor) {
+  EXPECT_LT(Rat(1, 3), Rat(1, 2));
+  EXPECT_LT(Rat(-1, 2), Rat(-1, 3));
+  EXPECT_EQ(Rat(7, 2).floor(), 3);
+  EXPECT_EQ(Rat(-7, 2).floor(), -4);
+  EXPECT_EQ(Rat(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rat(6, 3).as_integer(), 2);
+  EXPECT_THROW(Rat(1, 2).as_integer(), tilo::util::Error);
+}
+
+TEST(RatTest, Format) {
+  EXPECT_EQ(Rat(3, 6).str(), "1/2");
+  EXPECT_EQ(Rat(4, 2).str(), "2");
+  EXPECT_EQ(Rat(-1, 3).str(), "-1/3");
+}
+
+// ------------------------------------------------------------- RatMat ----
+
+TEST(RatMatTest, InverseTimesSelfIsIdentity) {
+  const Mat p{{10, 0}, {0, 10}};
+  const RatMat h = RatMat(p).inverse();
+  EXPECT_EQ(h * RatMat(p), RatMat::identity(2));
+  EXPECT_EQ(h(0, 0), Rat(1, 10));
+}
+
+TEST(RatMatTest, InverseOfSkewedMatrix) {
+  // P = [[2, 1], [0, 2]] -> H = [[1/2, -1/4], [0, 1/2]].
+  const RatMat h = RatMat(Mat{{2, 1}, {0, 2}}).inverse();
+  EXPECT_EQ(h(0, 0), Rat(1, 2));
+  EXPECT_EQ(h(0, 1), Rat(-1, 4));
+  EXPECT_EQ(h(1, 0), Rat(0));
+  EXPECT_EQ(h(1, 1), Rat(1, 2));
+}
+
+TEST(RatMatTest, SingularInverseThrows) {
+  EXPECT_THROW(RatMat(Mat{{1, 2}, {2, 4}}).inverse(), tilo::util::Error);
+}
+
+TEST(RatMatTest, DeterminantMatchesIntegerPath) {
+  tilo::util::Rng rng(9);
+  for (int iter = 0; iter < 30; ++iter) {
+    Mat a(3, 3);
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-5, 5);
+    EXPECT_EQ(RatMat(a).det(), Rat(a.det()));
+  }
+}
+
+TEST(RatMatTest, RandomInverseRoundTrip) {
+  tilo::util::Rng rng(77);
+  int tested = 0;
+  while (tested < 20) {
+    Mat a(3, 3);
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-3, 3);
+    if (a.det() == 0) continue;
+    ++tested;
+    EXPECT_EQ(RatMat(a).inverse() * RatMat(a), RatMat::identity(3));
+  }
+}
+
+TEST(RatVecTest, FloorIsComponentwise) {
+  RatVec v(std::vector<Rat>{Rat(7, 2), Rat(-7, 2), Rat(3)});
+  EXPECT_EQ(v.floor(), (Vec{3, -4, 3}));
+  EXPECT_FALSE(v.is_integral());
+  EXPECT_TRUE(RatVec(Vec{1, 2}).is_integral());
+}
+
+// ---------------------------------------------------------------- Box ----
+
+TEST(BoxTest, ExtentsAndVolume) {
+  const Box b(Vec{0, 0}, Vec{3, 4});
+  EXPECT_EQ(b.extent(0), 4);
+  EXPECT_EQ(b.extent(1), 5);
+  EXPECT_EQ(b.volume(), 20);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(BoxTest, EmptyWhenHiBelowLo) {
+  const Box b(Vec{2, 0}, Vec{1, 5});
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.volume(), 0);
+  EXPECT_FALSE(b.contains(Vec{2, 0}));
+}
+
+TEST(BoxTest, FromExtents) {
+  const Box b = Box::from_extents(Vec{3, 2});
+  EXPECT_EQ(b.lo(), (Vec{0, 0}));
+  EXPECT_EQ(b.hi(), (Vec{2, 1}));
+}
+
+TEST(BoxTest, IntersectAndShift) {
+  const Box a(Vec{0, 0}, Vec{5, 5});
+  const Box b(Vec{3, 4}, Vec{9, 9});
+  const Box c = a.intersect(b);
+  EXPECT_EQ(c.lo(), (Vec{3, 4}));
+  EXPECT_EQ(c.hi(), (Vec{5, 5}));
+  EXPECT_EQ(a.shifted(Vec{1, -1}).lo(), (Vec{1, -1}));
+  EXPECT_TRUE(a.intersect(Box(Vec{7, 7}, Vec{9, 9})).empty());
+}
+
+TEST(BoxTest, ForEachPointVisitsRowMajorOnce) {
+  const Box b(Vec{0, 0}, Vec{1, 2});
+  std::vector<Vec> seen;
+  b.for_each_point([&](const Vec& p) { seen.push_back(p); });
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen.front(), (Vec{0, 0}));
+  EXPECT_EQ(seen[1], (Vec{0, 1}));  // last dimension fastest
+  EXPECT_EQ(seen.back(), (Vec{1, 2}));
+  std::set<std::vector<i64>> uniq;
+  for (const Vec& p : seen) uniq.insert(p.data());
+  EXPECT_EQ(uniq.size(), seen.size());
+}
+
+TEST(BoxTest, LinearIndexConsistentWithIterationOrder) {
+  const Box b(Vec{-1, 2}, Vec{1, 4});
+  i64 expect = 0;
+  b.for_each_point([&](const Vec& p) {
+    EXPECT_EQ(b.linear_index(p), expect);
+    ++expect;
+  });
+  EXPECT_EQ(expect, b.volume());
+}
+
+TEST(BoxTest, ContainsRespectsInclusiveBounds) {
+  const Box b(Vec{0, 0}, Vec{2, 2});
+  EXPECT_TRUE(b.contains(Vec{0, 0}));
+  EXPECT_TRUE(b.contains(Vec{2, 2}));
+  EXPECT_FALSE(b.contains(Vec{3, 0}));
+  EXPECT_FALSE(b.contains(Vec{0, -1}));
+}
+
+TEST(BoxTest, ClampedDim) {
+  const Box b(Vec{0, 0}, Vec{9, 9});
+  const Box c = b.clamped_dim(1, 3, 100);
+  EXPECT_EQ(c.lo(), (Vec{0, 3}));
+  EXPECT_EQ(c.hi(), (Vec{9, 9}));
+}
+
+TEST(BoxTest, OutOfBoxLinearIndexThrows) {
+  const Box b(Vec{0}, Vec{3});
+  EXPECT_THROW(b.linear_index(Vec{4}), tilo::util::Error);
+}

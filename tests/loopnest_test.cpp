@@ -1,0 +1,186 @@
+// Unit tests for tilo::loop — dependence sets, loop nests, kernels and the
+// sequential reference executor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "tilo/loopnest/deps.hpp"
+#include "tilo/loopnest/kernel.hpp"
+#include "tilo/loopnest/nest.hpp"
+#include "tilo/loopnest/reference.hpp"
+#include "tilo/loopnest/workloads.hpp"
+
+using namespace tilo;
+using lat::Box;
+using lat::Vec;
+using loop::DependenceSet;
+using loop::LoopNest;
+using util::i64;
+
+TEST(DependenceSetTest, RejectsInvalidVectors) {
+  EXPECT_THROW(DependenceSet({Vec{0, 0}}), util::Error);        // zero
+  EXPECT_THROW(DependenceSet({Vec{-1, 2}}), util::Error);       // lex-negative
+  EXPECT_THROW(DependenceSet({Vec{1, 0}, Vec{1}}), util::Error);  // ragged
+  EXPECT_NO_THROW(DependenceSet({Vec{0, 1}, Vec{1, -3}}));
+}
+
+TEST(DependenceSetTest, MatrixUsesColumnsForDependences) {
+  const DependenceSet d({Vec{1, 1}, Vec{1, 0}, Vec{0, 1}});
+  const lat::Mat m = d.as_matrix();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.col(0), (Vec{1, 1}));
+}
+
+TEST(DependenceSetTest, MaxComponentAndTouch) {
+  const DependenceSet d({Vec{1, 0, 2}, Vec{0, 1, 0}});
+  EXPECT_EQ(d.max_component(0), 1);
+  EXPECT_EQ(d.max_component(2), 2);
+  EXPECT_TRUE(d.touches_dim(1));
+  EXPECT_TRUE(d.is_nonneg());
+  const DependenceSet neg({Vec{1, -1}});
+  EXPECT_FALSE(neg.is_nonneg());
+  EXPECT_TRUE(neg.touches_dim(1));
+}
+
+TEST(LoopNestTest, ValidatesDimensions) {
+  EXPECT_THROW(LoopNest("bad", Box::from_extents(Vec{4, 4}),
+                        DependenceSet({Vec{1, 0, 0}})),
+               util::Error);
+  const LoopNest ok("ok", Box::from_extents(Vec{4, 4}),
+                    DependenceSet({Vec{1, 0}}));
+  EXPECT_EQ(ok.iterations(), 16);
+  EXPECT_FALSE(ok.has_kernel());
+  EXPECT_THROW(ok.kernel(), util::Error);
+}
+
+TEST(LoopNestTest, WithKernelAttachesBody) {
+  const LoopNest base("k", Box::from_extents(Vec{3, 3}),
+                      DependenceSet({Vec{0, 1}}));
+  const LoopNest with = base.with_kernel(std::make_shared<loop::SumKernel>());
+  EXPECT_TRUE(with.has_kernel());
+  EXPECT_EQ(with.domain(), base.domain());
+}
+
+TEST(KernelTest, SqrtSumMatchesDefinition) {
+  loop::SqrtSumKernel k;
+  const double v = k.apply(Vec{0, 0}, {4.0, 9.0, 16.0});
+  EXPECT_DOUBLE_EQ(v, 2.0 + 3.0 + 4.0);
+}
+
+TEST(KernelTest, WeightedKernelChecksArity) {
+  loop::WeightedKernel k({0.5, 0.25});
+  EXPECT_NO_THROW(k.apply(Vec{0}, {1.0, 2.0}));
+  EXPECT_THROW(k.apply(Vec{0}, {1.0}), util::Error);
+}
+
+TEST(KernelTest, BoundaryIsDeterministic) {
+  loop::SqrtSumKernel k;
+  EXPECT_DOUBLE_EQ(k.boundary(Vec{-1, 3, 2}), k.boundary(Vec{-1, 3, 2}));
+}
+
+TEST(ReferenceTest, OneDimensionalRecurrence) {
+  // A(i) = 0.5 * A(i-1), A(-1) = boundary(-1).
+  auto kernel = std::make_shared<loop::SumKernel>(0.5);
+  const LoopNest nest("chain", Box::from_extents(Vec{5}),
+                      DependenceSet({Vec{1}}), kernel);
+  const loop::DenseField f = loop::run_sequential(nest);
+  double expect = kernel->boundary(Vec{-1});
+  for (i64 i = 0; i < 5; ++i) {
+    expect *= 0.5;
+    EXPECT_DOUBLE_EQ(f.at(Vec{i}), expect);
+  }
+}
+
+TEST(ReferenceTest, TwoDimensionalHandComputed) {
+  // A(i,j) = A(i-1,j) + A(i,j-1), scale 1.  With constant boundary value b,
+  // A(i,j) = C(i+j+2 choose i+1)-ish growth; check the corner cells by hand.
+  struct ConstBoundary final : loop::Kernel {
+    double boundary(const Vec&) const override { return 1.0; }
+    double apply(const Vec&,
+                 const std::vector<double>& in) const override {
+      return in[0] + in[1];
+    }
+    std::string statement() const override { return "sum"; }
+  };
+  const LoopNest nest("pascal", Box::from_extents(Vec{3, 3}),
+                      DependenceSet({Vec{1, 0}, Vec{0, 1}}),
+                      std::make_shared<ConstBoundary>());
+  const loop::DenseField f = loop::run_sequential(nest);
+  EXPECT_DOUBLE_EQ(f.at(Vec{0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(f.at(Vec{0, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(f.at(Vec{1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(f.at(Vec{1, 1}), 6.0);
+  EXPECT_DOUBLE_EQ(f.at(Vec{2, 2}), 20.0);
+}
+
+TEST(ReferenceTest, MaxAbsDiffDetectsDifference) {
+  const LoopNest nest = loop::stencil3d_nest(3, 3, 3);
+  loop::DenseField a = loop::run_sequential(nest);
+  loop::DenseField b = a;
+  EXPECT_DOUBLE_EQ(loop::max_abs_diff(a, b), 0.0);
+  b.values[5] += 0.25;
+  EXPECT_DOUBLE_EQ(loop::max_abs_diff(a, b), 0.25);
+}
+
+TEST(WorkloadsTest, PaperSpacesHaveDocumentedShapes) {
+  EXPECT_EQ(loop::paper_space_i().domain().extents(), (Vec{16, 16, 16384}));
+  EXPECT_EQ(loop::paper_space_ii().domain().extents(), (Vec{16, 16, 32768}));
+  EXPECT_EQ(loop::paper_space_iii().domain().extents(), (Vec{32, 32, 4096}));
+  EXPECT_EQ(loop::paper_space_i().deps().size(), 3u);
+}
+
+TEST(WorkloadsTest, Example1MatchesPaper) {
+  const LoopNest e1 = loop::example1_nest();
+  EXPECT_EQ(e1.domain().extents(), (Vec{10000, 1000}));
+  EXPECT_EQ(e1.deps().size(), 3u);
+  EXPECT_TRUE(e1.has_kernel());
+  const LoopNest small = loop::example1_nest(100);
+  EXPECT_EQ(small.domain().extents(), (Vec{100, 10}));
+}
+
+TEST(WorkloadsTest, RandomNestIsValidAndDeterministic) {
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  loop::RandomNestOptions opts;
+  const LoopNest a = loop::random_nest(rng1, opts);
+  const LoopNest b = loop::random_nest(rng2, opts);
+  EXPECT_EQ(a.domain(), b.domain());
+  EXPECT_EQ(a.deps().size(), b.deps().size());
+  for (std::size_t i = 0; i < a.deps().size(); ++i)
+    EXPECT_EQ(a.deps()[i], b.deps()[i]);
+  // And the functional results agree too.
+  EXPECT_DOUBLE_EQ(
+      loop::max_abs_diff(loop::run_sequential(a), loop::run_sequential(b)),
+      0.0);
+}
+
+TEST(WorkloadsTest, RandomNestRespectsOptions) {
+  util::Rng rng(17);
+  loop::RandomNestOptions opts;
+  opts.dims = 2;
+  opts.num_deps = 3;  // all three distinct nonneg 0/1 vectors exist
+  opts.max_dep_component = 1;
+  opts.nonneg_deps = true;
+  const LoopNest nest = loop::random_nest(rng, opts);
+  EXPECT_EQ(nest.dims(), 2u);
+  EXPECT_EQ(nest.deps().size(), 3u);
+  for (const Vec& d : nest.deps()) {
+    EXPECT_TRUE(d.is_nonneg());
+    EXPECT_LE(d.at(0), 1);
+    EXPECT_LE(d.at(1), 1);
+  }
+}
+
+TEST(WorkloadsTest, ImpossibleDependenceCountThrows) {
+  // Only 3 distinct nonzero lex-positive 0/1 vectors exist in 2-D; asking
+  // for 4 must fail loudly instead of spinning forever.
+  util::Rng rng(17);
+  loop::RandomNestOptions opts;
+  opts.dims = 2;
+  opts.num_deps = 4;
+  opts.max_dep_component = 1;
+  opts.nonneg_deps = true;
+  EXPECT_THROW(loop::random_nest(rng, opts), util::Error);
+}

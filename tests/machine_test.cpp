@@ -1,0 +1,196 @@
+// Unit tests for tilo::mach — machine parameters, the A/B step-cost model
+// (paper eqs. 3-5, Fig. 4), and the grain optimizers.  The hand-computed
+// expectations come straight from the paper's Examples 1 and 3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tilo/machine/cost.hpp"
+#include "tilo/machine/optimize.hpp"
+#include "tilo/machine/params.hpp"
+
+using namespace tilo;
+using mach::AffineCost;
+using mach::MachineParams;
+using mach::OverlapLevel;
+using mach::StepCost;
+using mach::StepShape;
+using util::i64;
+
+TEST(ParamsTest, AffineCostEvaluates) {
+  const AffineCost c{10e-6, 2e-9};
+  EXPECT_DOUBLE_EQ(c.at(0), 10e-6);
+  EXPECT_DOUBLE_EQ(c.at(1000), 12e-6);
+}
+
+TEST(ParamsTest, PaperClusterMatchesMeasuredFillCosts) {
+  const MachineParams p = MachineParams::paper_cluster();
+  EXPECT_DOUBLE_EQ(p.t_c, 0.441e-6);
+  // The affine fit must reproduce the paper's two measured points within
+  // a few percent (Fig. 12: 7104 B -> 0.627 ms, 8608 B -> 0.745 ms).
+  EXPECT_NEAR(p.fill_mpi_buffer.at(7104), 627e-6, 5e-6);
+  EXPECT_NEAR(p.fill_mpi_buffer.at(8608), 745e-6, 5e-6);
+}
+
+TEST(ParamsTest, IdealizedExampleSplitsStartupEvenly) {
+  const MachineParams p = MachineParams::idealized_example();
+  // t_s = 100 t_c = 100 us, split as fill_MPI = fill_kernel = 50 us.
+  EXPECT_DOUBLE_EQ(p.t_s(), 100e-6);
+  EXPECT_DOUBLE_EQ(p.fill_mpi_buffer.at(12345), 50e-6);
+}
+
+TEST(StepCostTest, PaperExample1NonOverlappingStep) {
+  // Example 1: g = 100, t_c = 1 us, one send + one recv of V_comm = 20
+  // floats: T = 100 t_c + 2 t_s + 20*4*0.8 t_c = 364 t_c = 364 us.
+  const MachineParams p = MachineParams::idealized_example();
+  StepShape shape;
+  shape.iterations = 100;
+  shape.send_bytes = {80};
+  shape.recv_bytes = {80};
+  const StepCost c = mach::step_cost(p, shape);
+  EXPECT_NEAR(c.step_time(OverlapLevel::kNone), 364e-6, 1e-12);
+  // Total over the paper's 1099 hyperplanes: 0.400036 s -> "0.4 secs".
+  EXPECT_NEAR(mach::total_nonoverlap(p, shape, 1099), 0.400036, 1e-9);
+}
+
+TEST(StepCostTest, PaperExample3OverlappingStep) {
+  // Example 3: same tile, overlapping schedule.  CPU side
+  // A1 + A2 + A3 = 50 + 100 + 50 = 200 t_c; comm side
+  // B = 50 + 50 + 20*4*0.8 = 164 t_c < CPU side, so the step is CPU-bound.
+  const MachineParams p = MachineParams::idealized_example();
+  StepShape shape;
+  shape.iterations = 100;
+  shape.send_bytes = {80};
+  shape.recv_bytes = {80};
+  const StepCost c = mach::step_cost(p, shape);
+  EXPECT_NEAR(c.cpu_side(), 200e-6, 1e-12);
+  EXPECT_NEAR(c.comm_side(), 164e-6, 1e-12);
+  EXPECT_NEAR(c.step_time(OverlapLevel::kDma), 200e-6, 1e-12);
+  // Overlapping schedule length P = 999 + 2*99 + 1 = 1198 steps:
+  // T = 1198 * 200 us = 0.2396 s — the paper's "0.24 secs", vs 0.4 s
+  // for the non-overlapping schedule.
+  EXPECT_NEAR(mach::total_overlap(p, shape, 1198), 0.2396, 1e-9);
+}
+
+TEST(StepCostTest, OverlapNeverSlowerThanNone) {
+  const MachineParams p = MachineParams::paper_cluster();
+  for (i64 g : {10, 100, 1000, 10000}) {
+    StepShape shape;
+    shape.iterations = g;
+    shape.send_bytes = {4 * g / 10, 4 * g / 10};
+    shape.recv_bytes = {4 * g / 10, 4 * g / 10};
+    const StepCost c = mach::step_cost(p, shape);
+    EXPECT_LE(c.step_time(OverlapLevel::kDma),
+              c.step_time(OverlapLevel::kNone));
+    EXPECT_LE(c.step_time(OverlapLevel::kDuplexDma),
+              c.step_time(OverlapLevel::kDma));
+  }
+}
+
+TEST(StepCostTest, DuplexSplitsSendAndReceivePipelines) {
+  MachineParams p = MachineParams::idealized_example();
+  StepShape shape;
+  shape.iterations = 1;  // make the step comm-bound
+  shape.send_bytes = {1000};
+  shape.recv_bytes = {1000};
+  const StepCost c = mach::step_cost(p, shape);
+  // kDma serializes all B stages; duplex runs send and recv sides in
+  // parallel, so its comm side is the max of the two halves.
+  EXPECT_NEAR(c.step_time(OverlapLevel::kDma), c.comm_side(), 1e-15);
+  EXPECT_NEAR(c.step_time(OverlapLevel::kDuplexDma),
+              std::max(c.b1 + c.b2, c.b3 + c.b4), 1e-15);
+  EXPECT_LT(c.step_time(OverlapLevel::kDuplexDma),
+            c.step_time(OverlapLevel::kDma));
+}
+
+TEST(StepCostTest, WireTimeSplitsIntoHalves) {
+  MachineParams p;
+  p.t_c = 1e-6;
+  p.t_t = 1e-6;
+  p.fill_mpi_buffer = AffineCost{};
+  p.fill_kernel_buffer = AffineCost{};
+  StepShape shape;
+  shape.iterations = 0;
+  shape.send_bytes = {100};
+  shape.recv_bytes = {100};
+  const StepCost c = mach::step_cost(p, shape);
+  EXPECT_DOUBLE_EQ(c.b4, 50e-6);
+  EXPECT_DOUBLE_EQ(c.b1, 50e-6);
+  EXPECT_DOUBLE_EQ(c.comm_side(), 100e-6);  // one full transmit per pair
+}
+
+TEST(StepCostTest, HodzicShangOptimalGrain) {
+  // Example 1: g = c * t_s / t_c = 1 * 100 = 100.
+  const MachineParams p = MachineParams::idealized_example();
+  EXPECT_NEAR(mach::hodzic_shang_optimal_g(p, 1), 100.0, 1e-9);
+  EXPECT_NEAR(mach::hodzic_shang_optimal_g(p, 2), 200.0, 1e-9);
+}
+
+TEST(StepCostTest, EquationFiveIsCpuSideTimesLength) {
+  const MachineParams p = MachineParams::paper_cluster();
+  StepShape shape;
+  shape.iterations = 7104;
+  shape.send_bytes = {7104, 7104};
+  shape.recv_bytes = {7104, 7104};
+  const StepCost c = mach::step_cost(p, shape);
+  EXPECT_NEAR(mach::total_overlap_cpu_bound(p, shape, 53),
+              53.0 * c.cpu_side(), 1e-12);
+}
+
+// ---------------------------------------------------------- Optimizers ----
+
+TEST(OptimizeTest, GoldenSectionFindsParabolaMinimum) {
+  const auto f = [](double x) { return (x - 3.7) * (x - 3.7) + 1.0; };
+  const mach::Minimum m = mach::golden_section(f, 0.0, 10.0, 1e-9);
+  EXPECT_NEAR(m.x, 3.7, 1e-6);
+  EXPECT_NEAR(m.value, 1.0, 1e-9);
+}
+
+TEST(OptimizeTest, GoldenSectionHandlesBoundaryMinimum) {
+  const auto f = [](double x) { return x; };
+  const mach::Minimum m = mach::golden_section(f, 2.0, 9.0, 1e-9);
+  EXPECT_NEAR(m.x, 2.0, 1e-5);
+}
+
+TEST(OptimizeTest, IntegerSweepExactArgmin) {
+  const auto f = [](i64 x) {
+    return static_cast<double>((x - 17) * (x - 17));
+  };
+  const mach::IntMinimum m = mach::integer_sweep(f, 1, 100);
+  EXPECT_EQ(m.x, 17);
+  EXPECT_EQ(m.value, 0.0);
+}
+
+TEST(OptimizeTest, IntegerSweepTieBreaksToSmallest) {
+  const auto f = [](i64 x) { return x == 4 || x == 9 ? 1.0 : 2.0; };
+  EXPECT_EQ(mach::integer_sweep(f, 1, 20).x, 4);
+}
+
+TEST(OptimizeTest, GeometricSweepNearOptimalOnSmoothCurve) {
+  // A completion-time-like curve: a/x + b*x with minimum at sqrt(a/b).
+  const auto f = [](i64 x) {
+    const double xd = static_cast<double>(x);
+    return 1e6 / xd + 0.25 * xd;
+  };
+  const mach::IntMinimum coarse = mach::geometric_sweep(f, 1, 100000);
+  const i64 exact = 2000;  // sqrt(1e6 / 0.25)
+  EXPECT_NEAR(static_cast<double>(coarse.x), static_cast<double>(exact),
+              static_cast<double>(exact) * 0.05);
+  EXPECT_NEAR(coarse.value, f(exact), f(exact) * 0.01);
+}
+
+TEST(OptimizeTest, GeometricSweepCoversEndpoints) {
+  const auto f = [](i64 x) { return -static_cast<double>(x); };  // min at hi
+  EXPECT_EQ(mach::geometric_sweep(f, 3, 977).x, 977);
+  const auto g = [](i64 x) { return static_cast<double>(x); };  // min at lo
+  EXPECT_EQ(mach::geometric_sweep(g, 3, 977).x, 3);
+}
+
+TEST(OptimizeTest, BadRangesThrow) {
+  const auto f = [](i64) { return 0.0; };
+  EXPECT_THROW(mach::integer_sweep(f, 5, 4), util::Error);
+  EXPECT_THROW(mach::geometric_sweep(f, 0, 4), util::Error);
+  EXPECT_THROW(
+      mach::golden_section([](double) { return 0.0; }, 1.0, 1.0),
+      util::Error);
+}

@@ -1,0 +1,92 @@
+// Coverage for smaller paths not exercised elsewhere: Gantt options,
+// enum printers, error branches, skew overflow guard, RNG helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tilo/lattice/box.hpp"
+#include "tilo/lattice/echelon.hpp"
+#include "tilo/loopnest/workloads.hpp"
+#include "tilo/machine/params.hpp"
+#include "tilo/tiling/skew.hpp"
+#include "tilo/trace/gantt.hpp"
+#include "tilo/util/rng.hpp"
+
+using namespace tilo;
+using lat::Mat;
+using lat::Vec;
+
+TEST(GanttOptionsTest, CpuPhasesOnlyDropsDmaRows) {
+  trace::Timeline tl;
+  tl.record(0, trace::Phase::kWire, 0, 100);
+  tl.record(0, trace::Phase::kCompute, 0, 10);
+  std::ostringstream all;
+  std::ostringstream cpu;
+  trace::GanttOptions opts;
+  opts.width = 10;
+  opts.legend = false;
+  trace::render_gantt(all, tl, opts);
+  opts.cpu_phases_only = true;
+  trace::render_gantt(cpu, tl, opts);
+  EXPECT_NE(all.str().find('w'), std::string::npos);
+  EXPECT_EQ(cpu.str().find('w'), std::string::npos);
+  EXPECT_NE(cpu.str().find('C'), std::string::npos);
+}
+
+TEST(GanttOptionsTest, WidthValidation) {
+  trace::Timeline tl;
+  tl.record(0, trace::Phase::kCompute, 0, 10);
+  std::ostringstream os;
+  trace::GanttOptions opts;
+  opts.width = 0;
+  EXPECT_THROW(trace::render_gantt(os, tl, opts), util::Error);
+}
+
+TEST(EnumPrinterTest, OverlapLevelNames) {
+  EXPECT_EQ(mach::to_string(mach::OverlapLevel::kNone), "none");
+  EXPECT_EQ(mach::to_string(mach::OverlapLevel::kDma), "dma");
+  EXPECT_EQ(mach::to_string(mach::OverlapLevel::kDuplexDma), "duplex-dma");
+}
+
+TEST(SkewGuardTest, OverflowReturnsNullopt) {
+  // 4 dimensions with huge components: m^(n-1) would overflow the guard.
+  const loop::DependenceSet deps(
+      {Vec{1, 0, 0, 0}, Vec{1, -2000000, 2000000, -2000000}});
+  EXPECT_FALSE(tile::find_legal_skew(deps).has_value());
+}
+
+TEST(CompletionTest, NegativeComponentsComplete) {
+  const Mat m = lat::unimodular_complete(Vec{-3, 2});
+  EXPECT_EQ(m.row(0), (Vec{-3, 2}));
+  EXPECT_EQ(std::abs(m.det()), 1);
+}
+
+TEST(RngTest, ChanceIsCalibrated) {
+  util::Rng rng(12345);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(VecErrorTest, BoundsCheckedAccess) {
+  Vec v{1, 2, 3};
+  EXPECT_EQ(v.at(2), 3);
+  EXPECT_THROW(v.at(3), util::Error);
+  v.at(0) = 9;
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(MatErrorTest, CheckedAccess) {
+  const Mat m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.at(1, 0), 3);
+  EXPECT_THROW(m.at(2, 0), util::Error);
+  EXPECT_THROW(m.at(0, 2), util::Error);
+  EXPECT_THROW((Mat{{1, 2}}).det(), util::Error);  // non-square
+}
+
+TEST(BoxStrTest, Rendering) {
+  EXPECT_EQ(lat::Box(Vec{0, 0}, Vec{1, 2}).str(), "[(0, 0) .. (1, 2)]");
+  EXPECT_EQ((Vec{1, -2}).str(), "(1, -2)");
+  EXPECT_EQ((Mat{{1, 0}, {0, 1}}).str(), "[(1, 0); (0, 1)]");
+}

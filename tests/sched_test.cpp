@@ -1,0 +1,216 @@
+// Unit tests for tilo::sched — linear schedules, the paper's two tile
+// schedules, processor mapping, and the UET-UCT optimality cross-check.
+#include <gtest/gtest.h>
+
+#include "tilo/loopnest/workloads.hpp"
+#include "tilo/sched/linear.hpp"
+#include "tilo/sched/mapping.hpp"
+#include "tilo/sched/tiled.hpp"
+#include "tilo/sched/uetuct.hpp"
+#include "tilo/tiling/tilespace.hpp"
+
+using namespace tilo;
+using lat::Box;
+using lat::Vec;
+using loop::DependenceSet;
+using sched::LinearSchedule;
+using sched::ProcessorMapping;
+using sched::ScheduleKind;
+using util::i64;
+
+// ------------------------------------------------------ LinearSchedule ----
+
+TEST(LinearScheduleTest, TimeAndLengthForUnitPi) {
+  const Box space(Vec{0, 0}, Vec{3, 4});
+  const DependenceSet deps({Vec{1, 0}, Vec{0, 1}});
+  const LinearSchedule s(Vec{1, 1}, space, deps);
+  EXPECT_EQ(s.disp(), 1);
+  EXPECT_EQ(s.time_of(Vec{0, 0}), 0);
+  EXPECT_EQ(s.time_of(Vec{3, 4}), 7);
+  EXPECT_EQ(s.length(), 8);
+}
+
+TEST(LinearScheduleTest, NonzeroOriginIsNormalized) {
+  const Box space(Vec{2, 3}, Vec{5, 6});
+  const LinearSchedule s(Vec{1, 1}, space, DependenceSet({Vec{0, 1}}));
+  EXPECT_EQ(s.time_of(Vec{2, 3}), 0);  // first point runs at step 0
+  EXPECT_EQ(s.length(), 7);
+}
+
+TEST(LinearScheduleTest, DispRescalesTime) {
+  // All dependencies advance Π by >= 2 -> two hyperplanes merge per step.
+  const Box space(Vec{0}, Vec{9});
+  const LinearSchedule s(Vec{2}, space, DependenceSet({Vec{1}}));
+  EXPECT_EQ(s.disp(), 2);
+  EXPECT_EQ(s.time_of(Vec{9}), 9);
+  EXPECT_EQ(s.length(), 10);
+}
+
+TEST(LinearScheduleTest, CausalityViolationThrows) {
+  const Box space(Vec{0, 0}, Vec{3, 3});
+  EXPECT_THROW(LinearSchedule(Vec{1, 0}, space, DependenceSet({Vec{0, 1}})),
+               util::Error);
+  EXPECT_THROW(LinearSchedule(Vec{1, -1}, space, DependenceSet({Vec{1, 1}})),
+               util::Error);
+}
+
+TEST(LinearScheduleTest, SatisfiesGap) {
+  EXPECT_TRUE(LinearSchedule::satisfies_gap(Vec{2, 1},
+                                            {Vec{1, 0}, Vec{1, 1}}, 2));
+  EXPECT_FALSE(LinearSchedule::satisfies_gap(Vec{2, 1},
+                                             {Vec{0, 1}}, 2));
+}
+
+// ------------------------------------------------------- tile schedule ----
+
+TEST(TiledScheduleTest, PiVectors) {
+  EXPECT_EQ(sched::nonoverlap_pi(3), (Vec{1, 1, 1}));
+  EXPECT_EQ(sched::overlap_pi(3, 2), (Vec{2, 2, 1}));
+  EXPECT_EQ(sched::overlap_pi(4, 0), (Vec{1, 2, 2, 2}));
+}
+
+TEST(TiledScheduleTest, ChooseMappedDimPicksLargest) {
+  EXPECT_EQ(sched::choose_mapped_dim(Box::from_extents(Vec{4, 4, 64})), 2u);
+  EXPECT_EQ(sched::choose_mapped_dim(Box::from_extents(Vec{9, 4, 4})), 0u);
+  // Ties resolve to the lowest index.
+  EXPECT_EQ(sched::choose_mapped_dim(Box::from_extents(Vec{4, 4, 4})), 0u);
+}
+
+TEST(TiledScheduleTest, LengthsMatchPaperClosedForms) {
+  // Example 1: tiled space 1000 x 100 -> last tile (999, 99).
+  EXPECT_EQ(sched::nonoverlap_schedule_length(Vec{999, 99}), 1099);
+  // Example 3 (overlap, mapped along dim 0): 999 + 2*99 + 1 = 1198.
+  EXPECT_EQ(sched::overlap_schedule_length(Vec{999, 99}, 0), 1198);
+  // Experiment i: P = 2*3 + 2*3 + 36 + 1 with V = 444 -> 4x4x37 tiles.
+  EXPECT_EQ(sched::overlap_schedule_length(Vec{3, 3, 36}, 2), 49);
+}
+
+TEST(TiledScheduleTest, MakeScheduleValidatesOverlapGap) {
+  const loop::LoopNest nest = loop::stencil3d_nest(8, 8, 32);
+  const tile::TiledSpace space(nest, tile::RectTiling(Vec{4, 4, 8}));
+  const LinearSchedule over =
+      sched::make_tile_schedule(space, ScheduleKind::kOverlap, 2);
+  EXPECT_EQ(over.pi(), (Vec{2, 2, 1}));
+  // Communicating tile deps (1,0,0)/(0,1,0) get gap 2; the local (0,0,1)
+  // advances by 1 — that is exactly the paper's pipelined hyperplane.
+  EXPECT_EQ(over.pi().dot(Vec{1, 0, 0}), 2);
+  EXPECT_EQ(over.pi().dot(Vec{0, 0, 1}), 1);
+  const LinearSchedule non =
+      sched::make_tile_schedule(space, ScheduleKind::kNonOverlap, 2);
+  EXPECT_EQ(non.length(), 1 + 1 + 3 + 1);
+  // overlap length = 2*1 + 2*1 + 1*3 + 1 = 8; matches the closed form.
+  EXPECT_EQ(over.length(), 8);
+  EXPECT_EQ(over.length(),
+            sched::overlap_schedule_length(space.last_tile(), 2));
+}
+
+TEST(TiledScheduleTest, ScheduleLengthMatchesExhaustiveMax) {
+  const loop::LoopNest nest = loop::stencil3d_nest(9, 6, 20);
+  const tile::TiledSpace space(nest, tile::RectTiling(Vec{3, 3, 5}));
+  for (auto kind : {ScheduleKind::kNonOverlap, ScheduleKind::kOverlap}) {
+    const LinearSchedule s = sched::make_tile_schedule(space, kind, 2);
+    i64 max_t = 0;
+    space.for_each_tile(
+        [&](const Vec& t) { max_t = std::max(max_t, s.time_of(t)); });
+    EXPECT_EQ(s.length(), max_t + 1);
+  }
+}
+
+// ------------------------------------------------------------ mapping ----
+
+TEST(MappingTest, OneColumnPerProc) {
+  const Box ts = Box::from_extents(Vec{4, 4, 16});
+  const ProcessorMapping m = ProcessorMapping::one_column_per_proc(ts, 2);
+  EXPECT_EQ(m.num_ranks(), 16);
+  EXPECT_EQ(m.proc_of_tile(Vec{1, 2, 9}), (Vec{1, 2, 0}));
+  EXPECT_EQ(m.rank_of_tile(Vec{1, 2, 9}), m.rank_of_tile(Vec{1, 2, 0}));
+  EXPECT_NE(m.rank_of_tile(Vec{1, 2, 9}), m.rank_of_tile(Vec{2, 1, 9}));
+}
+
+TEST(MappingTest, RankRoundTrip) {
+  const Box ts = Box::from_extents(Vec{3, 5, 7});
+  const ProcessorMapping m = ProcessorMapping::one_column_per_proc(ts, 2);
+  for (i64 r = 0; r < m.num_ranks(); ++r)
+    EXPECT_EQ(m.rank_of_proc(m.proc_of_rank(r)), r);
+}
+
+TEST(MappingTest, BlockDistributionGroupsColumns) {
+  // 8 columns in dim 0, 2 processors -> blocks of 4 columns.
+  const Box ts = Box::from_extents(Vec{8, 16});
+  const ProcessorMapping m(ts, 1, Vec{2, 1});
+  EXPECT_EQ(m.num_ranks(), 2);
+  EXPECT_EQ(m.rank_of_tile(Vec{0, 3}), 0);
+  EXPECT_EQ(m.rank_of_tile(Vec{3, 3}), 0);
+  EXPECT_EQ(m.rank_of_tile(Vec{4, 3}), 1);
+  EXPECT_EQ(m.columns_of_rank(0).size(), 4u);
+  EXPECT_EQ(m.columns_of_rank(1).size(), 4u);
+}
+
+TEST(MappingTest, TilesOfRankPartitionTheSpace) {
+  const Box ts = Box::from_extents(Vec{5, 6, 7});
+  const ProcessorMapping m(ts, 2, Vec{2, 3, 1});
+  i64 total = 0;
+  for (i64 r = 0; r < m.num_ranks(); ++r)
+    total += m.tiles_of_rank(r).volume();
+  EXPECT_EQ(total, ts.volume());
+  // Every tile's owner contains it.
+  ts.for_each_point([&](const Vec& t) {
+    EXPECT_TRUE(m.tiles_of_rank(m.rank_of_tile(t)).contains(t));
+  });
+}
+
+TEST(MappingTest, InvalidConfigurationsThrow) {
+  const Box ts = Box::from_extents(Vec{4, 4});
+  EXPECT_THROW(ProcessorMapping(ts, 0, Vec{2, 2}), util::Error);  // mapped != 1
+  EXPECT_THROW(ProcessorMapping(ts, 0, Vec{1, 5}), util::Error);  // too many
+  EXPECT_THROW(ProcessorMapping(ts, 5, Vec{1, 1}), util::Error);  // bad dim
+}
+
+TEST(MappingTest, ColumnsAreLexOrdered) {
+  const Box ts = Box::from_extents(Vec{2, 2, 4});
+  const ProcessorMapping m(ts, 2, Vec{1, 1, 1});  // single rank owns all
+  const auto cols = m.columns_of_rank(0);
+  ASSERT_EQ(cols.size(), 4u);
+  EXPECT_EQ(cols[0], (Vec{0, 0, 0}));
+  EXPECT_EQ(cols[1], (Vec{0, 1, 0}));
+  EXPECT_EQ(cols[2], (Vec{1, 0, 0}));
+  EXPECT_EQ(cols[3], (Vec{1, 1, 0}));
+}
+
+// ------------------------------------------------------------- UET-UCT ----
+
+TEST(UetUctTest, ClosedFormBasics) {
+  EXPECT_EQ(sched::uetuct_makespan(Vec{5}, 0), 6);
+  EXPECT_EQ(sched::uetuct_makespan(Vec{3, 4}, 1), 2 * 3 + 4 + 1);
+  EXPECT_EQ(sched::uetuct_optimal_makespan(Vec{3, 4}), 3 * 2 + 4 + 1);
+  // Mapping along the largest dimension is optimal.
+  EXPECT_LT(sched::uetuct_makespan(Vec{3, 9}, 1),
+            sched::uetuct_makespan(Vec{3, 9}, 0));
+}
+
+TEST(UetUctTest, DpMatchesClosedFormOnSmallGrids) {
+  for (i64 a = 0; a <= 4; ++a)
+    for (i64 b = 0; b <= 4; ++b)
+      for (std::size_t md = 0; md < 2; ++md)
+        EXPECT_EQ(sched::uetuct_makespan_dp(Vec{a, b}, md),
+                  sched::uetuct_makespan(Vec{a, b}, md))
+            << "grid (" << a << "," << b << ") mapped " << md;
+}
+
+TEST(UetUctTest, DpMatchesClosedFormIn3D) {
+  for (i64 a = 0; a <= 3; ++a)
+    for (i64 b = 0; b <= 3; ++b)
+      for (i64 c = 0; c <= 3; ++c)
+        for (std::size_t md = 0; md < 3; ++md)
+          EXPECT_EQ(sched::uetuct_makespan_dp(Vec{a, b, c}, md),
+                    sched::uetuct_makespan(Vec{a, b, c}, md));
+}
+
+TEST(UetUctTest, OverlapScheduleLengthEqualsUetUctMakespan) {
+  // The paper's overlapping tile schedule is the UET-UCT optimum: the
+  // closed forms must coincide.
+  const Vec u{3, 3, 36};
+  for (std::size_t md = 0; md < 3; ++md)
+    EXPECT_EQ(sched::overlap_schedule_length(u, md),
+              sched::uetuct_makespan(u, md));
+}

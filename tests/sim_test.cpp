@@ -1,0 +1,109 @@
+// Unit tests for tilo::sim — the discrete-event engine and FIFO resources.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tilo/sim/engine.hpp"
+#include "tilo/sim/resource.hpp"
+
+using namespace tilo;
+using sim::Engine;
+using sim::Resource;
+using sim::Time;
+
+TEST(EngineTest, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(30, [&] { order.push_back(3); });
+  e.at(10, [&] { order.push_back(1); });
+  e.at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(EngineTest, EqualTimesRunInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.at(5, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EngineTest, HandlersMayScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  e.at(1, [&] {
+    ++fired;
+    e.after(4, [&] {
+      ++fired;
+      EXPECT_EQ(e.now(), 5);
+    });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, SchedulingIntoThePastThrows) {
+  Engine e;
+  e.at(10, [&] { EXPECT_THROW(e.at(5, [] {}), util::Error); });
+  e.run();
+  EXPECT_THROW(Engine().after(-1, [] {}), util::Error);
+}
+
+TEST(EngineTest, ExceptionsPropagateOutOfRun) {
+  Engine e;
+  e.at(1, [] { throw util::Error("boom"); });
+  EXPECT_THROW(e.run(), util::Error);
+}
+
+TEST(EngineTest, SecondsConversionRoundTrips) {
+  EXPECT_EQ(sim::from_seconds(1.5e-6), 1500);
+  EXPECT_DOUBLE_EQ(sim::to_seconds(2'000'000'000), 2.0);
+  EXPECT_THROW(sim::from_seconds(-1.0), util::Error);
+}
+
+TEST(ResourceTest, SerializesOverlappingRequests) {
+  Engine e;
+  Resource r(e, "dma");
+  std::vector<Time> completions;
+  e.at(0, [&] {
+    r.acquire(0, 100, [&] { completions.push_back(e.now()); });
+    r.acquire(0, 50, [&] { completions.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], 100);  // FIFO: first request first
+  EXPECT_EQ(completions[1], 150);
+  EXPECT_EQ(r.busy_time(), 150);
+}
+
+TEST(ResourceTest, IdleResourceStartsAtEarliest) {
+  Engine e;
+  Resource r(e, "nic");
+  Time done = -1;
+  e.at(0, [&] {
+    const auto grant = r.acquire(40, 10, [&] { done = e.now(); });
+    EXPECT_EQ(grant.start, 40);
+    EXPECT_EQ(grant.completion, 50);
+  });
+  e.run();
+  EXPECT_EQ(done, 50);
+}
+
+TEST(ResourceTest, GapsDoNotAccumulateBusyTime) {
+  Engine e;
+  Resource r(e, "bus");
+  e.at(0, [&] { r.acquire(0, 10, [] {}); });
+  e.at(100, [&] { r.acquire(100, 10, [] {}); });
+  e.run();
+  EXPECT_EQ(r.busy_time(), 20);
+  EXPECT_EQ(r.free_at(), 110);
+}
+
+TEST(ResourceTest, NegativeDurationThrows) {
+  Engine e;
+  Resource r(e, "x");
+  EXPECT_THROW(r.acquire(0, -1, [] {}), util::Error);
+}

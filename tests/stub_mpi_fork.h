@@ -1,0 +1,292 @@
+/* A miniature multi-process MPI for testing tilo-generated programs.
+ *
+ * MPI_Init forks TILO_STUB_RANKS-1 children; every ordered rank pair gets
+ * a socketpair created before the fork, so point-to-point sends are plain
+ * framed writes.  Unexpected tags are stashed per source, (src, tag)
+ * streams stay FIFO — the subset of MPI semantics the generated ProcB and
+ * ProcNB programs rely on.  Message sizes must fit the socket buffer
+ * (eager semantics); the tests keep them small.
+ *
+ * Test-only code: C99, single translation unit, no error beautification.
+ */
+#ifndef TILO_STUB_MPI_FORK_H
+#define TILO_STUB_MPI_FORK_H
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+typedef int MPI_Comm;
+typedef int MPI_Request;
+typedef int MPI_Status;
+typedef int MPI_Datatype;
+typedef int MPI_Op;
+#define MPI_COMM_WORLD 0
+#define MPI_FLOAT 4
+#define MPI_DOUBLE 8
+#define MPI_SUM 1
+#define MPI_STATUS_IGNORE ((MPI_Status *)0)
+#define MPI_STATUSES_IGNORE ((MPI_Status *)0)
+
+#define TILO_MAX_RANKS 16
+#define TILO_MAX_PENDING 64
+#define TILO_REDUCE_TAG (-12345)
+
+static int tilo_rank_ = 0;
+static int tilo_size_ = 1;
+/* tilo_fd_[src][dst]: write end used by src, read end used by dst. */
+static int tilo_wfd_[TILO_MAX_RANKS][TILO_MAX_RANKS];
+static int tilo_rfd_[TILO_MAX_RANKS][TILO_MAX_RANKS];
+static pid_t tilo_children_[TILO_MAX_RANKS];
+
+/* Stash of messages read while looking for another tag. */
+typedef struct {
+  int src;
+  int tag;
+  long bytes;
+  char *data;
+} TiloStash;
+static TiloStash tilo_stash_[TILO_MAX_PENDING];
+static int tilo_stash_count_ = 0;
+
+/* Deferred nonblocking receives, fulfilled at MPI_Waitall. */
+typedef struct {
+  void *buf;
+  long bytes;
+  int src;
+  int tag;
+  int active;
+} TiloIrecv;
+static TiloIrecv tilo_irecv_[TILO_MAX_PENDING];
+static int tilo_irecv_count_ = 0;
+
+static void tilo_write_all(int fd, const void *buf, long n) {
+  const char *p = (const char *)buf;
+  while (n > 0) {
+    ssize_t w = write(fd, p, (size_t)n);
+    if (w <= 0) {
+      perror("stub-mpi write");
+      _exit(3);
+    }
+    p += w;
+    n -= w;
+  }
+}
+
+static void tilo_read_all(int fd, void *buf, long n) {
+  char *p = (char *)buf;
+  while (n > 0) {
+    ssize_t r = read(fd, p, (size_t)n);
+    if (r <= 0) {
+      perror("stub-mpi read");
+      _exit(4);
+    }
+    p += r;
+    n -= r;
+  }
+}
+
+static long tilo_type_size(MPI_Datatype t) {
+  return t == MPI_DOUBLE ? 8 : 4;
+}
+
+static int MPI_Init(int *argc, char ***argv) {
+  (void)argc;
+  (void)argv;
+  const char *env = getenv("TILO_STUB_RANKS");
+  tilo_size_ = env ? atoi(env) : 1;
+  if (tilo_size_ < 1 || tilo_size_ > TILO_MAX_RANKS) tilo_size_ = 1;
+
+  for (int s = 0; s < tilo_size_; ++s) {
+    for (int d = 0; d < tilo_size_; ++d) {
+      if (s == d) continue;
+      int sv[2];
+      if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        perror("stub-mpi socketpair");
+        exit(5);
+      }
+      tilo_wfd_[s][d] = sv[0];
+      tilo_rfd_[s][d] = sv[1];
+    }
+  }
+  for (int r = 1; r < tilo_size_; ++r) {
+    pid_t pid = fork();
+    if (pid < 0) {
+      perror("stub-mpi fork");
+      exit(6);
+    }
+    if (pid == 0) {
+      tilo_rank_ = r;
+      break;
+    }
+    tilo_children_[r] = pid;
+  }
+  return 0;
+}
+
+static int MPI_Comm_rank(MPI_Comm c, int *r) {
+  (void)c;
+  *r = tilo_rank_;
+  return 0;
+}
+
+static int MPI_Comm_size(MPI_Comm c, int *s) {
+  (void)c;
+  *s = tilo_size_;
+  return 0;
+}
+
+static int MPI_Abort(MPI_Comm c, int code) {
+  (void)c;
+  _exit(code);
+  return 0;
+}
+
+static int MPI_Send(const void *buf, int count, MPI_Datatype t, int dst,
+                    int tag, MPI_Comm c) {
+  (void)c;
+  long header[2];
+  header[0] = tag;
+  header[1] = (long)count * tilo_type_size(t);
+  tilo_write_all(tilo_wfd_[tilo_rank_][dst], header, sizeof header);
+  tilo_write_all(tilo_wfd_[tilo_rank_][dst], buf, header[1]);
+  return 0;
+}
+
+/* Reads messages from `src` until one with `tag` appears; stashes others. */
+static void tilo_recv_tag(void *buf, long bytes, int src, int tag) {
+  /* Check the stash first (FIFO per (src, tag)). */
+  for (int i = 0; i < tilo_stash_count_; ++i) {
+    if (tilo_stash_[i].src == src && tilo_stash_[i].tag == tag) {
+      if (tilo_stash_[i].bytes != bytes) {
+        fprintf(stderr, "stub-mpi: size mismatch on stash\n");
+        _exit(7);
+      }
+      memcpy(buf, tilo_stash_[i].data, (size_t)bytes);
+      free(tilo_stash_[i].data);
+      for (int j = i + 1; j < tilo_stash_count_; ++j)
+        tilo_stash_[j - 1] = tilo_stash_[j];
+      --tilo_stash_count_;
+      return;
+    }
+  }
+  for (;;) {
+    long header[2];
+    tilo_read_all(tilo_rfd_[src][tilo_rank_], header, sizeof header);
+    if (header[0] == tag) {
+      if (header[1] != bytes) {
+        fprintf(stderr, "stub-mpi: size mismatch on wire\n");
+        _exit(8);
+      }
+      tilo_read_all(tilo_rfd_[src][tilo_rank_], buf, bytes);
+      return;
+    }
+    if (tilo_stash_count_ >= TILO_MAX_PENDING) {
+      fprintf(stderr, "stub-mpi: stash overflow\n");
+      _exit(9);
+    }
+    TiloStash *st = &tilo_stash_[tilo_stash_count_++];
+    st->src = src;
+    st->tag = (int)header[0];
+    st->bytes = header[1];
+    st->data = (char *)malloc((size_t)header[1]);
+    tilo_read_all(tilo_rfd_[src][tilo_rank_], st->data, header[1]);
+  }
+}
+
+static int MPI_Recv(void *buf, int count, MPI_Datatype t, int src, int tag,
+                    MPI_Comm c, MPI_Status *s) {
+  (void)c;
+  (void)s;
+  tilo_recv_tag(buf, (long)count * tilo_type_size(t), src, tag);
+  return 0;
+}
+
+/* Eager: the data is small enough for the socket buffer, send now. */
+static int MPI_Isend(const void *buf, int count, MPI_Datatype t, int dst,
+                     int tag, MPI_Comm c, MPI_Request *req) {
+  *req = -1; /* nothing to wait for */
+  return MPI_Send(buf, count, t, dst, tag, c);
+}
+
+static int MPI_Irecv(void *buf, int count, MPI_Datatype t, int src, int tag,
+                     MPI_Comm c, MPI_Request *req) {
+  (void)c;
+  if (tilo_irecv_count_ >= TILO_MAX_PENDING) {
+    fprintf(stderr, "stub-mpi: too many pending irecvs\n");
+    _exit(10);
+  }
+  TiloIrecv *r = &tilo_irecv_[tilo_irecv_count_];
+  r->buf = buf;
+  r->bytes = (long)count * tilo_type_size(t);
+  r->src = src;
+  r->tag = tag;
+  r->active = 1;
+  *req = tilo_irecv_count_++;
+  return 0;
+}
+
+static int MPI_Waitall(int n, MPI_Request *reqs, MPI_Status *st) {
+  (void)st;
+  for (int i = 0; i < n; ++i) {
+    if (reqs[i] < 0) continue; /* completed isend */
+    TiloIrecv *r = &tilo_irecv_[reqs[i]];
+    if (!r->active) continue;
+    tilo_recv_tag(r->buf, r->bytes, r->src, r->tag);
+    r->active = 0;
+  }
+  /* Compact the table when everything drained. */
+  int live = 0;
+  for (int i = 0; i < tilo_irecv_count_; ++i)
+    if (tilo_irecv_[i].active) live = 1;
+  if (!live) tilo_irecv_count_ = 0;
+  return 0;
+}
+
+static int MPI_Reduce(const void *in, void *out, int n, MPI_Datatype t,
+                      MPI_Op op, int root, MPI_Comm c) {
+  (void)op;
+  (void)c;
+  if (t != MPI_DOUBLE || root != 0) {
+    fprintf(stderr, "stub-mpi: only MPI_DOUBLE sum to root 0\n");
+    _exit(11);
+  }
+  if (tilo_rank_ != 0) {
+    long header[2];
+    header[0] = TILO_REDUCE_TAG;
+    header[1] = (long)n * 8;
+    tilo_write_all(tilo_wfd_[tilo_rank_][0], header, sizeof header);
+    tilo_write_all(tilo_wfd_[tilo_rank_][0], in, header[1]);
+    return 0;
+  }
+  double *acc = (double *)out;
+  memcpy(acc, in, (size_t)n * 8);
+  double *tmp = (double *)malloc((size_t)n * 8);
+  for (int r = 1; r < tilo_size_; ++r) {
+    tilo_recv_tag(tmp, (long)n * 8, r, TILO_REDUCE_TAG);
+    for (int i = 0; i < n; ++i) acc[i] += tmp[i];
+  }
+  free(tmp);
+  return 0;
+}
+
+static int MPI_Finalize(void) {
+  if (tilo_rank_ != 0) _exit(0);
+  int failed = 0;
+  for (int r = 1; r < tilo_size_; ++r) {
+    int status = 0;
+    waitpid(tilo_children_[r], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) failed = 1;
+  }
+  if (failed) {
+    fprintf(stderr, "stub-mpi: a child rank failed\n");
+    exit(12);
+  }
+  return 0;
+}
+
+#endif /* TILO_STUB_MPI_FORK_H */

@@ -1,0 +1,292 @@
+// Unit tests for tilo::tile — the supernode transformation, rectangular
+// tilings, the tiled space with partial boundary tiles, communication
+// volumes (paper eqs. 1 and 2) and communication-minimal shapes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tilo/loopnest/workloads.hpp"
+#include "tilo/tiling/cost.hpp"
+#include "tilo/tiling/rect.hpp"
+#include "tilo/tiling/shape.hpp"
+#include "tilo/tiling/supernode.hpp"
+#include "tilo/tiling/tilespace.hpp"
+
+using namespace tilo;
+using lat::Box;
+using lat::Mat;
+using lat::Rat;
+using lat::RatMat;
+using lat::Vec;
+using loop::DependenceSet;
+using tile::RectTiling;
+using tile::Supernode;
+using tile::TiledSpace;
+using util::i64;
+
+// ----------------------------------------------------------- Supernode ----
+
+TEST(SupernodeTest, FromSidesInvertsP) {
+  const Supernode sn = Supernode::from_sides(Mat::diagonal(Vec{10, 10}));
+  EXPECT_EQ(sn.tile_volume(), 100);
+  EXPECT_EQ(sn.H()(0, 0), Rat(1, 10));
+  EXPECT_EQ(sn.tile_of(Vec{25, 7}), (Vec{2, 0}));
+  EXPECT_EQ(sn.local_of(Vec{25, 7}), (Vec{5, 7}));
+  EXPECT_EQ(sn.tile_origin(Vec{2, 0}), (Vec{20, 0}));
+}
+
+TEST(SupernodeTest, NegativeCoordinatesFloorCorrectly) {
+  const Supernode sn = Supernode::from_sides(Mat::diagonal(Vec{4, 4}));
+  EXPECT_EQ(sn.tile_of(Vec{-1, -5}), (Vec{-1, -2}));
+  EXPECT_EQ(sn.local_of(Vec{-1, -5}), (Vec{3, 3}));
+}
+
+TEST(SupernodeTest, TransformationRoundTrip) {
+  // j == tile_origin(tile_of(j)) + local_of(j), local in [0, sides).
+  const Supernode sn = Supernode::from_sides(Mat{{3, 1}, {0, 3}});
+  for (i64 x = -6; x <= 6; ++x)
+    for (i64 y = -6; y <= 6; ++y) {
+      const Vec j{x, y};
+      const Vec t = sn.tile_of(j);
+      const Vec l = sn.local_of(j);
+      EXPECT_EQ(sn.tile_origin(t) + l, j);
+    }
+}
+
+TEST(SupernodeTest, SingularSidesRejected) {
+  EXPECT_THROW(Supernode::from_sides(Mat{{1, 2}, {2, 4}}), util::Error);
+}
+
+TEST(SupernodeTest, FromHRequiresIntegralInverse) {
+  // H = [[1/2, 0], [0, 1/3]] -> P = diag(2, 3): fine.
+  RatMat h(2, 2);
+  h(0, 0) = Rat(1, 2);
+  h(1, 1) = Rat(1, 3);
+  EXPECT_NO_THROW(Supernode::from_h(h));
+  // H = [[2/3, 0], [0, 1]] -> P = diag(3/2, 1): not a lattice tiling.
+  RatMat bad(2, 2);
+  bad(0, 0) = Rat(2, 3);
+  bad(1, 1) = Rat(1);
+  EXPECT_THROW(Supernode::from_h(bad), util::Error);
+}
+
+TEST(SupernodeTest, LegalityIsHDNonneg) {
+  const Supernode rect = Supernode::from_sides(Mat::diagonal(Vec{4, 4}));
+  EXPECT_TRUE(rect.is_legal(DependenceSet({Vec{1, 0}, Vec{0, 1}})));
+  EXPECT_FALSE(rect.is_legal(DependenceSet({Vec{1, -1}})));
+  // A skewed tiling can legalize a negative component: P = [[2,0],[ -2? ...
+  // Use the classic skew: H rows (1,0) and (1,1) scaled.
+  const Supernode skew = Supernode::from_sides(Mat{{2, 0}, {-2, 2}});
+  // H = [[1/2, 0], [1/2, 1/2]]; d = (1, -1): Hd = (1/2, 0) >= 0 -> legal.
+  EXPECT_TRUE(skew.is_legal(DependenceSet({Vec{1, -1}})));
+}
+
+TEST(SupernodeTest, ContainmentRequiresDepsShorterThanTile) {
+  const Supernode sn = Supernode::from_sides(Mat::diagonal(Vec{4, 4}));
+  EXPECT_TRUE(sn.contains_deps(DependenceSet({Vec{3, 3}})));
+  EXPECT_FALSE(sn.contains_deps(DependenceSet({Vec{4, 0}})));
+  EXPECT_FALSE(sn.contains_deps(DependenceSet({Vec{1, -1}})));
+}
+
+TEST(SupernodeTest, TileDepsForUnitStencil) {
+  const Supernode sn = Supernode::from_sides(Mat::diagonal(Vec{4, 4, 4}));
+  const auto dirs = sn.tile_deps(
+      DependenceSet({Vec{1, 0, 0}, Vec{0, 1, 0}, Vec{0, 0, 1}}));
+  // Unit deps along each axis -> exactly the three unit tile directions.
+  ASSERT_EQ(dirs.size(), 3u);
+  std::set<std::vector<i64>> got;
+  for (const Vec& d : dirs) got.insert(d.data());
+  EXPECT_TRUE(got.count({1, 0, 0}));
+  EXPECT_TRUE(got.count({0, 1, 0}));
+  EXPECT_TRUE(got.count({0, 0, 1}));
+}
+
+TEST(SupernodeTest, TileDepsIncludeDiagonalSubpatterns) {
+  const Supernode sn = Supernode::from_sides(Mat::diagonal(Vec{4, 4}));
+  const auto dirs =
+      sn.tile_deps(DependenceSet({Vec{1, 1}, Vec{1, 0}, Vec{0, 1}}));
+  // The (1,1) dependence can cross a corner: directions (1,1), (1,0), (0,1).
+  ASSERT_EQ(dirs.size(), 3u);
+  std::set<std::vector<i64>> got;
+  for (const Vec& d : dirs) got.insert(d.data());
+  EXPECT_TRUE(got.count({1, 1}));
+  EXPECT_TRUE(got.count({1, 0}));
+  EXPECT_TRUE(got.count({0, 1}));
+}
+
+// ------------------------------------------------------------- Rect ----
+
+TEST(RectTilingTest, BasicMapping) {
+  const RectTiling rt(Vec{10, 5});
+  EXPECT_EQ(rt.tile_volume(), 50);
+  EXPECT_EQ(rt.tile_of(Vec{23, 14}), (Vec{2, 2}));
+  EXPECT_EQ(rt.local_of(Vec{23, 14}), (Vec{3, 4}));
+  EXPECT_EQ(rt.tile_origin(Vec{2, 2}), (Vec{20, 10}));
+  EXPECT_EQ(rt.tile_box(Vec{1, 0}), Box(Vec{10, 0}, Vec{19, 4}));
+}
+
+TEST(RectTilingTest, AgreesWithGeneralSupernode) {
+  const RectTiling rt(Vec{3, 7});
+  const Supernode sn = rt.as_supernode();
+  for (i64 x = -5; x <= 15; ++x)
+    for (i64 y = -5; y <= 15; ++y) {
+      const Vec j{x, y};
+      EXPECT_EQ(rt.tile_of(j), sn.tile_of(j));
+      EXPECT_EQ(rt.local_of(j), sn.local_of(j));
+    }
+  EXPECT_EQ(rt.tile_volume(), sn.tile_volume());
+}
+
+TEST(RectTilingTest, RejectsBadSides) {
+  EXPECT_THROW(RectTiling(Vec{0, 3}), util::Error);
+  EXPECT_THROW(RectTiling(Vec{}), util::Error);
+}
+
+TEST(RectTilingTest, LegalityAndContainment) {
+  const RectTiling rt(Vec{4, 4});
+  EXPECT_TRUE(rt.is_legal(DependenceSet({Vec{1, 0}, Vec{1, 1}})));
+  EXPECT_FALSE(rt.is_legal(DependenceSet({Vec{1, -1}})));
+  EXPECT_TRUE(rt.contains_deps(DependenceSet({Vec{3, 3}})));
+  EXPECT_FALSE(rt.contains_deps(DependenceSet({Vec{4, 0}})));
+}
+
+// --------------------------------------------------------- TiledSpace ----
+
+TEST(TiledSpaceTest, ExactDivisionHasNoPartialTiles) {
+  const loop::LoopNest nest = loop::stencil3d_nest(8, 8, 16);
+  const TiledSpace ts(nest, RectTiling(Vec{4, 4, 4}));
+  EXPECT_EQ(ts.tile_space().extents(), (Vec{2, 2, 4}));
+  EXPECT_EQ(ts.num_tiles(), 16);
+  ts.for_each_tile([&](const Vec& t) { EXPECT_FALSE(ts.is_partial(t)); });
+}
+
+TEST(TiledSpaceTest, PartialBoundaryTilesAreClipped) {
+  const loop::LoopNest nest = loop::stencil3d_nest(10, 8, 16);
+  const TiledSpace ts(nest, RectTiling(Vec{4, 4, 4}));
+  EXPECT_EQ(ts.tile_space().extents(), (Vec{3, 2, 4}));
+  EXPECT_TRUE(ts.is_partial(Vec{2, 0, 0}));
+  EXPECT_EQ(ts.tile_iterations(Vec{2, 0, 0}).volume(), 2 * 4 * 4);
+  EXPECT_FALSE(ts.is_partial(Vec{1, 1, 3}));
+}
+
+TEST(TiledSpaceTest, TileVolumesSumToDomainVolume) {
+  const loop::LoopNest nest = loop::stencil3d_nest(10, 7, 13);
+  const TiledSpace ts(nest, RectTiling(Vec{4, 3, 5}));
+  i64 total = 0;
+  ts.for_each_tile(
+      [&](const Vec& t) { total += ts.tile_iterations(t).volume(); });
+  EXPECT_EQ(total, nest.domain().volume());
+}
+
+TEST(TiledSpaceTest, RejectsIllegalOrTooSmallTiles) {
+  const loop::LoopNest bad("neg", Box::from_extents(Vec{8, 8}),
+                           DependenceSet({Vec{1, -1}}));
+  EXPECT_THROW(TiledSpace(bad, RectTiling(Vec{4, 4})), util::Error);
+
+  const loop::LoopNest wide("wide", Box::from_extents(Vec{8, 8}),
+                            DependenceSet({Vec{2, 0}}));
+  EXPECT_THROW(TiledSpace(wide, RectTiling(Vec{2, 4})), util::Error);
+  EXPECT_NO_THROW(TiledSpace(wide, RectTiling(Vec{3, 4})));
+}
+
+TEST(TiledSpaceTest, LastTileMatchesExtents) {
+  const loop::LoopNest nest = loop::stencil3d_nest(16, 16, 64);
+  const TiledSpace ts(nest, RectTiling(Vec{4, 4, 16}));
+  EXPECT_EQ(ts.last_tile(), (Vec{3, 3, 3}));
+}
+
+// --------------------------------------------------------------- Cost ----
+
+TEST(CostTest, VCommTotalMatchesPaperExample1) {
+  // Paper Example 1: 10x10 tiles, D = {(1,1),(1,0),(0,1)} -> V_comm = 20.
+  const Supernode sn = Supernode::from_sides(Mat::diagonal(Vec{10, 10}));
+  const DependenceSet deps({Vec{1, 1}, Vec{1, 0}, Vec{0, 1}});
+  EXPECT_EQ(tile::v_comm_total(sn, deps), Rat(40));
+  // ... eq. (1) counts both boundary surfaces; the paper's V_comm = 20 uses
+  // eq. (2), with the mapping dimension's surface removed:
+  EXPECT_EQ(tile::v_comm_mapped(sn, deps, 0), Rat(20));
+  EXPECT_EQ(tile::v_comp(sn), 100);
+}
+
+TEST(CostTest, RectFormulasAgreeWithRationalFormulas) {
+  const DependenceSet deps({Vec{1, 0, 2}, Vec{0, 1, 1}, Vec{1, 1, 0}});
+  const RectTiling rt(Vec{4, 6, 5});
+  const Supernode sn = rt.as_supernode();
+  EXPECT_EQ(Rat(tile::v_comm_total_rect(rt, deps)),
+            tile::v_comm_total(sn, deps));
+  for (std::size_t x = 0; x < 3; ++x)
+    EXPECT_EQ(Rat(tile::v_comm_mapped_rect(rt, deps, x)),
+              tile::v_comm_mapped(sn, deps, x));
+}
+
+TEST(CostTest, FaceTrafficHandComputed) {
+  // Tile 4x6, deps {(1,0),(1,1)}: face 0 ships (volume/4) * (1+1) = 12,
+  // face 1 ships (volume/6) * (0+1) = 4.
+  const RectTiling rt(Vec{4, 6});
+  const DependenceSet deps({Vec{1, 0}, Vec{1, 1}});
+  EXPECT_EQ(tile::rect_face_traffic(rt, deps, 0), 12);
+  EXPECT_EQ(tile::rect_face_traffic(rt, deps, 1), 4);
+  EXPECT_EQ(tile::v_comm_total_rect(rt, deps), 16);
+  EXPECT_EQ(tile::v_comm_mapped_rect(rt, deps, 0), 4);
+}
+
+TEST(CostTest, SkewedTilingCommVolume) {
+  // P = [[2,0],[0,2]] skewed by one: P = [[2, 2], [0, 2]], det = 4.
+  const Supernode sn = Supernode::from_sides(Mat{{2, 2}, {0, 2}});
+  const DependenceSet deps({Vec{1, 0}});
+  // H = [[1/2, -1/2], [0, 1/2]], Hd = (1/2, 0); eq. (1):
+  // (1/|det H|) * 1/2 = 4 * 1/2 = 2.
+  EXPECT_EQ(tile::v_comm_total(sn, deps), Rat(2));
+}
+
+// -------------------------------------------------------------- Shape ----
+
+TEST(ShapeTest, ContinuousOptimumProportionalToColumnSums) {
+  // D columns sum to c = (1, 4); optimal sides s_i ∝ c_i.
+  const DependenceSet deps({Vec{1, 4}});
+  const auto s = tile::comm_minimal_sides_continuous(deps, 64.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NEAR(s[1] / s[0], 4.0, 1e-9);
+  EXPECT_NEAR(s[0] * s[1], 64.0, 1e-6);
+}
+
+TEST(ShapeTest, ZeroCommDimensionGetsUnitSide) {
+  const DependenceSet deps({Vec{1, 0}});
+  const auto s = tile::comm_minimal_sides_continuous(deps, 16.0);
+  EXPECT_NEAR(s[0], 16.0, 1e-9);
+  EXPECT_NEAR(s[1], 1.0, 1e-9);
+}
+
+TEST(ShapeTest, SymmetricDepsGiveSquareTiles) {
+  const DependenceSet deps({Vec{1, 0}, Vec{0, 1}});
+  const tile::ShapeResult r = tile::comm_minimal_shape(deps, 100);
+  EXPECT_EQ(r.sides, (Vec{10, 10}));
+  EXPECT_EQ(r.volume, 100);
+  EXPECT_EQ(r.v_comm, 20);
+}
+
+TEST(ShapeTest, AsymmetricDepsPreferElongatedTiles) {
+  // Heavy traffic along dim 1 -> larger side along dim 1.
+  const DependenceSet deps({Vec{1, 0}, Vec{0, 1}, Vec{0, 1}, Vec{0, 1}});
+  const tile::ShapeResult r = tile::comm_minimal_shape(deps, 144);
+  EXPECT_GT(r.sides[1], r.sides[0]);
+  // Beats the square of the same volume.
+  const RectTiling square(Vec{12, 12});
+  EXPECT_LE(r.v_comm, tile::v_comm_total_rect(square, deps));
+}
+
+TEST(ShapeTest, RespectsContainmentMinimum) {
+  // A dependence with component 3 forces sides > 3 even at tiny volume.
+  const DependenceSet deps({Vec{3, 1}});
+  const tile::ShapeResult r = tile::comm_minimal_shape(deps, 4);
+  EXPECT_GE(r.sides[0], 4);
+}
+
+TEST(ShapeTest, MappedDimensionIsPinned) {
+  const DependenceSet deps({Vec{1, 0, 0}, Vec{0, 1, 0}, Vec{0, 0, 1}});
+  const tile::ShapeResult r = tile::comm_minimal_shape(deps, 400, 2, 25);
+  EXPECT_EQ(r.sides[2], 25);
+  // The cross-section splits the remaining 16 evenly.
+  EXPECT_EQ(r.sides[0], 4);
+  EXPECT_EQ(r.sides[1], 4);
+}

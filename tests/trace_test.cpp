@@ -1,0 +1,102 @@
+// Unit tests for tilo::trace — timelines, utilization and Gantt rendering.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "tilo/trace/gantt.hpp"
+#include "tilo/trace/timeline.hpp"
+
+using namespace tilo;
+using trace::Phase;
+using trace::Timeline;
+
+TEST(TimelineTest, RecordsAndAggregates) {
+  Timeline tl;
+  tl.record(0, Phase::kCompute, 0, 100);
+  tl.record(0, Phase::kFillMpiSend, 100, 130);
+  tl.record(1, Phase::kCompute, 50, 150);
+  EXPECT_EQ(tl.makespan(), 150);
+  EXPECT_EQ(tl.num_nodes(), 2);
+  EXPECT_EQ(tl.phase_time(0, Phase::kCompute), 100);
+  EXPECT_EQ(tl.phase_time(0, Phase::kFillMpiSend), 30);
+  EXPECT_EQ(tl.phase_time(1, Phase::kCompute), 100);
+}
+
+TEST(TimelineTest, ZeroLengthIntervalsDropped) {
+  Timeline tl;
+  tl.record(0, Phase::kCompute, 5, 5);
+  EXPECT_TRUE(tl.empty());
+}
+
+TEST(TimelineTest, BadIntervalsThrow) {
+  Timeline tl;
+  EXPECT_THROW(tl.record(-1, Phase::kCompute, 0, 1), util::Error);
+  EXPECT_THROW(tl.record(0, Phase::kCompute, 2, 1), util::Error);
+}
+
+TEST(TimelineTest, ComputeUtilization) {
+  Timeline tl;
+  tl.record(0, Phase::kCompute, 0, 50);
+  tl.record(0, Phase::kBlocked, 50, 100);
+  tl.record(1, Phase::kCompute, 0, 100);
+  EXPECT_DOUBLE_EQ(tl.compute_utilization(0), 0.5);
+  EXPECT_DOUBLE_EQ(tl.compute_utilization(1), 1.0);
+  EXPECT_DOUBLE_EQ(tl.mean_compute_utilization(), 0.75);
+}
+
+TEST(TimelineTest, CsvHasHeaderAndRows) {
+  Timeline tl;
+  tl.record(0, Phase::kWire, 10, 20, "msg");
+  std::ostringstream os;
+  tl.write_csv(os);
+  EXPECT_NE(os.str().find("node,phase,start_ns,end_ns,label"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("0,wire,10,20,msg"), std::string::npos);
+}
+
+TEST(PhaseTest, CodesAreUniqueAndNamed) {
+  const Phase all[] = {Phase::kCompute,    Phase::kFillMpiSend,
+                       Phase::kFillMpiRecv, Phase::kKernelSend,
+                       Phase::kKernelRecv,  Phase::kWire,
+                       Phase::kBlocked};
+  std::set<char> codes;
+  for (Phase p : all) {
+    codes.insert(trace::phase_code(p));
+    EXPECT_FALSE(trace::phase_name(p).empty());
+  }
+  EXPECT_EQ(codes.size(), std::size(all));
+}
+
+TEST(GanttTest, RendersOneRowPerNode) {
+  Timeline tl;
+  tl.record(0, Phase::kCompute, 0, 100);
+  tl.record(1, Phase::kBlocked, 0, 50);
+  tl.record(1, Phase::kCompute, 50, 100);
+  std::ostringstream os;
+  trace::GanttOptions opts;
+  opts.width = 10;
+  trace::render_gantt(os, tl, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("P00 |CCCCCCCCCC|"), std::string::npos);
+  EXPECT_NE(out.find("P01 |.....CCCCC|"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+}
+
+TEST(GanttTest, CpuPhasesWinOverDmaPhases) {
+  Timeline tl;
+  tl.record(0, Phase::kWire, 0, 100);
+  tl.record(0, Phase::kCompute, 0, 10);  // short but CPU
+  std::ostringstream os;
+  trace::GanttOptions opts;
+  opts.width = 1;
+  opts.legend = false;
+  trace::render_gantt(os, tl, opts);
+  EXPECT_NE(os.str().find("|C|"), std::string::npos);
+}
+
+TEST(GanttTest, EmptyTimelineSaysSo) {
+  std::ostringstream os;
+  trace::render_gantt(os, Timeline{});
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}

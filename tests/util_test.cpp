@@ -1,0 +1,171 @@
+// Unit tests for tilo::util — exact integer helpers, deterministic RNG,
+// table rendering and error plumbing.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "tilo/util/csv.hpp"
+#include "tilo/util/error.hpp"
+#include "tilo/util/math.hpp"
+#include "tilo/util/rng.hpp"
+
+namespace tu = tilo::util;
+using tu::i64;
+
+TEST(MathTest, FloorDivMatchesMathematicalFloor) {
+  EXPECT_EQ(tu::floor_div(7, 2), 3);
+  EXPECT_EQ(tu::floor_div(-7, 2), -4);
+  EXPECT_EQ(tu::floor_div(7, -2), -4);
+  EXPECT_EQ(tu::floor_div(-7, -2), 3);
+  EXPECT_EQ(tu::floor_div(6, 3), 2);
+  EXPECT_EQ(tu::floor_div(-6, 3), -2);
+  EXPECT_EQ(tu::floor_div(0, 5), 0);
+}
+
+TEST(MathTest, CeilDivMatchesMathematicalCeil) {
+  EXPECT_EQ(tu::ceil_div(7, 2), 4);
+  EXPECT_EQ(tu::ceil_div(-7, 2), -3);
+  EXPECT_EQ(tu::ceil_div(7, -2), -3);
+  EXPECT_EQ(tu::ceil_div(-7, -2), 4);
+  EXPECT_EQ(tu::ceil_div(6, 3), 2);
+}
+
+TEST(MathTest, FloorModAlwaysNonnegativeForPositiveModulus) {
+  EXPECT_EQ(tu::floor_mod(7, 3), 1);
+  EXPECT_EQ(tu::floor_mod(-7, 3), 2);
+  EXPECT_EQ(tu::floor_mod(-1, 10), 9);
+  EXPECT_EQ(tu::floor_mod(0, 10), 0);
+}
+
+TEST(MathTest, FloorDivIdentity) {
+  // a == floor_div(a, b) * b + floor_mod(a, b) for many combinations.
+  for (i64 a = -20; a <= 20; ++a)
+    for (i64 b : {-7, -3, -1, 1, 2, 5, 13})
+      EXPECT_EQ(a, tu::floor_div(a, b) * b + tu::floor_mod(a, b))
+          << "a=" << a << " b=" << b;
+}
+
+TEST(MathTest, DivisionByZeroThrows) {
+  EXPECT_THROW(tu::floor_div(1, 0), tu::Error);
+  EXPECT_THROW(tu::ceil_div(1, 0), tu::Error);
+}
+
+TEST(MathTest, CheckedAddDetectsOverflow) {
+  const i64 big = std::numeric_limits<i64>::max();
+  EXPECT_EQ(tu::checked_add(big - 1, 1), big);
+  EXPECT_THROW(tu::checked_add(big, 1), tu::Error);
+  EXPECT_THROW(tu::checked_sub(std::numeric_limits<i64>::min(), 1),
+               tu::Error);
+}
+
+TEST(MathTest, CheckedMulDetectsOverflow) {
+  EXPECT_EQ(tu::checked_mul(1 << 20, 1 << 20), i64{1} << 40);
+  EXPECT_THROW(tu::checked_mul(i64{1} << 40, i64{1} << 40), tu::Error);
+}
+
+TEST(MathTest, LcmBasics) {
+  EXPECT_EQ(tu::lcm(4, 6), 12);
+  EXPECT_EQ(tu::lcm(0, 5), 0);
+  EXPECT_EQ(tu::lcm(-4, 6), 12);
+}
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  tu::Rng a(42);
+  tu::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  tu::Rng a(1);
+  tu::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  tu::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const i64 v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformCoversSmallRange) {
+  tu::Rng rng(11);
+  bool seen[3] = {false, false, false};
+  for (int i = 0; i < 200; ++i) seen[rng.uniform(0, 2)] = true;
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(RngTest, Uniform01InHalfOpenInterval) {
+  tu::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BadBoundsThrow) {
+  tu::Rng rng(1);
+  EXPECT_THROW(rng.uniform(3, 2), tu::Error);
+}
+
+TEST(TableTest, TextRenderingAligns) {
+  tu::Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.write_text(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  tu::Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"x,y", "say \"hi\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  tu::Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), tu::Error);
+}
+
+TEST(FormatTest, SecondsPicksSensibleUnit) {
+  EXPECT_NE(tu::fmt_seconds(1.5).find(" s"), std::string::npos);
+  EXPECT_NE(tu::fmt_seconds(0.0025).find("ms"), std::string::npos);
+  EXPECT_NE(tu::fmt_seconds(2.5e-6).find("us"), std::string::npos);
+}
+
+TEST(ErrorTest, RequireMessageContainsContext) {
+  try {
+    TILO_REQUIRE(false, "the answer is ", 42);
+    FAIL() << "expected throw";
+  } catch (const tu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, AssertMessageSaysInvariant) {
+  try {
+    TILO_ASSERT(1 == 2, "broken");
+    FAIL() << "expected throw";
+  } catch (const tu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
