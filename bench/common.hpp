@@ -1,10 +1,13 @@
 // Shared helpers for the paper-reproduction benches: V-sweeps with
-// paper-style tables, ASCII curves, and optimum extraction.
+// paper-style tables, ASCII curves, optimum extraction, and machine-
+// readable JSON-lines emission.
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tilo/core/predict.hpp"
@@ -17,6 +20,53 @@ namespace tilo::bench {
 using core::Problem;
 using core::SweepPoint;
 using util::i64;
+
+/// One machine-readable result record, emitted as a single JSON object per
+/// line so downstream tooling can `grep '^{' | jq` the bench output.
+/// Only the types the benches need: numbers, strings, booleans.
+class JsonLine {
+ public:
+  JsonLine& num(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return raw(key, buf);
+  }
+  JsonLine& num(const std::string& key, i64 v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonLine& num(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonLine& boolean(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonLine& str(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    return raw(key, quoted);
+  }
+
+  void write(std::ostream& os) const {
+    os << '{';
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) os << ',';
+      os << '"' << fields_[i].first << "\":" << fields_[i].second;
+    }
+    os << "}\n";
+  }
+
+ private:
+  JsonLine& raw(const std::string& key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Result of one schedule's tuned optimum.
 struct Optimum {

@@ -1,0 +1,63 @@
+#include "tilo/core/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::core {
+
+int resolve_threads(int threads) {
+  TILO_REQUIRE(threads >= 0, "thread count must be >= 0 (0 = hardware)");
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for_index(int threads, std::size_t n,
+                        const std::function<void(int, std::size_t)>& body) {
+  TILO_REQUIRE(threads >= 1, "parallel_for_index needs >= 1 thread");
+  if (n == 0) return;
+
+  if (threads == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  // One error slot per index: rethrowing the lowest failed index keeps the
+  // reported error deterministic under any thread interleaving.
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<bool> failed{false};
+
+  const auto worker = [&](int id) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(id, i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const int nthreads = threads > static_cast<int>(n)
+                           ? static_cast<int>(n)
+                           : threads;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nthreads) - 1);
+  for (int t = 1; t < nthreads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+
+  if (failed.load(std::memory_order_relaxed)) {
+    for (std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace tilo::core

@@ -1,0 +1,29 @@
+// A minimal deterministic fork/join helper for the sweep orchestrator.
+//
+// Work items are claimed from a shared atomic counter, so the assignment of
+// items to threads is racy — but every caller writes its result into a slot
+// chosen by the item *index*, never by arrival order, so outputs are
+// independent of the interleaving.  The simulator itself is single-threaded
+// per Engine; parallelism here only fans out independent simulations.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tilo::core {
+
+/// Resolves a thread-count option: n >= 1 is taken literally, 0 means "all
+/// hardware threads" (at least 1 when the hardware reports nothing).
+int resolve_threads(int threads);
+
+/// Runs body(worker, index) for every index in [0, n), distributing indices
+/// over `threads` workers (worker ids in [0, threads)).  threads <= 1 runs
+/// everything inline on the calling thread as worker 0.
+///
+/// If any body throws, the exception thrown at the *lowest* index is
+/// rethrown on the caller after all workers have stopped claiming new work,
+/// making failure reporting independent of thread scheduling too.
+void parallel_for_index(int threads, std::size_t n,
+                        const std::function<void(int, std::size_t)>& body);
+
+}  // namespace tilo::core

@@ -1,0 +1,52 @@
+#include "tilo/core/plancache.hpp"
+
+namespace tilo::core {
+
+std::shared_ptr<const TilePlan> PlanCache::get(const Problem& problem,
+                                               i64 V, ScheduleKind kind) {
+  const Key key{V, static_cast<int>(kind)};
+  const ScheduleKind sibling_kind = kind == ScheduleKind::kOverlap
+                                        ? ScheduleKind::kNonOverlap
+                                        : ScheduleKind::kOverlap;
+  const Key sibling{V, static_cast<int>(sibling_kind)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    auto sib = plans_.find(sibling);
+    if (sib != plans_.end()) {
+      // make_plan_explicit only stores the kind; geometry and mapping are
+      // kind-independent, so copy-and-flip avoids re-tiling.
+      ++hits_;
+      auto plan = std::make_shared<TilePlan>(*sib->second);
+      plan->kind = kind;
+      std::shared_ptr<const TilePlan> frozen = std::move(plan);
+      plans_.emplace(key, frozen);
+      return frozen;
+    }
+    ++misses_;
+  }
+
+  // Build outside the lock: plan construction enumerates tile geometry and
+  // can be slow; concurrent misses on the same key both build, and the
+  // first insert wins.
+  auto built = std::make_shared<const TilePlan>(problem.plan(V, kind));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = plans_.emplace(key, built);
+  return it->second;
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace tilo::core

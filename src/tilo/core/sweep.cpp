@@ -1,5 +1,11 @@
 #include "tilo/core/sweep.hpp"
 
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "tilo/core/parallel.hpp"
+#include "tilo/core/plancache.hpp"
 #include "tilo/machine/optimize.hpp"
 #include "tilo/util/error.hpp"
 
@@ -7,13 +13,78 @@ namespace tilo::core {
 
 namespace {
 
-double run_once(const Problem& problem, i64 V, ScheduleKind kind,
-                const SweepOptions& opts) {
-  const TilePlan plan = problem.plan(V, kind);
+/// Plans for both schedule kinds at one V.  With a cache, served from it;
+/// without, the tiling is still built only once — the non-overlap plan is
+/// the overlap plan with the kind flipped (geometry is kind-independent).
+struct PlanPair {
+  std::shared_ptr<const TilePlan> over;
+  std::shared_ptr<const TilePlan> nonover;
+};
+
+PlanPair plans_for(const Problem& problem, i64 V, PlanCache* cache) {
+  if (cache) {
+    return PlanPair{cache->get(problem, V, ScheduleKind::kOverlap),
+                    cache->get(problem, V, ScheduleKind::kNonOverlap)};
+  }
+  auto over =
+      std::make_shared<TilePlan>(problem.plan(V, ScheduleKind::kOverlap));
+  auto nonover = std::make_shared<TilePlan>(*over);
+  nonover->kind = ScheduleKind::kNonOverlap;
+  return PlanPair{std::move(over), std::move(nonover)};
+}
+
+exec::RunOptions run_options(const SweepOptions& opts) {
   exec::RunOptions ro;
   ro.level = opts.level;
   ro.network = opts.network;
-  return exec::run_plan(problem.nest, plan, problem.machine, ro).seconds;
+  return ro;
+}
+
+/// One sweep sample: predictions from the shared plans, then both timed
+/// runs reusing the worker's workspace (the two runs share one tiled
+/// geometry, so the second reuses the comm table the first built).
+SweepPoint measure_point(const Problem& problem, i64 V,
+                         const SweepOptions& opts,
+                         exec::RunWorkspace& workspace) {
+  SweepPoint pt;
+  pt.V = V;
+  const PlanPair plans = plans_for(problem, V, opts.plan_cache);
+  pt.g = plans.over->space.tiling().tile_volume();
+  pt.predicted_overlap =
+      predict_completion(*plans.over, problem.machine, opts.level);
+  pt.predicted_nonoverlap =
+      predict_completion(*plans.nonover, problem.machine);
+  pt.predicted_cpu_bound =
+      predict_overlap_cpu_bound(*plans.over, problem.machine);
+  const exec::RunOptions ro = run_options(opts);
+  if (opts.run_overlap) {
+    const exec::RunResult r =
+        exec::run_plan(problem.nest, *plans.over, problem.machine, ro,
+                       &workspace);
+    pt.t_overlap = r.seconds;
+    pt.events += r.events;
+  }
+  if (opts.run_nonoverlap) {
+    const exec::RunResult r =
+        exec::run_plan(problem.nest, *plans.nonover, problem.machine, ro,
+                       &workspace);
+    pt.t_nonoverlap = r.seconds;
+    pt.events += r.events;
+  }
+  return pt;
+}
+
+double run_once(const Problem& problem, i64 V, ScheduleKind kind,
+                const SweepOptions& opts, exec::RunWorkspace& workspace) {
+  std::shared_ptr<const TilePlan> plan;
+  if (opts.plan_cache) {
+    plan = opts.plan_cache->get(problem, V, kind);
+  } else {
+    plan = std::make_shared<const TilePlan>(problem.plan(V, kind));
+  }
+  return exec::run_plan(problem.nest, *plan, problem.machine,
+                        run_options(opts), &workspace)
+      .seconds;
 }
 
 }  // namespace
@@ -21,24 +92,19 @@ double run_once(const Problem& problem, i64 V, ScheduleKind kind,
 std::vector<SweepPoint> sweep_tile_height(const Problem& problem,
                                           const std::vector<i64>& heights,
                                           const SweepOptions& opts) {
-  std::vector<SweepPoint> out;
-  out.reserve(heights.size());
-  for (i64 V : heights) {
-    SweepPoint pt;
-    pt.V = V;
-    const TilePlan over = problem.plan(V, ScheduleKind::kOverlap);
-    const TilePlan nonover = problem.plan(V, ScheduleKind::kNonOverlap);
-    pt.g = over.space.tiling().tile_volume();
-    pt.predicted_overlap = predict_completion(over, problem.machine,
-                                              opts.level);
-    pt.predicted_nonoverlap = predict_completion(nonover, problem.machine);
-    pt.predicted_cpu_bound = predict_overlap_cpu_bound(over, problem.machine);
-    if (opts.run_overlap)
-      pt.t_overlap = run_once(problem, V, ScheduleKind::kOverlap, opts);
-    if (opts.run_nonoverlap)
-      pt.t_nonoverlap = run_once(problem, V, ScheduleKind::kNonOverlap, opts);
-    out.push_back(pt);
-  }
+  const int threads = resolve_threads(opts.threads);
+  std::vector<SweepPoint> out(heights.size());
+  // One workspace (and thus one comm-table / rank-buffer set) per worker;
+  // out[i] is keyed by index, so the thread interleaving cannot reorder or
+  // alter results.
+  std::vector<exec::RunWorkspace> workspaces(
+      static_cast<std::size_t>(threads));
+  parallel_for_index(threads, heights.size(),
+                     [&](int worker, std::size_t i) {
+                       out[i] = measure_point(
+                           problem, heights[i], opts,
+                           workspaces[static_cast<std::size_t>(worker)]);
+                     });
   return out;
 }
 
@@ -62,11 +128,54 @@ std::vector<i64> height_grid(i64 lo, i64 hi, double ratio) {
 Autotune autotune_tile_height(const Problem& problem, ScheduleKind kind,
                               i64 lo, i64 hi, const SweepOptions& opts) {
   TILO_REQUIRE(lo >= 1 && lo <= hi, "bad height range");
-  const auto objective = [&](i64 V) {
-    return run_once(problem, V, kind, opts);
+  const int threads = resolve_threads(opts.threads);
+  std::vector<exec::RunWorkspace> workspaces(
+      static_cast<std::size_t>(threads));
+
+  // Batch evaluation with memoization: each probe V is simulated at most
+  // once, a whole batch fans out over the workers, and because the
+  // simulation is deterministic the memo returns exactly what a fresh
+  // serial evaluation would.
+  std::map<i64, double> memo;
+  const auto evaluate = [&](const std::vector<i64>& candidates) {
+    std::vector<i64> todo;
+    for (i64 v : candidates)
+      if (memo.find(v) == memo.end()) todo.push_back(v);
+    std::sort(todo.begin(), todo.end());
+    todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+    std::vector<double> values(todo.size());
+    parallel_for_index(
+        threads, todo.size(), [&](int worker, std::size_t i) {
+          values[i] = run_once(problem, todo[i], kind, opts,
+                               workspaces[static_cast<std::size_t>(worker)]);
+        });
+    for (std::size_t i = 0; i < todo.size(); ++i) memo[todo[i]] = values[i];
   };
-  const mach::IntMinimum best = mach::geometric_sweep(objective, lo, hi);
-  return Autotune{best.x, best.value};
+
+  // Same search as mach::geometric_sweep, with batched probes: coarse
+  // multiplicative grid, first-strict-minimum argmin, linear refinement
+  // around the winner.
+  const std::vector<i64> grid = mach::geometric_grid(lo, hi);
+  evaluate(grid);
+  std::size_t best_idx = 0;
+  double best_val = memo.at(grid[0]);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double v = memo.at(grid[i]);
+    if (v < best_val) {
+      best_val = v;
+      best_idx = i;
+    }
+  }
+
+  const std::vector<i64> cand = mach::refinement_candidates(grid, best_idx);
+  evaluate(cand);
+  mach::IntMinimum fine{cand[0], memo.at(cand[0])};
+  for (std::size_t i = 1; i < cand.size(); ++i) {
+    const double v = memo.at(cand[i]);
+    if (v < fine.value) fine = mach::IntMinimum{cand[i], v};
+  }
+  if (fine.value < best_val) return Autotune{fine.x, fine.value};
+  return Autotune{grid[best_idx], best_val};
 }
 
 }  // namespace tilo::core

@@ -1,14 +1,22 @@
 // The paper's experimental procedure (Section 5): sweep the tile height V,
 // run both the overlapping and the non-overlapping programs, and find
 // V_optimal / t_optimal for each.
+//
+// Sweep points are independent simulations, so the sweep (and the
+// autotuner's probe batches) can fan out over threads; results are
+// guaranteed identical to the serial sweep — each worker owns its Engine
+// and writes its point into an index-addressed slot.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "tilo/core/predict.hpp"
 #include "tilo/core/problem.hpp"
 
 namespace tilo::core {
+
+class PlanCache;
 
 /// One sweep sample.
 struct SweepPoint {
@@ -19,6 +27,9 @@ struct SweepPoint {
   double predicted_overlap = 0;     ///< eq. (4)
   double predicted_nonoverlap = 0;  ///< eq. (3)
   double predicted_cpu_bound = 0;   ///< eq. (5)
+  /// Simulator events processed across the runs at this point (throughput
+  /// accounting for the benches).
+  std::uint64_t events = 0;
 };
 
 /// Sweep options.
@@ -27,6 +38,13 @@ struct SweepOptions {
   msg::Network network = msg::Network::kSwitched;
   bool run_nonoverlap = true;
   bool run_overlap = true;
+  /// Worker threads for the sweep / autotune fan-out: 1 = serial (default),
+  /// 0 = all hardware threads, n = exactly n.  Results are byte-identical
+  /// for every value.
+  int threads = 1;
+  /// Optional shared plan cache (see PlanCache); must outlive the call and
+  /// belong to the same Problem.  nullptr = build plans per point.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// Runs both schedules (timed mode) for each V in `heights`.
@@ -46,7 +64,8 @@ struct Autotune {
 
 /// Finds the simulated-optimal tile height for the given schedule kind via
 /// a geometric sweep plus local refinement — the paper's "experimentally
-/// tune tile size g" procedure.
+/// tune tile size g" procedure.  Probe batches fan out over opts.threads;
+/// the result is identical to the serial mach::geometric_sweep search.
 Autotune autotune_tile_height(const Problem& problem, ScheduleKind kind,
                               i64 lo, i64 hi, const SweepOptions& opts = {});
 

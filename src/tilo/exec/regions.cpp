@@ -39,24 +39,26 @@ i64 region_bytes(const std::vector<CommRegion>& regions,
 
 std::vector<TileComm> outgoing(const tile::TiledSpace& space, const Vec& t) {
   std::vector<TileComm> out;
-  for (const Vec& e : space.tile_deps()) {
-    std::vector<CommRegion> regions = comm_regions(space, t, e);
+  const auto& deps = space.tile_deps();
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    std::vector<CommRegion> regions = comm_regions(space, t, deps[i]);
     if (regions.empty()) continue;
     const i64 pts = region_points(regions);
-    out.push_back(TileComm{e, std::move(regions), pts});
+    out.push_back(TileComm{deps[i], std::move(regions), pts, i});
   }
   return out;
 }
 
 std::vector<TileComm> incoming(const tile::TiledSpace& space, const Vec& t) {
   std::vector<TileComm> in;
-  for (const Vec& e : space.tile_deps()) {
-    const Vec t_src = t - e;
+  const auto& deps = space.tile_deps();
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    const Vec t_src = t - deps[i];
     if (!space.tile_space().contains(t_src)) continue;
-    std::vector<CommRegion> regions = comm_regions(space, t_src, e);
+    std::vector<CommRegion> regions = comm_regions(space, t_src, deps[i]);
     if (regions.empty()) continue;
     const i64 pts = region_points(regions);
-    in.push_back(TileComm{e, std::move(regions), pts});
+    in.push_back(TileComm{deps[i], std::move(regions), pts, i});
   }
   return in;
 }

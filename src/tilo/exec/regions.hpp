@@ -43,6 +43,7 @@ struct TileComm {
   Vec offset;                     ///< tile-space direction e
   std::vector<CommRegion> regions;
   i64 points = 0;                 ///< region_points(regions)
+  std::size_t dir = 0;            ///< index of `offset` in tile_deps()
 };
 
 /// All outgoing messages of tile t (one entry per tile dependence with a

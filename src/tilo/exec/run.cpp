@@ -36,12 +36,75 @@ struct RankState {
   }
 };
 
+/// Per-tile communication geometry for one tiled space, built once and
+/// reused across runs (the overlap and non-overlap schedules at one tile
+/// height share it).  Above kMaxTiles the table is not materialized and
+/// lookups fall back to computing geometry on the fly, bounding memory.
+struct CommTable {
+  static constexpr i64 kMaxTiles = i64{1} << 16;
+
+  lat::Vec sides;  // geometry key: tile sides + domain identify the space
+  Box domain;
+  bool with_regions = false;
+  bool valid = false;
+  bool passthrough = false;
+  std::vector<std::vector<TileComm>> in, out;
+
+  bool matches(const tile::TiledSpace& space, bool regions_needed) const {
+    return valid && (with_regions || !regions_needed) &&
+           sides == space.tiling().sides() && domain == space.domain();
+  }
+
+  void build(const tile::TiledSpace& space, bool regions_needed) {
+    valid = false;
+    sides = space.tiling().sides();
+    domain = space.domain();
+    with_regions = regions_needed;
+    passthrough = space.num_tiles() > kMaxTiles;
+    if (passthrough) {
+      in.clear();
+      out.clear();
+      valid = true;
+      return;
+    }
+    const Box& ts = space.tile_space();
+    const std::size_t n = static_cast<std::size_t>(space.num_tiles());
+    in.assign(n, {});
+    out.assign(n, {});
+    space.for_each_tile([&](const Vec& t) {
+      const auto idx = static_cast<std::size_t>(ts.linear_index(t));
+      out[idx] = outgoing(space, t);
+      in[idx] = incoming(space, t);
+      if (!regions_needed) {
+        // Timed runs never touch region boxes; keep only the summaries.
+        for (auto* list : {&out[idx], &in[idx]})
+          for (TileComm& c : *list) {
+            c.regions.clear();
+            c.regions.shrink_to_fit();
+          }
+      }
+    });
+    valid = true;
+  }
+};
+
+/// A comm list for one tile: a borrowed view of the table entry, or (in
+/// passthrough mode) an owned freshly-computed list.  Named locals of this
+/// type keep owned lists alive across coroutine suspension points.
+struct CommView {
+  std::vector<TileComm> owned;
+  const std::vector<TileComm>* list = nullptr;
+
+  const std::vector<TileComm>& items() const { return *list; }
+};
+
 struct Ctx {
   const loop::LoopNest* nest = nullptr;
   const TilePlan* plan = nullptr;
   RunOptions opts;
   std::unique_ptr<msg::Cluster> cluster;
-  std::vector<RankState> ranks;
+  std::vector<RankState>* ranks = nullptr;
+  const CommTable* comm = nullptr;
   ProgramErrorSink sink;
   int bpe = 4;
   i64 ndirs = 1;
@@ -50,12 +113,28 @@ struct Ctx {
   ProgramErrorSink& error_sink() { return sink; }
 };
 
-std::size_t dir_index(const Ctx& ctx, const Vec& e) {
-  const auto& dirs = ctx.plan->space.tile_deps();
-  for (std::size_t i = 0; i < dirs.size(); ++i)
-    if (dirs[i] == e) return i;
-  TILO_ASSERT(false, "unknown tile-dependence direction ", e.str());
-  return 0;
+CommView ins_of(const Ctx& ctx, const Vec& t) {
+  CommView v;
+  if (ctx.comm->passthrough) {
+    v.owned = incoming(ctx.plan->space, t);
+    v.list = &v.owned;
+  } else {
+    v.list = &ctx.comm->in[static_cast<std::size_t>(
+        ctx.plan->space.tile_space().linear_index(t))];
+  }
+  return v;
+}
+
+CommView outs_of(const Ctx& ctx, const Vec& t) {
+  CommView v;
+  if (ctx.comm->passthrough) {
+    v.owned = outgoing(ctx.plan->space, t);
+    v.list = &v.owned;
+  } else {
+    v.list = &ctx.comm->out[static_cast<std::size_t>(
+        ctx.plan->space.tile_space().linear_index(t))];
+  }
+  return v;
 }
 
 /// Message tags are unique per (consumer tile, direction).
@@ -69,11 +148,13 @@ void init_rank_state(Ctx& ctx, int rank) {
   const auto& mapping = ctx.plan->mapping;
   const auto& tiling = ctx.plan->space.tiling();
   const Box tiles = mapping.tiles_of_rank(rank);
+  RankState& rs = (*ctx.ranks)[static_cast<std::size_t>(rank)];
   // A rank can own no tiles when the block distribution does not divide
   // evenly (e.g. 4 tile columns over 3 processors); it then simply idles.
   if (tiles.empty()) {
-    ctx.ranks[static_cast<std::size_t>(rank)] =
-        RankState{tiles, tiles, {}};
+    rs.owned = tiles;
+    rs.extended = tiles;
+    rs.values.clear();
     return;
   }
   const Box owned = Box(tiling.tile_origin(tiles.lo()),
@@ -86,10 +167,12 @@ void init_rank_state(Ctx& ctx, int rank) {
     elo[d] -= ctx.nest->deps().max_component(d);
   const Box extended(elo, owned.hi());
 
-  RankState rs{owned, extended, {}};
+  rs.owned = owned;
+  rs.extended = extended;
   if (ctx.opts.functional) {
     const loop::Kernel& kernel = ctx.nest->kernel();
     const Box& domain = ctx.plan->space.domain();
+    // assign() reuses the workspace's value buffer capacity across runs.
     rs.values.assign(static_cast<std::size_t>(extended.volume()),
                      std::numeric_limits<double>::quiet_NaN());
     // Ghost cells outside the domain hold the boundary values, so every
@@ -98,8 +181,9 @@ void init_rank_state(Ctx& ctx, int rank) {
     extended.for_each_point([&](const Vec& p) {
       if (!domain.contains(p)) rs.at(p) = kernel.boundary(p);
     });
+  } else {
+    rs.values.clear();
   }
-  ctx.ranks[static_cast<std::size_t>(rank)] = std::move(rs);
 }
 
 /// Bytes a tile's computation touches: its own cells plus the low-side
@@ -157,7 +241,7 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
   msg::Endpoint& ep = ctx.cluster->node(rank);
   const tile::TiledSpace& space = ctx.plan->space;
   const sched::ProcessorMapping& mapping = ctx.plan->mapping;
-  RankState& rs = ctx.ranks[static_cast<std::size_t>(rank)];
+  RankState& rs = (*ctx.ranks)[static_cast<std::size_t>(rank)];
   const std::size_t md = ctx.plan->mapped_dim;
   const i64 klo = space.tile_space().lo()[md];
   const i64 khi = space.tile_space().hi()[md];
@@ -173,13 +257,13 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
 
       // Receive phase: block until each message is on the wire-side done,
       // then pay the receive pipeline on the CPU (no overlap, Fig. 7).
-      const std::vector<TileComm> ins = incoming(space, t);
-      for (const TileComm& in : ins) {
+      const CommView ins = ins_of(ctx, t);
+      for (const TileComm& in : ins.items()) {
         const Vec src_t = t - in.offset;
         const i64 src_rank = mapping.rank_of_tile(src_t);
         if (src_rank == rank) continue;
         auto h = ep.irecv(static_cast<int>(src_rank),
-                          tag_for(ctx, t, dir_index(ctx, in.offset)));
+                          tag_for(ctx, t, in.dir));
         co_await RecvReadyAwait{*ctx.cluster, rank, h};
         const i64 bytes = util::checked_mul(in.points, ctx.bpe);
         co_await CpuAwait{ep,
@@ -200,8 +284,8 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
       if (ctx.opts.functional) compute_tile_values(ctx, rs, box);
 
       // Send phase: the whole send pipeline runs on the CPU.
-      const std::vector<TileComm> outs = outgoing(space, t);
-      for (const TileComm& out : outs) {
+      const CommView outs = outs_of(ctx, t);
+      for (const TileComm& out : outs.items()) {
         const Vec dst_t = t + out.offset;
         const i64 dst_rank = mapping.rank_of_tile(dst_t);
         if (dst_rank == rank) continue;
@@ -215,7 +299,7 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
         msg::Payload payload;
         if (ctx.opts.functional) payload = encode_payload(rs, out.regions);
         ep.post_blocking(static_cast<int>(dst_rank),
-                         tag_for(ctx, dst_t, dir_index(ctx, out.offset)),
+                         tag_for(ctx, dst_t, out.dir),
                          bytes, std::move(payload));
       }
     }
@@ -230,14 +314,14 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
   msg::Endpoint& ep = ctx.cluster->node(rank);
   const tile::TiledSpace& space = ctx.plan->space;
   const sched::ProcessorMapping& mapping = ctx.plan->mapping;
-  RankState& rs = ctx.ranks[static_cast<std::size_t>(rank)];
+  RankState& rs = (*ctx.ranks)[static_cast<std::size_t>(rank)];
   const std::size_t md = ctx.plan->mapped_dim;
   const i64 klo = space.tile_space().lo()[md];
   const i64 khi = space.tile_space().hi()[md];
 
   struct PendingRecv {
     std::shared_ptr<msg::RecvHandle> handle;
-    TileComm comm;
+    const TileComm* comm;
   };
 
   const std::vector<Vec> columns = mapping.columns_of_rank(rank);
@@ -248,22 +332,22 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
     {
       Vec t0 = col;
       t0[md] = klo;
-      std::vector<TileComm> ins = incoming(space, t0);
-      for (TileComm& in : ins) {
+      const CommView ins = ins_of(ctx, t0);
+      for (const TileComm& in : ins.items()) {
         const Vec src_t = t0 - in.offset;
         const i64 src_rank = mapping.rank_of_tile(src_t);
         if (src_rank == rank) continue;
         auto h = ep.irecv(static_cast<int>(src_rank),
-                          tag_for(ctx, t0, dir_index(ctx, in.offset)));
-        pending.push_back(PendingRecv{std::move(h), std::move(in)});
+                          tag_for(ctx, t0, in.dir));
+        pending.push_back(PendingRecv{std::move(h), &in});
       }
       for (PendingRecv& pr : pending) {
         co_await RecvReadyAwait{*ctx.cluster, rank, pr.handle};
-        const i64 bytes = util::checked_mul(pr.comm.points, ctx.bpe);
+        const i64 bytes = util::checked_mul(pr.comm->points, ctx.bpe);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
                           trace::Phase::kFillMpiRecv};
         if (ctx.opts.functional)
-          apply_payload(rs, pr.comm.regions, pr.handle->payload);
+          apply_payload(rs, pr.comm->regions, pr.handle->payload);
       }
       pending.clear();
     }
@@ -278,8 +362,8 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
       if (k > klo) {
         Vec prev = col;
         prev[md] = k - 1;
-        const std::vector<TileComm> outs = outgoing(space, prev);
-        for (const TileComm& out : outs) {
+        const CommView outs = outs_of(ctx, prev);
+        for (const TileComm& out : outs.items()) {
           const Vec dst_t = prev + out.offset;
           const i64 dst_rank = mapping.rank_of_tile(dst_t);
           if (dst_rank == rank) continue;
@@ -290,23 +374,25 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
           if (ctx.opts.functional) payload = encode_payload(rs, out.regions);
           sends.push_back(ep.isend(
               static_cast<int>(dst_rank),
-              tag_for(ctx, dst_t, dir_index(ctx, out.offset)), bytes,
+              tag_for(ctx, dst_t, out.dir), bytes,
               std::move(payload)));
         }
       }
 
-      // 2. Post receives for tile (k+1)'s data.
+      // 2. Post receives for tile (k+1)'s data.  The view lives until the
+      //    pending waits complete at the end of this iteration.
+      CommView next_ins;
       if (k < khi) {
         Vec next = col;
         next[md] = k + 1;
-        std::vector<TileComm> ins = incoming(space, next);
-        for (TileComm& in : ins) {
+        next_ins = ins_of(ctx, next);
+        for (const TileComm& in : next_ins.items()) {
           const Vec src_t = next - in.offset;
           const i64 src_rank = mapping.rank_of_tile(src_t);
           if (src_rank == rank) continue;
           auto h = ep.irecv(static_cast<int>(src_rank),
-                            tag_for(ctx, next, dir_index(ctx, in.offset)));
-          pending.push_back(PendingRecv{std::move(h), std::move(in)});
+                            tag_for(ctx, next, in.dir));
+          pending.push_back(PendingRecv{std::move(h), &in});
         }
       }
 
@@ -325,11 +411,11 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
       // 5. ... and for the receives: kernel-ready, then the A3 CPU copy.
       for (PendingRecv& pr : pending) {
         co_await RecvReadyAwait{*ctx.cluster, rank, pr.handle};
-        const i64 bytes = util::checked_mul(pr.comm.points, ctx.bpe);
+        const i64 bytes = util::checked_mul(pr.comm->points, ctx.bpe);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
                           trace::Phase::kFillMpiRecv};
         if (ctx.opts.functional)
-          apply_payload(rs, pr.comm.regions, pr.handle->payload);
+          apply_payload(rs, pr.comm->regions, pr.handle->payload);
       }
       pending.clear();
     }
@@ -338,8 +424,8 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
     {
       Vec tl = col;
       tl[md] = khi;
-      const std::vector<TileComm> outs = outgoing(space, tl);
-      for (const TileComm& out : outs) {
+      const CommView outs = outs_of(ctx, tl);
+      for (const TileComm& out : outs.items()) {
         const Vec dst_t = tl + out.offset;
         const i64 dst_rank = mapping.rank_of_tile(dst_t);
         if (dst_rank == rank) continue;
@@ -350,7 +436,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
         if (ctx.opts.functional) payload = encode_payload(rs, out.regions);
         sends.push_back(ep.isend(
             static_cast<int>(dst_rank),
-            tag_for(ctx, dst_t, dir_index(ctx, out.offset)), bytes,
+            tag_for(ctx, dst_t, out.dir), bytes,
             std::move(payload)));
       }
       for (auto& s : sends) co_await SendDoneAwait{*ctx.cluster, rank, s};
@@ -365,7 +451,7 @@ loop::DenseField assemble_field(const Ctx& ctx) {
   loop::DenseField field{
       domain,
       std::vector<double>(static_cast<std::size_t>(domain.volume()), 0.0)};
-  for (const RankState& rs : ctx.ranks) {
+  for (const RankState& rs : *ctx.ranks) {
     rs.owned.for_each_point([&](const Vec& p) {
       field.values[static_cast<std::size_t>(domain.linear_index(p))] =
           rs.get(p);
@@ -376,9 +462,19 @@ loop::DenseField assemble_field(const Ctx& ctx) {
 
 }  // namespace
 
+struct RunWorkspace::Impl {
+  std::vector<RankState> ranks;
+  CommTable comm;
+};
+
+RunWorkspace::RunWorkspace() : impl_(std::make_unique<Impl>()) {}
+RunWorkspace::~RunWorkspace() = default;
+RunWorkspace::RunWorkspace(RunWorkspace&&) noexcept = default;
+RunWorkspace& RunWorkspace::operator=(RunWorkspace&&) noexcept = default;
+
 RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
                    const mach::MachineParams& params,
-                   const RunOptions& opts) {
+                   const RunOptions& opts, RunWorkspace* workspace) {
   TILO_REQUIRE(nest.domain() == plan.space.domain(),
                "plan was built for a different domain");
   if (opts.functional)
@@ -389,10 +485,17 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
   TILO_REQUIRE(num_ranks <= std::numeric_limits<int>::max(),
                "too many ranks");
 
+  RunWorkspace local;
+  RunWorkspace::Impl& ws = workspace ? *workspace->impl_ : *local.impl_;
+  if (!ws.comm.matches(plan.space, opts.functional))
+    ws.comm.build(plan.space, opts.functional);
+
   Ctx ctx;
   ctx.nest = &nest;
   ctx.plan = &plan;
   ctx.opts = opts;
+  ctx.ranks = &ws.ranks;
+  ctx.comm = &ws.comm;
   ctx.bpe = params.bytes_per_element;
   ctx.ndirs = static_cast<i64>(std::max<std::size_t>(
       1, plan.space.tile_deps().size()));
@@ -412,7 +515,7 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
       opts.timeline, opts.protocol);
   if (opts.inject_message_loss >= 0)
     ctx.cluster->inject_message_loss(opts.inject_message_loss);
-  ctx.ranks.resize(static_cast<std::size_t>(num_ranks));
+  ws.ranks.resize(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < static_cast<int>(num_ranks); ++r)
     init_rank_state(ctx, r);
 
@@ -443,7 +546,7 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
   result.messages = ctx.cluster->messages_sent();
   result.bytes = ctx.cluster->bytes_sent();
   result.peak_inflight_bytes = ctx.cluster->peak_inflight_bytes();
-  for (const RankState& rs : ctx.ranks) {
+  for (const RankState& rs : ws.ranks) {
     const i64 cells = rs.extended.volume() - rs.owned.volume();
     result.halo_bytes =
         util::checked_add(result.halo_bytes,

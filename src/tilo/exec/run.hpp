@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -58,13 +59,43 @@ struct RunResult {
   std::optional<loop::DenseField> field;
 };
 
+class RunWorkspace;
+
 /// Runs the plan on a simulated cluster with the given machine parameters.
 /// The nest must be the one the plan's tiled space was built from.
 /// Throws util::Error if any rank program stalls (e.g. a lost message or a
 /// scheduling deadlock) instead of silently returning partial results.
+///
+/// `workspace` (optional) carries reusable buffers across runs: the
+/// per-rank state vector and the per-tile communication-geometry table.
+/// Passing the same workspace to consecutive runs over the same tiled
+/// geometry (e.g. the overlap and non-overlap schedules at one tile height
+/// V) amortizes tile enumeration and region computation; results are
+/// byte-identical with or without a workspace.
 RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
                    const mach::MachineParams& params,
-                   const RunOptions& opts = {});
+                   const RunOptions& opts = {},
+                   RunWorkspace* workspace = nullptr);
+
+/// Opaque reusable execution scratch (see run_plan).  Cheap to construct;
+/// not thread-safe — use one workspace per worker thread.
+class RunWorkspace {
+ public:
+  RunWorkspace();
+  ~RunWorkspace();
+  RunWorkspace(RunWorkspace&&) noexcept;
+  RunWorkspace& operator=(RunWorkspace&&) noexcept;
+  RunWorkspace(const RunWorkspace&) = delete;
+  RunWorkspace& operator=(const RunWorkspace&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+
+  friend RunResult run_plan(const loop::LoopNest&, const TilePlan&,
+                            const mach::MachineParams&, const RunOptions&,
+                            RunWorkspace*);
+};
 
 /// Convenience: functional run + comparison against the sequential
 /// reference.  Returns the max absolute element difference.

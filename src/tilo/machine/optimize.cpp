@@ -50,12 +50,9 @@ IntMinimum integer_sweep(const std::function<double(i64)>& f, i64 lo, i64 hi,
   return best;
 }
 
-IntMinimum geometric_sweep(const std::function<double(i64)>& f, i64 lo,
-                           i64 hi, double ratio) {
-  TILO_REQUIRE(lo >= 1 && lo <= hi, "geometric_sweep: bad range");
-  TILO_REQUIRE(ratio > 1.0, "geometric_sweep: ratio must be > 1");
-
-  // Coarse pass on a multiplicative grid.
+std::vector<i64> geometric_grid(i64 lo, i64 hi, double ratio) {
+  TILO_REQUIRE(lo >= 1 && lo <= hi, "geometric_grid: bad range");
+  TILO_REQUIRE(ratio > 1.0, "geometric_grid: ratio must be > 1");
   std::vector<i64> grid;
   double x = static_cast<double>(lo);
   i64 last = -1;
@@ -67,6 +64,30 @@ IntMinimum geometric_sweep(const std::function<double(i64)>& f, i64 lo,
     x *= ratio;
   }
   if (grid.empty() || grid.back() != hi) grid.push_back(hi);
+  return grid;
+}
+
+std::vector<i64> refinement_candidates(const std::vector<i64>& grid,
+                                       std::size_t best_idx) {
+  TILO_REQUIRE(best_idx < grid.size(), "refinement_candidates: bad index");
+  const i64 ref_lo = best_idx > 0 ? grid[best_idx - 1] : grid[best_idx];
+  const i64 ref_hi =
+      best_idx + 1 < grid.size() ? grid[best_idx + 1] : grid[best_idx];
+  // Cap the refinement work; completion-time curves are flat near the
+  // optimum, so a stride > 1 on huge intervals costs little accuracy.
+  const i64 span = ref_hi - ref_lo;
+  const i64 stride = std::max<i64>(1, span / 512);
+  std::vector<i64> cand;
+  for (i64 x = ref_lo; x <= ref_hi; x += stride) cand.push_back(x);
+  return cand;
+}
+
+IntMinimum geometric_sweep(const std::function<double(i64)>& f, i64 lo,
+                           i64 hi, double ratio) {
+  TILO_REQUIRE(lo >= 1 && lo <= hi, "geometric_sweep: bad range");
+
+  // Coarse pass on a multiplicative grid.
+  const std::vector<i64> grid = geometric_grid(lo, hi, ratio);
 
   std::size_t best_idx = 0;
   double best_val = f(grid[0]);
@@ -79,14 +100,12 @@ IntMinimum geometric_sweep(const std::function<double(i64)>& f, i64 lo,
   }
 
   // Linear refinement between the neighbors of the best coarse point.
-  const i64 ref_lo = best_idx > 0 ? grid[best_idx - 1] : grid[best_idx];
-  const i64 ref_hi =
-      best_idx + 1 < grid.size() ? grid[best_idx + 1] : grid[best_idx];
-  // Cap the refinement work; completion-time curves are flat near the
-  // optimum, so a stride > 1 on huge intervals costs little accuracy.
-  const i64 span = ref_hi - ref_lo;
-  const i64 stride = std::max<i64>(1, span / 512);
-  IntMinimum fine = integer_sweep(f, ref_lo, ref_hi, stride);
+  const std::vector<i64> cand = refinement_candidates(grid, best_idx);
+  IntMinimum fine{cand[0], f(cand[0])};
+  for (std::size_t i = 1; i < cand.size(); ++i) {
+    const double v = f(cand[i]);
+    if (v < fine.value) fine = IntMinimum{cand[i], v};
+  }
   if (fine.value < best_val) return fine;
   return IntMinimum{grid[best_idx], best_val};
 }

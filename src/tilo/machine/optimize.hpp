@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "tilo/util/math.hpp"
 
@@ -34,10 +35,23 @@ struct IntMinimum {
 IntMinimum integer_sweep(const std::function<double(i64)>& f, i64 lo, i64 hi,
                          i64 step = 1);
 
-/// Geometric sweep: evaluates f on a multiplicative grid (ratio > 1), then
+/// The multiplicative candidate grid geometric_sweep evaluates: start at lo,
+/// multiply by ratio, round down, dedup to strictly increasing, always end
+/// at hi.  Exposed so callers that batch-evaluate points (e.g. a parallel
+/// autotuner) search exactly the same candidates as the serial sweep.
+std::vector<i64> geometric_grid(i64 lo, i64 hi, double ratio = 1.25);
+
+/// Geometric sweep: evaluates f on geometric_grid(lo, hi, ratio), then
 /// refines linearly around the best coarse point.  Much cheaper than a full
 /// sweep when f(x) is smooth, as the completion-time curves are.
 IntMinimum geometric_sweep(const std::function<double(i64)>& f, i64 lo,
                            i64 hi, double ratio = 1.25);
+
+/// The linear refinement window geometric_sweep uses around the best coarse
+/// grid point: [neighbor below, neighbor above] with a stride that caps the
+/// number of probes at ~512.  Exposed for the same reason as
+/// geometric_grid.
+std::vector<i64> refinement_candidates(const std::vector<i64>& grid,
+                                       std::size_t best_idx);
 
 }  // namespace tilo::mach

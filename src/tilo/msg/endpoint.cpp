@@ -8,15 +8,16 @@ namespace tilo::msg {
 Endpoint::Endpoint(Cluster& cluster, int rank)
     : cluster_(&cluster), rank_(rank) {}
 
-void Endpoint::cpu(sim::Time dt, trace::Phase phase,
-                   std::function<void()> fn, std::string label) {
+void Endpoint::cpu_record(sim::Time dt, trace::Phase phase,
+                          std::string label) {
   TILO_REQUIRE(dt >= 0, "negative CPU time");
   if (trace::Timeline* tl = cluster_->timeline()) {
     const sim::Time now = cluster_->engine().now();
     tl->record(rank_, phase, now, now + dt, std::move(label));
   }
-  cluster_->engine().after(dt, std::move(fn));
 }
+
+sim::Engine& Endpoint::engine() const { return cluster_->engine(); }
 
 std::shared_ptr<SendHandle> Endpoint::isend(int dst, i64 tag, i64 bytes,
                                             Payload payload) {
@@ -79,8 +80,7 @@ void Endpoint::rts_arrived(Message m, std::shared_ptr<SendHandle> handle) {
   rts_pending_[key].emplace_back(std::move(m), std::move(handle));
 }
 
-void Endpoint::when_done(const std::shared_ptr<SendHandle>& h,
-                         std::function<void()> fn) {
+void Endpoint::when_done(const std::shared_ptr<SendHandle>& h, Waiter fn) {
   TILO_REQUIRE(h != nullptr, "null send handle");
   if (h->done) {
     fn();
@@ -90,8 +90,7 @@ void Endpoint::when_done(const std::shared_ptr<SendHandle>& h,
   h->waiter = std::move(fn);
 }
 
-void Endpoint::when_ready(const std::shared_ptr<RecvHandle>& h,
-                          std::function<void()> fn) {
+void Endpoint::when_ready(const std::shared_ptr<RecvHandle>& h, Waiter fn) {
   TILO_REQUIRE(h != nullptr, "null recv handle");
   if (h->ready) {
     fn();

@@ -13,23 +13,29 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "tilo/msg/message.hpp"
 #include "tilo/sim/resource.hpp"
 #include "tilo/trace/timeline.hpp"
+#include "tilo/util/callback.hpp"
 
 namespace tilo::msg {
 
 class Cluster;
 
+/// Handle waiters hold small trivially-copyable continuations (the
+/// executors' coroutine resumers), stored inline — no allocation per wait.
+using Waiter = util::SmallCallback<40>;
+
 /// Completion state of a nonblocking send.  `done` means the local pipeline
 /// (kernel copy + wire send half) finished and the send buffer is free.
 struct SendHandle {
   bool done = false;
-  std::function<void()> waiter;
+  Waiter waiter;
   i64 bytes = 0;
 };
 
@@ -37,7 +43,7 @@ struct SendHandle {
 /// in the kernel buffer; the CPU-side A3 copy is still the caller's to pay.
 struct RecvHandle {
   bool ready = false;
-  std::function<void()> waiter;
+  Waiter waiter;
   int src = -1;
   i64 tag = 0;
   Payload payload;
@@ -54,9 +60,14 @@ class Endpoint {
   int rank() const { return rank_; }
 
   /// Occupies the CPU for `dt`, records `phase` on the timeline, then runs
-  /// `fn`.  The executor's building block for A1/A2/A3 costs.
-  void cpu(sim::Time dt, trace::Phase phase, std::function<void()> fn,
-           std::string label = {});
+  /// `fn`.  The executor's building block for A1/A2/A3 costs.  The callable
+  /// goes straight into the engine's pooled event store.
+  template <typename F>
+  void cpu(sim::Time dt, trace::Phase phase, F&& fn,
+           std::string label = {}) {
+    cpu_record(dt, phase, std::move(label));
+    engine().after(dt, std::forward<F>(fn));
+  }
 
   /// Nonblocking send (MPI_Isend).  The caller must charge A1 via cpu()
   /// first.  Requires a DMA-capable overlap level.
@@ -70,11 +81,9 @@ class Endpoint {
   std::shared_ptr<RecvHandle> irecv(int src, i64 tag);
 
   /// Runs `fn` when the send pipeline completes (immediately if done).
-  static void when_done(const std::shared_ptr<SendHandle>& h,
-                        std::function<void()> fn);
+  static void when_done(const std::shared_ptr<SendHandle>& h, Waiter fn);
   /// Runs `fn` when the message is kernel-ready (immediately if ready).
-  static void when_ready(const std::shared_ptr<RecvHandle>& h,
-                         std::function<void()> fn);
+  static void when_ready(const std::shared_ptr<RecvHandle>& h, Waiter fn);
 
   /// Blocking-path transfer: the caller has already charged the whole send
   /// side (A1 + B3 + B4) on its CPU; this just delivers the message after
@@ -84,6 +93,11 @@ class Endpoint {
 
  private:
   friend class Cluster;
+
+  /// Timeline recording + validation half of cpu(); out of line so the
+  /// template above does not need the Cluster definition.
+  void cpu_record(sim::Time dt, trace::Phase phase, std::string label);
+  sim::Engine& engine() const;
 
   /// Called by Cluster when a message addressed to this rank becomes
   /// kernel-ready.

@@ -1,5 +1,6 @@
 #include "tilo/sim/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tilo::sim {
@@ -12,31 +13,45 @@ Time from_seconds(double seconds) {
 
 double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
 
-void Engine::at(Time t, std::function<void()> fn) {
-  TILO_REQUIRE(t >= now_, "scheduling into the past: ", t, " < ", now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+Engine::~Engine() {
+  // Drop pending events without running them.
+  for (const Entry& ev : heap_) {
+    Slot& s = slot(ev.slot);
+    s.destroy(s);
+  }
 }
 
-void Engine::after(Time dt, std::function<void()> fn) {
-  TILO_REQUIRE(dt >= 0, "negative delay ", dt);
-  at(util::checked_add(now_, dt), std::move(fn));
+void Engine::grow_pool() {
+  const std::size_t base = chunks_.size() * kChunkSlots;
+  TILO_REQUIRE(base + kChunkSlots <= UINT32_MAX, "event pool exhausted");
+  chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+  free_.reserve(free_.size() + kChunkSlots);
+  // Reversed so indices hand out in ascending order.
+  for (std::size_t i = kChunkSlots; i-- > 0;)
+    free_.push_back(static_cast<std::uint32_t>(base + i));
 }
 
 void Engine::run() {
   TILO_REQUIRE(!running_, "Engine::run is not reentrant");
   running_ = true;
-  // Move each event out before popping so handlers can schedule new events.
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ++processed_;
-    try {
-      ev.fn();
-    } catch (...) {
-      running_ = false;
-      throw;
+  try {
+    while (!heap_.empty()) {
+      if (heap_.size() > 1)
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      const Entry ev = heap_.back();
+      heap_.pop_back();
+      now_ = ev.time;
+      ++processed_;
+      // One indirect call does move-out + destroy + free + invoke; the
+      // slot is reclaimed exactly once (before the invoke, so handlers may
+      // schedule into their own slot) whether the handler returns or
+      // throws.  The chunked pool never relocates slots.
+      Slot& s = slot(ev.slot);
+      s.call(s, *this, ev.slot);
     }
+  } catch (...) {
+    running_ = false;
+    throw;
   }
   running_ = false;
 }

@@ -3,12 +3,22 @@
 // Time is integer nanoseconds.  Events at equal times run in scheduling
 // order (a monotone sequence number breaks ties), so simulations are
 // byte-for-byte reproducible across runs and platforms.
+//
+// Hot-path layout (see DESIGN.md "Performance architecture"): callbacks are
+// stored type-erased in a chunked slot pool with small-buffer optimization
+// (no per-event heap allocation for callables up to kInlineBytes), and the
+// pending set is a binary heap of plain {time, seq, slot} records.  Heap
+// sift operations therefore move 24-byte PODs instead of std::function
+// objects, and slots are recycled through a free list.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <exception>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "tilo/util/error.hpp"
@@ -28,46 +38,167 @@ double to_seconds(Time t);
 class Engine {
  public:
   Engine() = default;
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Current simulated time.
   Time now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (>= now).
-  void at(Time t, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `t` (>= now).  Accepts any callable;
+  /// callables up to kInlineBytes are stored in the slot pool without a
+  /// heap allocation.
+  template <typename F>
+  void at(Time t, F&& fn) {
+    TILO_REQUIRE(t >= now_, "scheduling into the past: ", t, " < ", now_);
+    const std::uint32_t idx = alloc_slot();
+    emplace_callable(slot(idx), std::forward<F>(fn), idx);
+    push_entry(t, idx);
+  }
 
   /// Schedules `fn` at now + dt (dt >= 0).
-  void after(Time dt, std::function<void()> fn);
+  template <typename F>
+  void after(Time dt, F&& fn) {
+    TILO_REQUIRE(dt >= 0, "negative delay ", dt);
+    at(util::checked_add(now_, dt), std::forward<F>(fn));
+  }
 
   /// Runs events until the queue drains.  Exceptions thrown by event
-  /// handlers abort the run and are rethrown to the caller.
+  /// handlers abort the run and are rethrown to the caller; the throwing
+  /// event's slot is reclaimed, remaining events stay queued.
   void run();
 
   /// Number of events processed so far.
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Number of events currently pending.
+  std::size_t events_pending() const { return heap_.size(); }
+
   /// True while run() is draining the queue.
   bool running() const { return running_; }
 
+  /// Callable capacity of an event slot's inline buffer (larger callables
+  /// fall back to one heap allocation).
+  static constexpr std::size_t kInlineBytes = 40;
+
  private:
-  struct Event {
+  // One pooled callback.  Metadata first: for the common small callable
+  // the dispatch pointers and the callable share the slot's first cache
+  // line.  `call` moves the callable out, releases the slot back to the
+  // engine's free list, then invokes (so a self-rescheduling handler
+  // reuses its own — cache-hot — slot); `destroy` releases without
+  // invoking (destructor / cleanup paths).  Slots live in fixed chunks so
+  // stored callables never relocate while pending.  Inline storage is
+  // 8-byte aligned; over-aligned callables take the heap fallback.
+  struct Slot {
+    void (*call)(Slot&, Engine&, std::uint32_t);
+    void (*destroy)(Slot&);
+    void* heap;
+    unsigned char buf[kInlineBytes];
+  };
+  static_assert(sizeof(Slot) == 64, "one slot = one cache line");
+  static constexpr std::size_t kChunkSlots = 256;
+
+  // Pending-event record.  Ordered by (time, seq): seq is the monotone
+  // scheduling sequence number, which preserves the engine's documented
+  // equal-time tie-break exactly.
+  struct Entry {
     Time time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
+  template <typename F>
+  void emplace_callable(Slot& s, F&& fn, std::uint32_t idx) {
+    using Fn = std::decay_t<F>;
+    try {
+      if constexpr (sizeof(Fn) <= kInlineBytes &&
+                    alignof(Fn) <= alignof(void*) &&
+                    std::is_trivially_copyable_v<Fn>) {
+        // Trivially-copyable fast path: copy out and free before invoking,
+        // so a self-rescheduling handler reuses its own cache-hot slot.
+        ::new (static_cast<void*>(s.buf)) Fn(std::forward<F>(fn));
+        s.heap = nullptr;
+        s.call = [](Slot& sl, Engine& e, std::uint32_t i) {
+          Fn local(*std::launder(reinterpret_cast<Fn*>(sl.buf)));
+          e.free_slot(i);
+          local();
+        };
+        s.destroy = [](Slot&) {};
+      } else if constexpr (sizeof(Fn) <= kInlineBytes &&
+                           alignof(Fn) <= alignof(void*)) {
+        // General inline path: invoke in place (no per-event move of a
+        // large or non-trivial callable), then destroy and free.
+        ::new (static_cast<void*>(s.buf)) Fn(std::forward<F>(fn));
+        s.heap = nullptr;
+        s.call = [](Slot& sl, Engine& e, std::uint32_t i) {
+          Fn* p = std::launder(reinterpret_cast<Fn*>(sl.buf));
+          try {
+            (*p)();
+          } catch (...) {
+            p->~Fn();
+            e.free_slot(i);
+            throw;
+          }
+          p->~Fn();
+          e.free_slot(i);
+        };
+        s.destroy = [](Slot& sl) {
+          std::launder(reinterpret_cast<Fn*>(sl.buf))->~Fn();
+        };
+      } else {
+        s.heap = new Fn(std::forward<F>(fn));
+        s.call = [](Slot& sl, Engine& e, std::uint32_t i) {
+          Fn* p = static_cast<Fn*>(sl.heap);
+          e.free_slot(i);  // slot itself holds nothing inline
+          try {
+            (*p)();
+          } catch (...) {
+            delete p;
+            throw;
+          }
+          delete p;
+        };
+        s.destroy = [](Slot& sl) { delete static_cast<Fn*>(sl.heap); };
+      }
+    } catch (...) {
+      free_slot(idx);
+      throw;
+    }
+  }
+
+  Slot& slot(std::uint32_t i) {
+    return chunks_[i / kChunkSlots][i % kChunkSlots];
+  }
+
+  std::uint32_t alloc_slot() {
+    if (free_.empty()) grow_pool();
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  void grow_pool();
+  void free_slot(std::uint32_t i) { free_.push_back(i); }
+  void push_entry(Time t, std::uint32_t idx) {
+    heap_.push_back(Entry{t, next_seq_++, idx});
+    // Size-1 fast path: sequential schedule-run-schedule chains (the most
+    // common simulation shape) never pay the sift call.
+    if (heap_.size() > 1) std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool running_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Entry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace tilo::sim

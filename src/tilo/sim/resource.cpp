@@ -4,15 +4,13 @@
 
 namespace tilo::sim {
 
-Resource::Grant Resource::acquire(Time earliest, Time duration,
-                                  std::function<void()> done) {
+Resource::Grant Resource::plan(Time earliest, Time duration) {
   TILO_REQUIRE(duration >= 0, "negative resource duration");
   TILO_REQUIRE(earliest >= 0, "negative earliest time");
   const Time start = std::max({earliest, free_at_, engine_->now()});
   const Time completion = util::checked_add(start, duration);
   free_at_ = completion;
   busy_ = util::checked_add(busy_, duration);
-  engine_->at(completion, std::move(done));
   return Grant{start, completion};
 }
 

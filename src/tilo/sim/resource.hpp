@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 
 #include "tilo/sim/engine.hpp"
 
@@ -22,11 +23,18 @@ class Resource {
   /// Requests the facility for `duration`, starting no earlier than
   /// `earliest` (and no earlier than the end of previously granted work).
   /// Schedules `done` at the completion time and returns {start, completion}.
+  /// Accepts any callable; it is forwarded to the engine's pooled event
+  /// store without an intermediate std::function.
   struct Grant {
     Time start;
     Time completion;
   };
-  Grant acquire(Time earliest, Time duration, std::function<void()> done);
+  template <typename F>
+  Grant acquire(Time earliest, Time duration, F&& done) {
+    const Grant g = plan(earliest, duration);
+    engine_->at(g.completion, std::forward<F>(done));
+    return g;
+  }
 
   /// Total granted busy time so far.
   Time busy_time() const { return busy_; }
@@ -34,6 +42,9 @@ class Resource {
   Time free_at() const { return free_at_; }
 
  private:
+  /// Validates the request and advances the occupancy watermark.
+  Grant plan(Time earliest, Time duration);
+
   Engine* engine_;
   std::string name_;
   Time free_at_ = 0;

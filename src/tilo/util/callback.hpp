@@ -1,0 +1,58 @@
+// A fixed-capacity, allocation-free callback holder for hot-path waiter
+// slots.  Stored callables must be trivially copyable and fit the inline
+// buffer — both enforced at compile time — so copy/move is a memcpy and
+// there is no heap traffic, unlike std::function whose small-buffer
+// optimization rejects non-trivial or larger-than-16-byte captures.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::util {
+
+template <std::size_t MaxBytes = 40>
+class SmallCallback {
+ public:
+  SmallCallback() = default;
+  SmallCallback(std::nullptr_t) {}  // NOLINT: implicit like std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  SmallCallback(F&& fn) {  // NOLINT: implicit like std::function
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_trivially_copyable_v<Fn>,
+                  "SmallCallback requires a trivially copyable callable");
+    static_assert(sizeof(Fn) <= MaxBytes,
+                  "callable exceeds SmallCallback inline capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable is over-aligned for SmallCallback");
+    ::new (static_cast<void*>(buf_)) Fn(static_cast<F&&>(fn));
+    invoke_ = [](unsigned char* buf) {
+      (*std::launder(reinterpret_cast<Fn*>(buf)))();
+    };
+  }
+
+  SmallCallback& operator=(std::nullptr_t) {
+    invoke_ = nullptr;
+    return *this;
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() {
+    TILO_ASSERT(invoke_ != nullptr, "invoking an empty SmallCallback");
+    invoke_(buf_);
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char buf_[MaxBytes] = {};
+  void (*invoke_)(unsigned char*) = nullptr;
+};
+
+}  // namespace tilo::util

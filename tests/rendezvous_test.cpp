@@ -70,7 +70,7 @@ TEST(RendezvousTest, SendDoneWaitsForHandshake) {
   c.node(1).irecv(0, 1);
   c.engine().at(0, [&] {
     auto sh = c.node(0).isend(1, 1, 100);
-    msg::Endpoint::when_done(sh, [&, sh] { done = c.engine().now(); });
+    msg::Endpoint::when_done(sh, [&] { done = c.engine().now(); });
   });
   c.run();
   EXPECT_EQ(done, (10 + 70) * kUs);  // handshake + local pipeline
@@ -89,8 +89,11 @@ TEST(RendezvousTest, TwoSendersFifoPerKey) {
   c.engine().at(1 * kUs, [&] {
     for (int i = 0; i < 2; ++i) {
       auto h = c.node(1).irecv(0, 5);
+      // Waiters must be trivially copyable; the endpoint owns the posted
+      // handle until delivery, so a raw pointer suffices.
+      msg::RecvHandle* hp = h.get();
       msg::Endpoint::when_ready(
-          h, [&got, h] { got.push_back((*h->payload.data)[0]); });
+          h, [&got, hp] { got.push_back((*hp->payload.data)[0]); });
     }
   });
   c.run();
