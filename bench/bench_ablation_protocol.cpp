@@ -22,7 +22,7 @@ int main() {
     const exec::TilePlan non = p.plan(V, sched::ScheduleKind::kNonOverlap);
     exec::RunOptions eager;
     exec::RunOptions rdv;
-    rdv.protocol = msg::Protocol::kRendezvous;
+    rdv.comm.protocol = msg::Protocol::kRendezvous;
     const double t_eager = exec::run_plan(p.nest, over, p.machine,
                                           eager).seconds;
     const double t_rdv = exec::run_plan(p.nest, over, p.machine,

@@ -37,7 +37,7 @@ int main() {
         exec::run_plan(r.problem.nest, nonblocking, r.problem.machine)
             .seconds;
     exec::RunOptions bus;
-    bus.network = msg::Network::kSharedBus;
+    bus.comm.network = msg::Network::kSharedBus;
     const double t_bus =
         exec::run_plan(r.problem.nest, nonblocking, r.problem.machine, bus)
             .seconds;

@@ -54,7 +54,7 @@ int main() {
       simulated = exec::run_plan(p.nest, non, p.machine).seconds;
     } else {
       exec::RunOptions opts;
-      opts.level = level;
+      opts.comm.level = level;
       simulated = exec::run_plan(p.nest, over, p.machine, opts).seconds;
     }
     const i64 P = level == OverlapLevel::kNone ? non.schedule_length()

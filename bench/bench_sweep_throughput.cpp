@@ -6,11 +6,18 @@
 // (lines starting with '{'), e.g.
 //   {"bench":"sweep_throughput","mode":"parallel","threads":4,...}
 //
-// Flags:  --quick      small V grid (CI smoke)
-//         --threads=N  parallel worker count (default: all hardware)
+// Flags:  --quick        small V grid (CI smoke)
+//         --threads=N    parallel worker count (default: all hardware)
+//         --json[=PATH]  bench_report mode: additionally re-run the two
+//                        schedules at the tuned optimum under an
+//                        obs::ReportSink/Registry and write the whole
+//                        result (configs + A/B phase report + counters)
+//                        as BENCH_sweep.json (or PATH)
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,6 +25,8 @@
 #include "common.hpp"
 #include "tilo/core/parallel.hpp"
 #include "tilo/core/plancache.hpp"
+#include "tilo/obs/registry.hpp"
+#include "tilo/obs/report.hpp"
 
 using namespace tilo;
 using bench::JsonLine;
@@ -46,12 +55,19 @@ Measurement measure(const core::Problem& problem,
   return m;
 }
 
-void report(const std::string& mode, int threads, bool cached,
-            const Measurement& m) {
+struct ConfigResult {
+  std::string mode;
+  int threads = 1;
+  bool cached = false;
+  Measurement m;
+};
+
+void report(const ConfigResult& c) {
+  const Measurement& m = c.m;
   const double pps = static_cast<double>(m.points) / m.wall_seconds;
   const double eps = static_cast<double>(m.events) / m.wall_seconds;
-  std::cout << "  " << mode << " (threads=" << threads
-            << (cached ? ", plan cache" : "") << "): " << m.points
+  std::cout << "  " << c.mode << " (threads=" << c.threads
+            << (c.cached ? ", plan cache" : "") << "): " << m.points
             << " points, " << m.events << " events in "
             << util::fmt_fixed(m.wall_seconds, 3) << " s  ->  "
             << util::fmt_fixed(pps, 1) << " points/s, "
@@ -59,15 +75,97 @@ void report(const std::string& mode, int threads, bool cached,
   JsonLine line;
   line.str("bench", "sweep_throughput")
       .str("space", "i")
-      .str("mode", mode)
-      .num("threads", static_cast<i64>(threads))
-      .boolean("plan_cache", cached)
+      .str("mode", c.mode)
+      .num("threads", static_cast<i64>(c.threads))
+      .boolean("plan_cache", c.cached)
       .num("points", static_cast<i64>(m.points))
       .num("events", m.events)
       .num("wall_seconds", m.wall_seconds)
       .num("points_per_sec", pps)
       .num("events_per_sec", eps);
   line.write(std::cout);
+}
+
+/// bench_report mode: re-run both schedules at the tuned optimum under a
+/// ReportSink + Registry and emit the paper's A/B breakdown plus the
+/// throughput configs as one JSON document (the BENCH_sweep.json perf
+/// trajectory record).
+void write_bench_report(const std::string& path,
+                        const core::Problem& problem,
+                        const std::vector<SweepPoint>& pts,
+                        const std::vector<ConfigResult>& configs) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "FAIL: cannot open " << path << " for writing\n";
+    std::exit(1);
+  }
+
+  os << "{\"bench\":\"sweep_throughput\",\"space\":\"i\",\"configs\":[";
+  {
+    std::ostringstream lines;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      JsonLine line;
+      const ConfigResult& c = configs[i];
+      const double pps =
+          static_cast<double>(c.m.points) / c.m.wall_seconds;
+      const double eps =
+          static_cast<double>(c.m.events) / c.m.wall_seconds;
+      line.str("mode", c.mode)
+          .num("threads", static_cast<i64>(c.threads))
+          .boolean("plan_cache", c.cached)
+          .num("points", static_cast<i64>(c.m.points))
+          .num("events", c.m.events)
+          .num("wall_seconds", c.m.wall_seconds)
+          .num("points_per_sec", pps)
+          .num("events_per_sec", eps);
+      if (i) lines << ',';
+      line.write(lines);
+    }
+    std::string text = lines.str();
+    // JsonLine::write appends newlines; strip them inside the array.
+    std::string flat;
+    for (char ch : text)
+      if (ch != '\n') flat += ch;
+    os << flat;
+  }
+  os << "],";
+
+  const bench::Optimum over = bench::best_overlap(pts);
+  const bench::Optimum non = bench::best_nonoverlap(pts);
+  os << "\"V_opt_overlap\":" << over.V << ",\"V_opt_nonoverlap\":"
+     << non.V << ',';
+
+  // One instrumented run per schedule at its optimum.
+  obs::Registry registry;
+  const auto instrumented = [&](i64 V, core::ScheduleKind kind) {
+    obs::ReportSink rs;
+    obs::MultiSink fan;
+    fan.add(&rs);
+    fan.add(&registry);
+    exec::RunOptions ro;
+    ro.sink = &fan;
+    const core::TilePlan plan = problem.plan(V, kind);
+    exec::run_plan(problem.nest, plan, problem.machine, ro);
+    return rs.report();
+  };
+  os << "\"overlap\":";
+  instrumented(over.V, core::ScheduleKind::kOverlap).write_json(os);
+  os << ",\"nonoverlap\":";
+  instrumented(non.V, core::ScheduleKind::kNonOverlap).write_json(os);
+
+  os << ",\"counters\":{";
+  const auto counters = registry.counters();
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) os << ',';
+    JsonLine entry;
+    entry.num(counters[i].first, counters[i].second);
+    std::ostringstream one;
+    entry.write(one);
+    std::string text = one.str();  // "{...}\n"
+    os << text.substr(1, text.rfind('}') - 1);
+  }
+  os << "}}\n";
+  std::cout << "bench report written to " << path << "\n";
 }
 
 bool identical(const std::vector<SweepPoint>& a,
@@ -87,13 +185,21 @@ bool identical(const std::vector<SweepPoint>& a,
 int main(int argc, char** argv) {
   bool quick = false;
   int threads = 0;  // 0 = all hardware threads
+  bool json = false;
+  std::string json_path = "BENCH_sweep.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[i] + 7;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--quick] [--threads=N]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--threads=N] [--json[=PATH]]\n";
       return 2;
     }
   }
@@ -108,30 +214,39 @@ int main(int argc, char** argv) {
   std::cout << "== sweep throughput, experiment (i), " << heights.size()
             << " heights ==\n";
 
+  std::vector<ConfigResult> configs;
+
   // Serial baseline (one worker, plans built per point).
-  const Measurement serial = measure(problem, heights, {});
-  report("serial", 1, false, serial);
+  configs.reserve(3);
+  configs.push_back({"serial", 1, false,
+                     measure(problem, heights, {})});
+  report(configs.back());
 
   // Serial with the plan cache (isolates the caching win).
   core::PlanCache serial_cache;
   core::SweepOptions cached_opts;
   cached_opts.plan_cache = &serial_cache;
-  const Measurement cached = measure(problem, heights, cached_opts);
-  report("serial", 1, true, cached);
+  configs.push_back({"serial", 1, true,
+                     measure(problem, heights, cached_opts)});
+  report(configs.back());
 
   // Thread-pooled with the plan cache.
   core::PlanCache par_cache;
   core::SweepOptions par_opts;
   par_opts.threads = par_threads;
   par_opts.plan_cache = &par_cache;
-  const Measurement parallel = measure(problem, heights, par_opts);
-  report("parallel", par_threads, true, parallel);
+  configs.push_back({"parallel", par_threads, true,
+                     measure(problem, heights, par_opts)});
+  report(configs.back());
 
-  if (!identical(serial.pts, cached.pts) ||
-      !identical(serial.pts, parallel.pts)) {
+  if (!identical(configs[0].m.pts, configs[1].m.pts) ||
+      !identical(configs[0].m.pts, configs[2].m.pts)) {
     std::cerr << "FAIL: configurations disagree on sweep results\n";
     return 1;
   }
   std::cout << "all configurations byte-identical: yes\n";
+
+  if (json)
+    write_bench_report(json_path, problem, configs[0].m.pts, configs);
   return 0;
 }

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_sweep.json (bench_sweep_throughput --json).
+
+Usage: validate_bench_sweep.py path/to/BENCH_sweep.json
+
+Fails (exit 1) when the file is missing, is not valid JSON, or does not
+match the schema the perf-trajectory tooling expects.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print("BENCH_sweep.json schema violation:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_report(rep, name):
+    require(isinstance(rep, dict), f"{name} must be an object")
+    for key in (
+        "makespan_ns",
+        "total_cpu_ns",
+        "total_comm_ns",
+        "critical_rank",
+        "critical_bound_ns",
+        "ranks",
+    ):
+        require(key in rep, f"{name}.{key} missing")
+    for key in (
+        "critical_path_share",
+        "overlap_efficiency",
+        "mean_compute_utilization",
+        "min_compute_utilization",
+        "max_compute_utilization",
+    ):
+        require(isinstance(rep.get(key), (int, float)), f"{name}.{key} missing")
+    require(rep["makespan_ns"] > 0, f"{name}.makespan_ns must be positive")
+    require(isinstance(rep["ranks"], list) and rep["ranks"], f"{name}.ranks empty")
+    for r in rep["ranks"]:
+        for key in ("rank", "compute_ns", "wire_ns", "cpu_ns", "comm_ns", "end_ns"):
+            require(key in r, f"{name}.ranks[].{key} missing")
+        require(r["end_ns"] <= rep["makespan_ns"], f"{name} rank ends after makespan")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_bench_sweep.py FILE")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(str(e))
+
+    require(doc.get("bench") == "sweep_throughput", "bench != sweep_throughput")
+    require(isinstance(doc.get("space"), str), "space missing")
+
+    configs = doc.get("configs")
+    require(isinstance(configs, list) and len(configs) >= 3, "need >= 3 configs")
+    for c in configs:
+        for key in ("mode", "threads", "plan_cache", "points", "events",
+                    "wall_seconds", "points_per_sec", "events_per_sec"):
+            require(key in c, f"configs[].{key} missing")
+        require(c["points"] > 0 and c["events"] > 0, "empty measurement")
+        require(c["wall_seconds"] > 0, "non-positive wall time")
+
+    require(isinstance(doc.get("V_opt_overlap"), int), "V_opt_overlap missing")
+    require(isinstance(doc.get("V_opt_nonoverlap"), int), "V_opt_nonoverlap missing")
+    check_report(doc.get("overlap"), "overlap")
+    check_report(doc.get("nonoverlap"), "nonoverlap")
+
+    counters = doc.get("counters")
+    require(isinstance(counters, dict), "counters missing")
+    require(counters.get("run.runs", 0) >= 2, "expected >= 2 instrumented runs")
+    require(counters.get("engine.events", 0) > 0, "engine.events missing")
+
+    print("BENCH_sweep.json schema OK:",
+          f"{len(configs)} configs,",
+          f"{len(doc['overlap']['ranks'])} ranks,",
+          f"{len(counters)} counters")
+
+
+if __name__ == "__main__":
+    main()

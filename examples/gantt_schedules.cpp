@@ -35,7 +35,7 @@ int main() {
 
     trace::Timeline timeline;
     exec::RunOptions opts;
-    opts.timeline = &timeline;
+    opts.sink = &timeline;
     const exec::RunResult r = exec::run_plan(nest, plan, m, opts);
 
     std::cout << "== " << (overlap ? "Fig. 2 — overlapping (pipelined)"

@@ -86,7 +86,7 @@ int main() {
     const exec::TilePlan plan = problem.plan(V, kind);
     trace::Timeline tl;
     exec::RunOptions opts;
-    opts.timeline = &tl;
+    opts.sink = &tl;
     const exec::RunResult r =
         exec::run_plan(nest, plan, problem.machine, opts);
     const trace::RunStats stats = trace::summarize(tl);

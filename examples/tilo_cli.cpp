@@ -12,6 +12,9 @@
 //     --emit-c            print the generated MPI program
 //     --emit-loop         print the nest serialized back to grammar form
 //     --validate          functional run vs sequential reference
+//     --trace FILE        write a Chrome-trace JSON of the run(s); load it
+//                         at https://ui.perfetto.dev or chrome://tracing
+//     --report            print the paper's per-rank A/B phase report
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -25,6 +28,8 @@
 #include "tilo/core/predict.hpp"
 #include "tilo/core/sweep.hpp"
 #include "tilo/loopnest/parse.hpp"
+#include "tilo/obs/chrome_trace.hpp"
+#include "tilo/obs/report.hpp"
 #include "tilo/trace/gantt.hpp"
 #include "tilo/util/csv.hpp"
 
@@ -53,13 +58,15 @@ struct CliOptions {
   bool emit_c = false;
   bool emit_loop = false;
   bool validate = false;
+  std::string trace_path;  ///< empty = no Chrome trace
+  bool report = false;
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [nest.loop] [--procs AxBx..] [--height V] "
                "[--schedule overlap|nonoverlap|both] [--sweep] [--gantt] "
-               "[--emit-c] [--validate]\n";
+               "[--emit-c] [--validate] [--trace FILE] [--report]\n";
   return 2;
 }
 
@@ -123,6 +130,11 @@ int main(int argc, char** argv) {
       cli.emit_loop = true;
     } else if (a == "--validate") {
       cli.validate = true;
+    } else if (a == "--trace") {
+      cli.trace_path = value();
+      if (cli.trace_path.empty()) return usage(argv[0]);
+    } else if (a == "--report") {
+      cli.report = true;
     } else if (!a.empty() && a[0] != '-') {
       std::ifstream in(a);
       if (!in) {
@@ -192,8 +204,15 @@ int main(int argc, char** argv) {
         continue;
       const exec::TilePlan plan = problem.plan(V, kind);
       trace::Timeline timeline;
+      obs::ChromeTraceSink chrome;
+      obs::ReportSink report_sink;
+      obs::MultiSink fan;
       exec::RunOptions opts;
-      if (cli.gantt) opts.timeline = &timeline;
+      if (cli.gantt) fan.add(&timeline);
+      if (!cli.trace_path.empty()) fan.add(&chrome);
+      if (cli.report) fan.add(&report_sink);
+      if (cli.gantt || !cli.trace_path.empty() || cli.report)
+        opts.sink = &fan;
       const exec::RunResult r =
           exec::run_plan(problem.nest, plan, problem.machine, opts);
       std::cout << (kind == sched::ScheduleKind::kOverlap
@@ -214,6 +233,29 @@ int main(int argc, char** argv) {
         trace::GanttOptions gopts;
         gopts.width = 100;
         trace::render_gantt(std::cout, timeline, gopts);
+      }
+      if (cli.report) report_sink.report().write_table(std::cout);
+      if (!cli.trace_path.empty()) {
+        // One file per schedule: suffix the kind when both run.
+        std::string path = cli.trace_path;
+        if (cli.run_overlap && cli.run_nonoverlap) {
+          const std::string tag =
+              kind == sched::ScheduleKind::kOverlap ? ".overlap"
+                                                    : ".nonoverlap";
+          const std::size_t dot = path.rfind('.');
+          if (dot == std::string::npos)
+            path += tag;
+          else
+            path.insert(dot, tag);
+        }
+        std::ofstream out(path);
+        if (!out) {
+          std::cerr << "cannot open " << path << " for writing\n";
+          return 1;
+        }
+        chrome.write(out);
+        std::cout << "  trace written to " << path
+                  << " (load at https://ui.perfetto.dev)\n";
       }
     }
 

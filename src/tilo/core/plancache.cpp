@@ -1,6 +1,41 @@
 #include "tilo/core/plancache.hpp"
 
+#include <sstream>
+
+#include "tilo/util/error.hpp"
+
 namespace tilo::core {
+
+namespace {
+
+/// Serializes everything plan(V, kind) depends on: the domain, the
+/// dependence set, the processor grid and the machine's cost scalars.
+/// Two problems with equal tags produce identical plans for every (V,
+/// kind), so tag equality is exactly the safety condition for sharing a
+/// cache.
+std::string problem_identity_tag(const Problem& p) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "dom:";
+  for (std::size_t d = 0; d < p.nest.domain().dims(); ++d)
+    os << p.nest.domain().lo()[d] << ".." << p.nest.domain().hi()[d] << ",";
+  os << "|deps:";
+  for (const lat::Vec& dep : p.nest.deps()) {
+    for (i64 c : dep) os << c << ",";
+    os << ";";
+  }
+  os << "|procs:";
+  for (i64 c : p.procs) os << c << ",";
+  const mach::MachineParams& m = p.machine;
+  os << "|mach:" << m.t_c << "," << m.t_t << "," << m.bytes_per_element
+     << "," << m.wire_latency << "," << m.fill_mpi_buffer.base << ","
+     << m.fill_mpi_buffer.per_byte << "," << m.fill_kernel_buffer.base
+     << "," << m.fill_kernel_buffer.per_byte << ","
+     << m.cache.capacity_bytes << "," << m.cache.miss_penalty;
+  return os.str();
+}
+
+}  // namespace
 
 std::shared_ptr<const TilePlan> PlanCache::get(const Problem& problem,
                                                i64 V, ScheduleKind kind) {
@@ -9,8 +44,18 @@ std::shared_ptr<const TilePlan> PlanCache::get(const Problem& problem,
                                         ? ScheduleKind::kNonOverlap
                                         : ScheduleKind::kOverlap;
   const Key sibling{V, static_cast<int>(sibling_kind)};
+  const std::string tag = problem_identity_tag(problem);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (problem_tag_.empty()) {
+      problem_tag_ = tag;
+    } else {
+      TILO_REQUIRE(problem_tag_ == tag,
+                   "PlanCache used with a different problem than it was "
+                   "built for — a cache is keyed by (V, kind) only and "
+                   "must serve exactly one Problem (create one cache per "
+                   "problem)");
+    }
     auto it = plans_.find(key);
     if (it != plans_.end()) {
       ++hits_;

@@ -10,20 +10,29 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 
 #include "tilo/core/problem.hpp"
 
 namespace tilo::core {
 
-/// Cache of Problem::plan(V, kind) results for ONE problem instance.  Do
-/// not share a cache across different problems — the key is (V, kind) only.
+/// Cache of Problem::plan(V, kind) results for ONE problem instance.  The
+/// cache key is (V, kind) only, so a cache must not outlive or be shared
+/// across different problems — it would silently serve plans built for the
+/// wrong domain.  get() therefore records an identity tag (domain, deps,
+/// procs, machine scalars) from the first problem it sees and throws
+/// util::Error if a later call presents a different problem.  The cache
+/// must outlive every sweep/autotune call it is passed to
+/// (SweepOptions::plan_cache is a raw pointer).
 class PlanCache {
  public:
   /// Returns the cached plan, building (and caching) it on a miss.  The
   /// geometry of a plan is independent of the schedule kind, so a miss
   /// whose sibling kind is present is served by copying the sibling and
   /// flipping the kind instead of rebuilding the tiling.
+  /// Throws util::Error when `problem` is not the problem this cache was
+  /// first used with (see class comment).
   std::shared_ptr<const TilePlan> get(const Problem& problem, i64 V,
                                       ScheduleKind kind);
 
@@ -35,6 +44,8 @@ class PlanCache {
   using Key = std::pair<i64, int>;
 
   mutable std::mutex mu_;
+  /// Identity tag of the first problem served; empty until then.
+  std::string problem_tag_;
   std::map<Key, std::shared_ptr<const TilePlan>> plans_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

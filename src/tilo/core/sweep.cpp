@@ -1,8 +1,10 @@
 #include "tilo/core/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "tilo/core/parallel.hpp"
 #include "tilo/core/plancache.hpp"
@@ -35,9 +37,17 @@ PlanPair plans_for(const Problem& problem, i64 V, PlanCache* cache) {
 
 exec::RunOptions run_options(const SweepOptions& opts) {
   exec::RunOptions ro;
-  ro.level = opts.level;
-  ro.network = opts.network;
+  ro.comm = opts.comm;
+  ro.sink = opts.sink;
   return ro;
+}
+
+/// Wall-clock now in ns (host spans only; the simulation itself never
+/// reads the host clock).
+obs::Time wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 /// One sweep sample: predictions from the shared plans, then both timed
@@ -51,7 +61,7 @@ SweepPoint measure_point(const Problem& problem, i64 V,
   const PlanPair plans = plans_for(problem, V, opts.plan_cache);
   pt.g = plans.over->space.tiling().tile_volume();
   pt.predicted_overlap =
-      predict_completion(*plans.over, problem.machine, opts.level);
+      predict_completion(*plans.over, problem.machine, opts.comm.level);
   pt.predicted_nonoverlap =
       predict_completion(*plans.nonover, problem.machine);
   pt.predicted_cpu_bound =
@@ -99,12 +109,17 @@ std::vector<SweepPoint> sweep_tile_height(const Problem& problem,
   // alter results.
   std::vector<exec::RunWorkspace> workspaces(
       static_cast<std::size_t>(threads));
-  parallel_for_index(threads, heights.size(),
-                     [&](int worker, std::size_t i) {
-                       out[i] = measure_point(
-                           problem, heights[i], opts,
-                           workspaces[static_cast<std::size_t>(worker)]);
-                     });
+  parallel_for_index(
+      threads, heights.size(), [&](int worker, std::size_t i) {
+        const obs::Time t0 = opts.sink ? wall_ns() : 0;
+        out[i] = measure_point(problem, heights[i], opts,
+                               workspaces[static_cast<std::size_t>(worker)]);
+        if (opts.sink) {
+          opts.sink->host_span("sweep V=" + std::to_string(heights[i]), t0,
+                               wall_ns(), worker);
+          opts.sink->counter("sweep.points", 1.0);
+        }
+      });
   return out;
 }
 
@@ -146,8 +161,14 @@ Autotune autotune_tile_height(const Problem& problem, ScheduleKind kind,
     std::vector<double> values(todo.size());
     parallel_for_index(
         threads, todo.size(), [&](int worker, std::size_t i) {
+          const obs::Time t0 = opts.sink ? wall_ns() : 0;
           values[i] = run_once(problem, todo[i], kind, opts,
                                workspaces[static_cast<std::size_t>(worker)]);
+          if (opts.sink) {
+            opts.sink->host_span("probe V=" + std::to_string(todo[i]), t0,
+                                 wall_ns(), worker);
+            opts.sink->counter("autotune.probes", 1.0);
+          }
         });
     for (std::size_t i = 0; i < todo.size(); ++i) memo[todo[i]] = values[i];
   };

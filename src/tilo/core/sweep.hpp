@@ -34,8 +34,9 @@ struct SweepPoint {
 
 /// Sweep options.
 struct SweepOptions {
-  mach::OverlapLevel level = mach::OverlapLevel::kDma;
-  msg::Network network = msg::Network::kSwitched;
+  /// Communication model, shared with exec::RunOptions so sweeps and
+  /// single runs cannot drift apart.
+  exec::CommConfig comm;
   bool run_nonoverlap = true;
   bool run_overlap = true;
   /// Worker threads for the sweep / autotune fan-out: 1 = serial (default),
@@ -45,6 +46,12 @@ struct SweepOptions {
   /// Optional shared plan cache (see PlanCache); must outlive the call and
   /// belong to the same Problem.  nullptr = build plans per point.
   PlanCache* plan_cache = nullptr;
+  /// Optional observer: forwarded into every run (simulated phase spans,
+  /// run counters) and fed wall-clock host spans for each sweep point /
+  /// autotune probe (lane = worker thread).  With threads != 1 the sink
+  /// must be thread-safe (obs::Registry, obs::ChromeTraceSink,
+  /// obs::JsonlSink, obs::ReportSink are; trace::Timeline is not).
+  obs::Sink* sink = nullptr;
 };
 
 /// Runs both schedules (timed mode) for each V in `heights`.

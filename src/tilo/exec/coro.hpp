@@ -15,7 +15,8 @@
 
 #include "tilo/msg/cluster.hpp"
 #include "tilo/msg/endpoint.hpp"
-#include "tilo/trace/timeline.hpp"
+#include "tilo/obs/phase.hpp"
+#include "tilo/obs/sink.hpp"
 
 namespace tilo::exec {
 
@@ -50,7 +51,7 @@ struct RankProgram {
 /// co_await CpuAwait(...): occupy the CPU for `dt`, recording `phase`.
 class CpuAwait {
  public:
-  CpuAwait(msg::Endpoint& ep, sim::Time dt, trace::Phase phase)
+  CpuAwait(msg::Endpoint& ep, sim::Time dt, obs::Phase phase)
       : ep_(&ep), dt_(dt), phase_(phase) {}
 
   bool await_ready() const noexcept { return dt_ == 0; }
@@ -62,11 +63,11 @@ class CpuAwait {
  private:
   msg::Endpoint* ep_;
   sim::Time dt_;
-  trace::Phase phase_;
+  obs::Phase phase_;
 };
 
 /// co_await SendDoneAwait(...): block (CPU idle) until the send pipeline
-/// finishes; the blocked interval is recorded on the timeline.
+/// finishes; the blocked interval is reported to the cluster's sink.
 class SendDoneAwait {
  public:
   SendDoneAwait(msg::Cluster& cluster, int rank,
@@ -81,8 +82,8 @@ class SendDoneAwait {
     cluster->register_suspended(h.address());
     msg::Endpoint::when_done(handle_, [cluster, rank, suspended_at, h] {
       cluster->unregister_suspended(h.address());
-      if (trace::Timeline* tl = cluster->timeline())
-        tl->record(rank, trace::Phase::kBlocked, suspended_at,
+      if (obs::Sink* sink = cluster->sink())
+        sink->span(rank, obs::Phase::kBlocked, suspended_at,
                    cluster->engine().now(), "wait-send");
       h.resume();
     });
@@ -111,8 +112,8 @@ class RecvReadyAwait {
     cluster->register_suspended(h.address());
     msg::Endpoint::when_ready(handle_, [cluster, rank, suspended_at, h] {
       cluster->unregister_suspended(h.address());
-      if (trace::Timeline* tl = cluster->timeline())
-        tl->record(rank, trace::Phase::kBlocked, suspended_at,
+      if (obs::Sink* sink = cluster->sink())
+        sink->span(rank, obs::Phase::kBlocked, suspended_at,
                    cluster->engine().now(), "wait-recv");
       h.resume();
     });

@@ -9,6 +9,7 @@
 
 #include "tilo/exec/coro.hpp"
 #include "tilo/exec/regions.hpp"
+#include "tilo/trace/timeline.hpp"
 #include "tilo/util/error.hpp"
 
 namespace tilo::exec {
@@ -269,9 +270,9 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
         co_await CpuAwait{ep,
                           ctx.cluster->half_wire_ns(bytes) +
                               ctx.cluster->fill_kernel_ns(bytes),
-                          trace::Phase::kKernelRecv};
+                          obs::Phase::kKernelRecv};
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
-                          trace::Phase::kFillMpiRecv};
+                          obs::Phase::kFillMpiRecv};
         if (ctx.opts.functional) apply_payload(rs, in.regions, h->payload);
       }
 
@@ -280,7 +281,7 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
       co_await CpuAwait{ep,
                         ctx.cluster->compute_ns(
                             box.volume(), tile_working_set_bytes(ctx, box)),
-                        trace::Phase::kCompute};
+                        obs::Phase::kCompute};
       if (ctx.opts.functional) compute_tile_values(ctx, rs, box);
 
       // Send phase: the whole send pipeline runs on the CPU.
@@ -291,11 +292,11 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
         if (dst_rank == rank) continue;
         const i64 bytes = util::checked_mul(out.points, ctx.bpe);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
-                          trace::Phase::kFillMpiSend};
+                          obs::Phase::kFillMpiSend};
         co_await CpuAwait{ep, ctx.cluster->fill_kernel_ns(bytes),
-                          trace::Phase::kKernelSend};
+                          obs::Phase::kKernelSend};
         co_await CpuAwait{ep, ctx.cluster->half_wire_ns(bytes),
-                          trace::Phase::kWire};
+                          obs::Phase::kWire};
         msg::Payload payload;
         if (ctx.opts.functional) payload = encode_payload(rs, out.regions);
         ep.post_blocking(static_cast<int>(dst_rank),
@@ -345,7 +346,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
         co_await RecvReadyAwait{*ctx.cluster, rank, pr.handle};
         const i64 bytes = util::checked_mul(pr.comm->points, ctx.bpe);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
-                          trace::Phase::kFillMpiRecv};
+                          obs::Phase::kFillMpiRecv};
         if (ctx.opts.functional)
           apply_payload(rs, pr.comm->regions, pr.handle->payload);
       }
@@ -369,7 +370,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
           if (dst_rank == rank) continue;
           const i64 bytes = util::checked_mul(out.points, ctx.bpe);
           co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
-                            trace::Phase::kFillMpiSend};
+                            obs::Phase::kFillMpiSend};
           msg::Payload payload;
           if (ctx.opts.functional) payload = encode_payload(rs, out.regions);
           sends.push_back(ep.isend(
@@ -401,7 +402,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
       co_await CpuAwait{ep,
                         ctx.cluster->compute_ns(
                             box.volume(), tile_working_set_bytes(ctx, box)),
-                        trace::Phase::kCompute};
+                        obs::Phase::kCompute};
       if (ctx.opts.functional) compute_tile_values(ctx, rs, box);
 
       // 4. Wait for the sends (buffer reuse) ...
@@ -413,7 +414,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
         co_await RecvReadyAwait{*ctx.cluster, rank, pr.handle};
         const i64 bytes = util::checked_mul(pr.comm->points, ctx.bpe);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
-                          trace::Phase::kFillMpiRecv};
+                          obs::Phase::kFillMpiRecv};
         if (ctx.opts.functional)
           apply_payload(rs, pr.comm->regions, pr.handle->payload);
       }
@@ -431,7 +432,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
         if (dst_rank == rank) continue;
         const i64 bytes = util::checked_mul(out.points, ctx.bpe);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
-                          trace::Phase::kFillMpiSend};
+                          obs::Phase::kFillMpiSend};
         msg::Payload payload;
         if (ctx.opts.functional) payload = encode_payload(rs, out.regions);
         sends.push_back(ep.isend(
@@ -504,17 +505,17 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
   // executor needs a DMA-capable level.
   mach::OverlapLevel level = mach::OverlapLevel::kNone;
   if (plan.kind == sched::ScheduleKind::kOverlap) {
-    TILO_REQUIRE(opts.level != mach::OverlapLevel::kNone,
+    TILO_REQUIRE(opts.comm.level != mach::OverlapLevel::kNone,
                  "the overlapping schedule needs OverlapLevel::kDma or "
                  "kDuplexDma");
-    level = opts.level;
+    level = opts.comm.level;
   }
 
   ctx.cluster = std::make_unique<msg::Cluster>(
-      static_cast<int>(num_ranks), params, level, opts.network,
-      opts.timeline, opts.protocol);
-  if (opts.inject_message_loss >= 0)
-    ctx.cluster->inject_message_loss(opts.inject_message_loss);
+      static_cast<int>(num_ranks), params, level, opts.comm.network,
+      opts.sink, opts.comm.protocol);
+  if (opts.faults.drop_message >= 0)
+    ctx.cluster->inject_message_loss(opts.faults.drop_message);
   ws.ranks.resize(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < static_cast<int>(num_ranks); ++r)
     init_rank_state(ctx, r);
@@ -555,7 +556,23 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
   result.events = ctx.cluster->engine().events_processed();
   result.traffic = ctx.cluster->traffic();
   if (opts.functional) result.field = assemble_field(ctx);
+  if (opts.sink) {
+    obs::Sink& s = *opts.sink;
+    s.counter("run.runs", 1.0);
+    s.counter("run.ranks", static_cast<double>(num_ranks));
+    s.counter("run.messages", static_cast<double>(result.messages));
+    s.counter("run.bytes", static_cast<double>(result.bytes));
+    s.counter("run.halo_bytes", static_cast<double>(result.halo_bytes));
+  }
   return result;
+}
+
+RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
+                   const mach::MachineParams& params,
+                   trace::Timeline* timeline, RunWorkspace* workspace) {
+  RunOptions opts;
+  opts.sink = timeline;  // Timeline is an obs::Sink
+  return run_plan(nest, plan, params, opts, workspace);
 }
 
 double run_and_validate(const loop::LoopNest& nest, const TilePlan& plan,

@@ -19,25 +19,49 @@
 #include "tilo/loopnest/reference.hpp"
 #include "tilo/machine/cost.hpp"
 #include "tilo/msg/cluster.hpp"
-#include "tilo/trace/timeline.hpp"
+#include "tilo/obs/sink.hpp"
+
+namespace tilo::trace {
+class Timeline;  // deprecated run_plan overload only
+}
 
 namespace tilo::exec {
 
-/// Execution options.
-struct RunOptions {
-  /// Move and verify real values (tests/examples); otherwise timing only.
-  bool functional = false;
+/// Communication-model knobs, shared by single runs (RunOptions) and
+/// sweeps (core::SweepOptions) so the two cannot drift apart.
+struct CommConfig {
   /// DMA capability for the overlapping executor (kDma or kDuplexDma).
   mach::OverlapLevel level = mach::OverlapLevel::kDma;
   /// Interconnect model.
   msg::Network network = msg::Network::kSwitched;
   /// Message protocol for the nonblocking path (eager vs rendezvous).
   msg::Protocol protocol = msg::Protocol::kEager;
-  /// Optional phase timeline (Gantt/CSV output).
-  trace::Timeline* timeline = nullptr;
-  /// Failure injection (tests): lose the N-th message on the wire
-  /// (-1 = off).  Lets tests verify the stall detector below.
-  util::i64 inject_message_loss = -1;
+};
+
+/// Failure injection (tests): lets tests exercise the stall detector in
+/// run_plan without reaching into the cluster.
+struct FaultPlan {
+  /// The N-th message sent (0-based) is silently lost on the wire
+  /// (-1 = off).
+  util::i64 drop_message = -1;
+
+  bool any() const { return drop_message >= 0; }
+};
+
+/// Execution options.
+struct RunOptions {
+  /// Move and verify real values (tests/examples); otherwise timing only.
+  bool functional = false;
+  /// Communication model (overlap level, network, protocol).
+  CommConfig comm;
+  /// Optional observer for phase spans and run counters (must outlive the
+  /// call).  Pass a trace::Timeline, obs::Registry, obs::ChromeTraceSink,
+  /// ... — or an obs::MultiSink fanning out to several.  Observation never
+  /// changes simulated behavior: the (time, seq) event trace is identical
+  /// with or without a sink.
+  obs::Sink* sink = nullptr;
+  /// Failure injection (tests).
+  FaultPlan faults;
 };
 
 /// Execution outcome.
@@ -75,6 +99,15 @@ class RunWorkspace;
 RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
                    const mach::MachineParams& params,
                    const RunOptions& opts = {},
+                   RunWorkspace* workspace = nullptr);
+
+/// Deprecated shim for the pre-obs API that took a raw Timeline pointer.
+/// Timeline is an obs::Sink now — set RunOptions::sink instead.  Removed
+/// after one release.
+[[deprecated("set RunOptions::sink instead")]]
+RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
+                   const mach::MachineParams& params,
+                   trace::Timeline* timeline,
                    RunWorkspace* workspace = nullptr);
 
 /// Opaque reusable execution scratch (see run_plan).  Cheap to construct;

@@ -8,9 +8,10 @@ namespace tilo::msg {
 
 Cluster::Cluster(int num_nodes, const mach::MachineParams& params,
                  mach::OverlapLevel level, Network network,
-                 trace::Timeline* timeline, Protocol protocol)
+                 obs::Sink* sink, Protocol protocol)
     : params_(params), level_(level), network_(network),
-      protocol_(protocol), timeline_(timeline) {
+      protocol_(protocol), sink_(sink) {
+  engine_.set_sink(sink_);
   TILO_REQUIRE(num_nodes >= 1, "cluster needs at least one node");
   nodes_.resize(static_cast<std::size_t>(num_nodes));
   for (int r = 0; r < num_nodes; ++r) {
@@ -136,11 +137,10 @@ void Cluster::start_pipeline(Message m,
           nodes_[static_cast<std::size_t>(dst)].endpoint->deliver(
               std::move(msg));
         });
-    if (timeline_) {
-      timeline_->record(dst, trace::Phase::kWire, grant.start,
-                        grant.start + b1);
-      timeline_->record(dst, trace::Phase::kKernelRecv, grant.start + b1,
-                        grant.completion);
+    if (sink_) {
+      sink_->span(dst, obs::Phase::kWire, grant.start, grant.start + b1);
+      sink_->span(dst, obs::Phase::kKernelRecv, grant.start + b1,
+                  grant.completion);
     }
   };
 
@@ -158,11 +158,11 @@ void Cluster::start_pipeline(Message m,
           }
           recv_leg(std::move(m), engine_.now() + latency_ns());
         });
-    if (timeline_) {
-      timeline_->record(src, trace::Phase::kKernelSend, grant.start,
-                        grant.start + b3);
-      timeline_->record(src, trace::Phase::kWire, grant.start + b3,
-                        grant.completion);
+    if (sink_) {
+      sink_->span(src, obs::Phase::kKernelSend, grant.start,
+                  grant.start + b3);
+      sink_->span(src, obs::Phase::kWire, grant.start + b3,
+                  grant.completion);
     }
   } else {
     // Shared bus: the kernel copy runs on the sender channel, then the
@@ -187,17 +187,17 @@ void Cluster::start_pipeline(Message m,
                       nodes_[static_cast<std::size_t>(dst)]
                           .endpoint->deliver(std::move(m));
                     });
-                if (timeline_)
-                  timeline_->record(dst, trace::Phase::kKernelRecv,
-                                    grant2.start, grant2.completion);
+                if (sink_)
+                  sink_->span(dst, obs::Phase::kKernelRecv, grant2.start,
+                              grant2.completion);
               });
-          if (timeline_)
-            timeline_->record(src, trace::Phase::kWire, bus_grant.start,
-                              bus_grant.completion);
+          if (sink_)
+            sink_->span(src, obs::Phase::kWire, bus_grant.start,
+                        bus_grant.completion);
         });
-    if (timeline_)
-      timeline_->record(src, trace::Phase::kKernelSend, grant.start,
-                        grant.completion);
+    if (sink_)
+      sink_->span(src, obs::Phase::kKernelSend, grant.start,
+                  grant.completion);
   }
 }
 

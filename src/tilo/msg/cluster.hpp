@@ -11,9 +11,9 @@
 
 #include "tilo/machine/params.hpp"
 #include "tilo/msg/endpoint.hpp"
+#include "tilo/obs/sink.hpp"
 #include "tilo/sim/engine.hpp"
 #include "tilo/sim/resource.hpp"
-#include "tilo/trace/timeline.hpp"
 
 namespace tilo::msg {
 
@@ -36,10 +36,13 @@ enum class Protocol {
 /// A simulated cluster of `num_nodes` identical nodes.
 class Cluster {
  public:
+  /// `sink` (optional, must outlive the cluster) observes every phase
+  /// interval the cluster and its endpoints charge; nullptr disables all
+  /// recording at the cost of one branch per interval.
   Cluster(int num_nodes, const mach::MachineParams& params,
           mach::OverlapLevel level = mach::OverlapLevel::kDma,
           Network network = Network::kSwitched,
-          trace::Timeline* timeline = nullptr,
+          obs::Sink* sink = nullptr,
           Protocol protocol = Protocol::kEager);
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
@@ -47,7 +50,7 @@ class Cluster {
   const mach::MachineParams& params() const { return params_; }
   mach::OverlapLevel level() const { return level_; }
   Protocol protocol() const { return protocol_; }
-  trace::Timeline* timeline() { return timeline_; }
+  obs::Sink* sink() { return sink_; }
 
   Endpoint& node(int rank);
 
@@ -122,7 +125,7 @@ class Cluster {
   mach::OverlapLevel level_;
   Network network_;
   Protocol protocol_;
-  trace::Timeline* timeline_;
+  obs::Sink* sink_;
   std::vector<NodeState> nodes_;
   std::unique_ptr<sim::Resource> bus_;  // kSharedBus only
   i64 messages_ = 0;

@@ -8,12 +8,12 @@ namespace tilo::msg {
 Endpoint::Endpoint(Cluster& cluster, int rank)
     : cluster_(&cluster), rank_(rank) {}
 
-void Endpoint::cpu_record(sim::Time dt, trace::Phase phase,
-                          std::string label) {
+void Endpoint::cpu_record(sim::Time dt, obs::Phase phase,
+                          std::string_view label) {
   TILO_REQUIRE(dt >= 0, "negative CPU time");
-  if (trace::Timeline* tl = cluster_->timeline()) {
+  if (obs::Sink* sink = cluster_->sink()) {
     const sim::Time now = cluster_->engine().now();
-    tl->record(rank_, phase, now, now + dt, std::move(label));
+    sink->span(rank_, phase, now, now + dt, label);
   }
 }
 

@@ -19,8 +19,8 @@
 #include <utility>
 
 #include "tilo/msg/message.hpp"
+#include "tilo/obs/sink.hpp"
 #include "tilo/sim/resource.hpp"
-#include "tilo/trace/timeline.hpp"
 #include "tilo/util/callback.hpp"
 
 namespace tilo::msg {
@@ -59,13 +59,13 @@ class Endpoint {
 
   int rank() const { return rank_; }
 
-  /// Occupies the CPU for `dt`, records `phase` on the timeline, then runs
-  /// `fn`.  The executor's building block for A1/A2/A3 costs.  The callable
-  /// goes straight into the engine's pooled event store.
+  /// Occupies the CPU for `dt`, reports `phase` to the cluster's sink,
+  /// then runs `fn`.  The executor's building block for A1/A2/A3 costs.
+  /// The callable goes straight into the engine's pooled event store.
   template <typename F>
-  void cpu(sim::Time dt, trace::Phase phase, F&& fn,
-           std::string label = {}) {
-    cpu_record(dt, phase, std::move(label));
+  void cpu(sim::Time dt, obs::Phase phase, F&& fn,
+           std::string_view label = {}) {
+    cpu_record(dt, phase, label);
     engine().after(dt, std::forward<F>(fn));
   }
 
@@ -94,9 +94,9 @@ class Endpoint {
  private:
   friend class Cluster;
 
-  /// Timeline recording + validation half of cpu(); out of line so the
+  /// Sink reporting + validation half of cpu(); out of line so the
   /// template above does not need the Cluster definition.
-  void cpu_record(sim::Time dt, trace::Phase phase, std::string label);
+  void cpu_record(sim::Time dt, obs::Phase phase, std::string_view label);
   sim::Engine& engine() const;
 
   /// Called by Cluster when a message addressed to this rank becomes

@@ -1,0 +1,113 @@
+#include "tilo/obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <set>
+
+#include "tilo/obs/json.hpp"
+
+namespace tilo::obs {
+
+namespace {
+
+/// Prints a nanosecond count as a microsecond value with ns precision
+/// ("1234.567"), exactly — no double rounding at large timestamps.
+std::string us_from_ns(Time ns) {
+  const bool neg = ns < 0;
+  const std::uint64_t v =
+      neg ? static_cast<std::uint64_t>(-ns) : static_cast<std::uint64_t>(ns);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%" PRIu64 ".%03" PRIu64,
+                neg ? "-" : "", v / 1000, v % 1000);
+  return buf;
+}
+
+}  // namespace
+
+void ChromeTraceSink::span(int node, Phase phase, Time start, Time end,
+                           std::string_view label) {
+  if (end <= start) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      Event{false, node, phase, start, end, std::string(label)});
+}
+
+void ChromeTraceSink::host_span(std::string_view name, Time start_ns,
+                                Time end_ns, int lane) {
+  if (end_ns <= start_ns) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{true, lane, Phase::kCompute, start_ns, end_ns,
+                          std::string(name)});
+}
+
+void ChromeTraceSink::counter(std::string_view name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[std::string(name)] += delta;
+}
+
+std::size_t ChromeTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void ChromeTraceSink::write(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  Time host_epoch = std::numeric_limits<Time>::max();
+  std::set<std::pair<int, int>> lanes;  // (pid, tid)
+  for (const Event& e : events_) {
+    if (e.host) host_epoch = std::min(host_epoch, e.start);
+    lanes.emplace(e.host ? 1 : 0, e.lane);
+  }
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  sep();
+  os << R"({"ph":"M","pid":0,"name":"process_name","args":{"name":"sim"}})";
+  sep();
+  os << R"({"ph":"M","pid":1,"name":"process_name","args":{"name":"host"}})";
+  for (const auto& [pid, tid] : lanes) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << (pid == 0 ? "rank " : "worker ") << tid << "\"}}";
+  }
+
+  for (const Event& e : events_) {
+    const Time base = e.host ? host_epoch : 0;
+    sep();
+    os << "{\"ph\":\"X\",\"pid\":" << (e.host ? 1 : 0)
+       << ",\"tid\":" << e.lane << ",\"name\":\""
+       << json_escape(e.host ? e.name : phase_name(e.phase))
+       << "\",\"cat\":\""
+       << (e.host ? "host" : phase_paper_term(e.phase))
+       << "\",\"ts\":" << us_from_ns(e.start - base)
+       << ",\"dur\":" << us_from_ns(e.end - e.start);
+    if (!e.host && !e.name.empty())
+      os << ",\"args\":{\"label\":\"" << json_escape(e.name) << "\"}";
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"";
+
+  if (!counters_.empty()) {
+    os << ",\"otherData\":{";
+    bool f = true;
+    for (const auto& [name, value] : counters_) {
+      if (!f) os << ',';
+      f = false;
+      os << '"' << json_escape(name) << "\":" << json_number(value);
+    }
+    os << '}';
+  }
+  os << "}\n";
+}
+
+}  // namespace tilo::obs

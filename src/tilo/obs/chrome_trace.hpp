@@ -1,0 +1,51 @@
+// Chrome-trace exporter: buffers span events and writes the JSON object
+// format that chrome://tracing and https://ui.perfetto.dev load directly.
+//
+// Layout: simulated ranks appear as threads of pid 0 ("sim"), one lane per
+// rank; host-side orchestration spans appear as threads of pid 1 ("host"),
+// one lane per worker.  `ts`/`dur` are microseconds (the format's fixed
+// unit) printed with nanosecond precision, so integer-ns simulated times
+// render exactly.  Counters are accumulated and emitted under "otherData".
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tilo/obs/sink.hpp"
+
+namespace tilo::obs {
+
+class ChromeTraceSink final : public Sink {
+ public:
+  void span(int node, Phase phase, Time start, Time end,
+            std::string_view label = {}) override;
+  void host_span(std::string_view name, Time start_ns, Time end_ns,
+                 int lane = 0) override;
+  void counter(std::string_view name, double delta) override;
+
+  /// Number of buffered events (spans + host spans).
+  std::size_t size() const;
+
+  /// Writes the whole trace as one JSON document.  Host-span timestamps are
+  /// rebased to the earliest host span so both pids start near t = 0.
+  void write(std::ostream& os) const;
+
+ private:
+  struct Event {
+    bool host = false;
+    int lane = 0;
+    Phase phase = Phase::kCompute;
+    Time start = 0;
+    Time end = 0;
+    std::string name;  // host spans: span name; sim spans: label
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace tilo::obs

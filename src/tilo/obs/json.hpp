@@ -1,0 +1,19 @@
+// Tiny JSON formatting helpers shared by the obs exporters (and the bench
+// JSON emitters): string escaping and shortest-round-trip number printing.
+// Not a JSON library — just enough to write valid documents by hand.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tilo::obs {
+
+/// Returns `s` with JSON string escaping applied (quotes, backslashes and
+/// control characters), without the surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// Formats a double with enough digits to round-trip (%.17g), mapping
+/// non-finite values to 0 (JSON has no inf/nan).
+std::string json_number(double v);
+
+}  // namespace tilo::obs

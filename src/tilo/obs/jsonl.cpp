@@ -1,0 +1,33 @@
+#include "tilo/obs/jsonl.hpp"
+
+#include <ostream>
+
+#include "tilo/obs/json.hpp"
+
+namespace tilo::obs {
+
+void JsonlSink::span(int node, Phase phase, Time start, Time end,
+                     std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *os_ << "{\"type\":\"span\",\"node\":" << node << ",\"phase\":\""
+       << phase_name(phase) << "\",\"paper\":\"" << phase_paper_term(phase)
+       << "\",\"start_ns\":" << start << ",\"end_ns\":" << end;
+  if (!label.empty()) *os_ << ",\"label\":\"" << json_escape(label) << '"';
+  *os_ << "}\n";
+}
+
+void JsonlSink::host_span(std::string_view name, Time start_ns, Time end_ns,
+                          int lane) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *os_ << "{\"type\":\"host_span\",\"name\":\"" << json_escape(name)
+       << "\",\"lane\":" << lane << ",\"start_ns\":" << start_ns
+       << ",\"end_ns\":" << end_ns << "}\n";
+}
+
+void JsonlSink::counter(std::string_view name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *os_ << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+       << "\",\"delta\":" << json_number(delta) << "}\n";
+}
+
+}  // namespace tilo::obs

@@ -1,0 +1,35 @@
+// JSON-lines exporter: every event is written immediately as one JSON
+// object per line, so a long run can be tailed, grepped and `jq`-ed while
+// it executes.  Line shapes:
+//   {"type":"span","node":0,"phase":"compute","paper":"A2",
+//    "start_ns":0,"end_ns":125,"label":"..."}        (label only if set)
+//   {"type":"host_span","name":"sweep.point","lane":2,
+//    "start_ns":...,"end_ns":...}
+//   {"type":"counter","name":"run.messages","delta":888}
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+
+#include "tilo/obs/sink.hpp"
+
+namespace tilo::obs {
+
+class JsonlSink final : public Sink {
+ public:
+  /// Writes to `os`, which must outlive the sink.  Thread-safe: concurrent
+  /// events serialize on an internal mutex, one complete line at a time.
+  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+
+  void span(int node, Phase phase, Time start, Time end,
+            std::string_view label = {}) override;
+  void host_span(std::string_view name, Time start_ns, Time end_ns,
+                 int lane = 0) override;
+  void counter(std::string_view name, double delta) override;
+
+ private:
+  std::mutex mu_;
+  std::ostream* os_;
+};
+
+}  // namespace tilo::obs

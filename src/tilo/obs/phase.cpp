@@ -1,0 +1,80 @@
+#include "tilo/obs/phase.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::obs {
+
+char phase_code(Phase p) {
+  switch (p) {
+    case Phase::kCompute:
+      return 'C';
+    case Phase::kFillMpiSend:
+      return 's';
+    case Phase::kFillMpiRecv:
+      return 'r';
+    case Phase::kKernelSend:
+      return 'k';
+    case Phase::kKernelRecv:
+      return 'q';
+    case Phase::kWire:
+      return 'w';
+    case Phase::kBlocked:
+      return '.';
+  }
+  TILO_ASSERT(false, "unknown Phase");
+  return '?';
+}
+
+std::string phase_name(Phase p) {
+  switch (p) {
+    case Phase::kCompute:
+      return "compute";
+    case Phase::kFillMpiSend:
+      return "fill-mpi-send";
+    case Phase::kFillMpiRecv:
+      return "fill-mpi-recv";
+    case Phase::kKernelSend:
+      return "kernel-copy-send";
+    case Phase::kKernelRecv:
+      return "kernel-copy-recv";
+    case Phase::kWire:
+      return "wire";
+    case Phase::kBlocked:
+      return "blocked";
+  }
+  TILO_ASSERT(false, "unknown Phase");
+  return {};
+}
+
+const char* phase_paper_term(Phase p) {
+  switch (p) {
+    case Phase::kCompute:
+      return "A2";
+    case Phase::kFillMpiSend:
+      return "A1";
+    case Phase::kFillMpiRecv:
+      return "A3";
+    case Phase::kKernelSend:
+      return "B3";
+    case Phase::kKernelRecv:
+      return "B2";
+    case Phase::kWire:
+      return "B1-B4";
+    case Phase::kBlocked:
+      return "-";
+  }
+  TILO_ASSERT(false, "unknown Phase");
+  return "?";
+}
+
+bool is_cpu_phase(Phase p) {
+  return p == Phase::kCompute || p == Phase::kFillMpiSend ||
+         p == Phase::kFillMpiRecv;
+}
+
+bool is_comm_phase(Phase p) {
+  return p == Phase::kKernelSend || p == Phase::kKernelRecv ||
+         p == Phase::kWire;
+}
+
+}  // namespace tilo::obs

@@ -1,0 +1,55 @@
+// The phase vocabulary of the paper's cost decomposition (Figs. 4/5,
+// eqs. (3)/(4)): what a simulated processor, its DMA engine or the wire is
+// doing during an interval.  Lives in obs so every layer — the simulator,
+// the executors and the observability sinks — shares one enum without
+// depending on the trace library.
+//
+// Paper-term mapping (DESIGN.md §"Observability"):
+//   kFillMpiSend = A1   CPU copies user data into the MPI send buffer
+//   kCompute     = A2   tile computation
+//   kFillMpiRecv = A3   CPU drains the kernel buffer into user space
+//   kWire        = B1/B4  wire transmission (recv half / send half)
+//   kKernelRecv  = B2   kernel/DMA copy on the receive side
+//   kKernelSend  = B3   kernel/DMA copy on the send side
+//   kBlocked     = —    CPU idle on a blocking wait (neither A nor B)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace tilo::obs {
+
+/// What a processor (or its DMA/NIC) is doing during an interval.
+enum class Phase {
+  kCompute,       ///< tile computation (A2)
+  kFillMpiSend,   ///< CPU filling the MPI send buffer (A1)
+  kFillMpiRecv,   ///< CPU draining the kernel buffer into user space (A3)
+  kKernelSend,    ///< kernel/DMA copy on the send side (B3)
+  kKernelRecv,    ///< kernel/DMA copy on the receive side (B2)
+  kWire,          ///< wire transmission (B4 / B1)
+  kBlocked,       ///< CPU idle, waiting on a blocking call
+};
+
+inline constexpr std::size_t kNumPhases = 7;
+
+/// All phases, in reporting order.
+inline constexpr std::array<Phase, kNumPhases> kAllPhases = {
+    Phase::kCompute,    Phase::kFillMpiSend, Phase::kFillMpiRecv,
+    Phase::kKernelSend, Phase::kKernelRecv,  Phase::kWire,
+    Phase::kBlocked};
+
+/// Single-character code used by the Gantt renderer.
+char phase_code(Phase p);
+std::string phase_name(Phase p);
+
+/// The paper's name for the phase: "A1".."A3" (CPU stages of eq. (3)),
+/// "B1-B4"/"B2"/"B3" (DMA/wire stages of eq. (4)), "-" for kBlocked.
+const char* phase_paper_term(Phase p);
+
+/// A-side (CPU-occupying) phase of the paper's decomposition: A1, A2, A3.
+bool is_cpu_phase(Phase p);
+/// B-side (DMA/wire) phase: B1..B4.
+bool is_comm_phase(Phase p);
+
+}  // namespace tilo::obs

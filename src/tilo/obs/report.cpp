@@ -1,0 +1,148 @@
+#include "tilo/obs/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "tilo/obs/json.hpp"
+#include "tilo/util/csv.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::obs {
+
+Time RankBreakdown::cpu_ns() const {
+  Time acc = 0;
+  for (const Phase p : kAllPhases)
+    if (is_cpu_phase(p)) acc += time(p);
+  return acc;
+}
+
+Time RankBreakdown::comm_ns() const {
+  Time acc = 0;
+  for (const Phase p : kAllPhases)
+    if (is_comm_phase(p)) acc += time(p);
+  return acc;
+}
+
+Time RankBreakdown::blocked_ns() const { return time(Phase::kBlocked); }
+
+Time RankBreakdown::bound_ns() const {
+  return std::max(cpu_ns(), comm_ns());
+}
+
+void ReportSink::span(int node, Phase phase, Time start, Time end,
+                      std::string_view /*label*/) {
+  TILO_REQUIRE(node >= 0, "negative node id");
+  if (end <= start) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<std::size_t>(node) >= ranks_.size()) {
+    const std::size_t old = ranks_.size();
+    ranks_.resize(static_cast<std::size_t>(node) + 1);
+    for (std::size_t i = old; i < ranks_.size(); ++i)
+      ranks_[i].node = static_cast<int>(i);
+  }
+  RankBreakdown& r = ranks_[static_cast<std::size_t>(node)];
+  r.phase_ns[static_cast<std::size_t>(phase)] += end - start;
+  r.end_ns = std::max(r.end_ns, end);
+}
+
+void ReportSink::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ranks_.clear();
+}
+
+RunReport ReportSink::report() const {
+  RunReport rep;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rep.ranks = ranks_;
+  }
+  if (rep.ranks.empty()) return rep;
+
+  for (const RankBreakdown& r : rep.ranks) {
+    rep.makespan = std::max(rep.makespan, r.end_ns);
+    rep.total_cpu_ns += r.cpu_ns();
+    rep.total_comm_ns += r.comm_ns();
+    if (r.bound_ns() > rep.critical_bound_ns) {
+      rep.critical_bound_ns = r.bound_ns();
+      rep.critical_rank = r.node;
+    }
+  }
+  if (rep.makespan > 0 && rep.critical_bound_ns > 0) {
+    rep.critical_path_share = static_cast<double>(rep.critical_bound_ns) /
+                              static_cast<double>(rep.makespan);
+    rep.overlap_efficiency = static_cast<double>(rep.makespan) /
+                             static_cast<double>(rep.critical_bound_ns);
+  }
+
+  double acc = 0.0;
+  rep.min_compute_utilization = 1.0;
+  for (const RankBreakdown& r : rep.ranks) {
+    const double u =
+        rep.makespan > 0
+            ? static_cast<double>(r.time(Phase::kCompute)) /
+                  static_cast<double>(rep.makespan)
+            : 0.0;
+    acc += u;
+    rep.min_compute_utilization = std::min(rep.min_compute_utilization, u);
+    rep.max_compute_utilization = std::max(rep.max_compute_utilization, u);
+  }
+  rep.mean_compute_utilization = acc / static_cast<double>(rep.ranks.size());
+  return rep;
+}
+
+void RunReport::write_table(std::ostream& os) const {
+  util::Table t;
+  std::vector<std::string> header{"rank"};
+  for (const Phase p : kAllPhases)
+    header.push_back(phase_name(p) + " (" + phase_paper_term(p) + ")");
+  header.insert(header.end(), {"sum A", "sum B", "util %"});
+  t.set_header(header);
+  for (const RankBreakdown& r : ranks) {
+    std::vector<std::string> row{std::to_string(r.node)};
+    for (const Phase p : kAllPhases)
+      row.push_back(util::fmt_seconds(1e-9 * static_cast<double>(r.time(p))));
+    row.push_back(util::fmt_seconds(1e-9 * static_cast<double>(r.cpu_ns())));
+    row.push_back(util::fmt_seconds(1e-9 * static_cast<double>(r.comm_ns())));
+    row.push_back(util::fmt_fixed(
+        makespan > 0 ? 100.0 * static_cast<double>(r.time(Phase::kCompute)) /
+                           static_cast<double>(makespan)
+                     : 0.0,
+        1));
+    t.add_row(row);
+  }
+  t.write_text(os);
+  os << "makespan " << util::fmt_seconds(1e-9 * static_cast<double>(makespan))
+     << ", critical rank " << critical_rank << " (bound "
+     << util::fmt_seconds(1e-9 * static_cast<double>(critical_bound_ns))
+     << ", share " << util::fmt_fixed(100.0 * critical_path_share, 1)
+     << " %), overlap efficiency "
+     << util::fmt_fixed(overlap_efficiency, 3) << " (1.0 = perfect)\n";
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\"makespan_ns\":" << makespan
+     << ",\"total_cpu_ns\":" << total_cpu_ns
+     << ",\"total_comm_ns\":" << total_comm_ns
+     << ",\"critical_rank\":" << critical_rank
+     << ",\"critical_bound_ns\":" << critical_bound_ns
+     << ",\"critical_path_share\":" << json_number(critical_path_share)
+     << ",\"overlap_efficiency\":" << json_number(overlap_efficiency)
+     << ",\"mean_compute_utilization\":"
+     << json_number(mean_compute_utilization)
+     << ",\"min_compute_utilization\":"
+     << json_number(min_compute_utilization)
+     << ",\"max_compute_utilization\":"
+     << json_number(max_compute_utilization) << ",\"ranks\":[";
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const RankBreakdown& r = ranks[i];
+    if (i) os << ',';
+    os << "{\"rank\":" << r.node;
+    for (const Phase p : kAllPhases)
+      os << ",\"" << phase_name(p) << "_ns\":" << r.time(p);
+    os << ",\"cpu_ns\":" << r.cpu_ns() << ",\"comm_ns\":" << r.comm_ns()
+       << ",\"end_ns\":" << r.end_ns << '}';
+  }
+  os << "]}";
+}
+
+}  // namespace tilo::obs

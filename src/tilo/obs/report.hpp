@@ -1,0 +1,95 @@
+// RunReport: a run condensed into the paper's accounting identity.
+//
+// Eq. (3) charges the whole communication pipeline to the CPU (no overlap);
+// eq. (4) splits each step into the CPU-bound A-stages (A1 fill-MPI-send,
+// A2 compute, A3 fill-MPI-recv) and the DMA/wire B-stages (B1/B4 wire
+// halves, B2/B3 kernel copies) that proceed concurrently.  ReportSink
+// accumulates every span into that decomposition per rank; RunReport then
+// answers the questions the paper's figures ask:
+//   - per-rank utilization (share of the makespan spent in A2),
+//   - the overlap lower bound max(sum A, sum B) on the critical rank,
+//   - overlap efficiency achieved/max(sum A, sum B)  (1.0 = the schedule
+//     hides the cheaper side completely; larger = overlap left on the
+//     table).
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "tilo/obs/sink.hpp"
+
+namespace tilo::obs {
+
+/// One rank's phase totals.
+struct RankBreakdown {
+  int node = 0;
+  std::array<Time, kNumPhases> phase_ns{};  // indexed by Phase value
+  Time end_ns = 0;  ///< latest span end on this rank
+
+  Time time(Phase p) const {
+    return phase_ns[static_cast<std::size_t>(p)];
+  }
+  /// CPU-bound time: A1 + A2 + A3.
+  Time cpu_ns() const;
+  /// DMA/wire time charged to this rank's lane: B1..B4.
+  Time comm_ns() const;
+  /// Time parked on a blocking wait.
+  Time blocked_ns() const;
+  /// Perfect-overlap lower bound for this rank: max(sum A, sum B).
+  Time bound_ns() const;
+};
+
+/// Whole-run A/B summary.
+struct RunReport {
+  Time makespan = 0;
+  std::vector<RankBreakdown> ranks;
+
+  /// Sums across ranks.
+  Time total_cpu_ns = 0;
+  Time total_comm_ns = 0;
+
+  /// The rank with the largest perfect-overlap bound, and that bound —
+  /// the simulated schedule can never beat it.
+  int critical_rank = -1;
+  Time critical_bound_ns = 0;
+  /// critical_bound / makespan: how much of the completion time is pinned
+  /// to the critical rank's own work (1.0 = that rank never waits).
+  double critical_path_share = 0.0;
+
+  /// makespan / critical_bound: 1.0 means communication (or computation,
+  /// whichever is cheaper) is hidden completely; 2.0 means the run took
+  /// twice its perfect-overlap bound.
+  double overlap_efficiency = 0.0;
+
+  /// Share of the makespan each rank spends computing (A2), as in the
+  /// paper's "theoretically 100% processor utilization" argument.
+  double mean_compute_utilization = 0.0;
+  double min_compute_utilization = 0.0;
+  double max_compute_utilization = 0.0;
+
+  /// Renders the per-rank A/B table with paper terms in the header.
+  void write_table(std::ostream& os) const;
+
+  /// Serializes the report as one JSON object (phase totals keyed by
+  /// paper-facing phase names, summary scalars, per-rank breakdowns).
+  void write_json(std::ostream& os) const;
+};
+
+/// The aggregating sink behind RunReport.  Thread-safe; reusable across
+/// runs (each report() reflects everything seen so far; reset() clears).
+class ReportSink final : public Sink {
+ public:
+  void span(int node, Phase phase, Time start, Time end,
+            std::string_view label = {}) override;
+
+  RunReport report() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RankBreakdown> ranks_;
+};
+
+}  // namespace tilo::obs

@@ -1,0 +1,25 @@
+#include "tilo/obs/sink.hpp"
+
+namespace tilo::obs {
+
+void Sink::host_span(std::string_view, Time, Time, int) {}
+void Sink::counter(std::string_view, double) {}
+
+void MultiSink::span(int node, Phase phase, Time start, Time end,
+                     std::string_view label) {
+  for (Sink* s : sinks_)
+    if (s) s->span(node, phase, start, end, label);
+}
+
+void MultiSink::host_span(std::string_view name, Time start_ns, Time end_ns,
+                          int lane) {
+  for (Sink* s : sinks_)
+    if (s) s->host_span(name, start_ns, end_ns, lane);
+}
+
+void MultiSink::counter(std::string_view name, double delta) {
+  for (Sink* s : sinks_)
+    if (s) s->counter(name, delta);
+}
+
+}  // namespace tilo::obs

@@ -1,0 +1,78 @@
+// The unified observability interface.  Everything the simulator, the
+// executors and the sweep orchestration know how to report flows through
+// one abstract Sink:
+//
+//   span       a simulated-time phase interval on a simulated rank — the
+//              hot-path event, emitted by the cluster/endpoint/executors
+//              (callers guard every emission with `if (sink)`, so a null
+//              sink costs one predictable branch)
+//   host_span  a wall-clock orchestration interval (a sweep point, an
+//              autotune probe batch) on a worker lane
+//   counter    a named monotone counter increment (messages, bytes, events)
+//
+// Implementations in this library: Registry (counters + per-phase duration
+// histograms), ChromeTraceSink (chrome://tracing / Perfetto JSON),
+// JsonlSink (one JSON object per event), ReportSink (the paper's A/B phase
+// breakdown).  trace::Timeline is a fourth implementation living in the
+// trace library.  Sinks observe only: enabling any of them never changes
+// the simulation's (time, seq) event order.
+//
+// Threading: a Sink shared across sweep workers must tolerate concurrent
+// calls.  All sinks in this library are thread-safe; Timeline is not (use
+// it on single runs, which is all it was ever handed).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "tilo/obs/phase.hpp"
+
+namespace tilo::obs {
+
+/// Time in nanoseconds.  Simulated spans use simulated ns (identical to
+/// sim::Time); host spans use wall-clock ns from an arbitrary epoch.
+using Time = std::int64_t;
+
+/// The observability interface.  `span` is the hot path and must be
+/// implemented; the other events default to no-ops so a sink overrides only
+/// what it consumes.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Simulated-time interval [start, end) of `phase` on rank `node`.
+  virtual void span(int node, Phase phase, Time start, Time end,
+                    std::string_view label = {}) = 0;
+
+  /// Wall-clock orchestration interval; `lane` disambiguates concurrent
+  /// emitters (e.g. the sweep worker index).
+  virtual void host_span(std::string_view name, Time start_ns, Time end_ns,
+                         int lane = 0);
+
+  /// Adds `delta` to the named counter.
+  virtual void counter(std::string_view name, double delta);
+};
+
+/// Fans every event out to a fixed set of child sinks (non-owning), so one
+/// run can feed e.g. a Timeline, a Registry and a Chrome trace at once.
+class MultiSink final : public Sink {
+ public:
+  MultiSink() = default;
+  explicit MultiSink(std::vector<Sink*> sinks) : sinks_(std::move(sinks)) {}
+
+  /// Adds a child; null children are ignored at emission time.
+  void add(Sink* sink) { sinks_.push_back(sink); }
+
+  void span(int node, Phase phase, Time start, Time end,
+            std::string_view label = {}) override;
+  void host_span(std::string_view name, Time start_ns, Time end_ns,
+                 int lane = 0) override;
+  void counter(std::string_view name, double delta) override;
+
+ private:
+  std::vector<Sink*> sinks_;
+};
+
+}  // namespace tilo::obs

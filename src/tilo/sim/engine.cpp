@@ -34,6 +34,7 @@ void Engine::grow_pool() {
 void Engine::run() {
   TILO_REQUIRE(!running_, "Engine::run is not reentrant");
   running_ = true;
+  const std::uint64_t processed_before = processed_;
   try {
     while (!heap_.empty()) {
       if (heap_.size() > 1)
@@ -54,6 +55,11 @@ void Engine::run() {
     throw;
   }
   running_ = false;
+  if (sink_) {
+    sink_->counter("engine.events",
+                   static_cast<double>(processed_ - processed_before));
+    sink_->counter("engine.drains", 1.0);
+  }
 }
 
 }  // namespace tilo::sim

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "tilo/obs/sink.hpp"
 #include "tilo/util/error.hpp"
 #include "tilo/util/math.hpp"
 
@@ -67,6 +68,13 @@ class Engine {
   /// handlers abort the run and are rethrown to the caller; the throwing
   /// event's slot is reclaimed, remaining events stay queued.
   void run();
+
+  /// Attaches an observability sink (nullptr detaches).  The engine emits
+  /// drain-level counters (events processed, slot-pool size) at the end of
+  /// each run(); the per-event hot path is untouched, so a null or
+  /// non-null sink costs nothing per event.
+  void set_sink(obs::Sink* sink) { sink_ = sink; }
+  obs::Sink* sink() const { return sink_; }
 
   /// Number of events processed so far.
   std::uint64_t events_processed() const { return processed_; }
@@ -196,6 +204,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool running_ = false;
+  obs::Sink* sink_ = nullptr;
   std::vector<Entry> heap_;
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::vector<std::uint32_t> free_;

@@ -12,9 +12,11 @@ namespace tilo::trace {
 
 namespace {
 
-bool is_cpu_phase(Phase p) {
-  return p == Phase::kCompute || p == Phase::kFillMpiSend ||
-         p == Phase::kFillMpiRecv || p == Phase::kBlocked;
+// The CPU lane of the Gantt view: the paper's A-phases plus blocked time
+// (idle CPU is still "the CPU's story"); obs::is_cpu_phase excludes
+// kBlocked, so this stays local.
+bool cpu_lane_phase(Phase p) {
+  return obs::is_cpu_phase(p) || p == Phase::kBlocked;
 }
 
 }  // namespace
@@ -37,7 +39,7 @@ void render_gantt(std::ostream& os, const Timeline& timeline,
 
   const double bucket_ns = static_cast<double>(span) / width;
   for (const Interval& iv : timeline.intervals()) {
-    if (options.cpu_phases_only && !is_cpu_phase(iv.phase)) continue;
+    if (options.cpu_phases_only && !cpu_lane_phase(iv.phase)) continue;
     int b0 = static_cast<int>(static_cast<double>(iv.start) / bucket_ns);
     int b1 = static_cast<int>(static_cast<double>(iv.end) / bucket_ns);
     b0 = std::clamp(b0, 0, width - 1);
@@ -70,7 +72,7 @@ void render_gantt(std::ostream& os, const Timeline& timeline,
       Time best_t = -1;
       bool best_cpu = false;
       for (const auto& [phase, t] : cell) {
-        const bool cpu = is_cpu_phase(phase) && phase != Phase::kBlocked;
+        const bool cpu = obs::is_cpu_phase(phase);
         if ((cpu && !best_cpu) || (cpu == best_cpu && t > best_t)) {
           best = phase;
           best_t = t;

@@ -11,11 +11,8 @@
 
 namespace tilo::trace {
 
-/// All phases, in reporting order.
-inline constexpr std::array<Phase, 7> kAllPhases = {
-    Phase::kCompute,    Phase::kFillMpiSend, Phase::kFillMpiRecv,
-    Phase::kKernelSend, Phase::kKernelRecv,  Phase::kWire,
-    Phase::kBlocked};
+/// All phases, in reporting order (shared with the obs layer).
+using obs::kAllPhases;
 
 /// One processor's totals.
 struct NodeStats {

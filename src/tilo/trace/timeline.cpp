@@ -7,54 +7,17 @@
 
 namespace tilo::trace {
 
-char phase_code(Phase p) {
-  switch (p) {
-    case Phase::kCompute:
-      return 'C';
-    case Phase::kFillMpiSend:
-      return 's';
-    case Phase::kFillMpiRecv:
-      return 'r';
-    case Phase::kKernelSend:
-      return 'k';
-    case Phase::kKernelRecv:
-      return 'q';
-    case Phase::kWire:
-      return 'w';
-    case Phase::kBlocked:
-      return '.';
-  }
-  TILO_ASSERT(false, "unknown Phase");
-  return '?';
-}
-
-std::string phase_name(Phase p) {
-  switch (p) {
-    case Phase::kCompute:
-      return "compute";
-    case Phase::kFillMpiSend:
-      return "fill-mpi-send";
-    case Phase::kFillMpiRecv:
-      return "fill-mpi-recv";
-    case Phase::kKernelSend:
-      return "kernel-copy-send";
-    case Phase::kKernelRecv:
-      return "kernel-copy-recv";
-    case Phase::kWire:
-      return "wire";
-    case Phase::kBlocked:
-      return "blocked";
-  }
-  TILO_ASSERT(false, "unknown Phase");
-  return {};
-}
-
 void Timeline::record(int node, Phase phase, Time start, Time end,
                       std::string label) {
   TILO_REQUIRE(node >= 0, "negative node id");
   TILO_REQUIRE(end >= start, "interval ends before it starts");
   if (end == start) return;
   intervals_.push_back(Interval{node, phase, start, end, std::move(label)});
+}
+
+void Timeline::span(int node, Phase phase, obs::Time start, obs::Time end,
+                    std::string_view label) {
+  record(node, phase, start, end, std::string(label));
 }
 
 Time Timeline::makespan() const {

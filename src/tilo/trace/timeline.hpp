@@ -1,12 +1,20 @@
 // Execution timelines: per-processor phase intervals recorded by the
 // executors, with utilization statistics.  These regenerate the *structure*
 // of the paper's Figs. 1-4 (receive/compute/send phases per time step).
+//
+// Timeline is one obs::Sink implementation: hand `&timeline` to
+// RunOptions::sink (or combine it with other sinks via obs::MultiSink) and
+// every phase interval of the run lands here.  The Phase vocabulary itself
+// lives in tilo::obs (see obs/phase.hpp) so the simulator and the
+// observability layer share it; the aliases below keep the historical
+// trace:: spellings working.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "tilo/obs/sink.hpp"
 #include "tilo/sim/engine.hpp"
 
 namespace tilo::trace {
@@ -14,19 +22,10 @@ namespace tilo::trace {
 using sim::Time;
 
 /// What a processor (or its DMA/NIC) is doing during an interval.
-enum class Phase {
-  kCompute,       ///< tile computation (A2)
-  kFillMpiSend,   ///< CPU filling the MPI send buffer (A1)
-  kFillMpiRecv,   ///< CPU draining the kernel buffer into user space (A3)
-  kKernelSend,    ///< kernel/DMA copy on the send side (B3)
-  kKernelRecv,    ///< kernel/DMA copy on the receive side (B2)
-  kWire,          ///< wire transmission (B4 / B1)
-  kBlocked,       ///< CPU idle, waiting on a blocking call
-};
-
-/// Single-character code used by the Gantt renderer.
-char phase_code(Phase p);
-std::string phase_name(Phase p);
+/// (Moved to obs::Phase; aliased here for existing call sites.)
+using Phase = obs::Phase;
+using obs::phase_code;
+using obs::phase_name;
 
 /// One recorded interval on one node.
 struct Interval {
@@ -37,12 +36,17 @@ struct Interval {
   std::string label;
 };
 
-/// Append-only recording of intervals for a whole run.
-class Timeline {
+/// Append-only recording of intervals for a whole run.  Not thread-safe:
+/// attach one Timeline per run (sweep workers each need their own).
+class Timeline final : public obs::Sink {
  public:
   /// Records [start, end) on `node`; zero-length intervals are dropped.
   void record(int node, Phase phase, Time start, Time end,
               std::string label = {});
+
+  /// obs::Sink implementation — forwards to record().
+  void span(int node, Phase phase, obs::Time start, obs::Time end,
+            std::string_view label = {}) override;
 
   const std::vector<Interval>& intervals() const { return intervals_; }
   bool empty() const { return intervals_.empty(); }

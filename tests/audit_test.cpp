@@ -91,9 +91,9 @@ TEST(AuditTest, BoundHoldsAcrossConfigurations) {
       for (auto protocol : {msg::Protocol::kEager,
                             msg::Protocol::kRendezvous}) {
         exec::RunOptions opts;
-        opts.level = level;
-        opts.network = network;
-        opts.protocol = protocol;
+        opts.comm.level = level;
+        opts.comm.network = network;
+        opts.comm.protocol = protocol;
         const double sim = exec::run_plan(nest, plan, p, opts).seconds;
         EXPECT_GE(sim, bound * (1.0 - 1e-9));
         EXPECT_LT(sim, bound * 50);  // sanity: not absurdly inflated

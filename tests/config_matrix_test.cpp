@@ -42,9 +42,9 @@ TEST_P(ConfigMatrixTest, OverlapScheduleValuesInvariant) {
       nest, tile::RectTiling(Vec{4, 4, 6}), ScheduleKind::kOverlap);
   exec::RunOptions opts;
   opts.functional = true;
-  opts.level = level;
-  opts.network = network;
-  opts.protocol = protocol;
+  opts.comm.level = level;
+  opts.comm.network = network;
+  opts.comm.protocol = protocol;
   const exec::RunResult run =
       exec::run_plan(nest, plan, varied_params(), opts);
   const loop::DenseField ref = loop::run_sequential(nest);
@@ -57,9 +57,9 @@ TEST_P(ConfigMatrixTest, TimingDeterministicPerConfig) {
   const exec::TilePlan plan = exec::make_plan(
       nest, tile::RectTiling(Vec{4, 4, 8}), ScheduleKind::kOverlap);
   exec::RunOptions opts;
-  opts.level = level;
-  opts.network = network;
-  opts.protocol = protocol;
+  opts.comm.level = level;
+  opts.comm.network = network;
+  opts.comm.protocol = protocol;
   const auto a = exec::run_plan(nest, plan, varied_params(), opts);
   const auto b = exec::run_plan(nest, plan, varied_params(), opts);
   EXPECT_EQ(a.completion, b.completion);
@@ -98,7 +98,7 @@ TEST_P(BlockingConfigTest, NonOverlapScheduleValuesInvariant) {
       nest, tile::RectTiling(Vec{4, 4, 6}), ScheduleKind::kNonOverlap);
   exec::RunOptions opts;
   opts.functional = true;
-  opts.network = GetParam();
+  opts.comm.network = GetParam();
   const exec::RunResult run =
       exec::run_plan(nest, plan, varied_params(), opts);
   EXPECT_DOUBLE_EQ(

@@ -75,7 +75,7 @@ std::string timeline_csv(const Problem& problem, i64 V, ScheduleKind kind,
   const tilo::exec::TilePlan plan = problem.plan(V, kind);
   tilo::trace::Timeline tl;
   tilo::exec::RunOptions opts;
-  opts.timeline = &tl;
+  opts.sink = &tl;
   tilo::exec::run_plan(problem.nest, plan, problem.machine, opts, ws);
   std::ostringstream os;
   tl.write_csv(os);

@@ -157,7 +157,7 @@ TEST(ExecTimedTest, TimelineShowsPipelinedComputePhases) {
                                         ScheduleKind::kOverlap);
   trace::Timeline tl;
   RunOptions opts;
-  opts.timeline = &tl;
+  opts.sink = &tl;
   const RunResult r = exec::run_plan(nest, plan, fast_params(), opts);
   EXPECT_EQ(tl.makespan(), r.completion);
   // Every rank computes the same total tile volume.
@@ -174,7 +174,7 @@ TEST(ExecTimedTest, DuplexLevelNotSlowerThanSharedDma) {
   const mach::MachineParams p = mach::MachineParams::paper_cluster();
   RunOptions dma;
   RunOptions duplex;
-  duplex.level = mach::OverlapLevel::kDuplexDma;
+  duplex.comm.level = mach::OverlapLevel::kDuplexDma;
   EXPECT_LE(exec::run_plan(nest, plan, p, duplex).seconds,
             exec::run_plan(nest, plan, p, dma).seconds);
 }
@@ -187,7 +187,7 @@ TEST(ExecTimedTest, SharedBusSlowerThanSwitch) {
   p.t_t = 0.8e-6;  // make wire time dominant so the bus visibly contends
   RunOptions switched;
   RunOptions bus;
-  bus.network = msg::Network::kSharedBus;
+  bus.comm.network = msg::Network::kSharedBus;
   EXPECT_LE(exec::run_plan(nest, plan, p, switched).seconds,
             exec::run_plan(nest, plan, p, bus).seconds);
 }
@@ -199,7 +199,7 @@ TEST(ExecTimedTest, FunctionalModeAlsoRecordsTimeline) {
   trace::Timeline tl;
   RunOptions opts;
   opts.functional = true;
-  opts.timeline = &tl;
+  opts.sink = &tl;
   const RunResult r = exec::run_plan(nest, plan, fast_params(), opts);
   EXPECT_EQ(tl.makespan(), r.completion);
   EXPECT_GT(tl.phase_time(0, trace::Phase::kCompute), 0);
@@ -218,7 +218,7 @@ TEST(ExecTimedTest, PipelinedTripletStructureMatchesExample2) {
                                         ScheduleKind::kOverlap);
   trace::Timeline tl;
   RunOptions opts;
-  opts.timeline = &tl;
+  opts.sink = &tl;
   exec::run_plan(nest, plan, mach::MachineParams::paper_cluster(), opts);
 
   std::vector<trace::Phase> cpu_seq;
@@ -277,6 +277,6 @@ TEST(ExecErrorTest, OverlapPlanRejectsNoneLevel) {
   const TilePlan plan = exec::make_plan(nest, RectTiling(Vec{4, 4, 4}),
                                         ScheduleKind::kOverlap);
   RunOptions opts;
-  opts.level = mach::OverlapLevel::kNone;
+  opts.comm.level = mach::OverlapLevel::kNone;
   EXPECT_THROW(exec::run_plan(nest, plan, fast_params(), opts), util::Error);
 }

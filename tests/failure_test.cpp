@@ -36,7 +36,7 @@ TEST_P(MessageLossTest, LostMessageIsDetectedAsStall) {
   const exec::TilePlan plan =
       exec::make_plan(nest, tile::RectTiling(Vec{4, 4, 4}), kind);
   exec::RunOptions opts;
-  opts.inject_message_loss = which;  // lose an early or a late message
+  opts.faults.drop_message = which;  // lose an early or a late message
   try {
     exec::run_plan(nest, plan, fast_params(), opts);
     FAIL() << "expected a stall diagnostic";
@@ -60,7 +60,7 @@ TEST(MessageLossTest, NoInjectionStillCompletes) {
   const exec::TilePlan plan = exec::make_plan(
       nest, tile::RectTiling(Vec{4, 4, 4}), ScheduleKind::kOverlap);
   exec::RunOptions opts;
-  opts.inject_message_loss = -1;
+  opts.faults.drop_message = -1;
   EXPECT_NO_THROW(exec::run_plan(nest, plan, fast_params(), opts));
 }
 
@@ -69,7 +69,7 @@ TEST(MessageLossTest, DropBeyondTrafficIsHarmless) {
   const exec::TilePlan plan = exec::make_plan(
       nest, tile::RectTiling(Vec{4, 4, 4}), ScheduleKind::kOverlap);
   exec::RunOptions opts;
-  opts.inject_message_loss = 1'000'000;  // more than the run ever sends
+  opts.faults.drop_message = 1'000'000;  // more than the run ever sends
   EXPECT_NO_THROW(exec::run_plan(nest, plan, fast_params(), opts));
 }
 
@@ -81,7 +81,7 @@ TEST(MessageLossTest, SenderOfLostMessageStillProgresses) {
   const exec::TilePlan plan = exec::make_plan(
       nest, tile::RectTiling(Vec{4, 4, 4}), ScheduleKind::kOverlap);
   exec::RunOptions opts;
-  opts.inject_message_loss = 3;
+  opts.faults.drop_message = 3;
   try {
     exec::run_plan(nest, plan, fast_params(), opts);
     FAIL() << "expected a stall diagnostic";

@@ -109,7 +109,7 @@ TEST(RendezvousTest, ExecutorStillComputesCorrectly) {
       sched::ScheduleKind::kOverlap);
   exec::RunOptions opts;
   opts.functional = true;
-  opts.protocol = Protocol::kRendezvous;
+  opts.comm.protocol = Protocol::kRendezvous;
   const exec::RunResult run =
       exec::run_plan(nest, plan, round_params(), opts);
   const loop::DenseField ref = loop::run_sequential(nest);
@@ -128,7 +128,7 @@ TEST(RendezvousTest, CommBoundRunsPayTheHandshake) {
   mach::MachineParams p = mach::MachineParams::paper_cluster();
   exec::RunOptions eager;
   exec::RunOptions rdv;
-  rdv.protocol = Protocol::kRendezvous;
+  rdv.comm.protocol = Protocol::kRendezvous;
   const double t_eager = exec::run_plan(nest, plan, p, eager).seconds;
   const double t_rdv = exec::run_plan(nest, plan, p, rdv).seconds;
   EXPECT_GT(t_rdv, t_eager);
@@ -148,7 +148,7 @@ TEST(RendezvousTest, OverheadShrinksWithGrain) {
         sched::ScheduleKind::kOverlap);
     exec::RunOptions eager;
     exec::RunOptions rdv;
-    rdv.protocol = Protocol::kRendezvous;
+    rdv.comm.protocol = Protocol::kRendezvous;
     const double t_eager = exec::run_plan(nest, plan, p, eager).seconds;
     const double t_rdv = exec::run_plan(nest, plan, p, rdv).seconds;
     return (t_rdv - t_eager) / t_eager;

@@ -62,7 +62,7 @@ TEST(StatsTest, OverlapScheduleRaisesComputeUtilization) {
         exec::make_plan(nest, tile::RectTiling(lat::Vec{4, 4, 32}), kind);
     trace::Timeline tl;
     exec::RunOptions opts;
-    opts.timeline = &tl;
+    opts.sink = &tl;
     exec::run_plan(nest, plan, p, opts);
     util[i] = trace::summarize(tl).mean_compute_utilization;
   }
@@ -76,7 +76,7 @@ TEST(StatsTest, CpuBusyNeverExceedsMakespan) {
       sched::ScheduleKind::kOverlap);
   trace::Timeline tl;
   exec::RunOptions opts;
-  opts.timeline = &tl;
+  opts.sink = &tl;
   exec::run_plan(nest, plan, mach::MachineParams::paper_cluster(), opts);
   const RunStats s = trace::summarize(tl);
   for (const auto& ns : s.nodes) EXPECT_LE(ns.cpu_busy, s.makespan);
