@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "../bench/common.hpp"
-#include "tilo/exec/run.hpp"
+#include "tilo/pipeline/compiler.hpp"
 #include "tilo/tiling/cost.hpp"
 
 int main() {
@@ -15,8 +15,19 @@ int main() {
 
   const core::Problem p = core::paper_problem_i();
   const i64 V = 444;
-  const exec::TilePlan plan = p.plan(V, sched::ScheduleKind::kOverlap);
-  const exec::RunResult r = exec::run_plan(p.nest, plan, p.machine);
+
+  // Plan and simulation both come out of the staged pipeline: Analysis →
+  // Tiling → Scheduling → Lowering build the verified plan, the Backend
+  // runs it.
+  pipeline::CompileOptions copts;
+  copts.machine = p.machine;
+  copts.procs = p.procs;
+  copts.height = V;
+  copts.kind = sched::ScheduleKind::kOverlap;
+  const pipeline::ArtifactStore out =
+      pipeline::Compiler(copts).compile_nest(p.nest);
+  const exec::TilePlan& plan = *out.plan().plan;
+  const exec::RunResult& r = *out.backend().run;
 
   std::cout << "== Communication matrix — space i at V = " << V
             << " (bytes, KiB) ==\n";

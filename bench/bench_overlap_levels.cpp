@@ -10,7 +10,7 @@
 
 #include "tilo/core/predict.hpp"
 #include "tilo/core/problem.hpp"
-#include "tilo/exec/run.hpp"
+#include "tilo/pipeline/compiler.hpp"
 #include "tilo/util/csv.hpp"
 
 int main() {
@@ -20,8 +20,22 @@ int main() {
 
   const core::Problem p = core::paper_problem_i();
   const i64 V = 444;  // the paper's Fig. 12 optimum for space i
-  const exec::TilePlan over = p.plan(V, sched::ScheduleKind::kOverlap);
-  const exec::TilePlan non = p.plan(V, sched::ScheduleKind::kNonOverlap);
+
+  // One pipeline compile per (schedule, overlap level): the stages build
+  // and verify the plan, the Backend simulates it.
+  const auto compile = [&](sched::ScheduleKind kind, OverlapLevel level) {
+    pipeline::CompileOptions copts;
+    copts.machine = p.machine;
+    copts.procs = p.procs;
+    copts.height = V;
+    copts.kind = kind;
+    copts.comm.level = level;
+    return pipeline::Compiler(copts).compile_nest(p.nest);
+  };
+
+  const pipeline::ArtifactStore over_out =
+      compile(sched::ScheduleKind::kOverlap, OverlapLevel::kDma);
+  const exec::TilePlan& over = *over_out.plan().plan;
   const mach::StepShape shape = core::steady_step_shape(over, p.machine);
   const mach::StepCost c = mach::step_cost(p.machine, shape);
 
@@ -49,16 +63,22 @@ int main() {
   for (OverlapLevel level :
        {OverlapLevel::kNone, OverlapLevel::kDma, OverlapLevel::kDuplexDma}) {
     double simulated = 0.0;
+    i64 P = 0;
     if (level == OverlapLevel::kNone) {
       // Level (a) is the blocking program on the non-overlapping schedule.
-      simulated = exec::run_plan(p.nest, non, p.machine).seconds;
+      const pipeline::ArtifactStore non_out =
+          compile(sched::ScheduleKind::kNonOverlap, OverlapLevel::kDma);
+      simulated = non_out.backend().run->seconds;
+      P = non_out.plan().plan->schedule_length();
+    } else if (level == OverlapLevel::kDma) {
+      simulated = over_out.backend().run->seconds;
+      P = over.schedule_length();
     } else {
-      exec::RunOptions opts;
-      opts.comm.level = level;
-      simulated = exec::run_plan(p.nest, over, p.machine, opts).seconds;
+      const pipeline::ArtifactStore out =
+          compile(sched::ScheduleKind::kOverlap, level);
+      simulated = out.backend().run->seconds;
+      P = out.plan().plan->schedule_length();
     }
-    const i64 P = level == OverlapLevel::kNone ? non.schedule_length()
-                                               : over.schedule_length();
     levels.add_row({mach::to_string(level),
                     util::fmt_seconds(c.step_time(level)),
                     util::fmt_seconds(static_cast<double>(P) *

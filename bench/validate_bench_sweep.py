@@ -7,6 +7,7 @@ Fails (exit 1) when the file is missing, is not valid JSON, or does not
 match the schema the perf-trajectory tooling expects.
 """
 import json
+import os
 import sys
 
 
@@ -50,8 +51,15 @@ def check_report(rep, name):
 def main():
     if len(sys.argv) != 2:
         fail("usage: validate_bench_sweep.py FILE")
+    path = sys.argv[1]
+    if not os.path.exists(path):
+        print(f"error: {path} does not exist.\n"
+              "Generate it first, e.g.:\n"
+              "  ./build/bench/bench_sweep_throughput --json > BENCH_sweep.json",
+              file=sys.stderr)
+        sys.exit(1)
     try:
-        with open(sys.argv[1]) as f:
+        with open(path) as f:
             doc = json.load(f)
     except (OSError, ValueError) as e:
         fail(str(e))

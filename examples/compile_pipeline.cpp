@@ -1,19 +1,15 @@
-// The whole compiler pipeline in one walk: parse a textual loop nest,
-// extract its dependencies, choose the tiling and mapping, predict and
-// simulate both schedules, validate the distributed execution, and emit
-// the final C + MPI program — what a tiling compiler built on this
-// library does end to end.
+// The whole compiler pipeline in one walk — now literally the staged
+// tilo::pipeline::Compiler: parse a textual loop nest, bind it to the
+// calibrated cluster, choose the tiling, verify and schedule it, lower to
+// an executable plan, simulate both schedules, validate the distributed
+// execution, and emit the final C + MPI program.
 //
 //   ./examples/compile_pipeline          # print summary
 //   ./examples/compile_pipeline --emit   # also print the generated program
 #include <cstring>
 #include <iostream>
 
-#include "tilo/codegen/mpi_program.hpp"
-#include "tilo/core/analytic.hpp"
-#include "tilo/core/predict.hpp"
-#include "tilo/core/problem.hpp"
-#include "tilo/loopnest/parse.hpp"
+#include "tilo/pipeline/compiler.hpp"
 #include "tilo/util/csv.hpp"
 
 int main(int argc, char** argv) {
@@ -22,7 +18,7 @@ int main(int argc, char** argv) {
 
   const bool emit = argc > 1 && std::strcmp(argv[1], "--emit") == 0;
 
-  // 1. Front end: the paper's experimental kernel as source text.
+  // 1. Front end input: the paper's experimental kernel as source text.
   const char* source = R"(
 # Section 5 test application (scaled down)
 FOR i = 0 TO 15
@@ -33,53 +29,57 @@ FOR i = 0 TO 15
   ENDFOR
 ENDFOR
 )";
-  const loop::LoopNest nest = loop::parse_nest(source);
-  std::cout << "parsed nest '" << nest.name() << "': domain "
-            << nest.domain() << "\n  dependencies " << nest.deps().str()
-            << "\n  body " << nest.kernel().statement() << "\n\n";
 
-  // 2. Problem setup: the calibrated cluster, 4x4 processors.
-  const core::Problem problem{nest, mach::MachineParams::paper_cluster(),
-                              Vec{4, 4, 1}};
-  std::cout << "mapping dimension: " << problem.mapped_dim()
-            << " (largest extent), processors: 16\n";
+  // 2. One compiler, two compilations (overlapping / non-overlapping).
+  // Every stage runs its paper-invariant verifier: H·P = I, 0/1 tile
+  // dependences, Π-legality, grid·mapping consistency, P(g) cross-check.
+  pipeline::CompileOptions opts;
+  opts.machine = mach::MachineParams::paper_cluster();
+  opts.procs = Vec{4, 4, 1};
+  opts.codegen.element_type = "float";  // the paper uses floats
 
-  // 3. Grain selection: analytic closed form (no runs needed).
-  const core::AnalyticOptimum g_opt =
-      core::analytic_optimal_height_overlap(problem);
-  std::cout << "analytic optimal tile height V = " << g_opt.V
-            << " (continuous " << util::fmt_fixed(g_opt.V_continuous, 1)
-            << ", " << (g_opt.cpu_bound ? "CPU" : "communication")
-            << "-bound step)\n\n";
-
-  // 4. Both schedules: predict, simulate, validate.
   util::Table table;
   table.set_header({"schedule", "P(g)", "predicted", "simulated",
                     "max |err| vs sequential"});
+  std::string program;
   for (auto kind : {sched::ScheduleKind::kNonOverlap,
                     sched::ScheduleKind::kOverlap}) {
-    const exec::TilePlan plan = problem.plan(g_opt.V, kind);
-    const double predicted = core::predict_completion(plan, problem.machine);
-    const exec::RunResult timed =
-        exec::run_plan(problem.nest, plan, problem.machine);
-    const double err =
-        exec::run_and_validate(problem.nest, plan, problem.machine);
+    opts.kind = kind;
+    opts.emit_program = kind == sched::ScheduleKind::kOverlap;
+    const pipeline::Compiler compiler(opts);
+    const pipeline::ArtifactStore out =
+        compiler.compile_source("paper_kernel", source);
+
+    if (kind == sched::ScheduleKind::kNonOverlap) {
+      // 3. The artifacts the early stages produced, shared by both runs.
+      const loop::LoopNest& nest = out.nest();
+      std::cout << "parsed nest '" << nest.name() << "': domain "
+                << nest.domain() << "\n  dependencies " << nest.deps().str()
+                << "\n  body " << nest.kernel().statement() << "\n\n";
+      std::cout << "mapping dimension: " << out.analysis().mapped_dim
+                << " (largest extent), processors: 16\n";
+      const core::AnalyticOptimum& g_opt = out.tiling().analytic;
+      std::cout << "analytic optimal tile height V = " << g_opt.V
+                << " (continuous " << util::fmt_fixed(g_opt.V_continuous, 1)
+                << ", " << (g_opt.cpu_bound ? "CPU" : "communication")
+                << "-bound step)\n\nper-stage artifacts:\n";
+      pipeline::write_stage_log(std::cout, out);
+      std::cout << '\n';
+    }
+
+    const double err = exec::run_and_validate(out.nest(), *out.plan().plan,
+                                              opts.machine);
     table.add_row({kind == sched::ScheduleKind::kOverlap ? "overlapping"
                                                          : "non-overlapping",
-                   std::to_string(plan.schedule_length()),
-                   util::fmt_seconds(predicted),
-                   util::fmt_seconds(timed.seconds),
+                   std::to_string(out.schedule().length),
+                   util::fmt_seconds(out.plan().predicted_seconds),
+                   util::fmt_seconds(out.backend().run->seconds),
                    util::fmt_fixed(err, 12)});
+    if (opts.emit_program) program = out.backend().program;
   }
   table.write_text(std::cout);
 
-  // 5. Back end: emit the overlapping program.
-  const exec::TilePlan final_plan =
-      problem.plan(g_opt.V, sched::ScheduleKind::kOverlap);
-  gen::CodegenOptions copts;
-  copts.element_type = "float";  // the paper uses floats
-  const std::string program =
-      gen::generate_mpi_program(problem.nest, final_plan, copts);
+  // 4. Back end product: the overlapping C + MPI program.
   std::cout << "\ngenerated " << program.size()
             << " bytes of C (ProcNB variant)";
   if (emit) {

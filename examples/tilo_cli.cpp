@@ -1,20 +1,11 @@
 // tilo_cli — the library as a command-line tool: read a loop nest from a
-// file (or use the built-in demo), tile it, schedule it, simulate it, and
-// optionally sweep V, draw a Gantt chart or emit the C + MPI program.
+// file (or use the built-in demo), compile it through the staged
+// tilo::pipeline (Frontend → Analysis → Tiling → Scheduling → Lowering →
+// Backend), and optionally sweep V, draw a Gantt chart, emit the C + MPI
+// program, save/replay plans or batch-compile a scenario file.
 //
-//   tilo_cli [nest.loop] [options]
-//     --procs P0xP1x...   processor grid (default: 4 per cross dim)
-//     --auto N            let the planner pick the grid for N processors
-//     --height V          tile height (default: analytic optimum)
-//     --schedule S        overlap | nonoverlap | both (default both)
-//     --sweep             sweep tile heights and print the table
-//     --gantt             render the phase timeline
-//     --emit-c            print the generated MPI program
-//     --emit-loop         print the nest serialized back to grammar form
-//     --validate          functional run vs sequential reference
-//     --trace FILE        write a Chrome-trace JSON of the run(s); load it
-//                         at https://ui.perfetto.dev or chrome://tracing
-//     --report            print the paper's per-rank A/B phase report
+// Every flag lives in one table (kFlags) that drives both the argument
+// parser and the usage text, so the two cannot drift apart.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -22,18 +13,19 @@
 #include <string>
 #include <vector>
 
-#include "tilo/codegen/mpi_program.hpp"
-#include "tilo/core/analytic.hpp"
-#include "tilo/core/recommend.hpp"
-#include "tilo/core/predict.hpp"
+#include "tilo/core/plancache.hpp"
 #include "tilo/core/sweep.hpp"
 #include "tilo/loopnest/parse.hpp"
 #include "tilo/obs/chrome_trace.hpp"
 #include "tilo/obs/report.hpp"
+#include "tilo/pipeline/compiler.hpp"
+#include "tilo/pipeline/serialize.hpp"
 #include "tilo/trace/gantt.hpp"
 #include "tilo/util/csv.hpp"
 
 namespace {
+
+using tilo::util::i64;
 
 const char* kDemoSource = R"(# built-in demo: the paper's kernel, reduced
 FOR i = 0 TO 15
@@ -48,9 +40,9 @@ ENDFOR
 struct CliOptions {
   std::string source = kDemoSource;
   std::string source_name = "<built-in demo>";
-  std::optional<tilo::lat::Vec> procs;
-  std::optional<tilo::util::i64> height;
-  std::optional<tilo::util::i64> auto_procs;
+  std::optional<std::string> procs_text;
+  std::optional<i64> height;
+  std::optional<i64> auto_procs;
   bool run_overlap = true;
   bool run_nonoverlap = true;
   bool sweep = false;
@@ -60,13 +52,143 @@ struct CliOptions {
   bool validate = false;
   std::string trace_path;  ///< empty = no Chrome trace
   bool report = false;
+  bool pipeline_log = false;
+  std::string save_plan_path;
+  std::string load_plan_path;
+  std::string scenario_path;
 };
 
+bool to_i64(const std::string& text, i64& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoll(text, &pos);
+    return pos == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// One CLI flag: the table drives the parser AND the usage text, so a flag
+/// cannot exist without being documented (and vice versa).
+struct Flag {
+  const char* name;     ///< "--procs"
+  const char* metavar;  ///< value placeholder; nullptr = boolean flag
+  const char* help;
+  bool (*apply)(CliOptions& cli, const std::string& value);
+};
+
+constexpr Flag kFlags[] = {
+    {"--procs", "P0xP1x..",
+     "processor grid (default: 4 per cross dimension)",
+     [](CliOptions& c, const std::string& v) {
+       c.procs_text = v;
+       return !v.empty();
+     }},
+    {"--auto", "N", "let the planner pick the grid for N processors",
+     [](CliOptions& c, const std::string& v) {
+       i64 n = 0;
+       if (!to_i64(v, n)) return false;
+       c.auto_procs = n;
+       return true;
+     }},
+    {"--height", "V", "tile height (default: analytic optimum)",
+     [](CliOptions& c, const std::string& v) {
+       i64 n = 0;
+       if (!to_i64(v, n)) return false;
+       c.height = n;
+       return true;
+     }},
+    {"--schedule", "S", "overlap | nonoverlap | both (default: both)",
+     [](CliOptions& c, const std::string& v) {
+       c.run_overlap = v == "overlap" || v == "both";
+       c.run_nonoverlap = v == "nonoverlap" || v == "both";
+       return c.run_overlap || c.run_nonoverlap;
+     }},
+    {"--sweep", nullptr, "sweep tile heights and print the table",
+     [](CliOptions& c, const std::string&) {
+       c.sweep = true;
+       return true;
+     }},
+    {"--gantt", nullptr, "render the phase timeline",
+     [](CliOptions& c, const std::string&) {
+       c.gantt = true;
+       return true;
+     }},
+    {"--emit-c", nullptr, "print the generated MPI program",
+     [](CliOptions& c, const std::string&) {
+       c.emit_c = true;
+       return true;
+     }},
+    {"--emit-loop", nullptr,
+     "print the nest serialized back to grammar form",
+     [](CliOptions& c, const std::string&) {
+       c.emit_loop = true;
+       return true;
+     }},
+    {"--validate", nullptr, "functional run vs sequential reference",
+     [](CliOptions& c, const std::string&) {
+       c.validate = true;
+       return true;
+     }},
+    {"--trace", "FILE",
+     "write a Chrome-trace JSON of the run(s); load it at "
+     "https://ui.perfetto.dev or chrome://tracing",
+     [](CliOptions& c, const std::string& v) {
+       c.trace_path = v;
+       return !v.empty();
+     }},
+    {"--report", nullptr, "print the paper's per-rank A/B phase report",
+     [](CliOptions& c, const std::string&) {
+       c.report = true;
+       return true;
+     }},
+    {"--pipeline", nullptr,
+     "print each compiler stage's artifact (the stage log)",
+     [](CliOptions& c, const std::string&) {
+       c.pipeline_log = true;
+       return true;
+     }},
+    {"--save-plan", "FILE",
+     "write the compiled plan (nest + machine + tiling) as JSON; with "
+     "--schedule both, saves the overlapping plan",
+     [](CliOptions& c, const std::string& v) {
+       c.save_plan_path = v;
+       return !v.empty();
+     }},
+    {"--load-plan", "FILE",
+     "replay a plan saved with --save-plan instead of compiling",
+     [](CliOptions& c, const std::string& v) {
+       c.load_plan_path = v;
+       return !v.empty();
+     }},
+    {"--scenario", "FILE",
+     "compile every workload of a scenario file in one pipeline invocation",
+     [](CliOptions& c, const std::string& v) {
+       c.scenario_path = v;
+       return !v.empty();
+     }},
+};
+
+/// Usage text regenerated from kFlags — always in sync with the parser.
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [nest.loop] [--procs AxBx..] [--height V] "
-               "[--schedule overlap|nonoverlap|both] [--sweep] [--gantt] "
-               "[--emit-c] [--validate] [--trace FILE] [--report]\n";
+  std::ostringstream line;
+  line << "usage: " << argv0 << " [nest.loop]";
+  for (const Flag& f : kFlags) {
+    line << " [" << f.name;
+    if (f.metavar) line << ' ' << f.metavar;
+    line << ']';
+  }
+  std::cerr << line.str() << "\n\noptions:\n";
+  for (const Flag& f : kFlags) {
+    std::string head = "  ";
+    head += f.name;
+    if (f.metavar) {
+      head += ' ';
+      head += f.metavar;
+    }
+    if (head.size() < 22) head.resize(22, ' ');
+    std::cerr << head << ' ' << f.help << '\n';
+  }
   return 2;
 }
 
@@ -87,95 +209,225 @@ bool parse_procs(const std::string& text, std::size_t dims,
   return d == dims;
 }
 
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+/// The per-run observer bundle (Gantt timeline, Chrome trace, phase
+/// report) fanned into one sink.
+struct Observers {
+  tilo::trace::Timeline timeline;
+  tilo::obs::ChromeTraceSink chrome;
+  tilo::obs::ReportSink report;
+  tilo::obs::MultiSink fan;
+
+  tilo::obs::Sink* attach(const CliOptions& cli) {
+    if (cli.gantt) fan.add(&timeline);
+    if (!cli.trace_path.empty()) fan.add(&chrome);
+    if (cli.report) fan.add(&report);
+    return cli.gantt || !cli.trace_path.empty() || cli.report ? &fan
+                                                              : nullptr;
+  }
+};
+
+/// Prints the paper-style completion line for one simulated schedule.
+void print_schedule_line(tilo::sched::ScheduleKind kind, double seconds,
+                         const tilo::exec::TilePlan& plan,
+                         double predicted) {
+  std::cout << (kind == tilo::sched::ScheduleKind::kOverlap
+                    ? "overlapping:     "
+                    : "non-overlapping: ")
+            << tilo::util::fmt_seconds(seconds) << "  (P(g) = "
+            << plan.schedule_length() << ", predicted "
+            << tilo::util::fmt_seconds(predicted) << ")\n";
+}
+
+/// Post-run output shared by compile and replay modes: validation, Gantt,
+/// report, Chrome trace.  Returns false on I/O failure.
+bool finish_run(const CliOptions& cli, const tilo::loop::LoopNest& nest,
+                const tilo::exec::TilePlan& plan,
+                const tilo::mach::MachineParams& machine, Observers& obs,
+                const std::string& trace_path) {
+  using namespace tilo;
+  if (cli.validate) {
+    const double err = exec::run_and_validate(nest, plan, machine);
+    std::cout << "  validation vs sequential: max |err| = " << err << '\n';
+  }
+  if (cli.gantt) {
+    trace::GanttOptions gopts;
+    gopts.width = 100;
+    trace::render_gantt(std::cout, obs.timeline, gopts);
+  }
+  if (cli.report) obs.report.report().write_table(std::cout);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      return false;
+    }
+    obs.chrome.write(out);
+    std::cout << "  trace written to " << trace_path
+              << " (load at https://ui.perfetto.dev)\n";
+  }
+  return true;
+}
+
+/// Replay mode: --load-plan FILE.  Re-verifies the loaded plan through the
+/// pipeline's Scheduling/Lowering checks, then simulates it — bit-identical
+/// to the run that saved it.
+int run_load_plan(const CliOptions& cli) {
+  using namespace tilo;
+  const auto text = read_file(cli.load_plan_path);
+  if (!text) {
+    std::cerr << "cannot open " << cli.load_plan_path << '\n';
+    return 2;
+  }
+  const pipeline::PlanBundle bundle =
+      pipeline::plan_from_json(pipeline::Json::parse(*text));
+  const loop::LoopNest& nest = bundle.nest;
+  std::cout << "nest '" << nest.name() << "' from " << cli.load_plan_path
+            << ": domain " << nest.domain() << ", deps "
+            << nest.deps().str() << '\n';
+  std::cout << "processor grid " << bundle.plan.mapping.procs().str()
+            << ", mapping dimension " << bundle.plan.mapped_dim << "\n\n";
+  std::cout << "tile height V = "
+            << bundle.plan.space.tiling().side(bundle.plan.mapped_dim)
+            << " (from plan file)\n\n";
+
+  Observers obs;
+  pipeline::CompileOptions ropts;
+  ropts.sink = obs.attach(cli);
+  const pipeline::Compiler compiler(ropts);
+  const pipeline::ArtifactStore out =
+      compiler.replay(nest, bundle.machine, bundle.plan);
+  const exec::TilePlan& plan = *out.plan().plan;
+  print_schedule_line(plan.kind, out.backend().run->seconds, plan,
+                      out.plan().predicted_seconds);
+  if (cli.pipeline_log) pipeline::write_stage_log(std::cout, out);
+  if (!finish_run(cli, nest, plan, bundle.machine, obs, cli.trace_path))
+    return 1;
+  return 0;
+}
+
+/// Batch mode: --scenario FILE.  One Compiler invocation compiles every
+/// workload; per-stage spans land on the workload's trace lane.
+int run_scenario(const CliOptions& cli) {
+  using namespace tilo;
+  const auto text = read_file(cli.scenario_path);
+  if (!text) {
+    std::cerr << "cannot open " << cli.scenario_path << '\n';
+    return 2;
+  }
+  const pipeline::ScenarioFile scenario = pipeline::parse_scenario(*text);
+
+  // One multi-problem cache serves every workload of the batch.
+  core::PlanCache cache(core::PlanCache::Scope::kMultiProblem);
+  obs::ChromeTraceSink chrome;
+  pipeline::CompileOptions sopts;
+  sopts.height = cli.height;
+  sopts.auto_procs = cli.auto_procs;
+  sopts.plan_cache = &cache;
+  if (!cli.run_overlap) sopts.kind = sched::ScheduleKind::kNonOverlap;
+  if (!cli.trace_path.empty()) sopts.sink = &chrome;
+
+  const pipeline::Compiler compiler(sopts);
+  const std::vector<pipeline::ArtifactStore> stores =
+      compiler.compile(scenario);
+  std::cout << "scenario " << cli.scenario_path << ": " << stores.size()
+            << " workload(s) compiled in one pipeline invocation\n\n";
+  for (const pipeline::ArtifactStore& store : stores) {
+    std::cout << "[" << store.source().name << "]\n";
+    pipeline::write_stage_log(std::cout, store);
+    std::cout << '\n';
+  }
+  if (!cli.trace_path.empty()) {
+    std::ofstream out(cli.trace_path);
+    if (!out) {
+      std::cerr << "cannot open " << cli.trace_path << " for writing\n";
+      return 1;
+    }
+    chrome.write(out);
+    std::cout << "trace written to " << cli.trace_path
+              << " (load at https://ui.perfetto.dev)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace tilo;
-  using util::i64;
 
   CliOptions cli;
   std::vector<std::string> args(argv + 1, argv + argc);
-  std::optional<std::string> procs_text;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
-    auto value = [&]() -> std::string {
-      return ++i < args.size() ? args[i] : std::string();
-    };
-    if (a == "--procs") {
-      procs_text = value();
-    } else if (a == "--auto") {
-      try {
-        cli.auto_procs = std::stoll(value());
-      } catch (const std::exception&) {
-        return usage(argv[0]);
-      }
-    } else if (a == "--height") {
-      try {
-        cli.height = std::stoll(value());
-      } catch (const std::exception&) {
-        return usage(argv[0]);
-      }
-    } else if (a == "--schedule") {
-      const std::string s = value();
-      cli.run_overlap = s == "overlap" || s == "both";
-      cli.run_nonoverlap = s == "nonoverlap" || s == "both";
-      if (!cli.run_overlap && !cli.run_nonoverlap) return usage(argv[0]);
-    } else if (a == "--sweep") {
-      cli.sweep = true;
-    } else if (a == "--gantt") {
-      cli.gantt = true;
-    } else if (a == "--emit-c") {
-      cli.emit_c = true;
-    } else if (a == "--emit-loop") {
-      cli.emit_loop = true;
-    } else if (a == "--validate") {
-      cli.validate = true;
-    } else if (a == "--trace") {
-      cli.trace_path = value();
-      if (cli.trace_path.empty()) return usage(argv[0]);
-    } else if (a == "--report") {
-      cli.report = true;
-    } else if (!a.empty() && a[0] != '-') {
-      std::ifstream in(a);
-      if (!in) {
+    if (!a.empty() && a[0] != '-') {
+      const auto body = read_file(a);
+      if (!body) {
         std::cerr << "cannot open " << a << '\n';
         return 2;
       }
-      std::ostringstream body;
-      body << in.rdbuf();
-      cli.source = body.str();
+      cli.source = *body;
       cli.source_name = a;
-    } else {
-      return usage(argv[0]);
+      continue;
     }
+    const Flag* flag = nullptr;
+    for (const Flag& f : kFlags)
+      if (a == f.name) flag = &f;
+    if (!flag) return usage(argv[0]);
+    std::string value;
+    if (flag->metavar) {
+      if (++i >= args.size()) return usage(argv[0]);
+      value = args[i];
+    }
+    if (!flag->apply(cli, value)) return usage(argv[0]);
   }
 
   try {
-    const loop::LoopNest nest = loop::parse_nest(cli.source);
+    if (!cli.scenario_path.empty()) return run_scenario(cli);
+    if (!cli.load_plan_path.empty()) return run_load_plan(cli);
+
+    const mach::MachineParams machine = mach::MachineParams::paper_cluster();
+    const loop::LoopNest nest =
+        pipeline::run_frontend({cli.source_name, cli.source});
     std::cout << "nest '" << nest.name() << "' from " << cli.source_name
               << ": domain " << nest.domain() << ", deps "
               << nest.deps().str() << '\n';
 
-    core::Problem problem{nest, mach::MachineParams::paper_cluster(),
-                          lat::Vec(nest.dims(), 1)};
-    const std::size_t md = problem.mapped_dim();
+    // Planning compile: resolve the grid and the tile height once (grid by
+    // planner search or flags; V by flag or the overlapping analytic
+    // optimum, as the paper tunes), shared by both schedule runs below.
+    pipeline::CompileOptions popts;
+    popts.machine = machine;
+    popts.height = cli.height;
+    popts.simulate = false;
     if (cli.auto_procs) {
-      const core::Recommendation rec = core::recommend_plan(
-          nest, problem.machine, *cli.auto_procs);
-      problem.procs = rec.problem.procs;
-      if (!cli.height) cli.height = rec.V;
-      std::cout << "planner chose grid " << problem.procs.str()
-                << " for " << *cli.auto_procs << " processors\n";
-    } else if (procs_text) {
+      popts.auto_procs = cli.auto_procs;
+    } else if (cli.procs_text) {
       lat::Vec procs;
-      if (!parse_procs(*procs_text, nest.dims(), procs))
+      if (!parse_procs(*cli.procs_text, nest.dims(), procs))
         return usage(argv[0]);
-      problem.procs = procs;
+      popts.procs = std::move(procs);
     } else {
-      for (std::size_t d = 0; d < nest.dims(); ++d)
-        problem.procs[d] = d == md ? 1 : 4;
+      const std::size_t md =
+          core::Problem{nest, machine, lat::Vec(nest.dims(), 1)}
+              .mapped_dim();
+      lat::Vec procs(nest.dims(), 4);
+      procs[md] = 1;
+      popts.procs = std::move(procs);
     }
-    problem.procs[md] = 1;
+    const pipeline::Compiler planner(popts);
+    const pipeline::ArtifactStore planned = planner.compile_nest(nest);
+    const core::Problem& problem = planned.analysis().problem;
+    const std::size_t md = planned.analysis().mapped_dim;
+    if (planned.analysis().auto_grid)
+      std::cout << "planner chose grid " << problem.procs.str() << " for "
+                << *cli.auto_procs << " processors\n";
     std::cout << "processor grid " << problem.procs.str()
               << ", mapping dimension " << md << "\n\n";
 
@@ -191,83 +443,76 @@ int main(int argc, char** argv) {
       std::cout << '\n';
     }
 
-    const i64 V = cli.height.value_or(
-        core::analytic_optimal_height_overlap(problem).V);
+    const util::i64 V = planned.tiling().V;
+    const bool analytic =
+        planned.tiling().analytic_height && !planned.analysis().auto_grid;
     std::cout << "tile height V = " << V
-              << (cli.height ? "" : " (analytic optimum)") << "\n\n";
+              << (analytic ? " (analytic optimum)" : "") << "\n\n";
 
+    const sched::ScheduleKind save_kind = cli.run_overlap
+                                              ? sched::ScheduleKind::kOverlap
+                                              : sched::ScheduleKind::kNonOverlap;
     for (auto kind : {sched::ScheduleKind::kNonOverlap,
                       sched::ScheduleKind::kOverlap}) {
       if (kind == sched::ScheduleKind::kOverlap && !cli.run_overlap)
         continue;
       if (kind == sched::ScheduleKind::kNonOverlap && !cli.run_nonoverlap)
         continue;
-      const exec::TilePlan plan = problem.plan(V, kind);
-      trace::Timeline timeline;
-      obs::ChromeTraceSink chrome;
-      obs::ReportSink report_sink;
-      obs::MultiSink fan;
-      exec::RunOptions opts;
-      if (cli.gantt) fan.add(&timeline);
-      if (!cli.trace_path.empty()) fan.add(&chrome);
-      if (cli.report) fan.add(&report_sink);
-      if (cli.gantt || !cli.trace_path.empty() || cli.report)
-        opts.sink = &fan;
-      const exec::RunResult r =
-          exec::run_plan(problem.nest, plan, problem.machine, opts);
-      std::cout << (kind == sched::ScheduleKind::kOverlap
-                        ? "overlapping:     "
-                        : "non-overlapping: ")
-                << util::fmt_seconds(r.seconds) << "  (P(g) = "
-                << plan.schedule_length() << ", predicted "
-                << util::fmt_seconds(
-                       core::predict_completion(plan, problem.machine))
-                << ")\n";
-      if (cli.validate) {
-        const double err =
-            exec::run_and_validate(problem.nest, plan, problem.machine);
-        std::cout << "  validation vs sequential: max |err| = " << err
-                  << '\n';
-      }
-      if (cli.gantt) {
-        trace::GanttOptions gopts;
-        gopts.width = 100;
-        trace::render_gantt(std::cout, timeline, gopts);
-      }
-      if (cli.report) report_sink.report().write_table(std::cout);
-      if (!cli.trace_path.empty()) {
-        // One file per schedule: suffix the kind when both run.
-        std::string path = cli.trace_path;
-        if (cli.run_overlap && cli.run_nonoverlap) {
-          const std::string tag =
-              kind == sched::ScheduleKind::kOverlap ? ".overlap"
-                                                    : ".nonoverlap";
-          const std::size_t dot = path.rfind('.');
-          if (dot == std::string::npos)
-            path += tag;
-          else
-            path.insert(dot, tag);
-        }
-        std::ofstream out(path);
-        if (!out) {
-          std::cerr << "cannot open " << path << " for writing\n";
+      Observers obs;
+      pipeline::CompileOptions ropts;
+      ropts.machine = machine;
+      ropts.procs = problem.procs;
+      ropts.height = V;
+      ropts.kind = kind;
+      ropts.sink = obs.attach(cli);
+      const pipeline::Compiler compiler(ropts);
+      const pipeline::ArtifactStore out = compiler.compile_nest(nest);
+      const exec::TilePlan& plan = *out.plan().plan;
+      print_schedule_line(kind, out.backend().run->seconds, plan,
+                          out.plan().predicted_seconds);
+      if (cli.pipeline_log) pipeline::write_stage_log(std::cout, out);
+      if (!cli.save_plan_path.empty() && kind == save_kind) {
+        std::ofstream os(cli.save_plan_path);
+        if (!os) {
+          std::cerr << "cannot open " << cli.save_plan_path
+                    << " for writing\n";
           return 1;
         }
-        chrome.write(out);
-        std::cout << "  trace written to " << path
-                  << " (load at https://ui.perfetto.dev)\n";
+        os << pipeline::plan_to_json(nest, machine, plan).dump() << '\n';
+        std::cout << "  plan written to " << cli.save_plan_path << '\n';
       }
+      // One trace file per schedule: suffix the kind when both run.
+      std::string trace_path = cli.trace_path;
+      if (!trace_path.empty() && cli.run_overlap && cli.run_nonoverlap) {
+        const std::string tag = kind == sched::ScheduleKind::kOverlap
+                                    ? ".overlap"
+                                    : ".nonoverlap";
+        const std::size_t dot = trace_path.rfind('.');
+        if (dot == std::string::npos)
+          trace_path += tag;
+        else
+          trace_path.insert(dot, tag);
+      }
+      if (!finish_run(cli, nest, plan, machine, obs, trace_path)) return 1;
     }
 
     if (cli.emit_loop) {
-      std::cout << '\n' << loop::to_source(problem.nest);
+      std::cout << '\n' << loop::to_source(nest);
     }
 
     if (cli.emit_c) {
-      const exec::TilePlan plan =
-          problem.plan(V, sched::ScheduleKind::kOverlap);
+      // Codegen is a Backend product too: recompile without simulation.
+      pipeline::CompileOptions eopts;
+      eopts.machine = machine;
+      eopts.procs = problem.procs;
+      eopts.height = V;
+      eopts.kind = sched::ScheduleKind::kOverlap;
+      eopts.simulate = false;
+      eopts.emit_program = true;
       std::cout << '\n'
-                << gen::generate_mpi_program(problem.nest, plan);
+                << pipeline::Compiler(eopts).compile_nest(nest)
+                       .backend()
+                       .program;
     }
   } catch (const util::Error& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -9,10 +9,11 @@ namespace tilo::core {
 namespace {
 
 /// Serializes everything plan(V, kind) depends on: the domain, the
-/// dependence set, the processor grid and the machine's cost scalars.
-/// Two problems with equal tags produce identical plans for every (V,
-/// kind), so tag equality is exactly the safety condition for sharing a
-/// cache.
+/// dependence set, the processor grid and the machine's cost scalars —
+/// i.e. the plan's serialized identity (the same fields
+/// pipeline::plan_to_json persists).  Two problems with equal tags produce
+/// identical plans for every (V, kind), so tag equality is exactly the
+/// safety condition for sharing a cache.
 std::string problem_identity_tag(const Problem& p) {
   std::ostringstream os;
   os.precision(17);
@@ -39,22 +40,30 @@ std::string problem_identity_tag(const Problem& p) {
 
 std::shared_ptr<const TilePlan> PlanCache::get(const Problem& problem,
                                                i64 V, ScheduleKind kind) {
-  const Key key{V, static_cast<int>(kind)};
+  const std::string tag = problem_identity_tag(problem);
+  // Single-problem scope keys on (V, kind) alone — the tag slot stays
+  // constant — and rejects a second problem; multi-problem scope folds the
+  // tag into the key instead.
+  const std::string key_tag =
+      scope_ == Scope::kMultiProblem ? tag : std::string();
+  const Key key{key_tag, V, static_cast<int>(kind)};
   const ScheduleKind sibling_kind = kind == ScheduleKind::kOverlap
                                         ? ScheduleKind::kNonOverlap
                                         : ScheduleKind::kOverlap;
-  const Key sibling{V, static_cast<int>(sibling_kind)};
-  const std::string tag = problem_identity_tag(problem);
+  const Key sibling{key_tag, V, static_cast<int>(sibling_kind)};
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (problem_tag_.empty()) {
-      problem_tag_ = tag;
-    } else {
-      TILO_REQUIRE(problem_tag_ == tag,
-                   "PlanCache used with a different problem than it was "
-                   "built for — a cache is keyed by (V, kind) only and "
-                   "must serve exactly one Problem (create one cache per "
-                   "problem)");
+    if (scope_ == Scope::kSingleProblem) {
+      if (problem_tag_.empty()) {
+        problem_tag_ = tag;
+      } else {
+        TILO_REQUIRE(problem_tag_ == tag,
+                     "PlanCache used with a different problem than it was "
+                     "built for — a single-problem cache is keyed by (V, "
+                     "kind) only and must serve exactly one Problem "
+                     "(create one cache per problem, or build the cache "
+                     "with Scope::kMultiProblem)");
+      }
     }
     auto it = plans_.find(key);
     if (it != plans_.end()) {

@@ -11,40 +11,59 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "tilo/core/problem.hpp"
 
 namespace tilo::core {
 
-/// Cache of Problem::plan(V, kind) results for ONE problem instance.  The
-/// cache key is (V, kind) only, so a cache must not outlive or be shared
-/// across different problems — it would silently serve plans built for the
-/// wrong domain.  get() therefore records an identity tag (domain, deps,
-/// procs, machine scalars) from the first problem it sees and throws
-/// util::Error if a later call presents a different problem.  The cache
-/// must outlive every sweep/autotune call it is passed to
-/// (SweepOptions::plan_cache is a raw pointer).
+/// Cache of Problem::plan(V, kind) results.
+///
+/// In the default kSingleProblem scope the cache serves ONE problem
+/// instance: the key is (V, kind) only, get() records an identity tag
+/// (domain, deps, procs, machine scalars — everything the serialized plan
+/// depends on) from the first problem it sees and throws util::Error if a
+/// later call presents a different problem, so a stale cache cannot
+/// silently serve plans built for the wrong domain.
+///
+/// In kMultiProblem scope the identity tag joins the key, so one cache can
+/// back a whole pipeline scenario (several workloads compiled in one
+/// Compiler invocation) without cross-talk between problems.
+///
+/// Either way the cache must outlive every call it is passed to
+/// (SweepOptions::plan_cache and pipeline::CompileOptions::plan_cache are
+/// raw pointers).
 class PlanCache {
  public:
+  enum class Scope {
+    kSingleProblem,  ///< key (V, kind); different problem = util::Error
+    kMultiProblem,   ///< key (problem tag, V, kind); any mix of problems
+  };
+
+  explicit PlanCache(Scope scope = Scope::kSingleProblem) : scope_(scope) {}
+
   /// Returns the cached plan, building (and caching) it on a miss.  The
   /// geometry of a plan is independent of the schedule kind, so a miss
   /// whose sibling kind is present is served by copying the sibling and
   /// flipping the kind instead of rebuilding the tiling.
-  /// Throws util::Error when `problem` is not the problem this cache was
-  /// first used with (see class comment).
+  /// Throws util::Error in kSingleProblem scope when `problem` is not the
+  /// problem this cache was first used with (see class comment).
   std::shared_ptr<const TilePlan> get(const Problem& problem, i64 V,
                                       ScheduleKind kind);
+
+  Scope scope() const { return scope_; }
 
   /// Cache effectiveness counters (for benches and tests).
   std::uint64_t hits() const;
   std::uint64_t misses() const;
 
  private:
-  using Key = std::pair<i64, int>;
+  using Key = std::tuple<std::string, i64, int>;
 
+  const Scope scope_;
   mutable std::mutex mu_;
-  /// Identity tag of the first problem served; empty until then.
+  /// kSingleProblem only: identity tag of the first problem served.
   std::string problem_tag_;
   std::map<Key, std::shared_ptr<const TilePlan>> plans_;
   std::uint64_t hits_ = 0;

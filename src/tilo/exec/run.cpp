@@ -9,7 +9,6 @@
 
 #include "tilo/exec/coro.hpp"
 #include "tilo/exec/regions.hpp"
-#include "tilo/trace/timeline.hpp"
 #include "tilo/util/error.hpp"
 
 namespace tilo::exec {
@@ -565,14 +564,6 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
     s.counter("run.halo_bytes", static_cast<double>(result.halo_bytes));
   }
   return result;
-}
-
-RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
-                   const mach::MachineParams& params,
-                   trace::Timeline* timeline, RunWorkspace* workspace) {
-  RunOptions opts;
-  opts.sink = timeline;  // Timeline is an obs::Sink
-  return run_plan(nest, plan, params, opts, workspace);
 }
 
 double run_and_validate(const loop::LoopNest& nest, const TilePlan& plan,

@@ -21,10 +21,6 @@
 #include "tilo/msg/cluster.hpp"
 #include "tilo/obs/sink.hpp"
 
-namespace tilo::trace {
-class Timeline;  // deprecated run_plan overload only
-}
-
 namespace tilo::exec {
 
 /// Communication-model knobs, shared by single runs (RunOptions) and
@@ -99,15 +95,6 @@ class RunWorkspace;
 RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
                    const mach::MachineParams& params,
                    const RunOptions& opts = {},
-                   RunWorkspace* workspace = nullptr);
-
-/// Deprecated shim for the pre-obs API that took a raw Timeline pointer.
-/// Timeline is an obs::Sink now — set RunOptions::sink instead.  Removed
-/// after one release.
-[[deprecated("set RunOptions::sink instead")]]
-RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
-                   const mach::MachineParams& params,
-                   trace::Timeline* timeline,
                    RunWorkspace* workspace = nullptr);
 
 /// Opaque reusable execution scratch (see run_plan).  Cheap to construct;

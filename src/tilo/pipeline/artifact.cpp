@@ -1,0 +1,160 @@
+#include "tilo/pipeline/artifact.hpp"
+
+#include <ostream>
+
+#include "tilo/util/csv.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::pipeline {
+
+std::string_view stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kFrontend: return "Frontend";
+    case Stage::kAnalysis: return "Analysis";
+    case Stage::kTiling: return "Tiling";
+    case Stage::kScheduling: return "Scheduling";
+    case Stage::kLowering: return "Lowering";
+    case Stage::kBackend: return "Backend";
+  }
+  return "?";
+}
+
+void stage_fail(Stage stage, const std::string& message) {
+  throw util::Error(
+      util::concat("pipeline stage ", stage_name(stage), ": ", message));
+}
+
+namespace {
+
+/// Shared "consumed before produced" diagnostic.
+[[noreturn]] void missing(Stage consumer, const char* artifact) {
+  stage_fail(consumer, util::concat("needs the ", artifact,
+                                    " artifact, which no earlier stage "
+                                    "produced (stages ran out of order?)"));
+}
+
+}  // namespace
+
+const SourceArtifact& ArtifactStore::source(Stage consumer) const {
+  if (!source_) missing(consumer, "source");
+  return *source_;
+}
+
+const loop::LoopNest& ArtifactStore::nest(Stage consumer) const {
+  if (!nest_) missing(consumer, "loop-nest");
+  return *nest_;
+}
+
+const AnalysisArtifact& ArtifactStore::analysis(Stage consumer) const {
+  if (!analysis_) missing(consumer, "analysis");
+  return *analysis_;
+}
+
+const TilingArtifact& ArtifactStore::tiling(Stage consumer) const {
+  if (!tiling_) missing(consumer, "tiling");
+  return *tiling_;
+}
+
+const ScheduleArtifact& ArtifactStore::schedule(Stage consumer) const {
+  if (!schedule_) missing(consumer, "schedule");
+  return *schedule_;
+}
+
+const PlanArtifact& ArtifactStore::plan(Stage consumer) const {
+  if (!plan_) missing(consumer, "plan");
+  return *plan_;
+}
+
+const BackendArtifact& ArtifactStore::backend(Stage consumer) const {
+  if (!backend_) missing(consumer, "backend");
+  return *backend_;
+}
+
+namespace {
+
+[[noreturn]] void never_produced(const char* artifact) {
+  throw util::Error(util::concat("the compilation produced no ", artifact,
+                                 " artifact"));
+}
+
+}  // namespace
+
+const SourceArtifact& ArtifactStore::source() const {
+  if (!source_) never_produced("source");
+  return *source_;
+}
+
+const loop::LoopNest& ArtifactStore::nest() const {
+  if (!nest_) never_produced("loop-nest");
+  return *nest_;
+}
+
+const AnalysisArtifact& ArtifactStore::analysis() const {
+  if (!analysis_) never_produced("analysis");
+  return *analysis_;
+}
+
+const TilingArtifact& ArtifactStore::tiling() const {
+  if (!tiling_) never_produced("tiling");
+  return *tiling_;
+}
+
+const ScheduleArtifact& ArtifactStore::schedule() const {
+  if (!schedule_) never_produced("schedule");
+  return *schedule_;
+}
+
+const PlanArtifact& ArtifactStore::plan() const {
+  if (!plan_) never_produced("plan");
+  return *plan_;
+}
+
+const BackendArtifact& ArtifactStore::backend() const {
+  if (!backend_) never_produced("backend");
+  return *backend_;
+}
+
+void write_stage_log(std::ostream& os, const ArtifactStore& store) {
+  if (store.has_nest()) {
+    const loop::LoopNest& n = store.nest();
+    os << "  Frontend    nest '" << n.name() << "' domain "
+       << n.domain().str() << ", deps " << n.deps().str() << '\n';
+  }
+  if (store.has_analysis()) {
+    const AnalysisArtifact& a = store.analysis();
+    os << "  Analysis    grid " << a.problem.procs.str()
+       << ", mapping dimension " << a.mapped_dim
+       << (a.auto_grid ? " (planner-chosen)" : "") << '\n';
+  }
+  if (store.has_tiling()) {
+    const TilingArtifact& t = store.tiling();
+    os << "  Tiling      V = " << t.V << ", sides "
+       << t.tiling.sides().str() << ", g = " << t.tiling.tile_volume()
+       << (t.analytic_height ? " (analytic optimum)" : "") << '\n';
+  }
+  if (store.has_schedule()) {
+    const ScheduleArtifact& s = store.schedule();
+    os << "  Scheduling  "
+       << (s.kind == sched::ScheduleKind::kOverlap ? "overlap"
+                                                   : "non-overlap")
+       << " Π = " << s.pi.str() << ", P(g) = " << s.length << '\n';
+  }
+  if (store.has_plan()) {
+    const PlanArtifact& p = store.plan();
+    os << "  Lowering    " << p.plan->mapping.num_ranks() << " ranks, "
+       << p.plan->space.num_tiles() << " tiles, predicted "
+       << util::fmt_seconds(p.predicted_seconds) << '\n';
+  }
+  if (store.has_backend()) {
+    const BackendArtifact& b = store.backend();
+    os << "  Backend     ";
+    if (b.run) os << "simulated " << util::fmt_seconds(b.run->seconds);
+    if (b.run && !b.program.empty()) os << ", ";
+    if (!b.program.empty())
+      os << "generated " << b.program.size() << " bytes of C";
+    if (!b.run && b.program.empty()) os << "(nothing requested)";
+    os << '\n';
+  }
+}
+
+}  // namespace tilo::pipeline

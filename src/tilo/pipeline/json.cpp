@@ -1,0 +1,379 @@
+#include "tilo/pipeline/json.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "tilo/obs/json.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::pipeline {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::integer(i64 v) {
+  Json j;
+  j.type_ = Type::kInteger;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool(std::string_view what) const {
+  TILO_REQUIRE(type_ == Type::kBool, "JSON field '", what,
+               "' must be a boolean");
+  return bool_;
+}
+
+double Json::as_number(std::string_view what) const {
+  if (type_ == Type::kInteger) return static_cast<double>(int_);
+  TILO_REQUIRE(type_ == Type::kNumber, "JSON field '", what,
+               "' must be a number");
+  return num_;
+}
+
+i64 Json::as_integer(std::string_view what) const {
+  TILO_REQUIRE(type_ == Type::kInteger, "JSON field '", what,
+               "' must be an integer");
+  return int_;
+}
+
+const std::string& Json::as_string(std::string_view what) const {
+  TILO_REQUIRE(type_ == Type::kString, "JSON field '", what,
+               "' must be a string");
+  return str_;
+}
+
+const Json::Array& Json::as_array(std::string_view what) const {
+  TILO_REQUIRE(type_ == Type::kArray, "JSON field '", what,
+               "' must be an array");
+  return arr_;
+}
+
+const Json::Object& Json::as_object(std::string_view what) const {
+  TILO_REQUIRE(type_ == Type::kObject, "JSON field '", what,
+               "' must be an object");
+  return obj_;
+}
+
+Json& Json::set(std::string key, Json value) {
+  TILO_REQUIRE(type_ == Type::kObject, "Json::set on a non-object");
+  // Overwrite in place so a re-set key keeps its original position (the
+  // writer stays deterministic) instead of creating a duplicate.
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Json* Json::find(std::string_view key) {
+  return const_cast<Json*>(std::as_const(*this).find(key));
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  TILO_REQUIRE(found != nullptr, "JSON object is missing required field '",
+               key, "'");
+  return *found;
+}
+
+Json& Json::push(Json value) {
+  TILO_REQUIRE(type_ == Type::kArray, "Json::push on a non-array");
+  arr_.push_back(std::move(value));
+  return arr_.back();
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      out += obs::json_number(num_);
+      break;
+    case Type::kInteger:
+      out += std::to_string(int_);
+      break;
+    case Type::kString:
+      out += '"';
+      out += obs::json_escape(str_);
+      out += '"';
+      break;
+    case Type::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        arr_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    case Type::kObject:
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += obs::json_escape(obj_[i].first);
+        out += "\":";
+        obj_[i].second.dump_to(out);
+      }
+      out += '}';
+      break;
+  }
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with offset-carrying errors.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    TILO_REQUIRE(pos_ == text_.size(),
+                 "trailing characters after JSON document at byte ", pos_);
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw util::Error(util::concat("JSON parse error at byte ", pos_, ": ",
+                                   what));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(util::concat("expected '", c, "'"));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json::boolean(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json::boolean(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // The writer only emits \u00XX for control bytes; decode the
+          // BMP subset as UTF-8 for completeness.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+      fail("bad number");
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') return Json::integer(v);
+      // Fall through to double on i64 overflow.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (!end || *end != '\0') fail("bad number");
+    return Json::number(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace tilo::pipeline

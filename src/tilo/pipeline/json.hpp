@@ -1,0 +1,85 @@
+// Minimal JSON document model for the pipeline's serialized artifacts.
+//
+// Unlike the write-only helpers in tilo/obs/json.hpp, this is a full value
+// type with a parser, because plan replay has to read artifacts back.  It
+// is deliberately small: objects preserve insertion order and the writer is
+// deterministic (fixed field order, shortest-round-trip numbers), so
+// serialize → parse → serialize is byte-identical — the property the plan
+// round-trip tests pin down.
+//
+// Numbers keep their integer-ness: a literal without '.', 'e' or 'E' that
+// fits in i64 stays an integer and prints as one; everything else prints
+// via obs::json_number (%.17g), which round-trips doubles exactly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "tilo/util/math.hpp"
+
+namespace tilo::pipeline {
+
+using util::i64;
+
+/// A parsed or under-construction JSON value.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kInteger, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json integer(i64 v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Checked accessors; `what` names the field for the error message.
+  bool as_bool(std::string_view what) const;
+  double as_number(std::string_view what) const;  // accepts integers too
+  i64 as_integer(std::string_view what) const;
+  const std::string& as_string(std::string_view what) const;
+  const Array& as_array(std::string_view what) const;
+  const Object& as_object(std::string_view what) const;
+
+  /// Object field access: set (insert or overwrite in place) / lookup
+  /// (nullptr when absent) / required.
+  Json& set(std::string key, Json value);
+  const Json* find(std::string_view key) const;
+  Json* find(std::string_view key);
+  const Json& at(std::string_view key) const;
+
+  /// Array append.
+  Json& push(Json value);
+
+  /// Compact deterministic serialization.
+  std::string dump() const;
+
+  /// Parses a complete JSON document; throws util::Error with the byte
+  /// offset on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  i64 int_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace tilo::pipeline

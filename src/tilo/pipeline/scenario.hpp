@@ -1,0 +1,52 @@
+// Scenario files: a batch of workloads compiled in one Compiler
+// invocation.
+//
+//   {"tilo": "scenario", "version": 1,
+//    "machine": { ... },                    // optional; default paper cluster
+//    "workloads": [
+//      {"name": "wl1",
+//       "source": "FOR i = 0 TO 15 ...",    // loop-nest grammar text
+//       "procs": [4, 4, 1],                 // optional explicit grid
+//       "auto_procs": 16,                   // optional planner budget
+//       "height": 64,                       // optional tile height V
+//       "schedule": "overlap"},             // optional; default overlap
+//      ...]}
+//
+// Per-workload fields override the compiler's defaults; absent fields fall
+// back to them.  `auto_procs` wins over `procs` when both are present.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tilo/lattice/vec.hpp"
+#include "tilo/machine/params.hpp"
+#include "tilo/pipeline/json.hpp"
+#include "tilo/sched/tiled.hpp"
+
+namespace tilo::pipeline {
+
+/// One workload of a scenario.
+struct ScenarioWorkload {
+  std::string name;
+  std::string source;  ///< loop-nest grammar text
+  std::optional<lat::Vec> procs;
+  std::optional<i64> auto_procs;
+  std::optional<i64> height;
+  std::optional<sched::ScheduleKind> kind;
+};
+
+/// A parsed scenario file.
+struct ScenarioFile {
+  std::optional<mach::MachineParams> machine;
+  std::vector<ScenarioWorkload> workloads;
+};
+
+ScenarioFile scenario_from_json(const Json& j);
+
+/// Parses scenario JSON text; throws util::Error on malformed input.
+ScenarioFile parse_scenario(std::string_view text);
+
+}  // namespace tilo::pipeline

@@ -1,0 +1,116 @@
+// The pipeline's stage functions and invariant verifiers.
+//
+// Each stage is a pure function from earlier artifacts to its own artifact;
+// the Compiler (compiler.hpp) sequences them, times them, and rewraps any
+// escaping util::Error with the failing stage's name.  The verifiers are
+// public so tests can feed deliberately malformed artifacts to each one and
+// check that the error names the stage.
+//
+// Paper invariants verified per stage:
+//   Tiling      H·P = I exactly (rational arithmetic); H·D >= 0 legality;
+//               containment ⌊H·D⌋ < 1 (tile sides exceed every dependence)
+//   Scheduling  D^S entries in {0,1}; Π·d^S >= 1 causality, and for the
+//               overlapping schedule Π·d^S >= 2 for every communicating
+//               dependence (the modified-Π condition of Section 4)
+//   Lowering    grid·mapping consistency (procs[mapped] = 1, grid within
+//               the tile space, mapping built over the plan's own tiled
+//               space) and the closed-form P(g) cross-check against the
+//               Scheduling stage
+#pragma once
+
+#include <optional>
+
+#include "tilo/codegen/mpi_program.hpp"
+#include "tilo/pipeline/artifact.hpp"
+
+namespace tilo::core {
+class PlanCache;
+}
+
+namespace tilo::pipeline {
+
+// ---------------------------------------------------------------- verifiers
+
+/// The supernode inverse-pair invariant: H·P = I, checked with exact
+/// rational arithmetic.
+void verify_supernode_identity(Stage stage, const lat::RatMat& H,
+                               const lat::Mat& P);
+
+/// Every tile dependence d^S must be a nonzero 0/1 vector (the containment
+/// assumption's consequence the schedules rely on).
+void verify_tile_deps_01(Stage stage, const std::vector<lat::Vec>& tile_deps);
+
+/// Schedule legality: Π·d^S >= 1 for every tile dependence; under the
+/// overlapping schedule additionally Π·d^S >= 2 for every dependence with a
+/// nonzero component off the mapping dimension (it communicates, and needs
+/// one step to compute plus one to deliver).
+void verify_pi_legality(Stage stage, const lat::Vec& pi,
+                        const std::vector<lat::Vec>& tile_deps,
+                        sched::ScheduleKind kind, std::size_t mapped_dim);
+
+/// Lowered-plan consistency: the plan's tiling matches the Tiling artifact,
+/// the mapping covers the plan's own tile space with procs[mapped_dim] = 1
+/// and no dimension wider than its tile columns, and the plan's closed-form
+/// schedule length equals the Scheduling artifact's.
+void verify_lowered_plan(Stage stage, const exec::TilePlan& plan,
+                         const tile::RectTiling& tiling,
+                         std::size_t mapped_dim, const lat::Vec& procs,
+                         util::i64 schedule_length);
+
+// ------------------------------------------------------------------- stages
+
+/// Frontend: parse the loop-nest grammar (loop::parse_nest).
+loop::LoopNest run_frontend(const SourceArtifact& source);
+
+/// Analysis: validate the dependence model and bind the nest to a machine
+/// and a processor grid.  With `auto_procs`, enumerates every ordered
+/// factorization over the non-mapped dimensions (capped at one processor
+/// per dependence-respecting tile row) and keeps the grid whose candidate
+/// plan predicts the smallest completion time; otherwise uses `procs`
+/// (default: one processor everywhere).
+AnalysisArtifact run_analysis(const loop::LoopNest& nest,
+                              const mach::MachineParams& machine,
+                              const std::optional<lat::Vec>& procs,
+                              const std::optional<util::i64>& auto_procs,
+                              sched::ScheduleKind kind);
+
+/// Tiling: choose the tile height (analytic optimum when `height` is
+/// empty), build the rectangular supernode, and verify H·P = I, legality
+/// and containment.
+TilingArtifact run_tiling(const AnalysisArtifact& analysis,
+                          const std::optional<util::i64>& height,
+                          sched::ScheduleKind kind);
+
+/// Scheduling: derive D^S, pick the paper's Π for `kind`, verify 0/1-ness
+/// and Π-legality, and compute the closed-form schedule length.
+ScheduleArtifact run_scheduling(const AnalysisArtifact& analysis,
+                                const TilingArtifact& tiling,
+                                sched::ScheduleKind kind);
+
+/// Lowering: build (or fetch from `cache`) the exec::TilePlan, verify
+/// grid·mapping consistency and the P(g) cross-check, and attach the
+/// eq. (3)/(4) prediction at `level`.
+PlanArtifact run_lowering(const AnalysisArtifact& analysis,
+                          const TilingArtifact& tiling,
+                          const ScheduleArtifact& schedule,
+                          core::PlanCache* cache = nullptr,
+                          mach::OverlapLevel level = mach::OverlapLevel::kDma);
+
+/// Backend knobs (the subset of compile options the Backend consumes).
+struct BackendConfig {
+  bool simulate = true;        ///< run the discrete-event simulator
+  bool functional = false;     ///< move real values and keep the field
+  bool emit_program = false;   ///< generate the C + MPI program
+  gen::CodegenOptions codegen;
+  exec::CommConfig comm;
+  obs::Sink* sink = nullptr;             ///< forwarded into run_plan
+  exec::RunWorkspace* workspace = nullptr;
+};
+
+/// Backend: simulate and/or emit code for the lowered plan.
+BackendArtifact run_backend(const loop::LoopNest& nest,
+                            const AnalysisArtifact& analysis,
+                            const PlanArtifact& plan,
+                            const BackendConfig& config);
+
+}  // namespace tilo::pipeline

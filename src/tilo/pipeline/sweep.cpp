@@ -1,3 +1,8 @@
+// core::sweep_tile_height / autotune_tile_height, implemented on the staged
+// pipeline: each sweep point runs Tiling → Scheduling → Lowering → Backend
+// through the stage functions (with their verifiers), so every simulated
+// point has passed the same invariant checks a full compile does.  Lives in
+// the pipeline library; the core header is unchanged.
 #include "tilo/core/sweep.hpp"
 
 #include <algorithm>
@@ -9,38 +14,12 @@
 #include "tilo/core/parallel.hpp"
 #include "tilo/core/plancache.hpp"
 #include "tilo/machine/optimize.hpp"
+#include "tilo/pipeline/stages.hpp"
 #include "tilo/util/error.hpp"
 
 namespace tilo::core {
 
 namespace {
-
-/// Plans for both schedule kinds at one V.  With a cache, served from it;
-/// without, the tiling is still built only once — the non-overlap plan is
-/// the overlap plan with the kind flipped (geometry is kind-independent).
-struct PlanPair {
-  std::shared_ptr<const TilePlan> over;
-  std::shared_ptr<const TilePlan> nonover;
-};
-
-PlanPair plans_for(const Problem& problem, i64 V, PlanCache* cache) {
-  if (cache) {
-    return PlanPair{cache->get(problem, V, ScheduleKind::kOverlap),
-                    cache->get(problem, V, ScheduleKind::kNonOverlap)};
-  }
-  auto over =
-      std::make_shared<TilePlan>(problem.plan(V, ScheduleKind::kOverlap));
-  auto nonover = std::make_shared<TilePlan>(*over);
-  nonover->kind = ScheduleKind::kNonOverlap;
-  return PlanPair{std::move(over), std::move(nonover)};
-}
-
-exec::RunOptions run_options(const SweepOptions& opts) {
-  exec::RunOptions ro;
-  ro.comm = opts.comm;
-  ro.sink = opts.sink;
-  return ro;
-}
 
 /// Wall-clock now in ns (host spans only; the simulation itself never
 /// reads the host clock).
@@ -50,51 +29,90 @@ obs::Time wall_ns() {
       .count();
 }
 
-/// One sweep sample: predictions from the shared plans, then both timed
-/// runs reusing the worker's workspace (the two runs share one tiled
-/// geometry, so the second reuses the comm table the first built).
-SweepPoint measure_point(const Problem& problem, i64 V,
+pipeline::BackendConfig backend_config(const SweepOptions& opts,
+                                       exec::RunWorkspace& workspace) {
+  pipeline::BackendConfig config;
+  config.comm = opts.comm;
+  config.sink = opts.sink;
+  config.workspace = &workspace;
+  return config;
+}
+
+/// One sweep sample: Tiling/Scheduling/Lowering for both kinds at this V,
+/// then both timed runs reusing the worker's workspace (the two runs share
+/// one tiled geometry, so the second reuses the comm table the first
+/// built).  Without a cache the tiling is still built only once — the
+/// non-overlap plan is the overlap plan with the kind flipped (geometry is
+/// kind-independent), re-verified before use.
+SweepPoint measure_point(const pipeline::AnalysisArtifact& analysis, i64 V,
                          const SweepOptions& opts,
                          exec::RunWorkspace& workspace) {
   SweepPoint pt;
   pt.V = V;
-  const PlanPair plans = plans_for(problem, V, opts.plan_cache);
-  pt.g = plans.over->space.tiling().tile_volume();
-  pt.predicted_overlap =
-      predict_completion(*plans.over, problem.machine, opts.comm.level);
-  pt.predicted_nonoverlap =
-      predict_completion(*plans.nonover, problem.machine);
+  const Problem& problem = analysis.problem;
+
+  const pipeline::TilingArtifact tiling =
+      pipeline::run_tiling(analysis, V, ScheduleKind::kOverlap);
+  pt.g = tiling.tiling.tile_volume();
+
+  const pipeline::ScheduleArtifact sched_over =
+      pipeline::run_scheduling(analysis, tiling, ScheduleKind::kOverlap);
+  const pipeline::PlanArtifact over = pipeline::run_lowering(
+      analysis, tiling, sched_over, opts.plan_cache, opts.comm.level);
+
+  const pipeline::ScheduleArtifact sched_nonover =
+      pipeline::run_scheduling(analysis, tiling, ScheduleKind::kNonOverlap);
+  pipeline::PlanArtifact nonover;
+  if (opts.plan_cache) {
+    nonover = pipeline::run_lowering(analysis, tiling, sched_nonover,
+                                     opts.plan_cache, opts.comm.level);
+  } else {
+    auto flipped = std::make_shared<exec::TilePlan>(*over.plan);
+    flipped->kind = ScheduleKind::kNonOverlap;
+    pipeline::verify_lowered_plan(pipeline::Stage::kLowering, *flipped,
+                                  tiling.tiling, analysis.mapped_dim,
+                                  problem.procs, sched_nonover.length);
+    const double predicted = predict_completion(*flipped, problem.machine);
+    nonover = pipeline::PlanArtifact{std::move(flipped), predicted};
+  }
+
+  pt.predicted_overlap = over.predicted_seconds;
+  pt.predicted_nonoverlap = nonover.predicted_seconds;
   pt.predicted_cpu_bound =
-      predict_overlap_cpu_bound(*plans.over, problem.machine);
-  const exec::RunOptions ro = run_options(opts);
+      predict_overlap_cpu_bound(*over.plan, problem.machine);
+
+  const pipeline::BackendConfig config = backend_config(opts, workspace);
   if (opts.run_overlap) {
-    const exec::RunResult r =
-        exec::run_plan(problem.nest, *plans.over, problem.machine, ro,
-                       &workspace);
-    pt.t_overlap = r.seconds;
-    pt.events += r.events;
+    const pipeline::BackendArtifact b =
+        pipeline::run_backend(problem.nest, analysis, over, config);
+    pt.t_overlap = b.run->seconds;
+    pt.events += b.run->events;
   }
   if (opts.run_nonoverlap) {
-    const exec::RunResult r =
-        exec::run_plan(problem.nest, *plans.nonover, problem.machine, ro,
-                       &workspace);
-    pt.t_nonoverlap = r.seconds;
-    pt.events += r.events;
+    const pipeline::BackendArtifact b =
+        pipeline::run_backend(problem.nest, analysis, nonover, config);
+    pt.t_nonoverlap = b.run->seconds;
+    pt.events += b.run->events;
   }
   return pt;
 }
 
-double run_once(const Problem& problem, i64 V, ScheduleKind kind,
-                const SweepOptions& opts, exec::RunWorkspace& workspace) {
-  std::shared_ptr<const TilePlan> plan;
-  if (opts.plan_cache) {
-    plan = opts.plan_cache->get(problem, V, kind);
-  } else {
-    plan = std::make_shared<const TilePlan>(problem.plan(V, kind));
-  }
-  return exec::run_plan(problem.nest, *plan, problem.machine,
-                        run_options(opts), &workspace)
-      .seconds;
+double run_once(const pipeline::AnalysisArtifact& analysis, i64 V,
+                ScheduleKind kind, const SweepOptions& opts,
+                exec::RunWorkspace& workspace) {
+  const pipeline::TilingArtifact tiling =
+      pipeline::run_tiling(analysis, V, kind);
+  const pipeline::ScheduleArtifact schedule =
+      pipeline::run_scheduling(analysis, tiling, kind);
+  const pipeline::PlanArtifact plan = pipeline::run_lowering(
+      analysis, tiling, schedule, opts.plan_cache, opts.comm.level);
+  return pipeline::run_backend(analysis.problem.nest, analysis, plan,
+                               backend_config(opts, workspace))
+      .run->seconds;
+}
+
+pipeline::AnalysisArtifact analysis_for(const Problem& problem) {
+  return pipeline::AnalysisArtifact{problem, problem.mapped_dim(), false};
 }
 
 }  // namespace
@@ -103,6 +121,7 @@ std::vector<SweepPoint> sweep_tile_height(const Problem& problem,
                                           const std::vector<i64>& heights,
                                           const SweepOptions& opts) {
   const int threads = resolve_threads(opts.threads);
+  const pipeline::AnalysisArtifact analysis = analysis_for(problem);
   std::vector<SweepPoint> out(heights.size());
   // One workspace (and thus one comm-table / rank-buffer set) per worker;
   // out[i] is keyed by index, so the thread interleaving cannot reorder or
@@ -112,7 +131,7 @@ std::vector<SweepPoint> sweep_tile_height(const Problem& problem,
   parallel_for_index(
       threads, heights.size(), [&](int worker, std::size_t i) {
         const obs::Time t0 = opts.sink ? wall_ns() : 0;
-        out[i] = measure_point(problem, heights[i], opts,
+        out[i] = measure_point(analysis, heights[i], opts,
                                workspaces[static_cast<std::size_t>(worker)]);
         if (opts.sink) {
           opts.sink->host_span("sweep V=" + std::to_string(heights[i]), t0,
@@ -144,6 +163,7 @@ Autotune autotune_tile_height(const Problem& problem, ScheduleKind kind,
                               i64 lo, i64 hi, const SweepOptions& opts) {
   TILO_REQUIRE(lo >= 1 && lo <= hi, "bad height range");
   const int threads = resolve_threads(opts.threads);
+  const pipeline::AnalysisArtifact analysis = analysis_for(problem);
   std::vector<exec::RunWorkspace> workspaces(
       static_cast<std::size_t>(threads));
 
@@ -162,7 +182,7 @@ Autotune autotune_tile_height(const Problem& problem, ScheduleKind kind,
     parallel_for_index(
         threads, todo.size(), [&](int worker, std::size_t i) {
           const obs::Time t0 = opts.sink ? wall_ns() : 0;
-          values[i] = run_once(problem, todo[i], kind, opts,
+          values[i] = run_once(analysis, todo[i], kind, opts,
                                workspaces[static_cast<std::size_t>(worker)]);
           if (opts.sink) {
             opts.sink->host_span("probe V=" + std::to_string(todo[i]), t0,

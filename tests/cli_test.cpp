@@ -94,6 +94,69 @@ TEST(CliTest, EmitLoopRoundTripsThroughTheCli) {
   EXPECT_NE(out2.find("max |err| = 0"), std::string::npos) << out2;
 }
 
+TEST(CliTest, UsageListsEveryFlag) {
+  // The usage text is generated from the same flag table the parser uses,
+  // so no flag can go undocumented (--auto and --emit-loop once were).
+  const auto [rc, out] = run_cli("--no-such-flag");
+  EXPECT_NE(rc, 0);
+  for (const char* flag :
+       {"--procs", "--auto", "--height", "--schedule", "--sweep", "--gantt",
+        "--emit-c", "--emit-loop", "--validate", "--trace", "--report",
+        "--pipeline", "--save-plan", "--load-plan", "--scenario"})
+    EXPECT_NE(out.find(flag), std::string::npos) << flag << "\n" << out;
+}
+
+TEST(CliTest, PipelineFlagPrintsStageLog) {
+  const auto [rc, out] = run_cli("--height 64 --schedule overlap --pipeline");
+  EXPECT_EQ(rc, 0) << out;
+  for (const char* stage : {"Frontend", "Analysis", "Tiling", "Scheduling",
+                            "Lowering", "Backend"})
+    EXPECT_NE(out.find(stage), std::string::npos) << stage << "\n" << out;
+}
+
+/// Extracts the "overlapping: ..." completion line from CLI output.
+std::string overlap_line(const std::string& out) {
+  const auto pos = out.find("overlapping:");
+  if (pos == std::string::npos) return "";
+  return out.substr(pos, out.find('\n', pos) - pos);
+}
+
+TEST(CliTest, SavedPlanReplaysBitIdentically) {
+  const std::string plan_path = ::testing::TempDir() + "cli_plan.json";
+  const auto [rc, out] =
+      run_cli("--height 64 --schedule overlap --save-plan " + plan_path);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("plan written to"), std::string::npos) << out;
+  const auto [rc2, out2] = run_cli("--load-plan " + plan_path + " --report");
+  EXPECT_EQ(rc2, 0) << out2;
+  // The replayed run reproduces the saved run's completion line
+  // byte-for-byte (simulated seconds, P(g) and prediction all match).
+  ASSERT_FALSE(overlap_line(out).empty()) << out;
+  EXPECT_EQ(overlap_line(out), overlap_line(out2)) << out2;
+  // And the A/B phase report renders from the replayed run.
+  EXPECT_NE(out2.find("rank"), std::string::npos) << out2;
+}
+
+TEST(CliTest, ScenarioCompilesAllWorkloadsInOneInvocation) {
+  const std::string scn_path = ::testing::TempDir() + "cli_scenario.json";
+  {
+    std::ofstream os(scn_path);
+    os << R"({"tilo": "scenario", "version": 1, "workloads": [
+      {"name": "a", "source": "FOR i = 0 TO 15\n FOR j = 0 TO 255\n  A(i, j) = 0.5 * (A(i-1, j) + A(i, j-1))\n ENDFOR\nENDFOR\n",
+       "procs": [4, 1], "height": 16},
+      {"name": "b", "source": "FOR i = 0 TO 15\n FOR j = 0 TO 255\n  B(i, j) = 0.5 * (B(i-1, j) + B(i, j-1))\n ENDFOR\nENDFOR\n",
+       "procs": [2, 1], "height": 32, "schedule": "nonoverlap"},
+      {"name": "c", "source": "FOR i = 0 TO 15\n FOR j = 0 TO 255\n  C(i, j) = 0.5 * (C(i-1, j) + C(i, j-1))\n ENDFOR\nENDFOR\n",
+       "auto_procs": 4}]})";
+  }
+  const auto [rc, out] = run_cli("--scenario " + scn_path);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("3 workload(s)"), std::string::npos) << out;
+  for (const char* name : {"[a]", "[b]", "[c]"})
+    EXPECT_NE(out.find(name), std::string::npos) << name << "\n" << out;
+  EXPECT_NE(out.find("Backend     simulated"), std::string::npos) << out;
+}
+
 TEST(CliTest, BadSourceFailsWithDiagnostic) {
   const std::string nest_path = ::testing::TempDir() + "cli_bad.loop";
   {

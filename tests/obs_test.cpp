@@ -346,15 +346,15 @@ TEST(SinkDeterminismTest, ChromeTraceByteIdenticalAcrossRuns) {
   EXPECT_FALSE(first.empty());
 }
 
-TEST(DeprecatedShimTest, TimelineOverloadStillRecords) {
+// Timeline is an ordinary obs::Sink (the deprecated raw-Timeline run_plan
+// overload is gone): RunOptions::sink records the same intervals.
+TEST(TimelineSinkTest, RecordsViaRunOptions) {
   const loop::LoopNest nest = loop::stencil3d_nest(4, 2, 4);
   const exec::TilePlan plan = tiny_plan(nest, ScheduleKind::kOverlap);
   trace::Timeline tl;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const exec::RunResult r =
-      exec::run_plan(nest, plan, round_params(), &tl);
-#pragma GCC diagnostic pop
+  exec::RunOptions opts;
+  opts.sink = &tl;
+  const exec::RunResult r = exec::run_plan(nest, plan, round_params(), opts);
   EXPECT_EQ(r.completion, 135000);
   EXPECT_EQ(tl.intervals().size(), 20u);
 }
