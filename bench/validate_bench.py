@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Schema check for the perf-trajectory bench records.
+
+Usage: validate_bench.py path/to/BENCH_*.json
+
+Dispatches on the document's "bench" field:
+  sweep_throughput  BENCH_sweep.json (bench_sweep_throughput --json)
+  svc_load          BENCH_svc.json   (bench_svc_load --json)
+
+Fails (exit 1) when the file is missing, is not valid JSON, or does not
+match the schema the perf-trajectory tooling expects.
+"""
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print("bench record schema violation:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_report(rep, name):
+    require(isinstance(rep, dict), f"{name} must be an object")
+    for key in (
+        "makespan_ns",
+        "total_cpu_ns",
+        "total_comm_ns",
+        "critical_rank",
+        "critical_bound_ns",
+        "ranks",
+    ):
+        require(key in rep, f"{name}.{key} missing")
+    for key in (
+        "critical_path_share",
+        "overlap_efficiency",
+        "mean_compute_utilization",
+        "min_compute_utilization",
+        "max_compute_utilization",
+    ):
+        require(isinstance(rep.get(key), (int, float)), f"{name}.{key} missing")
+    require(rep["makespan_ns"] > 0, f"{name}.makespan_ns must be positive")
+    require(isinstance(rep["ranks"], list) and rep["ranks"], f"{name}.ranks empty")
+    for r in rep["ranks"]:
+        for key in ("rank", "compute_ns", "wire_ns", "cpu_ns", "comm_ns", "end_ns"):
+            require(key in r, f"{name}.ranks[].{key} missing")
+        require(r["end_ns"] <= rep["makespan_ns"], f"{name} rank ends after makespan")
+
+
+def check_sweep(doc):
+    require(isinstance(doc.get("space"), str), "space missing")
+
+    configs = doc.get("configs")
+    require(isinstance(configs, list) and len(configs) >= 3, "need >= 3 configs")
+    for c in configs:
+        for key in ("mode", "threads", "plan_cache", "points", "events",
+                    "wall_seconds", "points_per_sec", "events_per_sec"):
+            require(key in c, f"configs[].{key} missing")
+        require(c["points"] > 0 and c["events"] > 0, "empty measurement")
+        require(c["wall_seconds"] > 0, "non-positive wall time")
+
+    require(isinstance(doc.get("V_opt_overlap"), int), "V_opt_overlap missing")
+    require(isinstance(doc.get("V_opt_nonoverlap"), int), "V_opt_nonoverlap missing")
+    check_report(doc.get("overlap"), "overlap")
+    check_report(doc.get("nonoverlap"), "nonoverlap")
+
+    counters = doc.get("counters")
+    require(isinstance(counters, dict), "counters missing")
+    require(counters.get("run.runs", 0) >= 2, "expected >= 2 instrumented runs")
+    require(counters.get("engine.events", 0) > 0, "engine.events missing")
+
+    print("BENCH_sweep.json schema OK:",
+          f"{len(configs)} configs,",
+          f"{len(doc['overlap']['ranks'])} ranks,",
+          f"{len(counters)} counters")
+
+
+def check_svc_load(doc):
+    for key in ("address", "workers", "queue_capacity", "client_threads",
+                "wall_seconds", "requests", "responses", "unanswered",
+                "ok", "overloaded", "throughput_rps", "latency_p50_ms",
+                "latency_p99_ms", "shed_rate", "cache_hit_rate", "server"):
+        require(key in doc, f"{key} missing")
+    require(doc["wall_seconds"] > 0, "non-positive wall time")
+    require(doc["requests"] > 0, "empty measurement")
+    # The service's core contract: every request sent was answered.
+    require(doc["unanswered"] == 0, "requests went unanswered")
+    require(doc["responses"] == doc["requests"], "responses != requests")
+    require(doc["ok"] + doc["overloaded"] == doc["responses"],
+            "ok + overloaded != responses")
+    require(doc["throughput_rps"] > 0, "non-positive throughput")
+    require(0 <= doc["latency_p50_ms"] <= doc["latency_p99_ms"],
+            "latency percentiles out of order")
+    require(0.0 <= doc["shed_rate"] <= 1.0, "shed_rate out of [0, 1]")
+    require(0.0 <= doc["cache_hit_rate"] <= 1.0,
+            "cache_hit_rate out of [0, 1]")
+
+    srv = doc["server"]
+    require(isinstance(srv, dict), "server must be an object")
+    for key in ("connections", "requests", "completed", "shed", "timed_out",
+                "failed", "rejected", "batched", "compiles", "cache_hits",
+                "cache_misses", "max_queue_depth"):
+        require(key in srv, f"server.{key} missing")
+    # Outcome accounting: every server-side request is answered exactly once.
+    require(srv["requests"] == srv["completed"] + srv["shed"] +
+            srv["timed_out"] + srv["failed"] + srv["rejected"],
+            "server outcome counters do not sum to requests")
+    require(srv["compiles"] >= 1, "no compiles executed")
+    require(srv["cache_hits"] + srv["cache_misses"] >= srv["compiles"],
+            "cache counters inconsistent with compiles")
+
+    print("BENCH_svc.json schema OK:",
+          f"{doc['responses']} responses,",
+          f"{doc['throughput_rps']:.0f} req/s,",
+          f"{100.0 * doc['cache_hit_rate']:.1f}% cache hits")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_bench.py FILE")
+    path = sys.argv[1]
+    if not os.path.exists(path):
+        print(f"error: {path} does not exist.\n"
+              "Generate it first, e.g.:\n"
+              "  ./build/bench/bench_sweep_throughput --json\n"
+              "  ./build/bench/bench_svc_load --json",
+              file=sys.stderr)
+        sys.exit(1)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(str(e))
+
+    kind = doc.get("bench")
+    if kind == "sweep_throughput":
+        check_sweep(doc)
+    elif kind == "svc_load":
+        check_svc_load(doc)
+    else:
+        fail(f"unknown bench kind {kind!r} "
+             "(expected sweep_throughput or svc_load)")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,10 +2,19 @@
 // file (or use the built-in demo), compile it through the staged
 // tilo::pipeline (Frontend → Analysis → Tiling → Scheduling → Lowering →
 // Backend), and optionally sweep V, draw a Gantt chart, emit the C + MPI
-// program, save/replay plans or batch-compile a scenario file.
+// program, save/replay plans, batch-compile a scenario file, or run as /
+// talk to the plan-compilation service (--serve / --connect).
 //
 // Every flag lives in one table (kFlags) that drives both the argument
 // parser and the usage text, so the two cannot drift apart.
+//
+// Exit codes (asserted by tests/cli_test.cpp, stable for scripting):
+//   0  success
+//   1  compile/runtime failure (a util::Error past input validation)
+//   2  usage error (unknown flag, bad flag value)
+//   3  file I/O failure (cannot open an input, cannot write an output)
+//   4  malformed input (loop-nest grammar, plan JSON, scenario JSON)
+//   5  service failure (cannot connect / bind, non-ok service response)
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -20,12 +29,23 @@
 #include "tilo/obs/report.hpp"
 #include "tilo/pipeline/compiler.hpp"
 #include "tilo/pipeline/serialize.hpp"
+#include "tilo/svc/client.hpp"
+#include "tilo/svc/server.hpp"
 #include "tilo/trace/gantt.hpp"
 #include "tilo/util/csv.hpp"
 
 namespace {
 
 using tilo::util::i64;
+
+enum ExitCode {
+  kExitOk = 0,
+  kExitRuntime = 1,
+  kExitUsage = 2,
+  kExitFileIo = 3,
+  kExitBadInput = 4,
+  kExitService = 5,
+};
 
 const char* kDemoSource = R"(# built-in demo: the paper's kernel, reduced
 FOR i = 0 TO 15
@@ -56,6 +76,13 @@ struct CliOptions {
   std::string save_plan_path;
   std::string load_plan_path;
   std::string scenario_path;
+  std::string serve_address;    ///< --serve: run the compilation service
+  std::string connect_address;  ///< --connect: compile via a running service
+  i64 workers = 4;              ///< --serve worker pool size
+  i64 queue = 256;              ///< --serve admission queue capacity
+  std::optional<i64> deadline_ms;  ///< --connect per-request deadline
+  bool ping = false;            ///< --connect: just round-trip a ping
+  bool stop = false;            ///< --connect: ask the server to drain
 };
 
 bool to_i64(const std::string& text, i64& out) {
@@ -166,6 +193,47 @@ constexpr Flag kFlags[] = {
      [](CliOptions& c, const std::string& v) {
        c.scenario_path = v;
        return !v.empty();
+     }},
+    {"--serve", "ADDR",
+     "run the plan-compilation service on ADDR (unix:PATH or tcp:PORT) "
+     "until SIGTERM/SIGINT, then drain gracefully",
+     [](CliOptions& c, const std::string& v) {
+       c.serve_address = v;
+       return !v.empty();
+     }},
+    {"--workers", "N", "service worker pool size (with --serve; default 4)",
+     [](CliOptions& c, const std::string& v) {
+       return to_i64(v, c.workers) && c.workers >= 1;
+     }},
+    {"--queue", "N",
+     "service admission queue capacity (with --serve; default 256)",
+     [](CliOptions& c, const std::string& v) {
+       return to_i64(v, c.queue) && c.queue >= 1;
+     }},
+    {"--connect", "ADDR",
+     "compile via a running service instead of in-process",
+     [](CliOptions& c, const std::string& v) {
+       c.connect_address = v;
+       return !v.empty();
+     }},
+    {"--deadline", "MS",
+     "per-request deadline in milliseconds (with --connect)",
+     [](CliOptions& c, const std::string& v) {
+       i64 n = 0;
+       if (!to_i64(v, n) || n <= 0) return false;
+       c.deadline_ms = n;
+       return true;
+     }},
+    {"--ping", nullptr, "round-trip a ping (with --connect)",
+     [](CliOptions& c, const std::string&) {
+       c.ping = true;
+       return true;
+     }},
+    {"--stop", nullptr,
+     "ask the server to drain and shut down (with --connect)",
+     [](CliOptions& c, const std::string&) {
+       c.stop = true;
+       return true;
      }},
 };
 
@@ -283,19 +351,26 @@ int run_load_plan(const CliOptions& cli) {
   using namespace tilo;
   const auto text = read_file(cli.load_plan_path);
   if (!text) {
-    std::cerr << "cannot open " << cli.load_plan_path << '\n';
-    return 2;
+    std::cerr << "error: cannot open plan file " << cli.load_plan_path
+              << '\n';
+    return kExitFileIo;
   }
-  const pipeline::PlanBundle bundle =
-      pipeline::plan_from_json(pipeline::Json::parse(*text));
-  const loop::LoopNest& nest = bundle.nest;
+  std::optional<pipeline::PlanBundle> bundle;
+  try {
+    bundle = pipeline::plan_from_json(pipeline::Json::parse(*text));
+  } catch (const util::Error& e) {
+    std::cerr << "error: invalid plan file " << cli.load_plan_path << ": "
+              << e.what() << "\n(expected JSON written by --save-plan)\n";
+    return kExitBadInput;
+  }
+  const loop::LoopNest& nest = bundle->nest;
   std::cout << "nest '" << nest.name() << "' from " << cli.load_plan_path
             << ": domain " << nest.domain() << ", deps "
             << nest.deps().str() << '\n';
-  std::cout << "processor grid " << bundle.plan.mapping.procs().str()
-            << ", mapping dimension " << bundle.plan.mapped_dim << "\n\n";
+  std::cout << "processor grid " << bundle->plan.mapping.procs().str()
+            << ", mapping dimension " << bundle->plan.mapped_dim << "\n\n";
   std::cout << "tile height V = "
-            << bundle.plan.space.tiling().side(bundle.plan.mapped_dim)
+            << bundle->plan.space.tiling().side(bundle->plan.mapped_dim)
             << " (from plan file)\n\n";
 
   Observers obs;
@@ -303,14 +378,14 @@ int run_load_plan(const CliOptions& cli) {
   ropts.sink = obs.attach(cli);
   const pipeline::Compiler compiler(ropts);
   const pipeline::ArtifactStore out =
-      compiler.replay(nest, bundle.machine, bundle.plan);
+      compiler.replay(nest, bundle->machine, bundle->plan);
   const exec::TilePlan& plan = *out.plan().plan;
   print_schedule_line(plan.kind, out.backend().run->seconds, plan,
                       out.plan().predicted_seconds);
   if (cli.pipeline_log) pipeline::write_stage_log(std::cout, out);
-  if (!finish_run(cli, nest, plan, bundle.machine, obs, cli.trace_path))
-    return 1;
-  return 0;
+  if (!finish_run(cli, nest, plan, bundle->machine, obs, cli.trace_path))
+    return kExitFileIo;
+  return kExitOk;
 }
 
 /// Batch mode: --scenario FILE.  One Compiler invocation compiles every
@@ -319,10 +394,20 @@ int run_scenario(const CliOptions& cli) {
   using namespace tilo;
   const auto text = read_file(cli.scenario_path);
   if (!text) {
-    std::cerr << "cannot open " << cli.scenario_path << '\n';
-    return 2;
+    std::cerr << "error: cannot open scenario file " << cli.scenario_path
+              << '\n';
+    return kExitFileIo;
   }
-  const pipeline::ScenarioFile scenario = pipeline::parse_scenario(*text);
+  std::optional<pipeline::ScenarioFile> scenario;
+  try {
+    scenario = pipeline::parse_scenario(*text);
+  } catch (const util::Error& e) {
+    std::cerr << "error: invalid scenario file " << cli.scenario_path << ": "
+              << e.what()
+              << "\n(expected {\"tilo\": \"scenario\", \"version\": 1, "
+                 "\"workloads\": [...]})\n";
+    return kExitBadInput;
+  }
 
   // One multi-problem cache serves every workload of the batch.
   core::PlanCache cache(core::PlanCache::Scope::kMultiProblem);
@@ -336,7 +421,7 @@ int run_scenario(const CliOptions& cli) {
 
   const pipeline::Compiler compiler(sopts);
   const std::vector<pipeline::ArtifactStore> stores =
-      compiler.compile(scenario);
+      compiler.compile(*scenario);
   std::cout << "scenario " << cli.scenario_path << ": " << stores.size()
             << " workload(s) compiled in one pipeline invocation\n\n";
   for (const pipeline::ArtifactStore& store : stores) {
@@ -347,14 +432,190 @@ int run_scenario(const CliOptions& cli) {
   if (!cli.trace_path.empty()) {
     std::ofstream out(cli.trace_path);
     if (!out) {
-      std::cerr << "cannot open " << cli.trace_path << " for writing\n";
-      return 1;
+      std::cerr << "error: cannot open " << cli.trace_path
+                << " for writing\n";
+      return kExitFileIo;
     }
     chrome.write(out);
     std::cout << "trace written to " << cli.trace_path
               << " (load at https://ui.perfetto.dev)\n";
   }
-  return 0;
+  return kExitOk;
+}
+
+/// Service mode: --serve ADDR.  Runs the plan-compilation daemon until
+/// SIGTERM/SIGINT (or a client's --stop), drains gracefully — every
+/// admitted request is answered — and prints the shutdown summary.
+int run_serve(const CliOptions& cli) {
+  using namespace tilo;
+  svc::ServerConfig config;
+  config.address = cli.serve_address;
+  config.workers = static_cast<int>(cli.workers);
+  config.queue_capacity = static_cast<std::size_t>(cli.queue);
+  // --trace records every request as a host span (one lane per worker);
+  // batched requests show up as one svc.compile span answered to many.
+  obs::ChromeTraceSink chrome;
+  if (!cli.trace_path.empty()) config.sink = &chrome;
+  svc::Server server(config);
+  try {
+    server.start();
+  } catch (const util::Error& e) {
+    std::cerr << "error: cannot serve on " << cli.serve_address << ": "
+              << e.what() << '\n';
+    return kExitService;
+  }
+  svc::SignalDrain signals;
+  std::cout << "tilo svc listening on " << server.address().str() << " ("
+            << cli.workers << " worker(s), queue " << cli.queue << ")\n"
+            << "stop with SIGTERM / Ctrl-C, or `tilo_cli --connect "
+            << server.address().str() << " --stop`\n";
+  std::cout.flush();
+  server.run_until(signals.fd());
+  server.write_summary(std::cout);
+  if (!cli.trace_path.empty()) {
+    std::ofstream out(cli.trace_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << cli.trace_path
+                << " for writing\n";
+      return kExitFileIo;
+    }
+    chrome.write(out);
+    std::cout << "trace written to " << cli.trace_path
+              << " (load at https://ui.perfetto.dev)\n";
+  }
+  return kExitOk;
+}
+
+/// Prints the remote completion line in the same format as the local one.
+void print_remote_schedule_line(const tilo::pipeline::Json& result) {
+  using namespace tilo;
+  const bool overlap =
+      result.at("schedule").as_string("schedule") == "overlap";
+  std::cout << (overlap ? "overlapping:     " : "non-overlapping: ")
+            << util::fmt_seconds(
+                   result.at("simulated_seconds").as_number("simulated"))
+            << "  (P(g) = "
+            << result.at("schedule_length").as_integer("schedule_length")
+            << ", predicted "
+            << util::fmt_seconds(
+                   result.at("predicted_seconds").as_number("predicted"))
+            << ")\n";
+}
+
+/// Client mode: --connect ADDR [--ping | --stop | compile flags].  Sends
+/// the nest source to a running service and prints the same schedule lines
+/// as a local compile.
+int run_connect(const CliOptions& cli) {
+  using namespace tilo;
+  std::optional<svc::Client> client;
+  try {
+    client = svc::Client::connect(cli.connect_address);
+  } catch (const util::Error& e) {
+    std::cerr << "error: cannot connect to " << cli.connect_address << ": "
+              << e.what() << "\n(is a server running? start one with "
+              << "`tilo_cli --serve " << cli.connect_address << "`)\n";
+    return kExitService;
+  }
+  if (cli.ping) {
+    const svc::Response r = client->ping();
+    if (r.status != svc::RespStatus::kOk) {
+      std::cerr << "error: ping answered " << svc::status_name(r.status)
+                << ": " << r.error << '\n';
+      return kExitService;
+    }
+    std::cout << "pong from " << client->address().str() << '\n';
+    return kExitOk;
+  }
+  if (cli.stop) {
+    const svc::Response r = client->shutdown_server();
+    if (r.status != svc::RespStatus::kOk) {
+      std::cerr << "error: shutdown answered " << svc::status_name(r.status)
+                << ": " << r.error << '\n';
+      return kExitService;
+    }
+    std::cout << "server at " << client->address().str()
+              << " is draining\n";
+    return kExitOk;
+  }
+
+  // Compile remotely.  The nest is parsed locally once, so bad grammar
+  // fails fast (exit 4) and the default grid can mirror local mode's
+  // "4 per cross dimension" rule.
+  std::optional<loop::LoopNest> nest;
+  try {
+    nest = pipeline::run_frontend({cli.source_name, cli.source});
+  } catch (const util::Error& e) {
+    std::cerr << "error: invalid loop nest " << cli.source_name << ": "
+              << e.what() << '\n';
+    return kExitBadInput;
+  }
+  svc::CompileParams base;
+  base.name = nest->name();
+  base.source = cli.source;
+  base.height = cli.height;
+  base.auto_procs = cli.auto_procs;
+  base.simulate = true;
+  if (!cli.auto_procs) {
+    if (cli.procs_text) {
+      lat::Vec procs;
+      if (!parse_procs(*cli.procs_text, nest->dims(), procs))
+        return kExitUsage;
+      base.procs = std::move(procs);
+    } else {
+      const mach::MachineParams machine =
+          mach::MachineParams::paper_cluster();
+      const std::size_t md =
+          core::Problem{*nest, machine, lat::Vec(nest->dims(), 1)}
+              .mapped_dim();
+      lat::Vec procs(nest->dims(), 4);
+      procs[md] = 1;
+      base.procs = std::move(procs);
+    }
+  }
+
+  bool printed_header = false;
+  for (auto kind : {sched::ScheduleKind::kNonOverlap,
+                    sched::ScheduleKind::kOverlap}) {
+    if (kind == sched::ScheduleKind::kOverlap && !cli.run_overlap) continue;
+    if (kind == sched::ScheduleKind::kNonOverlap && !cli.run_nonoverlap)
+      continue;
+    svc::CompileParams params = base;
+    params.kind = kind;
+    svc::Request req;
+    req.op = svc::Op::kCompile;
+    req.deadline_ms = cli.deadline_ms;
+    req.compile = std::move(params);
+    svc::Response resp;
+    try {
+      resp = client->call_with_retry(std::move(req));
+    } catch (const util::Error& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return kExitService;
+    }
+    if (resp.status != svc::RespStatus::kOk) {
+      std::cerr << "error: server answered "
+                << svc::status_name(resp.status)
+                << (resp.error.empty() ? "" : ": " + resp.error) << '\n';
+      return kExitService;
+    }
+    const pipeline::Json result = pipeline::Json::parse(resp.result);
+    if (!printed_header) {
+      printed_header = true;
+      std::cout << "nest '" << nest->name() << "' compiled by "
+                << client->address().str() << '\n';
+      const pipeline::Json::Array& procs =
+          result.at("procs").as_array("procs");
+      std::cout << "processor grid (";
+      for (std::size_t d = 0; d < procs.size(); ++d)
+        std::cout << (d ? ", " : "") << procs[d].as_integer("procs");
+      std::cout << "), mapping dimension "
+                << result.at("mapped_dim").as_integer("mapped_dim")
+                << "\n\ntile height V = "
+                << result.at("V").as_integer("V") << "\n\n";
+    }
+    print_remote_schedule_line(result);
+  }
+  return kExitOk;
 }
 
 }  // namespace
@@ -369,8 +630,8 @@ int main(int argc, char** argv) {
     if (!a.empty() && a[0] != '-') {
       const auto body = read_file(a);
       if (!body) {
-        std::cerr << "cannot open " << a << '\n';
-        return 2;
+        std::cerr << "error: cannot open " << a << '\n';
+        return kExitFileIo;
       }
       cli.source = *body;
       cli.source_name = a;
@@ -389,12 +650,21 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!cli.serve_address.empty()) return run_serve(cli);
+    if (!cli.connect_address.empty()) return run_connect(cli);
     if (!cli.scenario_path.empty()) return run_scenario(cli);
     if (!cli.load_plan_path.empty()) return run_load_plan(cli);
 
     const mach::MachineParams machine = mach::MachineParams::paper_cluster();
-    const loop::LoopNest nest =
-        pipeline::run_frontend({cli.source_name, cli.source});
+    std::optional<loop::LoopNest> nest_opt;
+    try {
+      nest_opt = pipeline::run_frontend({cli.source_name, cli.source});
+    } catch (const util::Error& e) {
+      std::cerr << "error: invalid loop nest " << cli.source_name << ": "
+                << e.what() << '\n';
+      return kExitBadInput;
+    }
+    const loop::LoopNest& nest = *nest_opt;
     std::cout << "nest '" << nest.name() << "' from " << cli.source_name
               << ": domain " << nest.domain() << ", deps "
               << nest.deps().str() << '\n';
@@ -474,9 +744,9 @@ int main(int argc, char** argv) {
       if (!cli.save_plan_path.empty() && kind == save_kind) {
         std::ofstream os(cli.save_plan_path);
         if (!os) {
-          std::cerr << "cannot open " << cli.save_plan_path
+          std::cerr << "error: cannot open " << cli.save_plan_path
                     << " for writing\n";
-          return 1;
+          return kExitFileIo;
         }
         os << pipeline::plan_to_json(nest, machine, plan).dump() << '\n';
         std::cout << "  plan written to " << cli.save_plan_path << '\n';
@@ -493,7 +763,8 @@ int main(int argc, char** argv) {
         else
           trace_path.insert(dot, tag);
       }
-      if (!finish_run(cli, nest, plan, machine, obs, trace_path)) return 1;
+      if (!finish_run(cli, nest, plan, machine, obs, trace_path))
+        return kExitFileIo;
     }
 
     if (cli.emit_loop) {
@@ -516,7 +787,7 @@ int main(int argc, char** argv) {
     }
   } catch (const util::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return kExitRuntime;
   }
-  return 0;
+  return kExitOk;
 }

@@ -1,0 +1,116 @@
+#include "tilo/svc/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::svc {
+
+Client::Client(Address addr, ClientOptions opts, Fd fd)
+    : addr_(std::move(addr)),
+      opts_(opts),
+      fd_(std::move(fd)),
+      rng_(opts.jitter_seed) {}
+
+Client Client::connect(const std::string& address, ClientOptions opts) {
+  Address addr = Address::parse(address);
+  Fd fd = connect_to(addr, opts.connect_timeout_ms);
+  return Client(std::move(addr), opts, std::move(fd));
+}
+
+void Client::ensure_connected() {
+  if (!fd_.valid()) fd_ = connect_to(addr_, opts_.connect_timeout_ms);
+}
+
+Response Client::call(Request req) {
+  ensure_connected();
+  if (!req.id) req.id = next_id_++;
+  const std::string wire = request_to_json(req).dump();
+  if (!write_frame(fd_.get(), wire)) {
+    fd_.reset();
+    TILO_REQUIRE(false, "svc client: send to ", addr_.str(),
+                 " failed (server gone?)");
+  }
+  std::string payload;
+  const FrameStatus st = read_frame(fd_.get(), payload, opts_.max_frame_bytes,
+                                    opts_.request_timeout_ms);
+  if (st == FrameStatus::kTimeout) {
+    // The response may still arrive later; a fresh connection is the only
+    // way to keep request/response correlation intact.
+    fd_.reset();
+    Response resp;
+    resp.status = RespStatus::kTimeout;
+    resp.id = req.id;
+    resp.error = util::concat("no response from ", addr_.str(), " within ",
+                              opts_.request_timeout_ms, " ms");
+    return resp;
+  }
+  if (st != FrameStatus::kFrame) {
+    fd_.reset();
+    TILO_REQUIRE(false, "svc client: connection to ", addr_.str(),
+                 " ended mid-call (", frame_status_name(st), ")");
+  }
+  Response resp = response_from_wire(payload);
+  if (resp.id && *resp.id != *req.id) {
+    fd_.reset();
+    TILO_REQUIRE(false, "svc client: response id ", *resp.id,
+                 " does not match request id ", *req.id);
+  }
+  return resp;
+}
+
+Response Client::call_with_retry(Request req) {
+  if (!req.id) req.id = next_id_++;
+  std::string last_error;
+  for (int attempt = 0;; ++attempt) {
+    bool io_failed = false;
+    Response resp;
+    try {
+      resp = call(req);
+    } catch (const util::Error& e) {
+      io_failed = true;
+      last_error = e.what();
+    }
+    if (!io_failed && resp.status != RespStatus::kOverloaded) return resp;
+    if (attempt >= opts_.max_retries) {
+      TILO_REQUIRE(!io_failed, "svc client: ", opts_.max_retries + 1,
+                   " attempt(s) against ", addr_.str(),
+                   " all failed; last error: ", last_error);
+      return resp;  // still overloaded after the retry budget: say so
+    }
+    double wait = static_cast<double>(opts_.backoff_ms);
+    for (int k = 0; k < attempt; ++k) wait *= opts_.backoff_factor;
+    wait *= 0.5 + rng_.uniform01();  // jitter: U[0.5, 1.5) of the nominal
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<i64>(wait)));
+  }
+}
+
+Response Client::compile(CompileParams params, std::optional<i64> deadline_ms) {
+  Request req;
+  req.op = Op::kCompile;
+  req.deadline_ms = deadline_ms;
+  req.compile = std::move(params);
+  return call(std::move(req));
+}
+
+Response Client::ping() {
+  Request req;
+  req.op = Op::kPing;
+  return call(std::move(req));
+}
+
+Response Client::stats() {
+  Request req;
+  req.op = Op::kStats;
+  return call(std::move(req));
+}
+
+Response Client::shutdown_server() {
+  Request req;
+  req.op = Op::kShutdown;
+  return call(std::move(req));
+}
+
+}  // namespace tilo::svc

@@ -1,0 +1,81 @@
+// svc::Client — the blocking client for the plan-compilation service.
+//
+// One Client owns one connection and speaks strict request → response (no
+// pipelining), which keeps correlation trivial: ids are assigned
+// monotonically and checked on receipt.  Two calling conventions:
+//
+//   call()             one attempt; a request-timeout synthesizes an
+//                      explicit kTimeout response (and drops the
+//                      connection, because a late response would desync
+//                      the stream); I/O failures throw util::Error
+//   call_with_retry()  wraps call() with reconnect-on-I/O-failure and
+//                      jittered exponential backoff on "overloaded" — the
+//                      polite way to behave against a shedding server
+//
+// The jitter comes from the library's deterministic SplitMix64 Rng, so
+// retry schedules are reproducible under a fixed seed (the load bench and
+// the tests rely on that).
+#pragma once
+
+#include <string>
+
+#include "tilo/svc/protocol.hpp"
+#include "tilo/svc/socket.hpp"
+#include "tilo/util/rng.hpp"
+
+namespace tilo::svc {
+
+struct ClientOptions {
+  int connect_timeout_ms = 2000;
+  int request_timeout_ms = 30000;
+  /// call_with_retry: additional attempts after the first.
+  int max_retries = 3;
+  /// Initial backoff; attempt k waits backoff_ms * factor^k * U[0.5, 1.5).
+  i64 backoff_ms = 25;
+  double backoff_factor = 2.0;
+  std::uint64_t jitter_seed = 0x7110C0DEULL;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws util::Error when the server is not
+  /// there (connection refused, missing socket, connect timeout).
+  static Client connect(const std::string& address, ClientOptions opts = {});
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// One request, one response.  Assigns the next id when the request has
+  /// none.  Throws util::Error on I/O failure or a protocol violation;
+  /// returns a synthesized kTimeout response when request_timeout_ms
+  /// elapses (the connection is dropped and re-established lazily).
+  Response call(Request req);
+
+  /// call() plus reconnect-and-retry on I/O failure and jittered backoff
+  /// on kOverloaded.  Returns the last response when retries run out;
+  /// throws only when every attempt failed at the I/O level.
+  Response call_with_retry(Request req);
+
+  /// Convenience wrappers.
+  Response compile(CompileParams params, std::optional<i64> deadline_ms = {});
+  Response ping();
+  Response stats();
+  /// Asks the server to drain and exit its serving loop.
+  Response shutdown_server();
+
+  const Address& address() const { return addr_; }
+  void close() { fd_.reset(); }
+
+ private:
+  Client(Address addr, ClientOptions opts, Fd fd);
+  void ensure_connected();
+
+  Address addr_;
+  ClientOptions opts_;
+  Fd fd_;
+  i64 next_id_ = 1;
+  util::Rng rng_;
+};
+
+}  // namespace tilo::svc

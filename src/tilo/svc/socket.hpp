@@ -1,0 +1,102 @@
+// POSIX plumbing for the plan-compilation service: service addresses
+// (Unix-domain socket path or localhost TCP port), RAII file descriptors,
+// and the length-prefixed frame codec both ends of the wire speak.
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// payload bytes (the JSON document).  The reader is defensive by
+// construction: a length prefix beyond the configured cap is rejected
+// without allocating, EOF mid-frame is distinguished from a clean close at
+// a frame boundary, and every read can carry a deadline — the failure modes
+// a server must survive (truncated frames, oversized prefixes, clients
+// vanishing mid-request) are explicit enum values, not surprises.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tilo::svc {
+
+/// RAII file descriptor (sockets here, but any fd works).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Where a service lives: "unix:/run/tilo.sock" (or any text containing a
+/// '/') for a Unix-domain socket, "tcp:7070" for localhost TCP.  The
+/// service never listens on non-loopback interfaces.
+struct Address {
+  enum class Kind { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;         ///< kUnix: the socket path
+  std::uint16_t port = 0;   ///< kTcp: the localhost port (0 = ephemeral)
+
+  /// Parses the textual forms above; throws util::Error otherwise.
+  static Address parse(std::string_view text);
+  std::string str() const;
+};
+
+/// Binds and listens; for tcp with port 0 the kernel-chosen port is written
+/// back into `addr`.  An existing Unix socket path is unlinked first (the
+/// caller owns the path).  Throws util::Error on failure.
+Fd listen_on(Address& addr);
+
+/// Accepts one connection; an invalid Fd on transient failure or when the
+/// listening socket was closed.
+Fd accept_on(int listen_fd);
+
+/// Connects with a timeout; throws util::Error naming the address on
+/// failure (connection refused, no such socket, timeout).
+Fd connect_to(const Address& addr, int timeout_ms);
+
+// ---------------------------------------------------------------- framing
+
+/// Default cap on one frame's payload; a plan bundle for the paper spaces
+/// is a few hundred KiB, so 16 MiB is generous without letting one bogus
+/// prefix allocate the machine away.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameStatus {
+  kFrame,      ///< a complete payload was read
+  kClosed,     ///< clean EOF at a frame boundary
+  kTruncated,  ///< EOF mid-frame (peer vanished mid-request)
+  kOversized,  ///< length prefix exceeds the cap; nothing else was read
+  kTimeout,    ///< the deadline passed before a full frame arrived
+  kError,      ///< read error (errno-level failure)
+};
+std::string_view frame_status_name(FrameStatus status);
+
+/// Reads one frame into `payload`.  `deadline_ms` < 0 waits forever; the
+/// deadline covers the whole frame, not each byte.
+FrameStatus read_frame(int fd, std::string& payload,
+                       std::size_t max_bytes = kDefaultMaxFrameBytes,
+                       int deadline_ms = -1);
+
+/// Writes one frame (prefix + payload); false when the peer is gone or the
+/// payload exceeds the 32-bit prefix.  Never raises SIGPIPE.
+bool write_frame(int fd, std::string_view payload);
+
+}  // namespace tilo::svc

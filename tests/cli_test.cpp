@@ -2,9 +2,13 @@
 // parse -> plan -> simulate -> report pipeline exactly as a user would.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #ifndef TILO_CLI_PATH
 #error "TILO_CLI_PATH must be defined by the build"
@@ -12,14 +16,23 @@
 
 namespace {
 
-/// Runs the CLI with `args`, captures stdout, returns {exit, output}.
+// The CLI's documented exit codes (examples/tilo_cli.cpp).
+constexpr int kExitUsage = 2;
+constexpr int kExitFileIo = 3;
+constexpr int kExitBadInput = 4;
+constexpr int kExitService = 5;
+
+/// Runs the CLI with `args`, captures stdout+stderr, returns {exit, output}.
+/// The exit status is decoded with WEXITSTATUS so tests can assert the
+/// CLI's documented exit codes exactly.
 std::pair<int, std::string> run_cli(const std::string& args) {
   static int counter = 0;
   const std::string out_path = ::testing::TempDir() + "tilo_cli_out_" +
                                std::to_string(counter++) + ".txt";
   const std::string cmd = std::string(TILO_CLI_PATH) + " " + args + " > " +
                           out_path + " 2>&1";
-  const int rc = std::system(cmd.c_str());
+  const int raw = std::system(cmd.c_str());
+  const int rc = WIFEXITED(raw) ? WEXITSTATUS(raw) : raw;
   std::ifstream in(out_path);
   std::ostringstream body;
   body << in.rdbuf();
@@ -164,6 +177,106 @@ TEST(CliTest, BadSourceFailsWithDiagnostic) {
     os << "FOR i = 0 TO 9\n A(i) = A(i+1)\nENDFOR\n";
   }
   const auto [rc, out] = run_cli(nest_path);
-  EXPECT_NE(rc, 0);
+  EXPECT_EQ(rc, kExitBadInput) << out;
   EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+TEST(CliTest, UnknownFlagIsAUsageError) {
+  const auto [rc, out] = run_cli("--no-such-flag");
+  EXPECT_EQ(rc, kExitUsage) << out;
+}
+
+TEST(CliTest, MissingScenarioFileIsAFileIoError) {
+  const auto [rc, out] = run_cli("--scenario " + ::testing::TempDir() +
+                                 "no_such_scenario.json");
+  EXPECT_EQ(rc, kExitFileIo) << out;
+  EXPECT_NE(out.find("cannot open scenario file"), std::string::npos) << out;
+}
+
+TEST(CliTest, MissingPlanFileIsAFileIoError) {
+  const auto [rc, out] =
+      run_cli("--load-plan " + ::testing::TempDir() + "no_such_plan.json");
+  EXPECT_EQ(rc, kExitFileIo) << out;
+  EXPECT_NE(out.find("cannot open plan file"), std::string::npos) << out;
+}
+
+TEST(CliTest, MalformedPlanFileIsABadInputError) {
+  const std::string path = ::testing::TempDir() + "cli_garbage_plan.json";
+  {
+    std::ofstream os(path);
+    os << "this is not a plan bundle";
+  }
+  const auto [rc, out] = run_cli("--load-plan " + path);
+  EXPECT_EQ(rc, kExitBadInput) << out;
+  EXPECT_NE(out.find("invalid plan file"), std::string::npos) << out;
+  // The message tells the user where valid plan files come from.
+  EXPECT_NE(out.find("--save-plan"), std::string::npos) << out;
+}
+
+TEST(CliTest, MalformedScenarioFileIsABadInputError) {
+  const std::string path = ::testing::TempDir() + "cli_garbage_scenario.json";
+  {
+    std::ofstream os(path);
+    os << R"({"tilo": "scenario", "version": 1, "workloads": [{"name": "x"}]})";
+  }
+  const auto [rc, out] = run_cli("--scenario " + path);
+  EXPECT_EQ(rc, kExitBadInput) << out;
+  EXPECT_NE(out.find("invalid scenario file"), std::string::npos) << out;
+}
+
+TEST(CliTest, ConnectWithoutServerIsAServiceError) {
+  const std::string sock = ::testing::TempDir() + "cli_no_server.sock";
+  const auto [rc, out] = run_cli("--connect unix:" + sock + " --ping");
+  EXPECT_EQ(rc, kExitService) << out;
+  EXPECT_NE(out.find("cannot connect"), std::string::npos) << out;
+  // Actionable: the message suggests how to start a server.
+  EXPECT_NE(out.find("--serve"), std::string::npos) << out;
+}
+
+TEST(CliTest, ServeConnectStopRoundTrip) {
+  const std::string sock = ::testing::TempDir() + "cli_svc.sock";
+  const std::string log = ::testing::TempDir() + "cli_svc_serve.log";
+  std::remove(sock.c_str());
+  // Background the server through the shell; run_cli would block on it.
+  const std::string serve_cmd = std::string(TILO_CLI_PATH) + " --serve unix:" +
+                                sock + " --workers 2 > " + log + " 2>&1 &";
+  ASSERT_EQ(std::system(serve_cmd.c_str()), 0);
+
+  // Wait for the server to accept pings (it may still be binding).
+  int ping_rc = -1;
+  std::string ping_out;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::tie(ping_rc, ping_out) =
+        run_cli("--connect unix:" + sock + " --ping");
+    if (ping_rc == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_EQ(ping_rc, 0) << ping_out;
+  EXPECT_NE(ping_out.find("pong"), std::string::npos) << ping_out;
+
+  // A remote compile renders the same report shape as a local run.
+  const auto [rc, out] = run_cli("--connect unix:" + sock + " --height 64");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("compiled by unix:" + sock), std::string::npos) << out;
+  EXPECT_NE(out.find("non-overlapping:"), std::string::npos) << out;
+  EXPECT_NE(out.find("overlapping:"), std::string::npos) << out;
+  EXPECT_NE(out.find("tile height V = 64"), std::string::npos) << out;
+
+  // --stop drains the server: it answers everything in flight, writes its
+  // run summary, and exits.
+  const auto [stop_rc, stop_out] =
+      run_cli("--connect unix:" + sock + " --stop");
+  EXPECT_EQ(stop_rc, 0) << stop_out;
+  EXPECT_NE(stop_out.find("draining"), std::string::npos) << stop_out;
+  std::string log_body;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::ifstream in(log);
+    std::ostringstream body;
+    body << in.rdbuf();
+    log_body = body.str();
+    if (log_body.find("svc summary") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_NE(log_body.find("svc summary"), std::string::npos) << log_body;
+  EXPECT_NE(log_body.find("requests"), std::string::npos) << log_body;
 }
