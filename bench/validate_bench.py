@@ -6,6 +6,7 @@ Usage: validate_bench.py path/to/BENCH_*.json
 Dispatches on the document's "bench" field:
   sweep_throughput  BENCH_sweep.json (bench_sweep_throughput --json)
   svc_load          BENCH_svc.json   (bench_svc_load --json)
+  fleet_scale       BENCH_fleet.json (bench_fleet_scale --json)
 
 Fails (exit 1) when the file is missing, is not valid JSON, or does not
 match the schema the perf-trajectory tooling expects.
@@ -120,6 +121,45 @@ def check_svc_load(doc):
           f"{100.0 * doc['cache_hit_rate']:.1f}% cache hits")
 
 
+def check_fleet_scale(doc):
+    for key in ("units", "heights", "single_node_seconds", "determinism_ok",
+                "scaling", "kill"):
+        require(key in doc, f"{key} missing")
+    require(doc["units"] > 0, "empty unit plan")
+    require(doc["single_node_seconds"] > 0, "non-positive single-node time")
+    # Determinism is the fleet's core contract: every merged document must
+    # be byte-identical to the single-node sweep.
+    require(doc["determinism_ok"] is True, "fleet merge diverged")
+
+    scaling = doc["scaling"]
+    require(isinstance(scaling, list) and len(scaling) >= 3,
+            "need >= 3 scaling points (1, 2, 4 workers)")
+    for p in scaling:
+        for key in ("workers", "wall_seconds", "units_per_sec", "identical"):
+            require(key in p, f"scaling[].{key} missing")
+        require(p["workers"] >= 1, "non-positive worker count")
+        require(p["wall_seconds"] > 0, "non-positive wall time")
+        require(p["identical"] is True,
+                f"merge diverged at {p['workers']} worker(s)")
+
+    kill = doc["kill"]
+    require(isinstance(kill, dict), "kill must be an object")
+    for key in ("units", "completed", "requeued", "speculated", "evicted",
+                "duplicates", "recovery_seconds", "identical"):
+        require(key in kill, f"kill.{key} missing")
+    # Exactly-once under SIGKILL: no unit lost, no unit double-counted.
+    require(kill["completed"] == kill["units"], "kill run lost units")
+    require(kill["requeued"] + kill["speculated"] >= 1,
+            "the victim's leases were never recovered")
+    require(kill["recovery_seconds"] > 0, "non-positive recovery time")
+    require(kill["identical"] is True, "kill-run merge diverged")
+
+    print("BENCH_fleet.json schema OK:",
+          f"{doc['units']} units,",
+          f"{len(scaling)} scaling points,",
+          f"{kill['recovery_seconds']:.2f}s kill recovery")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: validate_bench.py FILE")
@@ -142,9 +182,11 @@ def main():
         check_sweep(doc)
     elif kind == "svc_load":
         check_svc_load(doc)
+    elif kind == "fleet_scale":
+        check_fleet_scale(doc)
     else:
         fail(f"unknown bench kind {kind!r} "
-             "(expected sweep_throughput or svc_load)")
+             "(expected sweep_throughput, svc_load or fleet_scale)")
 
 
 if __name__ == "__main__":

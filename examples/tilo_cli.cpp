@@ -2,8 +2,10 @@
 // file (or use the built-in demo), compile it through the staged
 // tilo::pipeline (Frontend → Analysis → Tiling → Scheduling → Lowering →
 // Backend), and optionally sweep V, draw a Gantt chart, emit the C + MPI
-// program, save/replay plans, batch-compile a scenario file, or run as /
-// talk to the plan-compilation service (--serve / --connect).
+// program, save/replay plans, batch-compile a scenario file, run as /
+// talk to the plan-compilation service (--serve / --connect), or shard a
+// sweep/scenario over a fault-tolerant worker fleet (--fleet-controller /
+// --fleet-worker).
 //
 // Every flag lives in one table (kFlags) that drives both the argument
 // parser and the usage text, so the two cannot drift apart.
@@ -22,8 +24,13 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "tilo/core/plancache.hpp"
 #include "tilo/core/sweep.hpp"
+#include "tilo/fleet/controller.hpp"
+#include "tilo/fleet/unit.hpp"
+#include "tilo/fleet/worker.hpp"
 #include "tilo/loopnest/parse.hpp"
 #include "tilo/obs/chrome_trace.hpp"
 #include "tilo/obs/report.hpp"
@@ -83,6 +90,11 @@ struct CliOptions {
   std::optional<i64> deadline_ms;  ///< --connect per-request deadline
   bool ping = false;            ///< --connect: just round-trip a ping
   bool stop = false;            ///< --connect: ask the server to drain
+  bool version = false;         ///< print version + envelope versions
+  std::string fleet_controller_address;  ///< --fleet-controller
+  std::string fleet_worker_address;      ///< --fleet-worker
+  bool fleet_sweep = false;     ///< controller job: sweep the height grid
+  i64 fleet_local = 0;          ///< in-process workers for the controller
 };
 
 bool to_i64(const std::string& text, i64& out) {
@@ -233,6 +245,37 @@ constexpr Flag kFlags[] = {
      "ask the server to drain and shut down (with --connect)",
      [](CliOptions& c, const std::string&) {
        c.stop = true;
+       return true;
+     }},
+    {"--fleet-controller", "ADDR",
+     "orchestrate a worker fleet on ADDR; give it a job with --fleet-sweep "
+     "or --scenario FILE",
+     [](CliOptions& c, const std::string& v) {
+       c.fleet_controller_address = v;
+       return !v.empty();
+     }},
+    {"--fleet-worker", "ADDR",
+     "join the fleet at ADDR and pull work units until the run is done",
+     [](CliOptions& c, const std::string& v) {
+       c.fleet_worker_address = v;
+       return !v.empty();
+     }},
+    {"--fleet-sweep", nullptr,
+     "controller job: shard the tile-height sweep (same grid as --sweep)",
+     [](CliOptions& c, const std::string&) {
+       c.fleet_sweep = true;
+       return true;
+     }},
+    {"--fleet-local", "N",
+     "also run N in-process workers (with --fleet-controller)",
+     [](CliOptions& c, const std::string& v) {
+       return to_i64(v, c.fleet_local) && c.fleet_local >= 0;
+     }},
+    {"--version", nullptr,
+     "print the binary version and every wire/serialization envelope "
+     "version",
+     [](CliOptions& c, const std::string&) {
+       c.version = true;
        return true;
      }},
 };
@@ -524,6 +567,25 @@ int run_connect(const CliOptions& cli) {
       return kExitService;
     }
     std::cout << "pong from " << client->address().str() << '\n';
+    // A compile server also reports its health: queue pressure (depth now,
+    // high-water mark, capacity) and plan-cache effectiveness.
+    const svc::Response st = client->stats();
+    if (st.status == svc::RespStatus::kOk && !st.result.empty()) {
+      const pipeline::Json s = pipeline::Json::parse(st.result);
+      if (const pipeline::Json* hits = s.find("cache_hits")) {
+        std::cout << "  queue       depth "
+                  << s.at("queue_depth").as_integer("queue_depth")
+                  << " now, peak "
+                  << s.at("max_queue_depth").as_integer("max_queue_depth")
+                  << " of "
+                  << s.at("queue_capacity").as_integer("queue_capacity")
+                  << '\n'
+                  << "  plan cache  " << hits->as_integer("cache_hits")
+                  << " hit(s) / "
+                  << s.at("cache_misses").as_integer("cache_misses")
+                  << " miss(es)\n";
+      }
+    }
     return kExitOk;
   }
   if (cli.stop) {
@@ -618,6 +680,198 @@ int run_connect(const CliOptions& cli) {
   return kExitOk;
 }
 
+#ifndef TILO_VERSION
+#define TILO_VERSION "0.0.0"
+#endif
+
+/// --version: the binary version plus every versioned envelope this build
+/// speaks, so a fleet operator can check wire compatibility at a glance.
+int print_version() {
+  std::cout << "tilo_cli " << TILO_VERSION << '\n'
+            << "  svc wire protocol     v" << tilo::svc::kProtocolVersion
+            << '\n'
+            << "  plan/scenario schema  v" << tilo::pipeline::kSchemaVersion
+            << '\n'
+            << "  fleet unit/result     v" << tilo::fleet::kFleetVersion
+            << '\n';
+  return kExitOk;
+}
+
+/// Fleet worker mode: --fleet-worker ADDR.  Pulls units until the
+/// controller reports the run complete.
+int run_fleet_worker(const CliOptions& cli) {
+  using namespace tilo;
+  fleet::WorkerConfig wc;
+  wc.address = cli.fleet_worker_address;
+  wc.name = "cli-worker";
+  try {
+    fleet::Worker worker(std::move(wc));
+    const fleet::WorkerSummary s = worker.run();
+    std::cout << "fleet worker done: " << s.completed
+              << " unit(s) computed over " << s.registrations
+              << " registration(s)"
+              << (s.clean ? "" : " (controller became unreachable)") << '\n';
+    return s.clean ? kExitOk : kExitService;
+  } catch (const util::Error& e) {
+    std::cerr << "error: cannot join fleet at " << cli.fleet_worker_address
+              << ": " << e.what()
+              << "\n(start a controller with `tilo_cli --fleet-controller "
+              << cli.fleet_worker_address << " --fleet-sweep`)\n";
+    return kExitService;
+  }
+}
+
+/// Fleet controller mode: --fleet-controller ADDR plus a job
+/// (--fleet-sweep or --scenario FILE).  Decomposes the job into units,
+/// serves them to registered workers (plus --fleet-local in-process ones),
+/// and prints the merged result — byte-identical to the single-node run —
+/// followed by the fleet report.
+int run_fleet_controller(const CliOptions& cli) {
+  using namespace tilo;
+  std::vector<fleet::WorkUnit> units;
+  std::vector<std::string> names;  ///< scenario workload names, by unit
+  bool sweep_job = false;
+  if (!cli.scenario_path.empty()) {
+    const auto text = read_file(cli.scenario_path);
+    if (!text) {
+      std::cerr << "error: cannot open scenario file " << cli.scenario_path
+                << '\n';
+      return kExitFileIo;
+    }
+    std::optional<pipeline::ScenarioFile> scenario;
+    try {
+      scenario = pipeline::parse_scenario(*text);
+    } catch (const util::Error& e) {
+      std::cerr << "error: invalid scenario file " << cli.scenario_path
+                << ": " << e.what() << '\n';
+      return kExitBadInput;
+    }
+    for (const pipeline::ScenarioWorkload& wl : scenario->workloads)
+      names.push_back(wl.name);
+    units = fleet::scenario_units(*scenario);
+  } else if (cli.fleet_sweep) {
+    sweep_job = true;
+    std::optional<loop::LoopNest> nest_opt;
+    try {
+      nest_opt = pipeline::run_frontend({cli.source_name, cli.source});
+    } catch (const util::Error& e) {
+      std::cerr << "error: invalid loop nest " << cli.source_name << ": "
+                << e.what() << '\n';
+      return kExitBadInput;
+    }
+    // Resolve the grid exactly like local mode, so the fleet sweeps the
+    // same problem --sweep would (and the outputs can be compared).
+    pipeline::CompileOptions popts;
+    popts.machine = mach::MachineParams::paper_cluster();
+    popts.height = cli.height;
+    popts.simulate = false;
+    if (cli.auto_procs) {
+      popts.auto_procs = cli.auto_procs;
+    } else if (cli.procs_text) {
+      lat::Vec procs;
+      if (!parse_procs(*cli.procs_text, nest_opt->dims(), procs))
+        return kExitUsage;
+      popts.procs = std::move(procs);
+    } else {
+      const std::size_t md =
+          core::Problem{*nest_opt, popts.machine,
+                        lat::Vec(nest_opt->dims(), 1)}
+              .mapped_dim();
+      lat::Vec procs(nest_opt->dims(), 4);
+      procs[md] = 1;
+      popts.procs = std::move(procs);
+    }
+    const pipeline::ArtifactStore planned =
+        pipeline::Compiler(popts).compile_nest(*nest_opt);
+    const core::Problem& problem = planned.analysis().problem;
+    units = fleet::sweep_units(
+        problem, core::height_grid(4, problem.max_tile_height() / 2, 1.6));
+  } else {
+    std::cerr << "error: --fleet-controller needs a job: --fleet-sweep or "
+                 "--scenario FILE\n";
+    return kExitUsage;
+  }
+
+  fleet::ControllerConfig config;
+  config.address = cli.fleet_controller_address;
+  obs::ChromeTraceSink chrome;
+  if (!cli.trace_path.empty()) config.sink = &chrome;
+  fleet::Controller controller(std::move(config), std::move(units));
+  try {
+    controller.start();
+  } catch (const util::Error& e) {
+    std::cerr << "error: cannot bind fleet controller on "
+              << cli.fleet_controller_address << ": " << e.what() << '\n';
+    return kExitService;
+  }
+  std::cout << "tilo fleet controller listening on "
+            << controller.address().str() << " ("
+            << controller.stats().units << " unit(s))\n"
+            << "join workers with `tilo_cli --fleet-worker "
+            << controller.address().str() << "`\n";
+  std::cout.flush();
+
+  std::vector<std::thread> local;
+  for (i64 i = 0; i < cli.fleet_local; ++i)
+    local.emplace_back([addr = controller.address().str(), i] {
+      fleet::WorkerConfig wc;
+      wc.address = addr;
+      wc.name = util::concat("local-", i);
+      fleet::Worker(std::move(wc)).run();
+    });
+  controller.wait();
+  for (std::thread& t : local) t.join();
+  // Let external workers hear done=true on their next poll before the
+  // socket disappears.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  controller.stop();
+
+  if (sweep_job) {
+    const std::vector<core::SweepPoint> pts =
+        fleet::sweep_points_from_payloads(controller.merged().payloads());
+    util::Table t;
+    t.set_header({"V", "t_overlap", "t_nonoverlap"});
+    for (const core::SweepPoint& p : pts)
+      t.add_row({std::to_string(p.V), util::fmt_seconds(p.t_overlap),
+                 util::fmt_seconds(p.t_nonoverlap)});
+    t.write_text(std::cout);
+  } else {
+    const std::vector<std::string>& payloads =
+        controller.merged().payloads();
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      const pipeline::Json r = pipeline::Json::parse(payloads[i]);
+      std::cout << '[' << names[i] << "] ";
+      if (const pipeline::Json* err = r.find("error")) {
+        std::cout << "error: " << err->as_string("error") << '\n';
+        continue;
+      }
+      std::cout << "V = " << r.at("V").as_integer("V") << ", P(g) = "
+                << r.at("schedule_length").as_integer("schedule_length")
+                << ", predicted "
+                << util::fmt_seconds(
+                       r.at("predicted_seconds").as_number("predicted"));
+      if (const pipeline::Json* sim = r.find("simulated_seconds"))
+        std::cout << ", simulated "
+                  << util::fmt_seconds(sim->as_number("simulated"));
+      std::cout << '\n';
+    }
+  }
+  std::cout << '\n';
+  controller.write_report(std::cout);
+  if (!cli.trace_path.empty()) {
+    std::ofstream out(cli.trace_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << cli.trace_path
+                << " for writing\n";
+      return kExitFileIo;
+    }
+    chrome.write(out);
+    std::cout << "trace written to " << cli.trace_path
+              << " (load at https://ui.perfetto.dev)\n";
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -649,7 +903,12 @@ int main(int argc, char** argv) {
     if (!flag->apply(cli, value)) return usage(argv[0]);
   }
 
+  if (cli.version) return print_version();
+
   try {
+    if (!cli.fleet_worker_address.empty()) return run_fleet_worker(cli);
+    if (!cli.fleet_controller_address.empty())
+      return run_fleet_controller(cli);
     if (!cli.serve_address.empty()) return run_serve(cli);
     if (!cli.connect_address.empty()) return run_connect(cli);
     if (!cli.scenario_path.empty()) return run_scenario(cli);

@@ -1,0 +1,489 @@
+#include "tilo/fleet/controller.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <limits>
+#include <ostream>
+
+#include "tilo/svc/server.hpp"  // histogram_percentile_ns
+#include "tilo/util/error.hpp"
+
+namespace tilo::fleet {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// One worker connection.  Every fleet op is answered inline by the reader
+/// thread (the bookkeeping is microseconds, unlike a compile), so no
+/// worker pool and no cross-thread writes — the mutex is belt and braces
+/// for shutdown.
+struct Controller::Conn {
+  explicit Conn(Fd f) : fd(std::move(f)) {}
+  Fd fd;
+  std::mutex write_mu;
+};
+
+struct Controller::ConnSlot {
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+Controller::Controller(ControllerConfig cfg, std::vector<WorkUnit> units)
+    : cfg_(std::move(cfg)), merge_(units.size()) {
+  TILO_REQUIRE(cfg_.credit >= 1, "fleet: credit window must be >= 1, got ",
+               cfg_.credit);
+  TILO_REQUIRE(cfg_.heartbeat_ms >= 1, "fleet: heartbeat_ms must be >= 1");
+  TILO_REQUIRE(cfg_.miss_threshold >= 1, "fleet: miss_threshold must be >= 1");
+  TILO_REQUIRE(!units.empty(), "fleet: nothing to dispatch (0 units)");
+  units_.resize(units.size());
+  for (WorkUnit& u : units) {
+    TILO_REQUIRE(u.index < units_.size(), "fleet: unit index ", u.index,
+                 " out of range");
+    units_[u.index].payload = std::move(u.payload);
+  }
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    TILO_REQUIRE(!units_[i].payload.empty(), "fleet: missing unit ", i);
+    pending_.push_back(i);
+  }
+  if (cfg_.sink)
+    cfg_.sink->counter("fleet.units", static_cast<double>(units_.size()));
+}
+
+Controller::~Controller() { stop(); }
+
+void Controller::start() {
+  TILO_REQUIRE(!started_.load(), "fleet::Controller::start called twice");
+  addr_ = Address::parse(cfg_.address);
+  listen_fd_ = svc::listen_on(addr_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  tick_thread_ = std::thread([this] { tick_loop(); });
+  started_.store(true, std::memory_order_release);
+}
+
+void Controller::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return merge_.complete(); });
+}
+
+bool Controller::wait_for_ms(i64 timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_done_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [this] { return merge_.complete(); });
+}
+
+void Controller::stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_tick_.notify_all();
+  }
+  if (listen_fd_.valid()) ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (tick_thread_.joinable()) tick_thread_.join();
+  listen_fd_.reset();
+  if (addr_.kind == Address::Kind::kUnix) ::unlink(addr_.path.c_str());
+
+  std::vector<std::unique_ptr<ConnSlot>> slots;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::shared_ptr<Conn>& conn : conns_)
+      ::shutdown(conn->fd.get(), SHUT_RD);
+    slots.swap(conn_slots_);
+  }
+  for (const std::unique_ptr<ConnSlot>& slot : slots)
+    if (slot->thread.joinable()) slot->thread.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+}
+
+void Controller::accept_loop() {
+  for (;;) {
+    Fd fd = svc::accept_on(listen_fd_.get());
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (!fd.valid()) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    auto conn = std::make_shared<Conn>(std::move(fd));
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conn_slots_.begin(); it != conn_slots_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = conn_slots_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    conns_.push_back(conn);
+    auto slot = std::make_unique<ConnSlot>();
+    ConnSlot* raw = slot.get();
+    slot->thread = std::thread([this, conn, raw] {
+      conn_loop(conn);
+      raw->done.store(true, std::memory_order_release);
+    });
+    conn_slots_.push_back(std::move(slot));
+  }
+}
+
+void Controller::conn_loop(std::shared_ptr<Conn> conn) {
+  std::string payload;
+  for (;;) {
+    const svc::FrameStatus st =
+        svc::read_frame(conn->fd.get(), payload, cfg_.max_frame_bytes);
+    if (st != svc::FrameStatus::kFrame) break;
+    svc::Response resp;
+    try {
+      resp = handle(svc::request_from_json(Json::parse(payload)));
+    } catch (const util::Error& e) {
+      resp.status = svc::RespStatus::kBadRequest;
+      resp.error = e.what();
+    }
+    const std::string wire = svc::response_to_wire(resp);
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (!svc::write_frame(conn->fd.get(), wire)) break;
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+}
+
+/// The eviction clock: scan every half heartbeat interval, evict members
+/// silent for miss_threshold intervals, and requeue what they held.
+void Controller::tick_loop() {
+  const i64 max_silence_ns = cfg_.heartbeat_ms * 1'000'000 *
+                             static_cast<i64>(cfg_.miss_threshold);
+  const auto period =
+      std::chrono::milliseconds(std::max<i64>(1, cfg_.heartbeat_ms / 2));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_tick_.wait_for(lock, period,
+                      [this] { return stopping_.load(std::memory_order_acquire); });
+    if (stopping_.load(std::memory_order_acquire)) return;
+    std::vector<Member> gone = membership_.evict_stale(now_ns(), max_silence_ns);
+    for (const Member& m : gone) {
+      ++evicted_;
+      if (cfg_.sink) cfg_.sink->counter("fleet.evicted", 1);
+      requeue_locked(m.leased, m.id);
+    }
+  }
+}
+
+svc::Response Controller::handle(const svc::Request& req) {
+  svc::Response resp;
+  resp.id = req.id;
+  switch (req.op) {
+    case svc::Op::kPing:
+      resp.result = "{\"pong\":true,\"role\":\"fleet-controller\"}";
+      return resp;
+    case svc::Op::kStats: {
+      const FleetStats s = stats();
+      Json r = Json::object();
+      r.set("units", Json::integer(static_cast<i64>(s.units)));
+      r.set("completed", Json::integer(static_cast<i64>(s.completed)));
+      r.set("pending", Json::integer(static_cast<i64>(s.pending)));
+      r.set("in_flight", Json::integer(static_cast<i64>(s.in_flight)));
+      r.set("workers", Json::integer(static_cast<i64>(s.workers)));
+      r.set("registered", Json::integer(static_cast<i64>(s.registered)));
+      r.set("evicted", Json::integer(static_cast<i64>(s.evicted)));
+      r.set("requeued", Json::integer(static_cast<i64>(s.requeued)));
+      r.set("speculated", Json::integer(static_cast<i64>(s.speculated)));
+      r.set("duplicates", Json::integer(static_cast<i64>(s.duplicates)));
+      resp.result = r.dump();
+      return resp;
+    }
+    case svc::Op::kRegister:
+      resp.result = handle_register(req.fleet);
+      return resp;
+    case svc::Op::kHeartbeat:
+      resp.result = handle_heartbeat(req.fleet);
+      return resp;
+    case svc::Op::kDeregister:
+      resp.result = handle_deregister(req.fleet);
+      return resp;
+    case svc::Op::kUnit:
+      resp.result = handle_unit(req.fleet);
+      return resp;
+    case svc::Op::kCompile:
+    case svc::Op::kShutdown:
+      resp.status = svc::RespStatus::kBadRequest;
+      resp.error = util::concat("op \"", svc::op_name(req.op),
+                                "\" is not served by a fleet controller");
+      return resp;
+  }
+  resp.status = svc::RespStatus::kBadRequest;
+  resp.error = "unknown op";
+  return resp;
+}
+
+std::string Controller::handle_register(const Json& body) {
+  TILO_REQUIRE(body.is_object(), "fleet register: missing \"fleet\" body");
+  std::string name = "worker";
+  if (const Json* n = body.find("name")) name = n->as_string("fleet.name");
+  int id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = membership_.add(std::move(name), now_ns());
+    ++registered_;
+  }
+  if (cfg_.sink) cfg_.sink->counter("fleet.registered", 1);
+  Json r = Json::object();
+  r.set("worker_id", Json::integer(id));
+  r.set("credit", Json::integer(cfg_.credit));
+  r.set("heartbeat_ms", Json::integer(cfg_.heartbeat_ms));
+  r.set("fleet_version", Json::integer(kFleetVersion));
+  return r.dump();
+}
+
+std::string Controller::handle_heartbeat(const Json& body) {
+  TILO_REQUIRE(body.is_object(), "fleet heartbeat: missing \"fleet\" body");
+  const int id =
+      static_cast<int>(body.at("worker_id").as_integer("fleet.worker_id"));
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    known = membership_.touch(id, now_ns());
+    ++heartbeats_;
+  }
+  return known ? "{\"known\":true}" : "{\"known\":false}";
+}
+
+std::string Controller::handle_deregister(const Json& body) {
+  TILO_REQUIRE(body.is_object(), "fleet deregister: missing \"fleet\" body");
+  const int id =
+      static_cast<int>(body.at("worker_id").as_integer("fleet.worker_id"));
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Member gone;
+    known = membership_.remove(id, &gone);
+    if (known) {
+      ++deregistered_;
+      requeue_locked(gone.leased, gone.id);
+    }
+  }
+  return known ? "{\"known\":true}" : "{\"known\":false}";
+}
+
+std::string Controller::handle_unit(const Json& body) {
+  TILO_REQUIRE(body.is_object(), "fleet unit: missing \"fleet\" body");
+  const int id =
+      static_cast<int>(body.at("worker_id").as_integer("fleet.worker_id"));
+  i64 want = cfg_.credit;
+  if (const Json* w = body.find("want")) want = w->as_integer("fleet.want");
+
+  std::vector<std::size_t> leased;
+  bool known = false;
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const i64 now = now_ns();
+    ++unit_polls_;
+    known = membership_.touch(id, now);
+    // Completed results are accepted even from unknown (evicted) workers:
+    // the unit state machine, not membership, enforces exactly-once.
+    if (const Json* comp = body.find("completed")) {
+      for (const Json& entry : comp->as_array("fleet.completed")) {
+        const std::size_t index = static_cast<std::size_t>(
+            entry.at("unit").as_integer("fleet.completed.unit"));
+        complete_locked(index, entry.at("result").dump(), id, now);
+      }
+    }
+    done = merge_.complete();
+    if (known && !done)
+      if (Member* m = membership_.find(id)) leased = lease_locked(*m, want, now);
+  }
+  if (cfg_.sink) cfg_.sink->counter("fleet.unit_polls", 1);
+
+  // Hand-assembled so unit payloads are spliced verbatim: every worker
+  // sees the exact canonical bytes the unit plan produced.
+  std::string out = "{\"known\":";
+  out += known ? "true" : "false";
+  out += ",\"done\":";
+  out += done ? "true" : "false";
+  out += ",\"units\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t index : leased) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"unit\":";
+    out += std::to_string(index);
+    out += ",\"payload\":";
+    out += units_[index].payload;
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::size_t Controller::next_pending_locked() {
+  while (!pending_.empty()) {
+    const std::size_t index = pending_.front();
+    pending_.pop_front();
+    if (units_[index].state == UnitState::kPending) return index;
+  }
+  return kNone;
+}
+
+/// The oldest singly-leased unit this worker does not already hold —
+/// the speculation candidate.
+std::size_t Controller::straggler_locked(int worker, i64 now) {
+  const i64 min_age_ns = cfg_.speculate_after_ms * 1'000'000;
+  std::size_t best = kNone;
+  i64 best_lease = std::numeric_limits<i64>::max();
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    const Unit& u = units_[i];
+    if (u.state != UnitState::kLeased || u.lease_count >= 2) continue;
+    if (now - u.first_lease_ns < min_age_ns) continue;
+    if (std::find(u.owners.begin(), u.owners.end(), worker) != u.owners.end())
+      continue;
+    if (u.first_lease_ns < best_lease) {
+      best_lease = u.first_lease_ns;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> Controller::lease_locked(Member& m, i64 want,
+                                                  i64 now) {
+  std::vector<std::size_t> out;
+  const i64 window = std::min<i64>(want, cfg_.credit);
+  while (static_cast<i64>(m.leased.size()) < window) {
+    std::size_t index = next_pending_locked();
+    bool speculative = false;
+    if (index == kNone && cfg_.speculate) {
+      index = straggler_locked(m.id, now);
+      speculative = index != kNone;
+    }
+    if (index == kNone) break;
+    Unit& u = units_[index];
+    u.state = UnitState::kLeased;
+    if (u.first_lease_ns == 0) u.first_lease_ns = now;
+    ++u.lease_count;
+    u.owners.push_back(m.id);
+    m.leased.push_back(index);
+    out.push_back(index);
+    if (speculative) {
+      ++speculated_;
+      if (cfg_.sink) cfg_.sink->counter("fleet.speculated", 1);
+    } else if (cfg_.sink) {
+      cfg_.sink->counter("fleet.queue_depth", -1);
+    }
+  }
+  return out;
+}
+
+void Controller::complete_locked(std::size_t index, std::string payload,
+                                 int worker, i64 now) {
+  TILO_REQUIRE(index < units_.size(), "fleet: completed unit ", index,
+               " out of range");
+  Unit& u = units_[index];
+  // Drop the submitting worker's lease whatever happens next.
+  if (Member* m = membership_.find(worker))
+    m->leased.erase(std::remove(m->leased.begin(), m->leased.end(), index),
+                    m->leased.end());
+  u.owners.erase(std::remove(u.owners.begin(), u.owners.end(), worker),
+                 u.owners.end());
+  if (u.state == UnitState::kDone) {
+    ++duplicates_;
+    if (cfg_.sink) cfg_.sink->counter("fleet.duplicates", 1);
+    return;
+  }
+  // A pending unit can complete too: a zombie's result arriving after its
+  // lease was requeued but before anyone re-leased it still wins.
+  if (u.state == UnitState::kPending && cfg_.sink)
+    cfg_.sink->counter("fleet.queue_depth", -1);
+  u.state = UnitState::kDone;
+  const bool won = merge_.add(index, std::move(payload));
+  TILO_ASSERT(won, "fleet: unit state/merge disagreement at ", index);
+  if (Member* m = membership_.find(worker)) ++m->completed;
+  latency_.add(now - u.first_lease_ns);
+  if (cfg_.sink) {
+    cfg_.sink->host_span(util::concat("fleet.unit [u", index, "]"),
+                         u.first_lease_ns, now, worker);
+    cfg_.sink->counter("fleet.completed", 1);
+  }
+  // Remaining speculative copies stay leased at their workers; their late
+  // results will land in the kDone branch above.
+  u.owners.clear();
+  if (merge_.complete()) cv_done_.notify_all();
+}
+
+/// Returns lost leases to the front of the pending queue in index order —
+/// exactly once: a unit already Done (a result landed before the owner
+/// died) or still co-leased by a live speculative holder stays put.
+void Controller::requeue_locked(const std::vector<std::size_t>& leases,
+                                int worker) {
+  std::vector<std::size_t> lost(leases);
+  std::sort(lost.begin(), lost.end());
+  for (auto it = lost.rbegin(); it != lost.rend(); ++it) {
+    Unit& u = units_[*it];
+    u.owners.erase(std::remove(u.owners.begin(), u.owners.end(), worker),
+                   u.owners.end());
+    if (u.state != UnitState::kLeased || !u.owners.empty()) continue;
+    u.state = UnitState::kPending;
+    pending_.push_front(*it);
+    ++requeued_;
+    if (cfg_.sink) {
+      cfg_.sink->counter("fleet.requeued", 1);
+      cfg_.sink->counter("fleet.queue_depth", 1);
+    }
+  }
+}
+
+FleetStats Controller::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetStats s;
+  s.units = units_.size();
+  s.completed = merge_.completed();
+  s.workers = membership_.size();
+  for (const Unit& u : units_) {
+    if (u.state == UnitState::kPending) ++s.pending;
+    if (u.state == UnitState::kLeased) s.in_flight += u.owners.size();
+  }
+  s.registered = registered_;
+  s.deregistered = deregistered_;
+  s.evicted = evicted_;
+  s.requeued = requeued_;
+  s.speculated = speculated_;
+  s.duplicates = duplicates_;
+  s.heartbeats = heartbeats_;
+  s.unit_polls = unit_polls_;
+  return s;
+}
+
+void Controller::write_report(std::ostream& os) const {
+  const FleetStats s = stats();
+  os << "fleet report (" << addr_.str() << ")\n"
+     << "  units       " << s.completed << " of " << s.units << " completed ("
+     << s.pending << " pending, " << s.in_flight << " in flight)\n"
+     << "  workers     " << s.workers << " registered now, " << s.registered
+     << " ever, " << s.evicted << " evicted, " << s.deregistered
+     << " deregistered\n"
+     << "  resilience  " << s.requeued << " requeued, " << s.speculated
+     << " speculative lease(s), " << s.duplicates
+     << " duplicate result(s) dropped\n"
+     << "  traffic     " << s.unit_polls << " unit poll(s), " << s.heartbeats
+     << " heartbeat(s)\n"
+     << "  latency     unit p50 ~"
+     << svc::histogram_percentile_ns(latency_, 0.50) / 1e6 << " ms, p99 ~"
+     << svc::histogram_percentile_ns(latency_, 0.99) / 1e6
+     << " ms (log-bucket upper edges)\n";
+}
+
+}  // namespace tilo::fleet

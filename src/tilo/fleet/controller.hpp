@@ -1,0 +1,181 @@
+// fleet::Controller — the work-unit planner and bounded in-flight
+// dispatcher at the head of a worker fleet.
+//
+// The controller owns a fixed unit plan (sweep_units / scenario_units) and
+// serves the svc wire protocol's fleet ops on its own socket:
+//
+//   register    worker joins → fresh id, credit window, heartbeat interval
+//   heartbeat   liveness beacon between unit polls
+//   unit        the pull loop: worker returns completed units and leases
+//               up to `credit` new ones in the same round trip
+//   deregister  graceful leave; leases requeue immediately
+//
+// Dispatch is pull-based with per-worker credit windows: a worker never
+// holds more than `credit` leases, so in-flight work is bounded and a
+// dead worker can strand at most `credit` units — until the miss-threshold
+// eviction requeues them.  Every unit walks Pending → Leased → Done
+// exactly once; requeue (eviction, deregister) is Leased → Pending and
+// only the first result ever files into the Merge, so speculation and
+// zombie workers cannot double-count (the duplicates counter says how
+// often that guard fired).
+//
+// Speculative re-dispatch: when the pending queue runs dry but leases are
+// outstanding, an idle worker gets a second copy of the oldest straggler
+// (at most two leases per unit); whichever copy lands first wins.
+//
+// Determinism: the merged document depends only on the unit plan — see
+// merge.hpp for the argument.  obs coverage: per-worker "fleet.unit"
+// host-span lanes, fleet.* counters, and a LogHistogram of unit
+// latencies rendered by write_report().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tilo/fleet/membership.hpp"
+#include "tilo/fleet/merge.hpp"
+#include "tilo/fleet/unit.hpp"
+#include "tilo/obs/registry.hpp"
+#include "tilo/svc/protocol.hpp"
+#include "tilo/svc/socket.hpp"
+
+namespace tilo::fleet {
+
+using svc::Address;
+using svc::Fd;
+
+struct ControllerConfig {
+  /// "unix:/path" or "tcp:port" (tcp:0 = kernel-assigned, see address()).
+  std::string address = "unix:/tmp/tilo-fleet.sock";
+  /// Per-worker credit window: max units on lease to one worker.
+  int credit = 4;
+  /// Advertised heartbeat interval.
+  i64 heartbeat_ms = 500;
+  /// Evict after this many silent intervals.
+  int miss_threshold = 3;
+  /// Re-dispatch stragglers to idle workers (first result wins).
+  bool speculate = true;
+  /// Lease age before a unit counts as a straggler.
+  i64 speculate_after_ms = 1000;
+  std::size_t max_frame_bytes = svc::kDefaultMaxFrameBytes;
+  obs::Sink* sink = nullptr;
+};
+
+struct FleetStats {
+  std::size_t units = 0;
+  std::size_t completed = 0;
+  std::size_t pending = 0;    ///< queued, not on lease
+  std::size_t in_flight = 0;  ///< leases outstanding (speculation counts 2)
+  std::size_t workers = 0;    ///< registered right now
+  std::uint64_t registered = 0;  ///< ever
+  std::uint64_t deregistered = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t requeued = 0;    ///< lease losses returned to pending
+  std::uint64_t speculated = 0;  ///< second leases handed out
+  std::uint64_t duplicates = 0;  ///< results dropped by first-wins dedup
+  std::uint64_t heartbeats = 0;
+  std::uint64_t unit_polls = 0;
+};
+
+class Controller {
+ public:
+  Controller(ControllerConfig cfg, std::vector<WorkUnit> units);
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Binds the socket and starts the accept + eviction threads.
+  void start();
+
+  /// The bound address (resolves "tcp:0" to the kernel-assigned port).
+  const Address& address() const { return addr_; }
+
+  /// Blocks until every unit has a merged result.
+  void wait();
+  /// wait() with a timeout; false = still incomplete.
+  bool wait_for_ms(i64 timeout_ms);
+
+  /// Stops serving and joins every thread.  Idempotent; the destructor
+  /// calls it.  Workers polling after completion have already been told
+  /// done=true, so stop after wait() is a clean shutdown.
+  void stop();
+
+  FleetStats stats() const;
+  /// Result texts keyed by unit index; meaningful once wait() returned.
+  const Merge& merged() const { return merge_; }
+  /// The canonical merged document (requires completion).
+  std::string merged_document() const { return merge_.document(); }
+
+  /// The end-of-run fleet report: units, workers, resilience counters and
+  /// unit-latency percentiles.
+  void write_report(std::ostream& os) const;
+
+ private:
+  enum class UnitState { kPending, kLeased, kDone };
+  struct Unit {
+    std::string payload;
+    UnitState state = UnitState::kPending;
+    std::vector<int> owners;  ///< worker ids holding a lease
+    i64 first_lease_ns = 0;
+    int lease_count = 0;  ///< total leases ever (speculation cap)
+  };
+  struct Conn;
+  struct ConnSlot;
+
+  void accept_loop();
+  void conn_loop(std::shared_ptr<Conn> conn);
+  void tick_loop();
+  svc::Response handle(const svc::Request& req);
+  std::string handle_register(const Json& body);
+  std::string handle_heartbeat(const Json& body);
+  std::string handle_deregister(const Json& body);
+  std::string handle_unit(const Json& body);
+
+  // All _locked helpers require mu_.
+  std::size_t next_pending_locked();
+  std::size_t straggler_locked(int worker, i64 now);
+  std::vector<std::size_t> lease_locked(Member& m, i64 want, i64 now);
+  void complete_locked(std::size_t index, std::string payload, int worker,
+                       i64 now);
+  void requeue_locked(const std::vector<std::size_t>& leases, int worker);
+
+  ControllerConfig cfg_;
+  Address addr_;
+  Fd listen_fd_;
+  std::thread accept_thread_;
+  std::thread tick_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<ConnSlot>> conn_slots_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_done_;
+  std::condition_variable cv_tick_;
+  std::vector<Unit> units_;
+  std::deque<std::size_t> pending_;
+  Membership membership_;
+  Merge merge_;
+  obs::LogHistogram latency_;
+  std::uint64_t registered_ = 0;
+  std::uint64_t deregistered_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t requeued_ = 0;
+  std::uint64_t speculated_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t heartbeats_ = 0;
+  std::uint64_t unit_polls_ = 0;
+};
+
+}  // namespace tilo::fleet

@@ -1,0 +1,48 @@
+#include "tilo/fleet/membership.hpp"
+
+namespace tilo::fleet {
+
+int Membership::add(std::string name, i64 now_ns) {
+  const int id = next_id_++;
+  Member m;
+  m.id = id;
+  m.name = std::move(name);
+  m.last_seen_ns = now_ns;
+  members_.emplace(id, std::move(m));
+  return id;
+}
+
+bool Membership::touch(int id, i64 now_ns) {
+  auto it = members_.find(id);
+  if (it == members_.end()) return false;
+  it->second.last_seen_ns = now_ns;
+  return true;
+}
+
+Member* Membership::find(int id) {
+  auto it = members_.find(id);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+bool Membership::remove(int id, Member* out) {
+  auto it = members_.find(id);
+  if (it == members_.end()) return false;
+  if (out) *out = std::move(it->second);
+  members_.erase(it);
+  return true;
+}
+
+std::vector<Member> Membership::evict_stale(i64 now_ns, i64 max_silence_ns) {
+  std::vector<Member> evicted;
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (now_ns - it->second.last_seen_ns > max_silence_ns) {
+      evicted.push_back(std::move(it->second));
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace tilo::fleet

@@ -1,0 +1,62 @@
+// fleet::Membership — the controller's worker table: register, heartbeat,
+// deregister, and miss-threshold eviction.
+//
+// Liveness is lease-based, Slurm-style: a worker that stays silent (no
+// heartbeat, no unit poll) for longer than `max_silence` is evicted and
+// its leased units go back to the pending queue.  The table is plain data
+// guarded by the controller's one mutex — it is NOT internally
+// synchronized — and takes every timestamp as a parameter, so tests drive
+// eviction with a synthetic clock instead of sleeping.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tilo/util/error.hpp"
+#include "tilo/util/math.hpp"
+
+namespace tilo::fleet {
+
+using util::i64;
+
+/// One registered worker.
+struct Member {
+  int id = 0;
+  std::string name;
+  i64 last_seen_ns = 0;
+  std::vector<std::size_t> leased;  ///< unit indices currently on lease
+  std::uint64_t completed = 0;      ///< winning results delivered
+};
+
+class Membership {
+ public:
+  /// Admits a worker and returns its fresh id (ids are never reused, so a
+  /// zombie holding an evicted id can never impersonate a live worker).
+  int add(std::string name, i64 now_ns);
+
+  /// Refreshes liveness; false = unknown id (never registered, or
+  /// evicted — the caller tells the worker to re-register).
+  bool touch(int id, i64 now_ns);
+
+  /// nullptr when unknown.
+  Member* find(int id);
+
+  /// Graceful leave.  When `out` is non-null the departing record is moved
+  /// there (the caller requeues its leases); false = unknown id.
+  bool remove(int id, Member* out = nullptr);
+
+  /// Removes every member silent for longer than `max_silence_ns` and
+  /// returns the evicted records (leases intact, for requeueing).
+  std::vector<Member> evict_stale(i64 now_ns, i64 max_silence_ns);
+
+  std::size_t size() const { return members_.size(); }
+  const std::map<int, Member>& members() const { return members_; }
+
+ private:
+  std::map<int, Member> members_;
+  int next_id_ = 1;
+};
+
+}  // namespace tilo::fleet

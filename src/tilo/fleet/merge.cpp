@@ -1,0 +1,39 @@
+#include "tilo/fleet/merge.hpp"
+
+#include "tilo/fleet/unit.hpp"
+
+namespace tilo::fleet {
+
+Merge::Merge(std::size_t units) : payloads_(units), filled_(units, false) {}
+
+bool Merge::add(std::size_t index, std::string payload) {
+  TILO_REQUIRE(index < filled_.size(), "fleet merge: unit index ", index,
+               " out of range (", filled_.size(), " units)");
+  if (filled_[index]) return false;
+  payloads_[index] = std::move(payload);
+  filled_[index] = true;
+  ++completed_;
+  return true;
+}
+
+bool Merge::has(std::size_t index) const {
+  TILO_REQUIRE(index < filled_.size(), "fleet merge: unit index ", index,
+               " out of range (", filled_.size(), " units)");
+  return filled_[index];
+}
+
+std::string Merge::document() const {
+  TILO_REQUIRE(complete(), "fleet merge: document() before completion (",
+               completed_, " of ", filled_.size(), " units)");
+  std::string out = "{\"tilo\":\"fleet.result\",\"version\":";
+  out += std::to_string(kFleetVersion);
+  out += ",\"units\":[";
+  for (std::size_t i = 0; i < payloads_.size(); ++i) {
+    if (i) out += ',';
+    out += payloads_[i];
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tilo::fleet

@@ -1,0 +1,51 @@
+// fleet::Merge — order-insensitive collection of unit results with
+// deterministic emission.
+//
+// Results arrive in whatever order the fleet completes them; each lands in
+// the index-addressed slot its unit was planned with, first result wins
+// (add() returns false for the duplicates that speculation and zombie
+// workers produce).  Emission — payloads() and document() — reads the
+// slots in index order, so the merged bytes depend only on the unit plan,
+// never on worker count, scheduling, failures, or speculation.  That is
+// the whole determinism argument: per-unit bytes are deterministic
+// (unit.hpp), and this container makes their order deterministic too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::fleet {
+
+class Merge {
+ public:
+  /// A merge for `units` slots, all initially empty.
+  explicit Merge(std::size_t units);
+
+  /// Files `payload` under `index`.  Returns true when the slot was empty
+  /// (the result "wins"); false when a result is already filed there — the
+  /// duplicate is dropped, preserving exactly-once semantics.  Throws
+  /// util::Error on an out-of-range index.
+  bool add(std::size_t index, std::string payload);
+
+  bool has(std::size_t index) const;
+  std::size_t size() const { return filled_.size(); }
+  std::size_t completed() const { return completed_; }
+  bool complete() const { return completed_ == filled_.size(); }
+
+  /// Result texts by unit index ("" where no result has landed yet).
+  const std::vector<std::string>& payloads() const { return payloads_; }
+
+  /// The canonical merged document, result bytes spliced verbatim:
+  ///   {"tilo":"fleet.result","version":1,"units":[<r0>,<r1>,...]}
+  /// Requires complete().
+  std::string document() const;
+
+ private:
+  std::vector<std::string> payloads_;
+  std::vector<bool> filled_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace tilo::fleet

@@ -1,0 +1,160 @@
+#include "tilo/fleet/unit.hpp"
+
+#include "tilo/pipeline/serialize.hpp"
+#include "tilo/svc/compile.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::fleet {
+
+namespace {
+
+void stamp_envelope(Json& j, std::string_view kind) {
+  j.set("tilo", Json::string("fleet.unit"));
+  j.set("version", Json::integer(kFleetVersion));
+  j.set("kind", Json::string(std::string(kind)));
+}
+
+void require_unit_envelope(const Json& j) {
+  TILO_REQUIRE(j.is_object(), "fleet unit: not a JSON object");
+  const Json* tag = j.find("tilo");
+  TILO_REQUIRE(tag && tag->as_string("tilo") == "fleet.unit",
+               "fleet unit: missing or wrong \"tilo\" tag");
+  const i64 v = j.at("version").as_integer("version");
+  TILO_REQUIRE(v == kFleetVersion, "fleet unit: version ", v,
+               " unsupported (this build speaks fleet version ",
+               kFleetVersion, ")");
+}
+
+Json vec_to_json(const lat::Vec& v) {
+  Json a = Json::array();
+  for (std::size_t i = 0; i < v.size(); ++i) a.push(Json::integer(v[i]));
+  return a;
+}
+
+lat::Vec vec_from_json(const Json& j, std::string_view what) {
+  const Json::Array& a = j.as_array(what);
+  std::vector<i64> v;
+  v.reserve(a.size());
+  for (const Json& e : a) v.push_back(e.as_integer(what));
+  return lat::Vec(std::move(v));
+}
+
+std::string execute_sweep_unit(const Json& j) {
+  core::Problem problem{pipeline::nest_from_json(j.at("nest")),
+                        pipeline::machine_from_json(j.at("machine")),
+                        vec_from_json(j.at("procs"), "fleet unit procs")};
+  const i64 V = j.at("V").as_integer("fleet unit V");
+  // A one-height sweep with default options: byte-for-byte the same
+  // SweepPoint the single-node sweep computes at this height (each point
+  // is an independent simulation — the PR 1 determinism property).
+  const std::vector<core::SweepPoint> points =
+      core::sweep_tile_height(problem, {V});
+  return sweep_point_to_json(points.front()).dump();
+}
+
+std::string execute_scenario_unit(const Json& j) {
+  pipeline::CompileOptions base;
+  if (const Json* m = j.find("machine"))
+    base.machine = pipeline::machine_from_json(*m);
+  const svc::CompileParams params = svc::workload_from_json(j.at("workload"));
+  const svc::Response resp = svc::execute_compile(base, params);
+  if (resp.status == svc::RespStatus::kOk) return resp.result;
+  Json err = Json::object();
+  err.set("error", Json::string(resp.error));
+  return err.dump();
+}
+
+}  // namespace
+
+std::vector<WorkUnit> sweep_units(const core::Problem& problem,
+                                  const std::vector<i64>& heights) {
+  const Json nest = pipeline::nest_to_json(problem.nest);
+  const Json machine = pipeline::machine_to_json(problem.machine);
+  const Json procs = vec_to_json(problem.procs);
+  std::vector<WorkUnit> units;
+  units.reserve(heights.size());
+  for (std::size_t i = 0; i < heights.size(); ++i) {
+    Json j = Json::object();
+    stamp_envelope(j, "sweep_point");
+    j.set("nest", nest);
+    j.set("machine", machine);
+    j.set("procs", procs);
+    j.set("V", Json::integer(heights[i]));
+    units.push_back(WorkUnit{i, j.dump()});
+  }
+  return units;
+}
+
+std::vector<WorkUnit> scenario_units(const pipeline::ScenarioFile& scenario) {
+  std::vector<WorkUnit> units;
+  units.reserve(scenario.workloads.size());
+  for (std::size_t i = 0; i < scenario.workloads.size(); ++i) {
+    const pipeline::ScenarioWorkload& wl = scenario.workloads[i];
+    svc::CompileParams params;
+    params.name = wl.name;
+    params.source = wl.source;
+    params.procs = wl.procs;
+    params.auto_procs = wl.auto_procs;
+    params.height = wl.height;
+    if (wl.kind) params.kind = *wl.kind;
+    params.simulate = true;  // scenario compiles simulate by default
+    Json j = Json::object();
+    stamp_envelope(j, "scenario_workload");
+    j.set("workload", svc::workload_to_json(params));
+    if (scenario.machine)
+      j.set("machine", pipeline::machine_to_json(*scenario.machine));
+    units.push_back(WorkUnit{i, j.dump()});
+  }
+  return units;
+}
+
+std::string execute_unit(std::string_view payload) {
+  const Json j = Json::parse(payload);
+  require_unit_envelope(j);
+  const std::string kind = j.at("kind").as_string("fleet unit kind");
+  if (kind == "sweep_point") return execute_sweep_unit(j);
+  if (kind == "scenario_workload") return execute_scenario_unit(j);
+  TILO_REQUIRE(false, "fleet unit: unknown kind \"", kind, "\"");
+  return {};  // unreachable
+}
+
+Json sweep_point_to_json(const core::SweepPoint& p) {
+  Json j = Json::object();
+  j.set("V", Json::integer(p.V));
+  j.set("g", Json::integer(p.g));
+  j.set("t_overlap", Json::number(p.t_overlap));
+  j.set("t_nonoverlap", Json::number(p.t_nonoverlap));
+  j.set("predicted_overlap", Json::number(p.predicted_overlap));
+  j.set("predicted_nonoverlap", Json::number(p.predicted_nonoverlap));
+  j.set("predicted_cpu_bound", Json::number(p.predicted_cpu_bound));
+  j.set("events", Json::integer(static_cast<i64>(p.events)));
+  return j;
+}
+
+core::SweepPoint sweep_point_from_json(const Json& j) {
+  TILO_REQUIRE(j.is_object(), "fleet sweep point: not a JSON object");
+  core::SweepPoint p;
+  p.V = j.at("V").as_integer("V");
+  p.g = j.at("g").as_integer("g");
+  p.t_overlap = j.at("t_overlap").as_number("t_overlap");
+  p.t_nonoverlap = j.at("t_nonoverlap").as_number("t_nonoverlap");
+  p.predicted_overlap = j.at("predicted_overlap").as_number("predicted_overlap");
+  p.predicted_nonoverlap =
+      j.at("predicted_nonoverlap").as_number("predicted_nonoverlap");
+  p.predicted_cpu_bound =
+      j.at("predicted_cpu_bound").as_number("predicted_cpu_bound");
+  p.events =
+      static_cast<std::uint64_t>(j.at("events").as_integer("events"));
+  return p;
+}
+
+std::vector<core::SweepPoint> sweep_points_from_payloads(
+    const std::vector<std::string>& payloads) {
+  std::vector<core::SweepPoint> points;
+  points.reserve(payloads.size());
+  for (const std::string& text : payloads)
+    points.push_back(sweep_point_from_json(Json::parse(text)));
+  return points;
+}
+
+}  // namespace tilo::fleet

@@ -1,0 +1,75 @@
+// Fleet work units: the self-contained, deterministic decomposition of a
+// sweep grid or a scenario file.
+//
+// A unit payload is a canonical pipeline::Json dump carrying everything a
+// worker needs — the serialized nest, the machine model, the grid, the
+// knob values — so any worker (any process, any host) computes the same
+// bytes for the same unit.  Two kinds:
+//
+//   {"tilo": "fleet.unit", "version": 1, "kind": "sweep_point",
+//    "nest": {...}, "machine": {...}, "procs": [4, 4, 1], "V": 64}
+//
+//   {"tilo": "fleet.unit", "version": 1, "kind": "scenario_workload",
+//    "workload": {...svc workload object...}, "machine": {...}?}
+//
+// Unit results are canonical dumps too (a serialized core::SweepPoint, or
+// the svc compile result object), which is what makes the controller's
+// index-keyed merge byte-identical to a single-node run: the single-node
+// path and the worker path serialize through the same deterministic
+// writer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tilo/core/problem.hpp"
+#include "tilo/core/sweep.hpp"
+#include "tilo/pipeline/json.hpp"
+#include "tilo/pipeline/scenario.hpp"
+
+namespace tilo::fleet {
+
+using pipeline::Json;
+using util::i64;
+
+/// Version stamped into unit payloads and the merged fleet.result
+/// document.
+inline constexpr i64 kFleetVersion = 1;
+
+/// One schedulable unit: `index` keys the merge, `payload` is the
+/// canonical JSON text shipped to a worker.
+struct WorkUnit {
+  std::size_t index = 0;
+  std::string payload;
+};
+
+/// Decomposes a tile-height sweep into one unit per height.  Unit i
+/// carries heights[i]; executing it yields the serialized SweepPoint that
+/// a single-node core::sweep_tile_height(problem, heights) would put at
+/// index i.
+std::vector<WorkUnit> sweep_units(const core::Problem& problem,
+                                  const std::vector<i64>& heights);
+
+/// Decomposes a scenario file into one unit per workload (the scenario's
+/// machine, when present, is embedded in every unit).
+std::vector<WorkUnit> scenario_units(const pipeline::ScenarioFile& scenario);
+
+/// Executes one unit payload and returns the canonical result text.  This
+/// is the worker-side entry point; it throws util::Error on malformed
+/// payloads, and encodes per-workload compile failures as
+/// {"error": "..."} so a bad scenario workload fails its unit, not the
+/// worker.
+std::string execute_unit(std::string_view payload);
+
+/// Canonical SweepPoint serialization (deterministic: %.17g doubles
+/// round-trip exactly through the pipeline::Json writer).
+Json sweep_point_to_json(const core::SweepPoint& p);
+core::SweepPoint sweep_point_from_json(const Json& j);
+
+/// Decodes merged sweep-unit results back into SweepPoints, in unit
+/// (= height) order.
+std::vector<core::SweepPoint> sweep_points_from_payloads(
+    const std::vector<std::string>& payloads);
+
+}  // namespace tilo::fleet

@@ -1,0 +1,142 @@
+#include "tilo/fleet/worker.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "tilo/fleet/unit.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::fleet {
+
+namespace {
+
+using svc::Client;
+using svc::Op;
+using svc::Request;
+using svc::Response;
+using pipeline::Json;
+
+struct Registration {
+  i64 worker_id = 0;
+  i64 heartbeat_ms = 500;
+};
+
+Registration do_register(Client& client, const std::string& name) {
+  Request req;
+  req.op = Op::kRegister;
+  Json body = Json::object();
+  body.set("name", Json::string(name));
+  req.fleet = std::move(body);
+  const Response resp = client.call_with_retry(std::move(req));
+  TILO_REQUIRE(resp.status == svc::RespStatus::kOk,
+               "fleet worker: register failed: ",
+               resp.error.empty() ? std::string(svc::status_name(resp.status))
+                                  : resp.error);
+  const Json r = Json::parse(resp.result);
+  Registration reg;
+  reg.worker_id = r.at("worker_id").as_integer("worker_id");
+  reg.heartbeat_ms = r.at("heartbeat_ms").as_integer("heartbeat_ms");
+  return reg;
+}
+
+}  // namespace
+
+WorkerSummary Worker::run() {
+  WorkerSummary summary;
+  Client control = Client::connect(cfg_.address, cfg_.client);
+  Registration reg = do_register(control, cfg_.name);
+  ++summary.registrations;
+
+  // The heartbeat thread beats on its own connection, so liveness holds
+  // while the main loop is deep inside a unit computation.  It reads the
+  // current id through an atomic because eviction re-registers.
+  std::atomic<i64> worker_id{reg.worker_id};
+  std::atomic<bool> hb_stop{false};
+  const i64 hb_ms = cfg_.heartbeat_ms > 0 ? cfg_.heartbeat_ms
+                                          : std::max<i64>(1, reg.heartbeat_ms);
+  std::thread heartbeat([this, &worker_id, &hb_stop, hb_ms] {
+    try {
+      Client beat = Client::connect(cfg_.address, cfg_.client);
+      while (!hb_stop.load(std::memory_order_acquire)) {
+        Request req;
+        req.op = Op::kHeartbeat;
+        Json body = Json::object();
+        body.set("worker_id",
+                 Json::integer(worker_id.load(std::memory_order_acquire)));
+        req.fleet = std::move(body);
+        (void)beat.call_with_retry(std::move(req));
+        for (i64 slept = 0;
+             slept < hb_ms && !hb_stop.load(std::memory_order_acquire);
+             slept += 5)
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    } catch (const util::Error&) {
+      // Controller unreachable: the main loop notices on its own.
+    }
+  });
+
+  // Completed-but-unconfirmed results: kept until a unit-op response
+  // arrives (at-least-once delivery; the controller dedups).
+  std::vector<std::pair<std::size_t, std::string>> outbox;
+  bool fleet_done = false;
+  try {
+    while (!fleet_done && !stop_.load(std::memory_order_acquire)) {
+      Request req;
+      req.op = Op::kUnit;
+      Json body = Json::object();
+      body.set("worker_id",
+               Json::integer(worker_id.load(std::memory_order_acquire)));
+      body.set("want", Json::integer(cfg_.batch));
+      Json completed = Json::array();
+      for (const auto& [index, result] : outbox) {
+        Json entry = Json::object();
+        entry.set("unit", Json::integer(static_cast<i64>(index)));
+        entry.set("result", Json::parse(result));
+        completed.push(std::move(entry));
+      }
+      body.set("completed", std::move(completed));
+      req.fleet = std::move(body);
+
+      const Response resp = control.call_with_retry(std::move(req));
+      TILO_REQUIRE(resp.status == svc::RespStatus::kOk,
+                   "fleet worker: unit poll failed: ",
+                   resp.error.empty()
+                       ? std::string(svc::status_name(resp.status))
+                       : resp.error);
+      outbox.clear();  // delivered
+      const Json r = Json::parse(resp.result);
+      fleet_done = r.at("done").as_bool("done");
+      if (!r.at("known").as_bool("known") && !fleet_done) {
+        // Evicted (we were too slow, or the controller restarted):
+        // rejoin under a fresh id and keep pulling.
+        reg = do_register(control, cfg_.name);
+        worker_id.store(reg.worker_id, std::memory_order_release);
+        ++summary.registrations;
+        continue;
+      }
+      const Json::Array& units = r.at("units").as_array("units");
+      if (units.empty()) {
+        if (fleet_done) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.poll_ms));
+        continue;
+      }
+      for (const Json& u : units) {
+        const std::size_t index =
+            static_cast<std::size_t>(u.at("unit").as_integer("unit"));
+        outbox.emplace_back(index, execute_unit(u.at("payload").dump()));
+        ++summary.completed;
+      }
+    }
+    summary.clean = fleet_done;
+  } catch (const util::Error&) {
+    // Controller gone for good (call_with_retry exhausted reconnects).
+    summary.clean = false;
+  }
+  hb_stop.store(true, std::memory_order_release);
+  if (heartbeat.joinable()) heartbeat.join();
+  return summary;
+}
+
+}  // namespace tilo::fleet

@@ -1,0 +1,63 @@
+// fleet::Worker — the pull loop on the other side of a fleet::Controller.
+//
+// A worker registers (receiving its id, the credit window and the
+// heartbeat interval), then loops one `unit` op per round trip: deliver
+// the results of the previous batch, lease the next.  A background thread
+// heartbeats on its own connection so liveness survives long unit
+// computations.  Delivery is at-least-once — a batch is retained until a
+// unit-op response confirms it, and resent after a reconnect — while the
+// controller's first-result-wins merge keeps the effect exactly-once.
+//
+// An evicted worker (response says known=false) simply re-registers under
+// a fresh id and keeps going; results computed under the old id are still
+// accepted if they arrive first.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "tilo/svc/client.hpp"
+
+namespace tilo::fleet {
+
+using util::i64;
+
+struct WorkerConfig {
+  std::string address;          ///< the controller's address
+  std::string name = "worker";  ///< reported at registration (logs/report)
+  /// Units requested per poll; the controller caps at its credit window.
+  i64 batch = 4;
+  /// Idle poll interval while the fleet has no pending work for us.
+  i64 poll_ms = 20;
+  /// Heartbeat interval; 0 = use the controller-advertised interval.
+  i64 heartbeat_ms = 0;
+  svc::ClientOptions client;  ///< timeouts / retry policy for both conns
+};
+
+struct WorkerSummary {
+  std::uint64_t completed = 0;      ///< units this worker computed
+  std::uint64_t registrations = 0;  ///< >1 means evicted and rejoined
+  /// True when the controller said done; false when it became unreachable
+  /// (already-delivered results are merged either way).
+  bool clean = false;
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Blocks until the fleet is done (clean=true) or the controller stays
+  /// unreachable (clean=false).  Throws util::Error only when the very
+  /// first connect/register fails.
+  WorkerSummary run();
+
+  /// Makes run() return after the current batch (for embedding in tests).
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+
+ private:
+  WorkerConfig cfg_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace tilo::fleet

@@ -1,0 +1,53 @@
+#include "tilo/svc/compile.hpp"
+
+#include "tilo/pipeline/serialize.hpp"
+#include "tilo/util/error.hpp"
+
+namespace tilo::svc {
+
+Response execute_compile(const pipeline::CompileOptions& base,
+                         const CompileParams& params) {
+  pipeline::CompileOptions opts = base;
+  opts.procs.reset();
+  opts.auto_procs.reset();
+  opts.height.reset();
+  if (params.procs) opts.procs = *params.procs;
+  if (params.auto_procs) opts.auto_procs = *params.auto_procs;
+  if (params.height) opts.height = *params.height;
+  opts.kind = params.kind;
+  opts.simulate = params.simulate;
+  opts.functional = false;
+  opts.emit_program = false;
+  Response resp;
+  try {
+    const pipeline::Compiler compiler(opts);
+    const pipeline::ArtifactStore out =
+        compiler.compile_source(params.name, params.source);
+    Json r = Json::object();
+    r.set("name", Json::string(params.name));
+    const lat::Vec& procs = out.analysis().problem.procs;
+    Json procs_json = Json::array();
+    for (std::size_t d = 0; d < procs.size(); ++d)
+      procs_json.push(Json::integer(procs[d]));
+    r.set("procs", std::move(procs_json));
+    r.set("mapped_dim",
+          Json::integer(static_cast<i64>(out.analysis().mapped_dim)));
+    r.set("V", Json::integer(out.tiling().V));
+    r.set("schedule", Json::string(std::string(
+                          pipeline::schedule_kind_name(params.kind))));
+    r.set("schedule_length", Json::integer(out.schedule().length));
+    r.set("predicted_seconds", Json::number(out.plan().predicted_seconds));
+    if (params.simulate && out.backend().run)
+      r.set("simulated_seconds", Json::number(out.backend().run->seconds));
+    if (params.include_plan)
+      r.set("plan", pipeline::plan_to_json(out.nest(), opts.machine,
+                                           *out.plan().plan));
+    resp.result = r.dump();
+  } catch (const util::Error& e) {
+    resp.status = RespStatus::kError;
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+}  // namespace tilo::svc

@@ -1,0 +1,21 @@
+// The one compile-execution path shared by every service that answers a
+// CompileParams workload: svc::Server workers and fleet workers executing
+// scenario units both call execute_compile, so the same workload produces
+// byte-identical result bytes no matter which process compiled it — the
+// property the fleet's merge-determinism guarantee leans on.
+#pragma once
+
+#include "tilo/pipeline/compiler.hpp"
+#include "tilo/svc/protocol.hpp"
+
+namespace tilo::svc {
+
+/// Compiles `params` under `base` options.  Machine, comm model, plan
+/// cache and sink come from `base`; grid/height/schedule/simulate knobs
+/// come from `params` (which clears any grid fields `base` carried).
+/// Returns an ok Response with the deterministic result JSON, or kError
+/// carrying the util::Error text when the compile fails.
+Response execute_compile(const pipeline::CompileOptions& base,
+                         const CompileParams& params);
+
+}  // namespace tilo::svc

@@ -35,6 +35,8 @@ lat::Vec vec_from_json(const Json& j, std::string_view what) {
   return lat::Vec(std::move(v));
 }
 
+}  // namespace
+
 /// The canonical workload object — the only fields problem identity (and
 /// therefore single-flight batching and the multi-problem plan cache key)
 /// depends on.  Field order is fixed; absent optionals are omitted.
@@ -73,14 +75,16 @@ CompileParams workload_from_json(const Json& j) {
   return p;
 }
 
-}  // namespace
-
 std::string_view op_name(Op op) {
   switch (op) {
     case Op::kCompile: return "compile";
     case Op::kPing: return "ping";
     case Op::kStats: return "stats";
     case Op::kShutdown: return "shutdown";
+    case Op::kRegister: return "register";
+    case Op::kHeartbeat: return "heartbeat";
+    case Op::kDeregister: return "deregister";
+    case Op::kUnit: return "unit";
   }
   return "?";
 }
@@ -90,6 +94,10 @@ Op op_from(std::string_view name) {
   if (name == "ping") return Op::kPing;
   if (name == "stats") return Op::kStats;
   if (name == "shutdown") return Op::kShutdown;
+  if (name == "register") return Op::kRegister;
+  if (name == "heartbeat") return Op::kHeartbeat;
+  if (name == "deregister") return Op::kDeregister;
+  if (name == "unit") return Op::kUnit;
   TILO_REQUIRE(false, "svc request: unknown op \"", std::string(name), "\"");
   return Op::kPing;  // unreachable
 }
@@ -102,6 +110,7 @@ Json request_to_json(const Request& req) {
   j.set("op", Json::string(std::string(op_name(req.op))));
   if (req.deadline_ms) j.set("deadline_ms", Json::integer(*req.deadline_ms));
   if (req.op == Op::kCompile) j.set("workload", workload_to_json(req.compile));
+  if (!req.fleet.is_null()) j.set("fleet", req.fleet);
   return j;
 }
 
@@ -115,6 +124,10 @@ Request request_from_json(const Json& j) {
     TILO_REQUIRE(*req.deadline_ms >= 0, "svc request: negative deadline_ms");
   }
   if (req.op == Op::kCompile) req.compile = workload_from_json(j.at("workload"));
+  if (const Json* f = j.find("fleet")) {
+    TILO_REQUIRE(f->is_object(), "svc request: \"fleet\" is not an object");
+    req.fleet = *f;
+  }
   return req;
 }
 

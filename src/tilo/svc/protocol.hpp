@@ -11,8 +11,11 @@
 //              "status": "ok", "result": { ... }}
 //
 // Ops: "compile" (the real work), "ping", "stats", "shutdown" (graceful
-// drain).  Non-"ok" statuses are the service's explicit load-shedding and
-// failure vocabulary — a client always gets an answer, never silence.
+// drain), plus the fleet-orchestration trio "register"/"heartbeat"/"unit"
+// (and "deregister") served by a fleet::Controller — a plain svc::Server
+// answers those with bad_request.  Non-"ok" statuses are the service's
+// explicit load-shedding and failure vocabulary — a client always gets an
+// answer, never silence.
 //
 // Single-flight batching hangs off problem_key(): the canonical dump of a
 // compile's workload object.  Responses splice the serialized result in
@@ -36,7 +39,16 @@ using util::i64;
 /// Version stamped into (and required of) every request and response.
 inline constexpr i64 kProtocolVersion = 1;
 
-enum class Op { kCompile, kPing, kStats, kShutdown };
+enum class Op {
+  kCompile,
+  kPing,
+  kStats,
+  kShutdown,
+  kRegister,    ///< fleet: worker joins, receives id + credit window
+  kHeartbeat,   ///< fleet: liveness beacon between unit round trips
+  kDeregister,  ///< fleet: graceful leave; leases requeue immediately
+  kUnit,        ///< fleet: return completed units, lease the next batch
+};
 std::string_view op_name(Op op);
 Op op_from(std::string_view name);  ///< throws util::Error on unknown ops
 
@@ -59,7 +71,13 @@ struct Request {
   std::optional<i64> id;           ///< echoed back; absent = no echo
   std::optional<i64> deadline_ms;  ///< admission-to-completion budget
   CompileParams compile;           ///< only meaningful when op == kCompile
+  Json fleet;                      ///< fleet-op body; null for other ops
 };
+
+/// The canonical workload object (the basis of problem_key); public so the
+/// fleet can embed compile workloads inside its unit payloads verbatim.
+Json workload_to_json(const CompileParams& p);
+CompileParams workload_from_json(const Json& j);
 
 Json request_to_json(const Request& req);
 /// Validates the envelope ({"tilo": "svc.request", "version": 1}) and

@@ -12,6 +12,7 @@
 #include <ostream>
 
 #include "tilo/pipeline/serialize.hpp"
+#include "tilo/svc/compile.hpp"
 #include "tilo/util/error.hpp"
 
 namespace tilo::svc {
@@ -312,6 +313,21 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn,
       admit_compile(conn, std::move(req));
       return;
     }
+    case Op::kRegister:
+    case Op::kHeartbeat:
+    case Op::kDeregister:
+    case Op::kUnit: {
+      // Fleet-orchestration ops are served by a fleet::Controller; a plain
+      // compile server refuses them explicitly rather than hanging.
+      Response resp;
+      resp.status = RespStatus::kBadRequest;
+      resp.id = req.id;
+      resp.error = util::concat("op \"", op_name(req.op),
+                                "\" is served by a fleet controller, not a "
+                                "compile server");
+      send(conn, std::move(resp), admitted);
+      return;
+    }
   }
 }
 
@@ -430,47 +446,7 @@ Response Server::execute(const CompileParams& params) {
   pipeline::CompileOptions opts = cfg_.compile;
   opts.plan_cache = &cache_;
   opts.sink = cfg_.sink;
-  opts.procs.reset();
-  opts.auto_procs.reset();
-  opts.height.reset();
-  if (params.procs) opts.procs = *params.procs;
-  if (params.auto_procs) opts.auto_procs = *params.auto_procs;
-  if (params.height) opts.height = *params.height;
-  opts.kind = params.kind;
-  opts.simulate = params.simulate;
-  opts.functional = false;
-  opts.emit_program = false;
-  Response resp;
-  try {
-    const pipeline::Compiler compiler(opts);
-    const pipeline::ArtifactStore out =
-        compiler.compile_source(params.name, params.source);
-    Json r = Json::object();
-    r.set("name", Json::string(params.name));
-    const lat::Vec& procs = out.analysis().problem.procs;
-    Json procs_json = Json::array();
-    for (std::size_t d = 0; d < procs.size(); ++d)
-      procs_json.push(Json::integer(procs[d]));
-    r.set("procs", std::move(procs_json));
-    r.set("mapped_dim",
-          Json::integer(static_cast<i64>(out.analysis().mapped_dim)));
-    r.set("V", Json::integer(out.tiling().V));
-    r.set("schedule", Json::string(std::string(
-                          pipeline::schedule_kind_name(params.kind))));
-    r.set("schedule_length", Json::integer(out.schedule().length));
-    r.set("predicted_seconds",
-          Json::number(out.plan().predicted_seconds));
-    if (params.simulate && out.backend().run)
-      r.set("simulated_seconds", Json::number(out.backend().run->seconds));
-    if (params.include_plan)
-      r.set("plan", pipeline::plan_to_json(out.nest(), opts.machine,
-                                           *out.plan().plan));
-    resp.result = r.dump();
-  } catch (const util::Error& e) {
-    resp.status = RespStatus::kError;
-    resp.error = e.what();
-  }
-  return resp;
+  return execute_compile(opts, params);
 }
 
 void Server::send(const std::shared_ptr<Conn>& conn, Response resp,
@@ -543,6 +519,8 @@ std::string Server::stats_result_json() const {
   r.set("queue_depth", Json::integer(static_cast<i64>(s.queue_depth)));
   r.set("max_queue_depth",
         Json::integer(static_cast<i64>(s.max_queue_depth)));
+  r.set("queue_capacity", Json::integer(static_cast<i64>(queue_.capacity())));
+  r.set("workers", Json::integer(static_cast<i64>(cfg_.workers)));
   r.set("latency_p50_ms",
         Json::number(histogram_percentile_ns(latency_, 0.50) / 1e6));
   r.set("latency_p99_ms",

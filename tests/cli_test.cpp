@@ -253,6 +253,11 @@ TEST(CliTest, ServeConnectStopRoundTrip) {
   }
   ASSERT_EQ(ping_rc, 0) << ping_out;
   EXPECT_NE(ping_out.find("pong"), std::string::npos) << ping_out;
+  // --ping renders the stats op's queue high-water mark and plan-cache
+  // hit/miss counters alongside the round-trip time.
+  EXPECT_NE(ping_out.find("queue"), std::string::npos) << ping_out;
+  EXPECT_NE(ping_out.find("peak"), std::string::npos) << ping_out;
+  EXPECT_NE(ping_out.find("plan cache"), std::string::npos) << ping_out;
 
   // A remote compile renders the same report shape as a local run.
   const auto [rc, out] = run_cli("--connect unix:" + sock + " --height 64");
@@ -279,4 +284,49 @@ TEST(CliTest, ServeConnectStopRoundTrip) {
   }
   EXPECT_NE(log_body.find("svc summary"), std::string::npos) << log_body;
   EXPECT_NE(log_body.find("requests"), std::string::npos) << log_body;
+}
+
+TEST(CliTest, VersionPrintsBinaryAndEnvelopeVersions) {
+  const auto [rc, out] = run_cli("--version");
+  EXPECT_EQ(rc, 0) << out;
+  // Binary version, then one line per wire/serialization envelope.
+  EXPECT_NE(out.find("tilo_cli "), std::string::npos) << out;
+  EXPECT_NE(out.find("svc wire protocol"), std::string::npos) << out;
+  EXPECT_NE(out.find("plan/scenario schema"), std::string::npos) << out;
+  EXPECT_NE(out.find("fleet unit/result"), std::string::npos) << out;
+  // Every envelope this build speaks is version 1.
+  EXPECT_NE(out.find("v1"), std::string::npos) << out;
+}
+
+TEST(CliTest, FleetSweepTableMatchesTheLocalSweep) {
+  // Same nest, same grid rule: the fleet table must be byte-identical to
+  // the single-process --sweep table (the CLI-level determinism check).
+  const std::string nest_path = ::testing::TempDir() + "cli_fleet_nest.loop";
+  {
+    std::ofstream os(nest_path);
+    os << "FOR i = 0 TO 63\n FOR j = 0 TO 511\n"
+          "  F(i, j) = 0.5 * (F(i-1, j) + F(i, j-1))\n ENDFOR\nENDFOR\n";
+  }
+  const std::string args = nest_path + " --procs 4x1";
+  const auto [local_rc, local_out] = run_cli(args + " --sweep");
+  ASSERT_EQ(local_rc, 0) << local_out;
+
+  const std::string sock = ::testing::TempDir() + "cli_fleet.sock";
+  std::remove(sock.c_str());
+  const auto [fleet_rc, fleet_out] = run_cli(
+      args + " --fleet-controller unix:" + sock +
+      " --fleet-sweep --fleet-local 2");
+  ASSERT_EQ(fleet_rc, 0) << fleet_out;
+  EXPECT_NE(fleet_out.find("fleet report"), std::string::npos) << fleet_out;
+
+  // Extract the sweep table: from the header line to the blank line.
+  const auto table_of = [](const std::string& out) -> std::string {
+    const std::size_t head = out.find("t_overlap");
+    if (head == std::string::npos) return "<no table>";
+    const std::size_t start = out.rfind('\n', head) + 1;
+    const std::size_t end = out.find("\n\n", start);
+    return out.substr(start, end == std::string::npos ? end : end - start);
+  };
+  EXPECT_EQ(table_of(fleet_out), table_of(local_out))
+      << "local:\n" << local_out << "\nfleet:\n" << fleet_out;
 }

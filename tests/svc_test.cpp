@@ -23,6 +23,8 @@
 #include "tilo/svc/server.hpp"
 #include "tilo/svc/socket.hpp"
 #include "tilo/util/error.hpp"
+#include "tilo/util/rng.hpp"
+
 
 namespace svc = tilo::svc;
 using tilo::pipeline::Json;
@@ -637,4 +639,184 @@ TEST(SvcHistogramTest, PercentileReadsBucketUpperEdges) {
   EXPECT_LT(p50, 1'000'000.0);       // p50 stays near the cluster
   EXPECT_LE(p99, p100);
   EXPECT_GE(p100, 1'000'000'000.0);  // p100 covers the outlier's bucket
+}
+
+// ---------------------------------------------------- stats: new counters
+
+TEST(SvcServerTest, StatsOpReportsQueueHighWaterAndCacheCounters) {
+  TestServer ts(/*workers=*/1, /*queue_capacity=*/8);
+  svc::Client client = ts.client();
+  // Two identical compiles: one miss (the compile), then one cache hit.
+  ASSERT_EQ(client.compile(quick_params()).status, svc::RespStatus::kOk);
+  ASSERT_EQ(client.compile(quick_params()).status, svc::RespStatus::kOk);
+  const svc::Response stats = client.stats();
+  ASSERT_EQ(stats.status, svc::RespStatus::kOk) << stats.error;
+  const Json s = Json::parse(stats.result);
+  EXPECT_GE(s.at("cache_hits").as_integer("cache_hits"), 1);
+  EXPECT_GE(s.at("cache_misses").as_integer("cache_misses"), 1);
+  // Each compile passed through the queue, so the high-water mark is at
+  // least 1 and never exceeds the configured capacity.
+  EXPECT_GE(s.at("max_queue_depth").as_integer("max_queue_depth"), 1);
+  EXPECT_LE(s.at("max_queue_depth").as_integer("max_queue_depth"), 8);
+  EXPECT_EQ(s.at("queue_capacity").as_integer("queue_capacity"), 8);
+  EXPECT_EQ(s.at("workers").as_integer("workers"), 1);
+}
+
+TEST(SvcServerTest, FleetOpsAreRefusedByACompileServer) {
+  TestServer ts;
+  svc::Client client = ts.client();
+  for (const svc::Op op : {svc::Op::kRegister, svc::Op::kHeartbeat,
+                           svc::Op::kDeregister, svc::Op::kUnit}) {
+    svc::Request req;
+    req.op = op;
+    req.fleet = Json::object();
+    const svc::Response resp = client.call(std::move(req));
+    EXPECT_EQ(resp.status, svc::RespStatus::kBadRequest)
+        << svc::op_name(op);
+    EXPECT_NE(resp.error.find("fleet controller"), std::string::npos)
+        << resp.error;
+  }
+}
+
+// ------------------------------------------------- client retry schedule
+
+namespace {
+
+/// A stub server that answers every well-formed request with "overloaded":
+/// the worst polite server there is, for exercising the retry loop.
+struct OverloadedStub {
+  OverloadedStub() {
+    static int counter = 0;
+    addr = svc::Address::parse(
+        "unix:" + ::testing::TempDir() + "svc_overload_" +
+        std::to_string(::getpid()) + "_" + std::to_string(counter++) +
+        ".sock");
+    listen_fd = svc::listen_on(addr);
+    thread = std::thread([this] {
+      for (;;) {
+        svc::Fd conn = svc::accept_on(listen_fd.get());
+        if (!conn.valid()) return;  // listen socket closed: stop
+        std::string payload;
+        while (svc::read_frame(conn.get(), payload) ==
+               svc::FrameStatus::kFrame) {
+          const svc::Request req =
+              svc::request_from_json(Json::parse(payload));
+          svc::Response resp;
+          resp.status = svc::RespStatus::kOverloaded;
+          resp.id = req.id;
+          resp.error = "stub: always overloaded";
+          if (!svc::write_frame(conn.get(), svc::response_to_wire(resp)))
+            break;
+        }
+      }
+    });
+  }
+  ~OverloadedStub() {
+    // shutdown wakes the blocked accept; reset only after the join (the
+    // accept thread still reads the fd until then).
+    ::shutdown(listen_fd.get(), SHUT_RDWR);
+    thread.join();
+    listen_fd.reset();
+  }
+  svc::Address addr;
+  svc::Fd listen_fd;
+  std::thread thread;
+};
+
+}  // namespace
+
+TEST(SvcClientTest, RetryBackoffScheduleIsSeededReproducibleAndBounded) {
+  OverloadedStub stub;
+  svc::ClientOptions opts;
+  opts.max_retries = 3;
+  opts.backoff_ms = 40;
+  opts.backoff_factor = 2.0;
+
+  // Mirror the client's jitter stream with the library Rng under the same
+  // seed: attempt k sleeps floor(backoff_ms * factor^k * (0.5 + u_k)) ms.
+  // The schedule is a pure function of the seed — reproducible — and the
+  // total is bounded by sum_k 1.5 * backoff_ms * factor^k.
+  tilo::util::Rng mirror(opts.jitter_seed);
+  i64 expected_total_ms = 0;
+  double bound_ms = 0.0;
+  double nominal = static_cast<double>(opts.backoff_ms);
+  for (int k = 0; k < opts.max_retries; ++k) {
+    expected_total_ms +=
+        static_cast<i64>(nominal * (0.5 + mirror.uniform01()));
+    bound_ms += 1.5 * nominal;
+    nominal *= opts.backoff_factor;
+  }
+
+  for (int run = 0; run < 2; ++run) {  // same seed -> same schedule, twice
+    svc::Client client = svc::Client::connect(stub.addr.str(), opts);
+    svc::Request req;
+    req.op = svc::Op::kPing;
+    const auto t0 = std::chrono::steady_clock::now();
+    const svc::Response resp = client.call_with_retry(std::move(req));
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_EQ(resp.status, svc::RespStatus::kOverloaded);
+    EXPECT_GE(elapsed_ms, static_cast<double>(expected_total_ms))
+        << "run " << run << ": slept less than the seeded schedule";
+    // Generous slack for 4 round trips over a Unix socket.
+    EXPECT_LT(elapsed_ms, bound_ms + 1000.0)
+        << "run " << run << ": exceeded the backoff formula bound";
+  }
+}
+
+// ------------------------------------------------- queue under contention
+
+TEST(SvcQueueStressTest, MpmcShedsAreAccountedAndItemsPopExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  svc::BoundedQueue<int> queue(/*capacity=*/8);
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> popped{0};
+  std::vector<std::atomic<int>> seen(kTotal);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (std::optional<int> item = queue.pop()) {
+        // Exactly-once: no item may be popped twice.
+        EXPECT_EQ(seen[static_cast<std::size_t>(*item)].fetch_add(1), 0);
+        popped.fetch_add(1);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int id = p * kPerProducer + i;
+        if (queue.try_push(id))
+          accepted.fetch_add(1);
+        else
+          shed.fetch_add(1);  // try_push never blocks: shed is explicit
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+
+  // Every attempt is accounted for exactly once, as accepted or shed.
+  EXPECT_EQ(accepted.load() + shed.load(), kTotal);
+  EXPECT_EQ(popped.load(), accepted.load());
+  // Spinning producers against a capacity-8 queue must shed; if this ever
+  // reads 0 the queue stopped enforcing its bound.
+  EXPECT_GT(shed.load(), 0);
+  // A closed queue refuses new work explicitly.
+  EXPECT_FALSE(queue.try_push(kTotal));
+  int filed = 0;
+  for (const auto& s : seen) filed += s.load();
+  EXPECT_EQ(filed, accepted.load());
 }
