@@ -1,7 +1,8 @@
 // Closed-loop scaling bench for the fleet orchestrator (DESIGN.md §12):
-// an in-process fleet::Controller dispatching a fixed sweep-unit plan to
-// 1, 2 and 4 in-process workers, plus a fault-injection phase that
-// SIGKILLs an external worker process mid-sweep and measures how long the
+// an in-process fleet::Controller dispatching an analytically batched
+// sweep plan to 1, 2, 4 and 8 co-located workers over the in-process
+// fast lane, plus a fault-injection phase that SIGKILLs an external
+// (socket-attached) worker process mid-sweep and measures how long the
 // fleet takes to recover (evict, requeue, complete).
 //
 // Checks the fleet's two contracts while measuring:
@@ -63,7 +64,11 @@ struct ScalePoint {
   bool identical = false;  ///< merged bytes == single-node reference
 };
 
-/// One timed fleet run with `nworkers` in-process workers.
+/// One timed fleet run with `nworkers` co-located workers on the
+/// in-process fast lane (no sockets; the controller still binds one for
+/// protocol parity but nothing connects to it).  Identity is checked on
+/// the flattened canonical sweep document, which is invariant to how the
+/// heights were chunked into units.
 ScalePoint run_scale(const std::vector<fleet::WorkUnit>& units, int nworkers,
                      const std::string& reference) {
   fleet::ControllerConfig cfg;
@@ -74,9 +79,9 @@ ScalePoint run_scale(const std::vector<fleet::WorkUnit>& units, int nworkers,
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   for (int i = 0; i < nworkers; ++i) {
-    threads.emplace_back([&cfg, i] {
+    threads.emplace_back([&controller, i] {
       fleet::WorkerConfig wc;
-      wc.address = cfg.address;
+      wc.local = &controller;
       wc.name = "bench-w" + std::to_string(i);
       fleet::Worker(wc).run();
     });
@@ -86,7 +91,9 @@ ScalePoint run_scale(const std::vector<fleet::WorkUnit>& units, int nworkers,
   p.workers = nworkers;
   p.wall_seconds = seconds_since(t0);
   p.units_per_sec = static_cast<double>(units.size()) / p.wall_seconds;
-  p.identical = controller.merged_document() == reference;
+  p.identical =
+      fleet::sweep_points_document(controller.merged().payloads()) ==
+      reference;
   for (std::thread& t : threads) t.join();
   controller.stop();
   return p;
@@ -198,11 +205,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Paper space (i): each unit is one independent tile-height simulation.
+  // Paper space (i): the scale phase dispatches analytically batched
+  // chunks (several heights per unit, cost-balanced); the kill phase
+  // keeps one-height units on the socket path so eviction/requeue is
+  // exercised at unit granularity.
   const core::Problem problem = core::paper_problem_i();
   const std::vector<i64> heights = core::height_grid(
       quick ? 32 : 8, problem.max_tile_height() / 2, quick ? 1.6 : 1.3);
   const std::vector<fleet::WorkUnit> units =
+      fleet::sweep_batch_units(problem, heights);
+  const std::vector<fleet::WorkUnit> kill_units =
       fleet::sweep_units(problem, heights);
 
   // Single-node reference: the bytes every fleet run must reproduce.
@@ -210,13 +222,21 @@ int main(int argc, char** argv) {
   const std::vector<core::SweepPoint> points =
       core::sweep_tile_height(problem, heights);
   const double single_node_seconds = seconds_since(t_ref);
+  std::vector<std::string> reference_payloads;
+  reference_payloads.reserve(points.size());
   fleet::Merge reference_merge(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i)
-    reference_merge.add(i, fleet::sweep_point_to_json(points[i]).dump());
-  const std::string reference = reference_merge.document();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    reference_payloads.push_back(fleet::sweep_point_to_json(points[i]).dump());
+    reference_merge.add(i, reference_payloads.back());
+  }
+  // Chunking-invariant canonical document (scale phase, batched units)
+  // and the raw per-point merge (kill phase, one-height units).
+  const std::string reference = fleet::sweep_points_document(reference_payloads);
+  const std::string kill_reference = reference_merge.document();
 
-  std::cout << "== fleet scaling, " << units.size()
-            << " sweep unit(s), workers {1, 2, 4} ==\n"
+  std::cout << "== fleet scaling, " << heights.size() << " height(s) in "
+            << units.size()
+            << " batched unit(s), local transport, workers {1, 2, 4, 8} ==\n"
             << "  single-node " << util::fmt_fixed(single_node_seconds, 2)
             << " s  ("
             << util::fmt_fixed(
@@ -225,7 +245,7 @@ int main(int argc, char** argv) {
 
   std::vector<ScalePoint> scaling;
   bool determinism_ok = true;
-  for (const int nworkers : {1, 2, 4}) {
+  for (const int nworkers : {1, 2, 4, 8}) {
     const ScalePoint p = run_scale(units, nworkers, reference);
     determinism_ok = determinism_ok && p.identical;
     std::cout << "  " << nworkers << " worker(s)  "
@@ -237,7 +257,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\n== kill one worker mid-sweep ==\n";
   std::ostringstream report;
-  const KillResult kill = run_kill(units, reference, report);
+  const KillResult kill = run_kill(kill_units, kill_reference, report);
   std::cout << "  recovery    " << util::fmt_fixed(kill.recovery_seconds, 2)
             << " s from SIGKILL to complete merge\n"
             << "  resilience  " << kill.requeued << " requeued, "
@@ -270,6 +290,7 @@ int main(int argc, char** argv) {
       .num("workers_1_units_per_sec", scaling[0].units_per_sec)
       .num("workers_2_units_per_sec", scaling[1].units_per_sec)
       .num("workers_4_units_per_sec", scaling[2].units_per_sec)
+      .num("workers_8_units_per_sec", scaling[3].units_per_sec)
       .num("kill_recovery_seconds", kill.recovery_seconds)
       .boolean("determinism_ok", determinism_ok && kill.identical);
   line.write(std::cout);
@@ -277,6 +298,9 @@ int main(int argc, char** argv) {
   if (json) {
     Json doc = Json::object();
     doc.set("bench", Json::string("fleet_scale"));
+    doc.set("quick", Json::boolean(quick));
+    doc.set("transport", Json::string("local"));
+    doc.set("batch", Json::string("analytic"));
     doc.set("units", Json::integer(static_cast<i64>(units.size())));
     doc.set("heights", Json::integer(static_cast<i64>(heights.size())));
     doc.set("single_node_seconds", Json::number(single_node_seconds));

@@ -62,6 +62,35 @@ struct ConfigResult {
   Measurement m;
 };
 
+/// The analytically pre-pruned selection: rank every height with the
+/// closed-form model, simulate only the contending region.  `points`
+/// still counts the whole grid — the selection ranks every height — so
+/// points/s is directly comparable with the exhaustive configs.
+struct SelectResult {
+  core::SweepSelection sel;
+  Measurement m;
+};
+
+SelectResult measure_select(const core::Problem& problem,
+                            const std::vector<i64>& heights,
+                            const core::SweepOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SelectResult r;
+  r.sel = core::sweep_select(problem, heights, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.m.points = r.sel.points.size();
+  for (std::size_t i = 0; i < r.sel.points.size(); ++i)
+    if (r.sel.simulated_overlap[i] || r.sel.simulated_nonoverlap[i])
+      r.m.events += r.sel.points[i].events;
+  return r;
+}
+
+bool verdict_bits_equal(const core::SweepVerdict& a,
+                        const core::SweepVerdict& b) {
+  return std::memcmp(&a, &b, sizeof(core::SweepVerdict)) == 0;
+}
+
 void report(const ConfigResult& c) {
   const Measurement& m = c.m;
   const double pps = static_cast<double>(m.points) / m.wall_seconds;
@@ -86,6 +115,21 @@ void report(const ConfigResult& c) {
   line.write(std::cout);
 }
 
+/// What the prune phase proved, recorded alongside the configs so
+/// validate_bench.py can enforce the >= 5x speedup floor.
+struct PruneSummary {
+  bool quick = false;  ///< small CI grid: validators relax perf floors
+  double slack = 0;
+  i64 simulated_runs = 0;
+  i64 total_runs = 0;
+  double speedup = 0;  ///< pruned points/s over exhaustive-select points/s
+  bool verdict_identical = false;
+  i64 V_overlap = 0;
+  i64 V_nonoverlap = 0;
+  i64 V_analytic_overlap = 0;
+  i64 V_analytic_nonoverlap = 0;
+};
+
 /// bench_report mode: re-run both schedules at the tuned optimum under a
 /// ReportSink + Registry and emit the paper's A/B breakdown plus the
 /// throughput configs as one JSON document (the BENCH_sweep.json perf
@@ -93,14 +137,16 @@ void report(const ConfigResult& c) {
 void write_bench_report(const std::string& path,
                         const core::Problem& problem,
                         const std::vector<SweepPoint>& pts,
-                        const std::vector<ConfigResult>& configs) {
+                        const std::vector<ConfigResult>& configs,
+                        const PruneSummary& prune) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "FAIL: cannot open " << path << " for writing\n";
     std::exit(1);
   }
 
-  os << "{\"bench\":\"sweep_throughput\",\"space\":\"i\",\"configs\":[";
+  os << "{\"bench\":\"sweep_throughput\",\"space\":\"i\",\"quick\":"
+     << (prune.quick ? "true" : "false") << ",\"configs\":[";
   {
     std::ostringstream lines;
     for (std::size_t i = 0; i < configs.size(); ++i) {
@@ -129,6 +175,18 @@ void write_bench_report(const std::string& path,
     os << flat;
   }
   os << "],";
+
+  os << "\"prune\":{\"slack\":" << util::fmt_fixed(prune.slack, 4)
+     << ",\"simulated_runs\":" << prune.simulated_runs
+     << ",\"total_runs\":" << prune.total_runs
+     << ",\"speedup\":" << util::fmt_fixed(prune.speedup, 3)
+     << ",\"verdict_identical\":"
+     << (prune.verdict_identical ? "true" : "false")
+     << ",\"V_overlap\":" << prune.V_overlap
+     << ",\"V_nonoverlap\":" << prune.V_nonoverlap
+     << ",\"V_analytic_overlap\":" << prune.V_analytic_overlap
+     << ",\"V_analytic_nonoverlap\":" << prune.V_analytic_nonoverlap
+     << "},";
 
   const bench::Optimum over = bench::best_overlap(pts);
   const bench::Optimum non = bench::best_nonoverlap(pts);
@@ -246,7 +304,47 @@ int main(int argc, char** argv) {
   }
   std::cout << "all configurations byte-identical: yes\n";
 
+  // Selection: exhaustive (every height simulated) vs analytically
+  // pre-pruned (only the contending region simulated).  The pruned run
+  // must land on the bit-identical recommendation; the speedup is the
+  // tentpole number validate_bench.py holds a floor under.
+  core::SweepOptions ex_opts;
+  ex_opts.exhaustive = true;
+  const SelectResult exhaustive = measure_select(problem, heights, ex_opts);
+  configs.push_back({"select-exhaustive", 1, false, exhaustive.m});
+  report(configs.back());
+
+  const SelectResult pruned = measure_select(problem, heights, {});
+  configs.push_back({"pruned", 1, false, pruned.m});
+  report(configs.back());
+
+  PruneSummary prune;
+  prune.quick = quick;
+  prune.slack = core::kDefaultPruneSlack;
+  prune.simulated_runs = pruned.sel.simulated_runs;
+  prune.total_runs = pruned.sel.total_runs;
+  prune.speedup = exhaustive.m.wall_seconds / pruned.m.wall_seconds;
+  prune.verdict_identical =
+      verdict_bits_equal(pruned.sel.best_overlap,
+                         exhaustive.sel.best_overlap) &&
+      verdict_bits_equal(pruned.sel.best_nonoverlap,
+                         exhaustive.sel.best_nonoverlap);
+  prune.V_overlap = pruned.sel.best_overlap.V;
+  prune.V_nonoverlap = pruned.sel.best_nonoverlap.V;
+  prune.V_analytic_overlap = pruned.sel.V_analytic_overlap;
+  prune.V_analytic_nonoverlap = pruned.sel.V_analytic_nonoverlap;
+  std::cout << "  pruned selection: " << prune.simulated_runs << "/"
+            << prune.total_runs << " runs simulated, "
+            << util::fmt_fixed(prune.speedup, 1)
+            << "x over exhaustive, recommendation bit-identical: "
+            << (prune.verdict_identical ? "yes" : "NO") << "\n";
+  if (!prune.verdict_identical) {
+    std::cerr << "FAIL: pruned selection diverged from exhaustive\n";
+    return 1;
+  }
+
   if (json)
-    write_bench_report(json_path, problem, configs[0].m.pts, configs);
+    write_bench_report(json_path, problem, configs[0].m.pts, configs,
+                       prune);
   return 0;
 }

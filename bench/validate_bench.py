@@ -10,6 +10,21 @@ Dispatches on the document's "bench" field:
 
 Fails (exit 1) when the file is missing, is not valid JSON, or does not
 match the schema the perf-trajectory tooling expects.
+
+Beyond schema, full-mode records (doc["quick"] is false) must also clear
+the perf-regression thresholds:
+  sweep_throughput  the analytically pruned selection reaches >= 5x the
+                    exhaustive-select throughput with a bit-identical
+                    recommendation;
+  fleet_scale       tolerance-monotonic worker scaling — every point's
+                    units/s stays within 15% of the best seen at fewer
+                    workers (adding workers must never buy a real
+                    slowdown, while absolute throughput remains
+                    host-dependent; the margin absorbs the per-thread
+                    overhead a core-starved host charges 8 workers).
+Quick-mode records (CI smoke, tiny grids dominated by fixed costs) keep
+the correctness checks — byte-identical merges, bit-identical verdicts —
+but relax the throughput floors.
 """
 import json
 import os
@@ -53,17 +68,46 @@ def check_report(rep, name):
         require(r["end_ns"] <= rep["makespan_ns"], f"{name} rank ends after makespan")
 
 
+# Full-mode thresholds (see module docstring).
+PRUNE_MIN_SPEEDUP = 5.0
+FLEET_SCALING_TOLERANCE = 0.15
+
+
 def check_sweep(doc):
     require(isinstance(doc.get("space"), str), "space missing")
+    quick = bool(doc.get("quick", False))
 
     configs = doc.get("configs")
-    require(isinstance(configs, list) and len(configs) >= 3, "need >= 3 configs")
+    require(isinstance(configs, list) and len(configs) >= 5,
+            "need >= 5 configs (serial, cached, parallel, "
+            "select-exhaustive, pruned)")
     for c in configs:
         for key in ("mode", "threads", "plan_cache", "points", "events",
                     "wall_seconds", "points_per_sec", "events_per_sec"):
             require(key in c, f"configs[].{key} missing")
         require(c["points"] > 0 and c["events"] > 0, "empty measurement")
         require(c["wall_seconds"] > 0, "non-positive wall time")
+    modes = {c["mode"] for c in configs}
+    for mode in ("serial", "select-exhaustive", "pruned"):
+        require(mode in modes, f"config mode {mode!r} missing")
+
+    prune = doc.get("prune")
+    require(isinstance(prune, dict), "prune missing")
+    for key in ("slack", "simulated_runs", "total_runs", "speedup",
+                "verdict_identical", "V_overlap", "V_nonoverlap",
+                "V_analytic_overlap", "V_analytic_nonoverlap"):
+        require(key in prune, f"prune.{key} missing")
+    require(prune["slack"] >= 1.0, "prune slack below 1 cannot be certified")
+    require(prune["verdict_identical"] is True,
+            "pruned recommendation diverged from exhaustive")
+    require(0 < prune["simulated_runs"] <= prune["total_runs"],
+            "prune run counts inconsistent")
+    if not quick:
+        require(prune["simulated_runs"] < prune["total_runs"],
+                "full-mode prune simulated every run (no pruning happened)")
+        require(prune["speedup"] >= PRUNE_MIN_SPEEDUP,
+                f"pruned selection speedup {prune['speedup']:.2f}x below "
+                f"the {PRUNE_MIN_SPEEDUP:.0f}x floor")
 
     require(isinstance(doc.get("V_opt_overlap"), int), "V_opt_overlap missing")
     require(isinstance(doc.get("V_opt_nonoverlap"), int), "V_opt_nonoverlap missing")
@@ -77,6 +121,8 @@ def check_sweep(doc):
 
     print("BENCH_sweep.json schema OK:",
           f"{len(configs)} configs,",
+          f"prune {prune['speedup']:.1f}x"
+          f" ({prune['simulated_runs']}/{prune['total_runs']} runs),",
           f"{len(doc['overlap']['ranks'])} ranks,",
           f"{len(counters)} counters")
 
@@ -125,6 +171,7 @@ def check_fleet_scale(doc):
     for key in ("units", "heights", "single_node_seconds", "determinism_ok",
                 "scaling", "kill"):
         require(key in doc, f"{key} missing")
+    quick = bool(doc.get("quick", False))
     require(doc["units"] > 0, "empty unit plan")
     require(doc["single_node_seconds"] > 0, "non-positive single-node time")
     # Determinism is the fleet's core contract: every merged document must
@@ -132,8 +179,8 @@ def check_fleet_scale(doc):
     require(doc["determinism_ok"] is True, "fleet merge diverged")
 
     scaling = doc["scaling"]
-    require(isinstance(scaling, list) and len(scaling) >= 3,
-            "need >= 3 scaling points (1, 2, 4 workers)")
+    require(isinstance(scaling, list) and len(scaling) >= 4,
+            "need >= 4 scaling points (1, 2, 4, 8 workers)")
     for p in scaling:
         for key in ("workers", "wall_seconds", "units_per_sec", "identical"):
             require(key in p, f"scaling[].{key} missing")
@@ -141,6 +188,19 @@ def check_fleet_scale(doc):
         require(p["wall_seconds"] > 0, "non-positive wall time")
         require(p["identical"] is True,
                 f"merge diverged at {p['workers']} worker(s)")
+    workers = [p["workers"] for p in scaling]
+    require(workers == sorted(workers), "scaling points out of order")
+    if not quick:
+        # Tolerance-monotonic throughput: adding workers must never cost
+        # more than FLEET_SCALING_TOLERANCE of the best seen so far.
+        best = 0.0
+        for p in scaling:
+            floor = (1.0 - FLEET_SCALING_TOLERANCE) * best
+            require(p["units_per_sec"] >= floor,
+                    f"units/s regressed at {p['workers']} worker(s): "
+                    f"{p['units_per_sec']:.1f} < {floor:.1f} "
+                    f"(best so far {best:.1f})")
+            best = max(best, p["units_per_sec"])
 
     kill = doc["kill"]
     require(isinstance(kill, dict), "kill must be an object")

@@ -95,6 +95,7 @@ struct CliOptions {
   std::string fleet_worker_address;      ///< --fleet-worker
   bool fleet_sweep = false;     ///< controller job: sweep the height grid
   i64 fleet_local = 0;          ///< in-process workers for the controller
+  i64 fleet_batch = 0;          ///< heights per unit; 0 = analytic auto
 };
 
 bool to_i64(const std::string& text, i64& out) {
@@ -267,9 +268,16 @@ constexpr Flag kFlags[] = {
        return true;
      }},
     {"--fleet-local", "N",
-     "also run N in-process workers (with --fleet-controller)",
+     "also run N in-process workers (with --fleet-controller); they use "
+     "the in-process fast lane, no sockets",
      [](CliOptions& c, const std::string& v) {
        return to_i64(v, c.fleet_local) && c.fleet_local >= 0;
+     }},
+    {"--fleet-batch", "N",
+     "sweep heights per work unit: 1 = one unit per height, N>1 = chunks "
+     "of up to N, 0 = analytic cost-balanced chunks (default)",
+     [](CliOptions& c, const std::string& v) {
+       return to_i64(v, c.fleet_batch) && c.fleet_batch >= 0;
      }},
     {"--version", nullptr,
      "print the binary version and every wire/serialization envelope "
@@ -784,8 +792,16 @@ int run_fleet_controller(const CliOptions& cli) {
     const pipeline::ArtifactStore planned =
         pipeline::Compiler(popts).compile_nest(*nest_opt);
     const core::Problem& problem = planned.analysis().problem;
-    units = fleet::sweep_units(
-        problem, core::height_grid(4, problem.max_tile_height() / 2, 1.6));
+    const std::vector<i64> grid =
+        core::height_grid(4, problem.max_tile_height() / 2, 1.6);
+    if (cli.fleet_batch == 1) {
+      units = fleet::sweep_units(problem, grid);
+    } else {
+      // 0 = analytic cost-balanced chunks; N>1 caps chunk length at N.
+      fleet::SweepBatchOptions batch;
+      if (cli.fleet_batch > 1) batch.max_heights = cli.fleet_batch;
+      units = fleet::sweep_batch_units(problem, grid, batch);
+    }
   } else {
     std::cerr << "error: --fleet-controller needs a job: --fleet-sweep or "
                  "--scenario FILE\n";
@@ -813,9 +829,9 @@ int run_fleet_controller(const CliOptions& cli) {
 
   std::vector<std::thread> local;
   for (i64 i = 0; i < cli.fleet_local; ++i)
-    local.emplace_back([addr = controller.address().str(), i] {
+    local.emplace_back([&controller, i] {
       fleet::WorkerConfig wc;
-      wc.address = addr;
+      wc.local = &controller;  // in-process fast lane, no socket
       wc.name = util::concat("local-", i);
       fleet::Worker(std::move(wc)).run();
     });

@@ -1,7 +1,9 @@
 #include "tilo/core/parallel.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,48 +18,220 @@ int resolve_threads(int threads) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+namespace {
+
+/// One in-flight fan-out: per-worker ranges with atomic cursors (padded to
+/// a cache line so cursor traffic never false-shares), index-keyed error
+/// slots, and a countdown of participating pool workers.
+struct Job {
+  struct alignas(64) Range {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+
+  std::size_t n = 0;
+  int width = 0;  // participating workers, caller included
+  const std::function<void(int, std::size_t)>* body = nullptr;
+  std::vector<Range> ranges;
+  std::vector<std::exception_ptr> errors;
+  std::atomic<bool> failed{false};
+  std::atomic<int> active{0};  // pool workers (not the caller) still running
+};
+
+/// Drains the worker's own range, then steals from whichever range has the
+/// most work left.  Stealing shares the victim's cursor, so a stolen index
+/// is claimed exactly once no matter how many thieves race for it.
+void run_worker(Job& job, int id) {
+  const auto drain = [&](Job::Range& r) {
+    for (;;) {
+      if (job.failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = r.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= r.end) return;
+      try {
+        (*job.body)(id, i);
+      } catch (...) {
+        job.errors[i] = std::current_exception();
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  drain(job.ranges[static_cast<std::size_t>(id)]);
+  for (;;) {
+    int victim = -1;
+    std::size_t most = 0;
+    for (int w = 0; w < job.width; ++w) {
+      const Job::Range& r = job.ranges[static_cast<std::size_t>(w)];
+      const std::size_t nx = r.next.load(std::memory_order_relaxed);
+      const std::size_t rem = nx < r.end ? r.end - nx : 0;
+      if (rem > most) {
+        most = rem;
+        victim = w;
+      }
+    }
+    if (victim < 0) return;
+    drain(job.ranges[static_cast<std::size_t>(victim)]);
+  }
+}
+
+void run_inline(std::size_t n,
+                const std::function<void(int, std::size_t)>& body) {
+  for (std::size_t i = 0; i < n; ++i) body(0, i);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;   // workers wait for a new generation
+  std::condition_variable cv_done;   // the caller waits for job.active == 0
+  std::vector<std::thread> workers;  // worker k has id k + 1
+  Job* job = nullptr;                // guarded by mu
+  std::uint64_t generation = 0;
+  std::atomic<std::uint64_t> dispatched{0};
+  bool stop = false;
+
+  // Serializes whole jobs: held by the submitting thread for the job's
+  // duration.  A second concurrent submitter fails try_lock and runs inline.
+  std::mutex job_mu;
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  void worker_loop(int id) {
+    // Start at generation 0 so a worker spawned between ensure_workers and
+    // the job's publication still treats that job's generation as new.
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv_work.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      Job* j = job;
+      if (!j || id >= j->width) continue;
+      lock.unlock();
+      run_worker(*j, id);
+      {
+        std::lock_guard<std::mutex> done(mu);
+        if (j->active.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          cv_done.notify_all();
+      }
+      lock.lock();
+    }
+  }
+
+  void ensure_workers(int count) {
+    std::lock_guard<std::mutex> lock(mu);
+    while (static_cast<int>(workers.size()) < count) {
+      const int id = static_cast<int>(workers.size()) + 1;
+      workers.emplace_back([this, id] { worker_loop(id); });
+    }
+  }
+};
+
+ThreadPool::Impl* ThreadPool::impl() {
+  // Lazily constructed and intentionally leaked for the shared pool: parked
+  // threads must outlive every static destructor that might still fan out.
+  static std::mutex init_mu;
+  std::lock_guard<std::mutex> lock(init_mu);
+  if (!impl_) impl_ = new Impl();
+  return impl_;
+}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool* pool = new ThreadPool();  // leaked: see impl()
+  return *pool;
+}
+
+int ThreadPool::workers_alive() const {
+  if (!impl_) return 0;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return static_cast<int>(impl_->workers.size());
+}
+
+std::uint64_t ThreadPool::jobs_dispatched() const {
+  return impl_ ? impl_->dispatched.load(std::memory_order_relaxed) : 0;
+}
+
+void ThreadPool::for_index(int threads, std::size_t n,
+                           const std::function<void(int, std::size_t)>& body) {
+  TILO_REQUIRE(threads >= 1, "ThreadPool::for_index needs >= 1 thread");
+  if (n == 0) return;
+  if (threads > static_cast<int>(n)) threads = static_cast<int>(n);
+  if (threads == 1 || n == 1) {
+    run_inline(n, body);
+    return;
+  }
+
+  Impl& im = *impl();
+  std::unique_lock<std::mutex> job_lock(im.job_mu, std::try_to_lock);
+  if (!job_lock.owns_lock()) {
+    // Another job is in flight (or a body re-entered the pool): run inline.
+    // Index-keyed results make this indistinguishable from a pool run.
+    run_inline(n, body);
+    return;
+  }
+  im.ensure_workers(threads - 1);
+
+  Job job;
+  job.n = n;
+  job.width = threads;
+  job.body = &body;
+  job.ranges = std::vector<Job::Range>(static_cast<std::size_t>(threads));
+  job.errors.resize(n);
+  job.active.store(threads - 1, std::memory_order_relaxed);
+  // Even contiguous split; the remainder spreads over the leading workers.
+  const std::size_t base = n / static_cast<std::size_t>(threads);
+  const std::size_t extra = n % static_cast<std::size_t>(threads);
+  std::size_t start = 0;
+  for (int w = 0; w < threads; ++w) {
+    const std::size_t len = base + (static_cast<std::size_t>(w) < extra);
+    job.ranges[static_cast<std::size_t>(w)].next.store(
+        start, std::memory_order_relaxed);
+    job.ranges[static_cast<std::size_t>(w)].end = start + len;
+    start += len;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.job = &job;
+    ++im.generation;
+  }
+  im.cv_work.notify_all();
+  im.dispatched.fetch_add(1, std::memory_order_relaxed);
+
+  run_worker(job, 0);
+
+  {
+    std::unique_lock<std::mutex> lock(im.mu);
+    im.cv_done.wait(lock, [&] {
+      return job.active.load(std::memory_order_acquire) == 0;
+    });
+    im.job = nullptr;
+  }
+
+  if (job.failed.load(std::memory_order_relaxed)) {
+    for (std::exception_ptr& e : job.errors)
+      if (e) std::rethrow_exception(e);
+  }
+}
+
 void parallel_for_index(int threads, std::size_t n,
                         const std::function<void(int, std::size_t)>& body) {
   TILO_REQUIRE(threads >= 1, "parallel_for_index needs >= 1 thread");
   if (n == 0) return;
-
   if (threads == 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    run_inline(n, body);
     return;
   }
-
-  std::atomic<std::size_t> next{0};
-  // One error slot per index: rethrowing the lowest failed index keeps the
-  // reported error deterministic under any thread interleaving.
-  std::vector<std::exception_ptr> errors(n);
-  std::atomic<bool> failed{false};
-
-  const auto worker = [&](int id) {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n || failed.load(std::memory_order_relaxed)) return;
-      try {
-        body(id, i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-
-  const int nthreads = threads > static_cast<int>(n)
-                           ? static_cast<int>(n)
-                           : threads;
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(nthreads) - 1);
-  for (int t = 1; t < nthreads; ++t) pool.emplace_back(worker, t);
-  worker(0);
-  for (std::thread& t : pool) t.join();
-
-  if (failed.load(std::memory_order_relaxed)) {
-    for (std::exception_ptr& e : errors)
-      if (e) std::rethrow_exception(e);
-  }
+  ThreadPool::shared().for_index(threads, n, body);
 }
 
 }  // namespace tilo::core

@@ -1,13 +1,21 @@
-// A minimal deterministic fork/join helper for the sweep orchestrator.
+// A minimal deterministic fork/join helper for the sweep orchestrator,
+// backed by a persistent work-stealing thread pool.
 //
-// Work items are claimed from a shared atomic counter, so the assignment of
-// items to threads is racy — but every caller writes its result into a slot
-// chosen by the item *index*, never by arrival order, so outputs are
-// independent of the interleaving.  The simulator itself is single-threaded
-// per Engine; parallelism here only fans out independent simulations.
+// Work items are split into one contiguous range per worker; each worker
+// drains its own range through an atomic cursor and then steals from the
+// range with the most work remaining.  The assignment of items to threads
+// is racy — but every caller writes its result into a slot chosen by the
+// item *index*, never by arrival order, so outputs are independent of the
+// interleaving.  The simulator itself is single-threaded per Engine;
+// parallelism here only fans out independent simulations.
+//
+// The pool's threads are created once (growing to the widest request seen)
+// and parked between jobs, so repeated fan-outs — every autotune batch,
+// every sweep — stop paying thread spawn/join on the hot path.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace tilo::core {
@@ -16,9 +24,43 @@ namespace tilo::core {
 /// hardware threads" (at least 1 when the hardware reports nothing).
 int resolve_threads(int threads);
 
+/// A persistent pool of parked worker threads executing indexed fan-outs.
+/// One job runs at a time; a `for_index` submitted while another job is in
+/// flight runs entirely inline on the caller (worker 0) — correct because
+/// results are index-keyed, and free of lock-ordering hazards.
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool used by parallel_for_index.
+  static ThreadPool& shared();
+
+  /// Runs body(worker, index) for every index in [0, n) on `threads`
+  /// workers (ids in [0, threads)); the caller participates as worker 0.
+  /// Exceptions follow the lowest-index rule of parallel_for_index.
+  void for_index(int threads, std::size_t n,
+                 const std::function<void(int, std::size_t)>& body);
+
+  /// Threads currently alive in the pool (telemetry; grows on demand).
+  int workers_alive() const;
+
+  /// Jobs that ran on pool threads vs. inline fallbacks (telemetry).
+  std::uint64_t jobs_dispatched() const;
+
+ private:
+  struct Impl;
+  Impl* impl();  // lazily constructed, never destroyed before the threads
+
+  Impl* impl_ = nullptr;
+};
+
 /// Runs body(worker, index) for every index in [0, n), distributing indices
 /// over `threads` workers (worker ids in [0, threads)).  threads <= 1 runs
-/// everything inline on the calling thread as worker 0.
+/// everything inline on the calling thread as worker 0; threads >= 2 uses
+/// ThreadPool::shared().
 ///
 /// If any body throws, the exception thrown at the *lowest* index is
 /// rethrown on the caller after all workers have stopped claiming new work,

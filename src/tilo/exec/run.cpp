@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <coroutine>
+#include <cstdint>
+#include <map>
 #include <set>
 #include <limits>
 #include <memory>
@@ -38,17 +40,31 @@ struct RankState {
 
 /// Per-tile communication geometry for one tiled space, built once and
 /// reused across runs (the overlap and non-overlap schedules at one tile
-/// height share it).  Above kMaxTiles the table is not materialized and
-/// lookups fall back to computing geometry on the fly, bounding memory.
+/// height share it).
+///
+/// Timed runs only read the (offset, points, dir) summaries, and those are
+/// translation-invariant: every tile with the same boundary profile (at the
+/// low edge / at the high edge / adjacent to a clipped high-edge tile, per
+/// dimension) has a byte-identical summary list.  So the timed table stores
+/// one list per *equivalence class* (≤ 8^dims classes, a few dozen in
+/// practice) plus a per-tile class id — turning the per-point sweep setup
+/// from O(tiles × geometry) into O(classes × geometry + tiles).  Functional
+/// runs need absolute region boxes and keep the per-tile path.  Above the
+/// caps the table is not materialized and lookups fall back to computing
+/// geometry on the fly, bounding memory.
 struct CommTable {
-  static constexpr i64 kMaxTiles = i64{1} << 16;
+  static constexpr i64 kMaxTiles = i64{1} << 16;         // per-tile (regions)
+  static constexpr i64 kMaxClassedTiles = i64{1} << 22;  // classed (timed)
 
   lat::Vec sides;  // geometry key: tile sides + domain identify the space
   Box domain;
   bool with_regions = false;
   bool valid = false;
   bool passthrough = false;
-  std::vector<std::vector<TileComm>> in, out;
+  bool classed = false;
+  std::vector<std::vector<TileComm>> in, out;        // per tile (regions mode)
+  std::vector<std::uint16_t> tile_class;             // classed mode
+  std::vector<std::vector<TileComm>> class_in, class_out;
 
   bool matches(const tile::TiledSpace& space, bool regions_needed) const {
     return valid && (with_regions || !regions_needed) &&
@@ -60,31 +76,67 @@ struct CommTable {
     sides = space.tiling().sides();
     domain = space.domain();
     with_regions = regions_needed;
-    passthrough = space.num_tiles() > kMaxTiles;
+    classed = !regions_needed;
+    in.clear();
+    out.clear();
+    tile_class.clear();
+    class_in.clear();
+    class_out.clear();
+    passthrough =
+        space.num_tiles() > (classed ? kMaxClassedTiles : kMaxTiles);
     if (passthrough) {
-      in.clear();
-      out.clear();
       valid = true;
       return;
     }
     const Box& ts = space.tile_space();
     const std::size_t n = static_cast<std::size_t>(space.num_tiles());
+    if (classed) {
+      // Class key: per dimension, whether the tile sits at the low edge,
+      // the high edge, or immediately before the high edge (whose tile may
+      // be clipped by the domain).  Everything else is "interior" and the
+      // comm summary is a pure translate.
+      tile_class.assign(n, 0);
+      std::map<std::uint64_t, std::uint16_t> ids;
+      space.for_each_tile([&](const Vec& t) {
+        std::uint64_t key = 0;
+        for (std::size_t d = 0; d < t.size(); ++d) {
+          const i64 c = t[d];
+          const std::uint64_t code =
+              static_cast<std::uint64_t>(c == ts.lo()[d]) |
+              (static_cast<std::uint64_t>(c == ts.hi()[d]) << 1) |
+              (static_cast<std::uint64_t>(c + 1 == ts.hi()[d]) << 2);
+          key = key * 8 + code;
+        }
+        auto [it, fresh] =
+            ids.try_emplace(key, static_cast<std::uint16_t>(class_in.size()));
+        if (fresh) {
+          TILO_ASSERT(class_in.size() < (std::size_t{1} << 16),
+                      "comm-table class id overflow");
+          class_out.push_back(strip_regions(outgoing(space, t)));
+          class_in.push_back(strip_regions(incoming(space, t)));
+        }
+        tile_class[static_cast<std::size_t>(ts.linear_index(t))] = it->second;
+      });
+      valid = true;
+      return;
+    }
     in.assign(n, {});
     out.assign(n, {});
     space.for_each_tile([&](const Vec& t) {
       const auto idx = static_cast<std::size_t>(ts.linear_index(t));
       out[idx] = outgoing(space, t);
       in[idx] = incoming(space, t);
-      if (!regions_needed) {
-        // Timed runs never touch region boxes; keep only the summaries.
-        for (auto* list : {&out[idx], &in[idx]})
-          for (TileComm& c : *list) {
-            c.regions.clear();
-            c.regions.shrink_to_fit();
-          }
-      }
     });
     valid = true;
+  }
+
+ private:
+  static std::vector<TileComm> strip_regions(std::vector<TileComm> list) {
+    for (TileComm& c : list) {
+      c.regions.clear();
+      c.regions.shrink_to_fit();
+    }
+    return list;
   }
 };
 
@@ -118,6 +170,9 @@ CommView ins_of(const Ctx& ctx, const Vec& t) {
   if (ctx.comm->passthrough) {
     v.owned = incoming(ctx.plan->space, t);
     v.list = &v.owned;
+  } else if (ctx.comm->classed) {
+    v.list = &ctx.comm->class_in[ctx.comm->tile_class[static_cast<std::size_t>(
+        ctx.plan->space.tile_space().linear_index(t))]];
   } else {
     v.list = &ctx.comm->in[static_cast<std::size_t>(
         ctx.plan->space.tile_space().linear_index(t))];
@@ -130,6 +185,10 @@ CommView outs_of(const Ctx& ctx, const Vec& t) {
   if (ctx.comm->passthrough) {
     v.owned = outgoing(ctx.plan->space, t);
     v.list = &v.owned;
+  } else if (ctx.comm->classed) {
+    v.list =
+        &ctx.comm->class_out[ctx.comm->tile_class[static_cast<std::size_t>(
+            ctx.plan->space.tile_space().linear_index(t))]];
   } else {
     v.list = &ctx.comm->out[static_cast<std::size_t>(
         ctx.plan->space.tile_space().linear_index(t))];

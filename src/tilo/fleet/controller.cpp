@@ -182,6 +182,18 @@ void Controller::tick_loop() {
   }
 }
 
+svc::Response Controller::call_local(const svc::Request& req) {
+  try {
+    return handle(req);
+  } catch (const util::Error& e) {
+    svc::Response resp;
+    resp.id = req.id;
+    resp.status = svc::RespStatus::kBadRequest;
+    resp.error = e.what();
+    return resp;
+  }
+}
+
 svc::Response Controller::handle(const svc::Request& req) {
   svc::Response resp;
   resp.id = req.id;

@@ -99,6 +99,14 @@ class Controller {
   /// The bound address (resolves "tcp:0" to the kernel-assigned port).
   const Address& address() const { return addr_; }
 
+  /// The in-process fast lane for co-located workers: serves one fleet op
+  /// directly, skipping frame encode/decode and the socket round trip.
+  /// Exactly the dispatch conn_loop performs for a wire request (same
+  /// bookkeeping, same counters, same responses), so a local worker is
+  /// indistinguishable from a remote one to the unit state machine.
+  /// Thread-safe; usable as soon as the controller is constructed.
+  svc::Response call_local(const svc::Request& req);
+
   /// Blocks until every unit has a merged result.
   void wait();
   /// wait() with a timeout; false = still incomplete.

@@ -1,5 +1,8 @@
 #include "tilo/fleet/unit.hpp"
 
+#include <algorithm>
+
+#include "tilo/core/analytic.hpp"
 #include "tilo/pipeline/serialize.hpp"
 #include "tilo/svc/compile.hpp"
 #include "tilo/util/error.hpp"
@@ -52,6 +55,29 @@ std::string execute_sweep_unit(const Json& j) {
   return sweep_point_to_json(points.front()).dump();
 }
 
+std::string execute_sweep_batch(const Json& j) {
+  core::Problem problem{pipeline::nest_from_json(j.at("nest")),
+                        pipeline::machine_from_json(j.at("machine")),
+                        vec_from_json(j.at("procs"), "fleet unit procs")};
+  const Json::Array& hs = j.at("heights").as_array("fleet unit heights");
+  std::vector<i64> heights;
+  heights.reserve(hs.size());
+  for (const Json& h : hs)
+    heights.push_back(h.as_integer("fleet unit heights"));
+  TILO_REQUIRE(!heights.empty(), "fleet unit: empty sweep batch");
+  // One parse, one analysis, one reusable workspace for the whole chunk —
+  // the dispatch amortization the batch exists for.  Each point is still
+  // an independent deterministic simulation, so the bytes match the
+  // one-height units exactly.
+  const std::vector<core::SweepPoint> points =
+      core::sweep_tile_height(problem, heights);
+  Json out = Json::object();
+  Json arr = Json::array();
+  for (const core::SweepPoint& p : points) arr.push(sweep_point_to_json(p));
+  out.set("points", std::move(arr));
+  return out.dump();
+}
+
 std::string execute_scenario_unit(const Json& j) {
   pipeline::CompileOptions base;
   if (const Json* m = j.find("machine"))
@@ -85,6 +111,53 @@ std::vector<WorkUnit> sweep_units(const core::Problem& problem,
   return units;
 }
 
+std::vector<WorkUnit> sweep_batch_units(const core::Problem& problem,
+                                        const std::vector<i64>& heights,
+                                        const SweepBatchOptions& opts) {
+  TILO_REQUIRE(opts.max_heights >= 1, "fleet: max_heights must be >= 1");
+  TILO_REQUIRE(opts.balance > 0, "fleet: balance must be > 0");
+  // Analytic per-height cost proxy: simulated work scales with the number
+  // of tiles (mapped extent K over V) per processor wave; the +1 covers
+  // the per-run fixed cost.  Only relative magnitudes matter here.
+  const core::AnalyticModel model = core::derive_analytic_model(problem);
+  const auto cost = [&](i64 V) {
+    return 1.0 + model.k / static_cast<double>(std::max<i64>(1, V));
+  };
+  double max_cost = 0;
+  for (i64 V : heights) max_cost = std::max(max_cost, cost(V));
+  const double cap = opts.balance * max_cost;
+
+  const Json nest = pipeline::nest_to_json(problem.nest);
+  const Json machine = pipeline::machine_to_json(problem.machine);
+  const Json procs = vec_to_json(problem.procs);
+  std::vector<WorkUnit> units;
+  std::size_t i = 0;
+  while (i < heights.size()) {
+    // Greedy contiguous chunk: close when the next height would blow the
+    // cost cap (unless the chunk is still empty) or the length cap.
+    std::size_t end = i;
+    double acc = 0;
+    while (end < heights.size() &&
+           static_cast<i64>(end - i) < opts.max_heights &&
+           (end == i || acc + cost(heights[end]) <= cap)) {
+      acc += cost(heights[end]);
+      ++end;
+    }
+    Json j = Json::object();
+    stamp_envelope(j, "sweep_batch");
+    j.set("nest", nest);
+    j.set("machine", machine);
+    j.set("procs", procs);
+    Json hs = Json::array();
+    for (std::size_t k = i; k < end; ++k)
+      hs.push(Json::integer(heights[k]));
+    j.set("heights", std::move(hs));
+    units.push_back(WorkUnit{units.size(), j.dump()});
+    i = end;
+  }
+  return units;
+}
+
 std::vector<WorkUnit> scenario_units(const pipeline::ScenarioFile& scenario) {
   std::vector<WorkUnit> units;
   units.reserve(scenario.workloads.size());
@@ -113,6 +186,7 @@ std::string execute_unit(std::string_view payload) {
   require_unit_envelope(j);
   const std::string kind = j.at("kind").as_string("fleet unit kind");
   if (kind == "sweep_point") return execute_sweep_unit(j);
+  if (kind == "sweep_batch") return execute_sweep_batch(j);
   if (kind == "scenario_workload") return execute_scenario_unit(j);
   TILO_REQUIRE(false, "fleet unit: unknown kind \"", kind, "\"");
   return {};  // unreachable
@@ -152,9 +226,28 @@ std::vector<core::SweepPoint> sweep_points_from_payloads(
     const std::vector<std::string>& payloads) {
   std::vector<core::SweepPoint> points;
   points.reserve(payloads.size());
-  for (const std::string& text : payloads)
-    points.push_back(sweep_point_from_json(Json::parse(text)));
+  for (const std::string& text : payloads) {
+    const Json j = Json::parse(text);
+    if (const Json* batch = j.find("points")) {
+      for (const Json& p : batch->as_array("points"))
+        points.push_back(sweep_point_from_json(p));
+    } else {
+      points.push_back(sweep_point_from_json(j));
+    }
+  }
   return points;
+}
+
+std::string sweep_points_document(const std::vector<std::string>& payloads) {
+  const std::vector<core::SweepPoint> points =
+      sweep_points_from_payloads(payloads);
+  Json doc = Json::object();
+  doc.set("tilo", Json::string("fleet.sweep"));
+  doc.set("version", Json::integer(kFleetVersion));
+  Json arr = Json::array();
+  for (const core::SweepPoint& p : points) arr.push(sweep_point_to_json(p));
+  doc.set("points", std::move(arr));
+  return doc.dump();
 }
 
 }  // namespace tilo::fleet

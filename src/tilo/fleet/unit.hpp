@@ -51,6 +51,30 @@ struct WorkUnit {
 std::vector<WorkUnit> sweep_units(const core::Problem& problem,
                                   const std::vector<i64>& heights);
 
+/// Batched sweep decomposition knobs.
+struct SweepBatchOptions {
+  /// Hard cap on heights per unit; 1 degenerates to sweep_units' shape
+  /// (but with the "sweep_batch" payload kind).
+  i64 max_heights = 16;
+  /// A chunk closes when its summed analytic cost would exceed
+  /// balance x the most expensive single height's cost.  The most
+  /// expensive height already lower-bounds the fleet's makespan, so
+  /// balance = 1 batches the cheap tail without lengthening the critical
+  /// path.
+  double balance = 1.0;
+};
+
+/// Decomposes a sweep into contiguous height chunks sized by the analytic
+/// per-height cost estimate (simulation work scales with the tile count,
+/// ~ K/V + 1): expensive small-V heights get their own units, the cheap
+/// large-V tail is batched so per-unit dispatch (payload parse, round
+/// trip, lease bookkeeping) amortizes.  Executing unit i yields
+/// {"points": [...]} — the same canonical SweepPoint bytes, in height
+/// order, that the unbatched plan yields one by one.
+std::vector<WorkUnit> sweep_batch_units(const core::Problem& problem,
+                                        const std::vector<i64>& heights,
+                                        const SweepBatchOptions& opts = {});
+
 /// Decomposes a scenario file into one unit per workload (the scenario's
 /// machine, when present, is embedded in every unit).
 std::vector<WorkUnit> scenario_units(const pipeline::ScenarioFile& scenario);
@@ -68,8 +92,17 @@ Json sweep_point_to_json(const core::SweepPoint& p);
 core::SweepPoint sweep_point_from_json(const Json& j);
 
 /// Decodes merged sweep-unit results back into SweepPoints, in unit
-/// (= height) order.
+/// (= height) order.  Accepts both unbatched payloads (one point object
+/// per unit) and batched payloads ({"points": [...]}), flattening the
+/// latter — so callers are agnostic to the plan's batching.
 std::vector<core::SweepPoint> sweep_points_from_payloads(
     const std::vector<std::string>& payloads);
+
+/// The canonical flattened sweep-result document:
+///   {"tilo": "fleet.sweep", "version": 1, "points": [...]}
+/// Byte-identical for a batched and an unbatched plan over the same
+/// heights (and for the single-node sweep serialized the same way) —
+/// the document batching determinism is pinned against.
+std::string sweep_points_document(const std::vector<std::string>& payloads);
 
 }  // namespace tilo::fleet

@@ -1,10 +1,12 @@
 #include "tilo/fleet/worker.hpp"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "tilo/fleet/controller.hpp"
 #include "tilo/fleet/unit.hpp"
 #include "tilo/util/error.hpp"
 
@@ -18,18 +20,42 @@ using svc::Request;
 using svc::Response;
 using pipeline::Json;
 
+/// One call path to the controller: the wire client, or the co-located
+/// controller's call_local fast lane (no socket, no frames).  Each
+/// Transport owns at most one connection, mirroring the one-connection-
+/// per-thread discipline of the socket path.
+struct Transport {
+  Controller* local = nullptr;
+  std::optional<Client> client;
+
+  static Transport connect(const WorkerConfig& cfg) {
+    Transport t;
+    if (cfg.local) {
+      t.local = cfg.local;
+    } else {
+      t.client.emplace(Client::connect(cfg.address, cfg.client));
+    }
+    return t;
+  }
+
+  Response call(Request req) {
+    if (local) return local->call_local(req);
+    return client->call_with_retry(std::move(req));
+  }
+};
+
 struct Registration {
   i64 worker_id = 0;
   i64 heartbeat_ms = 500;
 };
 
-Registration do_register(Client& client, const std::string& name) {
+Registration do_register(Transport& transport, const std::string& name) {
   Request req;
   req.op = Op::kRegister;
   Json body = Json::object();
   body.set("name", Json::string(name));
   req.fleet = std::move(body);
-  const Response resp = client.call_with_retry(std::move(req));
+  const Response resp = transport.call(std::move(req));
   TILO_REQUIRE(resp.status == svc::RespStatus::kOk,
                "fleet worker: register failed: ",
                resp.error.empty() ? std::string(svc::status_name(resp.status))
@@ -45,7 +71,7 @@ Registration do_register(Client& client, const std::string& name) {
 
 WorkerSummary Worker::run() {
   WorkerSummary summary;
-  Client control = Client::connect(cfg_.address, cfg_.client);
+  Transport control = Transport::connect(cfg_);
   Registration reg = do_register(control, cfg_.name);
   ++summary.registrations;
 
@@ -58,7 +84,7 @@ WorkerSummary Worker::run() {
                                           : std::max<i64>(1, reg.heartbeat_ms);
   std::thread heartbeat([this, &worker_id, &hb_stop, hb_ms] {
     try {
-      Client beat = Client::connect(cfg_.address, cfg_.client);
+      Transport beat = Transport::connect(cfg_);
       while (!hb_stop.load(std::memory_order_acquire)) {
         Request req;
         req.op = Op::kHeartbeat;
@@ -66,7 +92,7 @@ WorkerSummary Worker::run() {
         body.set("worker_id",
                  Json::integer(worker_id.load(std::memory_order_acquire)));
         req.fleet = std::move(body);
-        (void)beat.call_with_retry(std::move(req));
+        (void)beat.call(std::move(req));
         for (i64 slept = 0;
              slept < hb_ms && !hb_stop.load(std::memory_order_acquire);
              slept += 5)
@@ -99,7 +125,7 @@ WorkerSummary Worker::run() {
       body.set("completed", std::move(completed));
       req.fleet = std::move(body);
 
-      const Response resp = control.call_with_retry(std::move(req));
+      const Response resp = control.call(std::move(req));
       TILO_REQUIRE(resp.status == svc::RespStatus::kOk,
                    "fleet worker: unit poll failed: ",
                    resp.error.empty()

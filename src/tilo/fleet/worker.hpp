@@ -23,6 +23,8 @@ namespace tilo::fleet {
 
 using util::i64;
 
+class Controller;
+
 struct WorkerConfig {
   std::string address;          ///< the controller's address
   std::string name = "worker";  ///< reported at registration (logs/report)
@@ -33,6 +35,10 @@ struct WorkerConfig {
   /// Heartbeat interval; 0 = use the controller-advertised interval.
   i64 heartbeat_ms = 0;
   svc::ClientOptions client;  ///< timeouts / retry policy for both conns
+  /// In-process fast lane: when set, every op (register, heartbeat, unit)
+  /// goes straight to this co-located controller — no sockets, no frames —
+  /// and `address`/`client` are ignored.  Must outlive run().
+  Controller* local = nullptr;
 };
 
 struct WorkerSummary {

@@ -7,10 +7,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "tilo/core/analytic.hpp"
 #include "tilo/core/parallel.hpp"
 #include "tilo/core/plancache.hpp"
 #include "tilo/machine/optimize.hpp"
@@ -115,6 +118,102 @@ pipeline::AnalysisArtifact analysis_for(const Problem& problem) {
   return pipeline::AnalysisArtifact{problem, problem.mapped_dim(), false};
 }
 
+/// measure_point with per-kind control, for the pruned fast path: a kind
+/// outside the contending region is neither lowered nor simulated — its
+/// predictions come from the closed-form model instead of the plan.  With
+/// both kinds enabled this compiles and simulates exactly what
+/// measure_point does, so simulated fields are bit-identical to the
+/// exhaustive sweep's.
+SweepPoint measure_point_select(const pipeline::AnalysisArtifact& analysis,
+                                i64 V, const SweepOptions& opts,
+                                exec::RunWorkspace& workspace,
+                                bool do_overlap, bool do_nonoverlap,
+                                const AnalyticModel& model) {
+  SweepPoint pt;
+  pt.V = V;
+  const Problem& problem = analysis.problem;
+  const double v = static_cast<double>(V);
+
+  const pipeline::TilingArtifact tiling =
+      pipeline::run_tiling(analysis, V, ScheduleKind::kOverlap);
+  pt.g = tiling.tiling.tile_volume();
+
+  const pipeline::BackendConfig config = backend_config(opts, workspace);
+
+  pipeline::PlanArtifact over;
+  if (do_overlap) {
+    const pipeline::ScheduleArtifact sched_over =
+        pipeline::run_scheduling(analysis, tiling, ScheduleKind::kOverlap);
+    over = pipeline::run_lowering(analysis, tiling, sched_over,
+                                  opts.plan_cache, opts.comm.level);
+    pt.predicted_overlap = over.predicted_seconds;
+    pt.predicted_cpu_bound =
+        predict_overlap_cpu_bound(*over.plan, problem.machine);
+  } else {
+    pt.predicted_overlap = model.total_overlap(v);
+    pt.predicted_cpu_bound =
+        (model.c0_overlap + model.k / v) * model.cpu_side(v);
+  }
+
+  pipeline::PlanArtifact nonover;
+  if (do_nonoverlap) {
+    const pipeline::ScheduleArtifact sched_nonover =
+        pipeline::run_scheduling(analysis, tiling, ScheduleKind::kNonOverlap);
+    if (opts.plan_cache) {
+      nonover = pipeline::run_lowering(analysis, tiling, sched_nonover,
+                                       opts.plan_cache, opts.comm.level);
+    } else if (do_overlap) {
+      auto flipped = std::make_shared<exec::TilePlan>(*over.plan);
+      flipped->kind = ScheduleKind::kNonOverlap;
+      pipeline::verify_lowered_plan(pipeline::Stage::kLowering, *flipped,
+                                    tiling.tiling, analysis.mapped_dim,
+                                    problem.procs, sched_nonover.length);
+      const double predicted = predict_completion(*flipped, problem.machine);
+      nonover = pipeline::PlanArtifact{std::move(flipped), predicted};
+    } else {
+      nonover = pipeline::run_lowering(analysis, tiling, sched_nonover,
+                                       nullptr, opts.comm.level);
+    }
+    pt.predicted_nonoverlap = nonover.predicted_seconds;
+  } else {
+    pt.predicted_nonoverlap = model.total_nonoverlap(v);
+  }
+
+  if (do_overlap) {
+    const pipeline::BackendArtifact b =
+        pipeline::run_backend(problem.nest, analysis, over, config);
+    pt.t_overlap = b.run->seconds;
+    pt.events += b.run->events;
+  }
+  if (do_nonoverlap) {
+    const pipeline::BackendArtifact b =
+        pipeline::run_backend(problem.nest, analysis, nonover, config);
+    pt.t_nonoverlap = b.run->seconds;
+    pt.events += b.run->events;
+  }
+  return pt;
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+bool same_recommendation(const SweepVerdict& a, const SweepVerdict& b) {
+  return a.V == b.V && a.g == b.g && bits_equal(a.t, b.t) &&
+         bits_equal(a.predicted, b.predicted);
+}
+
+/// The executing thread's persistent run workspace.  Keyed by thread (not
+/// by worker id), it is race-free even when two sweeps overlap, and its
+/// comm table / rank buffers survive across sweep and autotune calls —
+/// repeated sweeps over the same geometry skip the table build entirely.
+/// Results are unaffected by reuse: RunWorkspace rebuilds on any geometry
+/// mismatch, and outputs are index-keyed.
+exec::RunWorkspace& arena_workspace() {
+  thread_local exec::RunWorkspace workspace;
+  return workspace;
+}
+
 }  // namespace
 
 std::vector<SweepPoint> sweep_tile_height(const Problem& problem,
@@ -123,16 +222,12 @@ std::vector<SweepPoint> sweep_tile_height(const Problem& problem,
   const int threads = resolve_threads(opts.threads);
   const pipeline::AnalysisArtifact analysis = analysis_for(problem);
   std::vector<SweepPoint> out(heights.size());
-  // One workspace (and thus one comm-table / rank-buffer set) per worker;
   // out[i] is keyed by index, so the thread interleaving cannot reorder or
   // alter results.
-  std::vector<exec::RunWorkspace> workspaces(
-      static_cast<std::size_t>(threads));
   parallel_for_index(
       threads, heights.size(), [&](int worker, std::size_t i) {
         const obs::Time t0 = opts.sink ? wall_ns() : 0;
-        out[i] = measure_point(analysis, heights[i], opts,
-                               workspaces[static_cast<std::size_t>(worker)]);
+        out[i] = measure_point(analysis, heights[i], opts, arena_workspace());
         if (opts.sink) {
           opts.sink->host_span("sweep V=" + std::to_string(heights[i]), t0,
                                wall_ns(), worker);
@@ -140,6 +235,142 @@ std::vector<SweepPoint> sweep_tile_height(const Problem& problem,
         }
       });
   return out;
+}
+
+SweepSelection sweep_select(const Problem& problem,
+                            const std::vector<i64>& heights,
+                            const SweepOptions& opts) {
+  TILO_REQUIRE(opts.prune_slack >= 1.0, "prune_slack must be >= 1, got ",
+               opts.prune_slack);
+  const int threads = resolve_threads(opts.threads);
+  const pipeline::AnalysisArtifact analysis = analysis_for(problem);
+  const AnalyticModel model = derive_analytic_model(problem);
+  const std::size_t n = heights.size();
+
+  SweepSelection sel;
+  sel.points.assign(n, {});
+  sel.simulated_overlap.assign(n, 0);
+  sel.simulated_nonoverlap.assign(n, 0);
+  if (n == 0) return sel;
+
+  // Analytic ranking: model-predicted completion per kind, its minimum,
+  // and the contending region { V : T_model(V) <= slack * min }.
+  double min_over = std::numeric_limits<double>::infinity();
+  double min_non = std::numeric_limits<double>::infinity();
+  std::size_t arg_over = 0, arg_non = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(heights[i]);
+    const double to = model.total_overlap(v);
+    const double tn = model.total_nonoverlap(v);
+    if (to < min_over) {
+      min_over = to;
+      arg_over = i;
+    }
+    if (tn < min_non) {
+      min_non = tn;
+      arg_non = i;
+    }
+  }
+  sel.V_analytic_overlap = heights[arg_over];
+  sel.V_analytic_nonoverlap = heights[arg_non];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(heights[i]);
+    if (opts.run_overlap &&
+        (opts.exhaustive ||
+         model.total_overlap(v) <= opts.prune_slack * min_over))
+      sel.simulated_overlap[i] = 1;
+    if (opts.run_nonoverlap &&
+        (opts.exhaustive ||
+         model.total_nonoverlap(v) <= opts.prune_slack * min_non))
+      sel.simulated_nonoverlap[i] = 1;
+  }
+
+  // Simulate the contenders; pruned points only pay a tiling (for g) and
+  // carry the model's predictions.  Index-keyed slots keep the result
+  // independent of the worker interleaving, as in sweep_tile_height.
+  parallel_for_index(threads, n, [&](int worker, std::size_t i) {
+    const bool do_over = sel.simulated_overlap[i] != 0;
+    const bool do_non = sel.simulated_nonoverlap[i] != 0;
+    const obs::Time t0 = opts.sink ? wall_ns() : 0;
+    if (do_over || do_non) {
+      sel.points[i] = measure_point_select(analysis, heights[i], opts,
+                                           arena_workspace(), do_over,
+                                           do_non, model);
+    } else {
+      SweepPoint& pt = sel.points[i];
+      pt.V = heights[i];
+      const double v = static_cast<double>(heights[i]);
+      const pipeline::TilingArtifact tiling =
+          pipeline::run_tiling(analysis, heights[i], ScheduleKind::kOverlap);
+      pt.g = tiling.tiling.tile_volume();
+      pt.predicted_overlap = model.total_overlap(v);
+      pt.predicted_nonoverlap = model.total_nonoverlap(v);
+      pt.predicted_cpu_bound =
+          (model.c0_overlap + model.k / v) * model.cpu_side(v);
+    }
+    if (opts.sink) {
+      opts.sink->host_span("sweep V=" + std::to_string(heights[i]), t0,
+                           wall_ns(), worker);
+      opts.sink->counter((do_over || do_non) ? "sweep.points"
+                                             : "sweep.pruned_points",
+                         1.0);
+    }
+  });
+
+  // Recommendations: strict-< argmin over the simulated subset, ties
+  // resolved by input order — the same rule on both the pruned and the
+  // exhaustive path.
+  bool seen_over = false, seen_non = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SweepPoint& pt = sel.points[i];
+    if (sel.simulated_overlap[i] &&
+        (!seen_over || pt.t_overlap < sel.best_overlap.t)) {
+      sel.best_overlap =
+          SweepVerdict{pt.V, pt.g, pt.t_overlap, pt.predicted_overlap};
+      seen_over = true;
+    }
+    if (sel.simulated_nonoverlap[i] &&
+        (!seen_non || pt.t_nonoverlap < sel.best_nonoverlap.t)) {
+      sel.best_nonoverlap = SweepVerdict{pt.V, pt.g, pt.t_nonoverlap,
+                                           pt.predicted_nonoverlap};
+      seen_non = true;
+    }
+    sel.simulated_runs += sel.simulated_overlap[i] != 0;
+    sel.simulated_runs += sel.simulated_nonoverlap[i] != 0;
+  }
+  sel.total_runs = static_cast<i64>(n) * ((opts.run_overlap ? 1 : 0) +
+                                          (opts.run_nonoverlap ? 1 : 0));
+  return sel;
+}
+
+SweepSelection verify_pruned_selection(const Problem& problem,
+                                       const std::vector<i64>& heights,
+                                       const SweepOptions& opts) {
+  SweepOptions pruned_opts = opts;
+  pruned_opts.exhaustive = false;
+  SweepOptions exhaustive_opts = opts;
+  exhaustive_opts.exhaustive = true;
+  const SweepSelection pruned = sweep_select(problem, heights, pruned_opts);
+  const SweepSelection full = sweep_select(problem, heights, exhaustive_opts);
+  if (opts.run_overlap) {
+    TILO_REQUIRE(
+        same_recommendation(pruned.best_overlap, full.best_overlap),
+        "pruned sweep diverged from exhaustive (overlap): pruned V=",
+        pruned.best_overlap.V, " t=", pruned.best_overlap.t,
+        " vs exhaustive V=", full.best_overlap.V,
+        " t=", full.best_overlap.t, " — prune_slack ", opts.prune_slack,
+        " leaves the true optimum outside the contending region");
+  }
+  if (opts.run_nonoverlap) {
+    TILO_REQUIRE(
+        same_recommendation(pruned.best_nonoverlap, full.best_nonoverlap),
+        "pruned sweep diverged from exhaustive (non-overlap): pruned V=",
+        pruned.best_nonoverlap.V, " t=", pruned.best_nonoverlap.t,
+        " vs exhaustive V=", full.best_nonoverlap.V,
+        " t=", full.best_nonoverlap.t, " — prune_slack ", opts.prune_slack,
+        " leaves the true optimum outside the contending region");
+  }
+  return pruned;
 }
 
 std::vector<i64> height_grid(i64 lo, i64 hi, double ratio) {
@@ -164,8 +395,6 @@ Autotune autotune_tile_height(const Problem& problem, ScheduleKind kind,
   TILO_REQUIRE(lo >= 1 && lo <= hi, "bad height range");
   const int threads = resolve_threads(opts.threads);
   const pipeline::AnalysisArtifact analysis = analysis_for(problem);
-  std::vector<exec::RunWorkspace> workspaces(
-      static_cast<std::size_t>(threads));
 
   // Batch evaluation with memoization: each probe V is simulated at most
   // once, a whole batch fans out over the workers, and because the
@@ -183,7 +412,7 @@ Autotune autotune_tile_height(const Problem& problem, ScheduleKind kind,
         threads, todo.size(), [&](int worker, std::size_t i) {
           const obs::Time t0 = opts.sink ? wall_ns() : 0;
           values[i] = run_once(analysis, todo[i], kind, opts,
-                               workspaces[static_cast<std::size_t>(worker)]);
+                               arena_workspace());
           if (opts.sink) {
             opts.sink->host_span("probe V=" + std::to_string(todo[i]), t0,
                                  wall_ns(), worker);

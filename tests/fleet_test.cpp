@@ -632,3 +632,174 @@ TEST(ForkFleetTest, SigkilledWorkerLosesNoUnits) {
             single_node_document(problem, heights));
   controller.stop();
 }
+
+// ---------------------------------------------------------------------------
+// Batched dispatch: several heights ride one work unit (analytic
+// cost-balanced chunks), the controller's exactly-once machinery operates
+// at unit granularity, and the flattened canonical document is invariant
+// to how the plan was chunked.  Also covers the in-process fast lane:
+// co-located workers that call the controller directly, no sockets.
+
+namespace {
+
+/// The chunking-invariant reference: one payload per height, flattened
+/// through the same canonical document the fleet runs are compared on.
+std::string single_node_points_document(const Problem& problem,
+                                        const std::vector<i64>& heights) {
+  const std::vector<core::SweepPoint> points =
+      core::sweep_tile_height(problem, heights);
+  std::vector<std::string> payloads;
+  payloads.reserve(points.size());
+  for (const core::SweepPoint& p : points)
+    payloads.push_back(fleet::sweep_point_to_json(p).dump());
+  return fleet::sweep_points_document(payloads);
+}
+
+}  // namespace
+
+TEST(FleetBatchTest, BatchPlanCoversEveryHeightOnceInOrder) {
+  const Problem problem = core::paper_problem_i();
+  const std::vector<i64> heights =
+      core::height_grid(8, problem.max_tile_height() / 2, 1.3);
+  fleet::SweepBatchOptions opts;
+  opts.max_heights = 3;
+  const std::vector<WorkUnit> units =
+      fleet::sweep_batch_units(problem, heights, opts);
+  ASSERT_GE(units.size(), 2u);
+  std::vector<i64> seen;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(units[i].index, i);
+    const Json j = Json::parse(units[i].payload);
+    EXPECT_EQ(j.at("kind").as_string("kind"), "sweep_batch");
+    const Json::Array& hs = j.at("heights").as_array("heights");
+    EXPECT_GE(hs.size(), 1u);
+    EXPECT_LE(hs.size(), 3u);
+    for (const Json& h : hs) seen.push_back(h.as_integer("heights"));
+  }
+  EXPECT_EQ(seen, heights);
+}
+
+TEST(FleetBatchTest, AnalyticChunksIsolateTheMostExpensiveHeight) {
+  const Problem problem = core::paper_problem_i();
+  // Strongly skewed costs: the smallest height dominates (cost ~ 1 + K/V),
+  // so with balance 1.0 it must not share a chunk with anything else.
+  const std::vector<i64> heights = {8, 512, 1024, 2048};
+  const std::vector<WorkUnit> units =
+      fleet::sweep_batch_units(problem, heights);
+  const Json first = Json::parse(units.front().payload);
+  EXPECT_EQ(first.at("heights").as_array("heights").size(), 1u)
+      << "the dominant height should ride alone";
+}
+
+TEST(FleetBatchTest, BatchedMergeByteIdenticalToUnbatchedAndSingleNode) {
+  const Problem problem = core::paper_problem_i();
+  const std::string reference =
+      single_node_points_document(problem, kHeights);
+
+  fleet::SweepBatchOptions opts;
+  opts.max_heights = 2;
+  opts.balance = 100.0;  // length-capped chunks: deterministic 2+2 split
+  const std::vector<WorkUnit> batched =
+      fleet::sweep_batch_units(problem, kHeights, opts);
+  ASSERT_EQ(batched.size(), 2u);
+
+  for (int nworkers : {1, 2}) {
+    FleetRun unbatched_run =
+        run_fleet(fleet::sweep_units(problem, kHeights), nworkers);
+    FleetRun batched_run = run_fleet(batched, nworkers);
+    EXPECT_EQ(fleet::sweep_points_document(unbatched_run.payloads),
+              reference);
+    EXPECT_EQ(fleet::sweep_points_document(batched_run.payloads), reference)
+        << "batched merge diverged at " << nworkers << " worker(s)";
+    EXPECT_EQ(batched_run.stats.completed, batched.size());
+  }
+}
+
+TEST(FleetBatchTest, EvictedBatchedGrantRequeuesExactlyOncePerUnit) {
+  const Problem problem = core::paper_problem_i();
+  const std::vector<i64> heights = {8, 16, 32, 64};
+  fleet::SweepBatchOptions opts;
+  opts.max_heights = 2;
+  opts.balance = 100.0;  // two units of two heights each
+  const std::vector<WorkUnit> units =
+      fleet::sweep_batch_units(problem, heights, opts);
+  ASSERT_EQ(units.size(), 2u);
+
+  ControllerConfig cfg;
+  cfg.address = fresh_address();
+  cfg.credit = 2;
+  cfg.heartbeat_ms = 50;  // evict after ~150ms of silence
+  cfg.miss_threshold = 3;
+  cfg.speculate = false;  // isolate the eviction-requeue path
+  Controller controller(cfg, units);
+  controller.start();
+
+  // The silent worker leases BOTH batched units, then never speaks again.
+  svc::Client silent = svc::Client::connect(cfg.address);
+  const i64 id = register_worker(silent, "silent");
+  ASSERT_EQ(unit_poll(silent, id, 2).at("units").as_array("units").size(),
+            2u);
+
+  WorkerConfig wc;
+  wc.address = cfg.address;
+  wc.name = "live";
+  Worker live(wc);
+  std::thread runner([&live] { live.run(); });
+  ASSERT_TRUE(controller.wait_for_ms(30'000));
+  runner.join();
+
+  const FleetStats stats = controller.stats();
+  // Exactly once per unit: each batched grant requeued a single time (a
+  // unit, not a height, is the requeue granule), then completed once.
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.evicted, 1u);
+  EXPECT_EQ(stats.requeued, 2u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(fleet::sweep_points_document(controller.merged().payloads()),
+            single_node_points_document(problem, heights));
+  controller.stop();
+}
+
+TEST(FleetBatchTest, LocalTransportMatchesSocketBytesAndBookkeeping) {
+  const Problem problem = core::paper_problem_i();
+  const std::string reference =
+      single_node_points_document(problem, kHeights);
+  const std::vector<WorkUnit> units =
+      fleet::sweep_batch_units(problem, kHeights);
+
+  // Socket path first (run_fleet), then the in-process fast lane.
+  FleetRun socket_run = run_fleet(units, 2);
+  EXPECT_EQ(fleet::sweep_points_document(socket_run.payloads), reference);
+
+  ControllerConfig cfg;
+  cfg.address = fresh_address();
+  cfg.credit = 2;
+  Controller controller(cfg, units);
+  controller.start();
+  std::vector<WorkerSummary> summaries(2);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&controller, &summaries, i] {
+      WorkerConfig wc;
+      wc.local = &controller;  // no sockets, no frames
+      wc.name = "local-" + std::to_string(i);
+      summaries[i] = Worker(wc).run();
+    });
+  }
+  controller.wait();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(fleet::sweep_points_document(controller.merged().payloads()),
+            reference);
+  const FleetStats stats = controller.stats();
+  EXPECT_EQ(stats.completed, units.size());
+  EXPECT_EQ(stats.registered, 2u);
+  EXPECT_GT(stats.unit_polls, 0u);
+  std::uint64_t total = 0;
+  for (const WorkerSummary& s : summaries) {
+    EXPECT_TRUE(s.clean);
+    total += s.completed;
+  }
+  EXPECT_EQ(total, units.size() + stats.duplicates);
+  controller.stop();
+}
