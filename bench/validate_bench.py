@@ -7,6 +7,7 @@ Dispatches on the document's "bench" field:
   sweep_throughput  BENCH_sweep.json (bench_sweep_throughput --json)
   svc_load          BENCH_svc.json   (bench_svc_load --json)
   fleet_scale       BENCH_fleet.json (bench_fleet_scale --json)
+  model             BENCH_model.json (bench_overlap_levels --json)
 
 Fails (exit 1) when the file is missing, is not valid JSON, or does not
 match the schema the perf-trajectory tooling expects.
@@ -220,6 +221,59 @@ def check_fleet_scale(doc):
           f"{kill['recovery_seconds']:.2f}s kill recovery")
 
 
+def check_model(doc):
+    """BENCH_model.json: every mach::Model swept over one shared V grid.
+
+    The hard contract (quick mode included): the beta = 1 interference
+    curve is bit-for-bit the ideal curve — the machine-model redesign's
+    backward-compatibility guarantee — and imperfect overlap (beta < 1)
+    never shrinks the tuned V_optimal.
+    """
+    require(isinstance(doc.get("space"), str), "space missing")
+    grid = doc.get("grid")
+    require(isinstance(grid, list) and len(grid) >= 5,
+            "need a >= 5 point V grid")
+    require(grid == sorted(grid) and grid[0] >= 1, "V grid not ascending")
+
+    models = doc.get("models")
+    require(isinstance(models, list) and len(models) >= 4,
+            "need >= 4 model records")
+    by_name = {}
+    for m in models:
+        for key in ("model", "kind", "V_opt", "t_opt", "curve"):
+            require(key in m, f"models[].{key} missing")
+        require(isinstance(m["curve"], list) and
+                len(m["curve"]) == len(grid),
+                f"model {m['model']!r} curve length != grid length")
+        require(all(isinstance(t, (int, float)) and t > 0
+                    for t in m["curve"]),
+                f"model {m['model']!r} has non-positive completion times")
+        require(m["V_opt"] in grid, f"model {m['model']!r} V_opt off-grid")
+        require(min(m["curve"]) == m["t_opt"],
+                f"model {m['model']!r} t_opt is not the curve minimum")
+        by_name[m["model"]] = m
+    for name in ("ideal", "interference-beta1", "interference-beta0.7"):
+        require(name in by_name, f"model record {name!r} missing")
+
+    # The deprecation contract: beta = 1 degenerates to the ideal model
+    # exactly — %.17g round-trips doubles, so == here is bit-for-bit.
+    require(by_name["interference-beta1"]["curve"] ==
+            by_name["ideal"]["curve"],
+            "beta=1 interference curve diverged from the ideal curve")
+    require(doc.get("ideal_identical") is True,
+            "bench-side bit-identity check failed")
+    # Direction: imperfect overlap favors taller tiles, never shorter.
+    require(by_name["interference-beta0.7"]["V_opt"] >=
+            by_name["ideal"]["V_opt"],
+            "beta<1 shrank V_opt (wrong direction)")
+    require(doc.get("beta_direction_ok") is True,
+            "bench-side direction check failed")
+
+    print("BENCH_model.json schema OK:",
+          f"{len(models)} models over {len(grid)} heights,",
+          "beta=1 bit-identical to ideal")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: validate_bench.py FILE")
@@ -244,9 +298,11 @@ def main():
         check_svc_load(doc)
     elif kind == "fleet_scale":
         check_fleet_scale(doc)
+    elif kind == "model":
+        check_model(doc)
     else:
         fail(f"unknown bench kind {kind!r} "
-             "(expected sweep_throughput, svc_load or fleet_scale)")
+             "(expected sweep_throughput, svc_load, fleet_scale or model)")
 
 
 if __name__ == "__main__":

@@ -32,7 +32,7 @@ int main() {
                      loop::DependenceSet({Vec{1, 0}, Vec{0, 1}, Vec{1, 1}}),
                      std::make_shared<loop::SumKernel>(0.3)),
       machine,
-      Vec{1, 8}};  // 8 processors across dimension 1
+      Vec{1, 8}, nullptr};  // 8 processors across dimension 1
 
   std::cout << "problem: " << problem.nest.domain().extents().str()
             << " nest, deps " << problem.nest.deps().str() << ", 8 nodes\n";

@@ -69,7 +69,7 @@ int main() {
       loop::DependenceSet({Vec{1, 0, 0}, Vec{1, 1, 0}, Vec{1, 0, 1}}),
       std::make_shared<HeatKernel>(0.2));
   const core::Problem problem{nest, mach::MachineParams::paper_cluster(),
-                              Vec{1, 4, 4}};
+                              Vec{1, 4, 4}, nullptr};
 
   std::cout << "heat2d: " << nest.kernel().statement() << "\n";
   std::cout << "domain " << nest.domain().extents().str()

@@ -17,7 +17,7 @@ int main() {
   // 4 x 4 processors, tiles of height V = 32.
   core::Problem problem{loop::stencil3d_nest(16, 16, 512),
                         mach::MachineParams::paper_cluster(),
-                        lat::Vec{4, 4, 1}};
+                        lat::Vec{4, 4, 1}, nullptr};
   const util::i64 V = 32;
 
   std::cout << "nest: " << problem.nest.name() << ", domain "

@@ -17,6 +17,8 @@
 //   3  file I/O failure (cannot open an input, cannot write an output)
 //   4  malformed input (loop-nest grammar, plan JSON, scenario JSON)
 //   5  service failure (cannot connect / bind, non-ok service response)
+//   6  unknown machine-model name (--model)
+//   7  unreadable or invalid machine-model file (--machine)
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -32,6 +34,8 @@
 #include "tilo/fleet/unit.hpp"
 #include "tilo/fleet/worker.hpp"
 #include "tilo/loopnest/parse.hpp"
+#include "tilo/machine/calibrate.hpp"
+#include "tilo/machine/model.hpp"
 #include "tilo/obs/chrome_trace.hpp"
 #include "tilo/obs/report.hpp"
 #include "tilo/pipeline/compiler.hpp"
@@ -52,6 +56,8 @@ enum ExitCode {
   kExitFileIo = 3,
   kExitBadInput = 4,
   kExitService = 5,
+  kExitUnknownModel = 6,
+  kExitModelFile = 7,
 };
 
 const char* kDemoSource = R"(# built-in demo: the paper's kernel, reduced
@@ -96,6 +102,9 @@ struct CliOptions {
   bool fleet_sweep = false;     ///< controller job: sweep the height grid
   i64 fleet_local = 0;          ///< in-process workers for the controller
   i64 fleet_batch = 0;          ///< heights per unit; 0 = analytic auto
+  std::string machine_path;     ///< --machine: load a machine-model file
+  std::string model_name;       ///< --model: registry name (mach::make_model)
+  std::string calibrate_path;   ///< --calibrate: write the fitted model here
 };
 
 bool to_i64(const std::string& text, i64& out) {
@@ -279,6 +288,27 @@ constexpr Flag kFlags[] = {
      [](CliOptions& c, const std::string& v) {
        return to_i64(v, c.fleet_batch) && c.fleet_batch >= 0;
      }},
+    {"--machine", "FILE",
+     "load the machine model from FILE (a machine_model envelope written "
+     "by --calibrate, or bare machine-parameter JSON)",
+     [](CliOptions& c, const std::string& v) {
+       c.machine_path = v;
+       return !v.empty();
+     }},
+    {"--model", "NAME",
+     "compile under a named machine model (ideal, interference, hetero, "
+     "offload-none/-dma/-duplex/-rdma); with --connect, asks the server",
+     [](CliOptions& c, const std::string& v) {
+       c.model_name = v;
+       return !v.empty();
+     }},
+    {"--calibrate", "FILE",
+     "probe the resolved machine model, fit the interference knobs "
+     "(beta, Mcrit), print residuals, and write the loadable model to FILE",
+     [](CliOptions& c, const std::string& v) {
+       c.calibrate_path = v;
+       return !v.empty();
+     }},
     {"--version", nullptr,
      "print the binary version and every wire/serialization envelope "
      "version",
@@ -334,6 +364,84 @@ std::optional<std::string> read_file(const std::string& path) {
   std::ostringstream body;
   body << in.rdbuf();
   return body.str();
+}
+
+/// Resolves --machine / --model into one mach::Model: the file (when
+/// given) supplies the machine scalars and possibly a full model, then the
+/// registry name (when given) re-wraps those scalars.  Leaves `model` null
+/// when neither flag was passed, so every default path keeps its
+/// historical params-only behavior.
+int resolve_model(const CliOptions& cli,
+                  std::shared_ptr<const tilo::mach::Model>& model) {
+  using namespace tilo;
+  if (!cli.machine_path.empty()) {
+    const auto text = read_file(cli.machine_path);
+    if (!text) {
+      std::cerr << "error: cannot open machine file " << cli.machine_path
+                << '\n';
+      return kExitModelFile;
+    }
+    try {
+      model = pipeline::model_from_json(pipeline::Json::parse(*text));
+    } catch (const util::Error& e) {
+      std::cerr << "error: invalid machine file " << cli.machine_path
+                << ": " << e.what()
+                << "\n(expected a machine_model envelope written by "
+                   "--calibrate, or bare machine-parameter JSON)\n";
+      return kExitModelFile;
+    }
+  }
+  if (!cli.model_name.empty()) {
+    const mach::MachineParams params =
+        model ? model->params() : mach::MachineParams::paper_cluster();
+    std::shared_ptr<const mach::Model> named =
+        mach::make_model(cli.model_name, params);
+    if (!named) {
+      std::string names;
+      for (const std::string& n : mach::model_names()) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      std::cerr << "error: unknown machine model \"" << cli.model_name
+                << "\" (known: " << names << ")\n";
+      return kExitUnknownModel;
+    }
+    model = std::move(named);
+  }
+  return kExitOk;
+}
+
+/// Calibration mode: --calibrate FILE.  Runs the in-process probe suite
+/// (the paper's Section 5 measurement program) against the resolved model,
+/// prints the fitted interference knobs with their residuals, and writes
+/// the loadable machine_model JSON — round-trippable through --machine.
+int run_calibrate(const CliOptions& cli,
+                  std::shared_ptr<const tilo::mach::Model> model) {
+  using namespace tilo;
+  if (!model)
+    model = std::make_shared<mach::IdealOverlapModel>(
+        mach::MachineParams::paper_cluster());
+  const mach::CalibrationReport report =
+      mach::calibrate_interference(*model);
+  std::cout << "calibrated against \"" << model->kind() << "\" reference:\n"
+            << "  beta_kernel   " << report.interference.beta_kernel << '\n'
+            << "  beta_wire     " << report.interference.beta_wire << '\n'
+            << "  mcrit         " << report.interference.mcrit
+            << " byte(s)\n"
+            << "  factor_below  " << report.interference.factor_below << '\n'
+            << "  residuals     fill_mpi " << report.fill_mpi_residual
+            << ", fill_kernel " << report.fill_kernel_residual << ", beta "
+            << report.beta_residual << '\n';
+  std::ofstream out(cli.calibrate_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << cli.calibrate_path
+              << " for writing\n";
+    return kExitFileIo;
+  }
+  out << pipeline::model_to_json(*report.model()).dump() << '\n';
+  std::cout << "model written to " << cli.calibrate_path
+            << " (load it with --machine " << cli.calibrate_path << ")\n";
+  return kExitOk;
 }
 
 /// The per-run observer bundle (Gantt timeline, Chrome trace, phase
@@ -440,8 +548,11 @@ int run_load_plan(const CliOptions& cli) {
 }
 
 /// Batch mode: --scenario FILE.  One Compiler invocation compiles every
-/// workload; per-stage spans land on the workload's trace lane.
-int run_scenario(const CliOptions& cli) {
+/// workload; per-stage spans land on the workload's trace lane.  A
+/// scenario file's own "machine_model" wins over the --machine/--model
+/// flags (the file is the more specific request).
+int run_scenario(const CliOptions& cli,
+                 std::shared_ptr<const tilo::mach::Model> model) {
   using namespace tilo;
   const auto text = read_file(cli.scenario_path);
   if (!text) {
@@ -464,6 +575,7 @@ int run_scenario(const CliOptions& cli) {
   core::PlanCache cache(core::PlanCache::Scope::kMultiProblem);
   obs::ChromeTraceSink chrome;
   pipeline::CompileOptions sopts;
+  sopts.model = std::move(model);
   sopts.height = cli.height;
   sopts.auto_procs = cli.auto_procs;
   sopts.plan_cache = &cache;
@@ -625,6 +737,9 @@ int run_connect(const CliOptions& cli) {
   base.height = cli.height;
   base.auto_procs = cli.auto_procs;
   base.simulate = true;
+  // --model travels by registry name; the server instantiates it over its
+  // own machine.  (--machine files stay local — the wire carries names.)
+  base.model = cli.model_name;
   if (!cli.auto_procs) {
     if (cli.procs_text) {
       lat::Vec procs;
@@ -635,7 +750,7 @@ int run_connect(const CliOptions& cli) {
       const mach::MachineParams machine =
           mach::MachineParams::paper_cluster();
       const std::size_t md =
-          core::Problem{*nest, machine, lat::Vec(nest->dims(), 1)}
+          core::Problem{*nest, machine, lat::Vec(nest->dims(), 1), nullptr}
               .mapped_dim();
       lat::Vec procs(nest->dims(), 4);
       procs[md] = 1;
@@ -734,7 +849,8 @@ int run_fleet_worker(const CliOptions& cli) {
 /// serves them to registered workers (plus --fleet-local in-process ones),
 /// and prints the merged result — byte-identical to the single-node run —
 /// followed by the fleet report.
-int run_fleet_controller(const CliOptions& cli) {
+int run_fleet_controller(const CliOptions& cli,
+                         std::shared_ptr<const tilo::mach::Model> model) {
   using namespace tilo;
   std::vector<fleet::WorkUnit> units;
   std::vector<std::string> names;  ///< scenario workload names, by unit
@@ -756,6 +872,12 @@ int run_fleet_controller(const CliOptions& cli) {
     }
     for (const pipeline::ScenarioWorkload& wl : scenario->workloads)
       names.push_back(wl.name);
+    // The flags' model rides into every unit unless the scenario file
+    // carries its own (the more specific request wins, as in --scenario).
+    if (model && !scenario->model) {
+      scenario->model = model;
+      if (!scenario->machine) scenario->machine = model->params();
+    }
     units = fleet::scenario_units(*scenario);
   } else if (cli.fleet_sweep) {
     sweep_job = true;
@@ -770,7 +892,9 @@ int run_fleet_controller(const CliOptions& cli) {
     // Resolve the grid exactly like local mode, so the fleet sweeps the
     // same problem --sweep would (and the outputs can be compared).
     pipeline::CompileOptions popts;
-    popts.machine = mach::MachineParams::paper_cluster();
+    popts.machine =
+        model ? model->params() : mach::MachineParams::paper_cluster();
+    popts.model = model;
     popts.height = cli.height;
     popts.simulate = false;
     if (cli.auto_procs) {
@@ -783,7 +907,7 @@ int run_fleet_controller(const CliOptions& cli) {
     } else {
       const std::size_t md =
           core::Problem{*nest_opt, popts.machine,
-                        lat::Vec(nest_opt->dims(), 1)}
+                        lat::Vec(nest_opt->dims(), 1), nullptr}
               .mapped_dim();
       lat::Vec procs(nest_opt->dims(), 4);
       procs[md] = 1;
@@ -922,15 +1046,21 @@ int main(int argc, char** argv) {
   if (cli.version) return print_version();
 
   try {
+    std::shared_ptr<const mach::Model> model;
+    if (const int rc = resolve_model(cli, model); rc != kExitOk) return rc;
+    if (!cli.calibrate_path.empty())
+      return run_calibrate(cli, std::move(model));
     if (!cli.fleet_worker_address.empty()) return run_fleet_worker(cli);
     if (!cli.fleet_controller_address.empty())
-      return run_fleet_controller(cli);
+      return run_fleet_controller(cli, std::move(model));
     if (!cli.serve_address.empty()) return run_serve(cli);
     if (!cli.connect_address.empty()) return run_connect(cli);
-    if (!cli.scenario_path.empty()) return run_scenario(cli);
+    if (!cli.scenario_path.empty())
+      return run_scenario(cli, std::move(model));
     if (!cli.load_plan_path.empty()) return run_load_plan(cli);
 
-    const mach::MachineParams machine = mach::MachineParams::paper_cluster();
+    const mach::MachineParams machine =
+        model ? model->params() : mach::MachineParams::paper_cluster();
     std::optional<loop::LoopNest> nest_opt;
     try {
       nest_opt = pipeline::run_frontend({cli.source_name, cli.source});
@@ -949,6 +1079,7 @@ int main(int argc, char** argv) {
     // optimum, as the paper tunes), shared by both schedule runs below.
     pipeline::CompileOptions popts;
     popts.machine = machine;
+    popts.model = model;
     popts.height = cli.height;
     popts.simulate = false;
     if (cli.auto_procs) {
@@ -960,7 +1091,7 @@ int main(int argc, char** argv) {
       popts.procs = std::move(procs);
     } else {
       const std::size_t md =
-          core::Problem{nest, machine, lat::Vec(nest.dims(), 1)}
+          core::Problem{nest, machine, lat::Vec(nest.dims(), 1), nullptr}
               .mapped_dim();
       lat::Vec procs(nest.dims(), 4);
       procs[md] = 1;
@@ -1006,6 +1137,7 @@ int main(int argc, char** argv) {
       Observers obs;
       pipeline::CompileOptions ropts;
       ropts.machine = machine;
+      ropts.model = model;
       ropts.procs = problem.procs;
       ropts.height = V;
       ropts.kind = kind;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tilo/machine/optimize.hpp"
 #include "tilo/util/error.hpp"
 
 namespace tilo::core {
@@ -99,9 +100,89 @@ AnalyticOptimum finish(const Problem& problem, const AnalyticModel& model,
   return out;
 }
 
+/// Numeric optimum for non-ideal models: geometric sweep + linear
+/// refinement over analytic_completion (the curve is smooth in V).
+AnalyticOptimum model_optimal_height(const Problem& problem,
+                                     const mach::Model& model,
+                                     ScheduleKind kind) {
+  const util::i64 hi = std::max<util::i64>(1, problem.max_tile_height());
+  const mach::IntMinimum best = mach::geometric_sweep(
+      [&](util::i64 v) { return analytic_completion(problem, model, v, kind); },
+      1, hi, 1.1);
+  AnalyticOptimum out;
+  out.V_continuous = static_cast<double>(best.x);
+  out.V = best.x;
+  out.t_predicted = best.value;
+  const mach::StepCost c = model.step(analytic_step_shape(problem, best.x));
+  out.cpu_bound = c.cpu_side() >= c.comm_side();
+  return out;
+}
+
 }  // namespace
 
+mach::StepShape analytic_step_shape(const Problem& problem, util::i64 v) {
+  const std::size_t md = problem.mapped_dim();
+  const lat::Box& dom = problem.nest.domain();
+  const auto& deps = problem.nest.deps();
+  mach::StepShape shape;
+  double cross_iterations = 1.0;
+  std::vector<double> sides(dom.dims(), 1.0);
+  for (std::size_t d = 0; d < dom.dims(); ++d) {
+    if (d == md) continue;
+    sides[d] = static_cast<double>(
+        util::ceil_div(dom.extent(d), problem.procs[d]));
+    cross_iterations *= sides[d];
+  }
+  const double vd = static_cast<double>(std::max<util::i64>(1, v));
+  shape.iterations = static_cast<util::i64>(cross_iterations * vd);
+  // Working set ~ the tile's cells; halo slabs are second-order and the
+  // cache model is off for the paper machines.
+  shape.working_set_bytes = util::checked_mul(
+      shape.iterations,
+      static_cast<util::i64>(problem.machine.bytes_per_element));
+  const double bpe = static_cast<double>(problem.machine.bytes_per_element);
+  for (std::size_t d = 0; d < dom.dims(); ++d) {
+    if (d == md) continue;
+    if (problem.procs[d] <= 1) continue;
+    double c_d = 0.0;
+    for (const lat::Vec& dep : deps.vectors())
+      c_d += static_cast<double>(dep[d]);
+    if (c_d == 0.0) continue;
+    const double beta = bpe * (cross_iterations / sides[d]) * c_d;
+    const util::i64 bytes = static_cast<util::i64>(beta * vd);
+    shape.send_bytes.push_back(bytes);
+    shape.recv_bytes.push_back(bytes);
+  }
+  return shape;
+}
+
+double analytic_completion(const Problem& problem, const mach::Model& model,
+                           util::i64 v, ScheduleKind kind) {
+  TILO_REQUIRE(v >= 1, "analytic completion needs v >= 1");
+  const AnalyticModel geom = derive_analytic_model(problem);
+  const mach::StepShape shape = analytic_step_shape(problem, v);
+  const double vd = static_cast<double>(v);
+  if (kind == ScheduleKind::kNonOverlap)
+    return (geom.c0_nonoverlap + geom.k / vd) *
+           model.step_seconds(shape, mach::OverlapLevel::kNone);
+  return (geom.c0_overlap + geom.k / vd) *
+         model.step_seconds(shape, mach::OverlapLevel::kDma);
+}
+
+double analytic_completion_cpu_bound(const Problem& problem,
+                                     const mach::Model& model,
+                                     util::i64 v) {
+  TILO_REQUIRE(v >= 1, "analytic completion needs v >= 1");
+  const AnalyticModel geom = derive_analytic_model(problem);
+  const double vd = static_cast<double>(v);
+  return (geom.c0_overlap + geom.k / vd) *
+         model.step(analytic_step_shape(problem, v)).cpu_side();
+}
+
 AnalyticOptimum analytic_optimal_height_overlap(const Problem& problem) {
+  if (problem.model && !problem.model->ideal())
+    return model_optimal_height(problem, *problem.model,
+                                ScheduleKind::kOverlap);
   const AnalyticModel model = derive_analytic_model(problem);
   const double hi = static_cast<double>(problem.max_tile_height());
 
@@ -156,6 +237,9 @@ AnalyticOptimum analytic_optimal_height_overlap(const Problem& problem) {
 }
 
 AnalyticOptimum analytic_optimal_height_nonoverlap(const Problem& problem) {
+  if (problem.model && !problem.model->ideal())
+    return model_optimal_height(problem, *problem.model,
+                                ScheduleKind::kNonOverlap);
   const AnalyticModel model = derive_analytic_model(problem);
   const double hi = static_cast<double>(problem.max_tile_height());
   const double v = branch_opt(model.c0_nonoverlap, model.k, model.n0,

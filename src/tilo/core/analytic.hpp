@@ -67,11 +67,36 @@ struct AnalyticOptimum {
   bool cpu_bound = false;   ///< which side of eq. (4) is active at V
 };
 
-/// Closed-form optimal tile height for the overlapping schedule.
+/// Closed-form optimal tile height for the overlapping schedule.  When
+/// problem.model names a non-ideal mach::Model the square-root rule no
+/// longer applies (the step is not max-of-affines); the optimum is then
+/// found numerically over analytic_completion — so V_optimal re-derives
+/// under every model, the tentpole question the machine-model API exists
+/// to answer.
 AnalyticOptimum analytic_optimal_height_overlap(const Problem& problem);
 
 /// Closed-form optimal tile height for the non-overlapping schedule
-/// (the Hodzic–Shang optimization with our detailed cost model).
+/// (the Hodzic–Shang optimization with our detailed cost model); same
+/// model-aware dispatch as the overlap variant.
 AnalyticOptimum analytic_optimal_height_nonoverlap(const Problem& problem);
+
+/// The analytic steady-state step shape at height v: cross-section
+/// iterations x v compute grain and one message each way per
+/// communicating face with the eq. (2) volume beta_i * v.  This is the
+/// geometry derive_analytic_model costs through the affine curves,
+/// reified so an arbitrary mach::Model can cost it instead.
+mach::StepShape analytic_step_shape(const Problem& problem, util::i64 v);
+
+/// Model-predicted completion at height v under `model`: the analytic
+/// schedule length (C0 + K/v) times the model's step time at the
+/// analytic step shape.  Uses kDma for overlapping plans, kNone for
+/// non-overlapping ones.
+double analytic_completion(const Problem& problem, const mach::Model& model,
+                           util::i64 v, ScheduleKind kind);
+
+/// Eq. (5)-style CPU-bound analytic total under a model (used for the
+/// pruned sweep's predicted_cpu_bound field).
+double analytic_completion_cpu_bound(const Problem& problem,
+                                     const mach::Model& model, util::i64 v);
 
 }  // namespace tilo::core

@@ -57,4 +57,24 @@ double predict_overlap_cpu_bound(const TilePlan& plan,
                                        plan.schedule_length());
 }
 
+double predict_completion(const TilePlan& plan, const mach::Model& model,
+                          mach::OverlapLevel level) {
+  const mach::StepShape shape = steady_step_shape(plan, model.params());
+  const i64 P = plan.schedule_length();
+  TILO_REQUIRE(P >= 0, "negative schedule length");
+  if (plan.kind == sched::ScheduleKind::kNonOverlap)
+    return static_cast<double>(P) *
+           model.step_seconds(shape, mach::OverlapLevel::kNone);
+  return static_cast<double>(P) * model.step_seconds(shape, level);
+}
+
+double predict_overlap_cpu_bound(const TilePlan& plan,
+                                 const mach::Model& model) {
+  TILO_REQUIRE(plan.kind == sched::ScheduleKind::kOverlap,
+               "eq. (5) applies to overlapping plans");
+  const mach::StepShape shape = steady_step_shape(plan, model.params());
+  return static_cast<double>(plan.schedule_length()) *
+         model.step(shape).cpu_side();
+}
+
 }  // namespace tilo::core

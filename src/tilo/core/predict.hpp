@@ -6,6 +6,7 @@
 
 #include "tilo/exec/plan.hpp"
 #include "tilo/machine/cost.hpp"
+#include "tilo/machine/model.hpp"
 
 namespace tilo::core {
 
@@ -29,5 +30,17 @@ double predict_completion(const TilePlan& plan,
 /// the paper instantiates with measured constants in Section 5.
 double predict_overlap_cpu_bound(const TilePlan& plan,
                                  const mach::MachineParams& params);
+
+/// Model-aware predictions: the same plan geometry costed by an arbitrary
+/// mach::Model.  With an IdealOverlapModel these reproduce the
+/// MachineParams overloads bit-for-bit (the model's step() replicates
+/// step_cost()'s arithmetic exactly).
+double predict_completion(const TilePlan& plan, const mach::Model& model,
+                          mach::OverlapLevel level = mach::OverlapLevel::kDma);
+
+/// Eq. (5) under a model: the pure CPU side (interference extras are the
+/// model's own business and excluded from the paper's bound).
+double predict_overlap_cpu_bound(const TilePlan& plan,
+                                 const mach::Model& model);
 
 }  // namespace tilo::core

@@ -43,17 +43,19 @@ i64 Problem::max_tile_height() const {
 
 Problem paper_problem_i() {
   return Problem{loop::paper_space_i(), mach::MachineParams::paper_cluster(),
-                 lat::Vec{4, 4, 1}};
+                 lat::Vec{4, 4, 1}, nullptr};
 }
 
 Problem paper_problem_ii() {
   return Problem{loop::paper_space_ii(),
-                 mach::MachineParams::paper_cluster(), lat::Vec{4, 4, 1}};
+                 mach::MachineParams::paper_cluster(), lat::Vec{4, 4, 1},
+                 nullptr};
 }
 
 Problem paper_problem_iii() {
   return Problem{loop::paper_space_iii(),
-                 mach::MachineParams::paper_cluster(), lat::Vec{4, 4, 1}};
+                 mach::MachineParams::paper_cluster(), lat::Vec{4, 4, 1},
+                 nullptr};
 }
 
 }  // namespace tilo::core

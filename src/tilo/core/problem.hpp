@@ -4,8 +4,11 @@
 // tunable grain).
 #pragma once
 
+#include <memory>
+
 #include "tilo/exec/plan.hpp"
 #include "tilo/exec/run.hpp"
+#include "tilo/machine/model.hpp"
 #include "tilo/machine/params.hpp"
 
 namespace tilo::core {
@@ -21,6 +24,13 @@ struct Problem {
   /// Processors per dimension; the entry at the mapping dimension is
   /// ignored (forced to 1).  E.g. {4, 4, 1} for the paper's 16 processors.
   lat::Vec procs;
+  /// Optional machine model refining `machine` (imperfect overlap,
+  /// heterogeneous links, offload levels — see mach::Model).  nullptr is
+  /// the paper's ideal-overlap model over `machine` and keeps every
+  /// historical code path (and its bytes) untouched; an explicit
+  /// IdealOverlapModel is required to produce the same results
+  /// byte-for-byte (pinned by model_regression_test).
+  std::shared_ptr<const mach::Model> model;
 
   /// The paper's mapping rule applied to the original domain: the dimension
   /// with the largest extent hosts the tile columns.

@@ -405,6 +405,11 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
         const i64 bytes = util::checked_mul(pr.comm->points, ctx.bpe);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
                           obs::Phase::kFillMpiRecv};
+        // Imperfect overlap: the offloaded receive steals CPU cycles.
+        // Guarded so ideal models (stall == 0) leave the trace untouched.
+        const sim::Time rstall = ctx.cluster->recv_interference_ns(bytes);
+        if (rstall > 0)
+          co_await CpuAwait{ep, rstall, obs::Phase::kKernelRecv};
         if (ctx.opts.functional)
           apply_payload(rs, pr.comm->regions, pr.handle->payload);
       }
@@ -435,6 +440,10 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
               static_cast<int>(dst_rank),
               tag_for(ctx, dst_t, out.dir), bytes,
               std::move(payload)));
+          // Imperfect overlap: the offloaded send steals CPU cycles.
+          const sim::Time sstall = ctx.cluster->send_interference_ns(bytes);
+          if (sstall > 0)
+            co_await CpuAwait{ep, sstall, obs::Phase::kKernelSend};
         }
       }
 
@@ -473,6 +482,9 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
         const i64 bytes = util::checked_mul(pr.comm->points, ctx.bpe);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
                           obs::Phase::kFillMpiRecv};
+        const sim::Time rstall = ctx.cluster->recv_interference_ns(bytes);
+        if (rstall > 0)
+          co_await CpuAwait{ep, rstall, obs::Phase::kKernelRecv};
         if (ctx.opts.functional)
           apply_payload(rs, pr.comm->regions, pr.handle->payload);
       }
@@ -497,6 +509,9 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
             static_cast<int>(dst_rank),
             tag_for(ctx, dst_t, out.dir), bytes,
             std::move(payload)));
+        const sim::Time sstall = ctx.cluster->send_interference_ns(bytes);
+        if (sstall > 0)
+          co_await CpuAwait{ep, sstall, obs::Phase::kKernelSend};
       }
       for (auto& s : sends) co_await SendDoneAwait{*ctx.cluster, rank, s};
       sends.clear();
@@ -534,6 +549,17 @@ RunWorkspace& RunWorkspace::operator=(RunWorkspace&&) noexcept = default;
 RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
                    const mach::MachineParams& params,
                    const RunOptions& opts, RunWorkspace* workspace) {
+  // Deprecation shim (kept one release): the ideal model's hooks compute
+  // the historical direct-params expressions, so this forward is exact.
+  return run_plan(nest, plan,
+                  std::make_shared<mach::IdealOverlapModel>(params), opts,
+                  workspace);
+}
+
+RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
+                   std::shared_ptr<const mach::Model> model,
+                   const RunOptions& opts, RunWorkspace* workspace) {
+  TILO_REQUIRE(model != nullptr, "run_plan needs a machine model");
   TILO_REQUIRE(nest.domain() == plan.space.domain(),
                "plan was built for a different domain");
   if (opts.functional)
@@ -555,7 +581,7 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
   ctx.opts = opts;
   ctx.ranks = &ws.ranks;
   ctx.comm = &ws.comm;
-  ctx.bpe = params.bytes_per_element;
+  ctx.bpe = model->params().bytes_per_element;
   ctx.ndirs = static_cast<i64>(std::max<std::size_t>(
       1, plan.space.tile_deps().size()));
 
@@ -570,8 +596,8 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
   }
 
   ctx.cluster = std::make_unique<msg::Cluster>(
-      static_cast<int>(num_ranks), params, level, opts.comm.network,
-      opts.sink, opts.comm.protocol);
+      static_cast<int>(num_ranks), std::move(model), level,
+      opts.comm.network, opts.sink, opts.comm.protocol);
   if (opts.faults.drop_message >= 0)
     ctx.cluster->inject_message_loss(opts.faults.drop_message);
   ws.ranks.resize(static_cast<std::size_t>(num_ranks));

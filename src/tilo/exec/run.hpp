@@ -97,6 +97,15 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
                    const RunOptions& opts = {},
                    RunWorkspace* workspace = nullptr);
 
+/// Model-aware runs: every stage cost (and any interference stall) comes
+/// from `model`.  With an IdealOverlapModel the event trace — and thus
+/// every result field — is identical to the MachineParams overload, which
+/// in fact forwards here through the deprecation shim.
+RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
+                   std::shared_ptr<const mach::Model> model,
+                   const RunOptions& opts = {},
+                   RunWorkspace* workspace = nullptr);
+
 /// Opaque reusable execution scratch (see run_plan).  Cheap to construct;
 /// not thread-safe — use one workspace per worker thread.
 class RunWorkspace {
@@ -113,8 +122,8 @@ class RunWorkspace {
   std::unique_ptr<Impl> impl_;
 
   friend RunResult run_plan(const loop::LoopNest&, const TilePlan&,
-                            const mach::MachineParams&, const RunOptions&,
-                            RunWorkspace*);
+                            std::shared_ptr<const mach::Model>,
+                            const RunOptions&, RunWorkspace*);
 };
 
 /// Convenience: functional run + comparison against the sequential

@@ -42,10 +42,19 @@ lat::Vec vec_from_json(const Json& j, std::string_view what) {
   return lat::Vec(std::move(v));
 }
 
+/// Optional per-unit machine model ("machine_model" envelope); absent in
+/// every pre-model payload, so historical unit bytes still execute the
+/// params path unchanged.
+std::shared_ptr<const mach::Model> unit_model(const Json& j) {
+  const Json* m = j.find("machine_model");
+  return m ? pipeline::model_from_json(*m) : nullptr;
+}
+
 std::string execute_sweep_unit(const Json& j) {
   core::Problem problem{pipeline::nest_from_json(j.at("nest")),
                         pipeline::machine_from_json(j.at("machine")),
-                        vec_from_json(j.at("procs"), "fleet unit procs")};
+                        vec_from_json(j.at("procs"), "fleet unit procs"),
+                        unit_model(j)};
   const i64 V = j.at("V").as_integer("fleet unit V");
   // A one-height sweep with default options: byte-for-byte the same
   // SweepPoint the single-node sweep computes at this height (each point
@@ -58,7 +67,8 @@ std::string execute_sweep_unit(const Json& j) {
 std::string execute_sweep_batch(const Json& j) {
   core::Problem problem{pipeline::nest_from_json(j.at("nest")),
                         pipeline::machine_from_json(j.at("machine")),
-                        vec_from_json(j.at("procs"), "fleet unit procs")};
+                        vec_from_json(j.at("procs"), "fleet unit procs"),
+                        unit_model(j)};
   const Json::Array& hs = j.at("heights").as_array("fleet unit heights");
   std::vector<i64> heights;
   heights.reserve(hs.size());
@@ -82,6 +92,7 @@ std::string execute_scenario_unit(const Json& j) {
   pipeline::CompileOptions base;
   if (const Json* m = j.find("machine"))
     base.machine = pipeline::machine_from_json(*m);
+  base.model = unit_model(j);
   const svc::CompileParams params = svc::workload_from_json(j.at("workload"));
   const svc::Response resp = svc::execute_compile(base, params);
   if (resp.status == svc::RespStatus::kOk) return resp.result;
@@ -104,6 +115,10 @@ std::vector<WorkUnit> sweep_units(const core::Problem& problem,
     stamp_envelope(j, "sweep_point");
     j.set("nest", nest);
     j.set("machine", machine);
+    // Only model-carrying problems grow the payload; params-only sweeps
+    // keep their historical unit bytes.
+    if (problem.model)
+      j.set("machine_model", pipeline::model_to_json(*problem.model));
     j.set("procs", procs);
     j.set("V", Json::integer(heights[i]));
     units.push_back(WorkUnit{i, j.dump()});
@@ -147,6 +162,8 @@ std::vector<WorkUnit> sweep_batch_units(const core::Problem& problem,
     stamp_envelope(j, "sweep_batch");
     j.set("nest", nest);
     j.set("machine", machine);
+    if (problem.model)
+      j.set("machine_model", pipeline::model_to_json(*problem.model));
     j.set("procs", procs);
     Json hs = Json::array();
     for (std::size_t k = i; k < end; ++k)
@@ -176,6 +193,8 @@ std::vector<WorkUnit> scenario_units(const pipeline::ScenarioFile& scenario) {
     j.set("workload", svc::workload_to_json(params));
     if (scenario.machine)
       j.set("machine", pipeline::machine_to_json(*scenario.machine));
+    if (scenario.model)
+      j.set("machine_model", pipeline::model_to_json(*scenario.model));
     units.push_back(WorkUnit{i, j.dump()});
   }
   return units;

@@ -12,6 +12,11 @@
 //   {"tilo": "fleet.unit", "version": 1, "kind": "scenario_workload",
 //    "workload": {...svc workload object...}, "machine": {...}?}
 //
+// Either kind may additionally carry "machine_model" (a serialized
+// mach::Model envelope, see pipeline/serialize.hpp) when the sweep or
+// scenario runs under a non-default machine model; payloads without it —
+// every pre-model payload — execute the historical params path unchanged.
+//
 // Unit results are canonical dumps too (a serialized core::SweepPoint, or
 // the svc compile result object), which is what makes the controller's
 // index-keyed merge byte-identical to a single-node run: the single-node

@@ -1,6 +1,8 @@
 #include "tilo/machine/calibrate.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "tilo/util/error.hpp"
 
@@ -60,6 +62,278 @@ double fit_residual(const AffineCost& fit,
 
 std::vector<CostSample> paper_fill_mpi_samples() {
   return {{7104, 627e-6}, {8608, 745e-6}};
+}
+
+namespace {
+
+/// Deterministic uniform noise in [-noise, +noise] (splitmix-style LCG):
+/// probes must be reproducible so calibration tests are exact.
+class NoiseStream {
+ public:
+  NoiseStream(double noise, std::uint64_t seed)
+      : noise_(noise), state_(seed ? seed : 1) {}
+  double factor() {
+    if (noise_ == 0.0) return 1.0;
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u =
+        static_cast<double>(state_ >> 11) * 0x1.0p-53;  // [0, 1)
+    return 1.0 + noise_ * (2.0 * u - 1.0);
+  }
+
+ private:
+  double noise_;
+  std::uint64_t state_;
+};
+
+/// Solves the n x n system a.x = b in place (partial pivoting); returns
+/// false on a singular matrix.  n is 2 or 3 here.
+bool solve_dense(std::vector<std::vector<double>>& a,
+                 std::vector<double>& b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    if (a[pivot][col] == 0.0) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) b[i] /= a[i][i];
+  return true;
+}
+
+}  // namespace
+
+std::vector<i64> probe_sizes(i64 lo, i64 hi, int count) {
+  TILO_REQUIRE(lo >= 1 && hi >= lo, "probe_sizes: need 1 <= lo <= hi");
+  TILO_REQUIRE(count >= 1, "probe_sizes: need at least one size");
+  std::vector<i64> sizes;
+  if (count == 1 || lo == hi) {
+    sizes.push_back(lo);
+    if (hi != lo) sizes.push_back(hi);
+    return sizes;
+  }
+  const double ratio = std::pow(static_cast<double>(hi) /
+                                    static_cast<double>(lo),
+                                1.0 / static_cast<double>(count - 1));
+  for (int i = 0; i < count; ++i) {
+    const i64 s = static_cast<i64>(
+        std::llround(static_cast<double>(lo) * std::pow(ratio, i)));
+    if (sizes.empty() || s > sizes.back()) sizes.push_back(s);
+  }
+  if (sizes.back() != hi) sizes.push_back(hi);
+  return sizes;
+}
+
+std::vector<CostSample> probe_fill_mpi(const Model& model,
+                                       const std::vector<i64>& sizes,
+                                       double noise, std::uint64_t seed) {
+  NoiseStream rng(noise, seed);
+  std::vector<CostSample> samples;
+  samples.reserve(sizes.size());
+  for (i64 b : sizes)
+    samples.push_back(
+        CostSample{b, model.fill_mpi_seconds(b) * rng.factor()});
+  return samples;
+}
+
+std::vector<CostSample> probe_fill_kernel(const Model& model,
+                                          const std::vector<i64>& sizes,
+                                          double noise,
+                                          std::uint64_t seed) {
+  NoiseStream rng(noise, seed);
+  std::vector<CostSample> samples;
+  samples.reserve(sizes.size());
+  for (i64 b : sizes)
+    samples.push_back(
+        CostSample{b, model.fill_kernel_seconds(b) * rng.factor()});
+  return samples;
+}
+
+double TwoSlopeFit::at(i64 bytes) const {
+  if (mcrit <= 0) return tail.at(bytes);
+  const double below = static_cast<double>(std::min<i64>(bytes, mcrit));
+  const double above = static_cast<double>(std::max<i64>(0, bytes - mcrit));
+  return tail.base + tail.per_byte * (factor_below * below + above);
+}
+
+TwoSlopeFit fit_two_slope(const std::vector<CostSample>& samples) {
+  const AffineCost affine = fit_affine(samples);
+  TwoSlopeFit best;
+  best.tail = affine;
+  best.residual = fit_residual(affine, samples);
+  double best_sse = 0.0;
+  for (const CostSample& s : samples) {
+    const double e = affine.at(s.bytes) - s.seconds;
+    best_sse += e * e;
+  }
+  if (samples.size() < 4) return best;  // 3 parameters need 4+ points
+
+  for (const CostSample& cand : samples) {
+    const i64 m = cand.bytes;
+    if (m <= 0) continue;
+    // Breakpoints at or past the largest size leave the upper slope
+    // unidentified.
+    i64 above = 0;
+    for (const CostSample& s : samples)
+      if (s.bytes > m) ++above;
+    if (above < 2) continue;
+    // Least squares over (base, s_lo, s_hi) with regressors
+    // (1, min(b, m), max(0, b - m)).
+    std::vector<std::vector<double>> a(3, std::vector<double>(3, 0.0));
+    std::vector<double> rhs(3, 0.0);
+    for (const CostSample& s : samples) {
+      const double r[3] = {
+          1.0, static_cast<double>(std::min<i64>(s.bytes, m)),
+          static_cast<double>(std::max<i64>(0, s.bytes - m))};
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) a[i][j] += r[i] * r[j];
+        rhs[i] += r[i] * s.seconds;
+      }
+    }
+    if (!solve_dense(a, rhs)) continue;
+    const double base = rhs[0];
+    const double s_lo = rhs[1];
+    const double s_hi = rhs[2];
+    if (base < 0.0 || s_lo <= 0.0 || s_hi <= 0.0) continue;
+    // A breakpoint whose below-slope matches the tail slope is the affine
+    // curve wearing three parameters; rounding noise must not keep it.
+    if (std::fabs(s_lo / s_hi - 1.0) < 1e-6) continue;
+    double sse = 0.0;
+    TwoSlopeFit fit;
+    fit.tail = AffineCost{base, s_hi};
+    fit.mcrit = m;
+    fit.factor_below = s_lo / s_hi;
+    for (const CostSample& s : samples) {
+      const double e = fit.at(s.bytes) - s.seconds;
+      sse += e * e;
+    }
+    // Parsimony: the extra parameters must buy a real error reduction,
+    // or the affine fit (mcrit = 0) is kept.
+    if (sse < best_sse * (1.0 - 1e-9) &&
+        (best.mcrit == 0 || sse < best_sse)) {
+      best = fit;
+      best_sse = sse;
+    }
+  }
+  // Residual in the same relative terms fit_residual reports.
+  best.residual = 0.0;
+  for (const CostSample& s : samples) {
+    if (s.seconds == 0.0) continue;
+    best.residual =
+        std::max(best.residual,
+                 std::fabs(best.at(s.bytes) - s.seconds) / s.seconds);
+  }
+  return best;
+}
+
+BetaFit fit_betas(const std::vector<OverlapSample>& samples) {
+  BetaFit fit;
+  if (samples.empty()) return fit;
+  // Least squares for extra = u * kernel + w * wire with u = 1 - beta_k,
+  // w = 1 - beta_w.
+  std::vector<std::vector<double>> a(2, std::vector<double>(2, 0.0));
+  std::vector<double> rhs(2, 0.0);
+  for (const OverlapSample& s : samples) {
+    a[0][0] += s.kernel_seconds * s.kernel_seconds;
+    a[0][1] += s.kernel_seconds * s.wire_seconds;
+    a[1][0] += s.kernel_seconds * s.wire_seconds;
+    a[1][1] += s.wire_seconds * s.wire_seconds;
+    rhs[0] += s.kernel_seconds * s.extra_seconds;
+    rhs[1] += s.wire_seconds * s.extra_seconds;
+  }
+  double u = 0.0;
+  double w = 0.0;
+  if (solve_dense(a, rhs)) {
+    u = rhs[0];
+    w = rhs[1];
+  }
+  u = std::min(1.0, std::max(0.0, u));
+  w = std::min(1.0, std::max(0.0, w));
+  fit.beta_kernel = 1.0 - u;
+  fit.beta_wire = 1.0 - w;
+  double worst = 0.0;
+  double scale = 0.0;
+  for (const OverlapSample& s : samples) {
+    const double pred = u * s.kernel_seconds + w * s.wire_seconds;
+    worst = std::max(worst, std::fabs(pred - s.extra_seconds));
+    scale = std::max(scale, std::fabs(s.extra_seconds));
+  }
+  fit.residual = scale > 0.0 ? worst / scale : 0.0;
+  return fit;
+}
+
+std::vector<OverlapSample> probe_overlap(const Model& model,
+                                         const std::vector<i64>& sizes,
+                                         double noise,
+                                         std::uint64_t seed) {
+  NoiseStream rng(noise, seed);
+  std::vector<OverlapSample> samples;
+  samples.reserve(sizes.size());
+  for (i64 b : sizes) {
+    StepShape shape;
+    shape.send_bytes = {b};
+    shape.recv_bytes = {b};
+    // A compute grain an order of magnitude above the offloaded work:
+    // the step is CPU-bound, so the observed step time is cpu + extra
+    // and the interference term is directly observable.
+    const StepCost probe = model.step(shape);
+    const double t_c = model.params().t_c;
+    shape.iterations = static_cast<i64>(
+        10.0 * (probe.comm_side() + probe.cpu_side()) /
+        (t_c > 0.0 ? t_c : 1e-9)) + 1;
+    const StepCost c = model.step(shape);
+    OverlapSample s;
+    s.kernel_seconds = c.b2 + c.b3;
+    s.wire_seconds = c.b1 + c.b4;
+    s.extra_seconds =
+        std::max(0.0, model.step_seconds(shape, OverlapLevel::kDma) -
+                          c.cpu_side()) *
+        rng.factor();
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+std::shared_ptr<const Model> CalibrationReport::model() const {
+  return std::make_shared<InterferenceModel>(params, interference);
+}
+
+CalibrationReport calibrate_interference(const Model& reference,
+                                         double noise,
+                                         std::uint64_t seed) {
+  CalibrationReport rep;
+  // Scalar machine constants (t_c, t_t, latency, element width, cache)
+  // come from the reference's own spec sheet / micro-probes; this harness
+  // refits the per-message curves and the overlap efficiencies on top.
+  rep.params = reference.params();
+
+  const std::vector<i64> sizes = probe_sizes(256, 65536, 25);
+  const std::vector<CostSample> mpi =
+      probe_fill_mpi(reference, sizes, noise, seed);
+  rep.params.fill_mpi_buffer = fit_affine(mpi);
+  rep.fill_mpi_residual = fit_residual(rep.params.fill_mpi_buffer, mpi);
+
+  const std::vector<CostSample> kern =
+      probe_fill_kernel(reference, sizes, noise, seed + 1);
+  const TwoSlopeFit ts = fit_two_slope(kern);
+  rep.params.fill_kernel_buffer = ts.tail;
+  rep.interference.mcrit = ts.mcrit;
+  rep.interference.factor_below = ts.factor_below;
+  rep.fill_kernel_residual = ts.residual;
+
+  const BetaFit betas =
+      fit_betas(probe_overlap(reference, sizes, noise, seed + 2));
+  rep.interference.beta_kernel = betas.beta_kernel;
+  rep.interference.beta_wire = betas.beta_wire;
+  rep.beta_residual = betas.residual;
+  return rep;
 }
 
 }  // namespace tilo::mach

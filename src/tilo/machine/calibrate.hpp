@@ -1,11 +1,17 @@
-// Calibration: fit the affine per-message cost model from measurements —
+// Calibration: fit the per-message cost model from measurements —
 // exactly what the paper does in Section 5 ("we wrote a simple program
 // with 10,000 successive nonblocking sends ... to calculate
-// T_fill_MPI_buffer" at its observed packet sizes).
+// T_fill_MPI_buffer" at its observed packet sizes), grown into a full
+// harness: probe-run generators (mpptest-style size ladders with
+// deterministic noise injection for testing), an Mcrit two-slope fit, an
+// overlap-efficiency (beta) fit, and a one-call calibrate_interference()
+// that assembles a loadable InterferenceModel with residual reporting.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "tilo/machine/model.hpp"
 #include "tilo/machine/params.hpp"
 
 namespace tilo::mach {
@@ -31,5 +37,105 @@ double fit_residual(const AffineCost& fit,
 /// The paper's two published T_fill_MPI_buffer measurements for spaces i
 /// and ii: (7104 B, 627 us) and (8608 B, 745 us).
 std::vector<CostSample> paper_fill_mpi_samples();
+
+// --- probe-run generators ------------------------------------------------
+
+/// A geometric ladder of `count` message sizes in [lo, hi] (deduplicated,
+/// ascending) — the sizes an mpptest-style probe program would send.
+std::vector<i64> probe_sizes(i64 lo, i64 hi, int count);
+
+/// "Runs" the MPI-buffer-fill probe against a reference model: one
+/// CostSample per size, optionally perturbed by uniform relative noise in
+/// [-noise, +noise] from a deterministic LCG stream (so tests are exact).
+/// Against real hardware the same sample vector comes from wall-clock
+/// timings; everything downstream of the samples is shared.
+std::vector<CostSample> probe_fill_mpi(const Model& model,
+                                       const std::vector<i64>& sizes,
+                                       double noise = 0.0,
+                                       std::uint64_t seed = 1);
+
+/// Same for the kernel-copy stage (the curve that may carry an Mcrit
+/// breakpoint).
+std::vector<CostSample> probe_fill_kernel(const Model& model,
+                                          const std::vector<i64>& sizes,
+                                          double noise = 0.0,
+                                          std::uint64_t seed = 1);
+
+// --- two-slope (Mcrit) fit -----------------------------------------------
+
+/// cost(b) = tail.base + tail.per_byte * (factor_below * min(b, mcrit)
+///                                        + max(0, b - mcrit)):
+/// the InterferenceModel kernel-copy curve.  mcrit = 0 means the plain
+/// affine fit won (parsimony: the breakpoint must actually reduce the
+/// squared error to be kept).
+struct TwoSlopeFit {
+  AffineCost tail;           ///< base + per-byte slope above the breakpoint
+  i64 mcrit = 0;             ///< breakpoint (bytes); 0 = affine
+  double factor_below = 1.0; ///< per-byte multiplier below the breakpoint
+  double residual = 0.0;     ///< worst relative residual over the samples
+
+  double at(i64 bytes) const;
+};
+
+/// Fits the two-slope curve by exhaustive breakpoint search over the
+/// sample sizes (each candidate is a 3-parameter linear least-squares
+/// solve), falling back to fit_affine when no breakpoint helps or the
+/// fitted slopes are unphysical.
+TwoSlopeFit fit_two_slope(const std::vector<CostSample>& samples);
+
+// --- overlap-efficiency (beta) fit ----------------------------------------
+
+/// One overlap probe: the separately-measured offloaded work of a step
+/// (kernel-copy seconds and wire seconds) and the observed CPU-side
+/// inflation when the same step runs overlapped (observed step time minus
+/// the step's measured pure-CPU side, in the CPU-bound regime).
+struct OverlapSample {
+  double kernel_seconds = 0.0;
+  double wire_seconds = 0.0;
+  double extra_seconds = 0.0;
+};
+
+struct BetaFit {
+  double beta_kernel = 1.0;
+  double beta_wire = 1.0;
+  double residual = 0.0;  ///< worst |predicted - observed| / max observed
+};
+
+/// Least-squares fit of extra = (1-beta_kernel) * kernel +
+/// (1-beta_wire) * wire over the probes; betas are clamped into [0, 1].
+BetaFit fit_betas(const std::vector<OverlapSample>& samples);
+
+/// Generates overlap probes from a reference model: per size, a step with
+/// one send + one receive and a compute grain large enough to be
+/// CPU-bound, so the interference term is observable as pure CPU-side
+/// inflation.
+std::vector<OverlapSample> probe_overlap(const Model& model,
+                                         const std::vector<i64>& sizes,
+                                         double noise = 0.0,
+                                         std::uint64_t seed = 1);
+
+// --- the assembled harness -------------------------------------------------
+
+/// Everything a calibration run produces: the fitted base machine (the
+/// reference scalars with refitted fill curves), the fitted interference
+/// knobs, and per-fit residuals for quality reporting.
+struct CalibrationReport {
+  MachineParams params;
+  InterferenceConfig interference;
+  double fill_mpi_residual = 0.0;
+  double fill_kernel_residual = 0.0;
+  double beta_residual = 0.0;
+
+  /// The loadable result: an InterferenceModel over the fitted machine.
+  std::shared_ptr<const Model> model() const;
+};
+
+/// Runs the full probe suite against `reference` (per-stage fills, Mcrit
+/// search, beta fit) and returns the assembled report.  With noise = 0
+/// and an InterferenceModel reference this recovers the planted
+/// parameters exactly (pinned by calibrate_test's round-trip property).
+CalibrationReport calibrate_interference(const Model& reference,
+                                         double noise = 0.0,
+                                         std::uint64_t seed = 1);
 
 }  // namespace tilo::mach

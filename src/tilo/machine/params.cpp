@@ -17,7 +17,9 @@ std::string to_string(OverlapLevel level) {
   return {};
 }
 
-MachineParams MachineParams::paper_cluster() {
+MachineParams MachineParams::paper_cluster(double kernel_copy_ratio) {
+  TILO_REQUIRE(kernel_copy_ratio >= 0.0,
+               "paper_cluster: kernel_copy_ratio must be >= 0");
   MachineParams p;
   p.t_c = 0.441e-6;
   p.t_t = 0.08e-6;  // 100 Mb/s FastEthernet
@@ -26,7 +28,14 @@ MachineParams MachineParams::paper_cluster() {
   // Fit through (7104 B, 627 us) and (8608 B, 745 us):
   //   per_byte = (745 - 627) us / 1504 B = 78.5 ns/B, base = 69.3 us.
   p.fill_mpi_buffer = AffineCost{69.3e-6, 78.5e-9};
-  p.fill_kernel_buffer = AffineCost{69.3e-6, 78.5e-9};
+  // Kernel copies at `kernel_copy_ratio` x the MPI fill; the default 1.0
+  // is Example 3's T_fill_MPI = t_s / 2 assumption.  Ratio 1.0 must keep
+  // the historical bytes, so it bypasses the multiplication entirely.
+  p.fill_kernel_buffer =
+      kernel_copy_ratio == 1.0
+          ? p.fill_mpi_buffer
+          : AffineCost{kernel_copy_ratio * p.fill_mpi_buffer.base,
+                       kernel_copy_ratio * p.fill_mpi_buffer.per_byte};
   return p;
 }
 

@@ -88,9 +88,14 @@ struct MachineParams {
   /// The NTUA cluster of Section 5: 16 x 500 MHz Pentium III, Linux 2.2.14,
   /// MPICH over switched FastEthernet.  t_c measured 0.441 us; the MPI
   /// buffer-fill cost is an affine fit through the paper's measured points
-  /// (7104 B, 627 us) and (8608 B, 745 us); kernel copies are taken equal to
-  /// MPI copies (the paper's Example 3 assumption T_fill_MPI = t_s / 2).
-  static MachineParams paper_cluster();
+  /// (7104 B, 627 us) and (8608 B, 745 us).
+  ///
+  /// `kernel_copy_ratio` scales the kernel-copy cost (B2/B3) relative to
+  /// the MPI buffer fill: the paper never measures the split and Example 3
+  /// simply *assumes* T_fill_MPI = t_s / 2, i.e. kernel copies equal MPI
+  /// copies — the default ratio 1.0.  A calibrated machine can override it
+  /// (e.g. 0 for a zero-copy stack) without touching the fitted MPI curve.
+  static MachineParams paper_cluster(double kernel_copy_ratio = 1.0);
 
   /// The idealized constants of Examples 1 and 3 (Section 3/4):
   /// t_c = 1 us, t_s = 100 t_c (so each buffer fill is 50 t_c),

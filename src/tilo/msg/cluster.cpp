@@ -9,8 +9,15 @@ namespace tilo::msg {
 Cluster::Cluster(int num_nodes, const mach::MachineParams& params,
                  mach::OverlapLevel level, Network network,
                  obs::Sink* sink, Protocol protocol)
-    : params_(params), level_(level), network_(network),
-      protocol_(protocol), sink_(sink) {
+    : Cluster(num_nodes,
+              std::make_shared<mach::IdealOverlapModel>(params), level,
+              network, sink, protocol) {}
+
+Cluster::Cluster(int num_nodes, std::shared_ptr<const mach::Model> model,
+                 mach::OverlapLevel level, Network network,
+                 obs::Sink* sink, Protocol protocol)
+    : model_(std::move(model)), params_(model_->params()), level_(level),
+      network_(network), protocol_(protocol), sink_(sink) {
   engine_.set_sink(sink_);
   TILO_REQUIRE(num_nodes >= 1, "cluster needs at least one node");
   nodes_.resize(static_cast<std::size_t>(num_nodes));
@@ -40,25 +47,33 @@ sim::Time Cluster::run() {
 }
 
 sim::Time Cluster::fill_mpi_ns(i64 bytes) const {
-  return sim::from_seconds(params_.fill_mpi_buffer.at(bytes));
+  return sim::from_seconds(model_->fill_mpi_seconds(bytes));
 }
 
 sim::Time Cluster::fill_kernel_ns(i64 bytes) const {
-  return sim::from_seconds(params_.fill_kernel_buffer.at(bytes));
+  return sim::from_seconds(model_->fill_kernel_seconds(bytes));
 }
 
-sim::Time Cluster::half_wire_ns(i64 bytes) const {
-  return sim::from_seconds(0.5 * params_.t_t * static_cast<double>(bytes));
+sim::Time Cluster::half_wire_ns(i64 bytes, int src, int dst) const {
+  return sim::from_seconds(model_->half_wire_seconds(bytes, src, dst));
 }
 
-sim::Time Cluster::latency_ns() const {
-  return sim::from_seconds(params_.wire_latency);
+sim::Time Cluster::latency_ns(int src, int dst) const {
+  return sim::from_seconds(model_->wire_latency_seconds(src, dst));
 }
 
 sim::Time Cluster::compute_ns(i64 iterations, i64 working_set_bytes) const {
   TILO_REQUIRE(iterations >= 0, "negative iteration count");
-  return sim::from_seconds(params_.t_c * static_cast<double>(iterations) *
-                           params_.cache.factor(working_set_bytes));
+  return sim::from_seconds(
+      model_->compute_seconds(iterations, working_set_bytes));
+}
+
+sim::Time Cluster::send_interference_ns(i64 bytes) const {
+  return sim::from_seconds(model_->send_interference_seconds(bytes));
+}
+
+sim::Time Cluster::recv_interference_ns(i64 bytes) const {
+  return sim::from_seconds(model_->recv_interference_seconds(bytes));
 }
 
 sim::Resource& Cluster::send_channel(int rank) {
@@ -103,8 +118,8 @@ void Cluster::start_transfer(Message m,
     // Request-to-send travels to the receiver; the data pipeline starts
     // only once a matching receive is posted (clear_to_send).
     const int dst = m.dst;
-    engine_.after(latency_ns(), [this, dst, handle,
-                                 m = std::move(m)]() mutable {
+    const sim::Time rts = latency_ns(m.src, m.dst);
+    engine_.after(rts, [this, dst, handle, m = std::move(m)]() mutable {
       nodes_[static_cast<std::size_t>(dst)].endpoint->rts_arrived(
           std::move(m), handle);
     });
@@ -115,20 +130,22 @@ void Cluster::start_transfer(Message m,
 
 void Cluster::clear_to_send(Message m, std::shared_ptr<SendHandle> handle) {
   // CTS travels back to the sender, then the data ships.
-  engine_.after(latency_ns(), [this, handle = std::move(handle),
-                               m = std::move(m)]() mutable {
+  const sim::Time cts = latency_ns(m.dst, m.src);
+  engine_.after(cts, [this, handle = std::move(handle),
+                      m = std::move(m)]() mutable {
     start_pipeline(std::move(m), handle);
   });
 }
 
 void Cluster::start_pipeline(Message m,
                              const std::shared_ptr<SendHandle>& handle) {
-  const sim::Time b3 = fill_kernel_ns(m.bytes);
-  const sim::Time b4 = half_wire_ns(m.bytes);
-  const sim::Time b1 = b4;
-  const sim::Time b2 = fill_kernel_ns(m.bytes);
   const int src = m.src;
   const int dst = m.dst;
+  const sim::Time b3 = fill_kernel_ns(m.bytes);
+  const sim::Time b4 = half_wire_ns(m.bytes, src, dst);
+  const sim::Time b1 = b4;
+  const sim::Time b2 = fill_kernel_ns(m.bytes);
+  const sim::Time lat = latency_ns(src, dst);
 
   auto recv_leg = [this, dst, b1, b2](Message msg, sim::Time earliest) {
     auto grant = recv_channel(dst).acquire(
@@ -149,14 +166,14 @@ void Cluster::start_pipeline(Message m,
     // receiver channel picks up after the propagation latency.
     auto grant = send_channel(src).acquire(
         engine_.now(), b3 + b4,
-        [this, handle, recv_leg, m = std::move(m)]() mutable {
+        [this, handle, recv_leg, lat, m = std::move(m)]() mutable {
           handle->done = true;
           if (handle->waiter) {
             auto w = std::move(handle->waiter);
             handle->waiter = nullptr;
             w();
           }
-          recv_leg(std::move(m), engine_.now() + latency_ns());
+          recv_leg(std::move(m), engine_.now() + lat);
         });
     if (sink_) {
       sink_->span(src, obs::Phase::kKernelSend, grant.start,
@@ -170,10 +187,10 @@ void Cluster::start_pipeline(Message m,
     (void)recv_leg;  // switched-network path only
     auto grant = send_channel(src).acquire(
         engine_.now(), b3,
-        [this, handle, b4, b1, b2, src, dst, m = std::move(m)]() mutable {
+        [this, handle, b4, b1, b2, lat, src, dst, m = std::move(m)]() mutable {
           auto bus_grant = bus_->acquire(
               engine_.now(), b4 + b1,
-              [this, handle, b2, dst, m = std::move(m)]() mutable {
+              [this, handle, b2, lat, dst, m = std::move(m)]() mutable {
                 handle->done = true;
                 if (handle->waiter) {
                   auto w = std::move(handle->waiter);
@@ -182,7 +199,7 @@ void Cluster::start_pipeline(Message m,
                 }
                 // Only the kernel copy remains on the receiver channel.
                 auto grant2 = recv_channel(dst).acquire(
-                    engine_.now() + latency_ns(), b2,
+                    engine_.now() + lat, b2,
                     [this, dst, m = std::move(m)]() mutable {
                       nodes_[static_cast<std::size_t>(dst)]
                           .endpoint->deliver(std::move(m));
@@ -209,7 +226,8 @@ void Cluster::start_blocking_transfer(Message m) {
     return;  // lost on the wire
   }
   const int dst = m.dst;
-  engine_.after(latency_ns(), [this, dst, m = std::move(m)]() mutable {
+  const sim::Time lat = latency_ns(m.src, m.dst);
+  engine_.after(lat, [this, dst, m = std::move(m)]() mutable {
     nodes_[static_cast<std::size_t>(dst)].endpoint->deliver(std::move(m));
   });
 }

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "tilo/machine/model.hpp"
 #include "tilo/machine/params.hpp"
 #include "tilo/msg/endpoint.hpp"
 #include "tilo/obs/sink.hpp"
@@ -38,7 +39,17 @@ class Cluster {
  public:
   /// `sink` (optional, must outlive the cluster) observes every phase
   /// interval the cluster and its endpoints charge; nullptr disables all
-  /// recording at the cost of one branch per interval.
+  /// recording at the cost of one branch per interval.  All stage costs
+  /// come from `model` (per-link wire times, interference stalls, ...).
+  Cluster(int num_nodes, std::shared_ptr<const mach::Model> model,
+          mach::OverlapLevel level = mach::OverlapLevel::kDma,
+          Network network = Network::kSwitched,
+          obs::Sink* sink = nullptr,
+          Protocol protocol = Protocol::kEager);
+
+  /// Deprecation shim: wraps `params` in an IdealOverlapModel, whose hook
+  /// expressions match the historical direct-params arithmetic bit for
+  /// bit.  Kept for one release; migrate to the model constructor.
   Cluster(int num_nodes, const mach::MachineParams& params,
           mach::OverlapLevel level = mach::OverlapLevel::kDma,
           Network network = Network::kSwitched,
@@ -48,6 +59,7 @@ class Cluster {
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   sim::Engine& engine() { return engine_; }
   const mach::MachineParams& params() const { return params_; }
+  const mach::Model& model() const { return *model_; }
   mach::OverlapLevel level() const { return level_; }
   Protocol protocol() const { return protocol_; }
   obs::Sink* sink() { return sink_; }
@@ -90,11 +102,17 @@ class Cluster {
   std::set<void*> take_suspended() { return std::move(suspended_); }
 
   // --- cost conversion helpers (seconds model -> simulated ns) ---
+  // Wire helpers take an optional (src, dst) so heterogeneous-link models
+  // can charge per-link costs; negative endpoints mean the default link.
   sim::Time fill_mpi_ns(i64 bytes) const;
   sim::Time fill_kernel_ns(i64 bytes) const;
-  sim::Time half_wire_ns(i64 bytes) const;
-  sim::Time latency_ns() const;
+  sim::Time half_wire_ns(i64 bytes, int src = -1, int dst = -1) const;
+  sim::Time latency_ns(int src = -1, int dst = -1) const;
   sim::Time compute_ns(i64 iterations, i64 working_set_bytes = 0) const;
+  /// CPU stall charged alongside an offloaded send/recv (0 under perfect
+  /// overlap; executors guard on > 0 so ideal traces are untouched).
+  sim::Time send_interference_ns(i64 bytes) const;
+  sim::Time recv_interference_ns(i64 bytes) const;
 
  private:
   friend class Endpoint;
@@ -121,7 +139,8 @@ class Cluster {
   void start_blocking_transfer(Message m);
 
   sim::Engine engine_;
-  mach::MachineParams params_;
+  std::shared_ptr<const mach::Model> model_;
+  mach::MachineParams params_;  // = model_->params(), cached for callers
   mach::OverlapLevel level_;
   Network network_;
   Protocol protocol_;

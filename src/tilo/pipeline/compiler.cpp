@@ -69,8 +69,10 @@ void Compiler::run_stages(ArtifactStore& store, const CompileOptions& opts,
     });
   }
   timed_stage(Stage::kAnalysis, opts, label, lane, [&] {
-    store.put(run_analysis(store.nest(Stage::kAnalysis), opts.machine,
-                           opts.procs, opts.auto_procs, opts.kind));
+    store.put(run_analysis(store.nest(Stage::kAnalysis),
+                           opts.model ? opts.model->params() : opts.machine,
+                           opts.procs, opts.auto_procs, opts.kind,
+                           opts.model));
   });
   timed_stage(Stage::kTiling, opts, label, lane, [&] {
     store.put(run_tiling(store.analysis(Stage::kTiling), opts.height,
@@ -120,7 +122,7 @@ ArtifactStore Compiler::replay(const loop::LoopNest& nest,
   store.put(nest);
   timed_stage(Stage::kAnalysis, opts, std::string(), 0, [&] {
     store.put(AnalysisArtifact{
-        core::Problem{nest, machine, plan.mapping.procs()},
+        core::Problem{nest, machine, plan.mapping.procs(), nullptr},
         plan.mapped_dim, false});
   });
   timed_stage(Stage::kTiling, opts, std::string(), 0, [&] {
@@ -164,6 +166,7 @@ std::vector<ArtifactStore> Compiler::compile(
     const ScenarioWorkload& wl = scenario.workloads[i];
     CompileOptions opts = opts_;
     if (scenario.machine) opts.machine = *scenario.machine;
+    if (scenario.model) opts.model = scenario.model;
     if (wl.procs) {
       opts.procs = wl.procs;
       opts.auto_procs.reset();

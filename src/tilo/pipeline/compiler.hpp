@@ -27,6 +27,11 @@ namespace tilo::pipeline {
 /// override procs/auto_procs/height/kind.
 struct CompileOptions {
   mach::MachineParams machine = mach::MachineParams::paper_cluster();
+  /// Optional machine model.  When set it supplies every cost (ranking,
+  /// prediction, simulation) and `machine` is ignored in favor of
+  /// model->params(); nullptr keeps the historical params path, which is
+  /// byte-identical to an explicit IdealOverlapModel.
+  std::shared_ptr<const mach::Model> model;
   std::optional<lat::Vec> procs;        ///< explicit grid
   std::optional<util::i64> auto_procs;  ///< planner budget (wins over procs)
   std::optional<util::i64> height;      ///< tile height V; empty = analytic

@@ -19,6 +19,10 @@ ScenarioFile scenario_from_json(const Json& j) {
   ScenarioFile file;
   if (const Json* machine = j.find("machine"))
     file.machine = machine_from_json(*machine);
+  if (const Json* model = j.find("machine_model")) {
+    file.model = model_from_json(*model);
+    if (!file.machine) file.machine = file.model->params();
+  }
 
   const Json::Array& workloads = j.at("workloads").as_array("workloads");
   TILO_REQUIRE(!workloads.empty(), "scenario has no workloads");

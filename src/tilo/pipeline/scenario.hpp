@@ -3,6 +3,7 @@
 //
 //   {"tilo": "scenario", "version": 1,
 //    "machine": { ... },                    // optional; default paper cluster
+//    "machine_model": { ... },              // optional machine_model envelope
 //    "workloads": [
 //      {"name": "wl1",
 //       "source": "FOR i = 0 TO 15 ...",    // loop-nest grammar text
@@ -16,12 +17,14 @@
 // back to them.  `auto_procs` wins over `procs` when both are present.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "tilo/lattice/vec.hpp"
+#include "tilo/machine/model.hpp"
 #include "tilo/machine/params.hpp"
 #include "tilo/pipeline/json.hpp"
 #include "tilo/sched/tiled.hpp"
@@ -41,6 +44,10 @@ struct ScenarioWorkload {
 /// A parsed scenario file.
 struct ScenarioFile {
   std::optional<mach::MachineParams> machine;
+  /// Optional "machine_model" envelope (see serialize.hpp).  When present
+  /// it supplies both the model and (when "machine" is absent) the scalar
+  /// machine parameters.
+  std::shared_ptr<const mach::Model> model;
   std::vector<ScenarioWorkload> workloads;
 };
 

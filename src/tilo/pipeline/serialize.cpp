@@ -95,6 +95,94 @@ mach::MachineParams machine_from_json(const Json& j) {
   return m;
 }
 
+Json model_to_json(const mach::Model& model) {
+  Json j = Json::object();
+  j.set("tilo", Json::string("machine_model"));
+  j.set("version", Json::integer(kSchemaVersion));
+  j.set("model", Json::string(model.kind()));
+  j.set("machine", machine_to_json(model.params()));
+  if (const auto* m = dynamic_cast<const mach::InterferenceModel*>(&model)) {
+    Json cfg = Json::object();
+    cfg.set("beta_kernel", Json::number(m->config().beta_kernel));
+    cfg.set("beta_wire", Json::number(m->config().beta_wire));
+    cfg.set("mcrit", Json::integer(m->config().mcrit));
+    cfg.set("factor_below", Json::number(m->config().factor_below));
+    j.set("config", std::move(cfg));
+  } else if (const auto* h =
+                 dynamic_cast<const mach::HeteroLinkModel*>(&model)) {
+    Json cfg = Json::object();
+    cfg.set("contention", Json::number(h->config().contention));
+    Json links = Json::array();
+    for (const mach::LinkParams& l : h->config().links) {
+      Json link = Json::object();
+      link.set("src", Json::integer(l.src));
+      link.set("dst", Json::integer(l.dst));
+      link.set("t_t", Json::number(l.t_t));
+      link.set("latency", Json::number(l.latency));
+      links.push(std::move(link));
+    }
+    cfg.set("links", std::move(links));
+    j.set("config", std::move(cfg));
+  } else if (const auto* o = dynamic_cast<const mach::OffloadModel*>(&model)) {
+    Json cfg = Json::object();
+    cfg.set("kernel_recv", Json::boolean(o->spec().kernel_recv));
+    cfg.set("kernel_send", Json::boolean(o->spec().kernel_send));
+    cfg.set("wire", Json::boolean(o->spec().wire));
+    cfg.set("duplex", Json::boolean(o->spec().duplex));
+    cfg.set("mpi_fill", Json::boolean(o->spec().mpi_fill));
+    j.set("config", std::move(cfg));
+  }
+  return j;
+}
+
+std::shared_ptr<const mach::Model> model_from_json(const Json& j) {
+  if (!j.find("tilo")) {
+    // Pre-model machine files were a bare MachineParams object; they load
+    // as the ideal model, which reproduces their historical results.
+    return std::make_shared<mach::IdealOverlapModel>(machine_from_json(j));
+  }
+  check_envelope(j, "machine_model");
+  const std::string& name = j.at("model").as_string("model");
+  const mach::MachineParams machine = machine_from_json(j.at("machine"));
+  if (name == "ideal")
+    return std::make_shared<mach::IdealOverlapModel>(machine);
+  if (name == "interference") {
+    mach::InterferenceConfig cfg;
+    const Json& c = j.at("config");
+    cfg.beta_kernel = c.at("beta_kernel").as_number("beta_kernel");
+    cfg.beta_wire = c.at("beta_wire").as_number("beta_wire");
+    cfg.mcrit = c.at("mcrit").as_integer("mcrit");
+    cfg.factor_below = c.at("factor_below").as_number("factor_below");
+    return std::make_shared<mach::InterferenceModel>(machine, cfg);
+  }
+  if (name == "hetero") {
+    mach::HeteroConfig cfg;
+    const Json& c = j.at("config");
+    cfg.contention = c.at("contention").as_number("contention");
+    for (const Json& l : c.at("links").as_array("links")) {
+      mach::LinkParams link;
+      link.src = static_cast<int>(l.at("src").as_integer("src"));
+      link.dst = static_cast<int>(l.at("dst").as_integer("dst"));
+      link.t_t = l.at("t_t").as_number("t_t");
+      link.latency = l.at("latency").as_number("latency");
+      cfg.links.push_back(link);
+    }
+    return std::make_shared<mach::HeteroLinkModel>(machine, std::move(cfg));
+  }
+  if (name == "offload") {
+    mach::OffloadSpec spec;
+    const Json& c = j.at("config");
+    spec.kernel_recv = c.at("kernel_recv").as_bool("kernel_recv");
+    spec.kernel_send = c.at("kernel_send").as_bool("kernel_send");
+    spec.wire = c.at("wire").as_bool("wire");
+    spec.duplex = c.at("duplex").as_bool("duplex");
+    spec.mpi_fill = c.at("mpi_fill").as_bool("mpi_fill");
+    return std::make_shared<mach::OffloadModel>(machine, spec);
+  }
+  throw util::Error(util::concat("unknown machine model kind '", name,
+                                 "' in machine_model document"));
+}
+
 Json nest_to_json(const loop::LoopNest& nest) {
   Json j = Json::object();
   j.set("name", Json::string(nest.name()));
@@ -212,7 +300,7 @@ core::Recommendation recommendation_from_json(const Json& j) {
   analytic.t_predicted = a.at("t_predicted").as_number("t_predicted");
   analytic.cpu_bound = a.at("cpu_bound").as_bool("cpu_bound");
   core::Problem problem{bundle.nest, bundle.machine,
-                        bundle.plan.mapping.procs()};
+                        bundle.plan.mapping.procs(), nullptr};
   return core::Recommendation{std::move(problem), std::move(bundle.plan),
                               j.at("V").as_integer("V"),
                               j.at("predicted_seconds")

@@ -32,6 +32,18 @@ sched::ScheduleKind schedule_kind_from(std::string_view name);
 Json machine_to_json(const mach::MachineParams& machine);
 mach::MachineParams machine_from_json(const Json& j);
 
+/// Versioned machine-model envelope: {"tilo": "machine_model",
+/// "version": N, "model": <kind>, "machine": {...}[, "config": {...}]}.
+/// The config block carries the concrete model's knobs (interference
+/// betas / Mcrit, hetero links, offload spec); ideal models omit it.
+Json model_to_json(const mach::Model& model);
+
+/// Reads a machine_model envelope back into a model.  For backward
+/// compatibility a bare MachineParams object (no "tilo" key — the
+/// pre-model machine-file format) loads as an IdealOverlapModel whose
+/// results are byte-identical to the historical params path.
+std::shared_ptr<const mach::Model> model_from_json(const Json& j);
+
 /// Nest = name + domain + deps (+ source text when the body is printable,
 /// which is what makes functional replay possible).
 Json nest_to_json(const loop::LoopNest& nest);

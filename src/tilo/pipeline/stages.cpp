@@ -175,7 +175,8 @@ AnalysisArtifact run_analysis(const loop::LoopNest& nest,
                               const mach::MachineParams& machine,
                               const std::optional<Vec>& procs,
                               const std::optional<i64>& auto_procs,
-                              sched::ScheduleKind kind) {
+                              sched::ScheduleKind kind,
+                              std::shared_ptr<const mach::Model> model) {
   if (!nest.deps().is_nonneg())
     stage_fail(Stage::kAnalysis,
                util::concat("rectangular tiling needs nonnegative "
@@ -185,7 +186,7 @@ AnalysisArtifact run_analysis(const loop::LoopNest& nest,
                             nest.deps().str()));
 
   // The paper's rule: map along the dimension with the largest extent.
-  const core::Problem probe{nest, machine, Vec(nest.dims(), 1)};
+  const core::Problem probe{nest, machine, Vec(nest.dims(), 1), model};
   const std::size_t md = probe.mapped_dim();
 
   if (auto_procs) {
@@ -208,10 +209,13 @@ AnalysisArtifact run_analysis(const loop::LoopNest& nest,
     double best_predicted = 0.0;
     Vec current(nest.dims(), 1);
     enumerate_grids(cross_dims, caps, 0, total, current, [&](const Vec& g) {
-      const core::Problem candidate{nest, machine, g};
+      const core::Problem candidate{nest, machine, g, model};
       const core::AnalyticOptimum opt = analytic_for(candidate, kind);
-      const double predicted = core::predict_completion(
-          candidate.plan(opt.V, kind), machine);
+      const double predicted =
+          model ? core::predict_completion(candidate.plan(opt.V, kind),
+                                           *model)
+                : core::predict_completion(candidate.plan(opt.V, kind),
+                                           machine);
       if (!best_grid || predicted < best_predicted) {
         best_grid = g;
         best_predicted = predicted;
@@ -222,8 +226,9 @@ AnalysisArtifact run_analysis(const loop::LoopNest& nest,
                  util::concat("no processor grid with ", total,
                               " processors fits this nest (too many "
                               "processors for the cross-section?)"));
-    return AnalysisArtifact{core::Problem{nest, machine, *best_grid}, md,
-                            true};
+    return AnalysisArtifact{
+        core::Problem{nest, machine, *best_grid, std::move(model)}, md,
+        true};
   }
 
   Vec grid = procs.value_or(Vec(nest.dims(), 1));
@@ -238,8 +243,9 @@ AnalysisArtifact run_analysis(const loop::LoopNest& nest,
                  util::concat("processor grid ", grid.str(),
                               " has a non-positive entry in dimension ", d));
   grid[md] = 1;  // the mapping dimension hosts whole tile columns
-  return AnalysisArtifact{core::Problem{nest, machine, std::move(grid)}, md,
-                          false};
+  return AnalysisArtifact{
+      core::Problem{nest, machine, std::move(grid), std::move(model)}, md,
+      false};
 }
 
 TilingArtifact run_tiling(const AnalysisArtifact& analysis,
@@ -320,7 +326,9 @@ PlanArtifact run_lowering(const AnalysisArtifact& analysis,
   verify_lowered_plan(Stage::kLowering, *plan, tiling.tiling,
                       analysis.mapped_dim, problem.procs, schedule.length);
   const double predicted =
-      core::predict_completion(*plan, problem.machine, level);
+      problem.model
+          ? core::predict_completion(*plan, *problem.model, level)
+          : core::predict_completion(*plan, problem.machine, level);
   return PlanArtifact{std::move(plan), predicted};
 }
 
@@ -341,8 +349,12 @@ BackendArtifact run_backend(const loop::LoopNest& nest,
     opts.functional = config.functional;
     opts.comm = config.comm;
     opts.sink = config.sink;
-    out.run = exec::run_plan(nest, *plan.plan, analysis.problem.machine,
-                             opts, config.workspace);
+    out.run = analysis.problem.model
+                  ? exec::run_plan(nest, *plan.plan, analysis.problem.model,
+                                   opts, config.workspace)
+                  : exec::run_plan(nest, *plan.plan,
+                                   analysis.problem.machine, opts,
+                                   config.workspace);
   }
   if (config.emit_program)
     out.program = gen::generate_mpi_program(nest, *plan.plan, config.codegen);

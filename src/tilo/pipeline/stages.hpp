@@ -67,12 +67,14 @@ loop::LoopNest run_frontend(const SourceArtifact& source);
 /// factorization over the non-mapped dimensions (capped at one processor
 /// per dependence-respecting tile row) and keeps the grid whose candidate
 /// plan predicts the smallest completion time; otherwise uses `procs`
-/// (default: one processor everywhere).
-AnalysisArtifact run_analysis(const loop::LoopNest& nest,
-                              const mach::MachineParams& machine,
-                              const std::optional<lat::Vec>& procs,
-                              const std::optional<util::i64>& auto_procs,
-                              sched::ScheduleKind kind);
+/// (default: one processor everywhere).  `model` (optional) rides along on
+/// the produced Problem so downstream stages rank, predict and simulate
+/// under it; nullptr keeps the historical ideal-overlap params path.
+AnalysisArtifact run_analysis(
+    const loop::LoopNest& nest, const mach::MachineParams& machine,
+    const std::optional<lat::Vec>& procs,
+    const std::optional<util::i64>& auto_procs, sched::ScheduleKind kind,
+    std::shared_ptr<const mach::Model> model = nullptr);
 
 /// Tiling: choose the tile height (analytic optimum when `height` is
 /// empty), build the rectangular supernode, and verify H·P = I, legality

@@ -75,14 +75,18 @@ SweepPoint measure_point(const pipeline::AnalysisArtifact& analysis, i64 V,
     pipeline::verify_lowered_plan(pipeline::Stage::kLowering, *flipped,
                                   tiling.tiling, analysis.mapped_dim,
                                   problem.procs, sched_nonover.length);
-    const double predicted = predict_completion(*flipped, problem.machine);
+    const double predicted =
+        problem.model ? predict_completion(*flipped, *problem.model)
+                      : predict_completion(*flipped, problem.machine);
     nonover = pipeline::PlanArtifact{std::move(flipped), predicted};
   }
 
   pt.predicted_overlap = over.predicted_seconds;
   pt.predicted_nonoverlap = nonover.predicted_seconds;
   pt.predicted_cpu_bound =
-      predict_overlap_cpu_bound(*over.plan, problem.machine);
+      problem.model
+          ? predict_overlap_cpu_bound(*over.plan, *problem.model)
+          : predict_overlap_cpu_bound(*over.plan, problem.machine);
 
   const pipeline::BackendConfig config = backend_config(opts, workspace);
   if (opts.run_overlap) {
@@ -118,6 +122,38 @@ pipeline::AnalysisArtifact analysis_for(const Problem& problem) {
   return pipeline::AnalysisArtifact{problem, problem.mapped_dim(), false};
 }
 
+/// The ranking curves the pruning logic consults.  Null/ideal models keep
+/// the closed-form AnalyticModel (its bytes are the historical contract);
+/// a non-ideal Problem.model ranks with the model-aware analytic
+/// completion instead, so pruning decisions track the machine that will
+/// actually be simulated.
+struct RankingCurves {
+  const Problem& problem;
+  const AnalyticModel& model;
+  bool use_model;
+
+  explicit RankingCurves(const Problem& p, const AnalyticModel& m)
+      : problem(p), model(m),
+        use_model(p.model != nullptr && !p.model->ideal()) {}
+
+  double overlap(i64 V) const {
+    return use_model ? analytic_completion(problem, *problem.model, V,
+                                           ScheduleKind::kOverlap)
+                     : model.total_overlap(static_cast<double>(V));
+  }
+  double nonoverlap(i64 V) const {
+    return use_model ? analytic_completion(problem, *problem.model, V,
+                                           ScheduleKind::kNonOverlap)
+                     : model.total_nonoverlap(static_cast<double>(V));
+  }
+  double cpu_bound(i64 V) const {
+    const double v = static_cast<double>(V);
+    return use_model
+               ? analytic_completion_cpu_bound(problem, *problem.model, V)
+               : (model.c0_overlap + model.k / v) * model.cpu_side(v);
+  }
+};
+
 /// measure_point with per-kind control, for the pruned fast path: a kind
 /// outside the contending region is neither lowered nor simulated — its
 /// predictions come from the closed-form model instead of the plan.  With
@@ -128,11 +164,10 @@ SweepPoint measure_point_select(const pipeline::AnalysisArtifact& analysis,
                                 i64 V, const SweepOptions& opts,
                                 exec::RunWorkspace& workspace,
                                 bool do_overlap, bool do_nonoverlap,
-                                const AnalyticModel& model) {
+                                const RankingCurves& curves) {
   SweepPoint pt;
   pt.V = V;
   const Problem& problem = analysis.problem;
-  const double v = static_cast<double>(V);
 
   const pipeline::TilingArtifact tiling =
       pipeline::run_tiling(analysis, V, ScheduleKind::kOverlap);
@@ -148,11 +183,12 @@ SweepPoint measure_point_select(const pipeline::AnalysisArtifact& analysis,
                                   opts.plan_cache, opts.comm.level);
     pt.predicted_overlap = over.predicted_seconds;
     pt.predicted_cpu_bound =
-        predict_overlap_cpu_bound(*over.plan, problem.machine);
+        problem.model
+            ? predict_overlap_cpu_bound(*over.plan, *problem.model)
+            : predict_overlap_cpu_bound(*over.plan, problem.machine);
   } else {
-    pt.predicted_overlap = model.total_overlap(v);
-    pt.predicted_cpu_bound =
-        (model.c0_overlap + model.k / v) * model.cpu_side(v);
+    pt.predicted_overlap = curves.overlap(V);
+    pt.predicted_cpu_bound = curves.cpu_bound(V);
   }
 
   pipeline::PlanArtifact nonover;
@@ -168,7 +204,9 @@ SweepPoint measure_point_select(const pipeline::AnalysisArtifact& analysis,
       pipeline::verify_lowered_plan(pipeline::Stage::kLowering, *flipped,
                                     tiling.tiling, analysis.mapped_dim,
                                     problem.procs, sched_nonover.length);
-      const double predicted = predict_completion(*flipped, problem.machine);
+      const double predicted =
+          problem.model ? predict_completion(*flipped, *problem.model)
+                        : predict_completion(*flipped, problem.machine);
       nonover = pipeline::PlanArtifact{std::move(flipped), predicted};
     } else {
       nonover = pipeline::run_lowering(analysis, tiling, sched_nonover,
@@ -176,7 +214,7 @@ SweepPoint measure_point_select(const pipeline::AnalysisArtifact& analysis,
     }
     pt.predicted_nonoverlap = nonover.predicted_seconds;
   } else {
-    pt.predicted_nonoverlap = model.total_nonoverlap(v);
+    pt.predicted_nonoverlap = curves.nonoverlap(V);
   }
 
   if (do_overlap) {
@@ -245,6 +283,7 @@ SweepSelection sweep_select(const Problem& problem,
   const int threads = resolve_threads(opts.threads);
   const pipeline::AnalysisArtifact analysis = analysis_for(problem);
   const AnalyticModel model = derive_analytic_model(problem);
+  const RankingCurves curves(problem, model);
   const std::size_t n = heights.size();
 
   SweepSelection sel;
@@ -259,9 +298,8 @@ SweepSelection sweep_select(const Problem& problem,
   double min_non = std::numeric_limits<double>::infinity();
   std::size_t arg_over = 0, arg_non = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double v = static_cast<double>(heights[i]);
-    const double to = model.total_overlap(v);
-    const double tn = model.total_nonoverlap(v);
+    const double to = curves.overlap(heights[i]);
+    const double tn = curves.nonoverlap(heights[i]);
     if (to < min_over) {
       min_over = to;
       arg_over = i;
@@ -274,14 +312,13 @@ SweepSelection sweep_select(const Problem& problem,
   sel.V_analytic_overlap = heights[arg_over];
   sel.V_analytic_nonoverlap = heights[arg_non];
   for (std::size_t i = 0; i < n; ++i) {
-    const double v = static_cast<double>(heights[i]);
     if (opts.run_overlap &&
         (opts.exhaustive ||
-         model.total_overlap(v) <= opts.prune_slack * min_over))
+         curves.overlap(heights[i]) <= opts.prune_slack * min_over))
       sel.simulated_overlap[i] = 1;
     if (opts.run_nonoverlap &&
         (opts.exhaustive ||
-         model.total_nonoverlap(v) <= opts.prune_slack * min_non))
+         curves.nonoverlap(heights[i]) <= opts.prune_slack * min_non))
       sel.simulated_nonoverlap[i] = 1;
   }
 
@@ -295,18 +332,16 @@ SweepSelection sweep_select(const Problem& problem,
     if (do_over || do_non) {
       sel.points[i] = measure_point_select(analysis, heights[i], opts,
                                            arena_workspace(), do_over,
-                                           do_non, model);
+                                           do_non, curves);
     } else {
       SweepPoint& pt = sel.points[i];
       pt.V = heights[i];
-      const double v = static_cast<double>(heights[i]);
       const pipeline::TilingArtifact tiling =
           pipeline::run_tiling(analysis, heights[i], ScheduleKind::kOverlap);
       pt.g = tiling.tiling.tile_volume();
-      pt.predicted_overlap = model.total_overlap(v);
-      pt.predicted_nonoverlap = model.total_nonoverlap(v);
-      pt.predicted_cpu_bound =
-          (model.c0_overlap + model.k / v) * model.cpu_side(v);
+      pt.predicted_overlap = curves.overlap(heights[i]);
+      pt.predicted_nonoverlap = curves.nonoverlap(heights[i]);
+      pt.predicted_cpu_bound = curves.cpu_bound(heights[i]);
     }
     if (opts.sink) {
       opts.sink->host_span("sweep V=" + std::to_string(heights[i]), t0,

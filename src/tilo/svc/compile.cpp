@@ -19,6 +19,24 @@ Response execute_compile(const pipeline::CompileOptions& base,
   opts.functional = false;
   opts.emit_program = false;
   Response resp;
+  if (!params.model.empty()) {
+    const mach::MachineParams& machine =
+        opts.model ? opts.model->params() : opts.machine;
+    std::shared_ptr<const mach::Model> model =
+        mach::make_model(params.model, machine);
+    if (!model) {
+      resp.status = RespStatus::kBadRequest;
+      std::string names;
+      for (const std::string& n : mach::model_names()) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      resp.error = util::concat("unknown machine model \"", params.model,
+                                "\" (known: ", names, ")");
+      return resp;
+    }
+    opts.model = std::move(model);
+  }
   try {
     const pipeline::Compiler compiler(opts);
     const pipeline::ArtifactStore out =
@@ -40,8 +58,10 @@ Response execute_compile(const pipeline::CompileOptions& base,
     if (params.simulate && out.backend().run)
       r.set("simulated_seconds", Json::number(out.backend().run->seconds));
     if (params.include_plan)
-      r.set("plan", pipeline::plan_to_json(out.nest(), opts.machine,
-                                           *out.plan().plan));
+      r.set("plan", pipeline::plan_to_json(
+                        out.nest(),
+                        opts.model ? opts.model->params() : opts.machine,
+                        *out.plan().plan));
     resp.result = r.dump();
   } catch (const util::Error& e) {
     resp.status = RespStatus::kError;

@@ -51,6 +51,7 @@ Json workload_to_json(const CompileParams& p) {
                         pipeline::schedule_kind_name(p.kind))));
   if (p.simulate) w.set("simulate", Json::boolean(true));
   if (p.include_plan) w.set("include_plan", Json::boolean(true));
+  if (!p.model.empty()) w.set("model", Json::string(p.model));
   return w;
 }
 
@@ -72,6 +73,8 @@ CompileParams workload_from_json(const Json& j) {
     p.simulate = v->as_bool("workload.simulate");
   if (const Json* v = j.find("include_plan"))
     p.include_plan = v->as_bool("workload.include_plan");
+  if (const Json* v = j.find("model"))
+    p.model = v->as_string("workload.model");
   return p;
 }
 

@@ -64,6 +64,11 @@ struct CompileParams {
   sched::ScheduleKind kind = sched::ScheduleKind::kOverlap;
   bool simulate = false;              ///< also run the simulator
   bool include_plan = false;          ///< embed the full plan bundle
+  /// Machine-model registry name (mach::make_model) to compile under;
+  /// "" keeps the server's own machine/model (and, being omitted from the
+  /// workload object, leaves historical problem_key bytes unchanged).
+  /// Unknown names answer kBadRequest.
+  std::string model;
 };
 
 struct Request {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdlib>
@@ -21,13 +22,18 @@ constexpr int kExitUsage = 2;
 constexpr int kExitFileIo = 3;
 constexpr int kExitBadInput = 4;
 constexpr int kExitService = 5;
+constexpr int kExitUnknownModel = 6;
+constexpr int kExitModelFile = 7;
 
 /// Runs the CLI with `args`, captures stdout+stderr, returns {exit, output}.
 /// The exit status is decoded with WEXITSTATUS so tests can assert the
 /// CLI's documented exit codes exactly.
 std::pair<int, std::string> run_cli(const std::string& args) {
   static int counter = 0;
+  // ctest runs each discovered test as its own process, all of which start
+  // counter at 0 — the pid keeps parallel tests off each other's files.
   const std::string out_path = ::testing::TempDir() + "tilo_cli_out_" +
+                               std::to_string(::getpid()) + "_" +
                                std::to_string(counter++) + ".txt";
   const std::string cmd = std::string(TILO_CLI_PATH) + " " + args + " > " +
                           out_path + " 2>&1";
@@ -115,7 +121,8 @@ TEST(CliTest, UsageListsEveryFlag) {
   for (const char* flag :
        {"--procs", "--auto", "--height", "--schedule", "--sweep", "--gantt",
         "--emit-c", "--emit-loop", "--validate", "--trace", "--report",
-        "--pipeline", "--save-plan", "--load-plan", "--scenario"})
+        "--pipeline", "--save-plan", "--load-plan", "--scenario",
+        "--machine", "--model", "--calibrate"})
     EXPECT_NE(out.find(flag), std::string::npos) << flag << "\n" << out;
 }
 
@@ -329,4 +336,56 @@ TEST(CliTest, FleetSweepTableMatchesTheLocalSweep) {
   };
   EXPECT_EQ(table_of(fleet_out), table_of(local_out))
       << "local:\n" << local_out << "\nfleet:\n" << fleet_out;
+}
+
+TEST(CliTest, UnknownModelNameExitsSix) {
+  const auto [rc, out] = run_cli("--model warp-drive --height 64");
+  EXPECT_EQ(rc, kExitUnknownModel) << out;
+  EXPECT_NE(out.find("unknown machine model"), std::string::npos) << out;
+  // The error teaches the registry: every published name is listed.
+  EXPECT_NE(out.find("ideal"), std::string::npos) << out;
+  EXPECT_NE(out.find("interference"), std::string::npos) << out;
+}
+
+TEST(CliTest, UnreadableMachineFileExitsSeven) {
+  const auto [rc, out] =
+      run_cli("--machine /no/such/machine.json --height 64");
+  EXPECT_EQ(rc, kExitModelFile) << out;
+  EXPECT_NE(out.find("cannot open machine file"), std::string::npos) << out;
+}
+
+TEST(CliTest, InvalidMachineFileExitsSeven) {
+  const std::string path = ::testing::TempDir() + "cli_bad_machine.json";
+  {
+    std::ofstream os(path);
+    os << "{\"tilo\": \"scenario\", \"version\": 1}\n";
+  }
+  const auto [rc, out] = run_cli("--machine " + path + " --height 64");
+  EXPECT_EQ(rc, kExitModelFile) << out;
+  EXPECT_NE(out.find("invalid machine file"), std::string::npos) << out;
+}
+
+TEST(CliTest, NamedModelCompilesLocally) {
+  const auto [rc, out] =
+      run_cli("--model interference --height 64 --schedule overlap");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("overlapping:"), std::string::npos) << out;
+}
+
+TEST(CliTest, CalibrateWritesALoadableModel) {
+  const std::string path = ::testing::TempDir() + "cli_calibrated.json";
+  const auto [rc, out] = run_cli("--calibrate " + path);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("calibrated against"), std::string::npos) << out;
+  EXPECT_NE(out.find("residuals"), std::string::npos) << out;
+  // The written file loads straight back through --machine.
+  const auto [rc2, out2] =
+      run_cli("--machine " + path + " --height 64 --schedule overlap");
+  EXPECT_EQ(rc2, 0) << out2;
+  EXPECT_NE(out2.find("overlapping:"), std::string::npos) << out2;
+}
+
+TEST(CliTest, CalibrateToUnwritablePathExitsThree) {
+  const auto [rc, out] = run_cli("--calibrate /no/such/dir/model.json");
+  EXPECT_EQ(rc, kExitFileIo) << out;
 }

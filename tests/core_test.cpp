@@ -17,7 +17,7 @@ namespace {
 
 Problem small_problem() {
   return Problem{loop::stencil3d_nest(8, 8, 2048),
-                 mach::MachineParams::paper_cluster(), Vec{4, 4, 1}};
+                 mach::MachineParams::paper_cluster(), Vec{4, 4, 1}, nullptr};
 }
 
 }  // namespace

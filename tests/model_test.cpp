@@ -1,0 +1,200 @@
+// Unit tests for the mach::Model machine-model API: the ideal model's
+// bit-identity with the free-function cost path (the deprecation
+// contract), the interference model's beta/Mcrit semantics, heterogeneous
+// links, the offload-level lattice, and the model registry.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tilo/machine/cost.hpp"
+#include "tilo/machine/model.hpp"
+#include "tilo/machine/params.hpp"
+
+using namespace tilo;
+using mach::InterferenceConfig;
+using mach::InterferenceModel;
+using mach::OverlapLevel;
+using mach::StepCost;
+using mach::StepShape;
+using util::i64;
+
+namespace {
+
+StepShape paper_shape() {
+  StepShape shape;
+  shape.iterations = 16 * 444;
+  shape.working_set_bytes = 4 * 16 * 444;
+  shape.send_bytes = {4 * 444, 4 * 444};
+  shape.recv_bytes = {4 * 444, 4 * 444};
+  return shape;
+}
+
+}  // namespace
+
+TEST(ModelTest, IdealModelStepIsBitIdenticalToStepCost) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  const mach::IdealOverlapModel model(p);
+  for (i64 v : {1, 7, 64, 444, 4096}) {
+    StepShape shape;
+    shape.iterations = 16 * v;
+    shape.send_bytes = {4 * v};
+    shape.recv_bytes = {4 * v, 8 * v};
+    const StepCost direct = mach::step_cost(p, shape);
+    const StepCost via_model = model.step(shape);
+    // Exact == on doubles: the model hooks must replicate the historical
+    // accumulation order, not merely approximate it.
+    EXPECT_EQ(via_model.a1, direct.a1);
+    EXPECT_EQ(via_model.a2, direct.a2);
+    EXPECT_EQ(via_model.a3, direct.a3);
+    EXPECT_EQ(via_model.b1, direct.b1);
+    EXPECT_EQ(via_model.b2, direct.b2);
+    EXPECT_EQ(via_model.b3, direct.b3);
+    EXPECT_EQ(via_model.b4, direct.b4);
+    for (auto level : {OverlapLevel::kNone, OverlapLevel::kDma,
+                       OverlapLevel::kDuplexDma})
+      EXPECT_EQ(model.step_seconds(shape, level), direct.step_time(level));
+  }
+}
+
+TEST(ModelTest, IdealModelReportsItself) {
+  const mach::IdealOverlapModel model(mach::MachineParams::paper_cluster());
+  EXPECT_TRUE(model.ideal());
+  EXPECT_EQ(model.kind(), "ideal");
+  EXPECT_DOUBLE_EQ(model.send_interference_seconds(4096), 0.0);
+  EXPECT_DOUBLE_EQ(model.recv_interference_seconds(4096), 0.0);
+}
+
+TEST(ModelTest, BetaOneInterferenceIsBitIdenticalToIdeal) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  const mach::IdealOverlapModel ideal(p);
+  const InterferenceModel beta1(p, InterferenceConfig{});
+  EXPECT_FALSE(beta1.ideal());
+  const StepShape shape = paper_shape();
+  for (auto level : {OverlapLevel::kNone, OverlapLevel::kDma,
+                     OverlapLevel::kDuplexDma})
+    EXPECT_EQ(beta1.step_seconds(shape, level),
+              ideal.step_seconds(shape, level));
+  EXPECT_EQ(beta1.send_interference_seconds(4096), 0.0);
+  EXPECT_EQ(beta1.recv_interference_seconds(4096), 0.0);
+}
+
+TEST(ModelTest, ImperfectOverlapTaxesTheCpuSide) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  const mach::IdealOverlapModel ideal(p);
+  InterferenceConfig c;
+  c.beta_kernel = 0.5;
+  c.beta_wire = 0.8;
+  const InterferenceModel model(p, c);
+  const StepShape shape = paper_shape();
+  const StepCost cost = model.step(shape);
+  // CPU-bound shape: the overlapped step is exactly cpu + (1-beta) taxes.
+  ASSERT_GT(cost.cpu_side(), cost.comm_side());
+  const double expected =
+      cost.cpu_side() + (1.0 - c.beta_kernel) * (cost.b2 + cost.b3) +
+      (1.0 - c.beta_wire) * (cost.b1 + cost.b4);
+  EXPECT_DOUBLE_EQ(model.step_seconds(shape, OverlapLevel::kDma), expected);
+  EXPECT_GT(model.step_seconds(shape, OverlapLevel::kDma),
+            ideal.step_seconds(shape, OverlapLevel::kDma));
+  // The non-overlapping step pays everything serially either way.
+  EXPECT_EQ(model.step_seconds(shape, OverlapLevel::kNone),
+            ideal.step_seconds(shape, OverlapLevel::kNone));
+  EXPECT_GT(model.send_interference_seconds(4096), 0.0);
+  EXPECT_GT(model.recv_interference_seconds(4096), 0.0);
+}
+
+TEST(ModelTest, McritCurveIsContinuousWithSteeperHead) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  InterferenceConfig c;
+  c.mcrit = 8192;
+  c.factor_below = 2.0;
+  const InterferenceModel model(p, c);
+  const double per = p.fill_kernel_buffer.per_byte;
+  // Below the breakpoint the slope is factor_below * per_byte...
+  EXPECT_NEAR(model.fill_kernel_seconds(2048) -
+                  model.fill_kernel_seconds(1024),
+              c.factor_below * per * 1024, 1e-15);
+  // ...above it the tail slope, and the curve is continuous at Mcrit.
+  EXPECT_NEAR(model.fill_kernel_seconds(32768) -
+                  model.fill_kernel_seconds(16384),
+              per * 16384, 1e-15);
+  EXPECT_NEAR(model.fill_kernel_seconds(c.mcrit + 1) -
+                  model.fill_kernel_seconds(c.mcrit),
+              per, per);
+  // mcrit = 0 degenerates to the plain affine curve exactly.
+  const InterferenceModel plain(p, InterferenceConfig{});
+  EXPECT_EQ(plain.fill_kernel_seconds(4096), p.fill_kernel_buffer.at(4096));
+}
+
+TEST(ModelTest, HeteroLinksOverridePerPairAndFallBack) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  mach::HeteroConfig c;
+  c.links.push_back(mach::LinkParams{0, 1, 10 * p.t_t, 5 * p.wire_latency});
+  const mach::HeteroLinkModel model(p, c);
+  // The configured pair pays its own wire; every other pair the default.
+  EXPECT_DOUBLE_EQ(model.half_wire_seconds(1000, 0, 1),
+                   0.5 * 10 * p.t_t * 1000);
+  EXPECT_DOUBLE_EQ(model.half_wire_seconds(1000, 1, 0),
+                   0.5 * p.t_t * 1000);
+  EXPECT_DOUBLE_EQ(model.wire_latency_seconds(0, 1), 5 * p.wire_latency);
+  EXPECT_DOUBLE_EQ(model.wire_latency_seconds(2, 3), p.wire_latency);
+}
+
+TEST(ModelTest, SwitchContentionStretchesMultiFlowSteps) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  mach::HeteroConfig none;
+  mach::HeteroConfig contended;
+  contended.contention = 0.5;
+  const mach::HeteroLinkModel free_model(p, none);
+  const mach::HeteroLinkModel busy_model(p, contended);
+
+  StepShape one_flow;
+  one_flow.iterations = 1;
+  one_flow.send_bytes = {65536};
+  // A single flow sees no contention under either model.
+  EXPECT_EQ(busy_model.step_seconds(one_flow, OverlapLevel::kDma),
+            free_model.step_seconds(one_flow, OverlapLevel::kDma));
+
+  StepShape four_flows;
+  four_flows.iterations = 1;
+  four_flows.send_bytes = {65536, 65536};
+  four_flows.recv_bytes = {65536, 65536};
+  EXPECT_GT(busy_model.step_seconds(four_flows, OverlapLevel::kDma),
+            free_model.step_seconds(four_flows, OverlapLevel::kDma));
+}
+
+TEST(ModelTest, OffloadLevelsFormAMonotoneLattice) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  const StepShape shape = paper_shape();
+  const auto at = [&](mach::OffloadSpec spec) {
+    return mach::OffloadModel(p, spec)
+        .step_seconds(shape, OverlapLevel::kDma);
+  };
+  const double none = at(mach::OffloadSpec::none());
+  const double dma = at(mach::OffloadSpec::dma());
+  const double duplex = at(mach::OffloadSpec::duplex_dma());
+  const double rdma = at(mach::OffloadSpec::rdma());
+  // More offload can only shorten the step (Fig. 3's (a) >= (b) >= (c)).
+  EXPECT_GE(none, dma);
+  EXPECT_GE(dma, duplex);
+  EXPECT_GE(duplex, rdma);
+  // No offload serializes everything: exactly the eq. (3) step.
+  const mach::IdealOverlapModel ideal(p);
+  EXPECT_DOUBLE_EQ(none, ideal.step_seconds(shape, OverlapLevel::kNone));
+  EXPECT_GT(none, duplex);
+}
+
+TEST(ModelTest, RegistryKnowsEveryPublishedName) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  for (const std::string& name : mach::model_names()) {
+    const std::shared_ptr<const mach::Model> m = mach::make_model(name, p);
+    ASSERT_NE(m, nullptr) << name;
+    // The params travel through whole: the model is a lens over them.
+    EXPECT_DOUBLE_EQ(m->params().t_c, p.t_c) << name;
+    EXPECT_FALSE(std::string(m->kind()).empty()) << name;
+  }
+  EXPECT_EQ(mach::make_model("no-such-model", p), nullptr);
+  EXPECT_EQ(mach::make_model("", p), nullptr);
+  // "ideal" is the only registry entry that bypasses model-aware paths.
+  EXPECT_TRUE(mach::make_model("ideal", p)->ideal());
+  EXPECT_FALSE(mach::make_model("interference", p)->ideal());
+}

@@ -4,11 +4,13 @@
 // spaces.  Plus schema-envelope and malformed-input failure modes.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "tilo/core/recommend.hpp"
 #include "tilo/loopnest/parse.hpp"
+#include "tilo/machine/model.hpp"
 #include "tilo/pipeline/compiler.hpp"
 #include "tilo/pipeline/serialize.hpp"
 #include "tilo/util/error.hpp"
@@ -144,6 +146,78 @@ TEST(PipelineSerialize, RejectsTamperedNest) {
   hi.push(pipeline::Json::integer(1));
   domain->set("hi", hi);
   EXPECT_THROW(pipeline::nest_from_json(j), util::Error);
+}
+
+
+TEST(PipelineSerialize, ModelEnvelopeRoundTripsByteIdentically) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  // One model of every serializable kind, each with non-default knobs so
+  // the config block is exercised, not just the envelope.
+  std::vector<std::shared_ptr<const mach::Model>> models;
+  models.push_back(std::make_shared<mach::IdealOverlapModel>(p));
+  for (const std::string& name : mach::model_names())
+    models.push_back(mach::make_model(name, p));
+  mach::InterferenceConfig ic;
+  ic.beta_kernel = 0.63;
+  ic.beta_wire = 0.91;
+  ic.mcrit = 12288;
+  ic.factor_below = 1.75;
+  models.push_back(std::make_shared<mach::InterferenceModel>(p, ic));
+  mach::HeteroConfig hc;
+  hc.contention = 0.25;
+  hc.links.push_back(mach::LinkParams{0, 3, 2.5e-9, 1.5e-5});
+  models.push_back(std::make_shared<mach::HeteroLinkModel>(p, hc));
+
+  for (const auto& model : models) {
+    ASSERT_NE(model, nullptr);
+    const std::string first = pipeline::model_to_json(*model).dump();
+    const std::shared_ptr<const mach::Model> reloaded =
+        pipeline::model_from_json(pipeline::Json::parse(first));
+    ASSERT_NE(reloaded, nullptr) << model->kind();
+    EXPECT_EQ(reloaded->kind(), model->kind());
+    // Reserializing the reloaded model reproduces the exact bytes.
+    EXPECT_EQ(pipeline::model_to_json(*reloaded).dump(), first)
+        << model->kind();
+    // And the reloaded model prices steps identically.
+    mach::StepShape shape;
+    shape.iterations = 16 * 444;
+    shape.send_bytes = {4 * 444};
+    shape.recv_bytes = {4 * 444};
+    for (auto level :
+         {mach::OverlapLevel::kNone, mach::OverlapLevel::kDma,
+          mach::OverlapLevel::kDuplexDma})
+      EXPECT_EQ(reloaded->step_seconds(shape, level),
+                model->step_seconds(shape, level))
+          << model->kind();
+  }
+}
+
+TEST(PipelineSerialize, BareMachineParamsLoadAsIdealModel) {
+  // Pre-redesign machine files are bare MachineParams JSON with no
+  // envelope; they must keep loading, as an ideal model.
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  const pipeline::Json bare = pipeline::machine_to_json(p);
+  ASSERT_EQ(bare.find("tilo"), nullptr);
+  const std::shared_ptr<const mach::Model> model =
+      pipeline::model_from_json(bare);
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->ideal());
+  // The params round-trip bit-for-bit through the bare reader.
+  EXPECT_EQ(pipeline::machine_to_json(model->params()).dump(), bare.dump());
+}
+
+TEST(PipelineSerialize, ModelEnvelopeRejectsUnknownKind) {
+  const mach::MachineParams p = mach::MachineParams::paper_cluster();
+  pipeline::Json j =
+      pipeline::model_to_json(mach::IdealOverlapModel(p));
+  j.set("model", pipeline::Json::string("warp-drive"));
+  try {
+    pipeline::model_from_json(j);
+    FAIL() << "unknown model kind must throw";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("warp-drive"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace
