@@ -1,0 +1,166 @@
+// Tile-DAG makespan vs the ALAP lower bound (workload::alap_lower_bound).
+//
+// Runs tiled right-looking Cholesky task graphs across rank counts through
+// the event-engine list scheduler (workload::run_dag) and records, per
+// configuration, the achieved makespan next to the comm-ignoring ALAP
+// bound.  The hard contract — enforced here with exit 1 and again by
+// validate_bench.py on BENCH_dag.json — is soundness: achieved >= bound
+// for every configuration (a sub-1.0 ratio is a scheduler or bound bug,
+// never a performance win).  On one rank the bound degenerates to
+// ceil(total work / 1), which the serial schedule meets exactly, so the
+// record always contains a ratio-1.0 point; validate_bench.py additionally
+// checks that the best configuration stays within 1.25x of its bound.
+//
+//   --json[=PATH]  write BENCH_dag.json (or PATH)
+//   --quick        smaller tile grids (CI smoke; same correctness checks)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "tilo/machine/model.hpp"
+#include "tilo/pipeline/json.hpp"
+#include "tilo/util/csv.hpp"
+#include "tilo/workload/dag.hpp"
+
+namespace {
+
+struct DagPoint {
+  tilo::util::i64 nt = 0;
+  tilo::util::i64 b = 0;
+  int ranks = 0;
+  tilo::util::i64 tasks = 0;
+  tilo::util::i64 edges = 0;
+  tilo::sim::Time critical_path_ns = 0;
+  tilo::sim::Time work_bound_ns = 0;
+  tilo::sim::Time bound_ns = 0;
+  tilo::sim::Time achieved_ns = 0;
+  double ratio = 0.0;
+  bool deterministic = false;
+};
+
+DagPoint run_point(tilo::util::i64 nt, tilo::util::i64 b, int ranks,
+                   const tilo::mach::Model& model) {
+  using namespace tilo;
+  const auto dag = workload::make_cholesky_dag(nt, b);
+  const std::vector<int> owner = workload::assign_owners(*dag, ranks);
+  const workload::AlapBound bound =
+      workload::alap_lower_bound(*dag, ranks, model);
+  const exec::RunResult run =
+      workload::run_dag(*dag, owner, ranks, model, bound);
+  const exec::RunResult again =
+      workload::run_dag(*dag, owner, ranks, model, bound);
+
+  DagPoint p;
+  p.nt = nt;
+  p.b = b;
+  p.ranks = ranks;
+  p.tasks = dag->num_tasks();
+  p.edges = dag->num_edges();
+  p.critical_path_ns = bound.critical_path_ns;
+  p.work_bound_ns = bound.work_bound_ns;
+  p.bound_ns = bound.bound_ns;
+  p.achieved_ns = run.completion;
+  p.ratio = static_cast<double>(run.completion) /
+            static_cast<double>(bound.bound_ns);
+  p.deterministic = again.completion == run.completion &&
+                    again.events == run.events &&
+                    again.messages == run.messages;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tilo;
+  using util::i64;
+
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_dag.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[i] + 7;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--json[=PATH]]\n";
+      return 2;
+    }
+  }
+
+  const mach::IdealOverlapModel model(mach::MachineParams::paper_cluster());
+  const std::vector<i64> grids = quick ? std::vector<i64>{6}
+                                       : std::vector<i64>{6, 10, 14};
+  const std::vector<int> rank_counts =
+      quick ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  const i64 b = 32;
+
+  std::vector<DagPoint> points;
+  bool sound = true;
+  bool deterministic = true;
+  double min_ratio = 0.0;
+  for (const i64 nt : grids)
+    for (const int ranks : rank_counts) {
+      const DagPoint p = run_point(nt, b, ranks, model);
+      sound = sound && p.achieved_ns >= p.bound_ns;
+      deterministic = deterministic && p.deterministic;
+      if (points.empty() || p.ratio < min_ratio) min_ratio = p.ratio;
+      points.push_back(p);
+    }
+
+  util::Table t;
+  t.set_header({"nt", "ranks", "tasks", "ALAP bound", "achieved", "ratio"});
+  for (const DagPoint& p : points)
+    t.add_row({std::to_string(p.nt), std::to_string(p.ranks),
+               std::to_string(p.tasks),
+               util::fmt_seconds(1e-9 * static_cast<double>(p.bound_ns)),
+               util::fmt_seconds(1e-9 * static_cast<double>(p.achieved_ns)),
+               util::fmt_fixed(p.ratio, 3)});
+  t.write_text(std::cout);
+  std::cout << "soundness (achieved >= bound): "
+            << (sound ? "OK" : "VIOLATED") << ", best ratio "
+            << util::fmt_fixed(min_ratio, 3) << ", deterministic: "
+            << (deterministic ? "OK" : "VIOLATED") << '\n';
+
+  if (json) {
+    pipeline::Json doc = pipeline::Json::object();
+    doc.set("bench", pipeline::Json::string("dag"));
+    doc.set("quick", pipeline::Json::boolean(quick));
+    doc.set("generator", pipeline::Json::string("cholesky"));
+    doc.set("tile_side", pipeline::Json::integer(b));
+    pipeline::Json configs = pipeline::Json::array();
+    for (const DagPoint& p : points) {
+      pipeline::Json c = pipeline::Json::object();
+      c.set("nt", pipeline::Json::integer(p.nt));
+      c.set("ranks", pipeline::Json::integer(p.ranks));
+      c.set("tasks", pipeline::Json::integer(p.tasks));
+      c.set("edges", pipeline::Json::integer(p.edges));
+      c.set("critical_path_ns", pipeline::Json::integer(p.critical_path_ns));
+      c.set("work_bound_ns", pipeline::Json::integer(p.work_bound_ns));
+      c.set("alap_lower_bound_ns", pipeline::Json::integer(p.bound_ns));
+      c.set("achieved_makespan_ns", pipeline::Json::integer(p.achieved_ns));
+      c.set("bound_ratio", pipeline::Json::number(p.ratio));
+      c.set("deterministic", pipeline::Json::boolean(p.deterministic));
+      configs.push(std::move(c));
+    }
+    doc.set("configs", std::move(configs));
+    doc.set("min_bound_ratio", pipeline::Json::number(min_ratio));
+    doc.set("bound_respected", pipeline::Json::boolean(sound));
+    doc.set("deterministic", pipeline::Json::boolean(deterministic));
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "FAIL: cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    os << doc.dump() << '\n';
+    std::cout << "bench report written to " << json_path << "\n";
+  }
+
+  if (!sound || !deterministic) return 1;
+  return 0;
+}

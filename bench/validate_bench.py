@@ -8,6 +8,7 @@ Dispatches on the document's "bench" field:
   svc_load          BENCH_svc.json   (bench_svc_load --json)
   fleet_scale       BENCH_fleet.json (bench_fleet_scale --json)
   model             BENCH_model.json (bench_overlap_levels --json)
+  dag               BENCH_dag.json   (bench_dag_makespan --json)
 
 Fails (exit 1) when the file is missing, is not valid JSON, or does not
 match the schema the perf-trajectory tooling expects.
@@ -274,6 +275,65 @@ def check_model(doc):
           "beta=1 bit-identical to ideal")
 
 
+def check_dag(doc):
+    """BENCH_dag.json: tile-DAG makespans vs the ALAP lower bound.
+
+    The hard contract (quick mode included): achieved_makespan >=
+    alap_lower_bound for every configuration — a sub-1.0 ratio means the
+    bound or the scheduler is wrong, never that the schedule is fast —
+    plus run-to-run byte determinism and at least one configuration
+    within 1.25x of its bound (one rank meets ceil(work/1) exactly).
+    """
+    require(doc.get("generator") == "cholesky", "generator missing")
+    require(isinstance(doc.get("tile_side"), int) and doc["tile_side"] >= 1,
+            "tile_side missing")
+
+    configs = doc.get("configs")
+    require(isinstance(configs, list) and len(configs) >= 3,
+            "need >= 3 DAG configs")
+    min_ratio = None
+    for c in configs:
+        for key in ("nt", "ranks", "tasks", "edges", "critical_path_ns",
+                    "work_bound_ns", "alap_lower_bound_ns",
+                    "achieved_makespan_ns", "bound_ratio", "deterministic"):
+            require(key in c, f"configs[].{key} missing")
+        tag = f"nt={c['nt']} ranks={c['ranks']}"
+        require(c["ranks"] >= 1 and c["tasks"] >= 1 and c["edges"] >= 1,
+                f"{tag}: empty DAG")
+        require(c["alap_lower_bound_ns"] >=
+                max(c["critical_path_ns"], c["work_bound_ns"]),
+                f"{tag}: bound below its own components")
+        # The soundness contract: a lower bound may never exceed what a
+        # real schedule achieved.
+        require(c["achieved_makespan_ns"] >= c["alap_lower_bound_ns"],
+                f"{tag}: achieved makespan {c['achieved_makespan_ns']} ns "
+                f"below the ALAP lower bound {c['alap_lower_bound_ns']} ns "
+                "(sub-1.0 ratio = correctness bug)")
+        ratio = c["achieved_makespan_ns"] / c["alap_lower_bound_ns"]
+        require(abs(ratio - c["bound_ratio"]) < 1e-9,
+                f"{tag}: recorded bound_ratio disagrees with the ns fields")
+        require(c["deterministic"] is True, f"{tag}: reruns diverged")
+        min_ratio = ratio if min_ratio is None else min(min_ratio, ratio)
+    ranks = {c["ranks"] for c in configs}
+    require(1 in ranks, "need a 1-rank config (its ratio is exactly 1.0)")
+    require(len(ranks) >= 2, "need >= 2 distinct rank counts")
+
+    require(doc.get("bound_respected") is True,
+            "bench-side soundness check failed")
+    require(doc.get("deterministic") is True,
+            "bench-side determinism check failed")
+    require(isinstance(doc.get("min_bound_ratio"), (int, float)) and
+            abs(doc["min_bound_ratio"] - min_ratio) < 1e-9,
+            "min_bound_ratio disagrees with the configs")
+    require(min_ratio <= 1.25,
+            f"no config within 1.25x of its ALAP bound "
+            f"(best ratio {min_ratio:.3f})")
+
+    print("BENCH_dag.json schema OK:",
+          f"{len(configs)} configs over ranks {sorted(ranks)},",
+          f"best achieved/bound ratio {min_ratio:.3f}")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: validate_bench.py FILE")
@@ -300,9 +360,12 @@ def main():
         check_fleet_scale(doc)
     elif kind == "model":
         check_model(doc)
+    elif kind == "dag":
+        check_dag(doc)
     else:
         fail(f"unknown bench kind {kind!r} "
-             "(expected sweep_throughput, svc_load, fleet_scale or model)")
+             "(expected sweep_throughput, svc_load, fleet_scale, model or "
+             "dag)")
 
 
 if __name__ == "__main__":

@@ -44,6 +44,7 @@
 #include "tilo/svc/server.hpp"
 #include "tilo/trace/gantt.hpp"
 #include "tilo/util/csv.hpp"
+#include "tilo/workload/workload.hpp"
 
 namespace {
 
@@ -105,6 +106,8 @@ struct CliOptions {
   std::string machine_path;     ///< --machine: load a machine-model file
   std::string model_name;       ///< --model: registry name (mach::make_model)
   std::string calibrate_path;   ///< --calibrate: write the fitted model here
+  bool list_models = false;     ///< print the machine-model registry
+  bool list_workloads = false;  ///< print the workload-kind registry
 };
 
 bool to_i64(const std::string& text, i64& out) {
@@ -308,6 +311,18 @@ constexpr Flag kFlags[] = {
      [](CliOptions& c, const std::string& v) {
        c.calibrate_path = v;
        return !v.empty();
+     }},
+    {"--list-models", nullptr,
+     "print every machine-model registry name (--model accepts these)",
+     [](CliOptions& c, const std::string&) {
+       c.list_models = true;
+       return true;
+     }},
+    {"--list-workloads", nullptr,
+     "print every workload kind a scenario/service \"kind\" field accepts",
+     [](CliOptions& c, const std::string&) {
+       c.list_workloads = true;
+       return true;
      }},
     {"--version", nullptr,
      "print the binary version and every wire/serialization envelope "
@@ -550,7 +565,9 @@ int run_load_plan(const CliOptions& cli) {
 /// Batch mode: --scenario FILE.  One Compiler invocation compiles every
 /// workload; per-stage spans land on the workload's trace lane.  A
 /// scenario file's own "machine_model" wins over the --machine/--model
-/// flags (the file is the more specific request).
+/// flags (the file is the more specific request).  With --report each
+/// workload gets its own A/B phase table (DAG workloads print the ALAP
+/// lower bound next to the achieved makespan there).
 int run_scenario(const CliOptions& cli,
                  std::shared_ptr<const tilo::mach::Model> model) {
   using namespace tilo;
@@ -574,22 +591,47 @@ int run_scenario(const CliOptions& cli,
   // One multi-problem cache serves every workload of the batch.
   core::PlanCache cache(core::PlanCache::Scope::kMultiProblem);
   obs::ChromeTraceSink chrome;
+  obs::ReportSink report;
+  obs::MultiSink fan;
+  if (!cli.trace_path.empty()) fan.add(&chrome);
+  if (cli.report) fan.add(&report);
   pipeline::CompileOptions sopts;
   sopts.model = std::move(model);
   sopts.height = cli.height;
   sopts.auto_procs = cli.auto_procs;
   sopts.plan_cache = &cache;
   if (!cli.run_overlap) sopts.kind = sched::ScheduleKind::kNonOverlap;
-  if (!cli.trace_path.empty()) sopts.sink = &chrome;
+  if (!cli.trace_path.empty() || cli.report) sopts.sink = &fan;
 
   const pipeline::Compiler compiler(sopts);
-  const std::vector<pipeline::ArtifactStore> stores =
-      compiler.compile(*scenario);
+  std::vector<pipeline::ArtifactStore> stores;
+  std::vector<obs::RunReport> reports;
+  if (cli.report) {
+    // ReportSink aggregates every span it sees, so a per-workload phase
+    // table needs a reset between runs: compile one workload at a time
+    // through the same compiler (the shared cache and the flags' model
+    // still apply batch-wide).
+    stores.reserve(scenario->workloads.size());
+    for (const pipeline::ScenarioWorkload& wl : scenario->workloads) {
+      pipeline::ScenarioFile one;
+      one.machine = scenario->machine;
+      one.model = scenario->model;
+      one.workloads.push_back(wl);
+      report.reset();
+      std::vector<pipeline::ArtifactStore> sub = compiler.compile(one);
+      reports.push_back(report.report());
+      stores.push_back(std::move(sub.front()));
+    }
+  } else {
+    stores = compiler.compile(*scenario);
+  }
   std::cout << "scenario " << cli.scenario_path << ": " << stores.size()
             << " workload(s) compiled in one pipeline invocation\n\n";
-  for (const pipeline::ArtifactStore& store : stores) {
+  for (std::size_t i = 0; i < stores.size(); ++i) {
+    const pipeline::ArtifactStore& store = stores[i];
     std::cout << "[" << store.source().name << "]\n";
     pipeline::write_stage_log(std::cout, store);
+    if (cli.report) reports[i].write_table(std::cout);
     std::cout << '\n';
   }
   if (!cli.trace_path.empty()) {
@@ -1044,6 +1086,16 @@ int main(int argc, char** argv) {
   }
 
   if (cli.version) return print_version();
+  if (cli.list_models) {
+    for (const std::string& n : mach::model_names())
+      std::cout << n << '\n';
+    return kExitOk;
+  }
+  if (cli.list_workloads) {
+    for (const auto& [name, description] : workload::kind_registry())
+      std::cout << name << "  " << description << '\n';
+    return kExitOk;
+  }
 
   try {
     std::shared_ptr<const mach::Model> model;

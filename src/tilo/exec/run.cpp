@@ -258,6 +258,28 @@ i64 tile_working_set_bytes(const Ctx& ctx, const Box& box) {
   return util::checked_mul(cells, ctx.bpe);
 }
 
+/// Iterations charged for tile `t` covering `box`: the full box volume, or
+/// the TileCostModel's refinement for non-uniform workloads.
+i64 tile_iterations(const Ctx& ctx, const Vec& t, const Box& box) {
+  return ctx.opts.tile_costs ? ctx.opts.tile_costs->tile_iterations(t, box)
+                             : box.volume();
+}
+
+/// Bytes of the message consumed by `consumer_tile` for comm record
+/// `comm`.  Both ends of a message route through the consumer's
+/// coordinate, so sender and receiver always agree on its size.  The
+/// hook-free path never touches tile geometry (the hot path is exactly the
+/// historical constant-surface expression).
+i64 message_bytes(const Ctx& ctx, const Vec& consumer_tile,
+                  const TileComm& comm) {
+  i64 points = comm.points;
+  if (ctx.opts.tile_costs)
+    points = ctx.opts.tile_costs->message_points(
+        consumer_tile, ctx.plan->space.tile_iterations(consumer_tile),
+        comm.offset, comm.points);
+  return util::checked_mul(points, ctx.bpe);
+}
+
 void compute_tile_values(Ctx& ctx, RankState& rs, const Box& box) {
   const auto& deps = ctx.nest->deps();
   const loop::Kernel& kernel = ctx.nest->kernel();
@@ -324,7 +346,7 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
         auto h = ep.irecv(static_cast<int>(src_rank),
                           tag_for(ctx, t, in.dir));
         co_await RecvReadyAwait{*ctx.cluster, rank, h};
-        const i64 bytes = util::checked_mul(in.points, ctx.bpe);
+        const i64 bytes = message_bytes(ctx, t, in);
         co_await CpuAwait{ep,
                           ctx.cluster->half_wire_ns(bytes) +
                               ctx.cluster->fill_kernel_ns(bytes),
@@ -338,7 +360,8 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
       const Box box = space.tile_iterations(t);
       co_await CpuAwait{ep,
                         ctx.cluster->compute_ns(
-                            box.volume(), tile_working_set_bytes(ctx, box)),
+                            tile_iterations(ctx, t, box),
+                            tile_working_set_bytes(ctx, box)),
                         obs::Phase::kCompute};
       if (ctx.opts.functional) compute_tile_values(ctx, rs, box);
 
@@ -348,7 +371,7 @@ RankProgram blocking_program(Ctx& ctx, int rank) {
         const Vec dst_t = t + out.offset;
         const i64 dst_rank = mapping.rank_of_tile(dst_t);
         if (dst_rank == rank) continue;
-        const i64 bytes = util::checked_mul(out.points, ctx.bpe);
+        const i64 bytes = message_bytes(ctx, dst_t, out);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
                           obs::Phase::kFillMpiSend};
         co_await CpuAwait{ep, ctx.cluster->fill_kernel_ns(bytes),
@@ -381,6 +404,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
   struct PendingRecv {
     std::shared_ptr<msg::RecvHandle> handle;
     const TileComm* comm;
+    i64 bytes = 0;  ///< message size, resolved at post time (consumer tile)
   };
 
   const std::vector<Vec> columns = mapping.columns_of_rank(rank);
@@ -398,11 +422,12 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
         if (src_rank == rank) continue;
         auto h = ep.irecv(static_cast<int>(src_rank),
                           tag_for(ctx, t0, in.dir));
-        pending.push_back(PendingRecv{std::move(h), &in});
+        pending.push_back(
+            PendingRecv{std::move(h), &in, message_bytes(ctx, t0, in)});
       }
       for (PendingRecv& pr : pending) {
         co_await RecvReadyAwait{*ctx.cluster, rank, pr.handle};
-        const i64 bytes = util::checked_mul(pr.comm->points, ctx.bpe);
+        const i64 bytes = pr.bytes;
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
                           obs::Phase::kFillMpiRecv};
         // Imperfect overlap: the offloaded receive steals CPU cycles.
@@ -431,7 +456,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
           const Vec dst_t = prev + out.offset;
           const i64 dst_rank = mapping.rank_of_tile(dst_t);
           if (dst_rank == rank) continue;
-          const i64 bytes = util::checked_mul(out.points, ctx.bpe);
+          const i64 bytes = message_bytes(ctx, dst_t, out);
           co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
                             obs::Phase::kFillMpiSend};
           msg::Payload payload;
@@ -460,7 +485,8 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
           if (src_rank == rank) continue;
           auto h = ep.irecv(static_cast<int>(src_rank),
                             tag_for(ctx, next, in.dir));
-          pending.push_back(PendingRecv{std::move(h), &in});
+          pending.push_back(
+              PendingRecv{std::move(h), &in, message_bytes(ctx, next, in)});
         }
       }
 
@@ -468,7 +494,8 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
       const Box box = space.tile_iterations(t);
       co_await CpuAwait{ep,
                         ctx.cluster->compute_ns(
-                            box.volume(), tile_working_set_bytes(ctx, box)),
+                            tile_iterations(ctx, t, box),
+                            tile_working_set_bytes(ctx, box)),
                         obs::Phase::kCompute};
       if (ctx.opts.functional) compute_tile_values(ctx, rs, box);
 
@@ -479,7 +506,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
       // 5. ... and for the receives: kernel-ready, then the A3 CPU copy.
       for (PendingRecv& pr : pending) {
         co_await RecvReadyAwait{*ctx.cluster, rank, pr.handle};
-        const i64 bytes = util::checked_mul(pr.comm->points, ctx.bpe);
+        const i64 bytes = pr.bytes;
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
                           obs::Phase::kFillMpiRecv};
         const sim::Time rstall = ctx.cluster->recv_interference_ns(bytes);
@@ -500,7 +527,7 @@ RankProgram nonblocking_program(Ctx& ctx, int rank) {
         const Vec dst_t = tl + out.offset;
         const i64 dst_rank = mapping.rank_of_tile(dst_t);
         if (dst_rank == rank) continue;
-        const i64 bytes = util::checked_mul(out.points, ctx.bpe);
+        const i64 bytes = message_bytes(ctx, dst_t, out);
         co_await CpuAwait{ep, ctx.cluster->fill_mpi_ns(bytes),
                           obs::Phase::kFillMpiSend};
         msg::Payload payload;
@@ -565,6 +592,9 @@ RunResult run_plan(const loop::LoopNest& nest, const TilePlan& plan,
   if (opts.functional)
     TILO_REQUIRE(nest.has_kernel(),
                  "functional execution needs a loop body");
+  TILO_REQUIRE(!(opts.functional && opts.tile_costs),
+               "per-tile cost models are timed-only: trimmed messages do "
+               "not match the functional value regions");
 
   const i64 num_ranks = plan.mapping.num_ranks();
   TILO_REQUIRE(num_ranks <= std::numeric_limits<int>::max(),

@@ -34,6 +34,30 @@ struct CommConfig {
   msg::Protocol protocol = msg::Protocol::kEager;
 };
 
+/// Per-tile cost refinement for non-uniform workloads (projective nests
+/// and other domains whose tiles do not all carry the same iteration
+/// volume).  A null hook means every tile costs its full box volume and
+/// every message its full face surface — the historical constant-cost fast
+/// path, whose event trace (and result bytes) must never change.
+class TileCostModel {
+ public:
+  virtual ~TileCostModel() = default;
+
+  /// Iterations actually executed in the tile at coordinate `tile` whose
+  /// bounding box is `box` (<= box.volume()).
+  virtual util::i64 tile_iterations(const lat::Vec& tile,
+                                    const lat::Box& box) const = 0;
+
+  /// Points actually exchanged by the message consumed by `tile` (whose
+  /// bounding box is `box`) along tile-offset `offset`, where `points` is
+  /// the uniform face surface the plan's geometry derives.  Producer and
+  /// consumer both route through the consumer's coordinate, so the two
+  /// ends of one message always agree on its size.
+  virtual util::i64 message_points(const lat::Vec& tile, const lat::Box& box,
+                                   const lat::Vec& offset,
+                                   util::i64 points) const = 0;
+};
+
 /// Failure injection (tests): lets tests exercise the stall detector in
 /// run_plan without reaching into the cluster.
 struct FaultPlan {
@@ -58,6 +82,10 @@ struct RunOptions {
   obs::Sink* sink = nullptr;
   /// Failure injection (tests).
   FaultPlan faults;
+  /// Per-tile cost refinement (must outlive the call); nullptr keeps the
+  /// constant-cost fast path.  Incompatible with `functional` (trimmed
+  /// messages would no longer match the value regions).
+  const TileCostModel* tile_costs = nullptr;
 };
 
 /// Execution outcome.
@@ -73,6 +101,9 @@ struct RunResult {
   /// bytes) — the per-node extra space of Fig. 6.
   util::i64 halo_bytes = 0;
   std::uint64_t events = 0;   ///< simulator events processed
+  /// Tile-DAG runs: the ALAP-based makespan lower bound in ns (see
+  /// workload::alap_lower_bound); 0 for workloads without a DAG bound.
+  sim::Time alap_lower_bound = 0;
   /// Bytes sent per (src rank, dst rank) — the communication matrix.
   std::map<std::pair<int, int>, util::i64> traffic;
   /// Functional mode: the assembled global result field.

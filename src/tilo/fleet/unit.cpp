@@ -187,6 +187,10 @@ std::vector<WorkUnit> scenario_units(const pipeline::ScenarioFile& scenario) {
     params.auto_procs = wl.auto_procs;
     params.height = wl.height;
     if (wl.kind) params.kind = *wl.kind;
+    if (wl.workload_kind)
+      params.workload_kind =
+          std::string(workload::kind_name(*wl.workload_kind));
+    params.constraints = wl.constraints;
     params.simulate = true;  // scenario compiles simulate by default
     Json j = Json::object();
     stamp_envelope(j, "scenario_workload");

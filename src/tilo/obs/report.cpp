@@ -45,9 +45,16 @@ void ReportSink::span(int node, Phase phase, Time start, Time end,
   r.end_ns = std::max(r.end_ns, end);
 }
 
+void ReportSink::counter(std::string_view name, double delta) {
+  if (name != "dag.alap_lower_bound_ns") return;
+  std::lock_guard<std::mutex> lock(mu_);
+  alap_lower_bound_ns_ = static_cast<Time>(delta);
+}
+
 void ReportSink::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   ranks_.clear();
+  alap_lower_bound_ns_ = 0;
 }
 
 RunReport ReportSink::report() const {
@@ -55,6 +62,7 @@ RunReport ReportSink::report() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     rep.ranks = ranks_;
+    rep.alap_lower_bound_ns = alap_lower_bound_ns_;
   }
   if (rep.ranks.empty()) return rep;
 
@@ -87,6 +95,9 @@ RunReport ReportSink::report() const {
     rep.max_compute_utilization = std::max(rep.max_compute_utilization, u);
   }
   rep.mean_compute_utilization = acc / static_cast<double>(rep.ranks.size());
+  if (rep.alap_lower_bound_ns > 0 && rep.makespan > 0)
+    rep.alap_bound_ratio = static_cast<double>(rep.makespan) /
+                           static_cast<double>(rep.alap_lower_bound_ns);
   return rep;
 }
 
@@ -117,6 +128,11 @@ void RunReport::write_table(std::ostream& os) const {
      << ", share " << util::fmt_fixed(100.0 * critical_path_share, 1)
      << " %), overlap efficiency "
      << util::fmt_fixed(overlap_efficiency, 3) << " (1.0 = perfect)\n";
+  if (alap_lower_bound_ns > 0)
+    os << "ALAP lower bound "
+       << util::fmt_seconds(1e-9 * static_cast<double>(alap_lower_bound_ns))
+       << ", achieved/bound " << util::fmt_fixed(alap_bound_ratio, 3)
+       << " (1.0 = optimal, < 1.0 = bound violated)\n";
 }
 
 void RunReport::write_json(std::ostream& os) const {
@@ -132,7 +148,11 @@ void RunReport::write_json(std::ostream& os) const {
      << ",\"min_compute_utilization\":"
      << json_number(min_compute_utilization)
      << ",\"max_compute_utilization\":"
-     << json_number(max_compute_utilization) << ",\"ranks\":[";
+     << json_number(max_compute_utilization);
+  if (alap_lower_bound_ns > 0)
+    os << ",\"alap_lower_bound_ns\":" << alap_lower_bound_ns
+       << ",\"alap_bound_ratio\":" << json_number(alap_bound_ratio);
+  os << ",\"ranks\":[";
   for (std::size_t i = 0; i < ranks.size(); ++i) {
     const RankBreakdown& r = ranks[i];
     if (i) os << ',';

@@ -69,6 +69,14 @@ struct RunReport {
   double min_compute_utilization = 0.0;
   double max_compute_utilization = 0.0;
 
+  /// DAG workloads only: the ALAP makespan lower bound the run reported
+  /// through the "dag.alap_lower_bound_ns" counter, and the achieved /
+  /// bound ratio (>= 1.0 by soundness; 0 when no bound was reported).
+  /// Zero for nest-family runs — the table and JSON are byte-identical to
+  /// the pre-workload output then.
+  Time alap_lower_bound_ns = 0;
+  double alap_bound_ratio = 0.0;
+
   /// Renders the per-rank A/B table with paper terms in the header.
   void write_table(std::ostream& os) const;
 
@@ -84,12 +92,18 @@ class ReportSink final : public Sink {
   void span(int node, Phase phase, Time start, Time end,
             std::string_view label = {}) override;
 
+  /// Captures the DAG runner's "dag.alap_lower_bound_ns" counter so the
+  /// report can print achieved makespan next to its lower bound; every
+  /// other counter is ignored.
+  void counter(std::string_view name, double delta) override;
+
   RunReport report() const;
   void reset();
 
  private:
   mutable std::mutex mu_;
   std::vector<RankBreakdown> ranks_;
+  Time alap_lower_bound_ns_ = 0;
 };
 
 }  // namespace tilo::obs

@@ -40,9 +40,19 @@ const SourceArtifact& ArtifactStore::source(Stage consumer) const {
   return *source_;
 }
 
+const workload::Workload& ArtifactStore::workload(Stage consumer) const {
+  if (!workload_) missing(consumer, "workload");
+  return *workload_;
+}
+
 const loop::LoopNest& ArtifactStore::nest(Stage consumer) const {
   if (!nest_) missing(consumer, "loop-nest");
   return *nest_;
+}
+
+const DagPlanArtifact& ArtifactStore::dag_plan(Stage consumer) const {
+  if (!dag_plan_) missing(consumer, "DAG-plan");
+  return *dag_plan_;
 }
 
 const AnalysisArtifact& ArtifactStore::analysis(Stage consumer) const {
@@ -84,9 +94,19 @@ const SourceArtifact& ArtifactStore::source() const {
   return *source_;
 }
 
+const workload::Workload& ArtifactStore::workload() const {
+  if (!workload_) never_produced("workload");
+  return *workload_;
+}
+
 const loop::LoopNest& ArtifactStore::nest() const {
   if (!nest_) never_produced("loop-nest");
   return *nest_;
+}
+
+const DagPlanArtifact& ArtifactStore::dag_plan() const {
+  if (!dag_plan_) never_produced("DAG-plan");
+  return *dag_plan_;
 }
 
 const AnalysisArtifact& ArtifactStore::analysis() const {
@@ -119,6 +139,19 @@ void write_stage_log(std::ostream& os, const ArtifactStore& store) {
     const loop::LoopNest& n = store.nest();
     os << "  Frontend    nest '" << n.name() << "' domain "
        << n.domain().str() << ", deps " << n.deps().str() << '\n';
+  } else if (store.has_workload()) {
+    os << "  Frontend    " << store.workload().describe() << '\n';
+  }
+  if (store.has_workload() && store.has_nest() &&
+      store.workload().kind() != workload::Kind::kUniformNest) {
+    os << "              (" << store.workload().describe() << ")\n";
+  }
+  if (store.has_dag_plan()) {
+    const DagPlanArtifact& d = store.dag_plan();
+    os << "  Analysis    " << d.dag->num_tasks() << " tasks, "
+       << d.dag->num_edges() << " edges on " << d.ranks
+       << " rank(s), ALAP bound "
+       << util::fmt_seconds(double(d.bound.bound_ns) * 1e-9) << '\n';
   }
   if (store.has_analysis()) {
     const AnalysisArtifact& a = store.analysis();
@@ -148,7 +181,13 @@ void write_stage_log(std::ostream& os, const ArtifactStore& store) {
   if (store.has_backend()) {
     const BackendArtifact& b = store.backend();
     os << "  Backend     ";
-    if (b.run) os << "simulated " << util::fmt_seconds(b.run->seconds);
+    if (b.run) {
+      os << "simulated " << util::fmt_seconds(b.run->seconds);
+      if (b.run->alap_lower_bound > 0)
+        os << " (>= ALAP bound "
+           << util::fmt_seconds(double(b.run->alap_lower_bound) * 1e-9)
+           << ")";
+    }
     if (b.run && !b.program.empty()) os << ", ";
     if (!b.program.empty())
       os << "generated " << b.program.size() << " bytes of C";

@@ -21,10 +21,13 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "tilo/core/analytic.hpp"
 #include "tilo/core/problem.hpp"
 #include "tilo/tiling/rect.hpp"
+#include "tilo/workload/dag.hpp"
+#include "tilo/workload/workload.hpp"
 
 namespace tilo::pipeline {
 
@@ -85,11 +88,24 @@ struct BackendArtifact {
   std::string program;  ///< non-empty when codegen was requested
 };
 
+/// Analysis output for DAG workloads: the task graph bound to a rank count
+/// with owners assigned and the ALAP makespan lower bound derived.  DAG
+/// compilations skip Tiling/Scheduling/Lowering — the task graph carries
+/// its own dependence structure.
+struct DagPlanArtifact {
+  std::shared_ptr<const workload::TileDagWorkload> dag;
+  int ranks = 1;
+  std::vector<int> owner;
+  workload::AlapBound bound;
+};
+
 /// The typed artifact store one compilation flows through.
 class ArtifactStore {
  public:
   void put(SourceArtifact a) { source_ = std::move(a); }
+  void put(workload::WorkloadPtr w) { workload_ = std::move(w); }
   void put(loop::LoopNest nest) { nest_ = std::move(nest); }
+  void put(DagPlanArtifact a) { dag_plan_ = std::move(a); }
   void put(AnalysisArtifact a) { analysis_ = std::move(a); }
   void put(TilingArtifact a) { tiling_ = std::move(a); }
   void put(ScheduleArtifact a) { schedule_ = std::move(a); }
@@ -97,7 +113,12 @@ class ArtifactStore {
   void put(BackendArtifact a) { backend_ = std::move(a); }
 
   bool has_source() const { return source_.has_value(); }
+  bool has_workload() const { return workload_ != nullptr; }
+  /// The owning pointer (nullptr when no workload artifact was produced);
+  /// for consumers that need shared ownership or a kind-specific downcast.
+  const workload::WorkloadPtr& workload_ptr() const { return workload_; }
   bool has_nest() const { return nest_.has_value(); }
+  bool has_dag_plan() const { return dag_plan_.has_value(); }
   bool has_analysis() const { return analysis_.has_value(); }
   bool has_tiling() const { return tiling_.has_value(); }
   bool has_schedule() const { return schedule_.has_value(); }
@@ -107,7 +128,9 @@ class ArtifactStore {
   /// Accessors throw util::Error naming `consumer` when the artifact has
   /// not been produced yet.
   const SourceArtifact& source(Stage consumer) const;
+  const workload::Workload& workload(Stage consumer) const;
   const loop::LoopNest& nest(Stage consumer) const;
+  const DagPlanArtifact& dag_plan(Stage consumer) const;
   const AnalysisArtifact& analysis(Stage consumer) const;
   const TilingArtifact& tiling(Stage consumer) const;
   const ScheduleArtifact& schedule(Stage consumer) const;
@@ -117,7 +140,9 @@ class ArtifactStore {
   /// Post-compile accessors for consumers outside the pipeline; throw
   /// util::Error when the artifact was never produced.
   const SourceArtifact& source() const;
+  const workload::Workload& workload() const;
   const loop::LoopNest& nest() const;
+  const DagPlanArtifact& dag_plan() const;
   const AnalysisArtifact& analysis() const;
   const TilingArtifact& tiling() const;
   const ScheduleArtifact& schedule() const;
@@ -126,7 +151,9 @@ class ArtifactStore {
 
  private:
   std::optional<SourceArtifact> source_;
+  workload::WorkloadPtr workload_;
   std::optional<loop::LoopNest> nest_;
+  std::optional<DagPlanArtifact> dag_plan_;
   std::optional<AnalysisArtifact> analysis_;
   std::optional<TilingArtifact> tiling_;
   std::optional<ScheduleArtifact> schedule_;

@@ -6,6 +6,7 @@
 
 #include "tilo/core/plancache.hpp"
 #include "tilo/core/predict.hpp"
+#include "tilo/loopnest/parse.hpp"
 #include "tilo/util/error.hpp"
 
 namespace tilo::pipeline {
@@ -63,9 +64,59 @@ BackendConfig backend_config(const CompileOptions& opts) {
 
 void Compiler::run_stages(ArtifactStore& store, const CompileOptions& opts,
                           const std::string& label, int lane) const {
-  if (!store.has_nest()) {
+  const workload::Kind wkind = opts.workload_kind;
+
+  if (wkind == workload::Kind::kTileDag) {
+    // DAG workloads skip Tiling/Scheduling/Lowering: the task graph is its
+    // own dependence structure and the event engine schedules it directly.
+    const std::shared_ptr<const mach::Model> model =
+        opts.model ? opts.model
+                   : std::make_shared<const mach::IdealOverlapModel>(
+                         opts.machine);
     timed_stage(Stage::kFrontend, opts, label, lane, [&] {
-      store.put(run_frontend(store.source(Stage::kFrontend)));
+      store.put(run_workload_frontend(store.source(Stage::kFrontend), wkind,
+                                      opts.constraints));
+    });
+    timed_stage(Stage::kAnalysis, opts, label, lane, [&] {
+      auto dag = std::static_pointer_cast<const workload::TileDagWorkload>(
+          store.workload_ptr());
+      store.put(
+          run_dag_analysis(dag, opts.procs, opts.auto_procs, *model));
+    });
+    timed_stage(Stage::kBackend, opts, label, lane, [&] {
+      store.put(run_dag_backend(store.dag_plan(Stage::kBackend), *model,
+                                backend_config(opts)));
+    });
+    return;
+  }
+
+  if (!store.has_nest()) {
+    if (wkind == workload::Kind::kUniformNest && opts.constraints.empty()) {
+      // The historical path, bit for bit: parse the nest, no workload
+      // artifact (workload_regression_test pins the downstream bytes).
+      timed_stage(Stage::kFrontend, opts, label, lane, [&] {
+        store.put(run_frontend(store.source(Stage::kFrontend)));
+      });
+    } else {
+      timed_stage(Stage::kFrontend, opts, label, lane, [&] {
+        workload::WorkloadPtr w = run_workload_frontend(
+            store.source(Stage::kFrontend), wkind, opts.constraints);
+        store.put(loop::LoopNest(workload_nest(Stage::kFrontend, *w)));
+        store.put(std::move(w));
+      });
+    }
+  } else if (wkind == workload::Kind::kProjectiveNest) {
+    // compile_nest() with a projective kind: cut the caller's nest.
+    timed_stage(Stage::kFrontend, opts, label, lane, [&] {
+      const loop::LoopNest& nest = store.nest(Stage::kFrontend);
+      store.put(workload::parse_workload(wkind, nest.name(),
+                                         loop::to_source(nest),
+                                         opts.constraints));
+    });
+  } else if (!opts.constraints.empty()) {
+    timed_stage(Stage::kFrontend, opts, label, lane, [&] {
+      stage_fail(Stage::kFrontend,
+                 "constraints apply to projective workloads only");
     });
   }
   timed_stage(Stage::kAnalysis, opts, label, lane, [&] {
@@ -87,12 +138,18 @@ void Compiler::run_stages(ArtifactStore& store, const CompileOptions& opts,
                            store.tiling(Stage::kLowering),
                            store.schedule(Stage::kLowering),
                            opts.plan_cache, opts.comm.level));
+    if (wkind == workload::Kind::kProjectiveNest)
+      verify_projective_tiles(Stage::kLowering,
+                              store.workload(Stage::kLowering),
+                              *store.plan(Stage::kLowering).plan);
   });
   timed_stage(Stage::kBackend, opts, label, lane, [&] {
+    BackendConfig config = backend_config(opts);
+    if (store.has_workload())
+      config.tile_costs = store.workload(Stage::kBackend).cost_model();
     store.put(run_backend(store.nest(Stage::kBackend),
                           store.analysis(Stage::kBackend),
-                          store.plan(Stage::kBackend),
-                          backend_config(opts)));
+                          store.plan(Stage::kBackend), config));
   });
 }
 
@@ -174,6 +231,8 @@ std::vector<ArtifactStore> Compiler::compile(
     if (wl.auto_procs) opts.auto_procs = wl.auto_procs;
     if (wl.height) opts.height = wl.height;
     if (wl.kind) opts.kind = *wl.kind;
+    if (wl.workload_kind) opts.workload_kind = *wl.workload_kind;
+    if (!wl.constraints.empty()) opts.constraints = wl.constraints;
 
     ArtifactStore store;
     store.put(SourceArtifact{wl.name, wl.source});

@@ -36,6 +36,15 @@ struct CompileOptions {
   std::optional<util::i64> auto_procs;  ///< planner budget (wins over procs)
   std::optional<util::i64> height;      ///< tile height V; empty = analytic
   sched::ScheduleKind kind = sched::ScheduleKind::kOverlap;
+  /// Workload family the source text belongs to.  kUniformNest is the
+  /// historical path; kTileDag routes Frontend → Analysis → Backend over
+  /// the task graph (no Tiling/Scheduling/Lowering); kProjectiveNest runs
+  /// the uniform stages on the bounding nest and threads the workload's
+  /// per-tile cost model into the Backend.
+  workload::Kind workload_kind = workload::Kind::kUniformNest;
+  /// Projective cut planes ("d1 <= d0 + c" grammar); must be empty for
+  /// other kinds.
+  std::vector<std::string> constraints;
   exec::CommConfig comm;
   bool functional = false;     ///< Backend: move real values
   bool simulate = true;        ///< Backend: run the simulator

@@ -34,6 +34,11 @@ ScenarioFile scenario_from_json(const Json& j) {
     else
       wl.name = util::concat("workload", i);
     wl.source = w.at("source").as_string("source");
+    if (const Json* kind = w.find("kind"))
+      wl.workload_kind = workload::kind_from(kind->as_string("kind"));
+    if (const Json* constraints = w.find("constraints"))
+      for (const Json& c : constraints->as_array("constraints"))
+        wl.constraints.push_back(c.as_string("constraints"));
     if (const Json* procs = w.find("procs")) {
       std::vector<i64> grid;
       for (const Json& c : procs->as_array("procs"))

@@ -7,6 +7,9 @@
 //    "workloads": [
 //      {"name": "wl1",
 //       "source": "FOR i = 0 TO 15 ...",    // loop-nest grammar text
+//       "kind": "uniform",                  // optional workload family:
+//                                           //   uniform | dag | projective
+//       "constraints": ["d1 <= d0"],        // projective cut planes only
 //       "procs": [4, 4, 1],                 // optional explicit grid
 //       "auto_procs": 16,                   // optional planner budget
 //       "height": 64,                       // optional tile height V
@@ -15,6 +18,10 @@
 //
 // Per-workload fields override the compiler's defaults; absent fields fall
 // back to them.  `auto_procs` wins over `procs` when both are present.
+// "kind" selects the workload family ("source" is the generator spec for
+// DAGs, e.g. "cholesky nt=6 b=32"); an absent "kind" means uniform, so
+// every pre-existing scenario file parses and compiles unchanged — the
+// schema version stays at 1.
 #pragma once
 
 #include <memory>
@@ -28,13 +35,18 @@
 #include "tilo/machine/params.hpp"
 #include "tilo/pipeline/json.hpp"
 #include "tilo/sched/tiled.hpp"
+#include "tilo/workload/workload.hpp"
 
 namespace tilo::pipeline {
 
 /// One workload of a scenario.
 struct ScenarioWorkload {
   std::string name;
-  std::string source;  ///< loop-nest grammar text
+  std::string source;  ///< loop-nest grammar text / DAG generator spec
+  /// Workload family ("kind" in JSON); absent = uniform, the historical
+  /// default — pre-existing files compile byte-identically.
+  std::optional<workload::Kind> workload_kind;
+  std::vector<std::string> constraints;  ///< projective cut planes
   std::optional<lat::Vec> procs;
   std::optional<i64> auto_procs;
   std::optional<i64> height;

@@ -10,6 +10,8 @@
 #include "tilo/loopnest/parse.hpp"
 #include "tilo/sched/tiled.hpp"
 #include "tilo/util/error.hpp"
+#include "tilo/workload/projective.hpp"
+#include "tilo/workload/uniform.hpp"
 
 namespace tilo::pipeline {
 
@@ -131,6 +133,82 @@ void verify_lowered_plan(Stage stage, const exec::TilePlan& plan,
                           schedule_length));
 }
 
+void verify_dag_acyclic(Stage stage, const workload::TileDagWorkload& dag) {
+  try {
+    (void)workload::topo_order(dag);
+  } catch (const util::Error& e) {
+    stage_fail(stage, e.what());
+  }
+}
+
+void verify_dag_alap(Stage stage, const workload::TileDagWorkload& dag,
+                     int ranks, const mach::Model& model,
+                     const workload::AlapBound& bound) {
+  if (bound.alap.size() != static_cast<std::size_t>(dag.num_tasks()))
+    stage_fail(stage, util::concat("ALAP bound carries ", bound.alap.size(),
+                                   " task values for a ", dag.num_tasks(),
+                                   "-task graph"));
+  sim::Time max_alap = 0;
+  for (std::size_t i = 0; i < bound.alap.size(); ++i) {
+    if (bound.alap[i] <= 0)
+      stage_fail(stage, util::concat("task '", dag.tasks()[i].label,
+                                     "' has non-positive ALAP value ",
+                                     bound.alap[i]));
+    max_alap = std::max(max_alap, bound.alap[i]);
+  }
+  if (bound.critical_path_ns != max_alap)
+    stage_fail(stage, util::concat("ALAP critical path ",
+                                   bound.critical_path_ns,
+                                   " ns disagrees with max task alap ",
+                                   max_alap, " ns"));
+  if (bound.bound_ns !=
+      std::max(bound.critical_path_ns, bound.work_bound_ns))
+    stage_fail(stage,
+               util::concat("ALAP bound ", bound.bound_ns,
+                            " ns is not max(critical path ",
+                            bound.critical_path_ns, ", work bound ",
+                            bound.work_bound_ns, ")"));
+  const workload::AlapBound again =
+      workload::alap_lower_bound(dag, ranks, model);
+  if (again.bound_ns != bound.bound_ns || again.alap != bound.alap)
+    stage_fail(stage, util::concat("ALAP bound is not reproducible: "
+                                   "recomputation gives ",
+                                   again.bound_ns, " ns, artifact holds ",
+                                   bound.bound_ns, " ns"));
+}
+
+void verify_projective_tiles(Stage stage, const workload::Workload& wl,
+                             const exec::TilePlan& plan) {
+  const exec::TileCostModel* costs = wl.cost_model();
+  if (!costs)
+    stage_fail(stage, util::concat("projective workload '", wl.name(),
+                                   "' supplies no per-tile cost model"));
+  i64 total = 0;
+  i64 full_tiles = 0, cut_tiles = 0;
+  plan.space.for_each_tile([&](const Vec& t) {
+    const lat::Box box = plan.space.tile_iterations(t);
+    const i64 vol = costs->tile_iterations(t, box);
+    if (vol < 0 || vol > box.volume())
+      stage_fail(stage, util::concat("tile ", t.str(), " carries volume ",
+                                     vol, " outside [0, ", box.volume(),
+                                     "] — the cut domain escapes its "
+                                     "bounding box"));
+    total = util::checked_add(total, vol);
+    ++(vol == box.volume() ? full_tiles : cut_tiles);
+  });
+  if (total != wl.domain_points())
+    stage_fail(stage, util::concat("per-tile volumes sum to ", total,
+                                   " but the constrained domain holds ",
+                                   wl.domain_points(), " points"));
+  if (cut_tiles == 0)
+    stage_fail(stage, util::concat("the constraints cut no tile: every "
+                                   "tile of '",
+                                   wl.name(),
+                                   "' carries its full box volume — "
+                                   "declare the workload uniform instead"));
+  (void)full_tiles;
+}
+
 // ------------------------------------------------------------------- stages
 
 loop::LoopNest run_frontend(const SourceArtifact& source) {
@@ -138,6 +216,55 @@ loop::LoopNest run_frontend(const SourceArtifact& source) {
     stage_fail(Stage::kFrontend,
                util::concat("empty source '", source.name, "'"));
   return loop::parse_nest(source.text);
+}
+
+workload::WorkloadPtr run_workload_frontend(
+    const SourceArtifact& source, workload::Kind kind,
+    const std::vector<std::string>& constraints) {
+  if (source.text.empty())
+    stage_fail(Stage::kFrontend,
+               util::concat("empty source '", source.name, "'"));
+  return workload::parse_workload(kind, source.name, source.text,
+                                  constraints);
+}
+
+const loop::LoopNest& workload_nest(Stage stage,
+                                    const workload::Workload& wl) {
+  switch (wl.kind()) {
+    case workload::Kind::kUniformNest:
+      return static_cast<const workload::UniformNestWorkload&>(wl).nest();
+    case workload::Kind::kProjectiveNest:
+      return static_cast<const workload::ProjectiveNestWorkload&>(wl)
+          .nest();
+    case workload::Kind::kTileDag:
+      break;
+  }
+  stage_fail(stage, util::concat("workload '", wl.name(),
+                                 "' is a task graph, not a loop nest"));
+}
+
+DagPlanArtifact run_dag_analysis(
+    const std::shared_ptr<const workload::TileDagWorkload>& dag,
+    const std::optional<Vec>& procs, const std::optional<i64>& auto_procs,
+    const mach::Model& model) {
+  i64 ranks = 1;
+  if (auto_procs) {
+    ranks = *auto_procs;
+  } else if (procs) {
+    ranks = 1;
+    for (i64 p : *procs) ranks = util::checked_mul(ranks, p);
+  }
+  if (ranks < 1)
+    stage_fail(Stage::kAnalysis,
+               util::concat("need at least one rank, got ", ranks));
+  verify_dag_acyclic(Stage::kAnalysis, *dag);
+  DagPlanArtifact out;
+  out.dag = dag;
+  out.ranks = static_cast<int>(ranks);
+  out.owner = workload::assign_owners(*dag, out.ranks);
+  out.bound = workload::alap_lower_bound(*dag, out.ranks, model);
+  verify_dag_alap(Stage::kAnalysis, *dag, out.ranks, model, out.bound);
+  return out;
 }
 
 namespace {
@@ -349,6 +476,7 @@ BackendArtifact run_backend(const loop::LoopNest& nest,
     opts.functional = config.functional;
     opts.comm = config.comm;
     opts.sink = config.sink;
+    opts.tile_costs = config.tile_costs;
     out.run = analysis.problem.model
                   ? exec::run_plan(nest, *plan.plan, analysis.problem.model,
                                    opts, config.workspace)
@@ -358,6 +486,24 @@ BackendArtifact run_backend(const loop::LoopNest& nest,
   }
   if (config.emit_program)
     out.program = gen::generate_mpi_program(nest, *plan.plan, config.codegen);
+  return out;
+}
+
+BackendArtifact run_dag_backend(const DagPlanArtifact& plan,
+                                const mach::Model& model,
+                                const BackendConfig& config) {
+  if (config.functional)
+    stage_fail(Stage::kBackend,
+               "DAG workloads have no functional execution: tasks carry "
+               "iteration weights, not loop bodies");
+  if (config.emit_program)
+    stage_fail(Stage::kBackend,
+               "code generation targets loop nests; DAG workloads are "
+               "simulate-only");
+  BackendArtifact out;
+  if (config.simulate)
+    out.run = workload::run_dag(*plan.dag, plan.owner, plan.ranks, model,
+                                plan.bound, config.sink);
   return out;
 }
 

@@ -57,10 +57,49 @@ void verify_lowered_plan(Stage stage, const exec::TilePlan& plan,
                          std::size_t mapped_dim, const lat::Vec& procs,
                          util::i64 schedule_length);
 
+/// DAG workloads: the task graph must be acyclic (Kahn order exists).
+void verify_dag_acyclic(Stage stage, const workload::TileDagWorkload& dag);
+
+/// DAG workloads: the ALAP bound must be internally consistent — one alap
+/// value per task, every alap >= the task's own weight, the critical path
+/// equal to max alap, and bound = max(critical path, work refinement) — and
+/// must reproduce an independent recomputation under the same model/ranks.
+void verify_dag_alap(Stage stage, const workload::TileDagWorkload& dag,
+                     int ranks, const mach::Model& model,
+                     const workload::AlapBound& bound);
+
+/// Projective workloads: per-tile cut volumes must be contained (each tile
+/// carries 0 <= volume <= its box volume, volumes sum to the constrained
+/// domain's point count) and must actually vary — a cut leaving every tile
+/// at full volume is vacuous, and the workload should be declared uniform.
+void verify_projective_tiles(Stage stage, const workload::Workload& wl,
+                             const exec::TilePlan& plan);
+
 // ------------------------------------------------------------------- stages
 
 /// Frontend: parse the loop-nest grammar (loop::parse_nest).
 loop::LoopNest run_frontend(const SourceArtifact& source);
+
+/// Kind-dispatched frontend: builds the Workload for `kind` from the
+/// source text (workload::parse_workload).  The uniform path parses the
+/// same grammar through the same loop::parse_nest as run_frontend, so the
+/// downstream artifacts are byte-identical.
+workload::WorkloadPtr run_workload_frontend(
+    const SourceArtifact& source, workload::Kind kind,
+    const std::vector<std::string>& constraints);
+
+/// The nest a nest-family workload wraps; fails the stage for DAGs.
+const loop::LoopNest& workload_nest(Stage stage,
+                                    const workload::Workload& wl);
+
+/// DAG Analysis: resolve the rank count (product of `procs`, or
+/// `auto_procs` directly, or 1), assign block-cyclic owners, verify
+/// acyclicity, and derive + verify the ALAP lower bound under `model`.
+/// DAG compilations skip Tiling/Scheduling/Lowering entirely.
+DagPlanArtifact run_dag_analysis(
+    const std::shared_ptr<const workload::TileDagWorkload>& dag,
+    const std::optional<lat::Vec>& procs,
+    const std::optional<util::i64>& auto_procs, const mach::Model& model);
 
 /// Analysis: validate the dependence model and bind the nest to a machine
 /// and a processor grid.  With `auto_procs`, enumerates every ordered
@@ -107,6 +146,9 @@ struct BackendConfig {
   exec::CommConfig comm;
   obs::Sink* sink = nullptr;             ///< forwarded into run_plan
   exec::RunWorkspace* workspace = nullptr;
+  /// Per-tile cost hook (projective nests); nullptr keeps the constant-cost
+  /// fast path.  Timed-mode only — run_plan rejects it with functional.
+  const exec::TileCostModel* tile_costs = nullptr;
 };
 
 /// Backend: simulate and/or emit code for the lowered plan.
@@ -114,5 +156,12 @@ BackendArtifact run_backend(const loop::LoopNest& nest,
                             const AnalysisArtifact& analysis,
                             const PlanArtifact& plan,
                             const BackendConfig& config);
+
+/// DAG Backend: execute the task graph on the event engine (run_dag) under
+/// `model`; honors config.simulate/sink (codegen and functional execution
+/// are nest-family features and fail the stage if requested).
+BackendArtifact run_dag_backend(const DagPlanArtifact& plan,
+                                const mach::Model& model,
+                                const BackendConfig& config);
 
 }  // namespace tilo::pipeline

@@ -19,6 +19,18 @@ Response execute_compile(const pipeline::CompileOptions& base,
   opts.functional = false;
   opts.emit_program = false;
   Response resp;
+  if (!params.workload_kind.empty()) {
+    try {
+      opts.workload_kind = workload::kind_from(params.workload_kind);
+    } catch (const util::Error& e) {
+      resp.status = RespStatus::kBadRequest;
+      resp.error = e.what();
+      return resp;
+    }
+  } else {
+    opts.workload_kind = workload::Kind::kUniformNest;
+  }
+  opts.constraints = params.constraints;
   if (!params.model.empty()) {
     const mach::MachineParams& machine =
         opts.model ? opts.model->params() : opts.machine;
@@ -41,8 +53,32 @@ Response execute_compile(const pipeline::CompileOptions& base,
     const pipeline::Compiler compiler(opts);
     const pipeline::ArtifactStore out =
         compiler.compile_source(params.name, params.source);
+    if (opts.workload_kind == workload::Kind::kTileDag) {
+      const pipeline::DagPlanArtifact& dag = out.dag_plan();
+      Json r = Json::object();
+      r.set("name", Json::string(params.name));
+      r.set("kind", Json::string(std::string(
+                        workload::kind_name(opts.workload_kind))));
+      r.set("ranks", Json::integer(dag.ranks));
+      r.set("tasks", Json::integer(dag.dag->num_tasks()));
+      r.set("alap_lower_bound_seconds",
+            Json::number(1e-9 * static_cast<double>(dag.bound.bound_ns)));
+      if (params.simulate && out.backend().run) {
+        const exec::RunResult& run = *out.backend().run;
+        r.set("simulated_seconds", Json::number(run.seconds));
+        if (run.alap_lower_bound > 0)
+          r.set("bound_ratio",
+                Json::number(static_cast<double>(run.completion) /
+                             static_cast<double>(run.alap_lower_bound)));
+      }
+      resp.result = r.dump();
+      return resp;
+    }
     Json r = Json::object();
     r.set("name", Json::string(params.name));
+    if (opts.workload_kind != workload::Kind::kUniformNest)
+      r.set("kind", Json::string(std::string(
+                        workload::kind_name(opts.workload_kind))));
     const lat::Vec& procs = out.analysis().problem.procs;
     Json procs_json = Json::array();
     for (std::size_t d = 0; d < procs.size(); ++d)

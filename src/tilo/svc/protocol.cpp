@@ -52,6 +52,13 @@ Json workload_to_json(const CompileParams& p) {
   if (p.simulate) w.set("simulate", Json::boolean(true));
   if (p.include_plan) w.set("include_plan", Json::boolean(true));
   if (!p.model.empty()) w.set("model", Json::string(p.model));
+  if (!p.workload_kind.empty())
+    w.set("kind", Json::string(p.workload_kind));
+  if (!p.constraints.empty()) {
+    Json a = Json::array();
+    for (const std::string& c : p.constraints) a.push(Json::string(c));
+    w.set("constraints", std::move(a));
+  }
   return w;
 }
 
@@ -75,6 +82,11 @@ CompileParams workload_from_json(const Json& j) {
     p.include_plan = v->as_bool("workload.include_plan");
   if (const Json* v = j.find("model"))
     p.model = v->as_string("workload.model");
+  if (const Json* v = j.find("kind"))
+    p.workload_kind = v->as_string("workload.kind");
+  if (const Json* v = j.find("constraints"))
+    for (const Json& c : v->as_array("workload.constraints"))
+      p.constraints.push_back(c.as_string("workload.constraints"));
   return p;
 }
 

@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "tilo/lattice/vec.hpp"
 #include "tilo/pipeline/json.hpp"
@@ -69,6 +70,12 @@ struct CompileParams {
   /// workload object, leaves historical problem_key bytes unchanged).
   /// Unknown names answer kBadRequest.
   std::string model;
+  /// Workload family (workload::kind_name) of `source`; "" means uniform
+  /// and is omitted from the workload object, so historical problem_key
+  /// bytes are unchanged.  Unknown names answer kBadRequest.
+  std::string workload_kind;
+  /// Projective cut planes; empty is omitted from the wire.
+  std::vector<std::string> constraints;
 };
 
 struct Request {

@@ -1,0 +1,370 @@
+#include "tilo/workload/dag.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <utility>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::workload {
+
+TileDagWorkload::TileDagWorkload(std::string name, std::vector<DagTask> tasks)
+    : Workload(std::move(name)), tasks_(std::move(tasks)) {
+  TILO_REQUIRE(!tasks_.empty(), "tile DAG has no tasks");
+  const i64 n = static_cast<i64>(tasks_.size());
+  for (i64 t = 0; t < n; ++t) {
+    const DagTask& task = tasks_[static_cast<std::size_t>(t)];
+    TILO_REQUIRE(task.iterations >= 0, "task ", task.label,
+                 ": negative iteration weight");
+    TILO_REQUIRE(task.deps.size() == task.dep_bytes.size(), "task ",
+                 task.label, ": dep_bytes not parallel to deps");
+    for (std::size_t e = 0; e < task.deps.size(); ++e) {
+      TILO_REQUIRE(task.deps[e] >= 0 && task.deps[e] < n, "task ",
+                   task.label, ": edge to out-of-range task ", task.deps[e]);
+      TILO_REQUIRE(task.dep_bytes[e] >= 0, "task ", task.label,
+                   ": negative edge bytes");
+    }
+    total_iterations_ =
+        util::checked_add(total_iterations_, task.iterations);
+    num_edges_ += static_cast<i64>(task.deps.size());
+  }
+}
+
+std::string TileDagWorkload::describe() const {
+  return util::concat("tile DAG ", name(), ": ", num_tasks(), " task(s), ",
+                      num_edges_, " edge(s), ", total_iterations_,
+                      " iterations");
+}
+
+std::shared_ptr<const TileDagWorkload> make_cholesky_dag(
+    i64 nt, i64 tile_side, i64 bytes_per_element) {
+  TILO_REQUIRE(nt >= 1, "cholesky: nt must be >= 1, got ", nt);
+  TILO_REQUIRE(tile_side >= 1, "cholesky: tile side must be >= 1, got ",
+               tile_side);
+  const i64 b3 = util::checked_mul(util::checked_mul(tile_side, tile_side),
+                                   tile_side);
+  const i64 tile_bytes = util::checked_mul(
+      util::checked_mul(tile_side, tile_side), bytes_per_element);
+
+  std::vector<DagTask> tasks;
+  // Task ids, filled as the k-major construction reaches each kernel.
+  std::map<std::pair<i64, i64>, i64> potrf, trsm;   // (k,k) / (i,k)
+  std::map<std::pair<i64, i64>, std::vector<i64>> updates;  // into A[i][j]
+
+  const auto add = [&](std::string label, i64 iters, i64 ws, i64 row,
+                       std::vector<i64> deps) -> i64 {
+    DagTask t;
+    t.label = std::move(label);
+    t.iterations = iters;
+    t.working_set_bytes = ws;
+    t.affinity = row;
+    t.dep_bytes.assign(deps.size(), tile_bytes);
+    t.deps = std::move(deps);
+    tasks.push_back(std::move(t));
+    return static_cast<i64>(tasks.size()) - 1;
+  };
+
+  for (i64 k = 0; k < nt; ++k) {
+    // POTRF(k): factor A[k][k] after every symmetric update into it.
+    potrf[{k, k}] = add(util::concat("potrf(", k, ")"), b3 / 3, tile_bytes,
+                        k, std::move(updates[{k, k}]));
+    for (i64 i = k + 1; i < nt; ++i) {
+      // TRSM(i,k): solve against POTRF(k) after the GEMM updates into
+      // A[i][k].
+      std::vector<i64> deps = std::move(updates[{i, k}]);
+      deps.push_back(potrf[{k, k}]);
+      trsm[{i, k}] = add(util::concat("trsm(", i, ",", k, ")"), b3,
+                         2 * tile_bytes, i, std::move(deps));
+    }
+    for (i64 i = k + 1; i < nt; ++i) {
+      // SYRK(i,k): A[i][i] -= A[i][k] A[i][k]^T.
+      updates[{i, i}].push_back(add(util::concat("syrk(", i, ",", k, ")"),
+                                    b3, 2 * tile_bytes, i,
+                                    {trsm[{i, k}]}));
+      // GEMM(i,j,k): A[i][j] -= A[i][k] A[j][k]^T for k < j < i.
+      for (i64 j = k + 1; j < i; ++j)
+        updates[{i, j}].push_back(
+            add(util::concat("gemm(", i, ",", j, ",", k, ")"), 2 * b3,
+                3 * tile_bytes, i, {trsm[{i, k}], trsm[{j, k}]}));
+    }
+  }
+  return std::make_shared<TileDagWorkload>(
+      util::concat("cholesky nt=", nt, " b=", tile_side), std::move(tasks));
+}
+
+std::vector<i64> topo_order(const TileDagWorkload& dag) {
+  const std::vector<DagTask>& tasks = dag.tasks();
+  const std::size_t n = tasks.size();
+  std::vector<i64> indegree(n, 0);
+  std::vector<std::vector<i64>> succs(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    indegree[t] = static_cast<i64>(tasks[t].deps.size());
+    for (i64 d : tasks[t].deps)
+      succs[static_cast<std::size_t>(d)].push_back(static_cast<i64>(t));
+  }
+  std::vector<i64> order;
+  order.reserve(n);
+  // A plain FIFO over ascending ids keeps the order deterministic.
+  std::queue<i64> ready;
+  for (std::size_t t = 0; t < n; ++t)
+    if (indegree[t] == 0) ready.push(static_cast<i64>(t));
+  while (!ready.empty()) {
+    const i64 t = ready.front();
+    ready.pop();
+    order.push_back(t);
+    for (i64 s : succs[static_cast<std::size_t>(t)])
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push(s);
+  }
+  if (order.size() != n) {
+    for (std::size_t t = 0; t < n; ++t)
+      if (indegree[t] > 0)
+        throw util::Error(util::concat("tile DAG has a cycle through task ",
+                                       tasks[t].label));
+  }
+  return order;
+}
+
+std::vector<int> assign_owners(const TileDagWorkload& dag, int ranks) {
+  TILO_REQUIRE(ranks >= 1, "tile DAG needs at least one rank, got ", ranks);
+  std::vector<int> owner;
+  owner.reserve(dag.tasks().size());
+  for (const DagTask& t : dag.tasks()) {
+    const i64 a = t.affinity % ranks;
+    owner.push_back(static_cast<int>(a < 0 ? a + ranks : a));
+  }
+  return owner;
+}
+
+namespace {
+
+sim::Time task_ns(const DagTask& t, const mach::Model& model) {
+  return sim::from_seconds(
+      model.compute_seconds(t.iterations, t.working_set_bytes));
+}
+
+using util::ceil_div;
+
+}  // namespace
+
+AlapBound alap_lower_bound(const TileDagWorkload& dag, int ranks,
+                           const mach::Model& model) {
+  TILO_REQUIRE(ranks >= 1, "ALAP bound needs at least one rank, got ",
+               ranks);
+  const std::vector<DagTask>& tasks = dag.tasks();
+  const std::vector<i64> order = topo_order(dag);
+
+  std::vector<sim::Time> w(tasks.size(), 0);
+  for (std::size_t t = 0; t < tasks.size(); ++t)
+    w[t] = task_ns(tasks[t], model);
+
+  AlapBound bound;
+  bound.alap.assign(tasks.size(), 0);
+  // Reverse topological sweep: alap(t) = w(t) + max over successors.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto t = static_cast<std::size_t>(*it);
+    bound.alap[t] = util::checked_add(bound.alap[t], w[t]);
+    for (i64 d : tasks[t].deps) {
+      const auto dep = static_cast<std::size_t>(d);
+      bound.alap[dep] = std::max(bound.alap[dep], bound.alap[t]);
+    }
+  }
+  for (sim::Time a : bound.alap)
+    bound.critical_path_ns = std::max(bound.critical_path_ns, a);
+
+  // ALAP-level work refinement: every task of S_L = {alap >= L} must
+  // finish by makespan - L + w(t) <= makespan - L + wmax(S_L), and W(S_L)
+  // processor-ns have to fit into `ranks` processors by then.
+  std::vector<std::size_t> by_alap(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) by_alap[t] = t;
+  std::sort(by_alap.begin(), by_alap.end(),
+            [&](std::size_t x, std::size_t y) {
+              return bound.alap[x] > bound.alap[y];
+            });
+  sim::Time work = 0, wmax = 0;
+  for (std::size_t i = 0; i < by_alap.size(); ++i) {
+    const std::size_t t = by_alap[i];
+    work = util::checked_add(work, w[t]);
+    wmax = std::max(wmax, w[t]);
+    const bool level_done = i + 1 == by_alap.size() ||
+                            bound.alap[by_alap[i + 1]] != bound.alap[t];
+    if (level_done)
+      bound.work_bound_ns =
+          std::max(bound.work_bound_ns,
+                   bound.alap[t] - wmax + ceil_div(work, ranks));
+  }
+  // The plain aggregate-work bound (L = 0, so to speak): subsumes the
+  // level candidates when wmax dominates the shallow levels, and makes
+  // the single-rank bound exact.
+  bound.work_bound_ns =
+      std::max(bound.work_bound_ns, ceil_div(work, ranks));
+  bound.bound_ns = std::max(bound.critical_path_ns, bound.work_bound_ns);
+  return bound;
+}
+
+namespace {
+
+/// The deterministic list scheduler run_dag drives on the event engine.
+struct DagRun {
+  const std::vector<DagTask>* tasks = nullptr;
+  const std::vector<int>* owner = nullptr;
+  const mach::Model* model = nullptr;
+  const AlapBound* bound = nullptr;
+  obs::Sink* sink = nullptr;
+
+  sim::Engine engine;
+  std::vector<std::vector<std::pair<i64, i64>>> succs;  // (succ, bytes)
+  std::vector<i64> missing;  ///< unmet predecessor deliveries per task
+  std::vector<char> busy;    ///< one task at a time per rank
+
+  /// Ready tasks per rank: highest ALAP first (critical path first),
+  /// lowest id on ties — a deterministic strict weak order.
+  struct Prio {
+    const AlapBound* bound;
+    bool operator()(i64 x, i64 y) const {
+      const sim::Time ax = bound->alap[static_cast<std::size_t>(x)];
+      const sim::Time ay = bound->alap[static_cast<std::size_t>(y)];
+      if (ax != ay) return ax < ay;  // priority_queue: top = max
+      return x > y;
+    }
+  };
+  std::vector<std::priority_queue<i64, std::vector<i64>, Prio>> ready;
+
+  i64 executed = 0;
+  i64 messages = 0;
+  i64 bytes = 0;
+  i64 inflight = 0;
+  i64 peak_inflight = 0;
+  sim::Time completion = 0;
+  std::map<std::pair<int, int>, i64> traffic;
+
+  void satisfy(i64 t) {
+    if (--missing[static_cast<std::size_t>(t)] == 0) {
+      const int r = (*owner)[static_cast<std::size_t>(t)];
+      ready[static_cast<std::size_t>(r)].push(t);
+      try_start(r);
+    }
+  }
+
+  void try_start(int r) {
+    auto& q = ready[static_cast<std::size_t>(r)];
+    if (busy[static_cast<std::size_t>(r)] || q.empty()) return;
+    const i64 t = q.top();
+    q.pop();
+    busy[static_cast<std::size_t>(r)] = 1;
+    const sim::Time start = engine.now();
+    const sim::Time dur =
+        task_ns((*tasks)[static_cast<std::size_t>(t)], *model);
+    DagRun* self = this;
+    engine.after(dur, [self, t, start] { self->finish(t, start); });
+  }
+
+  void finish(i64 t, sim::Time start) {
+    const auto ti = static_cast<std::size_t>(t);
+    const int src = (*owner)[ti];
+    if (sink)
+      sink->span(src, obs::Phase::kCompute, start, engine.now(),
+                 (*tasks)[ti].label);
+    ++executed;
+    completion = std::max(completion, engine.now());
+    busy[static_cast<std::size_t>(src)] = 0;
+    for (const auto& [s, eb] : succs[ti]) {
+      const int dst = (*owner)[static_cast<std::size_t>(s)];
+      if (dst == src) {
+        satisfy(s);
+        continue;
+      }
+      // Cross-rank edge: one message paying latency + a full wire
+      // traversal under the model's link costs.
+      const sim::Time wire = sim::from_seconds(
+          model->wire_latency_seconds(src, dst) +
+          2.0 * model->half_wire_seconds(eb, src, dst));
+      ++messages;
+      bytes = util::checked_add(bytes, eb);
+      traffic[{src, dst}] += eb;
+      inflight += eb;
+      peak_inflight = std::max(peak_inflight, inflight);
+      if (sink)
+        sink->span(src, obs::Phase::kWire, engine.now(),
+                   engine.now() + wire,
+                   (*tasks)[static_cast<std::size_t>(s)].label);
+      DagRun* self = this;
+      const i64 succ = s;
+      const i64 edge_bytes = eb;
+      engine.after(wire, [self, succ, edge_bytes] {
+        self->inflight -= edge_bytes;
+        self->satisfy(succ);
+      });
+    }
+    try_start(src);
+  }
+};
+
+}  // namespace
+
+exec::RunResult run_dag(const TileDagWorkload& dag,
+                        const std::vector<int>& owner, int ranks,
+                        const mach::Model& model, const AlapBound& bound,
+                        obs::Sink* sink) {
+  TILO_REQUIRE(ranks >= 1, "run_dag needs at least one rank, got ", ranks);
+  const std::vector<DagTask>& tasks = dag.tasks();
+  TILO_REQUIRE(owner.size() == tasks.size(),
+               "owner vector does not cover the DAG (", owner.size(),
+               " owners for ", tasks.size(), " tasks)");
+  TILO_REQUIRE(bound.alap.size() == tasks.size(),
+               "ALAP bound does not cover the DAG");
+  for (int r : owner)
+    TILO_REQUIRE(r >= 0 && r < ranks, "task owner ", r,
+                 " outside the rank range [0, ", ranks, ")");
+
+  DagRun run;
+  run.tasks = &tasks;
+  run.owner = &owner;
+  run.model = &model;
+  run.bound = &bound;
+  run.sink = sink;
+  run.succs.resize(tasks.size());
+  run.missing.resize(tasks.size());
+  run.busy.assign(static_cast<std::size_t>(ranks), 0);
+  run.ready.assign(static_cast<std::size_t>(ranks),
+                   std::priority_queue<i64, std::vector<i64>, DagRun::Prio>(
+                       DagRun::Prio{&bound}));
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    run.missing[t] = static_cast<i64>(tasks[t].deps.size());
+    for (std::size_t e = 0; e < tasks[t].deps.size(); ++e)
+      run.succs[static_cast<std::size_t>(tasks[t].deps[e])].emplace_back(
+          static_cast<i64>(t), tasks[t].dep_bytes[e]);
+  }
+  // Seed the source tasks in id order, then start every rank once.
+  for (std::size_t t = 0; t < tasks.size(); ++t)
+    if (run.missing[t] == 0)
+      run.ready[static_cast<std::size_t>(owner[t])].push(
+          static_cast<i64>(t));
+  for (int r = 0; r < ranks; ++r) run.try_start(r);
+  run.engine.run();
+
+  TILO_REQUIRE(run.executed == static_cast<i64>(tasks.size()),
+               "tile DAG stalled: only ", run.executed, " of ",
+               tasks.size(), " tasks executed (cycle or lost event)");
+
+  exec::RunResult result;
+  result.completion = run.completion;
+  result.seconds = sim::to_seconds(run.completion);
+  result.messages = run.messages;
+  result.bytes = run.bytes;
+  result.peak_inflight_bytes = run.peak_inflight;
+  result.events = run.engine.events_processed();
+  result.traffic = std::move(run.traffic);
+  result.alap_lower_bound = bound.bound_ns;
+  if (sink) {
+    sink->counter("dag.alap_lower_bound_ns",
+                  static_cast<double>(bound.bound_ns));
+    sink->counter("run.runs", 1.0);
+    sink->counter("run.ranks", static_cast<double>(ranks));
+    sink->counter("run.messages", static_cast<double>(result.messages));
+    sink->counter("run.bytes", static_cast<double>(result.bytes));
+  }
+  return result;
+}
+
+}  // namespace tilo::workload

@@ -1,0 +1,103 @@
+// TileDagWorkload: an explicit tile task graph, scheduled on the event
+// engine, with the ALAP makespan lower bound as its optimality yardstick.
+//
+// Where the uniform nest derives its tile dependence structure from the
+// supernode transformation, a DAG workload states it outright: tasks carry
+// an iteration weight (fed to mach::Model::compute_seconds) and explicit
+// predecessor edges with message sizes.  The shipped generator is tiled
+// right-looking Cholesky over an nt x nt lower-triangular tile grid —
+// POTRF / TRSM / SYRK / GEMM tasks with the PLASMA-style dependences.
+//
+// The lower bound follows Quach & Langou's ALAP argument: with
+// alap(t) = w(t) + max over successors alap(s) (the task's distance to the
+// sink, itself included), any p-processor schedule satisfies both
+//
+//   makespan >= max_t alap(t)                      (critical path), and
+//   makespan >= L - wmax(S_L) + ceil(W(S_L) / p)   for every level L,
+//
+// where S_L = {t : alap(t) >= L}: every task of S_L must finish by
+// makespan - L + w(t), so the aggregate work W(S_L) has to fit into p
+// processors by then.  The reported bound is the max over both families —
+// sound because it ignores communication entirely, which only delays the
+// simulated schedule (bench_dag_makespan and validate_bench.py enforce
+// achieved >= bound as a correctness gate).
+#pragma once
+
+#include "tilo/exec/run.hpp"
+#include "tilo/machine/model.hpp"
+#include "tilo/sim/engine.hpp"
+#include "tilo/workload/workload.hpp"
+
+namespace tilo::workload {
+
+/// One tile task.
+struct DagTask {
+  std::string label;          ///< e.g. "gemm(4,2,1)" — spans + diagnostics
+  i64 iterations = 0;         ///< A2 weight for Model::compute_seconds
+  i64 working_set_bytes = 0;  ///< cache-model working set of the task
+  i64 affinity = 0;           ///< placement hint; owner = affinity mod p
+  std::vector<i64> deps;      ///< predecessor task indices
+  std::vector<i64> dep_bytes; ///< message bytes per edge (parallel to deps)
+};
+
+class TileDagWorkload final : public Workload {
+ public:
+  /// Validates shape (edge indices in range, dep_bytes parallel to deps,
+  /// nonnegative weights); acyclicity is the Scheduling-stage verifier's
+  /// job (topo_order).
+  TileDagWorkload(std::string name, std::vector<DagTask> tasks);
+
+  Kind kind() const override { return Kind::kTileDag; }
+  i64 domain_points() const override { return total_iterations_; }
+  std::string describe() const override;
+
+  const std::vector<DagTask>& tasks() const { return tasks_; }
+  i64 num_tasks() const { return static_cast<i64>(tasks_.size()); }
+  i64 num_edges() const { return num_edges_; }
+
+ private:
+  std::vector<DagTask> tasks_;
+  i64 total_iterations_ = 0;
+  i64 num_edges_ = 0;
+};
+
+/// Tiled right-looking Cholesky: nt x nt lower-triangular tile grid with
+/// side `tile_side`.  Task weights are the kernels' iteration counts
+/// (POTRF b³/3, TRSM b³, SYRK b³, GEMM 2b³); every edge moves one
+/// b x b tile of `bytes_per_element`-byte elements; affinity is the task's
+/// target tile row (block-cyclic rows under assign_owners).
+std::shared_ptr<const TileDagWorkload> make_cholesky_dag(
+    i64 nt, i64 tile_side, i64 bytes_per_element = 8);
+
+/// Deterministic Kahn topological order; throws util::Error when the graph
+/// has a cycle (names one task on it).
+std::vector<i64> topo_order(const TileDagWorkload& dag);
+
+/// Block-cyclic owner assignment: owner[i] = affinity mod ranks.
+std::vector<int> assign_owners(const TileDagWorkload& dag, int ranks);
+
+/// The ALAP lower bound (header comment above).
+struct AlapBound {
+  std::vector<sim::Time> alap;     ///< per-task w + max successor alap
+  sim::Time critical_path_ns = 0;  ///< max alap
+  sim::Time work_bound_ns = 0;     ///< best ALAP-level work/p refinement
+  sim::Time bound_ns = 0;          ///< max(critical_path, work_bound)
+};
+
+AlapBound alap_lower_bound(const TileDagWorkload& dag, int ranks,
+                           const mach::Model& model);
+
+/// Executes the DAG on `ranks` simulated processors with deterministic
+/// ALAP-priority list scheduling on sim::Engine: each rank runs one task
+/// at a time, ready tasks are ordered by (alap desc, id asc), and every
+/// cross-rank edge pays the model's wire latency plus a full wire
+/// traversal of its bytes.  Returns an exec::RunResult with
+/// alap_lower_bound = bound.bound_ns; emits per-task kCompute spans and
+/// per-message kWire spans plus the "dag.alap_lower_bound_ns" counter to
+/// `sink`.  The result is byte-deterministic (engine (time, seq) order).
+exec::RunResult run_dag(const TileDagWorkload& dag,
+                        const std::vector<int>& owner, int ranks,
+                        const mach::Model& model, const AlapBound& bound,
+                        obs::Sink* sink = nullptr);
+
+}  // namespace tilo::workload

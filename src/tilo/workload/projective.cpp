@@ -1,0 +1,131 @@
+#include "tilo/workload/projective.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::workload {
+
+namespace {
+
+/// Parses "d<idx>" at `pos`, advancing past it.
+std::size_t parse_dim(std::string_view text, std::size_t& pos,
+                      std::size_t dims) {
+  TILO_REQUIRE(pos < text.size() && text[pos] == 'd',
+               "constraint \"", text, "\": expected 'd<dim>' at offset ",
+               pos);
+  ++pos;
+  TILO_REQUIRE(pos < text.size() && std::isdigit(text[pos]),
+               "constraint \"", text, "\": expected a dimension index "
+               "after 'd'");
+  std::size_t idx = 0;
+  while (pos < text.size() && std::isdigit(text[pos]))
+    idx = idx * 10 + static_cast<std::size_t>(text[pos++] - '0');
+  TILO_REQUIRE(idx < dims, "constraint \"", text, "\": dimension d", idx,
+               " outside the nest's ", dims, " dimension(s)");
+  return idx;
+}
+
+void skip_ws(std::string_view text, std::size_t& pos) {
+  while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+}
+
+}  // namespace
+
+Constraint parse_constraint(std::string_view text, std::size_t dims) {
+  Constraint c;
+  std::size_t pos = 0;
+  skip_ws(text, pos);
+  c.a = parse_dim(text, pos, dims);
+  skip_ws(text, pos);
+  TILO_REQUIRE(pos + 1 < text.size() && text[pos] == '<' &&
+                   text[pos + 1] == '=',
+               "constraint \"", text, "\": expected '<=' after d", c.a);
+  pos += 2;
+  skip_ws(text, pos);
+  c.b = parse_dim(text, pos, dims);
+  skip_ws(text, pos);
+  if (pos < text.size()) {
+    const char sign = text[pos];
+    TILO_REQUIRE(sign == '+' || sign == '-', "constraint \"", text,
+                 "\": expected '+ <c>' or '- <c>' after d", c.b);
+    ++pos;
+    skip_ws(text, pos);
+    TILO_REQUIRE(pos < text.size() && std::isdigit(text[pos]),
+                 "constraint \"", text, "\": expected an integer offset");
+    i64 off = 0;
+    while (pos < text.size() && std::isdigit(text[pos]))
+      off = off * 10 + (text[pos++] - '0');
+    c.c = sign == '-' ? -off : off;
+    skip_ws(text, pos);
+  }
+  TILO_REQUIRE(pos == text.size(), "constraint \"", text,
+               "\": trailing characters at offset ", pos);
+  TILO_REQUIRE(c.a != c.b, "constraint \"", text,
+               "\": d", c.a, " <= d", c.b,
+               " relates a dimension to itself (vacuous or empty)");
+  return c;
+}
+
+ProjectiveNestWorkload::ProjectiveNestWorkload(
+    std::string name, loop::LoopNest nest,
+    std::vector<Constraint> constraints)
+    : Workload(std::move(name)),
+      nest_(std::move(nest)),
+      constraints_(std::move(constraints)) {
+  TILO_REQUIRE(!constraints_.empty(),
+               "projective workload needs at least one constraint "
+               "(use the uniform kind for unconstrained nests)");
+  for (const Constraint& c : constraints_)
+    TILO_REQUIRE(c.a < nest_.dims() && c.b < nest_.dims(),
+                 "constraint dimension outside the nest");
+  points_ = volume_in(nest_.domain());
+  TILO_REQUIRE(points_ > 0,
+               "projective constraints cut the domain to nothing");
+}
+
+std::string ProjectiveNestWorkload::describe() const {
+  const i64 box = nest_.domain().volume();
+  return util::concat("projective nest ", nest_.name(), " ",
+                      nest_.domain().str(), ", ", constraints_.size(),
+                      " constraint(s), ", points_, "/", box, " points");
+}
+
+bool ProjectiveNestWorkload::contains(const lat::Vec& p) const {
+  for (const Constraint& c : constraints_)
+    if (p[c.a] > p[c.b] + c.c) return false;
+  return true;
+}
+
+i64 ProjectiveNestWorkload::volume_in(const lat::Box& box) const {
+  if (box.empty()) return 0;
+  i64 count = 0;
+  box.for_each_point([&](const lat::Vec& p) {
+    if (contains(p)) ++count;
+  });
+  return count;
+}
+
+i64 ProjectiveNestWorkload::tile_iterations(const lat::Vec&,
+                                            const lat::Box& box) const {
+  return volume_in(box);
+}
+
+i64 ProjectiveNestWorkload::message_points(const lat::Vec&,
+                                           const lat::Box& box,
+                                           const lat::Vec&,
+                                           i64 points) const {
+  const i64 full = box.volume();
+  if (full <= 0) return 0;
+  const i64 vol = volume_in(box);
+  if (vol == full) return points;  // interior tile: the uniform surface
+  if (vol == 0) return 0;          // fully cut away: nothing to move
+  // Density-scaled halo surface: ceil(points * fill) — monotone in the
+  // tile's fill, exact at both ends, and strictly smaller than the
+  // uniform surface for genuinely cut tiles.
+  return util::ceil_div(util::checked_mul(points, vol), full);
+}
+
+}  // namespace tilo::workload

@@ -1,0 +1,71 @@
+// ProjectiveNestWorkload: a rectangular bounding nest cut by two-variable
+// projective constraints — Dinh & Demmel's non-rectangular iteration
+// spaces (triangular solves, symmetric updates) where tiles near the
+// constraint boundary carry fewer iterations and thinner halo surfaces
+// than interior tiles.
+//
+// The bounding nest flows through the uniform pipeline unchanged (same
+// supernode, schedule and plan); only the costs differ: the workload is
+// its own exec::TileCostModel, charging each tile the lattice-point count
+// of (tile box ∩ constrained domain) and scaling each message surface by
+// the tile's fill density (ceil(points * volume / box_volume)) — the
+// simple sound surrogate for the exact clipped face, monotone in the
+// tile's fill and exact for full and empty tiles.  Timed-mode only:
+// functional execution would need value regions clipped the same way.
+#pragma once
+
+#include "tilo/loopnest/nest.hpp"
+#include "tilo/workload/workload.hpp"
+
+namespace tilo::workload {
+
+/// One constraint  i[a] <= i[b] + c  over the nest's loop variables.
+/// Text form: "d<a> <= d<b>" with an optional "+ c" / "- c" tail, e.g.
+/// "d1 <= d0" (the lower triangle) or "d1 <= d0 + 4" (a shifted band).
+struct Constraint {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  i64 c = 0;
+};
+
+/// Parses the constraint grammar above; throws util::Error on malformed
+/// text or a dimension index outside [0, dims).
+Constraint parse_constraint(std::string_view text, std::size_t dims);
+
+class ProjectiveNestWorkload final : public Workload,
+                                     public exec::TileCostModel {
+ public:
+  /// `nest` is the rectangular bounding nest; `constraints` must be
+  /// non-empty and leave the domain non-empty (verified here; that the
+  /// cut is non-vacuous per tile is the Tiling-stage verifier's job).
+  ProjectiveNestWorkload(std::string name, loop::LoopNest nest,
+                         std::vector<Constraint> constraints);
+
+  Kind kind() const override { return Kind::kProjectiveNest; }
+  i64 domain_points() const override { return points_; }
+  std::string describe() const override;
+  const exec::TileCostModel* cost_model() const override { return this; }
+
+  const loop::LoopNest& nest() const { return nest_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// True when `p` satisfies every constraint (p is assumed inside the
+  /// bounding box).
+  bool contains(const lat::Vec& p) const;
+
+  /// Lattice points of box ∩ constrained domain.
+  i64 volume_in(const lat::Box& box) const;
+
+  // --- exec::TileCostModel -------------------------------------------
+  i64 tile_iterations(const lat::Vec& tile,
+                      const lat::Box& box) const override;
+  i64 message_points(const lat::Vec& tile, const lat::Box& box,
+                     const lat::Vec& offset, i64 points) const override;
+
+ private:
+  loop::LoopNest nest_;
+  std::vector<Constraint> constraints_;
+  i64 points_ = 0;  ///< cached constrained-domain point count
+};
+
+}  // namespace tilo::workload

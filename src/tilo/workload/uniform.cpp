@@ -1,0 +1,13 @@
+#include "tilo/workload/uniform.hpp"
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::workload {
+
+std::string UniformNestWorkload::describe() const {
+  return util::concat("uniform nest ", nest_.name(), " ",
+                      nest_.domain().str(), ", ", nest_.deps().size(),
+                      " dependence(s)");
+}
+
+}  // namespace tilo::workload

@@ -1,0 +1,30 @@
+// UniformNestWorkload: the paper's rectangular uniform nest as a Workload.
+//
+// A thin wrapper around loop::LoopNest — the frontend parses the same
+// grammar through the same loop::parse_nest, every tile carries its full
+// box volume, and cost_model() is nullptr, so the pipeline's artifacts,
+// the simulator's event trace and every serialized byte are identical to
+// the pre-refactor path (workload_regression_test pins this).
+#pragma once
+
+#include "tilo/loopnest/nest.hpp"
+#include "tilo/workload/workload.hpp"
+
+namespace tilo::workload {
+
+class UniformNestWorkload final : public Workload {
+ public:
+  UniformNestWorkload(std::string name, loop::LoopNest nest)
+      : Workload(std::move(name)), nest_(std::move(nest)) {}
+
+  Kind kind() const override { return Kind::kUniformNest; }
+  i64 domain_points() const override { return nest_.iterations(); }
+  std::string describe() const override;
+
+  const loop::LoopNest& nest() const { return nest_; }
+
+ private:
+  loop::LoopNest nest_;
+};
+
+}  // namespace tilo::workload

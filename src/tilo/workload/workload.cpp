@@ -1,0 +1,136 @@
+#include "tilo/workload/workload.hpp"
+
+#include <utility>
+
+#include "tilo/loopnest/parse.hpp"
+#include "tilo/util/error.hpp"
+#include "tilo/workload/dag.hpp"
+#include "tilo/workload/projective.hpp"
+#include "tilo/workload/uniform.hpp"
+
+namespace tilo::workload {
+
+namespace {
+
+std::string known_kinds() {
+  std::string names;
+  for (const auto& [name, unused] : kind_registry()) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return names;
+}
+
+/// Parses "key=value" tokens of a generator spec; returns value or throws.
+i64 spec_field(const std::vector<std::pair<std::string, i64>>& fields,
+               std::string_view key, std::optional<i64> fallback = {}) {
+  for (const auto& [k, v] : fields)
+    if (k == key) return v;
+  if (fallback) return *fallback;
+  throw util::Error(util::concat("dag spec: missing field '", key, "='"));
+}
+
+WorkloadPtr parse_dag_spec(const std::string& name, const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char ch : text) {
+    if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') {
+      if (!cur.empty()) tokens.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  TILO_REQUIRE(!tokens.empty(), "dag spec is empty (expected e.g. "
+                                "\"cholesky nt=6 b=32\")");
+
+  std::vector<std::pair<std::string, i64>> fields;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const std::size_t eq = tok.find('=');
+    TILO_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < tok.size(),
+                 "dag spec: malformed field '", tok,
+                 "' (expected key=value)");
+    i64 value = 0;
+    try {
+      std::size_t used = 0;
+      value = std::stoll(tok.substr(eq + 1), &used);
+      TILO_REQUIRE(used == tok.size() - eq - 1, "trailing garbage");
+    } catch (const std::exception&) {
+      throw util::Error(util::concat("dag spec: field '", tok,
+                                     "' has a non-integer value"));
+    }
+    fields.emplace_back(tok.substr(0, eq), value);
+  }
+
+  const std::string& generator = tokens[0];
+  if (generator == "cholesky") {
+    const i64 nt = spec_field(fields, "nt");
+    const i64 b = spec_field(fields, "b", 32);
+    auto dag = make_cholesky_dag(nt, b);
+    return std::make_shared<TileDagWorkload>(name, dag->tasks());
+  }
+  throw util::Error(util::concat("dag spec: unknown generator '", generator,
+                                 "' (known: cholesky)"));
+}
+
+}  // namespace
+
+std::string_view kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kUniformNest: return "uniform";
+    case Kind::kTileDag: return "dag";
+    case Kind::kProjectiveNest: return "projective";
+  }
+  return "?";
+}
+
+Kind kind_from(std::string_view name) {
+  if (name == "uniform") return Kind::kUniformNest;
+  if (name == "dag") return Kind::kTileDag;
+  if (name == "projective") return Kind::kProjectiveNest;
+  throw util::Error(util::concat("unknown workload kind \"", name,
+                                 "\" (known: ", known_kinds(), ")"));
+}
+
+std::vector<std::pair<std::string, std::string>> kind_registry() {
+  return {
+      {"uniform",
+       "rectangular uniform loop nest (the paper's model; default)"},
+      {"dag",
+       "explicit tile task graph with ALAP lower bound "
+       "(generators: cholesky nt=<tiles> b=<side>)"},
+      {"projective",
+       "bounded nest cut by constraints \"d<a> <= d<b> [+c]\" "
+       "(per-tile volumes and halo surfaces)"},
+  };
+}
+
+WorkloadPtr parse_workload(Kind kind, const std::string& name,
+                           const std::string& text,
+                           const std::vector<std::string>& constraints) {
+  if (kind != Kind::kProjectiveNest)
+    TILO_REQUIRE(constraints.empty(), "constraints apply to projective "
+                                      "workloads only (kind is '",
+                 kind_name(kind), "')");
+  switch (kind) {
+    case Kind::kUniformNest:
+      return std::make_shared<UniformNestWorkload>(name,
+                                                   loop::parse_nest(text));
+    case Kind::kTileDag:
+      return parse_dag_spec(name, text);
+    case Kind::kProjectiveNest: {
+      loop::LoopNest nest = loop::parse_nest(text);
+      std::vector<Constraint> parsed;
+      parsed.reserve(constraints.size());
+      for (const std::string& c : constraints)
+        parsed.push_back(parse_constraint(c, nest.dims()));
+      return std::make_shared<ProjectiveNestWorkload>(name, std::move(nest),
+                                                      std::move(parsed));
+    }
+  }
+  throw util::Error("unreachable workload kind");
+}
+
+}  // namespace tilo::workload

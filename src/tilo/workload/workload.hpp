@@ -1,0 +1,96 @@
+// The kind-dispatched workload abstraction.
+//
+// The paper models exactly one workload family: a perfectly nested loop
+// over a rectangular domain with uniform dependence vectors, tiled into
+// congruent supernodes.  This layer generalizes that into a `Workload`
+// interface the whole stack (pipeline, svc, fleet, CLI) dispatches on:
+//
+//   UniformNestWorkload   the paper's family, wrapping loop::LoopNest —
+//                         byte-identical to the historical path (pinned by
+//                         workload_regression_test, the way
+//                         IdealOverlapModel pinned the machine redesign);
+//   TileDagWorkload       an explicit tile task graph (tiled Cholesky as
+//                         the shipped generator) scheduled directly on the
+//                         event engine, with the ALAP makespan lower bound
+//                         (Quach & Langou) reported next to the achieved
+//                         makespan;
+//   ProjectiveNestWorkload a rectangular bounding nest cut by two-variable
+//                         constraints (Dinh & Demmel's projective nests):
+//                         per-tile varying volume and halo surface, costed
+//                         through exec::TileCostModel.
+//
+// A Workload describes the iteration domain and dependence structure; what
+// "per-tile" means is kind-specific (supernodes for nests, tasks for
+// DAGs).  The base interface is deliberately small — downstream stages
+// downcast on kind() where they need family-specific structure, and the
+// per-kind invariants live in the pipeline's stage verifiers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tilo/exec/run.hpp"
+#include "tilo/util/math.hpp"
+
+namespace tilo::workload {
+
+using util::i64;
+
+/// The workload families the stack dispatches on.
+enum class Kind {
+  kUniformNest,     ///< the paper's rectangular uniform nest (default)
+  kTileDag,         ///< explicit tile task graph
+  kProjectiveNest,  ///< bounded nest cut by projective constraints
+};
+
+/// Wire/CLI name of a kind: "uniform" / "dag" / "projective".
+std::string_view kind_name(Kind kind);
+
+/// Parses a kind name; throws util::Error listing the known names.
+Kind kind_from(std::string_view name);
+
+/// Every kind name with a one-line description, for diagnostics and the
+/// CLI's --list-workloads.
+std::vector<std::pair<std::string, std::string>> kind_registry();
+
+/// One workload instance of some family.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual Kind kind() const = 0;
+  const std::string& name() const { return name_; }
+
+  /// Total work quanta: iteration points for nests, summed task
+  /// iterations for DAGs (diagnostics / sanity cross-checks).
+  virtual i64 domain_points() const = 0;
+
+  /// One-line human description for stage logs.
+  virtual std::string describe() const = 0;
+
+  /// The per-tile cost hook exec::run_plan consumes, or nullptr when the
+  /// constant-cost fast path applies (uniform nests; DAGs never route
+  /// through run_plan at all).  The hook's lifetime is the workload's.
+  virtual const exec::TileCostModel* cost_model() const { return nullptr; }
+
+ protected:
+  explicit Workload(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+using WorkloadPtr = std::shared_ptr<const Workload>;
+
+/// Kind-dispatched frontend: parses `text` as the family's source grammar
+/// (loop-nest grammar for uniform/projective, generator spec for DAGs) and
+/// builds the workload.  `constraints` applies to projective nests only
+/// (it is an error to pass constraints for other kinds).  Throws
+/// util::Error on malformed input.
+WorkloadPtr parse_workload(Kind kind, const std::string& name,
+                           const std::string& text,
+                           const std::vector<std::string>& constraints = {});
+
+}  // namespace tilo::workload

@@ -11,6 +11,9 @@
 #include <sstream>
 #include <thread>
 
+#include "tilo/machine/model.hpp"
+#include "tilo/workload/workload.hpp"
+
 #ifndef TILO_CLI_PATH
 #error "TILO_CLI_PATH must be defined by the build"
 #endif
@@ -122,7 +125,8 @@ TEST(CliTest, UsageListsEveryFlag) {
        {"--procs", "--auto", "--height", "--schedule", "--sweep", "--gantt",
         "--emit-c", "--emit-loop", "--validate", "--trace", "--report",
         "--pipeline", "--save-plan", "--load-plan", "--scenario",
-        "--machine", "--model", "--calibrate"})
+        "--machine", "--model", "--calibrate", "--list-models",
+        "--list-workloads"})
     EXPECT_NE(out.find(flag), std::string::npos) << flag << "\n" << out;
 }
 
@@ -303,6 +307,45 @@ TEST(CliTest, VersionPrintsBinaryAndEnvelopeVersions) {
   EXPECT_NE(out.find("fleet unit/result"), std::string::npos) << out;
   // Every envelope this build speaks is version 1.
   EXPECT_NE(out.find("v1"), std::string::npos) << out;
+}
+
+TEST(CliTest, ListModelsPrintsTheMachineModelRegistry) {
+  // Generated from mach::model_names(), so a newly registered model
+  // cannot go unlisted (the same drift-proofing as the usage text).
+  const auto [rc, out] = run_cli("--list-models");
+  EXPECT_EQ(rc, 0) << out;
+  for (const std::string& name : tilo::mach::model_names())
+    EXPECT_NE(out.find(name), std::string::npos) << name << "\n" << out;
+}
+
+TEST(CliTest, ListWorkloadsPrintsEveryKindWithDescriptions) {
+  const auto [rc, out] = run_cli("--list-workloads");
+  EXPECT_EQ(rc, 0) << out;
+  for (const auto& [name, description] : tilo::workload::kind_registry()) {
+    EXPECT_NE(out.find(name), std::string::npos) << name << "\n" << out;
+    EXPECT_NE(out.find(description), std::string::npos) << name << "\n"
+                                                        << out;
+  }
+}
+
+TEST(CliTest, DagScenarioReportsMakespanAgainstTheAlapBound) {
+  const std::string path = ::testing::TempDir() + "cli_dag_scenario.json";
+  {
+    std::ofstream os(path);
+    os << R"({"tilo": "scenario", "version": 1, "workloads": [)"
+       << R"({"name": "chol", "source": "cholesky nt=6 b=32",)"
+       << R"( "kind": "dag", "auto_procs": 4}]})";
+  }
+  const auto [rc, out] =
+      run_cli("--scenario " + path + " --pipeline --report");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("ALAP bound"), std::string::npos) << out;
+  EXPECT_NE(out.find(">= ALAP bound"), std::string::npos) << out;
+  EXPECT_NE(out.find("56 tasks"), std::string::npos) << out;
+  // --report attaches the ReportSink per workload: the A/B table ends with
+  // the bound printed as a ratio (>= 1.0 by soundness).
+  EXPECT_NE(out.find("ALAP lower bound"), std::string::npos) << out;
+  EXPECT_NE(out.find("achieved/bound"), std::string::npos) << out;
 }
 
 TEST(CliTest, FleetSweepTableMatchesTheLocalSweep) {

@@ -1,0 +1,239 @@
+// The workload refactor's regression contract, pinned the same way
+// model_regression_test pinned the machine-model redesign: the uniform
+// family is byte-identical to the pre-workload stack everywhere bytes
+// escape — svc responses, fleet documents, stage logs, report JSON — for
+// all three paper spaces, with or without the now-optional "kind" and
+// "machine_model" fields.  Plus the new families' cross-layer wiring:
+// DAG compiles over the svc wire and projective workloads under the
+// fleet with byte-deterministic merges.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tilo/core/problem.hpp"
+#include "tilo/fleet/unit.hpp"
+#include "tilo/loopnest/parse.hpp"
+#include "tilo/machine/model.hpp"
+#include "tilo/obs/report.hpp"
+#include "tilo/pipeline/compiler.hpp"
+#include "tilo/pipeline/serialize.hpp"
+#include "tilo/svc/compile.hpp"
+#include "tilo/svc/protocol.hpp"
+
+using namespace tilo;
+using util::i64;
+
+namespace {
+
+std::vector<core::Problem> paper_problems() {
+  return {core::paper_problem_i(), core::paper_problem_ii(),
+          core::paper_problem_iii()};
+}
+
+svc::CompileParams params_for(const core::Problem& p) {
+  svc::CompileParams params;
+  params.name = "regress";
+  params.source = loop::to_source(p.nest);
+  params.procs = p.procs;
+  params.height = 64;
+  params.simulate = true;
+  return params;
+}
+
+const char* kTriSource =
+    "FOR i = 0 TO 63\n"
+    " FOR j = 0 TO 63\n"
+    "  B(i, j) = 0.5 * (B(i-1, j) + B(i, j-1))\n"
+    " ENDFOR\n"
+    "ENDFOR\n";
+
+/// A two-workload scenario (one per schedule kind) over `space`; `extra`
+/// is spliced into each workload object ("" = the historical spelling).
+std::string scenario_text(const std::string& source,
+                          const std::string& extra,
+                          const std::string& preamble) {
+  pipeline::Json src = pipeline::Json::string(source);
+  std::string text = R"({"tilo": "scenario", "version": 1, )" + preamble +
+                     R"("workloads": [)";
+  text += R"({"name": "a", "source": )" + src.dump() +
+          R"(, "height": 64, "procs": [4, 4, 1])" + extra + "},";
+  text += R"({"name": "b", "source": )" + src.dump() +
+          R"(, "height": 32, "procs": [4, 4, 1], "schedule": "nonoverlap")" +
+          extra + "}";
+  text += "]}";
+  return text;
+}
+
+/// Executes every unit of a scenario through the fleet path and returns
+/// the result payloads.
+std::vector<std::string> fleet_results(const std::string& scenario_text) {
+  const pipeline::ScenarioFile scenario =
+      pipeline::parse_scenario(scenario_text);
+  std::vector<std::string> results;
+  for (const fleet::WorkUnit& u : fleet::scenario_units(scenario))
+    results.push_back(fleet::execute_unit(u.payload));
+  return results;
+}
+
+}  // namespace
+
+TEST(WorkloadRegressionTest, ExplicitUniformKindKeepsSvcBytesForAllSpaces) {
+  for (const core::Problem& p : paper_problems()) {
+    const svc::CompileParams implicit = params_for(p);
+    svc::CompileParams explicit_kind = implicit;
+    explicit_kind.workload_kind = "uniform";
+
+    const svc::Response a =
+        svc::execute_compile(pipeline::CompileOptions{}, implicit);
+    const svc::Response b =
+        svc::execute_compile(pipeline::CompileOptions{}, explicit_kind);
+    ASSERT_EQ(a.status, svc::RespStatus::kOk) << a.error;
+    ASSERT_EQ(b.status, svc::RespStatus::kOk) << b.error;
+    // The exact serialized bytes, not approximate equality.
+    EXPECT_EQ(a.result, b.result) << p.nest.name();
+
+    // The wire request with no kind keeps its historical problem_key
+    // bytes (cache keys survive the refactor); the explicit spelling is
+    // a different key for the same bytes.
+    EXPECT_EQ(svc::problem_key(implicit),
+              svc::problem_key(svc::workload_from_json(
+                  svc::workload_to_json(implicit))));
+    EXPECT_NE(svc::problem_key(implicit), svc::problem_key(explicit_kind));
+  }
+}
+
+TEST(WorkloadRegressionTest, UnknownWorkloadKindAnswersBadRequest) {
+  svc::CompileParams params = params_for(core::paper_problem_i());
+  params.workload_kind = "hypercube";
+  const svc::Response resp =
+      svc::execute_compile(pipeline::CompileOptions{}, params);
+  EXPECT_EQ(resp.status, svc::RespStatus::kBadRequest);
+  EXPECT_NE(resp.error.find("hypercube"), std::string::npos) << resp.error;
+  EXPECT_NE(resp.error.find("projective"), std::string::npos) << resp.error;
+}
+
+TEST(WorkloadRegressionTest, FleetScenarioDocsWithExplicitKindAreIdentical) {
+  for (const core::Problem& p : paper_problems()) {
+    const std::string source = loop::to_source(p.nest);
+    const std::vector<std::string> implicit =
+        fleet_results(scenario_text(source, "", ""));
+    const std::vector<std::string> explicit_kind =
+        fleet_results(scenario_text(source, R"(, "kind": "uniform")", ""));
+    ASSERT_EQ(implicit.size(), explicit_kind.size());
+    for (std::size_t i = 0; i < implicit.size(); ++i)
+      EXPECT_EQ(implicit[i], explicit_kind[i]) << p.nest.name();
+  }
+}
+
+TEST(WorkloadRegressionTest, OmittedKindAndModelEqualExplicitDefaults) {
+  // A scenario spelling out the defaults — "kind": "uniform" on every
+  // workload and the ideal model as an explicit "machine_model" envelope
+  // — compiles to the same bytes as the file that omits both.
+  const mach::IdealOverlapModel ideal(mach::MachineParams::paper_cluster());
+  const std::string model_preamble =
+      "\"machine_model\": " + pipeline::model_to_json(ideal).dump() + ", ";
+  for (const core::Problem& p : paper_problems()) {
+    const std::string source = loop::to_source(p.nest);
+    const std::vector<std::string> implicit =
+        fleet_results(scenario_text(source, "", ""));
+    const std::vector<std::string> explicit_defaults = fleet_results(
+        scenario_text(source, R"(, "kind": "uniform")", model_preamble));
+    ASSERT_EQ(implicit.size(), explicit_defaults.size());
+    for (std::size_t i = 0; i < implicit.size(); ++i)
+      EXPECT_EQ(implicit[i], explicit_defaults[i]) << p.nest.name();
+  }
+}
+
+TEST(WorkloadRegressionTest, UniformCompileBuildsNoWorkloadArtifact) {
+  // The historical Frontend path, bit for bit: no workload artifact, no
+  // DAG plan, and a stage log without any workload-era vocabulary.
+  for (const core::Problem& p : paper_problems()) {
+    pipeline::CompileOptions opts;
+    opts.procs = p.procs;
+    opts.height = 64;
+    const pipeline::ArtifactStore out =
+        pipeline::Compiler(opts).compile_source("plain",
+                                                loop::to_source(p.nest));
+    EXPECT_FALSE(out.has_workload());
+    EXPECT_FALSE(out.has_dag_plan());
+    std::ostringstream os;
+    pipeline::write_stage_log(os, out);
+    EXPECT_EQ(os.str().find("ALAP"), std::string::npos);
+    EXPECT_EQ(os.str().find("projective"), std::string::npos);
+  }
+}
+
+TEST(WorkloadRegressionTest, ReportJsonOmitsAlapFieldsForNestRuns) {
+  const core::Problem p = core::paper_problem_i();
+  obs::ReportSink sink;
+  pipeline::CompileOptions opts;
+  opts.procs = p.procs;
+  opts.height = 64;
+  opts.sink = &sink;
+  pipeline::Compiler(opts).compile_source("plain", loop::to_source(p.nest));
+  std::ostringstream json;
+  sink.report().write_json(json);
+  EXPECT_EQ(json.str().find("alap"), std::string::npos) << json.str();
+  std::ostringstream table;
+  sink.report().write_table(table);
+  EXPECT_EQ(table.str().find("ALAP"), std::string::npos) << table.str();
+}
+
+TEST(WorkloadRegressionTest, DagCompileOverTheSvcWireReportsTheBound) {
+  svc::CompileParams params;
+  params.name = "chol";
+  params.source = "cholesky nt=6 b=32";
+  params.workload_kind = "dag";
+  params.auto_procs = 4;
+  params.simulate = true;
+  // Through the wire codec: kind and spec survive the round trip.
+  const svc::CompileParams decoded =
+      svc::workload_from_json(svc::workload_to_json(params));
+  EXPECT_EQ(decoded.workload_kind, "dag");
+  const svc::Response resp =
+      svc::execute_compile(pipeline::CompileOptions{}, decoded);
+  ASSERT_EQ(resp.status, svc::RespStatus::kOk) << resp.error;
+  const pipeline::Json r = pipeline::Json::parse(resp.result);
+  EXPECT_EQ(r.at("kind").as_string("kind"), "dag");
+  EXPECT_EQ(r.at("tasks").as_integer("tasks"), 56);
+  EXPECT_EQ(r.at("ranks").as_integer("ranks"), 4);
+  const double bound =
+      r.at("alap_lower_bound_seconds").as_number("alap_lower_bound_seconds");
+  const double achieved =
+      r.at("simulated_seconds").as_number("simulated_seconds");
+  EXPECT_GT(bound, 0.0);
+  EXPECT_GE(achieved, bound);
+  EXPECT_GE(r.at("bound_ratio").as_number("bound_ratio"), 1.0);
+}
+
+TEST(WorkloadRegressionTest, ProjectiveFleetMergeIsByteDeterministic) {
+  pipeline::Json src = pipeline::Json::string(kTriSource);
+  const std::string scenario =
+      R"({"tilo": "scenario", "version": 1, "workloads": [)"
+      R"({"name": "tri", "source": )" + src.dump() +
+      R"(, "kind": "projective", "constraints": ["d1 <= d0"],)"
+      R"( "procs": [4, 1], "height": 16}]})";
+  const std::vector<std::string> first = fleet_results(scenario);
+  const std::vector<std::string> second = fleet_results(scenario);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first, second);  // byte-deterministic merge input
+
+  // And the fleet result is the same bytes the service computes directly.
+  svc::CompileParams params;
+  params.name = "tri";
+  params.source = kTriSource;
+  params.workload_kind = "projective";
+  params.constraints = {"d1 <= d0"};
+  params.procs = lat::Vec({4, 1});
+  params.height = 16;
+  params.simulate = true;
+  const svc::Response direct =
+      svc::execute_compile(pipeline::CompileOptions{}, params);
+  ASSERT_EQ(direct.status, svc::RespStatus::kOk) << direct.error;
+  EXPECT_EQ(first[0], direct.result);
+  const pipeline::Json r = pipeline::Json::parse(direct.result);
+  EXPECT_EQ(r.at("kind").as_string("kind"), "projective");
+}

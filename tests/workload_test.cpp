@@ -1,0 +1,306 @@
+// The kind-dispatched Workload layer: kind names and registry, the
+// parse_workload frontend dispatch, projective constraint parsing and
+// per-tile volumes/surfaces, and the per-kind stage verifiers (including
+// the negative tests the invariants exist for).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tilo/loopnest/parse.hpp"
+#include "tilo/pipeline/compiler.hpp"
+#include "tilo/util/error.hpp"
+#include "tilo/workload/dag.hpp"
+#include "tilo/workload/projective.hpp"
+#include "tilo/workload/uniform.hpp"
+
+using namespace tilo;
+using util::i64;
+
+namespace {
+
+const char* kNest2D =
+    "FOR i = 0 TO 63\n"
+    " FOR j = 0 TO 63\n"
+    "  B(i, j) = 0.5 * (B(i-1, j) + B(i, j-1))\n"
+    " ENDFOR\n"
+    "ENDFOR\n";
+
+std::string error_of(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const util::Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+}  // namespace
+
+TEST(WorkloadKindTest, NamesRoundTrip) {
+  for (workload::Kind k :
+       {workload::Kind::kUniformNest, workload::Kind::kTileDag,
+        workload::Kind::kProjectiveNest})
+    EXPECT_EQ(workload::kind_from(workload::kind_name(k)), k);
+  EXPECT_EQ(workload::kind_name(workload::Kind::kUniformNest), "uniform");
+  EXPECT_EQ(workload::kind_name(workload::Kind::kTileDag), "dag");
+  EXPECT_EQ(workload::kind_name(workload::Kind::kProjectiveNest),
+            "projective");
+}
+
+TEST(WorkloadKindTest, UnknownNameListsTheRegistry) {
+  const std::string msg =
+      error_of([] { workload::kind_from("hypercube"); });
+  EXPECT_NE(msg.find("hypercube"), std::string::npos) << msg;
+  for (const char* name : {"uniform", "dag", "projective"})
+    EXPECT_NE(msg.find(name), std::string::npos) << msg;
+}
+
+TEST(WorkloadKindTest, RegistryCoversEveryKindWithDescriptions) {
+  const auto registry = workload::kind_registry();
+  ASSERT_EQ(registry.size(), 3u);
+  for (const auto& [name, description] : registry) {
+    EXPECT_EQ(std::string(workload::kind_name(workload::kind_from(name))),
+              name);
+    EXPECT_FALSE(description.empty());
+  }
+}
+
+TEST(WorkloadParseTest, UniformWrapsTheSameParsedNest) {
+  const workload::WorkloadPtr w = workload::parse_workload(
+      workload::Kind::kUniformNest, "wl", kNest2D);
+  ASSERT_EQ(w->kind(), workload::Kind::kUniformNest);
+  const auto& uniform = static_cast<const workload::UniformNestWorkload&>(*w);
+  const loop::LoopNest direct = loop::parse_nest(kNest2D);
+  EXPECT_EQ(loop::to_source(uniform.nest()), loop::to_source(direct));
+  EXPECT_EQ(w->domain_points(), direct.iterations());
+  // The uniform family keeps the constant-cost fast path.
+  EXPECT_EQ(w->cost_model(), nullptr);
+}
+
+TEST(WorkloadParseTest, DagSpecBuildsTheGenerator) {
+  const workload::WorkloadPtr w = workload::parse_workload(
+      workload::Kind::kTileDag, "chol", "cholesky nt=4 b=16");
+  ASSERT_EQ(w->kind(), workload::Kind::kTileDag);
+  const auto& dag = static_cast<const workload::TileDagWorkload&>(*w);
+  EXPECT_EQ(dag.num_tasks(), 20);
+  EXPECT_EQ(w->name(), "chol");
+  EXPECT_EQ(w->cost_model(), nullptr);  // DAGs never route through run_plan
+}
+
+TEST(WorkloadParseTest, MalformedDagSpecsThrow) {
+  using workload::Kind;
+  using workload::parse_workload;
+  EXPECT_THROW(parse_workload(Kind::kTileDag, "x", ""), util::Error);
+  EXPECT_THROW(parse_workload(Kind::kTileDag, "x", "cholesky"), util::Error);
+  EXPECT_THROW(parse_workload(Kind::kTileDag, "x", "cholesky nt=four"),
+               util::Error);
+  EXPECT_THROW(parse_workload(Kind::kTileDag, "x", "cholesky nt"),
+               util::Error);
+  const std::string msg = error_of(
+      [] { workload::parse_workload(workload::Kind::kTileDag, "x",
+                                    "lu nt=4"); });
+  EXPECT_NE(msg.find("cholesky"), std::string::npos) << msg;
+}
+
+TEST(WorkloadParseTest, ConstraintsAreProjectiveOnly) {
+  for (workload::Kind k :
+       {workload::Kind::kUniformNest, workload::Kind::kTileDag}) {
+    const std::string msg = error_of([&] {
+      workload::parse_workload(k, "x",
+                               k == workload::Kind::kTileDag
+                                   ? "cholesky nt=4 b=16"
+                                   : kNest2D,
+                               {"d1 <= d0"});
+    });
+    EXPECT_NE(msg.find("projective"), std::string::npos) << msg;
+  }
+}
+
+TEST(WorkloadProjectiveTest, ConstraintGrammar) {
+  const workload::Constraint plain = workload::parse_constraint("d1 <= d0", 2);
+  EXPECT_EQ(plain.a, 1u);
+  EXPECT_EQ(plain.b, 0u);
+  EXPECT_EQ(plain.c, 0);
+  const workload::Constraint shifted =
+      workload::parse_constraint("d0 <= d1 + 4", 3);
+  EXPECT_EQ(shifted.c, 4);
+  const workload::Constraint negative =
+      workload::parse_constraint("  d2 <= d0 - 12  ", 3);
+  EXPECT_EQ(negative.a, 2u);
+  EXPECT_EQ(negative.c, -12);
+
+  EXPECT_THROW(workload::parse_constraint("d1 < d0", 2), util::Error);
+  EXPECT_THROW(workload::parse_constraint("d1 <= d7", 2), util::Error);
+  EXPECT_THROW(workload::parse_constraint("i <= j", 2), util::Error);
+  EXPECT_THROW(workload::parse_constraint("d1 <= d0 + x", 2), util::Error);
+  EXPECT_THROW(workload::parse_constraint("d1 <= d0 junk", 2), util::Error);
+  // Self-referential constraints are vacuous or empty, never useful.
+  EXPECT_THROW(workload::parse_constraint("d0 <= d0", 2), util::Error);
+}
+
+TEST(WorkloadProjectiveTest, TriangleVolumeIsTheClosedForm) {
+  const workload::WorkloadPtr w = workload::parse_workload(
+      workload::Kind::kProjectiveNest, "tri", kNest2D, {"d1 <= d0"});
+  // j <= i over a 64 x 64 square: 64*65/2 lattice points.
+  EXPECT_EQ(w->domain_points(), 64 * 65 / 2);
+  const auto& tri = static_cast<const workload::ProjectiveNestWorkload&>(*w);
+  EXPECT_TRUE(tri.contains(lat::Vec({5, 5})));
+  EXPECT_TRUE(tri.contains(lat::Vec({5, 0})));
+  EXPECT_FALSE(tri.contains(lat::Vec({5, 6})));
+  // The workload is its own per-tile cost model.
+  ASSERT_EQ(w->cost_model(), &tri);
+}
+
+TEST(WorkloadProjectiveTest, TileVolumesInteriorBoundaryEmpty) {
+  const workload::WorkloadPtr w = workload::parse_workload(
+      workload::Kind::kProjectiveNest, "tri", kNest2D, {"d1 <= d0"});
+  const auto* costs = w->cost_model();
+  const lat::Vec tile({0, 0});
+  // Interior (below the diagonal): full box volume.
+  const lat::Box interior(lat::Vec({32, 0}), lat::Vec({39, 7}));
+  EXPECT_EQ(costs->tile_iterations(tile, interior), 64);
+  // Diagonal tile: the triangular half including the diagonal.
+  const lat::Box diagonal(lat::Vec({8, 8}), lat::Vec({15, 15}));
+  EXPECT_EQ(costs->tile_iterations(tile, diagonal), 8 * 9 / 2);
+  // Above the diagonal: cut away entirely.
+  const lat::Box cut(lat::Vec({0, 32}), lat::Vec({7, 39}));
+  EXPECT_EQ(costs->tile_iterations(tile, cut), 0);
+}
+
+TEST(WorkloadProjectiveTest, MessageSurfaceScalesWithFill) {
+  const workload::WorkloadPtr w = workload::parse_workload(
+      workload::Kind::kProjectiveNest, "tri", kNest2D, {"d1 <= d0"});
+  const auto* costs = w->cost_model();
+  const lat::Vec tile({0, 0});
+  const lat::Vec offset({1, 0});
+  const lat::Box interior(lat::Vec({32, 0}), lat::Vec({39, 7}));
+  const lat::Box diagonal(lat::Vec({8, 8}), lat::Vec({15, 15}));
+  const lat::Box cut(lat::Vec({0, 32}), lat::Vec({7, 39}));
+  const i64 surface = 8;  // one face of an 8 x 8 tile
+  EXPECT_EQ(costs->message_points(tile, interior, offset, surface), surface);
+  const i64 scaled = costs->message_points(tile, diagonal, offset, surface);
+  EXPECT_GT(scaled, 0);
+  EXPECT_LT(scaled, surface);
+  EXPECT_EQ(costs->message_points(tile, cut, offset, surface), 0);
+}
+
+TEST(WorkloadProjectiveTest, DegenerateConstraintSetsAreRejected) {
+  // No constraints: that's the uniform family.
+  EXPECT_THROW(workload::parse_workload(workload::Kind::kProjectiveNest,
+                                        "x", kNest2D, {}),
+               util::Error);
+  // Contradictory cuts empty the domain.
+  const std::string msg = error_of([] {
+    workload::parse_workload(workload::Kind::kProjectiveNest, "x", kNest2D,
+                             {"d1 <= d0 - 32", "d0 <= d1 - 33"});
+  });
+  EXPECT_NE(msg.find("nothing"), std::string::npos) << msg;
+}
+
+TEST(WorkloadPipelineTest, ProjectiveCompileRunsEndToEnd) {
+  // Ranks along d1 (the non-mapped dimension) so halo messages cross
+  // rank boundaries and the density-scaled surfaces are observable.
+  pipeline::CompileOptions opts;
+  opts.workload_kind = workload::Kind::kProjectiveNest;
+  opts.constraints = {"d1 <= d0"};
+  opts.procs = lat::Vec({1, 4});
+  opts.height = 16;
+  const pipeline::ArtifactStore out =
+      pipeline::Compiler(opts).compile_source("tri", kNest2D);
+  EXPECT_EQ(out.workload().kind(), workload::Kind::kProjectiveNest);
+  ASSERT_TRUE(out.backend().run);
+  EXPECT_GT(out.backend().run->completion, 0);
+  EXPECT_GT(out.backend().run->messages, 0);
+
+  // The cut makes the simulation strictly cheaper than the full square:
+  // fewer iterations computed and fewer halo bytes moved.
+  pipeline::CompileOptions full = opts;
+  full.workload_kind = workload::Kind::kUniformNest;
+  full.constraints.clear();
+  const pipeline::ArtifactStore square =
+      pipeline::Compiler(full).compile_source("sq", kNest2D);
+  ASSERT_TRUE(square.backend().run);
+  EXPECT_LT(out.backend().run->completion, square.backend().run->completion);
+  EXPECT_LT(out.backend().run->bytes, square.backend().run->bytes);
+}
+
+TEST(WorkloadPipelineTest, VacuousConstraintsFailTheLoweringVerifier) {
+  // j <= i + 63 holds everywhere on the 64 x 64 square: every tile keeps
+  // its full box volume, so the projective declaration is wrong.
+  pipeline::CompileOptions opts;
+  opts.workload_kind = workload::Kind::kProjectiveNest;
+  opts.constraints = {"d1 <= d0 + 63"};
+  opts.procs = lat::Vec({4, 1});
+  opts.height = 16;
+  const std::string msg = error_of([&] {
+    pipeline::Compiler(opts).compile_source("vacuous", kNest2D);
+  });
+  EXPECT_NE(msg.find("Lowering"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("cut no tile"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("uniform"), std::string::npos) << msg;
+}
+
+TEST(WorkloadPipelineTest, ConstraintsOnUniformCompilesFailTheFrontend) {
+  pipeline::CompileOptions opts;
+  opts.constraints = {"d1 <= d0"};
+  const std::string msg = error_of([&] {
+    pipeline::Compiler(opts).compile_source("sq", kNest2D);
+  });
+  EXPECT_NE(msg.find("Frontend"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("projective"), std::string::npos) << msg;
+}
+
+TEST(WorkloadPipelineTest, StageLogDescribesTheProjectiveCut) {
+  pipeline::CompileOptions opts;
+  opts.workload_kind = workload::Kind::kProjectiveNest;
+  opts.constraints = {"d1 <= d0"};
+  opts.procs = lat::Vec({4, 1});
+  opts.height = 16;
+  const pipeline::ArtifactStore out =
+      pipeline::Compiler(opts).compile_source("tri", kNest2D);
+  std::ostringstream os;
+  pipeline::write_stage_log(os, out);
+  const std::string log = os.str();
+  EXPECT_NE(log.find("projective nest"), std::string::npos) << log;
+  EXPECT_NE(log.find("2080/4096 points"), std::string::npos) << log;
+}
+
+TEST(WorkloadScenarioTest, DagAndProjectiveKindsParse) {
+  const pipeline::ScenarioFile scenario = pipeline::parse_scenario(R"({
+    "tilo": "scenario", "version": 1,
+    "workloads": [
+      {"name": "chol", "source": "cholesky nt=4 b=16", "kind": "dag",
+       "auto_procs": 4},
+      {"name": "tri", "source": "FOR i = 0 TO 63\n FOR j = 0 TO 63\n  B(i, j) = 0.5 * (B(i-1, j) + B(i, j-1))\n ENDFOR\nENDFOR\n",
+       "kind": "projective", "constraints": ["d1 <= d0"],
+       "procs": [4, 1], "height": 16}
+    ]})");
+  ASSERT_EQ(scenario.workloads.size(), 2u);
+  EXPECT_EQ(scenario.workloads[0].workload_kind, workload::Kind::kTileDag);
+  EXPECT_EQ(scenario.workloads[1].workload_kind,
+            workload::Kind::kProjectiveNest);
+  ASSERT_EQ(scenario.workloads[1].constraints.size(), 1u);
+
+  const std::vector<pipeline::ArtifactStore> outs =
+      pipeline::Compiler().compile(scenario);
+  ASSERT_EQ(outs.size(), 2u);
+  EXPECT_GT(outs[0].dag_plan().bound.bound_ns, 0);
+  ASSERT_TRUE(outs[0].backend().run);
+  EXPECT_GE(outs[0].backend().run->completion,
+            outs[0].dag_plan().bound.bound_ns);
+  EXPECT_EQ(outs[1].workload().kind(), workload::Kind::kProjectiveNest);
+}
+
+TEST(WorkloadScenarioTest, UnknownKindNamesTheRegistry) {
+  const std::string msg = error_of([] {
+    pipeline::parse_scenario(R"({
+      "tilo": "scenario", "version": 1,
+      "workloads": [{"name": "x", "source": "y", "kind": "hypercube"}]})");
+  });
+  EXPECT_NE(msg.find("hypercube"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("projective"), std::string::npos) << msg;
+}
