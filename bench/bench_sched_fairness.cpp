@@ -1,0 +1,437 @@
+// Fairness + preemption bench for the tilo::sched fleet scheduler
+// (DESIGN.md §16): a synthetic-clock event simulation drives each policy
+// over adversarial tenant mixes and scores the early-service split with
+// Jain's fairness index, then a real fleet::Controller measures the
+// wall-clock latency of a preemption (high-priority submit -> victim
+// lease requeued) over many iterations.
+//
+// Checks the scheduler's contracts while measuring:
+//   * no starvation — under `fair`, a flooding tenant cannot push a small
+//     tenant's service share to zero inside the measurement window (the
+//     same mix under `fifo` is recorded as the contrast: the flood wins
+//     the whole window there);
+//   * fairness — Jain's index over share-normalized service >= 0.85 for
+//     every fair mix (1.0 = perfectly even, 1/n = one tenant owns all);
+//   * preemption is prompt — the submit-to-requeue decision runs in-line
+//     with the arrival, so its p99 stays far under the heartbeat scale.
+//
+// The mix phase is deterministic (synthetic clock, seeded policies), so
+// its floors hold in quick mode too; only the preemption percentiles are
+// wall-clock.
+//
+// Prints a human-readable summary plus one JSON line (stdout), and with
+// --json[=PATH] writes the full BENCH_sched.json perf record
+// (validate_bench.py checks its schema and floors under bench_smoke).
+//
+// Flags:  --quick        short run (CI smoke): fewer preemption samples
+//         --json[=PATH]  write BENCH_sched.json (or PATH)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "tilo/fleet/controller.hpp"
+#include "tilo/fleet/unit.hpp"
+#include "tilo/pipeline/json.hpp"
+#include "tilo/sched/fleet_policy.hpp"
+#include "tilo/svc/protocol.hpp"
+#include "tilo/util/csv.hpp"
+
+using namespace tilo;
+using bench::JsonLine;
+using pipeline::Json;
+using util::i64;
+
+namespace {
+
+std::string fresh_address(int i) {
+  const char* tmp = std::getenv("TMPDIR");
+  return "unix:" + std::string(tmp ? tmp : "/tmp") + "/tilo_bench_sched_" +
+         std::to_string(::getpid()) + "_" + std::to_string(i) + ".sock";
+}
+
+// ---------------------------------------------------------------------- mixes
+
+/// One tenant's demand in a mix: `jobs` arrays of `units_per_job` units,
+/// every unit costing `cost_ns` of synthetic time.
+struct Demand {
+  std::string tenant;
+  double share = 1.0;
+  int jobs = 1;
+  int units_per_job = 40;
+  double cost_ns = 1'000.0;
+};
+
+struct TenantService {
+  std::string name;
+  double share = 1.0;
+  std::uint64_t completed = 0;  ///< units finished inside the window
+  double normalized = 0.0;      ///< completed / share
+};
+
+struct MixResult {
+  std::string name;
+  std::string policy;
+  std::uint64_t window_units = 0;  ///< completions the window measured
+  std::vector<TenantService> tenants;
+  double jain = 0.0;
+};
+
+/// Jain's fairness index over per-tenant share-normalized service:
+/// (sum x)^2 / (n * sum x^2); 1.0 = perfectly even, 1/n = one tenant
+/// received everything.
+double jain_index(const std::vector<TenantService>& ts) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const TenantService& t : ts) {
+    sum += t.normalized;
+    sum_sq += t.normalized * t.normalized;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return (sum * sum) / (static_cast<double>(ts.size()) * sum_sq);
+}
+
+/// Event simulation on the policy's synthetic clock: lease everything the
+/// policy grants, complete leases in finish-time order, and stop once
+/// `window` units are done — the per-tenant split of that early service
+/// is what fairness is about (run to the end, every mix trivially
+/// completes everything).
+MixResult run_mix(const std::string& name, const std::string& policy_name,
+                  const std::vector<Demand>& demands, i64 partition_cap,
+                  double window_fraction) {
+  sched::PolicyConfig cfg;
+  cfg.policy = policy_name;
+  cfg.partitions.push_back(
+      sched::PartitionLimits{"default", partition_cap, 0});
+  for (const Demand& d : demands)
+    cfg.tenants.push_back(sched::TenantShare{d.tenant, d.share});
+  auto policy = sched::make_policy(cfg);
+
+  std::vector<std::string> unit_tenant;
+  std::vector<double> unit_cost;
+  i64 now = 0;
+  for (const Demand& d : demands) {
+    for (int j = 0; j < d.jobs; ++j) {
+      sched::JobSpec spec;
+      spec.name = d.tenant + "-" + std::to_string(j);
+      spec.tenant = d.tenant;
+      spec.unit_cost_ns = d.cost_ns;
+      std::vector<std::size_t> indices;
+      for (int u = 0; u < d.units_per_job; ++u) {
+        indices.push_back(unit_tenant.size());
+        unit_tenant.push_back(d.tenant);
+        unit_cost.push_back(d.cost_ns);
+      }
+      policy->submit(spec, indices, {}, now);
+    }
+  }
+
+  const std::uint64_t window = static_cast<std::uint64_t>(
+      window_fraction * static_cast<double>(unit_tenant.size()));
+  std::map<std::string, std::uint64_t> completed;
+  for (const Demand& d : demands) completed[d.tenant] = 0;
+
+  // Min-heap of (finish_ns, unit) for everything currently leased.
+  using Lease = std::pair<i64, std::size_t>;
+  std::priority_queue<Lease, std::vector<Lease>, std::greater<Lease>> heap;
+  std::uint64_t done = 0;
+  while (done < window) {
+    for (std::size_t u = policy->pick(now); u != sched::Policy::kNoUnit;
+         u = policy->pick(now))
+      heap.push({now + static_cast<i64>(unit_cost[u]), u});
+    if (heap.empty()) break;  // nothing runnable: the mix is drained
+    const auto [finish, unit] = heap.top();
+    heap.pop();
+    now = finish;
+    policy->complete(unit, now);
+    ++completed[unit_tenant[unit]];
+    ++done;
+  }
+
+  MixResult r;
+  r.name = name;
+  r.policy = policy_name;
+  r.window_units = done;
+  for (const Demand& d : demands) {
+    TenantService t;
+    t.name = d.tenant;
+    t.share = d.share;
+    t.completed = completed[d.tenant];
+    t.normalized = static_cast<double>(t.completed) / d.share;
+    r.tenants.push_back(t);
+  }
+  r.jain = jain_index(r.tenants);
+  return r;
+}
+
+// ----------------------------------------------------------------- preemption
+
+struct PreemptStats {
+  int samples = 0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  std::uint64_t preempted = 0;  ///< total victim leases across iterations
+  bool drops_delivered = true;  ///< every iteration saw its drop notice
+};
+
+/// One preemption iteration: a single-slot fair controller with a running
+/// low-priority job, then a high-priority arrival.  The submit() call
+/// itself performs victim selection and the exactly-once requeue, so its
+/// duration IS the preemption latency; the follow-up poll checks the
+/// drop notice went out.
+double preempt_once(int iteration, bool* drop_seen, std::uint64_t* preempted) {
+  fleet::ControllerConfig cfg;
+  cfg.address = fresh_address(iteration);
+  cfg.speculate = false;
+  cfg.sched.policy = "fair";
+  cfg.sched.partitions.push_back(sched::PartitionLimits{"default", 1, 0});
+  fleet::JobArray low;
+  low.spec.name = "low";
+  low.spec.tenant = "batch";
+  low.spec.priority = 0;
+  low.units.push_back(fleet::WorkUnit{0, "{\"toy\":0}"});
+  low.units.push_back(fleet::WorkUnit{1, "{\"toy\":1}"});
+  std::vector<fleet::JobArray> jobs;
+  jobs.push_back(std::move(low));
+  fleet::Controller controller(std::move(cfg), std::move(jobs));
+  controller.start();
+
+  svc::Request reg;
+  reg.op = svc::Op::kRegister;
+  Json rbody = Json::object();
+  rbody.set("name", Json::string("victim"));
+  reg.fleet = std::move(rbody);
+  const i64 id = Json::parse(controller.call_local(reg).result)
+                     .at("worker_id")
+                     .as_integer("worker_id");
+
+  svc::Request poll;
+  poll.op = svc::Op::kUnit;
+  Json pbody = Json::object();
+  pbody.set("worker_id", Json::integer(id));
+  pbody.set("want", Json::integer(1));
+  poll.fleet = pbody;  // keep a copy for the post-submit poll
+
+  controller.call_local(poll);  // lease unit 0: the slot is now full
+
+  fleet::JobArray high;
+  high.spec.name = "high";
+  high.spec.tenant = "interactive";
+  high.spec.priority = 9;
+  high.units.push_back(fleet::WorkUnit{2, "{\"toy\":2}"});
+  const auto t0 = std::chrono::steady_clock::now();
+  controller.submit(std::move(high));
+  const double latency_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  svc::Request poll2;
+  poll2.op = svc::Op::kUnit;
+  poll2.fleet = std::move(pbody);
+  const Json resp = Json::parse(controller.call_local(poll2).result);
+  if (const Json* drop = resp.find("drop")) {
+    *drop_seen = !drop->as_array("drop").empty();
+  } else {
+    *drop_seen = false;
+  }
+  *preempted = controller.stats().preempted;
+  controller.stop();
+  return latency_ns;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+PreemptStats run_preempt(int samples) {
+  PreemptStats s;
+  std::vector<double> latencies;
+  latencies.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    bool drop_seen = false;
+    std::uint64_t preempted = 0;
+    latencies.push_back(preempt_once(i, &drop_seen, &preempted));
+    s.drops_delivered = s.drops_delivered && drop_seen;
+    s.preempted += preempted;
+  }
+  s.samples = samples;
+  s.p50_ns = percentile(latencies, 0.50);
+  s.p99_ns = percentile(latencies, 0.99);
+  return s;
+}
+
+Json mix_to_json(const MixResult& m) {
+  Json o = Json::object();
+  o.set("name", Json::string(m.name));
+  o.set("policy", Json::string(m.policy));
+  o.set("window_units", Json::integer(static_cast<i64>(m.window_units)));
+  Json ts = Json::array();
+  for (const TenantService& t : m.tenants) {
+    Json e = Json::object();
+    e.set("name", Json::string(t.name));
+    e.set("share", Json::number(t.share));
+    e.set("completed", Json::integer(static_cast<i64>(t.completed)));
+    e.set("normalized", Json::number(t.normalized));
+    ts.push(std::move(e));
+  }
+  o.set("tenants", std::move(ts));
+  o.set("jain", Json::number(m.jain));
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "BENCH_sched.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[i] + 7;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--quick] [--json[=PATH]]\n";
+      return 2;
+    }
+  }
+
+  // The adversarial tenant mixes (EXPERIMENTS.md walkthrough): a uniform
+  // 3-tenant baseline, a 10-job flood against a 1-job minnow under both
+  // fifo (the contrast: flood wins the window) and fair, and a 3:1
+  // weighted split whose service should track the shares.
+  const std::vector<Demand> uniform = {
+      {"alpha", 1.0, 1, 60, 1'000.0},
+      {"beta", 1.0, 1, 60, 1'000.0},
+      {"gamma", 1.0, 1, 60, 1'000.0},
+  };
+  const std::vector<Demand> flood = {
+      {"whale", 1.0, 10, 40, 1'000.0},
+      {"minnow", 1.0, 1, 40, 1'000.0},
+  };
+  const std::vector<Demand> weighted = {
+      {"gold", 3.0, 1, 90, 1'000.0},
+      {"bronze", 1.0, 1, 90, 1'000.0},
+  };
+
+  std::vector<MixResult> mixes;
+  mixes.push_back(run_mix("uniform-fair", "fair", uniform, 4, 0.5));
+  mixes.push_back(run_mix("flood-fifo", "fifo", flood, 4, 0.2));
+  mixes.push_back(run_mix("flood-fair", "fair", flood, 4, 0.2));
+  // The weighted window measures gold's 3x share against bronze: stop
+  // after half the total so both tenants still have queued demand.
+  mixes.push_back(run_mix("weighted-fair", "fair", weighted, 4, 0.5));
+
+  std::cout << "== tenant mixes, Jain's index over share-normalized "
+               "service ==\n";
+  util::Table table;
+  table.set_header({"mix", "policy", "window", "per-tenant completed",
+                    "Jain"});
+  for (const MixResult& m : mixes) {
+    std::string per;
+    for (const TenantService& t : m.tenants) {
+      if (!per.empty()) per += ", ";
+      per += t.name + " " + std::to_string(t.completed);
+    }
+    table.add_row({m.name, m.policy, std::to_string(m.window_units), per,
+                   util::fmt_fixed(m.jain, 3)});
+  }
+  table.write_text(std::cout);
+
+  const int samples = quick ? 40 : 200;
+  const PreemptStats preempt = run_preempt(samples);
+  std::cout << "\n== preemption latency (submit -> victim requeued), "
+            << preempt.samples << " iteration(s) ==\n"
+            << "  p50  " << util::fmt_fixed(preempt.p50_ns / 1e3, 1)
+            << " us\n"
+            << "  p99  " << util::fmt_fixed(preempt.p99_ns / 1e3, 1)
+            << " us\n"
+            << "  " << preempt.preempted << " lease(s) preempted, drop "
+            << "notices " << (preempt.drops_delivered ? "all" : "NOT all")
+            << " delivered\n";
+
+  // Bench-side contract checks (validate_bench.py re-verifies from the
+  // record).
+  auto mix_named = [&mixes](const std::string& name) -> const MixResult& {
+    for (const MixResult& m : mixes)
+      if (m.name == name) return m;
+    std::cerr << "FAIL: mix " << name << " missing\n";
+    std::exit(1);
+  };
+  bool ok = true;
+  for (const MixResult& m : mixes) {
+    if (m.policy != "fair") continue;
+    if (m.jain < 0.85) {
+      std::cerr << "FAIL: " << m.name << " Jain " << m.jain
+                << " below the 0.85 floor\n";
+      ok = false;
+    }
+    for (const TenantService& t : m.tenants)
+      if (t.completed == 0) {
+        std::cerr << "FAIL: " << m.name << " starved tenant " << t.name
+                  << "\n";
+        ok = false;
+      }
+  }
+  if (mix_named("flood-fair").jain <= mix_named("flood-fifo").jain) {
+    std::cerr << "FAIL: fair did not beat fifo on the flood mix\n";
+    ok = false;
+  }
+  if (!preempt.drops_delivered ||
+      preempt.preempted < static_cast<std::uint64_t>(preempt.samples)) {
+    std::cerr << "FAIL: a preemption lost its victim or its drop notice\n";
+    ok = false;
+  }
+
+  JsonLine line;
+  line.str("bench", "sched")
+      .num("mixes", static_cast<i64>(mixes.size()))
+      .num("flood_fair_jain", mix_named("flood-fair").jain)
+      .num("flood_fifo_jain", mix_named("flood-fifo").jain)
+      .num("preempt_p50_us", preempt.p50_ns / 1e3)
+      .num("preempt_p99_us", preempt.p99_ns / 1e3)
+      .boolean("ok", ok);
+  line.write(std::cout);
+
+  if (json) {
+    Json doc = Json::object();
+    doc.set("bench", Json::string("sched"));
+    doc.set("quick", Json::boolean(quick));
+    Json arr = Json::array();
+    for (const MixResult& m : mixes) arr.push(mix_to_json(m));
+    doc.set("mixes", std::move(arr));
+    Json p = Json::object();
+    p.set("samples", Json::integer(preempt.samples));
+    p.set("p50_ns", Json::number(preempt.p50_ns));
+    p.set("p99_ns", Json::number(preempt.p99_ns));
+    p.set("preempted", Json::integer(static_cast<i64>(preempt.preempted)));
+    p.set("drops_delivered", Json::boolean(preempt.drops_delivered));
+    doc.set("preemption", std::move(p));
+    doc.set("fairness_ok", Json::boolean(ok));
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "FAIL: cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    os << doc.dump() << "\n";
+    std::cout << "bench report written to " << json_path << "\n";
+  }
+  return ok ? 0 : 1;
+}

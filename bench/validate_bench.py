@@ -9,6 +9,7 @@ Dispatches on the document's "bench" field:
   fleet_scale       BENCH_fleet.json (bench_fleet_scale --json)
   model             BENCH_model.json (bench_overlap_levels --json)
   dag               BENCH_dag.json   (bench_dag_makespan --json)
+  sched             BENCH_sched.json (bench_sched_fairness --json)
 
 Fails (exit 1) when the file is missing, is not valid JSON, or does not
 match the schema the perf-trajectory tooling expects.
@@ -334,6 +335,83 @@ def check_dag(doc):
           f"best achieved/bound ratio {min_ratio:.3f}")
 
 
+FAIRNESS_MIN_JAIN = 0.85
+
+
+def check_sched(doc):
+    """BENCH_sched.json: tenant-mix fairness + preemption latency.
+
+    The hard contract (quick mode included — the mix phase runs on a
+    synthetic clock, so it is deterministic): Jain's index over
+    share-normalized service >= FAIRNESS_MIN_JAIN for every fair mix, no
+    tenant starves inside a fair window, the fair flood beats the fifo
+    flood, and every preemption iteration requeued its victim and
+    delivered the drop notice.  Only the latency percentiles are
+    wall-clock, and their ordering (p50 <= p99) must still hold.
+    """
+    mixes = doc.get("mixes")
+    require(isinstance(mixes, list) and len(mixes) >= 4,
+            "need >= 4 tenant mixes")
+    by_name = {}
+    for m in mixes:
+        for key in ("name", "policy", "window_units", "tenants", "jain"):
+            require(key in m, f"mixes[].{key} missing")
+        require(0.0 <= m["jain"] <= 1.0 + 1e-9,
+                f"mix {m['name']!r} Jain index out of [0, 1]")
+        require(isinstance(m["tenants"], list) and m["tenants"],
+                f"mix {m['name']!r} has no tenants")
+        total = 0
+        for t in m["tenants"]:
+            for key in ("name", "share", "completed", "normalized"):
+                require(key in t, f"mix {m['name']!r} tenants[].{key} missing")
+            require(t["share"] > 0, f"mix {m['name']!r} non-positive share")
+            total += t["completed"]
+        require(total == m["window_units"],
+                f"mix {m['name']!r} tenant completions do not sum to the "
+                "window")
+        by_name[m["name"]] = m
+    for name in ("uniform-fair", "flood-fifo", "flood-fair",
+                 "weighted-fair"):
+        require(name in by_name, f"mix record {name!r} missing")
+
+    for m in mixes:
+        if m["policy"] != "fair":
+            continue
+        require(m["jain"] >= FAIRNESS_MIN_JAIN,
+                f"fair mix {m['name']!r} Jain {m['jain']:.3f} below the "
+                f"{FAIRNESS_MIN_JAIN} floor")
+        for t in m["tenants"]:
+            require(t["completed"] >= 1,
+                    f"fair mix {m['name']!r} starved tenant {t['name']!r}")
+    # The contrast the flood mix exists for: fifo lets the flood own the
+    # window, fair does not.
+    require(by_name["flood-fair"]["jain"] > by_name["flood-fifo"]["jain"],
+            "fair did not beat fifo on the flood mix")
+
+    pre = doc.get("preemption")
+    require(isinstance(pre, dict), "preemption missing")
+    for key in ("samples", "p50_ns", "p99_ns", "preempted",
+                "drops_delivered"):
+        require(key in pre, f"preemption.{key} missing")
+    require(pre["samples"] >= 10, "need >= 10 preemption samples")
+    require(0 < pre["p50_ns"] <= pre["p99_ns"],
+            "preemption percentiles out of order")
+    # Exactly-once: every iteration preempted its one victim lease and
+    # the drop notice reached the holder.
+    require(pre["preempted"] >= pre["samples"],
+            "an iteration lost its preemption")
+    require(pre["drops_delivered"] is True,
+            "a drop notice was never delivered")
+    require(doc.get("fairness_ok") is True,
+            "bench-side fairness check failed")
+
+    print("BENCH_sched.json schema OK:",
+          f"{len(mixes)} mixes,",
+          f"flood fair/fifo Jain {by_name['flood-fair']['jain']:.3f}/"
+          f"{by_name['flood-fifo']['jain']:.3f},",
+          f"preempt p99 {pre['p99_ns'] / 1e3:.0f} us")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: validate_bench.py FILE")
@@ -362,10 +440,12 @@ def main():
         check_model(doc)
     elif kind == "dag":
         check_dag(doc)
+    elif kind == "sched":
+        check_sched(doc)
     else:
         fail(f"unknown bench kind {kind!r} "
-             "(expected sweep_throughput, svc_load, fleet_scale, model or "
-             "dag)")
+             "(expected sweep_throughput, svc_load, fleet_scale, model, "
+             "dag or sched)")
 
 
 if __name__ == "__main__":

@@ -103,6 +103,15 @@ struct CliOptions {
   bool fleet_sweep = false;     ///< controller job: sweep the height grid
   i64 fleet_local = 0;          ///< in-process workers for the controller
   i64 fleet_batch = 0;          ///< heights per unit; 0 = analytic auto
+  i64 fleet_credit = 4;         ///< per-worker credit window
+  i64 fleet_heartbeat_ms = 500;
+  i64 fleet_miss_threshold = 3;
+  i64 fleet_speculate_after_ms = 1000;
+  std::string fleet_policy = "fifo";     ///< fifo | fair | backfill
+  std::string fleet_tenant = "default";  ///< job array's tenant tag
+  i64 fleet_priority = 0;                ///< job array's base priority
+  std::string fleet_queue_address;       ///< --fleet-queue: squeue-style
+  std::string fleet_acct_address;        ///< --fleet-accounting: sacct-style
   std::string machine_path;     ///< --machine: load a machine-model file
   std::string model_name;       ///< --model: registry name (mach::make_model)
   std::string calibrate_path;   ///< --calibrate: write the fitted model here
@@ -290,6 +299,66 @@ constexpr Flag kFlags[] = {
      "of up to N, 0 = analytic cost-balanced chunks (default)",
      [](CliOptions& c, const std::string& v) {
        return to_i64(v, c.fleet_batch) && c.fleet_batch >= 0;
+     }},
+    {"--fleet-credit", "N",
+     "per-worker credit window: max units on lease to one worker "
+     "(with --fleet-controller; default 4)",
+     [](CliOptions& c, const std::string& v) {
+       return to_i64(v, c.fleet_credit) && c.fleet_credit >= 1;
+     }},
+    {"--fleet-heartbeat", "MS",
+     "worker heartbeat interval the controller advertises (default 500)",
+     [](CliOptions& c, const std::string& v) {
+       return to_i64(v, c.fleet_heartbeat_ms) && c.fleet_heartbeat_ms >= 1;
+     }},
+    {"--fleet-miss-threshold", "N",
+     "evict a worker after N silent heartbeat intervals (default 3)",
+     [](CliOptions& c, const std::string& v) {
+       return to_i64(v, c.fleet_miss_threshold) && c.fleet_miss_threshold >= 1;
+     }},
+    {"--fleet-speculate-after", "MS",
+     "lease age before a unit is re-dispatched speculatively; 0 disables "
+     "speculation (default 1000)",
+     [](CliOptions& c, const std::string& v) {
+       return to_i64(v, c.fleet_speculate_after_ms) &&
+              c.fleet_speculate_after_ms >= 0;
+     }},
+    {"--fleet-policy", "NAME",
+     "dispatch policy: fifo (submit order; default), fair (priority + "
+     "fair-share, head-of-line reservation), backfill (fair + cost-fit "
+     "out-of-order grants)",
+     [](CliOptions& c, const std::string& v) {
+       for (const std::string& n : tilo::sched::policy_names())
+         if (v == n) {
+           c.fleet_policy = v;
+           return true;
+         }
+       return false;
+     }},
+    {"--fleet-tenant", "NAME",
+     "tenant the controller's job array is accounted to (default "
+     "\"default\")",
+     [](CliOptions& c, const std::string& v) {
+       c.fleet_tenant = v;
+       return !v.empty();
+     }},
+    {"--fleet-priority", "N",
+     "base priority of the controller's job array (higher runs first)",
+     [](CliOptions& c, const std::string& v) {
+       return to_i64(v, c.fleet_priority);
+     }},
+    {"--fleet-queue", "ADDR",
+     "print a running controller's squeue-style job/partition table",
+     [](CliOptions& c, const std::string& v) {
+       c.fleet_queue_address = v;
+       return !v.empty();
+     }},
+    {"--fleet-accounting", "ADDR",
+     "print a running controller's sacct-style per-tenant fair-share "
+     "accounting",
+     [](CliOptions& c, const std::string& v) {
+       c.fleet_acct_address = v;
+       return !v.empty();
      }},
     {"--machine", "FILE",
      "load the machine model from FILE (a machine_model envelope written "
@@ -895,6 +964,7 @@ int run_fleet_controller(const CliOptions& cli,
                          std::shared_ptr<const tilo::mach::Model> model) {
   using namespace tilo;
   std::vector<fleet::WorkUnit> units;
+  std::vector<double> unit_costs;  ///< analytic ns estimates (sweep only)
   std::vector<std::string> names;  ///< scenario workload names, by unit
   bool sweep_job = false;
   if (!cli.scenario_path.empty()) {
@@ -968,6 +1038,7 @@ int run_fleet_controller(const CliOptions& cli,
       if (cli.fleet_batch > 1) batch.max_heights = cli.fleet_batch;
       units = fleet::sweep_batch_units(problem, grid, batch);
     }
+    unit_costs = fleet::unit_cost_estimates(problem, units);
   } else {
     std::cerr << "error: --fleet-controller needs a job: --fleet-sweep or "
                  "--scenario FILE\n";
@@ -976,9 +1047,25 @@ int run_fleet_controller(const CliOptions& cli,
 
   fleet::ControllerConfig config;
   config.address = cli.fleet_controller_address;
+  config.credit = static_cast<int>(cli.fleet_credit);
+  config.heartbeat_ms = cli.fleet_heartbeat_ms;
+  config.miss_threshold = static_cast<int>(cli.fleet_miss_threshold);
+  config.speculate = cli.fleet_speculate_after_ms > 0;
+  if (config.speculate) config.speculate_after_ms = cli.fleet_speculate_after_ms;
+  config.sched.policy = cli.fleet_policy;
   obs::ChromeTraceSink chrome;
   if (!cli.trace_path.empty()) config.sink = &chrome;
-  fleet::Controller controller(std::move(config), std::move(units));
+
+  // The whole job — a sweep or a scenario — is one scheduler job array
+  // tagged with the tenant/priority flags; sweep units also carry their
+  // analytic cost estimates so `backfill` has something to fit.
+  std::vector<fleet::JobArray> jobs(1);
+  jobs[0].spec.name = sweep_job ? "sweep" : "scenario";
+  jobs[0].spec.tenant = cli.fleet_tenant;
+  jobs[0].spec.priority = cli.fleet_priority;
+  jobs[0].unit_costs_ns = std::move(unit_costs);
+  jobs[0].units = std::move(units);
+  fleet::Controller controller(std::move(config), std::move(jobs));
   try {
     controller.start();
   } catch (const util::Error& e) {
@@ -1054,6 +1141,101 @@ int run_fleet_controller(const CliOptions& cli,
   return kExitOk;
 }
 
+/// --fleet-queue ADDR: one squeue-style snapshot of a running controller —
+/// per-job scheduling state, then per-partition occupancy.
+int run_fleet_queue(const CliOptions& cli) {
+  using namespace tilo;
+  std::optional<svc::Client> client;
+  try {
+    client = svc::Client::connect(cli.fleet_queue_address);
+  } catch (const util::Error& e) {
+    std::cerr << "error: cannot connect to " << cli.fleet_queue_address
+              << ": " << e.what()
+              << "\n(is a fleet controller running there?)\n";
+    return kExitService;
+  }
+  const svc::Response resp = client->queue();
+  if (resp.status != svc::RespStatus::kOk) {
+    std::cerr << "error: queue answered " << svc::status_name(resp.status)
+              << ": " << resp.error << '\n';
+    return kExitService;
+  }
+  const pipeline::Json r = pipeline::Json::parse(resp.result);
+  std::cout << "fleet queue (" << r.at("policy").as_string("policy")
+            << " policy)\n";
+  util::Table jobs;
+  jobs.set_header({"job", "name", "tenant", "partition", "state", "prio",
+                   "eff", "age ms", "units", "queued", "run", "done",
+                   "preempted"});
+  for (const pipeline::Json& j : r.at("jobs").as_array("jobs"))
+    jobs.add_row(
+        {std::to_string(j.at("job").as_integer("job")),
+         j.at("name").as_string("name"), j.at("tenant").as_string("tenant"),
+         j.at("partition").as_string("partition"),
+         j.at("state").as_string("state"),
+         std::to_string(j.at("priority").as_integer("priority")),
+         std::to_string(
+             j.at("effective_priority").as_integer("effective_priority")),
+         std::to_string(j.at("age_ms").as_integer("age_ms")),
+         std::to_string(j.at("units").as_integer("units")),
+         std::to_string(j.at("queued").as_integer("queued")),
+         std::to_string(j.at("in_flight").as_integer("in_flight")),
+         std::to_string(j.at("done").as_integer("done")),
+         std::to_string(j.at("preempted").as_integer("preempted"))});
+  jobs.write_text(std::cout);
+  util::Table parts;
+  parts.set_header(
+      {"partition", "max in-flight", "max per-job", "queued", "in flight"});
+  for (const pipeline::Json& p : r.at("partitions").as_array("partitions"))
+    parts.add_row(
+        {p.at("name").as_string("name"),
+         std::to_string(p.at("max_in_flight").as_integer("max_in_flight")),
+         std::to_string(
+             p.at("max_units_per_job").as_integer("max_units_per_job")),
+         std::to_string(p.at("queued").as_integer("queued")),
+         std::to_string(p.at("in_flight").as_integer("in_flight"))});
+  parts.write_text(std::cout);
+  return kExitOk;
+}
+
+/// --fleet-accounting ADDR: sacct-style per-tenant fair-share accounting.
+int run_fleet_acct(const CliOptions& cli) {
+  using namespace tilo;
+  std::optional<svc::Client> client;
+  try {
+    client = svc::Client::connect(cli.fleet_acct_address);
+  } catch (const util::Error& e) {
+    std::cerr << "error: cannot connect to " << cli.fleet_acct_address
+              << ": " << e.what()
+              << "\n(is a fleet controller running there?)\n";
+    return kExitService;
+  }
+  const svc::Response resp = client->accounting();
+  if (resp.status != svc::RespStatus::kOk) {
+    std::cerr << "error: accounting answered "
+              << svc::status_name(resp.status) << ": " << resp.error << '\n';
+    return kExitService;
+  }
+  const pipeline::Json r = pipeline::Json::parse(resp.result);
+  std::cout << "fleet accounting (" << r.at("policy").as_string("policy")
+            << " policy)\n";
+  util::Table t;
+  t.set_header({"tenant", "share", "decayed usage", "factor", "charged"});
+  for (const pipeline::Json& tn : r.at("tenants").as_array("tenants"))
+    t.add_row({tn.at("name").as_string("name"),
+               util::fmt_fixed(tn.at("share").as_number("share"), 2),
+               util::fmt_fixed(tn.at("usage").as_number("usage"), 1),
+               util::fmt_fixed(tn.at("factor").as_number("factor"), 3),
+               std::to_string(
+                   tn.at("charged_units").as_integer("charged_units"))});
+  t.write_text(std::cout);
+  std::cout << r.at("preempted").as_integer("preempted")
+            << " preempted lease(s), "
+            << r.at("backfilled").as_integer("backfilled")
+            << " backfilled grant(s)\n";
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1102,6 +1284,8 @@ int main(int argc, char** argv) {
     if (const int rc = resolve_model(cli, model); rc != kExitOk) return rc;
     if (!cli.calibrate_path.empty())
       return run_calibrate(cli, std::move(model));
+    if (!cli.fleet_queue_address.empty()) return run_fleet_queue(cli);
+    if (!cli.fleet_acct_address.empty()) return run_fleet_acct(cli);
     if (!cli.fleet_worker_address.empty()) return run_fleet_worker(cli);
     if (!cli.fleet_controller_address.empty())
       return run_fleet_controller(cli, std::move(model));

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <ostream>
 
 #include "tilo/svc/server.hpp"  // histogram_percentile_ns
@@ -22,6 +23,13 @@ std::int64_t now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// The legacy single-job plan: every unit under one default-spec array.
+std::vector<JobArray> wrap_units(std::vector<WorkUnit> units) {
+  std::vector<JobArray> jobs(1);
+  jobs[0].units = std::move(units);
+  return jobs;
 }
 
 }  // namespace
@@ -42,27 +50,92 @@ struct Controller::ConnSlot {
 };
 
 Controller::Controller(ControllerConfig cfg, std::vector<WorkUnit> units)
-    : cfg_(std::move(cfg)), merge_(units.size()) {
+    : Controller(std::move(cfg), wrap_units(std::move(units))) {}
+
+Controller::Controller(ControllerConfig cfg, std::vector<JobArray> jobs)
+    : cfg_(std::move(cfg)),
+      policy_(sched::make_policy(cfg_.sched)),
+      merge_(0) {
   TILO_REQUIRE(cfg_.credit >= 1, "fleet: credit window must be >= 1, got ",
                cfg_.credit);
   TILO_REQUIRE(cfg_.heartbeat_ms >= 1, "fleet: heartbeat_ms must be >= 1");
   TILO_REQUIRE(cfg_.miss_threshold >= 1, "fleet: miss_threshold must be >= 1");
-  TILO_REQUIRE(!units.empty(), "fleet: nothing to dispatch (0 units)");
-  units_.resize(units.size());
-  for (WorkUnit& u : units) {
-    TILO_REQUIRE(u.index < units_.size(), "fleet: unit index ", u.index,
-                 " out of range");
-    units_[u.index].payload = std::move(u.payload);
-  }
-  for (std::size_t i = 0; i < units_.size(); ++i) {
-    TILO_REQUIRE(!units_[i].payload.empty(), "fleet: missing unit ", i);
-    pending_.push_back(i);
-  }
+  std::size_t total = 0;
+  for (const JobArray& j : jobs) total += j.units.size();
+  TILO_REQUIRE(total > 0, "fleet: nothing to dispatch (0 units)");
+  const i64 now = now_ns();
+  for (JobArray& j : jobs) submit_locked(std::move(j), now);
   if (cfg_.sink)
     cfg_.sink->counter("fleet.units", static_cast<double>(units_.size()));
 }
 
 Controller::~Controller() { stop(); }
+
+i64 Controller::submit(JobArray job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submit_locked(std::move(job), now_ns());
+}
+
+i64 Controller::submit_locked(JobArray job, i64 now) {
+  const std::size_t base = units_.size();
+  const std::size_t n = job.units.size();
+  TILO_REQUIRE(n > 0, "fleet: job array \"", job.spec.name, "\" has no units");
+  TILO_REQUIRE(
+      job.unit_costs_ns.empty() || job.unit_costs_ns.size() == n,
+      "fleet: job array \"", job.spec.name, "\" has ", job.unit_costs_ns.size(),
+      " cost estimates for ", n, " units");
+  units_.resize(base + n);
+  for (WorkUnit& u : job.units) {
+    TILO_REQUIRE(u.index >= base && u.index < base + n, "fleet: unit index ",
+                 u.index, " out of range");
+    TILO_REQUIRE(units_[u.index].payload.empty(), "fleet: duplicate unit ",
+                 u.index);
+    units_[u.index].payload = std::move(u.payload);
+  }
+  for (std::size_t i = base; i < base + n; ++i)
+    TILO_REQUIRE(!units_[i].payload.empty(), "fleet: missing unit ", i);
+  merge_.extend(n);
+
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), base);
+  const i64 id =
+      policy_->submit(job.spec, indices, job.unit_costs_ns, now);
+  if (cfg_.sink) cfg_.sink->counter("sched.jobs", 1);
+  // A high-priority arrival into a full partition evicts the lowest
+  // -priority running job's leases — through the same exactly-once
+  // requeue machinery worker eviction uses.
+  const std::vector<std::size_t> victims =
+      policy_->preemption_victims(id, now);
+  if (!victims.empty()) preempt_locked(victims, now);
+  return id;
+}
+
+/// Forcibly requeues leased units so a higher-priority job can run: strip
+/// every lease, queue a drop notice for each holder's next unit poll, and
+/// hand the unit back to the policy front-of-queue.
+void Controller::preempt_locked(const std::vector<std::size_t>& victims,
+                                i64 now) {
+  for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+    Unit& u = units_[*it];
+    if (u.state != UnitState::kLeased) continue;
+    for (int worker : u.owners) {
+      if (Member* m = membership_.find(worker))
+        m->leased.erase(std::remove(m->leased.begin(), m->leased.end(), *it),
+                        m->leased.end());
+      dropped_[worker].push_back(*it);
+    }
+    u.owners.clear();
+    u.state = UnitState::kPending;
+    policy_->requeue(*it, now, /*preempted=*/true);
+    ++requeued_;
+    ++preempted_;
+    if (cfg_.sink) {
+      cfg_.sink->counter("sched.preempted", 1);
+      cfg_.sink->counter("fleet.requeued", 1);
+      cfg_.sink->counter("fleet.queue_depth", 1);
+    }
+  }
+}
 
 void Controller::start() {
   TILO_REQUIRE(!started_.load(), "fleet::Controller::start called twice");
@@ -214,9 +287,18 @@ svc::Response Controller::handle(const svc::Request& req) {
       r.set("requeued", Json::integer(static_cast<i64>(s.requeued)));
       r.set("speculated", Json::integer(static_cast<i64>(s.speculated)));
       r.set("duplicates", Json::integer(static_cast<i64>(s.duplicates)));
+      r.set("jobs", Json::integer(static_cast<i64>(s.jobs)));
+      r.set("preempted", Json::integer(static_cast<i64>(s.preempted)));
+      r.set("backfilled", Json::integer(static_cast<i64>(s.backfilled)));
       resp.result = r.dump();
       return resp;
     }
+    case svc::Op::kQueue:
+      resp.result = handle_queue();
+      return resp;
+    case svc::Op::kAcct:
+      resp.result = handle_acct();
+      return resp;
     case svc::Op::kRegister:
       resp.result = handle_register(req.fleet);
       return resp;
@@ -338,17 +420,84 @@ std::string Controller::handle_unit(const Json& body) {
     out += units_[index].payload;
     out += '}';
   }
-  out += "]}";
+  out += "]";
+  // Preemption drop notices ride the poll the victims' holder makes next.
+  // The key is emitted only when non-empty, so pre-scheduler response
+  // bytes are unchanged whenever nothing was preempted (always, under
+  // fifo).
+  if (auto it = dropped_.find(id); it != dropped_.end()) {
+    if (!it->second.empty()) {
+      std::sort(it->second.begin(), it->second.end());
+      out += ",\"drop\":[";
+      for (std::size_t i = 0; i < it->second.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(it->second[i]);
+      }
+      out += "]";
+    }
+    dropped_.erase(it);
+  }
+  out += "}";
   return out;
 }
 
-std::size_t Controller::next_pending_locked() {
-  while (!pending_.empty()) {
-    const std::size_t index = pending_.front();
-    pending_.pop_front();
-    if (units_[index].state == UnitState::kPending) return index;
+std::string Controller::handle_queue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const i64 now = now_ns();
+  Json r = Json::object();
+  r.set("policy", Json::string(std::string(policy_->name())));
+  Json jobs = Json::array();
+  for (const sched::JobStatus& j : policy_->job_statuses(now)) {
+    Json o = Json::object();
+    o.set("job", Json::integer(j.id));
+    o.set("name", Json::string(j.name));
+    o.set("tenant", Json::string(j.tenant));
+    o.set("partition", Json::string(j.partition));
+    o.set("state", Json::string(std::string(sched::job_state_name(j.state))));
+    o.set("priority", Json::integer(j.priority));
+    o.set("effective_priority", Json::integer(j.effective_priority));
+    o.set("age_ms", Json::integer(j.age_ns / 1'000'000));
+    o.set("units", Json::integer(static_cast<i64>(j.units)));
+    o.set("queued", Json::integer(static_cast<i64>(j.queued)));
+    o.set("in_flight", Json::integer(static_cast<i64>(j.in_flight)));
+    o.set("done", Json::integer(static_cast<i64>(j.done)));
+    o.set("preempted", Json::integer(j.preempted));
+    jobs.push(std::move(o));
   }
-  return kNone;
+  r.set("jobs", std::move(jobs));
+  Json parts = Json::array();
+  for (const sched::PartitionStatus& p : policy_->partition_statuses()) {
+    Json o = Json::object();
+    o.set("name", Json::string(p.name));
+    o.set("max_in_flight", Json::integer(p.max_in_flight));
+    o.set("max_units_per_job", Json::integer(p.max_units_per_job));
+    o.set("queued", Json::integer(static_cast<i64>(p.queued)));
+    o.set("in_flight", Json::integer(static_cast<i64>(p.in_flight)));
+    parts.push(std::move(o));
+  }
+  r.set("partitions", std::move(parts));
+  return r.dump();
+}
+
+std::string Controller::handle_acct() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const i64 now = now_ns();
+  Json r = Json::object();
+  r.set("policy", Json::string(std::string(policy_->name())));
+  Json tenants = Json::array();
+  for (const sched::TenantStatus& t : policy_->tenant_statuses(now)) {
+    Json o = Json::object();
+    o.set("name", Json::string(t.name));
+    o.set("share", Json::number(t.share));
+    o.set("usage", Json::number(t.usage));
+    o.set("factor", Json::number(t.factor));
+    o.set("charged_units", Json::integer(t.charged_units));
+    tenants.push(std::move(o));
+  }
+  r.set("tenants", std::move(tenants));
+  r.set("preempted", Json::integer(static_cast<i64>(preempted_)));
+  r.set("backfilled", Json::integer(static_cast<i64>(policy_->backfilled())));
+  return r.dump();
 }
 
 /// The oldest singly-leased unit this worker does not already hold —
@@ -376,13 +525,21 @@ std::vector<std::size_t> Controller::lease_locked(Member& m, i64 want,
   std::vector<std::size_t> out;
   const i64 window = std::min<i64>(want, cfg_.credit);
   while (static_cast<i64>(m.leased.size()) < window) {
-    std::size_t index = next_pending_locked();
+    const std::uint64_t backfills = policy_->backfilled();
+    std::size_t index = policy_->pick(now);
     bool speculative = false;
     if (index == kNone && cfg_.speculate) {
       index = straggler_locked(m.id, now);
       speculative = index != kNone;
     }
     if (index == kNone) break;
+    if (!speculative && policy_->backfilled() != backfills && cfg_.sink)
+      cfg_.sink->counter("sched.backfilled", 1);
+    // A lease supersedes any not-yet-delivered drop notice for the same
+    // unit: never tell a worker to drop work this response hands it.
+    if (auto d = dropped_.find(m.id); d != dropped_.end())
+      d->second.erase(std::remove(d->second.begin(), d->second.end(), index),
+                      d->second.end());
     Unit& u = units_[index];
     u.state = UnitState::kLeased;
     if (u.first_lease_ns == 0) u.first_lease_ns = now;
@@ -421,6 +578,7 @@ void Controller::complete_locked(std::size_t index, std::string payload,
   if (u.state == UnitState::kPending && cfg_.sink)
     cfg_.sink->counter("fleet.queue_depth", -1);
   u.state = UnitState::kDone;
+  policy_->complete(index, now);
   const bool won = merge_.add(index, std::move(payload));
   TILO_ASSERT(won, "fleet: unit state/merge disagreement at ", index);
   if (Member* m = membership_.find(worker)) ++m->completed;
@@ -441,6 +599,8 @@ void Controller::complete_locked(std::size_t index, std::string payload,
 /// died) or still co-leased by a live speculative holder stays put.
 void Controller::requeue_locked(const std::vector<std::size_t>& leases,
                                 int worker) {
+  const i64 now = now_ns();
+  dropped_.erase(worker);
   std::vector<std::size_t> lost(leases);
   std::sort(lost.begin(), lost.end());
   for (auto it = lost.rbegin(); it != lost.rend(); ++it) {
@@ -449,7 +609,7 @@ void Controller::requeue_locked(const std::vector<std::size_t>& leases,
                    u.owners.end());
     if (u.state != UnitState::kLeased || !u.owners.empty()) continue;
     u.state = UnitState::kPending;
-    pending_.push_front(*it);
+    policy_->requeue(*it, now);
     ++requeued_;
     if (cfg_.sink) {
       cfg_.sink->counter("fleet.requeued", 1);
@@ -476,6 +636,9 @@ FleetStats Controller::stats() const {
   s.duplicates = duplicates_;
   s.heartbeats = heartbeats_;
   s.unit_polls = unit_polls_;
+  s.jobs = policy_->jobs();
+  s.preempted = preempted_;
+  s.backfilled = policy_->backfilled();
   return s;
 }
 
@@ -490,6 +653,9 @@ void Controller::write_report(std::ostream& os) const {
      << "  resilience  " << s.requeued << " requeued, " << s.speculated
      << " speculative lease(s), " << s.duplicates
      << " duplicate result(s) dropped\n"
+     << "  scheduler   " << cfg_.sched.policy << " policy, " << s.jobs
+     << " job(s), " << s.preempted << " preempted lease(s), " << s.backfilled
+     << " backfilled\n"
      << "  traffic     " << s.unit_polls << " unit poll(s), " << s.heartbeats
      << " heartbeat(s)\n"
      << "  latency     unit p50 ~"

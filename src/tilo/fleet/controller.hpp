@@ -32,18 +32,19 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "tilo/fleet/membership.hpp"
 #include "tilo/fleet/merge.hpp"
 #include "tilo/fleet/unit.hpp"
 #include "tilo/obs/registry.hpp"
+#include "tilo/sched/fleet_policy.hpp"
 #include "tilo/svc/protocol.hpp"
 #include "tilo/svc/socket.hpp"
 
@@ -66,6 +67,10 @@ struct ControllerConfig {
   /// Lease age before a unit counts as a straggler.
   i64 speculate_after_ms = 1000;
   std::size_t max_frame_bytes = svc::kDefaultMaxFrameBytes;
+  /// Dispatch policy, partitions, tenant shares (sched::make_policy).
+  /// The default — fifo, everything unlimited — reproduces the legacy
+  /// flat-deque dispatch bit for bit.
+  sched::PolicyConfig sched;
   obs::Sink* sink = nullptr;
 };
 
@@ -83,11 +88,20 @@ struct FleetStats {
   std::uint64_t duplicates = 0;  ///< results dropped by first-wins dedup
   std::uint64_t heartbeats = 0;
   std::uint64_t unit_polls = 0;
+  std::size_t jobs = 0;          ///< job arrays submitted
+  std::uint64_t preempted = 0;   ///< leases requeued by preemption
+  std::uint64_t backfilled = 0;  ///< units dispatched out of order
 };
 
 class Controller {
  public:
+  /// Single-job plan: every unit under one default job array (tenant
+  /// "default", priority 0) — the legacy constructor, dispatch-identical
+  /// to the pre-scheduler controller under the default fifo policy.
   Controller(ControllerConfig cfg, std::vector<WorkUnit> units);
+  /// Multi-tenant plan: one scheduler job per array.  Unit indices must
+  /// be dense across the arrays (they key the merge).
+  Controller(ControllerConfig cfg, std::vector<JobArray> jobs);
   ~Controller();
 
   Controller(const Controller&) = delete;
@@ -106,6 +120,13 @@ class Controller {
   /// indistinguishable from a remote one to the unit state machine.
   /// Thread-safe; usable as soon as the controller is constructed.
   svc::Response call_local(const svc::Request& req);
+
+  /// Submits another job array mid-run (its unit indices must continue
+  /// densely where the current plan ends).  May preempt: when the new
+  /// job outranks the lowest-priority running job in a full partition,
+  /// that job's leases requeue through the exactly-once machinery.
+  /// Returns the scheduler job id.
+  i64 submit(JobArray job);
 
   /// Blocks until every unit has a merged result.
   void wait();
@@ -147,14 +168,17 @@ class Controller {
   std::string handle_heartbeat(const Json& body);
   std::string handle_deregister(const Json& body);
   std::string handle_unit(const Json& body);
+  std::string handle_queue();
+  std::string handle_acct();
 
   // All _locked helpers require mu_.
-  std::size_t next_pending_locked();
+  i64 submit_locked(JobArray job, i64 now);
   std::size_t straggler_locked(int worker, i64 now);
   std::vector<std::size_t> lease_locked(Member& m, i64 want, i64 now);
   void complete_locked(std::size_t index, std::string payload, int worker,
                        i64 now);
   void requeue_locked(const std::vector<std::size_t>& leases, int worker);
+  void preempt_locked(const std::vector<std::size_t>& victims, i64 now);
 
   ControllerConfig cfg_;
   Address addr_;
@@ -172,10 +196,17 @@ class Controller {
   std::condition_variable cv_done_;
   std::condition_variable cv_tick_;
   std::vector<Unit> units_;
-  std::deque<std::size_t> pending_;
+  /// The dispatch brain: which pending unit runs next, who gets
+  /// preempted.  Pure bookkeeping guarded by mu_, like membership_.
+  std::unique_ptr<sched::Policy> policy_;
+  /// Preempted leases awaiting notification, per worker id: delivered as
+  /// the "drop" list of the worker's next unit poll so it can abandon
+  /// work it has not started.
+  std::unordered_map<int, std::vector<std::size_t>> dropped_;
   Membership membership_;
   Merge merge_;
   obs::LogHistogram latency_;
+  std::uint64_t preempted_ = 0;
   std::uint64_t registered_ = 0;
   std::uint64_t deregistered_ = 0;
   std::uint64_t evicted_ = 0;

@@ -6,6 +6,11 @@ namespace tilo::fleet {
 
 Merge::Merge(std::size_t units) : payloads_(units), filled_(units, false) {}
 
+void Merge::extend(std::size_t more) {
+  payloads_.resize(payloads_.size() + more);
+  filled_.resize(filled_.size() + more, false);
+}
+
 bool Merge::add(std::size_t index, std::string payload) {
   TILO_REQUIRE(index < filled_.size(), "fleet merge: unit index ", index,
                " out of range (", filled_.size(), " units)");

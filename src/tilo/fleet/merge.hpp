@@ -23,6 +23,11 @@ class Merge {
   /// A merge for `units` slots, all initially empty.
   explicit Merge(std::size_t units);
 
+  /// Appends `more` empty slots (a job array submitted mid-run).  Indices
+  /// already filed keep their results; complete() turns false until the
+  /// new slots fill.
+  void extend(std::size_t more);
+
   /// Files `payload` under `index`.  Returns true when the slot was empty
   /// (the result "wins"); false when a result is already filed there — the
   /// duplicate is dropped, preserving exactly-once semantics.  Throws

@@ -204,6 +204,32 @@ std::vector<WorkUnit> scenario_units(const pipeline::ScenarioFile& scenario) {
   return units;
 }
 
+std::vector<double> unit_cost_estimates(const core::Problem& problem,
+                                        const std::vector<WorkUnit>& units,
+                                        double ns_per_cost) {
+  TILO_REQUIRE(ns_per_cost > 0, "fleet: ns_per_cost must be > 0");
+  const core::AnalyticModel model = core::derive_analytic_model(problem);
+  const auto cost = [&](i64 V) {
+    return 1.0 + model.k / static_cast<double>(std::max<i64>(1, V));
+  };
+  std::vector<double> out(units.size(), 0.0);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const Json j = Json::parse(units[i].payload);
+    const Json* kind = j.find("kind");
+    if (!kind) continue;
+    const std::string k = kind->as_string("fleet.kind");
+    if (k == "sweep_point") {
+      out[i] = ns_per_cost * cost(j.at("V").as_integer("fleet.V"));
+    } else if (k == "sweep_batch") {
+      double sum = 0;
+      for (const Json& h : j.at("heights").as_array("fleet.heights"))
+        sum += cost(h.as_integer("fleet.heights"));
+      out[i] = ns_per_cost * sum;
+    }
+  }
+  return out;
+}
+
 std::string execute_unit(std::string_view payload) {
   const Json j = Json::parse(payload);
   require_unit_envelope(j);

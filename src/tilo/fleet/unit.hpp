@@ -32,6 +32,7 @@
 #include "tilo/core/sweep.hpp"
 #include "tilo/pipeline/json.hpp"
 #include "tilo/pipeline/scenario.hpp"
+#include "tilo/sched/fleet_policy.hpp"
 
 namespace tilo::fleet {
 
@@ -48,6 +49,26 @@ struct WorkUnit {
   std::size_t index = 0;
   std::string payload;
 };
+
+/// A job array — one scheduler job of N units (a sweep *is* an array
+/// job).  The spec's {tenant, partition, priority, cost estimate} tags
+/// ride into the controller's sched::Policy; the unit indices key the
+/// merge exactly as before.
+struct JobArray {
+  sched::JobSpec spec;
+  std::vector<WorkUnit> units;
+  /// Optional per-unit analytic runtime estimates in nanoseconds, aligned
+  /// with `units`; empty = spec.unit_cost_ns everywhere.
+  std::vector<double> unit_costs_ns;
+};
+
+/// Analytic per-unit runtime estimates for sweep unit plans, in
+/// nanoseconds: the sweep_batch_units cost proxy (1 + K/V per height,
+/// summed over a batched unit) scaled by `ns_per_cost`.  Non-sweep
+/// payload kinds estimate 0 (= unknown; backfill then refuses them).
+std::vector<double> unit_cost_estimates(const core::Problem& problem,
+                                        const std::vector<WorkUnit>& units,
+                                        double ns_per_cost = 1e6);
 
 /// Decomposes a tile-height sweep into one unit per height.  Unit i
 /// carries heights[i]; executing it yields the serialized SweepPoint that

@@ -1,6 +1,8 @@
 #include "tilo/fleet/worker.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <deque>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -106,6 +108,9 @@ WorkerSummary Worker::run() {
   // Completed-but-unconfirmed results: kept until a unit-op response
   // arrives (at-least-once delivery; the controller dedups).
   std::vector<std::pair<std::size_t, std::string>> outbox;
+  // Leased-but-unexecuted payloads.  Executed one per round trip, so the
+  // controller gets a chance to drop (preempt) queued work between units.
+  std::deque<std::pair<std::size_t, std::string>> inbox;
   bool fleet_done = false;
   try {
     while (!fleet_done && !stop_.load(std::memory_order_acquire)) {
@@ -135,25 +140,44 @@ WorkerSummary Worker::run() {
       const Json r = Json::parse(resp.result);
       fleet_done = r.at("done").as_bool("done");
       if (!r.at("known").as_bool("known") && !fleet_done) {
-        // Evicted (we were too slow, or the controller restarted):
-        // rejoin under a fresh id and keep pulling.
+        // Evicted (we were too slow, or the controller restarted): our
+        // inbox leases were requeued, so abandon them, rejoin under a
+        // fresh id and keep pulling.
+        inbox.clear();
         reg = do_register(control, cfg_.name);
         worker_id.store(reg.worker_id, std::memory_order_release);
         ++summary.registrations;
         continue;
       }
-      const Json::Array& units = r.at("units").as_array("units");
-      if (units.empty()) {
-        if (fleet_done) break;
+      for (const Json& u : r.at("units").as_array("units")) {
+        const std::size_t index =
+            static_cast<std::size_t>(u.at("unit").as_integer("unit"));
+        inbox.emplace_back(index, u.at("payload").dump());
+      }
+      // Preemption notices: the controller took these leases back for a
+      // higher-priority job — drop what we have not started.
+      if (const Json* drop = r.find("drop")) {
+        for (const Json& d : drop->as_array("drop")) {
+          const std::size_t index =
+              static_cast<std::size_t>(d.as_integer("drop.unit"));
+          const auto it = std::find_if(
+              inbox.begin(), inbox.end(),
+              [index](const auto& e) { return e.first == index; });
+          if (it != inbox.end()) {
+            inbox.erase(it);
+            ++summary.dropped;
+          }
+        }
+      }
+      if (fleet_done) break;
+      if (inbox.empty()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.poll_ms));
         continue;
       }
-      for (const Json& u : units) {
-        const std::size_t index =
-            static_cast<std::size_t>(u.at("unit").as_integer("unit"));
-        outbox.emplace_back(index, execute_unit(u.at("payload").dump()));
-        ++summary.completed;
-      }
+      auto [index, payload] = std::move(inbox.front());
+      inbox.pop_front();
+      outbox.emplace_back(index, execute_unit(payload));
+      ++summary.completed;
     }
     summary.clean = fleet_done;
   } catch (const util::Error&) {

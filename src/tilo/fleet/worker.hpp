@@ -2,7 +2,9 @@
 //
 // A worker registers (receiving its id, the credit window and the
 // heartbeat interval), then loops one `unit` op per round trip: deliver
-// the results of the previous batch, lease the next.  A background thread
+// finished results, lease more work.  Leases land in an inbox and execute
+// one per round trip, so a controller "drop" notice (preemption) can
+// still cancel queued work between units.  A background thread
 // heartbeats on its own connection so liveness survives long unit
 // computations.  Delivery is at-least-once — a batch is retained until a
 // unit-op response confirms it, and resent after a reconnect — while the
@@ -44,6 +46,8 @@ struct WorkerConfig {
 struct WorkerSummary {
   std::uint64_t completed = 0;      ///< units this worker computed
   std::uint64_t registrations = 0;  ///< >1 means evicted and rejoined
+  /// Leases abandoned unexecuted on a controller drop notice (preemption).
+  std::uint64_t dropped = 0;
   /// True when the controller said done; false when it became unreachable
   /// (already-delivered results are merged either way).
   bool clean = false;

@@ -46,15 +46,22 @@ void ReportSink::span(int node, Phase phase, Time start, Time end,
 }
 
 void ReportSink::counter(std::string_view name, double delta) {
-  if (name != "dag.alap_lower_bound_ns") return;
-  std::lock_guard<std::mutex> lock(mu_);
-  alap_lower_bound_ns_ = static_cast<Time>(delta);
+  if (name == "dag.alap_lower_bound_ns") {
+    std::lock_guard<std::mutex> lock(mu_);
+    alap_lower_bound_ns_ = static_cast<Time>(delta);
+    return;
+  }
+  if (name.substr(0, 6) == "sched.") {
+    std::lock_guard<std::mutex> lock(mu_);
+    sched_counters_[std::string(name.substr(6))] += delta;
+  }
 }
 
 void ReportSink::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   ranks_.clear();
   alap_lower_bound_ns_ = 0;
+  sched_counters_.clear();
 }
 
 RunReport ReportSink::report() const {
@@ -63,6 +70,7 @@ RunReport ReportSink::report() const {
     std::lock_guard<std::mutex> lock(mu_);
     rep.ranks = ranks_;
     rep.alap_lower_bound_ns = alap_lower_bound_ns_;
+    rep.sched_counters = sched_counters_;
   }
   if (rep.ranks.empty()) return rep;
 
@@ -133,6 +141,16 @@ void RunReport::write_table(std::ostream& os) const {
        << util::fmt_seconds(1e-9 * static_cast<double>(alap_lower_bound_ns))
        << ", achieved/bound " << util::fmt_fixed(alap_bound_ratio, 3)
        << " (1.0 = optimal, < 1.0 = bound violated)\n";
+  if (!sched_counters.empty()) {
+    os << "scheduler";
+    bool first = true;
+    for (const auto& [name, value] : sched_counters) {
+      os << (first ? " " : ", ") << name << " "
+         << static_cast<long long>(value);
+      first = false;
+    }
+    os << '\n';
+  }
 }
 
 void RunReport::write_json(std::ostream& os) const {
@@ -152,6 +170,16 @@ void RunReport::write_json(std::ostream& os) const {
   if (alap_lower_bound_ns > 0)
     os << ",\"alap_lower_bound_ns\":" << alap_lower_bound_ns
        << ",\"alap_bound_ratio\":" << json_number(alap_bound_ratio);
+  if (!sched_counters.empty()) {
+    os << ",\"sched\":{";
+    bool first = true;
+    for (const auto& [name, value] : sched_counters) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << name << "\":" << json_number(value);
+    }
+    os << '}';
+  }
   os << ",\"ranks\":[";
   for (std::size_t i = 0; i < ranks.size(); ++i) {
     const RankBreakdown& r = ranks[i];

@@ -15,7 +15,9 @@
 
 #include <array>
 #include <iosfwd>
+#include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "tilo/obs/sink.hpp"
@@ -77,6 +79,11 @@ struct RunReport {
   Time alap_lower_bound_ns = 0;
   double alap_bound_ratio = 0.0;
 
+  /// Fleet-scheduler runs only: accumulated "sched.*" counters (jobs,
+  /// preempted, backfilled), name-ordered.  Rendered only when non-empty,
+  /// so non-fleet reports are byte-identical to the pre-scheduler output.
+  std::map<std::string, double> sched_counters;
+
   /// Renders the per-rank A/B table with paper terms in the header.
   void write_table(std::ostream& os) const;
 
@@ -92,9 +99,10 @@ class ReportSink final : public Sink {
   void span(int node, Phase phase, Time start, Time end,
             std::string_view label = {}) override;
 
-  /// Captures the DAG runner's "dag.alap_lower_bound_ns" counter so the
-  /// report can print achieved makespan next to its lower bound; every
-  /// other counter is ignored.
+  /// Captures the DAG runner's "dag.alap_lower_bound_ns" counter (so the
+  /// report can print achieved makespan next to its lower bound) and
+  /// accumulates the fleet scheduler's "sched.*" counters; every other
+  /// counter is ignored.
   void counter(std::string_view name, double delta) override;
 
   RunReport report() const;
@@ -104,6 +112,7 @@ class ReportSink final : public Sink {
   mutable std::mutex mu_;
   std::vector<RankBreakdown> ranks_;
   Time alap_lower_bound_ns_ = 0;
+  std::map<std::string, double> sched_counters_;
 };
 
 }  // namespace tilo::obs

@@ -1,0 +1,79 @@
+#include "tilo/sched/fairshare.hpp"
+
+#include <cmath>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::sched {
+
+void FairShare::declare(const TenantShare& tenant) {
+  TILO_REQUIRE(!tenant.name.empty(), "fairshare: tenant name must be non-empty");
+  TILO_REQUIRE(tenant.share > 0, "fairshare: tenant \"", tenant.name,
+               "\" share must be > 0, got ", tenant.share);
+  tenants_[tenant.name].share = tenant.share;
+}
+
+void FairShare::touch(const std::string& tenant) {
+  if (tenants_.find(tenant) == tenants_.end()) declare({tenant, 1.0});
+}
+
+double FairShare::decayed(const Tenant& t, i64 now_ns) const {
+  if (t.usage <= 0) return 0.0;
+  if (half_life_ns_ <= 0 || now_ns <= t.stamp_ns) return t.usage;
+  const double halves = static_cast<double>(now_ns - t.stamp_ns) /
+                        static_cast<double>(half_life_ns_);
+  return t.usage * std::exp2(-halves);
+}
+
+void FairShare::charge(const std::string& tenant, double cost, i64 now_ns) {
+  TILO_REQUIRE(cost >= 0, "fairshare: cannot charge negative cost ", cost);
+  touch(tenant);
+  Tenant& t = tenants_[tenant];
+  t.usage = decayed(t, now_ns) + cost;
+  t.stamp_ns = std::max(t.stamp_ns, now_ns);
+  ++t.charged_units;
+}
+
+double FairShare::usage(const std::string& tenant, i64 now_ns) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0.0 : decayed(it->second, now_ns);
+}
+
+double FairShare::total_share() const {
+  double sum = 0;
+  for (const auto& [name, t] : tenants_) sum += t.share;
+  return sum;
+}
+
+double FairShare::total_usage(i64 now_ns) const {
+  double sum = 0;
+  for (const auto& [name, t] : tenants_) sum += decayed(t, now_ns);
+  return sum;
+}
+
+double FairShare::factor(const std::string& tenant, i64 now_ns) const {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 1.0;
+  const double all_usage = total_usage(now_ns);
+  if (all_usage <= 0) return 1.0;
+  const double u = decayed(it->second, now_ns) / all_usage;
+  const double s = it->second.share / total_share();
+  return std::exp2(-u / s);
+}
+
+std::vector<TenantStatus> FairShare::statuses(i64 now_ns) const {
+  std::vector<TenantStatus> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_) {
+    TenantStatus row;
+    row.name = name;
+    row.share = t.share;
+    row.usage = decayed(t, now_ns);
+    row.factor = factor(name, now_ns);
+    row.charged_units = t.charged_units;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace tilo::sched

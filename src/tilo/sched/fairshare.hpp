@@ -1,0 +1,95 @@
+// sched::FairShare — per-tenant usage accounting for the fleet scheduler.
+//
+// Slurm-style fair share: every tenant holds an allocation (`share`, an
+// arbitrary positive weight) and accumulates `usage` as its units
+// complete.  Usage decays exponentially with a configurable half-life, so
+// a tenant that hammered the fleet an hour ago gradually regains
+// standing.  The scheduling signal is
+//
+//   factor = 2^(-U/S)      U = tenant usage / total usage
+//                          S = tenant share / total share
+//
+// exactly the simplified Slurm fair-share formula: a tenant consuming
+// precisely its allocation sits at 0.5, an idle tenant at 1.0, a hog
+// decays toward 0.  The factor orders tenants; it never blocks anyone
+// (the policies use it to break priority ties, so a flood tenant loses
+// ties against a starved small tenant but still runs on an idle fleet).
+//
+// Determinism: decay is computed analytically from the timestamps the
+// caller passes in — no hidden clock, no incremental drift.  Charging at
+// time t then reading at time t' gives the same value no matter how many
+// reads happened in between, which is what makes the policy suites
+// synthetic-clock testable.  Not internally synchronized (the controller
+// already serializes on its own mutex, like Membership).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tilo/util/math.hpp"
+
+namespace tilo::sched {
+
+using util::i64;
+
+/// One tenant's allocation: an arbitrary positive weight, normalized
+/// against the sum of all declared shares.
+struct TenantShare {
+  std::string name = "default";
+  double share = 1.0;
+};
+
+/// sacct-style introspection row.
+struct TenantStatus {
+  std::string name;
+  double share = 1.0;
+  double usage = 0.0;   ///< decayed usage at the query timestamp
+  double factor = 1.0;  ///< 2^(-U/S) at the query timestamp
+  std::uint64_t charged_units = 0;  ///< completions ever charged
+};
+
+class FairShare {
+ public:
+  /// Half-life of the usage decay; <= 0 disables decay entirely.
+  void set_half_life(i64 half_life_ns) { half_life_ns_ = half_life_ns; }
+
+  /// Declares (or re-weights) a tenant.  Share must be > 0.
+  void declare(const TenantShare& tenant);
+
+  /// Ensures a tenant exists; unknown names get share 1.0.
+  void touch(const std::string& tenant);
+
+  /// Adds `cost` to the tenant's decayed usage as of `now_ns`.
+  void charge(const std::string& tenant, double cost, i64 now_ns);
+
+  /// Decayed usage at `now_ns` (0 for unknown tenants).
+  double usage(const std::string& tenant, i64 now_ns) const;
+
+  /// The fair-share factor 2^(-U/S) at `now_ns`; 1.0 when nobody has any
+  /// usage yet (or the tenant is unknown).
+  double factor(const std::string& tenant, i64 now_ns) const;
+
+  std::size_t size() const { return tenants_.size(); }
+
+  /// Every tenant's row, in name order (deterministic emission).
+  std::vector<TenantStatus> statuses(i64 now_ns) const;
+
+ private:
+  struct Tenant {
+    double share = 1.0;
+    double usage = 0.0;  ///< as of stamp_ns
+    i64 stamp_ns = 0;
+    std::uint64_t charged_units = 0;
+  };
+
+  double decayed(const Tenant& t, i64 now_ns) const;
+  double total_share() const;
+  double total_usage(i64 now_ns) const;
+
+  std::map<std::string, Tenant> tenants_;
+  i64 half_life_ns_ = 60'000'000'000;  ///< one minute
+};
+
+}  // namespace tilo::sched

@@ -1,0 +1,387 @@
+#include "tilo/sched/fleet_policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::sched {
+
+namespace {
+
+/// One SplitMix64 mixing step — a pure hash, unlike util::Rng's stateful
+/// stream, so a job's tie-break key is a fixed function of (seed, id).
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+  }
+  return "?";
+}
+
+Policy::Policy(PolicyConfig cfg) : cfg_(std::move(cfg)) {
+  fairshare_.set_half_life(cfg_.usage_half_life_ns);
+  for (const TenantShare& t : cfg_.tenants) fairshare_.declare(t);
+  for (const PartitionLimits& p : cfg_.partitions) {
+    TILO_REQUIRE(!p.name.empty(), "sched: partition name must be non-empty");
+    TILO_REQUIRE(p.max_in_flight >= 0 && p.max_units_per_job >= 0,
+                 "sched: partition \"", p.name, "\" limits must be >= 0");
+    partitions_[p.name].limits = p;
+  }
+}
+
+Policy::Partition& Policy::partition_of(const Job& j) {
+  return partitions_[j.spec.partition];
+}
+
+const Policy::Partition& Policy::partition_of(const Job& j) const {
+  return partitions_.at(j.spec.partition);
+}
+
+i64 Policy::submit(JobSpec spec, const std::vector<std::size_t>& units,
+                   const std::vector<double>& unit_costs_ns, i64 now_ns) {
+  TILO_REQUIRE(!units.empty(), "sched: job \"", spec.name, "\" has no units");
+  TILO_REQUIRE(unit_costs_ns.empty() || unit_costs_ns.size() == units.size(),
+               "sched: job \"", spec.name, "\" has ", units.size(),
+               " units but ", unit_costs_ns.size(), " cost estimates");
+  TILO_REQUIRE(spec.unit_cost_ns >= 0, "sched: job \"", spec.name,
+               "\" unit_cost_ns must be >= 0");
+  if (partitions_.find(spec.partition) == partitions_.end())
+    partitions_[spec.partition].limits.name = spec.partition;
+  fairshare_.touch(spec.tenant);
+
+  Job job;
+  job.id = static_cast<i64>(jobs_.size());
+  job.submit_ns = now_ns;
+  job.total = units.size();
+  job.queued = units.size();
+  for (std::size_t k = 0; k < units.size(); ++k) {
+    const std::size_t u = units[k];
+    TILO_REQUIRE(units_.find(u) == units_.end(), "sched: unit ", u,
+                 " submitted twice");
+    UnitRec rec;
+    rec.job = static_cast<std::size_t>(job.id);
+    rec.cost_ns = unit_costs_ns.empty() ? spec.unit_cost_ns : unit_costs_ns[k];
+    TILO_REQUIRE(rec.cost_ns >= 0, "sched: unit ", u,
+                 " cost estimate must be >= 0");
+    units_.emplace(u, rec);
+    job.queue.push_back(u);
+  }
+  job.spec = std::move(spec);
+  jobs_.push_back(std::move(job));
+  return jobs_.back().id;
+}
+
+i64 Policy::effective_priority(const Job& j, i64 now_ns) const {
+  i64 bonus = 0;
+  if (cfg_.aging_ns > 0 && now_ns > j.submit_ns)
+    bonus = std::min<i64>(cfg_.aging_cap, (now_ns - j.submit_ns) / cfg_.aging_ns);
+  return j.spec.priority + bonus;
+}
+
+bool Policy::blocked(const Job& j) const {
+  if (j.queued == 0) return false;
+  const Partition& p = partition_of(j);
+  if (p.limits.max_in_flight > 0 &&
+      static_cast<i64>(p.in_flight) >= p.limits.max_in_flight)
+    return true;
+  if (p.limits.max_units_per_job > 0 &&
+      static_cast<i64>(j.in_flight) >= p.limits.max_units_per_job)
+    return true;
+  return false;
+}
+
+bool Policy::ranks_before(const Job& a, const Job& b, i64 now_ns) const {
+  const i64 pa = effective_priority(a, now_ns);
+  const i64 pb = effective_priority(b, now_ns);
+  if (pa != pb) return pa > pb;
+  const double fa = fairshare_.factor(a.spec.tenant, now_ns);
+  const double fb = fairshare_.factor(b.spec.tenant, now_ns);
+  if (fa != fb) return fa > fb;
+  if (cfg_.seed != 0) {
+    const std::uint64_t ha = mix64(cfg_.seed ^ static_cast<std::uint64_t>(a.id));
+    const std::uint64_t hb = mix64(cfg_.seed ^ static_cast<std::uint64_t>(b.id));
+    if (ha != hb) return ha < hb;
+  }
+  return a.id < b.id;
+}
+
+Policy::Job* Policy::head(i64 now_ns) {
+  Job* best = nullptr;
+  for (Job& j : jobs_) {
+    if (j.queued == 0) continue;
+    if (!best || ranks_before(j, *best, now_ns)) best = &j;
+  }
+  return best;
+}
+
+std::vector<Policy::Job*> Policy::ranked(i64 now_ns) {
+  std::vector<Job*> out;
+  for (Job& j : jobs_)
+    if (j.queued > 0) out.push_back(&j);
+  std::stable_sort(out.begin(), out.end(), [&](const Job* a, const Job* b) {
+    return ranks_before(*a, *b, now_ns);
+  });
+  return out;
+}
+
+std::size_t Policy::peek(Job& j) {
+  while (!j.queue.empty()) {
+    const std::size_t u = j.queue.front();
+    if (units_.at(u).state == UState::kQueued) return u;
+    j.queue.pop_front();  // stale: completed or re-leased elsewhere
+  }
+  return kNoUnit;
+}
+
+std::size_t Policy::take(Job& j, i64 now_ns) {
+  const std::size_t u = peek(j);
+  TILO_ASSERT(u != kNoUnit, "sched: take on a job with no queued units");
+  j.queue.pop_front();
+  UnitRec& rec = units_.at(u);
+  rec.state = UState::kLeased;
+  rec.lease_ns = now_ns;
+  --j.queued;
+  ++j.in_flight;
+  ++partition_of(j).in_flight;
+  return u;
+}
+
+void Policy::complete(std::size_t unit, i64 now_ns) {
+  const auto it = units_.find(unit);
+  TILO_REQUIRE(it != units_.end(), "sched: complete of unknown unit ", unit);
+  UnitRec& rec = it->second;
+  if (rec.state == UState::kDone) return;  // controller dedups; belt+braces
+  Job& j = jobs_[rec.job];
+  if (rec.state == UState::kLeased) {
+    --j.in_flight;
+    --partition_of(j).in_flight;
+  } else {
+    // A zombie's result won while the unit sat requeued (see
+    // controller.cpp complete_locked): it leaves the queue lazily.
+    --j.queued;
+  }
+  rec.state = UState::kDone;
+  ++j.done;
+  // Fair-share charges the analytic estimate when one exists, else one
+  // abstract unit — consistent within a deployment either way.
+  fairshare_.charge(j.spec.tenant, rec.cost_ns > 0 ? rec.cost_ns : 1.0,
+                    now_ns);
+}
+
+void Policy::requeue(std::size_t unit, i64 /*now_ns*/, bool preempted) {
+  const auto it = units_.find(unit);
+  TILO_REQUIRE(it != units_.end(), "sched: requeue of unknown unit ", unit);
+  UnitRec& rec = it->second;
+  TILO_REQUIRE(rec.state == UState::kLeased, "sched: requeue of unit ", unit,
+               " which is not leased");
+  Job& j = jobs_[rec.job];
+  rec.state = UState::kQueued;
+  rec.lease_ns = 0;
+  --j.in_flight;
+  --partition_of(j).in_flight;
+  ++j.queued;
+  if (preempted) ++j.preempted;
+  j.queue.push_front(unit);
+}
+
+i64 Policy::projected_release(const Job& j) const {
+  const Partition& p = partition_of(j);
+  const bool width_capped =
+      p.limits.max_units_per_job > 0 &&
+      static_cast<i64>(j.in_flight) >= p.limits.max_units_per_job;
+  const bool part_capped =
+      p.limits.max_in_flight > 0 &&
+      static_cast<i64>(p.in_flight) >= p.limits.max_in_flight;
+  i64 release = 0;
+  const auto min_release = [&](const auto& in_set) {
+    i64 best = std::numeric_limits<i64>::max();
+    for (const auto& [u, rec] : units_) {
+      if (rec.state != UState::kLeased || !in_set(rec)) continue;
+      best = std::min(best, rec.lease_ns + static_cast<i64>(rec.cost_ns));
+    }
+    return best == std::numeric_limits<i64>::max() ? i64{0} : best;
+  };
+  if (width_capped) {
+    const std::size_t id = static_cast<std::size_t>(j.id);
+    release = std::max(release,
+                       min_release([&](const UnitRec& r) { return r.job == id; }));
+  }
+  if (part_capped) {
+    release = std::max(release, min_release([&](const UnitRec& r) {
+                         return jobs_[r.job].spec.partition == j.spec.partition;
+                       }));
+  }
+  return release;
+}
+
+std::vector<std::size_t> Policy::preemption_victims(i64 job_id,
+                                                    i64 now_ns) const {
+  if (!cfg_.preempt) return {};
+  TILO_REQUIRE(job_id >= 0 && static_cast<std::size_t>(job_id) < jobs_.size(),
+               "sched: preemption query for unknown job ", job_id);
+  const Job& j = jobs_[static_cast<std::size_t>(job_id)];
+  if (j.queued == 0) return {};
+  // Only the partition cap is a fight over shared capacity; a job blocked
+  // by its own width cap has nobody to blame.
+  const Partition& p = partition_of(j);
+  if (p.limits.max_in_flight <= 0 ||
+      static_cast<i64>(p.in_flight) < p.limits.max_in_flight)
+    return {};
+  const i64 jp = effective_priority(j, now_ns);
+  const Job* victim = nullptr;
+  for (const Job& v : jobs_) {
+    if (v.in_flight == 0 || v.spec.partition != j.spec.partition) continue;
+    const i64 vp = effective_priority(v, now_ns);
+    if (vp >= jp) continue;
+    if (!victim || vp < effective_priority(*victim, now_ns) ||
+        (vp == effective_priority(*victim, now_ns) && v.id > victim->id))
+      victim = &v;  // lowest priority loses; ties evict the youngest
+  }
+  if (!victim) return {};
+  std::vector<std::size_t> out;
+  const std::size_t vid = static_cast<std::size_t>(victim->id);
+  for (const auto& [u, rec] : units_)
+    if (rec.state == UState::kLeased && rec.job == vid) out.push_back(u);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Policy::queued() const {
+  std::size_t n = 0;
+  for (const Job& j : jobs_) n += j.queued;
+  return n;
+}
+
+std::vector<JobStatus> Policy::job_statuses(i64 now_ns) const {
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const Job& j : jobs_) {
+    JobStatus row;
+    row.id = j.id;
+    row.name = j.spec.name;
+    row.tenant = j.spec.tenant;
+    row.partition = j.spec.partition;
+    row.state = j.done == j.total ? JobState::kDone
+                : j.in_flight > 0 ? JobState::kRunning
+                                  : JobState::kPending;
+    row.priority = j.spec.priority;
+    row.effective_priority = effective_priority(j, now_ns);
+    row.age_ns = now_ns > j.submit_ns ? now_ns - j.submit_ns : 0;
+    row.units = j.total;
+    row.queued = j.queued;
+    row.in_flight = j.in_flight;
+    row.done = j.done;
+    row.preempted = j.preempted;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<PartitionStatus> Policy::partition_statuses() const {
+  std::vector<PartitionStatus> out;
+  out.reserve(partitions_.size());
+  for (const auto& [name, p] : partitions_) {
+    PartitionStatus row;
+    row.name = name;
+    row.max_in_flight = p.limits.max_in_flight;
+    row.max_units_per_job = p.limits.max_units_per_job;
+    row.in_flight = p.in_flight;
+    for (const Job& j : jobs_)
+      if (j.spec.partition == name) row.queued += j.queued;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+namespace {
+
+/// Legacy dispatch order: jobs in submit order, FIFO within a job,
+/// requeues to the front, caps and priorities ignored.  A single job is
+/// bit-for-bit the old controller deque.
+class FifoPolicy final : public Policy {
+ public:
+  using Policy::Policy;
+  std::string_view name() const override { return "fifo"; }
+  std::size_t pick(i64 now_ns) override {
+    for (Job& j : jobs_)
+      if (peek(j) != kNoUnit) return take(j, now_ns);
+    return kNoUnit;
+  }
+  std::vector<std::size_t> preemption_victims(i64, i64) const override {
+    return {};
+  }
+};
+
+/// Strict priority + fair-share + aging; the head job reserves every
+/// freed slot when it is capped (no out-of-order dispatch).
+class FairPolicy final : public Policy {
+ public:
+  using Policy::Policy;
+  std::string_view name() const override { return "fair"; }
+  std::size_t pick(i64 now_ns) override {
+    Job* h = head(now_ns);
+    if (!h || blocked(*h) || peek(*h) == kNoUnit) return kNoUnit;
+    return take(*h, now_ns);
+  }
+};
+
+/// fair, plus conservative backfill: a lower-ranked unit runs out of
+/// order only when its cost estimate fits before the blocked head's
+/// projected start.
+class BackfillPolicy final : public Policy {
+ public:
+  using Policy::Policy;
+  std::string_view name() const override { return "backfill"; }
+  std::size_t pick(i64 now_ns) override {
+    std::vector<Job*> order = ranked(now_ns);
+    if (order.empty()) return kNoUnit;
+    Job* h = order.front();
+    if (!blocked(*h)) {
+      if (peek(*h) == kNoUnit) return kNoUnit;
+      return take(*h, now_ns);
+    }
+    const i64 release = projected_release(*h);
+    if (release <= now_ns) return kNoUnit;  // hole already closed (or no
+                                            // cost estimates to trust)
+    for (std::size_t k = 1; k < order.size(); ++k) {
+      Job& c = *order[k];
+      if (blocked(c)) continue;
+      const std::size_t u = peek(c);
+      if (u == kNoUnit) continue;
+      const double cost = units_.at(u).cost_ns;
+      if (cost <= 0) continue;  // unknown runtime never backfills
+      if (now_ns + static_cast<i64>(cost) > release) continue;
+      ++backfilled_;
+      return take(c, now_ns);
+    }
+    return kNoUnit;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Policy> make_policy(const PolicyConfig& cfg) {
+  if (cfg.policy == "fifo") return std::make_unique<FifoPolicy>(cfg);
+  if (cfg.policy == "fair") return std::make_unique<FairPolicy>(cfg);
+  if (cfg.policy == "backfill") return std::make_unique<BackfillPolicy>(cfg);
+  std::string known;
+  for (const std::string& n : policy_names())
+    known += known.empty() ? n : ", " + n;
+  TILO_REQUIRE(false, "sched: unknown policy \"", cfg.policy, "\" (have: ",
+               known, ")");
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> policy_names() { return {"fifo", "fair", "backfill"}; }
+
+}  // namespace tilo::sched

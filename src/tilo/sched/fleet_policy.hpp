@@ -1,0 +1,244 @@
+// sched::Policy — the multi-tenant fleet scheduling policies behind the
+// fleet controller's dispatch loop.
+//
+// The controller used to pop a single flat FIFO deque; a Policy replaces
+// that pop.  Work arrives as *job arrays* — one job, N units — tagged
+// {tenant, partition, priority, per-unit cost estimate}, and the policy
+// answers one question under the controller's lock: "which unit should
+// the next free worker slot run, as of now_ns?"  Three registered
+// policies:
+//
+//   fifo      jobs in submit order, units FIFO within a job, requeues to
+//             the front — for a single job this is exactly the legacy
+//             deque, so single-tenant merged documents stay byte-identical
+//             to the pre-policy controller.  Ignores partitions, shares,
+//             priorities, and never preempts.
+//   fair      strict priority order over jobs: effective priority
+//             (base + aging) first, then the tenant's fair-share factor
+//             (fairshare.hpp), then the seeded tie-break.  The head job
+//             reserves: when partition or width caps block it, nothing
+//             lower runs — every freed slot is the head's (Slurm's
+//             sched/builtin discipline).
+//   backfill  fair's ordering, plus Slurm-style conservative backfill:
+//             when the head is blocked, a lower-ranked unit may take the
+//             slot only if its analytic cost estimate finishes before the
+//             head's projected start (the earliest release of the
+//             blocking in-flight set).  The head's projected start is
+//             never delayed — the invariant the Sched suites pin.
+//
+// Starvation: effective priority = base + min(aging_cap, age / aging_ns),
+// so a waiting job gains one priority point per aging_ns and any base
+//-priority gap at most aging_cap wide closes in bounded time.
+//
+// Preemption is a policy *query*, not a policy action: on submit the
+// controller asks preemption_victims(), and requeues the returned leases
+// through the same exactly-once machinery eviction uses.  Victims are the
+// leased units of the lowest-effective-priority running job in the
+// submitter's partition (strictly lower than the submitter), and only
+// when the submitter is actually blocked on the partition cap.
+//
+// Like Membership, a Policy is pure bookkeeping: not internally
+// synchronized (the controller's mutex serializes every call) and every
+// time-dependent decision takes now_ns as a parameter, so the test suites
+// drive it with a synthetic clock.  The seed makes rank ties
+// deterministic: 0 = submit order, nonzero = a SplitMix64 shuffle that is
+// a fixed function of (seed, job id).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tilo/sched/fairshare.hpp"
+#include "tilo/util/math.hpp"
+
+namespace tilo::sched {
+
+/// One named queue and its limits; 0 = unlimited.
+struct PartitionLimits {
+  std::string name = "default";
+  i64 max_in_flight = 0;      ///< concurrent leases across the partition
+  i64 max_units_per_job = 0;  ///< concurrent leases of any single job
+};
+
+/// The tags a job array carries into the scheduler.
+struct JobSpec {
+  std::string name = "job";
+  std::string tenant = "default";
+  std::string partition = "default";
+  i64 priority = 0;  ///< higher runs first (before aging)
+  /// Analytic per-unit runtime estimate in nanoseconds (eqs. (3)-(5)
+  /// scaled to the host, or any consistent projection).  0 = unknown:
+  /// fair-share charges 1.0 per unit and backfill refuses the job.
+  double unit_cost_ns = 0;
+};
+
+enum class JobState { kPending, kRunning, kDone };
+std::string_view job_state_name(JobState s);
+
+/// squeue-style introspection row.
+struct JobStatus {
+  i64 id = 0;
+  std::string name;
+  std::string tenant;
+  std::string partition;
+  JobState state = JobState::kPending;
+  i64 priority = 0;            ///< base
+  i64 effective_priority = 0;  ///< base + aging bonus at the query time
+  i64 age_ns = 0;
+  std::size_t units = 0;
+  std::size_t queued = 0;
+  std::size_t in_flight = 0;
+  std::size_t done = 0;
+  i64 preempted = 0;  ///< leases this job lost to preemption
+};
+
+struct PartitionStatus {
+  std::string name;
+  i64 max_in_flight = 0;
+  i64 max_units_per_job = 0;
+  std::size_t queued = 0;
+  std::size_t in_flight = 0;
+};
+
+struct PolicyConfig {
+  std::string policy = "fifo";  ///< registry name (make_policy)
+  /// Declared partitions; unknown partitions named by a JobSpec are
+  /// auto-declared unlimited.
+  std::vector<PartitionLimits> partitions;
+  /// Declared tenant shares; unknown tenants get share 1.0.
+  std::vector<TenantShare> tenants;
+  /// One effective-priority point per this much queue age.  <= 0 disables
+  /// aging.
+  i64 aging_ns = 1'000'000'000;
+  /// Cap on the aging bonus; set it at or above your base-priority spread
+  /// to make starvation impossible.
+  i64 aging_cap = 1'000'000;
+  /// Fair-share usage decay half-life (fairshare.hpp); <= 0 = no decay.
+  i64 usage_half_life_ns = 60'000'000'000;
+  /// Answer preemption_victims() queries (fair/backfill only).
+  bool preempt = true;
+  /// Rank tie-break: 0 = submit order, nonzero = deterministic SplitMix64
+  /// shuffle keyed on (seed, job id).
+  std::uint64_t seed = 0;
+};
+
+class Policy {
+ public:
+  /// pick()'s "no schedulable unit" answer.
+  static constexpr std::size_t kNoUnit = static_cast<std::size_t>(-1);
+
+  explicit Policy(PolicyConfig cfg);
+  virtual ~Policy() = default;
+
+  Policy(const Policy&) = delete;
+  Policy& operator=(const Policy&) = delete;
+
+  /// The registry name this policy was made under.
+  virtual std::string_view name() const = 0;
+
+  /// Admits a job array: `units` are the controller's unit indices (must
+  /// be new to this policy), `unit_costs_ns` is empty (= spec.unit_cost_ns
+  /// everywhere) or aligned with `units`.  Returns the job id.
+  i64 submit(JobSpec spec, const std::vector<std::size_t>& units,
+             const std::vector<double>& unit_costs_ns, i64 now_ns);
+
+  /// The unit the next free worker slot should run, transitioned to
+  /// leased; kNoUnit when nothing is schedulable (empty, capped, or the
+  /// head job is reserving).
+  virtual std::size_t pick(i64 now_ns) = 0;
+
+  /// First result landed for `unit` (the controller filters duplicates).
+  void complete(std::size_t unit, i64 now_ns);
+
+  /// A lease was lost (eviction, deregister, preemption): the unit goes
+  /// back to the front of its job's queue.  `preempted` attributes the
+  /// loss to preemption in the job's introspection row.
+  void requeue(std::size_t unit, i64 now_ns, bool preempted = false);
+
+  /// The leases the controller should forcibly requeue so the (blocked)
+  /// job `job_id` can run; empty when preemption is off, the job is not
+  /// partition-blocked, or nothing strictly lower-priority is running in
+  /// its partition.  Sorted ascending.
+  virtual std::vector<std::size_t> preemption_victims(i64 job_id,
+                                                      i64 now_ns) const;
+
+  std::size_t jobs() const { return jobs_.size(); }
+  std::size_t queued() const;
+  std::uint64_t backfilled() const { return backfilled_; }
+  const PolicyConfig& config() const { return cfg_; }
+
+  /// Introspection, deterministically ordered (job id / name order).
+  std::vector<JobStatus> job_statuses(i64 now_ns) const;
+  std::vector<TenantStatus> tenant_statuses(i64 now_ns) const {
+    return fairshare_.statuses(now_ns);
+  }
+  std::vector<PartitionStatus> partition_statuses() const;
+
+ protected:
+  enum class UState { kQueued, kLeased, kDone };
+  struct UnitRec {
+    std::size_t job = 0;
+    double cost_ns = 0;
+    UState state = UState::kQueued;
+    i64 lease_ns = 0;
+  };
+  struct Job {
+    i64 id = 0;
+    JobSpec spec;
+    i64 submit_ns = 0;
+    std::size_t total = 0;
+    std::size_t queued = 0;
+    std::size_t in_flight = 0;
+    std::size_t done = 0;
+    i64 preempted = 0;
+    /// Lazily pruned: entries whose UnitRec left kQueued are skipped.
+    std::deque<std::size_t> queue;
+  };
+  struct Partition {
+    PartitionLimits limits;
+    std::size_t in_flight = 0;
+  };
+
+  i64 effective_priority(const Job& j, i64 now_ns) const;
+  /// Queued work the caps currently deny a lease.
+  bool blocked(const Job& j) const;
+  /// True when a ranks strictly before b (priority desc, fair factor
+  /// desc, seeded tie-break).
+  bool ranks_before(const Job& a, const Job& b, i64 now_ns) const;
+  /// The best-ranked job with queued work; nullptr when none.
+  Job* head(i64 now_ns);
+  /// Every job with queued work, best rank first.
+  std::vector<Job*> ranked(i64 now_ns);
+  /// Front queued unit of j (pruning stale entries); kNoUnit when none.
+  std::size_t peek(Job& j);
+  /// Leases j's front queued unit.  Requires peek(j) != kNoUnit.
+  std::size_t take(Job& j, i64 now_ns);
+  /// Projected earliest ns timestamp at which j's binding cap frees a
+  /// slot: the min of (lease_ns + cost_ns) over the blocking in-flight
+  /// set, maxed across binding caps.  Requires blocked(j).
+  i64 projected_release(const Job& j) const;
+  Partition& partition_of(const Job& j);
+  const Partition& partition_of(const Job& j) const;
+
+  PolicyConfig cfg_;
+  std::vector<Job> jobs_;
+  std::unordered_map<std::size_t, UnitRec> units_;
+  std::map<std::string, Partition> partitions_;
+  FairShare fairshare_;
+  std::uint64_t backfilled_ = 0;
+};
+
+/// Instantiates a registered policy ("fifo", "fair", "backfill"); throws
+/// util::Error on unknown names.
+std::unique_ptr<Policy> make_policy(const PolicyConfig& cfg);
+
+/// Registry names, in documentation order.
+std::vector<std::string> policy_names();
+
+}  // namespace tilo::sched

@@ -113,4 +113,16 @@ Response Client::shutdown_server() {
   return call(std::move(req));
 }
 
+Response Client::queue() {
+  Request req;
+  req.op = Op::kQueue;
+  return call(std::move(req));
+}
+
+Response Client::accounting() {
+  Request req;
+  req.op = Op::kAcct;
+  return call(std::move(req));
+}
+
 }  // namespace tilo::svc

@@ -63,6 +63,11 @@ class Client {
   Response stats();
   /// Asks the server to drain and exit its serving loop.
   Response shutdown_server();
+  /// Fleet-controller introspection: the squeue-style queue snapshot and
+  /// the sacct-style tenant accounting (a plain compile server answers
+  /// both with bad_request).
+  Response queue();
+  Response accounting();
 
   const Address& address() const { return addr_; }
   void close() { fd_.reset(); }

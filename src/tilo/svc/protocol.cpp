@@ -100,6 +100,8 @@ std::string_view op_name(Op op) {
     case Op::kHeartbeat: return "heartbeat";
     case Op::kDeregister: return "deregister";
     case Op::kUnit: return "unit";
+    case Op::kQueue: return "queue";
+    case Op::kAcct: return "accounting";
   }
   return "?";
 }
@@ -113,6 +115,8 @@ Op op_from(std::string_view name) {
   if (name == "heartbeat") return Op::kHeartbeat;
   if (name == "deregister") return Op::kDeregister;
   if (name == "unit") return Op::kUnit;
+  if (name == "queue") return Op::kQueue;
+  if (name == "accounting") return Op::kAcct;
   TILO_REQUIRE(false, "svc request: unknown op \"", std::string(name), "\"");
   return Op::kPing;  // unreachable
 }

@@ -12,7 +12,8 @@
 //
 // Ops: "compile" (the real work), "ping", "stats", "shutdown" (graceful
 // drain), plus the fleet-orchestration trio "register"/"heartbeat"/"unit"
-// (and "deregister") served by a fleet::Controller — a plain svc::Server
+// (and "deregister") and the scheduler-introspection pair
+// "queue"/"accounting" served by a fleet::Controller — a plain svc::Server
 // answers those with bad_request.  Non-"ok" statuses are the service's
 // explicit load-shedding and failure vocabulary — a client always gets an
 // answer, never silence.
@@ -49,6 +50,8 @@ enum class Op {
   kHeartbeat,   ///< fleet: liveness beacon between unit round trips
   kDeregister,  ///< fleet: graceful leave; leases requeue immediately
   kUnit,        ///< fleet: return completed units, lease the next batch
+  kQueue,       ///< fleet: squeue-style per-job / per-partition snapshot
+  kAcct,        ///< fleet: sacct-style per-tenant fair-share accounting
 };
 std::string_view op_name(Op op);
 Op op_from(std::string_view name);  ///< throws util::Error on unknown ops

@@ -316,7 +316,9 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn,
     case Op::kRegister:
     case Op::kHeartbeat:
     case Op::kDeregister:
-    case Op::kUnit: {
+    case Op::kUnit:
+    case Op::kQueue:
+    case Op::kAcct: {
       // Fleet-orchestration ops are served by a fleet::Controller; a plain
       // compile server refuses them explicitly rather than hanging.
       Response resp;

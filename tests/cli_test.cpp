@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "tilo/machine/model.hpp"
+#include "tilo/sched/fleet_policy.hpp"
 #include "tilo/workload/workload.hpp"
 
 #ifndef TILO_CLI_PATH
@@ -126,7 +127,10 @@ TEST(CliTest, UsageListsEveryFlag) {
         "--emit-c", "--emit-loop", "--validate", "--trace", "--report",
         "--pipeline", "--save-plan", "--load-plan", "--scenario",
         "--machine", "--model", "--calibrate", "--list-models",
-        "--list-workloads"})
+        "--list-workloads", "--fleet-credit", "--fleet-heartbeat",
+        "--fleet-miss-threshold", "--fleet-speculate-after",
+        "--fleet-policy", "--fleet-tenant", "--fleet-priority",
+        "--fleet-queue", "--fleet-accounting"})
     EXPECT_NE(out.find(flag), std::string::npos) << flag << "\n" << out;
 }
 
@@ -326,6 +330,16 @@ TEST(CliTest, ListWorkloadsPrintsEveryKindWithDescriptions) {
     EXPECT_NE(out.find(description), std::string::npos) << name << "\n"
                                                         << out;
   }
+}
+
+TEST(CliTest, FleetPolicyFlagValidatesAgainstTheRegistry) {
+  // An unregistered policy is a usage error, and the usage text names
+  // every registered policy (generated from the same registry the parser
+  // checks, so a new policy cannot go undocumented).
+  const auto [rc, out] = run_cli("--fleet-policy no-such-policy");
+  EXPECT_EQ(rc, kExitUsage) << out;
+  for (const std::string& name : tilo::sched::policy_names())
+    EXPECT_NE(out.find(name), std::string::npos) << name << "\n" << out;
 }
 
 TEST(CliTest, DagScenarioReportsMakespanAgainstTheAlapBound) {

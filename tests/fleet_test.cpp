@@ -803,3 +803,353 @@ TEST(FleetBatchTest, LocalTransportMatchesSocketBytesAndBookkeeping) {
   EXPECT_EQ(total, units.size() + stats.duplicates);
   controller.stop();
 }
+
+// ---------------------------------------------------------------------------
+// Scheduler integration: job arrays, preemption over the wire, and the
+// squeue/sacct introspection ops.
+
+namespace {
+
+/// A toy job array with `n` units starting at index `base`.
+fleet::JobArray toy_job(const std::string& name, const std::string& tenant,
+                        i64 priority, std::size_t base, std::size_t n) {
+  fleet::JobArray job;
+  job.spec.name = name;
+  job.spec.tenant = tenant;
+  job.spec.priority = priority;
+  for (std::size_t i = 0; i < n; ++i)
+    job.units.push_back(
+        WorkUnit{base + i, "{\"toy\":" + std::to_string(base + i) + "}"});
+  return job;
+}
+
+}  // namespace
+
+TEST(FleetSchedTest, PreemptionRequeuesExactlyOnceAndDropNoticeFollows) {
+  ControllerConfig cfg;
+  cfg.address = fresh_address();
+  cfg.credit = 2;
+  cfg.speculate = false;
+  cfg.sched.policy = "fair";
+  // A single-slot partition: the low job's lease fills it, so a
+  // high-priority arrival has to preempt to make progress.
+  cfg.sched.partitions.push_back(
+      tilo::sched::PartitionLimits{"default", 1, 0});
+  std::vector<fleet::JobArray> jobs;
+  jobs.push_back(toy_job("low", "small", 0, 0, 2));
+  Controller controller(cfg, std::move(jobs));
+  controller.start();
+
+  svc::Client client = svc::Client::connect(cfg.address);
+  const i64 id = register_worker(client, "w");
+  const Json first = unit_poll(client, id, 1);
+  ASSERT_EQ(first.at("units").as_array("units").size(), 1u);
+  EXPECT_EQ(first.at("units").as_array("units")[0]
+                .at("unit").as_integer("unit"), 0);
+  EXPECT_EQ(first.find("drop"), nullptr);
+
+  // High-priority arrival: the policy names the low job's lease (unit 0)
+  // as the victim; the controller requeues it exactly-once and queues a
+  // drop notice for our next poll.
+  controller.submit(toy_job("high", "big", 9, 2, 1));
+  const Json second = unit_poll(client, id, 1);
+  ASSERT_EQ(second.at("units").as_array("units").size(), 1u);
+  EXPECT_EQ(second.at("units").as_array("units")[0]
+                .at("unit").as_integer("unit"), 2);
+  const Json* drop = second.find("drop");
+  ASSERT_NE(drop, nullptr);
+  ASSERT_EQ(drop->as_array("drop").size(), 1u);
+  EXPECT_EQ(drop->as_array("drop")[0].as_integer("drop"), 0);
+
+  // The notice is delivered once: it does not ride the next poll too.
+  const Json third = unit_poll(client, id, 1, {{2, toy_result(2)}});
+  EXPECT_EQ(third.find("drop"), nullptr);
+  ASSERT_EQ(third.at("units").as_array("units").size(), 1u);
+  EXPECT_EQ(third.at("units").as_array("units")[0]
+                .at("unit").as_integer("unit"), 0);
+
+  const Json fourth = unit_poll(client, id, 1, {{0, toy_result(0)}});
+  ASSERT_EQ(fourth.at("units").as_array("units").size(), 1u);
+  const Json last = unit_poll(client, id, 0, {{1, toy_result(1)}});
+  EXPECT_TRUE(last.at("done").as_bool("done"));
+
+  const FleetStats stats = controller.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.preempted, 1u);
+  EXPECT_EQ(stats.requeued, 1u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.jobs, 2u);
+  const std::vector<std::string> payloads = controller.merged().payloads();
+  ASSERT_EQ(payloads.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(payloads[i], toy_result(i));
+  controller.stop();
+}
+
+TEST(FleetSchedTest, QueueOpReportsJobsAndPartitions) {
+  ControllerConfig cfg;
+  cfg.address = fresh_address();
+  cfg.sched.policy = "fair";
+  std::vector<fleet::JobArray> jobs;
+  jobs.push_back(toy_job("sweep", "acme", 5, 0, 3));
+  Controller controller(cfg, std::move(jobs));
+  controller.start();
+
+  svc::Client client = svc::Client::connect(cfg.address);
+  const svc::Response resp = client.queue();
+  ASSERT_EQ(resp.status, svc::RespStatus::kOk) << resp.error;
+  const Json r = Json::parse(resp.result);
+  EXPECT_EQ(r.at("policy").as_string("policy"), "fair");
+  const Json::Array& js = r.at("jobs").as_array("jobs");
+  ASSERT_EQ(js.size(), 1u);
+  EXPECT_EQ(js[0].at("name").as_string("name"), "sweep");
+  EXPECT_EQ(js[0].at("tenant").as_string("tenant"), "acme");
+  EXPECT_EQ(js[0].at("partition").as_string("partition"), "default");
+  EXPECT_EQ(js[0].at("state").as_string("state"), "pending");
+  EXPECT_EQ(js[0].at("priority").as_integer("priority"), 5);
+  EXPECT_GE(js[0].at("effective_priority").as_integer("eff"), 5);
+  EXPECT_EQ(js[0].at("units").as_integer("units"), 3);
+  EXPECT_EQ(js[0].at("queued").as_integer("queued"), 3);
+  EXPECT_EQ(js[0].at("in_flight").as_integer("in_flight"), 0);
+  const Json::Array& ps = r.at("partitions").as_array("partitions");
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].at("name").as_string("name"), "default");
+  EXPECT_EQ(ps[0].at("queued").as_integer("queued"), 3);
+  controller.stop();
+}
+
+TEST(FleetSchedTest, AccountingOpChargesTheTenantPerCompletedUnit) {
+  ControllerConfig cfg;
+  cfg.address = fresh_address();
+  cfg.sched.policy = "fair";
+  std::vector<fleet::JobArray> jobs;
+  jobs.push_back(toy_job("sweep", "acme", 0, 0, 2));
+  Controller controller(cfg, std::move(jobs));
+  controller.start();
+
+  svc::Client client = svc::Client::connect(cfg.address);
+  const i64 id = register_worker(client, "w");
+  const Json leased = unit_poll(client, id, 2);
+  ASSERT_EQ(leased.at("units").as_array("units").size(), 2u);
+  unit_poll(client, id, 0, {{0, toy_result(0)}, {1, toy_result(1)}});
+
+  const svc::Response resp = client.accounting();
+  ASSERT_EQ(resp.status, svc::RespStatus::kOk) << resp.error;
+  const Json r = Json::parse(resp.result);
+  EXPECT_EQ(r.at("policy").as_string("policy"), "fair");
+  const Json::Array& ts = r.at("tenants").as_array("tenants");
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].at("name").as_string("name"), "acme");
+  EXPECT_EQ(ts[0].at("charged_units").as_integer("charged_units"), 2);
+  EXPECT_GT(ts[0].at("usage").as_number("usage"), 0.0);
+  EXPECT_EQ(r.at("preempted").as_integer("preempted"), 0);
+  EXPECT_EQ(r.at("backfilled").as_integer("backfilled"), 0);
+  controller.stop();
+}
+
+TEST(FleetSchedTest, MidRunSubmitExtendsTheMergeAndCompletes) {
+  ControllerConfig cfg;
+  cfg.address = fresh_address();
+  cfg.credit = 4;
+  cfg.speculate = false;
+  std::vector<fleet::JobArray> jobs;
+  jobs.push_back(toy_job("first", "t", 0, 0, 2));
+  Controller controller(cfg, std::move(jobs));
+  controller.start();
+
+  svc::Client client = svc::Client::connect(cfg.address);
+  const i64 id = register_worker(client, "w");
+  const Json leased = unit_poll(client, id, 2);
+  ASSERT_EQ(leased.at("units").as_array("units").size(), 2u);
+
+  // A second array lands while the first is in flight: the merge grows,
+  // "done" stays false until every unit of both arrays is in.
+  controller.submit(toy_job("second", "t", 0, 2, 2));
+  const Json mid =
+      unit_poll(client, id, 2, {{0, toy_result(0)}, {1, toy_result(1)}});
+  EXPECT_FALSE(mid.at("done").as_bool("done"));
+  ASSERT_EQ(mid.at("units").as_array("units").size(), 2u);
+  const Json last =
+      unit_poll(client, id, 0, {{2, toy_result(2)}, {3, toy_result(3)}});
+  EXPECT_TRUE(last.at("done").as_bool("done"));
+
+  const FleetStats stats = controller.stats();
+  EXPECT_EQ(stats.units, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.jobs, 2u);
+  const std::vector<std::string> payloads = controller.merged().payloads();
+  ASSERT_EQ(payloads.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(payloads[i], toy_result(i));
+  controller.stop();
+}
+
+TEST(FleetSchedTest, JobArrayCtorMatchesLegacyCtorBytes) {
+  const Problem problem = core::paper_problem_i();
+  const std::string reference = single_node_document(problem, kHeights);
+
+  // Legacy vector<WorkUnit> ctor (wraps into one default job array).
+  FleetRun legacy = run_fleet(fleet::sweep_units(problem, kHeights), 2);
+  EXPECT_EQ(legacy.document, reference);
+
+  // Explicit single job array under fifo: byte-identical document.
+  fleet::JobArray job;
+  job.spec.name = "sweep";
+  job.units = fleet::sweep_units(problem, kHeights);
+  ControllerConfig cfg;
+  cfg.address = fresh_address();
+  std::vector<fleet::JobArray> jobs;
+  jobs.push_back(std::move(job));
+  Controller controller(std::move(cfg), std::move(jobs));
+  controller.start();
+  WorkerConfig wc;
+  wc.local = &controller;
+  wc.name = "local";
+  std::thread runner([&wc] { Worker(wc).run(); });
+  ASSERT_TRUE(controller.wait_for_ms(30'000));
+  runner.join();
+  EXPECT_EQ(controller.merged_document(), reference);
+  EXPECT_EQ(controller.stats().jobs, 1u);
+  controller.stop();
+}
+
+// ---------------------------------------------------------------------------
+// call_local fast lane vs the eviction clock and deregister: these run
+// under TSan (the suite matches the sanitizer filter), pinning down that
+// the no-socket path takes the same locks as everything racing it.
+
+namespace {
+
+/// A hand-rolled local worker: polls via call_local, answers toy results,
+/// re-registers when evicted, and naps every few rounds so the 1ms
+/// eviction clock actually catches it mid-lease.
+void local_racer(Controller& controller, const std::string& name,
+                 bool nap) {
+  i64 id = -1;
+  std::vector<std::pair<i64, std::string>> batch;
+  for (int round = 0; round < 100'000; ++round) {
+    if (id < 0) {
+      svc::Request req;
+      req.op = svc::Op::kRegister;
+      Json body = Json::object();
+      body.set("name", Json::string(name));
+      req.fleet = std::move(body);
+      const svc::Response resp = controller.call_local(req);
+      ASSERT_EQ(resp.status, svc::RespStatus::kOk) << resp.error;
+      id = Json::parse(resp.result).at("worker_id").as_integer("worker_id");
+    }
+    svc::Request req;
+    req.op = svc::Op::kUnit;
+    Json body = Json::object();
+    body.set("worker_id", Json::integer(id));
+    body.set("want", Json::integer(2));
+    if (!batch.empty()) {
+      Json arr = Json::array();
+      for (const auto& [index, result] : batch) {
+        Json entry = Json::object();
+        entry.set("unit", Json::integer(index));
+        entry.set("result", Json::parse(result));
+        arr.push(std::move(entry));
+      }
+      body.set("completed", std::move(arr));
+    }
+    req.fleet = std::move(body);
+    const svc::Response resp = controller.call_local(req);
+    ASSERT_EQ(resp.status, svc::RespStatus::kOk) << resp.error;
+    const Json r = Json::parse(resp.result);
+    batch.clear();  // delivered — exactly-once is the merge's job now
+    if (r.at("done").as_bool("done")) return;
+    if (!r.at("known").as_bool("known")) {
+      id = -1;  // evicted mid-run: rejoin under a fresh id
+      continue;
+    }
+    for (const Json& u : r.at("units").as_array("units"))
+      batch.emplace_back(u.at("unit").as_integer("unit"),
+                         toy_result(static_cast<std::size_t>(
+                             u.at("unit").as_integer("unit"))));
+    if (nap && round % 8 == 7)
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  FAIL() << "local racer " << name << " never saw done";
+}
+
+}  // namespace
+
+TEST(FleetLocalRaceTest, FastLanePollsRaceEvictionWithoutLosingUnits) {
+  ControllerConfig cfg;
+  cfg.address = fresh_address();
+  cfg.credit = 2;
+  cfg.heartbeat_ms = 1;  // evict anything silent for ~1ms
+  cfg.miss_threshold = 1;
+  cfg.speculate = false;
+  Controller controller(cfg, toy_units(32));
+  controller.start();
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i)
+    threads.emplace_back([&controller, i] {
+      local_racer(controller, "racer-" + std::to_string(i), /*nap=*/true);
+    });
+  for (std::thread& t : threads) t.join();
+
+  const FleetStats stats = controller.stats();
+  EXPECT_EQ(stats.completed, 32u);
+  const std::vector<std::string> payloads = controller.merged().payloads();
+  ASSERT_EQ(payloads.size(), 32u);
+  for (std::size_t i = 0; i < payloads.size(); ++i)
+    EXPECT_EQ(payloads[i], toy_result(i));
+  controller.stop();
+}
+
+TEST(FleetLocalRaceTest, FastLaneDeregisterAndIntrospectionRacePolls) {
+  ControllerConfig cfg;
+  cfg.address = fresh_address();
+  cfg.credit = 2;
+  cfg.heartbeat_ms = 1;
+  cfg.miss_threshold = 2;
+  cfg.speculate = false;
+  cfg.sched.policy = "fair";
+  Controller controller(cfg, toy_units(16));
+  controller.start();
+
+  std::atomic<bool> finished{false};
+  // Churn thread: register/deregister fresh ids and hammer the
+  // introspection ops while the racers drain the queue.
+  std::thread churn([&controller, &finished] {
+    while (!finished.load(std::memory_order_acquire)) {
+      svc::Request reg;
+      reg.op = svc::Op::kRegister;
+      Json body = Json::object();
+      body.set("name", Json::string("churn"));
+      reg.fleet = std::move(body);
+      const svc::Response resp = controller.call_local(reg);
+      if (resp.status == svc::RespStatus::kOk) {
+        const i64 id =
+            Json::parse(resp.result).at("worker_id").as_integer("worker_id");
+        svc::Request dereg;
+        dereg.op = svc::Op::kDeregister;
+        Json b = Json::object();
+        b.set("worker_id", Json::integer(id));
+        dereg.fleet = std::move(b);
+        controller.call_local(dereg);
+      }
+      for (const svc::Op op : {svc::Op::kQueue, svc::Op::kAcct,
+                               svc::Op::kStats}) {
+        svc::Request req;
+        req.op = op;
+        controller.call_local(req);
+      }
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i)
+    threads.emplace_back([&controller, i] {
+      local_racer(controller, "racer-" + std::to_string(i), /*nap=*/false);
+    });
+  for (std::thread& t : threads) t.join();
+  finished.store(true, std::memory_order_release);
+  churn.join();
+
+  EXPECT_EQ(controller.stats().completed, 16u);
+  EXPECT_EQ(controller.merged().payloads().size(), 16u);
+  controller.stop();
+}

@@ -1,0 +1,519 @@
+// Tests for sched::Policy and sched::FairShare — the multi-tenant fleet
+// scheduling layer, driven entirely with a synthetic clock (every Policy
+// call takes now_ns, so no sleeps and no wall-clock flakiness).
+//
+// The adversarial properties pinned here:
+//   * fifo is the legacy dispatcher: submit order, requeue to the front,
+//     caps and priorities ignored, never preempts;
+//   * fair cannot starve: a flood tenant's priority is beaten by aging,
+//     and equal-priority ties go to the tenant with the better fair-share
+//     factor;
+//   * backfill never delays the head job's projected start — grants go
+//     only to candidates whose analytic cost fits in the hole;
+//   * preemption selects the lowest-effective-priority running job in the
+//     submitter's partition, only under a real partition-cap block.
+//
+// Suites are named Sched* so the TSan preset picks them up.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tilo/sched/fairshare.hpp"
+#include "tilo/sched/fleet_policy.hpp"
+#include "tilo/util/error.hpp"
+
+namespace {
+
+using tilo::sched::FairShare;
+using tilo::sched::JobSpec;
+using tilo::sched::JobState;
+using tilo::sched::JobStatus;
+using tilo::sched::PartitionLimits;
+using tilo::sched::Policy;
+using tilo::sched::PolicyConfig;
+using tilo::sched::TenantShare;
+using tilo::sched::TenantStatus;
+using tilo::util::i64;
+
+constexpr std::size_t kNo = Policy::kNoUnit;
+
+/// Contiguous unit indices [base, base+n).
+std::vector<std::size_t> units_from(std::size_t base, std::size_t n) {
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = base + i;
+  return out;
+}
+
+JobSpec spec(const std::string& name, const std::string& tenant,
+             i64 priority, double cost_ns = 0,
+             const std::string& partition = "default") {
+  JobSpec s;
+  s.name = name;
+  s.tenant = tenant;
+  s.partition = partition;
+  s.priority = priority;
+  s.unit_cost_ns = cost_ns;
+  return s;
+}
+
+/// Drains pick() at a fixed now until kNoUnit; returns the order.
+std::vector<std::size_t> drain(Policy& p, i64 now) {
+  std::vector<std::size_t> order;
+  for (std::size_t u = p.pick(now); u != kNo; u = p.pick(now))
+    order.push_back(u);
+  return order;
+}
+
+const JobStatus& status_of(const std::vector<JobStatus>& all, i64 id) {
+  for (const JobStatus& j : all)
+    if (j.id == id) return j;
+  ADD_FAILURE() << "no job status for id " << id;
+  static JobStatus none;
+  return none;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FairShare: usage decay and the 2^(-u/s) factor.
+
+TEST(SchedFairShareTest, FactorIsNeutralWithoutUsage) {
+  FairShare fs;
+  fs.declare(TenantShare{"a", 1.0});
+  EXPECT_DOUBLE_EQ(fs.factor("a", 1'000), 1.0);
+  EXPECT_DOUBLE_EQ(fs.factor("unknown", 1'000), 1.0);
+}
+
+TEST(SchedFairShareTest, UsageHalvesEveryHalfLife) {
+  FairShare fs;
+  fs.set_half_life(1'000);
+  fs.declare(TenantShare{"a", 1.0});
+  fs.charge("a", 8.0, 0);
+  EXPECT_DOUBLE_EQ(fs.usage("a", 0), 8.0);
+  EXPECT_DOUBLE_EQ(fs.usage("a", 1'000), 4.0);
+  EXPECT_DOUBLE_EQ(fs.usage("a", 3'000), 1.0);
+}
+
+TEST(SchedFairShareTest, SoleHeavyUserGetsTheSlurmFactor) {
+  FairShare fs;
+  fs.declare(TenantShare{"hog", 1.0});
+  fs.declare(TenantShare{"idle", 1.0});
+  fs.charge("hog", 4.0, 0);
+  // hog: u = 4/4 = 1, s = 1/2  ->  2^(-2) = 0.25.  idle: u = 0 -> 2^0.
+  EXPECT_DOUBLE_EQ(fs.factor("hog", 0), 0.25);
+  EXPECT_DOUBLE_EQ(fs.factor("idle", 0), 1.0);
+}
+
+TEST(SchedFairShareTest, LargerShareForgivesTheSameUsage) {
+  FairShare fs;
+  fs.declare(TenantShare{"big", 3.0});
+  fs.declare(TenantShare{"small", 1.0});
+  fs.charge("big", 2.0, 0);
+  fs.charge("small", 2.0, 0);
+  EXPECT_GT(fs.factor("big", 0), fs.factor("small", 0));
+}
+
+TEST(SchedFairShareTest, StatusesAreNameOrderedWithChargedCounts) {
+  FairShare fs;
+  fs.declare(TenantShare{"zeta", 1.0});
+  fs.declare(TenantShare{"alpha", 2.0});
+  fs.charge("zeta", 1.0, 0);
+  const std::vector<TenantStatus> all = fs.statuses(0);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "alpha");
+  EXPECT_EQ(all[1].name, "zeta");
+  EXPECT_EQ(all[1].charged_units, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry and submit validation.
+
+TEST(SchedPolicyTest, RegistryHasThreePoliciesAndRejectsUnknown) {
+  const std::vector<std::string> names = tilo::sched::policy_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "fifo");
+  EXPECT_EQ(names[1], "fair");
+  EXPECT_EQ(names[2], "backfill");
+  for (const std::string& n : names) {
+    PolicyConfig cfg;
+    cfg.policy = n;
+    EXPECT_EQ(tilo::sched::make_policy(cfg)->name(), n);
+  }
+  PolicyConfig bad;
+  bad.policy = "lottery";
+  EXPECT_THROW(tilo::sched::make_policy(bad), tilo::util::Error);
+}
+
+TEST(SchedPolicyTest, SubmitRejectsEmptyDuplicateAndMisalignedInput) {
+  auto p = tilo::sched::make_policy({});
+  EXPECT_THROW(p->submit(spec("empty", "t", 0), {}, {}, 0),
+               tilo::util::Error);
+  p->submit(spec("a", "t", 0), units_from(0, 2), {}, 0);
+  EXPECT_THROW(p->submit(spec("dup", "t", 0), units_from(1, 2), {}, 0),
+               tilo::util::Error);
+  EXPECT_THROW(
+      p->submit(spec("misaligned", "t", 0), units_from(10, 3), {1.0, 2.0}, 0),
+      tilo::util::Error);
+}
+
+// ---------------------------------------------------------------------------
+// fifo: the legacy dispatcher, bit for bit.
+
+TEST(SchedPolicyTest, FifoDrainsJobsInSubmitOrder) {
+  auto p = tilo::sched::make_policy({});
+  p->submit(spec("a", "t", 0), units_from(0, 3), {}, 0);
+  p->submit(spec("b", "t", 0), units_from(3, 2), {}, 0);
+  EXPECT_EQ(drain(*p, 0), (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(p->queued(), 0u);
+}
+
+TEST(SchedPolicyTest, FifoIgnoresPrioritiesAndPartitionCaps) {
+  PolicyConfig cfg;
+  cfg.partitions.push_back(PartitionLimits{"tight", 1, 1});
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("low", "t", 0, 0, "tight"), units_from(0, 2), {}, 0);
+  p->submit(spec("high", "t", 100, 0, "tight"), units_from(2, 1), {}, 0);
+  // Submit order wins, and the cap of 1 does not stop the second lease.
+  EXPECT_EQ(drain(*p, 0), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(SchedPolicyTest, FifoRequeueGoesBackToTheFront) {
+  auto p = tilo::sched::make_policy({});
+  p->submit(spec("a", "t", 0), units_from(0, 3), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);
+  EXPECT_EQ(p->pick(0), 1u);
+  p->requeue(0, 5);
+  EXPECT_EQ(p->pick(5), 0u);  // the requeued unit runs before unit 2
+  EXPECT_EQ(p->pick(5), 2u);
+}
+
+TEST(SchedPolicyTest, FifoNeverNamesPreemptionVictims) {
+  PolicyConfig cfg;
+  cfg.partitions.push_back(PartitionLimits{"default", 1, 0});
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("low", "t", 0), units_from(0, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);  // partition now full
+  const i64 high = p->submit(spec("high", "t", 100), units_from(1, 1), {}, 0);
+  EXPECT_TRUE(p->preemption_victims(high, 0).empty());
+}
+
+TEST(SchedPolicyTest, LifecycleCountersTrackPickCompleteRequeue) {
+  auto p = tilo::sched::make_policy({});
+  const i64 id = p->submit(spec("a", "acme", 0, 10.0), units_from(0, 2), {}, 0);
+  EXPECT_EQ(status_of(p->job_statuses(0), id).state, JobState::kPending);
+  EXPECT_EQ(p->pick(0), 0u);
+  {
+    const JobStatus s = status_of(p->job_statuses(0), id);
+    EXPECT_EQ(s.state, JobState::kRunning);
+    EXPECT_EQ(s.queued, 1u);
+    EXPECT_EQ(s.in_flight, 1u);
+  }
+  p->complete(0, 100);
+  EXPECT_EQ(p->pick(100), 1u);
+  p->complete(1, 200);
+  {
+    const JobStatus s = status_of(p->job_statuses(200), id);
+    EXPECT_EQ(s.state, JobState::kDone);
+    EXPECT_EQ(s.done, 2u);
+    EXPECT_EQ(s.in_flight, 0u);
+  }
+  // Fair-share charged both completions to the tenant.
+  ASSERT_EQ(p->tenant_statuses(200).size(), 1u);
+  EXPECT_EQ(p->tenant_statuses(200)[0].charged_units, 2);
+}
+
+TEST(SchedPolicyTest, ZombieCompletionOfARequeuedUnitStillCounts) {
+  auto p = tilo::sched::make_policy({});
+  const i64 id = p->submit(spec("a", "t", 0), units_from(0, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);
+  p->requeue(0, 10);  // owner evicted; unit queued again
+  p->complete(0, 20);  // ...but the zombie's result arrives and wins
+  EXPECT_EQ(status_of(p->job_statuses(20), id).state, JobState::kDone);
+  EXPECT_EQ(p->pick(20), kNo);  // nothing left to lease
+}
+
+TEST(SchedPolicyTest, AgingRaisesEffectivePriorityUpToTheCap) {
+  PolicyConfig cfg;
+  cfg.aging_ns = 100;
+  cfg.aging_cap = 5;
+  auto p = tilo::sched::make_policy(cfg);
+  const i64 id = p->submit(spec("a", "t", 7), units_from(0, 1), {}, 1'000);
+  EXPECT_EQ(status_of(p->job_statuses(1'000), id).effective_priority, 7);
+  EXPECT_EQ(status_of(p->job_statuses(1'300), id).effective_priority, 10);
+  EXPECT_EQ(status_of(p->job_statuses(9'000), id).effective_priority, 12);
+}
+
+// ---------------------------------------------------------------------------
+// fair: strict priority + fair-share order with head-of-line reservation.
+
+TEST(SchedFairTest, HigherPriorityJobRunsFirst) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("low", "t", 0), units_from(0, 2), {}, 0);
+  p->submit(spec("high", "t", 5), units_from(2, 2), {}, 0);
+  EXPECT_EQ(drain(*p, 0), (std::vector<std::size_t>{2, 3, 0, 1}));
+}
+
+TEST(SchedFairTest, HeadOfLineReservesTheFreedSlot) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";
+  cfg.partitions.push_back(PartitionLimits{"default", 1, 0});
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("head", "t", 5), units_from(0, 2), {}, 0);
+  p->submit(spec("other", "t", 0), units_from(2, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);   // head takes the only slot
+  EXPECT_EQ(p->pick(0), kNo);  // "other" may NOT sneak in (sched/builtin)
+  p->complete(0, 10);
+  EXPECT_EQ(p->pick(10), 1u);  // the freed slot goes to the head again
+  p->complete(1, 20);
+  EXPECT_EQ(p->pick(20), 2u);  // only then does "other" run
+}
+
+TEST(SchedFairTest, WidthCapLimitsAJobsOwnConcurrency) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";
+  cfg.partitions.push_back(PartitionLimits{"default", 0, 1});
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("a", "t", 0), units_from(0, 2), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);
+  EXPECT_EQ(p->pick(0), kNo);  // a's width cap; nothing else queued
+  p->complete(0, 10);
+  EXPECT_EQ(p->pick(10), 1u);
+}
+
+TEST(SchedFairTest, FreshTenantBeatsHeavyTenantAtEqualPriority) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";
+  auto p = tilo::sched::make_policy(cfg);
+  // The hog runs (and is charged for) one unit first.
+  p->submit(spec("warmup", "hog", 0, 1'000.0), units_from(0, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);
+  p->complete(0, 10);
+  // Now equal-priority jobs from the hog and a fresh tenant: the fresh
+  // tenant's better fair-share factor breaks the tie.
+  p->submit(spec("more", "hog", 0, 1'000.0), units_from(1, 1), {}, 20);
+  p->submit(spec("first", "fresh", 0, 1'000.0), units_from(2, 1), {}, 20);
+  EXPECT_EQ(p->pick(20), 2u);
+}
+
+TEST(SchedFairTest, AgingClosesABasePriorityGap) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";
+  cfg.aging_ns = 100;
+  cfg.aging_cap = 1'000;
+  auto p = tilo::sched::make_policy(cfg);
+  // "old" (prio 0) has waited 10 aging periods when "young" (prio 5)
+  // arrives: effective 10 vs 5, so the flood of young high-priority work
+  // cannot starve it.
+  p->submit(spec("old", "t", 0), units_from(0, 1), {}, 0);
+  p->submit(spec("young", "t", 5), units_from(1, 1), {}, 1'000);
+  EXPECT_EQ(p->pick(1'000), 0u);
+}
+
+TEST(SchedFairTest, SeededTieBreakIsDeterministic) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";
+  cfg.seed = 42;
+  auto a = tilo::sched::make_policy(cfg);
+  auto b = tilo::sched::make_policy(cfg);
+  for (Policy* p : {a.get(), b.get()}) {
+    p->submit(spec("j0", "t", 0), units_from(0, 1), {}, 0);
+    p->submit(spec("j1", "t", 0), units_from(1, 1), {}, 0);
+    p->submit(spec("j2", "t", 0), units_from(2, 1), {}, 0);
+  }
+  EXPECT_EQ(drain(*a, 0), drain(*b, 0));
+}
+
+TEST(SchedFairTest, SeedZeroKeepsSubmitOrderOnTies) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("j0", "t", 0), units_from(0, 1), {}, 0);
+  p->submit(spec("j1", "t", 0), units_from(1, 1), {}, 0);
+  EXPECT_EQ(drain(*p, 0), (std::vector<std::size_t>{0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// backfill: out-of-order grants that never delay the head.
+
+namespace {
+
+/// The canonical backfill scene: a 2-slot partition with a per-job width
+/// cap of 1.  The head leases one `head_cost`-ns unit and is then blocked
+/// by its own width cap, leaving a free slot the head cannot use — the
+/// hole a `cand_cost` candidate may backfill into.  Returns the
+/// candidate's unit on a successful backfill, kNo otherwise.
+std::size_t backfill_scene(double head_cost, double cand_cost, i64 probe_ns,
+                           std::uint64_t* backfills = nullptr) {
+  PolicyConfig cfg;
+  cfg.policy = "backfill";
+  cfg.partitions.push_back(PartitionLimits{"default", 2, 1});
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("head", "t", 5, head_cost), units_from(0, 2), {}, 0);
+  p->submit(spec("cand", "t", 0, cand_cost), units_from(2, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);  // head leases at t=0, now width-blocked
+  const std::size_t got = p->pick(probe_ns);
+  if (backfills) *backfills = p->backfilled();
+  return got;
+}
+
+}  // namespace
+
+TEST(SchedBackfillTest, SmallJobFitsInTheHole) {
+  // Head's lease releases the slot at t=1000; a 100ns candidate probed at
+  // t=0 finishes by t=100 <= 1000 — backfill it.
+  std::uint64_t backfills = 0;
+  EXPECT_EQ(backfill_scene(1'000.0, 100.0, 0, &backfills), 2u);
+  EXPECT_EQ(backfills, 1u);
+}
+
+TEST(SchedBackfillTest, GrantThatWouldDelayTheHeadIsRefused) {
+  EXPECT_EQ(backfill_scene(1'000.0, 2'000.0, 0), kNo);
+}
+
+TEST(SchedBackfillTest, TheHoleShrinksAsTimeAdvances) {
+  EXPECT_EQ(backfill_scene(1'000.0, 300.0, 500), 2u);  // 500+300 <= 1000
+  EXPECT_EQ(backfill_scene(1'000.0, 300.0, 800), kNo);  // 800+300 > 1000
+}
+
+TEST(SchedBackfillTest, UnknownCostNeverBackfills) {
+  EXPECT_EQ(backfill_scene(1'000.0, 0.0, 0), kNo);
+}
+
+TEST(SchedBackfillTest, UnblockedHeadStillRunsFirst) {
+  PolicyConfig cfg;
+  cfg.policy = "backfill";
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("low", "t", 0, 10.0), units_from(0, 1), {}, 0);
+  p->submit(spec("high", "t", 5, 10.0), units_from(1, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 1u);
+  EXPECT_EQ(p->backfilled(), 0u);
+}
+
+TEST(SchedBackfillTest, BackfillSkipsPastABlockedMiddleJob) {
+  PolicyConfig cfg;
+  cfg.policy = "backfill";
+  cfg.partitions.push_back(PartitionLimits{"default", 2, 1});
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("head", "t", 9, 1'000.0), units_from(0, 2), {}, 0);
+  // "mid" is too big for the hole; "tail" fits.
+  p->submit(spec("mid", "t", 5, 5'000.0), units_from(2, 1), {}, 0);
+  p->submit(spec("tail", "t", 0, 100.0), units_from(3, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);
+  EXPECT_EQ(p->pick(0), 3u);  // tail backfills past mid
+}
+
+// ---------------------------------------------------------------------------
+// Preemption: the victims query.
+
+namespace {
+
+/// Two-slot partition filled by a low-priority job, then a `prio`
+/// submitter arrives with preemption `enabled` under `policy`.
+struct PreemptScene {
+  std::unique_ptr<Policy> p;
+  i64 low = 0;
+  i64 high = 0;
+};
+
+PreemptScene preempt_scene(const std::string& policy, i64 prio,
+                           bool enabled = true) {
+  PolicyConfig cfg;
+  cfg.policy = policy;
+  cfg.preempt = enabled;
+  cfg.partitions.push_back(PartitionLimits{"default", 2, 0});
+  PreemptScene s;
+  s.p = tilo::sched::make_policy(cfg);
+  s.low = s.p->submit(spec("low", "t", 1), units_from(0, 2), {}, 0);
+  EXPECT_EQ(s.p->pick(0), 0u);
+  EXPECT_EQ(s.p->pick(0), 1u);  // partition full
+  s.high = s.p->submit(spec("high", "t", prio), units_from(2, 1), {}, 0);
+  return s;
+}
+
+}  // namespace
+
+TEST(SchedPreemptTest, BlockedHighPriorityArrivalNamesTheLowJobsLeases) {
+  PreemptScene s = preempt_scene("fair", 9);
+  EXPECT_EQ(s.p->preemption_victims(s.high, 0),
+            (std::vector<std::size_t>{0, 1}));
+  // The controller requeues the victims; the high job then picks first.
+  s.p->requeue(0, 5, /*preempted=*/true);
+  s.p->requeue(1, 5, /*preempted=*/true);
+  EXPECT_EQ(s.p->pick(5), 2u);
+  EXPECT_EQ(status_of(s.p->job_statuses(5), s.low).preempted, 2);
+}
+
+TEST(SchedPreemptTest, EqualPriorityDoesNotPreempt) {
+  PreemptScene s = preempt_scene("fair", 1);
+  EXPECT_TRUE(s.p->preemption_victims(s.high, 0).empty());
+}
+
+TEST(SchedPreemptTest, ConfigSwitchDisablesPreemption) {
+  PreemptScene s = preempt_scene("fair", 9, /*enabled=*/false);
+  EXPECT_TRUE(s.p->preemption_victims(s.high, 0).empty());
+}
+
+TEST(SchedPreemptTest, UnblockedSubmitterDoesNotPreempt) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";  // no partition cap: nothing blocks
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("low", "t", 1), units_from(0, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);
+  const i64 high = p->submit(spec("high", "t", 9), units_from(1, 1), {}, 0);
+  EXPECT_TRUE(p->preemption_victims(high, 0).empty());
+}
+
+TEST(SchedPreemptTest, WidthBlockedSubmitterHasNobodyToBlame) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";
+  cfg.partitions.push_back(PartitionLimits{"default", 0, 1});
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("low", "t", 1), units_from(0, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);
+  const i64 high = p->submit(spec("high", "t", 9), units_from(1, 2), {}, 0);
+  EXPECT_EQ(p->pick(0), 1u);   // high runs one unit (its width cap)
+  // high is still queued but blocked by its OWN cap, not the partition:
+  // evicting "low" would not free anything for it.
+  EXPECT_TRUE(p->preemption_victims(high, 0).empty());
+}
+
+TEST(SchedPreemptTest, LowestEffectivePriorityRunningJobIsTheVictim) {
+  PolicyConfig cfg;
+  cfg.policy = "fair";
+  cfg.partitions.push_back(PartitionLimits{"default", 2, 0});
+  auto p = tilo::sched::make_policy(cfg);
+  const i64 mid = p->submit(spec("mid", "t", 3), units_from(0, 1), {}, 0);
+  const i64 low = p->submit(spec("low", "t", 1), units_from(1, 1), {}, 0);
+  EXPECT_EQ(p->pick(0), 0u);
+  EXPECT_EQ(p->pick(0), 1u);
+  const i64 high = p->submit(spec("high", "t", 9), units_from(2, 1), {}, 0);
+  EXPECT_EQ(p->preemption_victims(high, 0),
+            (std::vector<std::size_t>{1}));  // low's lease, not mid's
+  (void)mid;
+  (void)low;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection plumbing shared by all policies.
+
+TEST(SchedPolicyTest, PartitionStatusesReportDeclaredLimitsAndOccupancy) {
+  PolicyConfig cfg;
+  cfg.partitions.push_back(PartitionLimits{"gpu", 8, 2});
+  auto p = tilo::sched::make_policy(cfg);
+  p->submit(spec("a", "t", 0, 0, "gpu"), units_from(0, 3), {}, 0);
+  p->submit(spec("b", "t", 0, 0), units_from(3, 1), {}, 0);  // auto "default"
+  EXPECT_EQ(p->pick(0), 0u);
+  const auto parts = p->partition_statuses();
+  ASSERT_EQ(parts.size(), 2u);  // name-ordered: default, gpu
+  EXPECT_EQ(parts[0].name, "default");
+  EXPECT_EQ(parts[0].max_in_flight, 0);
+  EXPECT_EQ(parts[1].name, "gpu");
+  EXPECT_EQ(parts[1].max_in_flight, 8);
+  EXPECT_EQ(parts[1].max_units_per_job, 2);
+  EXPECT_EQ(parts[1].in_flight, 1u);
+  EXPECT_EQ(parts[1].queued, 2u);
+}

@@ -666,7 +666,8 @@ TEST(SvcServerTest, FleetOpsAreRefusedByACompileServer) {
   TestServer ts;
   svc::Client client = ts.client();
   for (const svc::Op op : {svc::Op::kRegister, svc::Op::kHeartbeat,
-                           svc::Op::kDeregister, svc::Op::kUnit}) {
+                           svc::Op::kDeregister, svc::Op::kUnit,
+                           svc::Op::kQueue, svc::Op::kAcct}) {
     svc::Request req;
     req.op = op;
     req.fleet = Json::object();
