@@ -1,0 +1,328 @@
+// Replicated plan-store bench (DESIGN.md §17): three in-process svc
+// replicas, each with its own content-addressed plan store, behind a
+// client-side consistent-hashing router.  Two measured phases:
+//
+//   warm         replicas freshly compiled every key; a closed loop routes
+//                K distinct keys through the ring as fast as the owners
+//                answer (read-through store hits, no compiles)
+//   rehydrated   every replica is torn down and rebuilt over its segment
+//                log on a fresh socket; the same loop runs again, now
+//                served entirely from the rehydrated stores — the bench
+//                fails if any replica compiles even once
+//
+// Between the phases, the cross-replica byte-identity witness: every key
+// is fetched from every replica directly (no routing) and all three
+// answers must be byte-identical — determinism plus verbatim result
+// splicing is what makes the store content-addressed.
+//
+// Prints a human-readable summary plus one JSON line, and with
+// --json[=PATH] writes the full BENCH_store.json perf record
+// (validate_bench.py checks its schema under the bench_smoke label).
+//
+// Flags:  --quick        short run (CI smoke)
+//         --keys=K       distinct problem keys (default 8; --quick: 4)
+//         --seconds=S    measurement window per phase (default 2; --quick: 0.3)
+//         --json[=PATH]  write BENCH_store.json (or PATH)
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "tilo/pipeline/json.hpp"
+#include "tilo/svc/client.hpp"
+#include "tilo/svc/ring_client.hpp"
+#include "tilo/svc/server.hpp"
+
+using namespace tilo;
+using bench::JsonLine;
+using pipeline::Json;
+using util::i64;
+
+namespace {
+
+constexpr int kReplicas = 3;
+
+/// One cheap steady workload per key index; distinct names make distinct
+/// problem keys, so the ring spreads them across the replicas.
+svc::CompileParams keyed_workload(int key) {
+  svc::CompileParams p;
+  p.name = "plan-" + std::to_string(key);
+  p.source =
+      "FOR i = 0 TO 15\n FOR j = 0 TO 255\n"
+      "  R(i, j) = 0.5 * (R(i-1, j) + R(i, j-1))\n ENDFOR\nENDFOR\n";
+  p.procs = lat::Vec(std::vector<i64>{4, 1});
+  p.height = 16;
+  return p;
+}
+
+struct Replica {
+  std::string address;
+  std::string store_dir;
+  std::unique_ptr<svc::Server> server;
+};
+
+struct Tier {
+  std::vector<Replica> replicas;
+  std::vector<std::string> addresses;
+};
+
+/// Starts (or restarts, on fresh sockets over the same store dirs) the
+/// replica tier.  generation disambiguates the socket names.
+Tier start_tier(const std::string& scratch,
+                const std::vector<std::string>& store_dirs, int generation) {
+  Tier tier;
+  for (int i = 0; i < kReplicas; ++i) {
+    Replica r;
+    r.address = "unix:" + scratch + "_g" + std::to_string(generation) + "_r" +
+                std::to_string(i) + ".sock";
+    r.store_dir = store_dirs[static_cast<std::size_t>(i)];
+    svc::ServerConfig cfg;
+    cfg.address = r.address;
+    cfg.workers = 2;
+    cfg.store_dir = r.store_dir;
+    r.server = std::make_unique<svc::Server>(cfg);
+    r.server->start();
+    tier.addresses.push_back(r.address);
+    tier.replicas.push_back(std::move(r));
+  }
+  return tier;
+}
+
+struct Phase {
+  std::uint64_t requests = 0;
+  double seconds = 0;
+  double rps = 0;
+};
+
+/// The closed measurement loop: the K keys, round-robin, routed through
+/// the ring until the deadline.  Every response must be kOk.
+bool run_phase(svc::RingClient& ring,
+               const std::vector<svc::CompileParams>& keys, double seconds,
+               Phase& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::duration<double>(seconds);
+  std::size_t next = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const svc::Response resp = ring.compile(keys[next]);
+    if (resp.status != svc::RespStatus::kOk) {
+      std::cerr << "FAIL: compile answered "
+                << svc::status_name(resp.status) << ": " << resp.error
+                << "\n";
+      return false;
+    }
+    ++out.requests;
+    next = (next + 1) % keys.size();
+  }
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  out.rps = out.seconds > 0
+                ? static_cast<double>(out.requests) / out.seconds
+                : 0.0;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int key_count = 8;
+  bool keys_set = false;
+  double seconds = 2.0;
+  bool seconds_set = false;
+  bool json = false;
+  std::string json_path = "BENCH_store.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--keys=", 7) == 0) {
+      key_count = std::atoi(argv[i] + 7);
+      keys_set = true;
+    } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      seconds = std::atof(argv[i] + 10);
+      seconds_set = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[i] + 7;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--keys=K] [--seconds=S] [--json[=PATH]]\n";
+      return 2;
+    }
+  }
+  if (quick && !keys_set) key_count = 4;
+  if (quick && !seconds_set) seconds = 0.3;
+  if (key_count < 1 || seconds <= 0) {
+    std::cerr << "FAIL: keys and seconds must be positive\n";
+    return 2;
+  }
+
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string scratch = std::string(tmp ? tmp : "/tmp") +
+                              "/tilo_bench_store_" +
+                              std::to_string(::getpid());
+  std::vector<std::string> store_dirs;
+  for (int i = 0; i < kReplicas; ++i)
+    store_dirs.push_back(scratch + "_store" + std::to_string(i));
+
+  std::vector<svc::CompileParams> keys;
+  for (int k = 0; k < key_count; ++k) keys.push_back(keyed_workload(k));
+
+  std::cout << "== plan-store replication, " << kReplicas << " replicas, "
+            << key_count << " keys, " << util::fmt_fixed(seconds, 1)
+            << " s per phase ==\n";
+
+  // ---- generation one: compile everything, measure the warm tier.
+  Tier gen1 = start_tier(scratch, store_dirs, 1);
+  svc::RingClient ring(gen1.addresses);
+  for (const svc::CompileParams& params : keys) {
+    const svc::Response resp = ring.compile(params);
+    if (resp.status != svc::RespStatus::kOk) {
+      std::cerr << "FAIL: cold compile failed: " << resp.error << "\n";
+      return 1;
+    }
+  }
+
+  Phase warm;
+  if (!run_phase(ring, keys, seconds, warm)) return 1;
+
+  // ---- the byte-identity witness: every key from every replica, no
+  // routing; all answers must carry identical bytes.  (This also puts
+  // every key in every replica's store, so each rehydrates all of them.)
+  bool byte_identical = true;
+  for (const svc::CompileParams& params : keys) {
+    std::string reference;
+    for (int r = 0; r < kReplicas; ++r) {
+      svc::Request req;
+      req.op = svc::Op::kCompile;
+      req.compile = params;
+      const svc::Response resp =
+          ring.call_replica(static_cast<std::size_t>(r), std::move(req));
+      if (resp.status != svc::RespStatus::kOk) {
+        std::cerr << "FAIL: direct compile on replica " << r
+                  << " failed: " << resp.error << "\n";
+        return 1;
+      }
+      if (r == 0)
+        reference = resp.result;
+      else if (resp.result != reference)
+        byte_identical = false;
+    }
+  }
+
+  std::uint64_t warm_compiles = 0, warm_puts = 0;
+  for (Replica& r : gen1.replicas) {
+    const svc::ServerStats s = r.server->stats();
+    warm_compiles += s.compiles;
+    warm_puts += s.store_puts;
+    r.server->stop();
+  }
+
+  // ---- generation two: fresh processes-worth of state over the same
+  // segment logs; the measurement must be served without one compile.
+  Tier gen2 = start_tier(scratch, store_dirs, 2);
+  std::uint64_t rehydrated_records = 0;
+  for (const Replica& r : gen2.replicas)
+    rehydrated_records += r.server->plan_store()->rehydrated();
+
+  svc::RingClient ring2(gen2.addresses);
+  Phase rehydrated;
+  if (!run_phase(ring2, keys, seconds, rehydrated)) return 1;
+
+  std::uint64_t re_compiles = 0, re_hits = 0;
+  for (Replica& r : gen2.replicas) {
+    const svc::ServerStats s = r.server->stats();
+    re_compiles += s.compiles;
+    re_hits += s.store_hits;
+    r.server->stop();
+  }
+
+  std::cout << "  warm        " << util::fmt_fixed(warm.rps, 1)
+            << " req/s  (" << warm.requests << " requests, "
+            << warm_compiles << " compiles, " << warm_puts
+            << " puts)\n"
+            << "  rehydrated  " << util::fmt_fixed(rehydrated.rps, 1)
+            << " req/s  (" << rehydrated.requests << " requests, "
+            << re_compiles << " compiles, " << re_hits
+            << " store hits, " << rehydrated_records
+            << " records rehydrated)\n"
+            << "  identity    "
+            << (byte_identical ? "byte-identical across replicas"
+                               : "MISMATCH")
+            << " over " << key_count << " keys x " << kReplicas
+            << " replicas\n";
+
+  // Correctness gates — these are the tier's contract, quick mode or not.
+  if (!byte_identical) {
+    std::cerr << "FAIL: replicas disagreed on result bytes\n";
+    return 1;
+  }
+  if (re_compiles != 0) {
+    std::cerr << "FAIL: the rehydrated tier compiled " << re_compiles
+              << " time(s); every key should have been warm\n";
+    return 1;
+  }
+  if (re_hits < rehydrated.requests) {
+    std::cerr << "FAIL: only " << re_hits << " store hits for "
+              << rehydrated.requests << " rehydrated requests\n";
+    return 1;
+  }
+  const std::uint64_t expected_records =
+      static_cast<std::uint64_t>(key_count) * kReplicas;
+  if (rehydrated_records < expected_records) {
+    std::cerr << "FAIL: rehydrated " << rehydrated_records
+              << " records, expected at least " << expected_records << "\n";
+    return 1;
+  }
+
+  JsonLine line;
+  line.str("bench", "store")
+      .num("replicas", static_cast<i64>(kReplicas))
+      .num("keys", static_cast<i64>(key_count))
+      .num("warm_rps", warm.rps)
+      .num("rehydrated_rps", rehydrated.rps)
+      .boolean("byte_identical", byte_identical)
+      .num("rehydrated_records", rehydrated_records)
+      .num("rehydrated_compiles", re_compiles);
+  line.write(std::cout);
+
+  if (json) {
+    Json doc = Json::object();
+    doc.set("bench", Json::string("store"));
+    doc.set("quick", Json::boolean(quick));
+    doc.set("replicas", Json::integer(kReplicas));
+    doc.set("keys", Json::integer(key_count));
+    doc.set("byte_identical", Json::boolean(byte_identical));
+    Json w = Json::object();
+    w.set("seconds", Json::number(warm.seconds));
+    w.set("requests", Json::integer(static_cast<i64>(warm.requests)));
+    w.set("throughput_rps", Json::number(warm.rps));
+    w.set("compiles", Json::integer(static_cast<i64>(warm_compiles)));
+    w.set("store_puts", Json::integer(static_cast<i64>(warm_puts)));
+    doc.set("warm", std::move(w));
+    Json re = Json::object();
+    re.set("seconds", Json::number(rehydrated.seconds));
+    re.set("requests", Json::integer(static_cast<i64>(rehydrated.requests)));
+    re.set("throughput_rps", Json::number(rehydrated.rps));
+    re.set("compiles", Json::integer(static_cast<i64>(re_compiles)));
+    re.set("store_hits", Json::integer(static_cast<i64>(re_hits)));
+    re.set("rehydrated_records",
+           Json::integer(static_cast<i64>(rehydrated_records)));
+    doc.set("rehydrated", std::move(re));
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "FAIL: cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    os << doc.dump() << "\n";
+    std::cout << "bench report written to " << json_path << "\n";
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@ Dispatches on the document's "bench" field:
   model             BENCH_model.json (bench_overlap_levels --json)
   dag               BENCH_dag.json   (bench_dag_makespan --json)
   sched             BENCH_sched.json (bench_sched_fairness --json)
+  store             BENCH_store.json (bench_store_replication --json)
 
 Fails (exit 1) when the file is missing, is not valid JSON, or does not
 match the schema the perf-trajectory tooling expects.
@@ -156,9 +157,12 @@ def check_svc_load(doc):
                 "failed", "rejected", "batched", "compiles", "cache_hits",
                 "cache_misses", "max_queue_depth"):
         require(key in srv, f"server.{key} missing")
-    # Outcome accounting: every server-side request is answered exactly once.
+    # Outcome accounting: every server-side request is answered exactly once
+    # (quota_denied joined the vocabulary with the admission-quota tier;
+    # absent in records from benches that run without quotas).
     require(srv["requests"] == srv["completed"] + srv["shed"] +
-            srv["timed_out"] + srv["failed"] + srv["rejected"],
+            srv["timed_out"] + srv["failed"] + srv["rejected"] +
+            srv.get("quota_denied", 0),
             "server outcome counters do not sum to requests")
     require(srv["compiles"] >= 1, "no compiles executed")
     require(srv["cache_hits"] + srv["cache_misses"] >= srv["compiles"],
@@ -168,6 +172,53 @@ def check_svc_load(doc):
           f"{doc['responses']} responses,",
           f"{doc['throughput_rps']:.0f} req/s,",
           f"{100.0 * doc['cache_hit_rate']:.1f}% cache hits")
+
+
+# Rehydrated serving is the same in-memory read path as warm serving (one
+# map lookup instead of a plan-cache hit), so a healthy rehydrated tier
+# lands near warm throughput; the floor leaves slack for noisy hosts.
+STORE_REHYDRATED_MIN_RATIO = 0.5
+
+
+def check_store(doc):
+    for key in ("quick", "replicas", "keys", "byte_identical", "warm",
+                "rehydrated"):
+        require(key in doc, f"{key} missing")
+    require(doc["replicas"] >= 2, "a replicated tier needs >= 2 replicas")
+    require(doc["keys"] >= 1, "no keys measured")
+    # The content-addressed contract: every replica answered every key
+    # with byte-identical result bytes.
+    require(doc["byte_identical"] is True,
+            "replicas disagreed on result bytes")
+    for name in ("warm", "rehydrated"):
+        phase = doc[name]
+        require(isinstance(phase, dict), f"{name} must be an object")
+        for key in ("seconds", "requests", "throughput_rps", "compiles"):
+            require(key in phase, f"{name}.{key} missing")
+        require(phase["seconds"] > 0, f"{name} measured no time")
+        require(phase["requests"] > 0, f"{name} measured no requests")
+        require(phase["throughput_rps"] > 0, f"{name} throughput not positive")
+    re = doc["rehydrated"]
+    for key in ("store_hits", "rehydrated_records"):
+        require(key in re, f"rehydrated.{key} missing")
+    # A restarted replica serves warm keys from the rehydrated store: zero
+    # compiles, every request a store hit, every key recovered from disk.
+    require(re["compiles"] == 0, "the rehydrated tier recompiled")
+    require(re["store_hits"] >= re["requests"],
+            "rehydrated requests were not served from the store")
+    require(re["rehydrated_records"] >= doc["keys"] * doc["replicas"],
+            "replicas rehydrated fewer records than they stored")
+    if not doc.get("quick", False):
+        ratio = re["throughput_rps"] / doc["warm"]["throughput_rps"]
+        require(ratio >= STORE_REHYDRATED_MIN_RATIO,
+                f"rehydrated throughput ratio {ratio:.2f} below "
+                f"{STORE_REHYDRATED_MIN_RATIO}")
+
+    print("BENCH_store.json schema OK:",
+          f"{doc['replicas']} replicas, {doc['keys']} keys,",
+          f"warm {doc['warm']['throughput_rps']:.0f} req/s,",
+          f"rehydrated {re['throughput_rps']:.0f} req/s,",
+          "byte-identical")
 
 
 def check_fleet_scale(doc):
@@ -442,10 +493,12 @@ def main():
         check_dag(doc)
     elif kind == "sched":
         check_sched(doc)
+    elif kind == "store":
+        check_store(doc)
     else:
         fail(f"unknown bench kind {kind!r} "
              "(expected sweep_throughput, svc_load, fleet_scale, model, "
-             "dag or sched)")
+             "dag, sched or store)")
 
 
 if __name__ == "__main__":

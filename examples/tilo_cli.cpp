@@ -41,6 +41,7 @@
 #include "tilo/pipeline/compiler.hpp"
 #include "tilo/pipeline/serialize.hpp"
 #include "tilo/svc/client.hpp"
+#include "tilo/svc/ring_client.hpp"
 #include "tilo/svc/server.hpp"
 #include "tilo/trace/gantt.hpp"
 #include "tilo/util/csv.hpp"
@@ -97,6 +98,12 @@ struct CliOptions {
   std::optional<i64> deadline_ms;  ///< --connect per-request deadline
   bool ping = false;            ///< --connect: just round-trip a ping
   bool stop = false;            ///< --connect: ask the server to drain
+  std::string store_dir;        ///< --store-dir: serve-side plan store
+  double quota_rate = 0;        ///< --quota: per-tenant admissions/second
+  double quota_burst = 0;       ///< --quota RATE:BURST bucket capacity
+  std::string tenant;           ///< --tenant: client admission identity
+  std::vector<std::string> replicas;  ///< --replicas: ring-routed clients
+  std::string fleet_acct_dir;   ///< --fleet-acct-dir: usage snapshots
   bool version = false;         ///< print version + envelope versions
   std::string fleet_controller_address;  ///< --fleet-controller
   std::string fleet_worker_address;      ///< --fleet-worker
@@ -127,6 +134,33 @@ bool to_i64(const std::string& text, i64& out) {
   } catch (const std::exception&) {
     return false;
   }
+}
+
+bool to_double(const std::string& text, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(text, &pos);
+    return pos == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// "a,b,c" -> {"a", "b", "c"}; empty items are rejected (returns {}).
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (item.empty()) return {};
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
 }
 
 /// One CLI flag: the table drives the parser AND the usage text, so a flag
@@ -244,10 +278,46 @@ constexpr Flag kFlags[] = {
      [](CliOptions& c, const std::string& v) {
        return to_i64(v, c.queue) && c.queue >= 1;
      }},
+    {"--store-dir", "DIR",
+     "persist compiled results in a content-addressed plan store at DIR "
+     "(with --serve); a restarted server rehydrates from it instead of "
+     "cold-starting",
+     [](CliOptions& c, const std::string& v) {
+       c.store_dir = v;
+       return !v.empty();
+     }},
+    {"--quota", "RATE[:BURST]",
+     "per-tenant admission quota (with --serve): RATE compiles/second, "
+     "bucket capacity BURST (default RATE); over-quota requests answer "
+     "quota_exceeded",
+     [](CliOptions& c, const std::string& v) {
+       const std::size_t colon = v.find(':');
+       const std::string rate_text = v.substr(0, colon);
+       if (!to_double(rate_text, c.quota_rate) || c.quota_rate <= 0)
+         return false;
+       if (colon == std::string::npos) return true;
+       return to_double(v.substr(colon + 1), c.quota_burst) &&
+              c.quota_burst > 0;
+     }},
     {"--connect", "ADDR",
      "compile via a running service instead of in-process",
      [](CliOptions& c, const std::string& v) {
        c.connect_address = v;
+       return !v.empty();
+     }},
+    {"--replicas", "ADDR,ADDR,...",
+     "route compiles across a replicated svc tier by consistent hashing "
+     "on the problem key, failing over along the ring (replaces "
+     "--connect's single address)",
+     [](CliOptions& c, const std::string& v) {
+       c.replicas = split_csv(v);
+       return !c.replicas.empty();
+     }},
+    {"--tenant", "NAME",
+     "admission-control identity sent with compiles (with --connect / "
+     "--replicas; default \"default\")",
+     [](CliOptions& c, const std::string& v) {
+       c.tenant = v;
        return !v.empty();
      }},
     {"--deadline", "MS",
@@ -276,11 +346,13 @@ constexpr Flag kFlags[] = {
        c.fleet_controller_address = v;
        return !v.empty();
      }},
-    {"--fleet-worker", "ADDR",
-     "join the fleet at ADDR and pull work units until the run is done",
+    {"--fleet-worker", "ADDR[,ADDR...]",
+     "join the fleet at ADDR and pull work units until the run is done; a "
+     "comma list names a replicated controller tier resolved through the "
+     "same consistent-hash ring svc clients route by",
      [](CliOptions& c, const std::string& v) {
        c.fleet_worker_address = v;
-       return !v.empty();
+       return !v.empty() && !split_csv(v).empty();
      }},
     {"--fleet-sweep", nullptr,
      "controller job: shard the tile-height sweep (same grid as --sweep)",
@@ -358,6 +430,14 @@ constexpr Flag kFlags[] = {
      "accounting",
      [](CliOptions& c, const std::string& v) {
        c.fleet_acct_address = v;
+       return !v.empty();
+     }},
+    {"--fleet-acct-dir", "DIR",
+     "persist fair-share usage snapshots at DIR (with --fleet-controller); "
+     "a restarted controller restores tenant standing instead of "
+     "resetting it",
+     [](CliOptions& c, const std::string& v) {
+       c.fleet_acct_dir = v;
        return !v.empty();
      }},
     {"--machine", "FILE",
@@ -726,6 +806,9 @@ int run_serve(const CliOptions& cli) {
   config.address = cli.serve_address;
   config.workers = static_cast<int>(cli.workers);
   config.queue_capacity = static_cast<std::size_t>(cli.queue);
+  config.store_dir = cli.store_dir;
+  config.quota.rate = cli.quota_rate;
+  config.quota.burst = cli.quota_burst;
   // --trace records every request as a host span (one lane per worker);
   // batched requests show up as one svc.compile span answered to many.
   obs::ChromeTraceSink chrome;
@@ -743,7 +826,21 @@ int run_serve(const CliOptions& cli) {
             << cli.workers << " worker(s), queue " << cli.queue << ")\n"
             << "stop with SIGTERM / Ctrl-C, or `tilo_cli --connect "
             << server.address().str() << " --stop`\n";
+  if (const store::PlanStore* st = server.plan_store()) {
+    std::cout << "plan store at " << cli.store_dir << ": "
+              << st->rehydrated() << " record(s) rehydrated, "
+              << st->size() << " plan(s) warm\n";
+    // A torn or corrupt tail is survivable but worth an operator's glance.
+    if (!st->replay_warning().empty())
+      std::cerr << "warning: " << st->replay_warning() << '\n';
+  }
+  if (cli.quota_rate > 0)
+    std::cout << "admission quota: " << cli.quota_rate
+              << " compile(s)/s per unit share (burst "
+              << (cli.quota_burst > 0 ? cli.quota_burst : cli.quota_rate)
+              << ")\n";
   std::cout.flush();
+  std::cerr.flush();
   server.run_until(signals.fd());
   server.write_summary(std::cout);
   if (!cli.trace_path.empty()) {
@@ -779,16 +876,94 @@ void print_remote_schedule_line(const tilo::pipeline::Json& result) {
 /// Client mode: --connect ADDR [--ping | --stop | compile flags].  Sends
 /// the nest source to a running service and prints the same schedule lines
 /// as a local compile.
+/// The health lines under a pong: queue pressure (depth now, high-water
+/// mark, capacity), plan-cache effectiveness, and — when the server runs a
+/// plan store — rehydration and hit/miss counts.
+void print_ping_health(tilo::svc::Client& client) {
+  using namespace tilo;
+  const svc::Response st = client.stats();
+  if (st.status != svc::RespStatus::kOk || st.result.empty()) return;
+  const pipeline::Json s = pipeline::Json::parse(st.result);
+  if (const pipeline::Json* hits = s.find("cache_hits")) {
+    std::cout << "  queue       depth "
+              << s.at("queue_depth").as_integer("queue_depth")
+              << " now, peak "
+              << s.at("max_queue_depth").as_integer("max_queue_depth")
+              << " of "
+              << s.at("queue_capacity").as_integer("queue_capacity")
+              << '\n'
+              << "  plan cache  " << hits->as_integer("cache_hits")
+              << " hit(s) / "
+              << s.at("cache_misses").as_integer("cache_misses")
+              << " miss(es)\n";
+  }
+  const pipeline::Json* enabled = s.find("store_enabled");
+  if (enabled && enabled->as_bool("store_enabled")) {
+    std::cout << "  plan store  "
+              << s.at("store_hits").as_integer("store_hits") << " hit(s) / "
+              << s.at("store_misses").as_integer("store_misses")
+              << " miss(es), "
+              << s.at("store_puts").as_integer("store_puts") << " put(s), "
+              << s.at("store_rehydrated").as_integer("store_rehydrated")
+              << " rehydrated\n";
+  }
+  if (const pipeline::Json* qd = s.find("quota_denied"))
+    if (qd->as_integer("quota_denied") > 0)
+      std::cout << "  quota       " << qd->as_integer("quota_denied")
+                << " request(s) denied\n";
+}
+
 int run_connect(const CliOptions& cli) {
   using namespace tilo;
+  // --replicas: the single address becomes a ring-routed replica set.
+  // Pings and stops fan out to every replica; compiles route by problem
+  // key with failover (svc::RingClient).
+  if (!cli.replicas.empty() && (cli.ping || cli.stop)) {
+    int rc = kExitOk;
+    for (const std::string& addr : cli.replicas) {
+      try {
+        svc::Client c = svc::Client::connect(addr);
+        if (cli.stop) {
+          const svc::Response r = c.shutdown_server();
+          if (r.status != svc::RespStatus::kOk) {
+            std::cerr << "error: " << addr << " answered "
+                      << svc::status_name(r.status) << ": " << r.error
+                      << '\n';
+            rc = kExitService;
+            continue;
+          }
+          std::cout << "replica " << addr << " is draining\n";
+        } else {
+          const svc::Response r = c.ping();
+          if (r.status != svc::RespStatus::kOk) {
+            std::cerr << "error: " << addr << " answered "
+                      << svc::status_name(r.status) << ": " << r.error
+                      << '\n';
+            rc = kExitService;
+            continue;
+          }
+          std::cout << "pong from " << addr << '\n';
+          print_ping_health(c);
+        }
+      } catch (const util::Error& e) {
+        std::cerr << "error: replica " << addr << " unreachable: "
+                  << e.what() << '\n';
+        rc = kExitService;
+      }
+    }
+    return rc;
+  }
+
   std::optional<svc::Client> client;
-  try {
-    client = svc::Client::connect(cli.connect_address);
-  } catch (const util::Error& e) {
-    std::cerr << "error: cannot connect to " << cli.connect_address << ": "
-              << e.what() << "\n(is a server running? start one with "
-              << "`tilo_cli --serve " << cli.connect_address << "`)\n";
-    return kExitService;
+  if (cli.replicas.empty()) {
+    try {
+      client = svc::Client::connect(cli.connect_address);
+    } catch (const util::Error& e) {
+      std::cerr << "error: cannot connect to " << cli.connect_address << ": "
+                << e.what() << "\n(is a server running? start one with "
+                << "`tilo_cli --serve " << cli.connect_address << "`)\n";
+      return kExitService;
+    }
   }
   if (cli.ping) {
     const svc::Response r = client->ping();
@@ -798,25 +973,7 @@ int run_connect(const CliOptions& cli) {
       return kExitService;
     }
     std::cout << "pong from " << client->address().str() << '\n';
-    // A compile server also reports its health: queue pressure (depth now,
-    // high-water mark, capacity) and plan-cache effectiveness.
-    const svc::Response st = client->stats();
-    if (st.status == svc::RespStatus::kOk && !st.result.empty()) {
-      const pipeline::Json s = pipeline::Json::parse(st.result);
-      if (const pipeline::Json* hits = s.find("cache_hits")) {
-        std::cout << "  queue       depth "
-                  << s.at("queue_depth").as_integer("queue_depth")
-                  << " now, peak "
-                  << s.at("max_queue_depth").as_integer("max_queue_depth")
-                  << " of "
-                  << s.at("queue_capacity").as_integer("queue_capacity")
-                  << '\n'
-                  << "  plan cache  " << hits->as_integer("cache_hits")
-                  << " hit(s) / "
-                  << s.at("cache_misses").as_integer("cache_misses")
-                  << " miss(es)\n";
-      }
-    }
+    print_ping_health(*client);
     return kExitOk;
   }
   if (cli.stop) {
@@ -869,6 +1026,9 @@ int run_connect(const CliOptions& cli) {
     }
   }
 
+  std::optional<svc::RingClient> ring;
+  if (!cli.replicas.empty()) ring.emplace(cli.replicas);
+
   bool printed_header = false;
   for (auto kind : {sched::ScheduleKind::kNonOverlap,
                     sched::ScheduleKind::kOverlap}) {
@@ -877,13 +1037,21 @@ int run_connect(const CliOptions& cli) {
       continue;
     svc::CompileParams params = base;
     params.kind = kind;
-    svc::Request req;
-    req.op = svc::Op::kCompile;
-    req.deadline_ms = cli.deadline_ms;
-    req.compile = std::move(params);
     svc::Response resp;
+    std::string served_by;
     try {
-      resp = client->call_with_retry(std::move(req));
+      if (ring) {
+        served_by = cli.replicas[ring->route(params)];
+        resp = ring->compile(std::move(params), cli.deadline_ms, cli.tenant);
+      } else {
+        served_by = client->address().str();
+        svc::Request req;
+        req.op = svc::Op::kCompile;
+        req.deadline_ms = cli.deadline_ms;
+        req.tenant = cli.tenant;
+        req.compile = std::move(params);
+        resp = client->call_with_retry(std::move(req));
+      }
     } catch (const util::Error& e) {
       std::cerr << "error: " << e.what() << '\n';
       return kExitService;
@@ -898,7 +1066,7 @@ int run_connect(const CliOptions& cli) {
     if (!printed_header) {
       printed_header = true;
       std::cout << "nest '" << nest->name() << "' compiled by "
-                << client->address().str() << '\n';
+                << served_by << '\n';
       const pipeline::Json::Array& procs =
           result.at("procs").as_array("procs");
       std::cout << "processor grid (";
@@ -936,7 +1104,11 @@ int print_version() {
 int run_fleet_worker(const CliOptions& cli) {
   using namespace tilo;
   fleet::WorkerConfig wc;
-  wc.address = cli.fleet_worker_address;
+  const std::vector<std::string> addrs = split_csv(cli.fleet_worker_address);
+  if (addrs.size() > 1)
+    wc.addresses = addrs;  // replicated tier: resolve through the ring
+  else
+    wc.address = cli.fleet_worker_address;
   wc.name = "cli-worker";
   try {
     fleet::Worker worker(std::move(wc));
@@ -1053,6 +1225,7 @@ int run_fleet_controller(const CliOptions& cli,
   config.speculate = cli.fleet_speculate_after_ms > 0;
   if (config.speculate) config.speculate_after_ms = cli.fleet_speculate_after_ms;
   config.sched.policy = cli.fleet_policy;
+  config.accounting_dir = cli.fleet_acct_dir;
   obs::ChromeTraceSink chrome;
   if (!cli.trace_path.empty()) config.sink = &chrome;
 
@@ -1290,7 +1463,8 @@ int main(int argc, char** argv) {
     if (!cli.fleet_controller_address.empty())
       return run_fleet_controller(cli, std::move(model));
     if (!cli.serve_address.empty()) return run_serve(cli);
-    if (!cli.connect_address.empty()) return run_connect(cli);
+    if (!cli.connect_address.empty() || !cli.replicas.empty())
+      return run_connect(cli);
     if (!cli.scenario_path.empty())
       return run_scenario(cli, std::move(model));
     if (!cli.load_plan_path.empty()) return run_load_plan(cli);

@@ -32,6 +32,39 @@ std::vector<JobArray> wrap_units(std::vector<WorkUnit> units) {
   return jobs;
 }
 
+/// Segment-log key of the fair-share snapshot record (last one wins).
+constexpr const char* kAcctKey = "fairshare";
+
+/// The persisted snapshot: a JSON array of tenant rows.  Factor is
+/// recomputed after restore, so only the durable fields travel.
+std::string acct_rows_to_json(const std::vector<sched::TenantStatus>& rows) {
+  Json a = Json::array();
+  for (const sched::TenantStatus& t : rows) {
+    Json o = Json::object();
+    o.set("name", Json::string(t.name));
+    o.set("share", Json::number(t.share));
+    o.set("usage", Json::number(t.usage));
+    o.set("charged_units", Json::integer(static_cast<i64>(t.charged_units)));
+    a.push(std::move(o));
+  }
+  return a.dump();
+}
+
+std::vector<sched::TenantStatus> acct_rows_from_json(std::string_view text) {
+  std::vector<sched::TenantStatus> rows;
+  const Json a = Json::parse(text);
+  for (const Json& o : a.as_array("fairshare snapshot")) {
+    sched::TenantStatus t;
+    t.name = o.at("name").as_string("fairshare.name");
+    t.share = o.at("share").as_number("fairshare.share");
+    t.usage = o.at("usage").as_number("fairshare.usage");
+    t.charged_units = static_cast<std::uint64_t>(
+        o.at("charged_units").as_integer("fairshare.charged_units"));
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
 }  // namespace
 
 /// One worker connection.  Every fleet op is answered inline by the reader
@@ -64,12 +97,43 @@ Controller::Controller(ControllerConfig cfg, std::vector<JobArray> jobs)
   for (const JobArray& j : jobs) total += j.units.size();
   TILO_REQUIRE(total > 0, "fleet: nothing to dispatch (0 units)");
   const i64 now = now_ns();
+  restore_accounting(now);
   for (JobArray& j : jobs) submit_locked(std::move(j), now);
   if (cfg_.sink)
     cfg_.sink->counter("fleet.units", static_cast<double>(units_.size()));
 }
 
 Controller::~Controller() { stop(); }
+
+void Controller::restore_accounting(i64 now) {
+  if (cfg_.accounting_dir.empty()) return;
+  acct_log_ = store::SegmentLog::open(cfg_.accounting_dir);
+  // Replay keeps only the newest snapshot (append order = time order);
+  // a torn tail simply falls back to the previous intact snapshot.
+  std::string latest;
+  acct_log_->replay([&latest](std::string_view key, std::string_view value) {
+    if (key == kAcctKey) latest.assign(value);
+  });
+  if (latest.empty()) return;
+  try {
+    policy_->restore_fairshare(acct_rows_from_json(latest), now);
+  } catch (const util::Error&) {
+    // A malformed snapshot costs the restored standing, never the run.
+  }
+}
+
+void Controller::snapshot_accounting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!acct_log_) return;
+  const std::vector<sched::TenantStatus> rows =
+      policy_->tenant_statuses(now_ns());
+  if (rows.empty()) return;
+  const std::string snapshot = acct_rows_to_json(rows);
+  acct_log_->append(kAcctKey, snapshot);
+  // One live record; everything older is history.  Compacting here keeps
+  // restart replay O(1) snapshots no matter how many runs came before.
+  acct_log_->compact({{kAcctKey, snapshot}});
+}
 
 i64 Controller::submit(JobArray job) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -158,7 +222,12 @@ bool Controller::wait_for_ms(i64 timeout_ms) {
 }
 
 void Controller::stop() {
-  if (!started_.load() || stopping_.exchange(true)) return;
+  if (!started_.load() || stopping_.exchange(true)) {
+    // Never started (in-process fast-lane use): the usage still deserves
+    // to survive, so snapshot on the first stop() even without threads.
+    if (!started_.load() && !stopping_.exchange(true)) snapshot_accounting();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     cv_tick_.notify_all();
@@ -182,6 +251,8 @@ void Controller::stop() {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.clear();
   }
+  // Every charge has landed (workers are gone); persist the final usage.
+  snapshot_accounting();
 }
 
 void Controller::accept_loop() {

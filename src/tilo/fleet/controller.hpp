@@ -35,6 +35,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -45,6 +46,7 @@
 #include "tilo/fleet/unit.hpp"
 #include "tilo/obs/registry.hpp"
 #include "tilo/sched/fleet_policy.hpp"
+#include "tilo/store/segment_log.hpp"
 #include "tilo/svc/protocol.hpp"
 #include "tilo/svc/socket.hpp"
 
@@ -71,6 +73,11 @@ struct ControllerConfig {
   /// The default — fifo, everything unlimited — reproduces the legacy
   /// flat-deque dispatch bit for bit.
   sched::PolicyConfig sched;
+  /// Fair-share accounting segment-log directory ("" = no persistence):
+  /// tenant usage is restored from the last snapshot on construction and
+  /// snapshotted on stop(), so fair-share standing survives controller
+  /// restarts instead of resetting every tenant to a clean slate.
+  std::string accounting_dir;
   obs::Sink* sink = nullptr;
 };
 
@@ -164,6 +171,8 @@ class Controller {
   void conn_loop(std::shared_ptr<Conn> conn);
   void tick_loop();
   svc::Response handle(const svc::Request& req);
+  void restore_accounting(i64 now);
+  void snapshot_accounting();
   std::string handle_register(const Json& body);
   std::string handle_heartbeat(const Json& body);
   std::string handle_deregister(const Json& body);
@@ -203,6 +212,8 @@ class Controller {
   /// the "drop" list of the worker's next unit poll so it can abandon
   /// work it has not started.
   std::unordered_map<int, std::vector<std::size_t>> dropped_;
+  /// Fair-share usage snapshots (cfg_.accounting_dir); guarded by mu_.
+  std::optional<store::SegmentLog> acct_log_;
   Membership membership_;
   Merge merge_;
   obs::LogHistogram latency_;

@@ -10,6 +10,7 @@
 
 #include "tilo/fleet/controller.hpp"
 #include "tilo/fleet/unit.hpp"
+#include "tilo/store/ring.hpp"
 #include "tilo/util/error.hpp"
 
 namespace tilo::fleet {
@@ -34,9 +35,28 @@ struct Transport {
     Transport t;
     if (cfg.local) {
       t.local = cfg.local;
-    } else {
-      t.client.emplace(Client::connect(cfg.address, cfg.client));
+      return t;
     }
+    if (!cfg.addresses.empty()) {
+      // Replicated controller tier: walk the ring sequence keyed on the
+      // worker's name — the same hash every svc client routes by — so
+      // workers spread deterministically and fail over in arc order.
+      const store::Ring ring(cfg.addresses);
+      std::string last_error;
+      for (const std::size_t idx : ring.sequence(cfg.name)) {
+        try {
+          t.client.emplace(
+              Client::connect(cfg.addresses[idx], cfg.client));
+          return t;
+        } catch (const util::Error& e) {
+          last_error = e.what();
+        }
+      }
+      TILO_REQUIRE(false, "fleet worker: no controller reachable among ",
+                   cfg.addresses.size(), " replica(s); last error: ",
+                   last_error);
+    }
+    t.client.emplace(Client::connect(cfg.address, cfg.client));
     return t;
   }
 

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "tilo/svc/client.hpp"
 
@@ -29,6 +30,13 @@ class Controller;
 
 struct WorkerConfig {
   std::string address;          ///< the controller's address
+  /// Replicated controller tier: when non-empty, `address` is ignored and
+  /// the worker resolves a controller through the same store::Ring the
+  /// svc clients route by — candidates are tried in ring-sequence order
+  /// keyed on the worker's name, so a fleet of workers spreads across the
+  /// replicas deterministically and fails over to the next arc owner when
+  /// its first choice is unreachable.
+  std::vector<std::string> addresses;
   std::string name = "worker";  ///< reported at registration (logs/report)
   /// Units requested per poll; the controller caps at its credit window.
   i64 batch = 4;

@@ -76,4 +76,14 @@ std::vector<TenantStatus> FairShare::statuses(i64 now_ns) const {
   return out;
 }
 
+void FairShare::restore(const std::vector<TenantStatus>& rows, i64 now_ns) {
+  for (const TenantStatus& row : rows) {
+    declare({row.name, row.share});
+    Tenant& t = tenants_[row.name];
+    t.usage = row.usage < 0 ? 0.0 : row.usage;
+    t.stamp_ns = now_ns;
+    t.charged_units = row.charged_units;
+  }
+}
+
 }  // namespace tilo::sched

@@ -76,6 +76,13 @@ class FairShare {
   /// Every tenant's row, in name order (deterministic emission).
   std::vector<TenantStatus> statuses(i64 now_ns) const;
 
+  /// Rebuilds tenants from snapshot rows (statuses() output, possibly
+  /// persisted across a restart).  Usage is installed as-of `now_ns` —
+  /// steady-clock epochs differ across processes, so downtime decay is
+  /// not modeled; the snapshot value simply resumes decaying from the
+  /// restore time.  Existing tenants with the same name are overwritten.
+  void restore(const std::vector<TenantStatus>& rows, i64 now_ns);
+
  private:
   struct Tenant {
     double share = 1.0;

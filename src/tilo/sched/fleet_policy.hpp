@@ -178,6 +178,11 @@ class Policy {
   std::vector<TenantStatus> tenant_statuses(i64 now_ns) const {
     return fairshare_.statuses(now_ns);
   }
+  /// Restores fair-share usage from persisted snapshot rows (the
+  /// controller's accounting log) — see FairShare::restore.
+  void restore_fairshare(const std::vector<TenantStatus>& rows, i64 now_ns) {
+    fairshare_.restore(rows, now_ns);
+  }
   std::vector<PartitionStatus> partition_statuses() const;
 
  protected:

@@ -1,0 +1,101 @@
+#include "tilo/store/plan_store.hpp"
+
+#include <utility>
+
+namespace tilo::store {
+
+PlanStore::PlanStore(PlanStoreConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.dir.empty()) return;
+  log_ = SegmentLog::open(cfg_.dir);
+  // Later records win: the log may hold several generations of a key.
+  const ReplayStats stats =
+      log_->replay([this](std::string_view key, std::string_view value) {
+        auto [it, inserted] =
+            mem_.emplace(std::string(key), std::string(value));
+        if (!inserted) {
+          live_bytes_ -= it->first.size() + it->second.size();
+          it->second.assign(value);
+        }
+        live_bytes_ += it->first.size() + it->second.size();
+      });
+  rehydrated_ = stats.records;
+  replay_warning_ = stats.warning;
+}
+
+std::optional<std::string> PlanStore::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = mem_.find(key);
+  if (it == mem_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+bool PlanStore::put(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = mem_.emplace(key, std::string());
+  if (!inserted && it->second == value) return false;  // idempotent re-put
+  if (!inserted) live_bytes_ -= it->first.size() + it->second.size();
+  it->second = std::move(value);
+  live_bytes_ += it->first.size() + it->second.size();
+  ++puts_;
+  if (log_) {
+    log_->append(key, it->second);
+    maybe_compact_locked();
+  }
+  return true;
+}
+
+void PlanStore::maybe_compact_locked() {
+  if (!log_) return;
+  const std::uint64_t log_bytes = log_->bytes();
+  if (log_bytes < cfg_.compact_min_bytes) return;
+  if (static_cast<double>(log_bytes) <
+      cfg_.compact_ratio * static_cast<double>(live_bytes_ + 1))
+    return;
+  std::vector<std::pair<std::string, std::string>> live(mem_.begin(),
+                                                        mem_.end());
+  log_->compact(live);
+}
+
+void PlanStore::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!log_) return;
+  std::vector<std::pair<std::string, std::string>> live(mem_.begin(),
+                                                        mem_.end());
+  log_->compact(live);
+}
+
+std::size_t PlanStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mem_.size();
+}
+
+std::uint64_t PlanStore::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanStore::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t PlanStore::puts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return puts_;
+}
+
+std::uint64_t PlanStore::rehydrated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rehydrated_;
+}
+
+std::string PlanStore::replay_warning() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replay_warning_;
+}
+
+}  // namespace tilo::store

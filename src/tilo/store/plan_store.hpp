@@ -1,0 +1,85 @@
+// store::PlanStore — the content-addressed plan store (DESIGN.md §17).
+//
+// Keys are serialized problem identities (svc::problem_key: the canonical
+// dump of everything a compile depends on); values are the compiled
+// result's wire bytes.  Because the pipeline is deterministic and the
+// svc response splices result bytes verbatim, any replica holding the
+// value can serve it byte-identical to the replica that compiled it —
+// that is what makes plans perfect content-addressed objects.
+//
+// Two tiers:
+//   memory   an ordinary map, the read path (get/put are O(log n))
+//   disk     an append-only SegmentLog, written through on every new put
+//            and replayed on open, so a restarted service rehydrates its
+//            warm set instead of cold-starting
+//
+// A torn or corrupt log tail (SIGKILL mid-append, disk truncation) costs
+// only the records at and after the tear: rehydration keeps everything
+// before it and records a warning (replay_warning()) instead of failing.
+// When the log grows past compact_ratio x the live bytes, put() compacts
+// it back to exactly the live set.
+//
+// Thread-safe: svc worker threads read-through and write-through
+// concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "tilo/store/segment_log.hpp"
+
+namespace tilo::store {
+
+struct PlanStoreConfig {
+  /// Segment-log directory; "" = memory-only (no persistence).
+  std::string dir;
+  /// Compact when the log exceeds this many bytes AND compact_ratio x the
+  /// live bytes (both gates, so small stores never churn).
+  std::uint64_t compact_min_bytes = 1 << 20;
+  double compact_ratio = 4.0;
+};
+
+class PlanStore {
+ public:
+  /// Opens the store and rehydrates the memory tier from the segment log
+  /// (when `dir` is set).  Throws util::Error when the directory cannot
+  /// be created/opened; a corrupt log never throws (see replay_warning).
+  explicit PlanStore(PlanStoreConfig cfg);
+
+  /// The value for `key`, or nullopt.  Counts a hit or a miss.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Stores key -> value (write-through to the log when persistent).
+  /// A put identical to the stored value is a no-op (no log growth);
+  /// returns true when the store changed.
+  bool put(const std::string& key, std::string value);
+
+  /// Rewrites the log to exactly the live set (no-op when memory-only).
+  void compact();
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t puts() const;        ///< puts that changed the store
+  std::uint64_t rehydrated() const;  ///< records loaded from disk on open
+  /// The replay warning from open ("" = the log parsed cleanly).
+  std::string replay_warning() const;
+  bool persistent() const { return log_.has_value(); }
+
+ private:
+  void maybe_compact_locked();
+
+  PlanStoreConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> mem_;
+  std::uint64_t live_bytes_ = 0;
+  std::optional<SegmentLog> log_;
+  std::uint64_t hits_ = 0, misses_ = 0, puts_ = 0, rehydrated_ = 0;
+  std::string replay_warning_;
+};
+
+}  // namespace tilo::store

@@ -1,0 +1,72 @@
+#include "tilo/store/quota.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::store {
+
+Quota::Quota(QuotaConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.burst <= 0.0) cfg_.burst = cfg_.rate;
+  for (const auto& t : cfg_.tenants) {
+    TILO_REQUIRE(t.share > 0.0, "store quota: tenant \"", t.name,
+                 "\" share must be > 0, got ", t.share);
+    shares_[t.name] = t.share;
+  }
+}
+
+double Quota::share_of(const std::string& tenant) const {
+  const auto it = shares_.find(tenant);
+  return it == shares_.end() ? 1.0 : it->second;
+}
+
+double Quota::refilled(const Bucket& b, double cap, double rate,
+                       i64 now_ns) const {
+  if (now_ns <= b.stamp_ns) return b.tokens;
+  const double dt_s =
+      static_cast<double>(now_ns - b.stamp_ns) / 1e9;
+  return std::min(cap, b.tokens + rate * dt_s);
+}
+
+bool Quota::try_take(const std::string& tenant, i64 now_ns) {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double share = share_of(tenant);
+  const double cap = cfg_.burst * share;
+  const double rate = cfg_.rate * share;
+  auto [it, inserted] = buckets_.emplace(tenant, Bucket{cap, now_ns});
+  Bucket& b = it->second;
+  if (!inserted) {
+    b.tokens = refilled(b, cap, rate, now_ns);
+    b.stamp_ns = std::max(b.stamp_ns, now_ns);
+  }
+  if (b.tokens < 1.0) {
+    ++denied_;
+    return false;
+  }
+  b.tokens -= 1.0;
+  ++admitted_;
+  return true;
+}
+
+std::uint64_t Quota::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+std::uint64_t Quota::denied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_;
+}
+
+double Quota::tokens(const std::string& tenant, i64 now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double share = share_of(tenant);
+  const double cap = cfg_.burst * share;
+  const auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) return cap;
+  return refilled(it->second, cap, cfg_.rate * share, now_ns);
+}
+
+}  // namespace tilo::store

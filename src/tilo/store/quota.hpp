@@ -1,0 +1,78 @@
+// store::Quota — tiered admission control in front of the svc queue
+// (DESIGN.md §17).
+//
+// A per-tenant token bucket: tenant t refills at rate x share(t) tokens
+// per second up to burst x share(t), and every compile admission takes
+// one token.  The svc queue already sheds load when it is *full*; the
+// quota tier rejects *unfair* load before it ever reaches the queue, so
+// one flooding tenant exhausts its own bucket (and gets an explicit
+// `quota_exceeded` wire outcome it can back off on) instead of filling
+// the shared queue and starving everyone else's latency.
+//
+// Shares reuse the scheduler's tenant identity (sched::TenantShare): the
+// same weights that order fleet placement scale admission here, so
+// declaring a tenant once gives it a consistent slice of both tiers.
+//
+// Determinism: refill is computed analytically from the timestamps the
+// caller passes in, exactly like sched::FairShare — no hidden clock, so
+// the suites drive it with a synthetic clock.  New buckets start full
+// (a quiet tenant's first burst is admitted).  Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tilo/sched/fairshare.hpp"
+#include "tilo/util/math.hpp"
+
+namespace tilo::store {
+
+using util::i64;
+
+struct QuotaConfig {
+  /// Steady-state admissions per second for a share-1.0 tenant;
+  /// <= 0 disables the quota tier entirely (everything admits).
+  double rate = 0.0;
+  /// Bucket capacity for a share-1.0 tenant; <= 0 defaults to `rate`.
+  double burst = 0.0;
+  /// Tenant weights; tenants not listed here get share 1.0.
+  std::vector<sched::TenantShare> tenants;
+};
+
+class Quota {
+ public:
+  explicit Quota(QuotaConfig cfg);
+
+  /// Takes one token from `tenant`'s bucket at `now_ns`.  Returns true
+  /// when admitted; false (and counts a denial) when the bucket is dry.
+  bool try_take(const std::string& tenant, i64 now_ns);
+
+  bool enabled() const { return cfg_.rate > 0.0; }
+  std::uint64_t admitted() const;
+  std::uint64_t denied() const;
+
+  /// Remaining tokens for a tenant at `now_ns` (its full burst when the
+  /// tenant has never been seen).  Introspection for stats/tests.
+  double tokens(const std::string& tenant, i64 now_ns) const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;  ///< as of stamp_ns
+    i64 stamp_ns = 0;
+  };
+
+  double share_of(const std::string& tenant) const;
+  double refilled(const Bucket& b, double cap, double rate, i64 now_ns) const;
+
+  QuotaConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+  std::map<std::string, double> shares_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace tilo::store

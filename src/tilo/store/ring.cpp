@@ -1,0 +1,72 @@
+#include "tilo/store/ring.hpp"
+
+#include <algorithm>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::store {
+
+std::uint64_t Ring::hash(std::string_view bytes) {
+  // FNV-1a accumulates the bytes; the SplitMix64 finalizer spreads the
+  // result over the full 64-bit ring (plain FNV clusters low bits).
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+Ring::Ring(std::vector<std::string> nodes, int vnodes)
+    : nodes_(std::move(nodes)) {
+  TILO_REQUIRE(!nodes_.empty(), "store ring: need at least one node");
+  TILO_REQUIRE(vnodes >= 1, "store ring: vnodes must be >= 1, got ", vnodes);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j)
+      TILO_REQUIRE(nodes_[i] != nodes_[j], "store ring: duplicate node \"",
+                   nodes_[i], "\"");
+  points_.reserve(nodes_.size() * static_cast<std::size_t>(vnodes));
+  for (std::size_t n = 0; n < nodes_.size(); ++n)
+    for (int v = 0; v < vnodes; ++v)
+      points_.push_back(
+          {hash(nodes_[n] + "#" + std::to_string(v)), n});
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+            });
+}
+
+std::size_t Ring::owner_at(std::uint64_t h) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  return it == points_.end() ? points_.front().node : it->node;
+}
+
+std::size_t Ring::route(std::string_view key) const {
+  return owner_at(hash(key));
+}
+
+std::vector<std::size_t> Ring::sequence(std::string_view key) const {
+  std::vector<std::size_t> out;
+  out.reserve(nodes_.size());
+  std::vector<bool> seen(nodes_.size(), false);
+  const std::uint64_t h = hash(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  for (std::size_t walked = 0;
+       walked < points_.size() && out.size() < nodes_.size(); ++walked) {
+    if (it == points_.end()) it = points_.begin();
+    if (!seen[it->node]) {
+      seen[it->node] = true;
+      out.push_back(it->node);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace tilo::store

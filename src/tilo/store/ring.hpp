@@ -1,0 +1,60 @@
+// store::Ring — consistent hashing over a replica set (DESIGN.md §17).
+//
+// Each node is hashed at `vnodes` points onto a 64-bit ring; a key routes
+// to the node owning the first point clockwise of the key's hash.  The
+// classic properties follow: adding or removing one node remaps only the
+// keys on its arcs (~1/N of the space), and virtual nodes smooth the
+// per-node load toward uniform.
+//
+// The hash is FNV-1a finished with the SplitMix64 mixer — a fixed
+// function of the bytes, not std::hash — so every process (client-side
+// routers, fleet workers, benches, tests) computes the identical ring
+// from the identical replica list.  That cross-process determinism is
+// the point: a client routes a problem_key to the replica that owns (and
+// has most likely cached) it without any coordination.
+//
+// Immutable after construction; share freely across threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tilo::store {
+
+class Ring {
+ public:
+  /// Builds the ring.  Node order is preserved (indices returned by
+  /// route/sequence index into nodes()); duplicate node names are
+  /// rejected.  Throws util::Error on an empty set or vnodes < 1.
+  explicit Ring(std::vector<std::string> nodes, int vnodes = 64);
+
+  /// The node a key routes to.
+  std::size_t route(std::string_view key) const;
+
+  /// Every node, deduplicated, in ring order starting at route(key) —
+  /// the failover order: when the owner is down, the next arc owner is
+  /// the replica most likely to be routed this key after the owner is
+  /// removed from the set.
+  std::vector<std::size_t> sequence(std::string_view key) const;
+
+  const std::vector<std::string>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// The ring's hash: FNV-1a over the bytes, SplitMix64-finalized.
+  static std::uint64_t hash(std::string_view bytes);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t node;
+  };
+  /// The first point clockwise of `h` (wrapping).
+  std::size_t owner_at(std::uint64_t h) const;
+
+  std::vector<std::string> nodes_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+}  // namespace tilo::store

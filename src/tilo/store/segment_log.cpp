@@ -1,0 +1,279 @@
+#include "tilo/store/segment_log.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::store {
+
+namespace {
+
+/// Record header layout (little-endian u32s): magic, version, key_len,
+/// val_len, crc32.
+constexpr std::size_t kHeaderBytes = 5 * 4;
+/// Payload cap per record: a defense against parsing garbage lengths out
+/// of a corrupt header, far above any real plan artifact.
+constexpr std::uint32_t kMaxLen = 1u << 30;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+/// mkdir -p without std::filesystem (keeps the error text consistent with
+/// the rest of the library).
+void make_dirs(const std::string& dir) {
+  std::string path;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') continue;
+    path = dir.substr(0, i == dir.size() ? i : i + 1);
+    if (path.empty() || path == "/") continue;
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST)
+      TILO_REQUIRE(false, "store: cannot create directory ", path, ": ",
+                   std::strerror(errno));
+  }
+}
+
+std::string encode_record(std::string_view key, std::string_view value) {
+  TILO_REQUIRE(key.size() < kMaxLen && value.size() < kMaxLen,
+               "store: record too large (", key.size(), " + ", value.size(),
+               " bytes)");
+  std::string rec;
+  rec.reserve(kHeaderBytes + key.size() + value.size());
+  put_u32(rec, SegmentLog::kMagic);
+  put_u32(rec, SegmentLog::kSegmentVersion);
+  put_u32(rec, static_cast<std::uint32_t>(key.size()));
+  put_u32(rec, static_cast<std::uint32_t>(value.size()));
+  // One CRC pass over the concatenation; records are small, clarity wins.
+  std::string both;
+  both.reserve(key.size() + value.size());
+  both.append(key);
+  both.append(value);
+  put_u32(rec, crc32(both));
+  rec.append(key);
+  rec.append(value);
+  return rec;
+}
+
+/// Every segment index present in `dir`, ascending.  Listing the directory
+/// (rather than probing candidate names) is what makes gaps safe: after a
+/// few compactions the only survivor may be seg-000067.log, and a probe
+/// loop anchored at 1 would walk straight past it.
+std::vector<std::uint64_t> scan_segment_indices(const std::string& dir) {
+  std::vector<std::uint64_t> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return out;
+  while (const dirent* entry = ::readdir(d)) {
+    unsigned long long index = 0;
+    int consumed = 0;
+    if (std::sscanf(entry->d_name, "seg-%llu.log%n", &index, &consumed) == 1 &&
+        consumed > 0 &&
+        static_cast<std::size_t>(consumed) == std::strlen(entry->d_name))
+      out.push_back(index);
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void write_all(int fd, std::string_view bytes, const std::string& what) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      TILO_REQUIRE(false, "store: write to ", what,
+                   " failed: ", std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  // Table-free bitwise CRC-32 (IEEE, reflected, poly 0xEDB88320).  The
+  // records this log carries are a few KiB at most; the bitwise form is
+  // plenty and needs no static table.
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc ^= static_cast<unsigned char>(c);
+    for (int k = 0; k < 8; ++k)
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+SegmentLog::SegmentLog(std::string dir, std::uint64_t active_index, int fd)
+    : dir_(std::move(dir)), active_index_(active_index), fd_(fd) {}
+
+SegmentLog::~SegmentLog() { close_fd(); }
+
+void SegmentLog::close_fd() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::string SegmentLog::segment_path(std::uint64_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.log",
+                static_cast<unsigned long long>(index));
+  return dir_ + "/" + name;
+}
+
+std::vector<std::uint64_t> SegmentLog::segment_indices() const {
+  return scan_segment_indices(dir_);
+}
+
+SegmentLog SegmentLog::open(const std::string& dir) {
+  TILO_REQUIRE(!dir.empty(), "store: segment-log directory must be non-empty");
+  make_dirs(dir);
+  // The active segment is the highest-numbered existing one (compaction
+  // unlinks history, so the survivors may start anywhere).
+  const std::vector<std::uint64_t> existing = scan_segment_indices(dir);
+  const std::uint64_t active = existing.empty() ? 1 : existing.back();
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.log",
+                static_cast<unsigned long long>(active));
+  const std::string path = dir + "/" + name;
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  TILO_REQUIRE(fd >= 0, "store: cannot open segment ", path, ": ",
+               std::strerror(errno));
+  return SegmentLog(dir, active, fd);
+}
+
+void SegmentLog::append(std::string_view key, std::string_view value) {
+  TILO_REQUIRE(fd_ >= 0, "store: append on a moved-from SegmentLog");
+  const std::string rec = encode_record(key, value);
+  write_all(fd_, rec, segment_path(active_index_));
+}
+
+ReplayStats SegmentLog::replay(
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  ReplayStats stats;
+  for (const std::uint64_t index : segment_indices()) {
+    ++stats.segments;
+    const std::string path = segment_path(index);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const std::size_t remaining = bytes.size() - off;
+      bool bad = false;
+      std::string why;
+      std::uint32_t key_len = 0, val_len = 0, crc = 0;
+      if (remaining < kHeaderBytes) {
+        bad = true;
+        why = "torn header";
+      } else {
+        const char* p = bytes.data() + off;
+        if (get_u32(p) != kMagic) {
+          bad = true;
+          why = "bad magic";
+        } else if (get_u32(p + 4) != kSegmentVersion) {
+          bad = true;
+          why = "unknown record version";
+        } else {
+          key_len = get_u32(p + 8);
+          val_len = get_u32(p + 12);
+          crc = get_u32(p + 16);
+          if (key_len >= kMaxLen || val_len >= kMaxLen) {
+            bad = true;
+            why = "implausible record length";
+          } else if (remaining <
+                     kHeaderBytes + std::uint64_t{key_len} + val_len) {
+            bad = true;
+            why = "torn payload";
+          }
+        }
+      }
+      if (!bad) {
+        const std::string_view key(bytes.data() + off + kHeaderBytes,
+                                   key_len);
+        const std::string_view val(
+            bytes.data() + off + kHeaderBytes + key_len, val_len);
+        std::string both;
+        both.reserve(key.size() + val.size());
+        both.append(key);
+        both.append(val);
+        if (crc32(both) != crc) {
+          bad = true;
+          why = "CRC mismatch";
+        } else {
+          fn(key, val);
+          ++stats.records;
+          off += kHeaderBytes + key_len + val_len;
+          continue;
+        }
+      }
+      // A torn or corrupt record invalidates everything after it in this
+      // segment (framing is lost): warn, count, move to the next segment.
+      stats.skipped_bytes += remaining;
+      stats.warning = util::concat("store: ", why, " in ", path,
+                                   " at offset ", off, "; skipped the ",
+                                   remaining, "-byte tail");
+      break;
+    }
+  }
+  return stats;
+}
+
+void SegmentLog::compact(
+    const std::vector<std::pair<std::string, std::string>>& live) {
+  const std::uint64_t next = active_index_ + 1;
+  const std::string final_path = segment_path(next);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(),
+                        O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  TILO_REQUIRE(fd >= 0, "store: cannot open ", tmp_path, ": ",
+               std::strerror(errno));
+  for (const auto& [key, value] : live)
+    write_all(fd, encode_record(key, value), tmp_path);
+  ::fsync(fd);
+  ::close(fd);
+  TILO_REQUIRE(::rename(tmp_path.c_str(), final_path.c_str()) == 0,
+               "store: cannot rename ", tmp_path, ": ", std::strerror(errno));
+  // The new segment is durable under its final name; retire the history.
+  const std::vector<std::uint64_t> old = segment_indices();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(final_path.c_str(), O_WRONLY | O_APPEND, 0644);
+  TILO_REQUIRE(fd_ >= 0, "store: cannot reopen ", final_path, ": ",
+               std::strerror(errno));
+  const std::uint64_t previous_active = active_index_;
+  active_index_ = next;
+  for (const std::uint64_t index : old)
+    if (index <= previous_active) ::unlink(segment_path(index).c_str());
+}
+
+std::uint64_t SegmentLog::bytes() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t index : segment_indices()) {
+    struct stat st {};
+    if (::stat(segment_path(index).c_str(), &st) == 0)
+      total += static_cast<std::uint64_t>(st.st_size);
+  }
+  return total;
+}
+
+}  // namespace tilo::store

@@ -1,0 +1,111 @@
+// store::SegmentLog — the append-only, checksummed on-disk log under the
+// content-addressed plan store (DESIGN.md §17).
+//
+// A log is a directory of numbered segment files (seg-000001.log, ...).
+// Every record is a versioned binary envelope:
+//
+//   magic    u32  'TSLG' — detects foreign files and lost framing
+//   version  u32  envelope version (kSegmentVersion)
+//   key_len  u32
+//   val_len  u32
+//   crc32    u32  CRC-32 (IEEE) over key bytes + value bytes
+//   key, value bytes
+//
+// All integers little-endian.  Appends go to the highest-numbered segment;
+// replay walks the segments in order and hands every intact record to the
+// caller.  Crash safety is by construction: a torn tail (partial header,
+// short payload, CRC mismatch — anything a SIGKILL mid-write can leave)
+// terminates replay of that segment with a warning instead of an error,
+// so a restarted process keeps every record that was fully written and
+// loses only the one that was in flight.  Compaction writes the caller's
+// live set into a fresh segment (tmp file + atomic rename), then unlinks
+// the older segments — replay cost stays proportional to live data, not
+// to history.
+//
+// Not internally synchronized: the owner (store::PlanStore, the fleet
+// controller's accounting snapshot) serializes access under its own lock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tilo::store {
+
+/// CRC-32 (IEEE 802.3, reflected) — the checksum in every record envelope.
+std::uint32_t crc32(std::string_view bytes);
+
+/// What replay() found: intact records handed to the callback, and — when
+/// a torn or corrupt tail was skipped — a human-readable warning naming
+/// the segment and offset.
+struct ReplayStats {
+  std::uint64_t records = 0;        ///< intact records replayed
+  std::uint64_t segments = 0;       ///< segment files visited
+  std::uint64_t skipped_bytes = 0;  ///< bytes abandoned after corruption
+  std::string warning;              ///< "" = every byte parsed cleanly
+};
+
+class SegmentLog {
+ public:
+  static constexpr std::uint32_t kMagic = 0x54534C47;  // "TSLG"
+  static constexpr std::uint32_t kSegmentVersion = 1;
+
+  /// Opens (creating the directory and an initial segment as needed) the
+  /// log at `dir`.  Throws util::Error when the directory cannot be
+  /// created or the active segment cannot be opened for append.
+  static SegmentLog open(const std::string& dir);
+
+  SegmentLog(SegmentLog&& other) noexcept
+      : dir_(std::move(other.dir_)),
+        active_index_(other.active_index_),
+        fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  SegmentLog& operator=(SegmentLog&& other) noexcept {
+    if (this != &other) {
+      close_fd();
+      dir_ = std::move(other.dir_);
+      active_index_ = other.active_index_;
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  ~SegmentLog();
+
+  /// Appends one record to the active segment and flushes it to the OS.
+  void append(std::string_view key, std::string_view value);
+
+  /// Replays every intact record of every segment, oldest segment first,
+  /// in append order.  A corrupt or torn record ends that segment's
+  /// replay (later segments still replay) and is reported in the stats.
+  ReplayStats replay(
+      const std::function<void(std::string_view key, std::string_view value)>&
+          fn) const;
+
+  /// Rewrites the log as one fresh segment holding exactly `live` (tmp
+  /// file + atomic rename), then removes the older segments.  Subsequent
+  /// appends go to the new segment.
+  void compact(const std::vector<std::pair<std::string, std::string>>& live);
+
+  /// Total bytes across every segment file (the compaction trigger).
+  std::uint64_t bytes() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  SegmentLog(std::string dir, std::uint64_t active_index, int fd);
+
+  void close_fd();
+  std::string segment_path(std::uint64_t index) const;
+  std::vector<std::uint64_t> segment_indices() const;
+
+  std::string dir_;
+  std::uint64_t active_index_ = 1;
+  int fd_ = -1;  ///< active segment, O_APPEND
+};
+
+}  // namespace tilo::store

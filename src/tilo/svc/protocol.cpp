@@ -130,6 +130,7 @@ Json request_to_json(const Request& req) {
   if (req.deadline_ms) j.set("deadline_ms", Json::integer(*req.deadline_ms));
   if (req.op == Op::kCompile) j.set("workload", workload_to_json(req.compile));
   if (!req.fleet.is_null()) j.set("fleet", req.fleet);
+  if (!req.tenant.empty()) j.set("tenant", Json::string(req.tenant));
   return j;
 }
 
@@ -147,6 +148,7 @@ Request request_from_json(const Json& j) {
     TILO_REQUIRE(f->is_object(), "svc request: \"fleet\" is not an object");
     req.fleet = *f;
   }
+  if (const Json* t = j.find("tenant")) req.tenant = t->as_string("tenant");
   return req;
 }
 
@@ -162,6 +164,7 @@ std::string_view status_name(RespStatus status) {
     case RespStatus::kOverloaded: return "overloaded";
     case RespStatus::kTimeout: return "timeout";
     case RespStatus::kShuttingDown: return "shutting_down";
+    case RespStatus::kQuotaExceeded: return "quota_exceeded";
     case RespStatus::kError: return "error";
   }
   return "?";
@@ -174,6 +177,7 @@ RespStatus status_from(std::string_view name) {
   if (name == "overloaded") return RespStatus::kOverloaded;
   if (name == "timeout") return RespStatus::kTimeout;
   if (name == "shutting_down") return RespStatus::kShuttingDown;
+  if (name == "quota_exceeded") return RespStatus::kQuotaExceeded;
   if (name == "error") return RespStatus::kError;
   TILO_REQUIRE(false, "svc response: unknown status \"", std::string(name),
                "\"");

@@ -87,6 +87,10 @@ struct Request {
   std::optional<i64> deadline_ms;  ///< admission-to-completion budget
   CompileParams compile;           ///< only meaningful when op == kCompile
   Json fleet;                      ///< fleet-op body; null for other ops
+  /// Admission-control identity (store::Quota); lives on the envelope, not
+  /// the workload — quota identity must not perturb problem_key.  "" means
+  /// the "default" tenant and is omitted from the wire.
+  std::string tenant;
 };
 
 /// The canonical workload object (the basis of problem_key); public so the
@@ -111,6 +115,7 @@ enum class RespStatus {
   kOverloaded,          ///< admission queue full — shed, retry later
   kTimeout,             ///< deadline passed before a worker got to it
   kShuttingDown,        ///< server is draining; no new work
+  kQuotaExceeded,       ///< tenant token bucket dry — back off, retry later
   kError,               ///< the compile itself failed (util::Error)
 };
 std::string_view status_name(RespStatus status);

@@ -1,0 +1,74 @@
+#include "tilo/svc/ring_client.hpp"
+
+#include <utility>
+
+#include "tilo/util/error.hpp"
+
+namespace tilo::svc {
+
+RingClient::RingClient(std::vector<std::string> addresses, ClientOptions opts)
+    : addresses_(std::move(addresses)),
+      opts_(opts),
+      ring_(addresses_),
+      clients_(addresses_.size()) {}
+
+Client& RingClient::client_at(std::size_t index) {
+  TILO_REQUIRE(index < clients_.size(), "ring client: replica index ", index,
+               " out of range (", clients_.size(), " replicas)");
+  if (!clients_[index])
+    clients_[index] =
+        std::make_unique<Client>(Client::connect(addresses_[index], opts_));
+  return *clients_[index];
+}
+
+std::size_t RingClient::route(const CompileParams& params) const {
+  return ring_.route(problem_key(params));
+}
+
+Response RingClient::compile(CompileParams params,
+                             std::optional<i64> deadline_ms,
+                             const std::string& tenant) {
+  const std::string key = problem_key(params);
+  const std::vector<std::size_t> order = ring_.sequence(key);
+  std::string last_error;
+  for (std::size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const std::size_t replica = order[attempt];
+    Request req;
+    req.op = Op::kCompile;
+    req.compile = params;
+    req.deadline_ms = deadline_ms;
+    req.tenant = tenant;
+    try {
+      Response resp = client_at(replica).call_with_retry(std::move(req));
+      // A draining replica sheds politely; treat it like a dead one while
+      // alternatives remain (its queued work still completes — this
+      // request just was not admitted).
+      if (resp.status == RespStatus::kShuttingDown &&
+          attempt + 1 < order.size()) {
+        ++failovers_;
+        continue;
+      }
+      return resp;
+    } catch (const util::Error& e) {
+      // Connect/I-O failure: drop the cached connection so the next use of
+      // this replica re-dials, then fail over along the ring.
+      clients_[replica].reset();
+      last_error = e.what();
+      if (attempt + 1 < order.size()) ++failovers_;
+    }
+  }
+  TILO_REQUIRE(false, "ring client: every replica of ", addresses_.size(),
+               " failed; last error: ", last_error);
+  return Response{};  // unreachable
+}
+
+Response RingClient::call_replica(std::size_t index, Request req) {
+  try {
+    return client_at(index).call_with_retry(std::move(req));
+  } catch (const util::Error&) {
+    clients_[index].reset();
+    throw;
+  }
+}
+
+}  // namespace tilo::svc

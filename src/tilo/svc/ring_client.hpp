@@ -1,0 +1,66 @@
+// svc::RingClient — client-side routing over a replicated svc tier.
+//
+// A RingClient holds the replica address list and a store::Ring built from
+// it.  Compiles route by problem_key: the replica owning the key's arc
+// serves it (and, with write-through plan stores, almost certainly has it
+// warm); every process building the same Ring from the same list routes
+// the same key to the same replica with zero coordination.  Failover is
+// the ring's sequence order: when the owner is unreachable (connect or
+// I/O failure) the call moves to the next arc owner, which is exactly the
+// replica that would own the key if the dead one left the ring.  Because
+// the pipeline is deterministic and responses splice result bytes
+// verbatim, a failover answer is byte-identical to the answer the dead
+// replica would have produced — the property the chaos suite pins.
+//
+// Connections are lazy (a replica that is never routed to is never
+// dialed) and sticky (kept across calls, re-dialed after failure).  Not
+// internally synchronized: one RingClient per thread, like Client.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tilo/store/ring.hpp"
+#include "tilo/svc/client.hpp"
+
+namespace tilo::svc {
+
+class RingClient {
+ public:
+  /// Builds the ring over `addresses` (one svc replica each).  Dials
+  /// nothing yet; throws util::Error on an empty list or duplicates.
+  explicit RingClient(std::vector<std::string> addresses,
+                      ClientOptions opts = {});
+
+  /// Routes a compile to the replica owning problem_key(params), failing
+  /// over along the ring sequence on connect/I/O errors (and on
+  /// kShuttingDown answers while other replicas remain).  Throws
+  /// util::Error only when every replica failed at the I/O level.
+  Response compile(CompileParams params, std::optional<i64> deadline_ms = {},
+                   const std::string& tenant = "");
+
+  /// One call to replica `index` (no routing, no failover) — the direct
+  /// path tests and benches use to witness cross-replica byte-identity.
+  Response call_replica(std::size_t index, Request req);
+
+  /// The replica index compile() would try first for these params.
+  std::size_t route(const CompileParams& params) const;
+
+  const store::Ring& ring() const { return ring_; }
+  std::size_t size() const { return addresses_.size(); }
+  const std::vector<std::string>& addresses() const { return addresses_; }
+  std::uint64_t failovers() const { return failovers_; }
+
+ private:
+  Client& client_at(std::size_t index);  ///< dials lazily, caches
+
+  std::vector<std::string> addresses_;
+  ClientOptions opts_;
+  store::Ring ring_;
+  std::vector<std::unique_ptr<Client>> clients_;  ///< lazy, per replica
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace tilo::svc

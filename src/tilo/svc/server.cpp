@@ -94,6 +94,18 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   TILO_REQUIRE(!started_.load(), "svc::Server::start called twice");
+  // Rehydrate the plan store before a single request can arrive, so the
+  // first warm-key request of a restarted server is already a store hit.
+  if (!cfg_.store_dir.empty()) {
+    store::PlanStoreConfig store_cfg;
+    store_cfg.dir = cfg_.store_dir;
+    store_ = std::make_unique<store::PlanStore>(store_cfg);
+    if (cfg_.sink && store_->rehydrated() > 0)
+      cfg_.sink->counter("svc.store.rehydrated",
+                         static_cast<std::int64_t>(store_->rehydrated()));
+  }
+  if (cfg_.quota.rate > 0.0)
+    quota_ = std::make_unique<store::Quota>(cfg_.quota);
   addr_ = Address::parse(cfg_.address);
   listen_fd_ = listen_on(addr_);
   int pipe_fds[2];
@@ -310,6 +322,22 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn,
         send(conn, std::move(resp), admitted);
         return;
       }
+      // Admission tier 1: per-tenant quota, before the shared queue — a
+      // flooding tenant drains its own bucket instead of everyone's queue.
+      if (quota_) {
+        const std::string& tenant =
+            req.tenant.empty() ? std::string("default") : req.tenant;
+        if (!quota_->try_take(tenant, admitted)) {
+          Response resp;
+          resp.status = RespStatus::kQuotaExceeded;
+          resp.id = req.id;
+          resp.error = util::concat("tenant \"", tenant,
+                                    "\" admission quota exhausted; back off "
+                                    "and retry");
+          send(conn, std::move(resp), admitted);
+          return;
+        }
+      }
       admit_compile(conn, std::move(req));
       return;
     }
@@ -413,8 +441,33 @@ void Server::worker_loop(int worker_index) {
     }
     if (!anyone_waiting) continue;
 
-    Response body = execute(flight.params);
-    compiles_.fetch_add(1, std::memory_order_relaxed);
+    // Store read-through: a warm key (populated by a prior compile or by
+    // rehydration from the segment log) serves the exact stored bytes with
+    // no compile at all — the property the restart suites pin (a restarted
+    // replica answers warm keys with compiles == 0).
+    Response body;
+    bool store_hit = false;
+    if (store_) {
+      if (std::optional<std::string> cached = store_->get(work->key)) {
+        body.status = RespStatus::kOk;
+        body.result = std::move(*cached);
+        store_hit = true;
+        if (cfg_.sink) cfg_.sink->counter("svc.store.hit", 1);
+      } else if (cfg_.sink) {
+        cfg_.sink->counter("svc.store.miss", 1);
+      }
+    }
+    if (!store_hit) {
+      body = execute(flight.params);
+      compiles_.fetch_add(1, std::memory_order_relaxed);
+      // Write-through: the first compile of a key persists its result
+      // bytes, so every later server generation (and every replica that
+      // compiles the same key) serves the identical bytes.
+      if (store_ && body.status == RespStatus::kOk && !body.result.empty()) {
+        store_->put(work->key, body.result);
+        if (cfg_.sink) cfg_.sink->counter("svc.store.put", 1);
+      }
+    }
 
     std::vector<Member> members;
     {
@@ -466,6 +519,9 @@ void Server::send(const std::shared_ptr<Conn>& conn, Response resp,
     case RespStatus::kError:
       failed_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case RespStatus::kQuotaExceeded:
+      quota_denied_.fetch_add(1, std::memory_order_relaxed);
+      break;
     case RespStatus::kBadRequest:
     case RespStatus::kUnsupportedVersion:
     case RespStatus::kShuttingDown:
@@ -495,10 +551,17 @@ ServerStats Server::stats() const {
   s.timed_out = timed_out_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.quota_denied = quota_denied_.load(std::memory_order_relaxed);
   s.batched = batched_.load(std::memory_order_relaxed);
   s.compiles = compiles_.load(std::memory_order_relaxed);
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
+  if (store_) {
+    s.store_hits = store_->hits();
+    s.store_misses = store_->misses();
+    s.store_puts = store_->puts();
+    s.store_rehydrated = store_->rehydrated();
+  }
   s.queue_depth = queue_.depth();
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   return s;
@@ -514,10 +577,17 @@ std::string Server::stats_result_json() const {
   r.set("timed_out", Json::integer(static_cast<i64>(s.timed_out)));
   r.set("failed", Json::integer(static_cast<i64>(s.failed)));
   r.set("rejected", Json::integer(static_cast<i64>(s.rejected)));
+  r.set("quota_denied", Json::integer(static_cast<i64>(s.quota_denied)));
   r.set("batched", Json::integer(static_cast<i64>(s.batched)));
   r.set("compiles", Json::integer(static_cast<i64>(s.compiles)));
   r.set("cache_hits", Json::integer(static_cast<i64>(s.cache_hits)));
   r.set("cache_misses", Json::integer(static_cast<i64>(s.cache_misses)));
+  r.set("store_enabled", Json::boolean(store_ != nullptr));
+  r.set("store_hits", Json::integer(static_cast<i64>(s.store_hits)));
+  r.set("store_misses", Json::integer(static_cast<i64>(s.store_misses)));
+  r.set("store_puts", Json::integer(static_cast<i64>(s.store_puts)));
+  r.set("store_rehydrated",
+        Json::integer(static_cast<i64>(s.store_rehydrated)));
   r.set("queue_depth", Json::integer(static_cast<i64>(s.queue_depth)));
   r.set("max_queue_depth",
         Json::integer(static_cast<i64>(s.max_queue_depth)));
@@ -536,7 +606,8 @@ void Server::write_summary(std::ostream& os) const {
   os << "svc summary (" << addr_.str() << ")\n"
      << "  requests    " << s.requests << "  (ok " << s.completed
      << ", overloaded " << s.shed << ", timeout " << s.timed_out
-     << ", error " << s.failed << ", rejected " << s.rejected << ")\n"
+     << ", error " << s.failed << ", rejected " << s.rejected
+     << ", quota " << s.quota_denied << ")\n"
      << "  batching    " << s.batched << " single-flight follower(s) over "
      << s.compiles << " compile(s)\n"
      << "  plan cache  " << s.cache_hits << " hit(s) / " << s.cache_misses
@@ -550,7 +621,15 @@ void Server::write_summary(std::ostream& os) const {
              : std::string())
      << "\n"
      << "  queue       peak depth " << s.max_queue_depth << " of "
-     << queue_.capacity() << "\n"
+     << queue_.capacity() << "\n";
+  if (store_) {
+    os << "  plan store  " << s.store_hits << " hit(s) / " << s.store_misses
+       << " miss(es), " << s.store_puts << " put(s), " << s.store_rehydrated
+       << " rehydrated (" << cfg_.store_dir << ")\n";
+    const std::string warn = store_->replay_warning();
+    if (!warn.empty()) os << "  store warn  " << warn << "\n";
+  }
+  os
      << "  latency     p50 ~" << histogram_percentile_ns(latency_, 0.50) / 1e6
      << " ms, p99 ~" << histogram_percentile_ns(latency_, 0.99) / 1e6
      << " ms (log-bucket upper edges)\n";

@@ -35,6 +35,8 @@
 #include "tilo/core/plancache.hpp"
 #include "tilo/obs/registry.hpp"
 #include "tilo/pipeline/compiler.hpp"
+#include "tilo/store/plan_store.hpp"
+#include "tilo/store/quota.hpp"
 #include "tilo/svc/protocol.hpp"
 #include "tilo/svc/queue.hpp"
 #include "tilo/svc/socket.hpp"
@@ -52,12 +54,20 @@ struct ServerConfig {
   /// plan_cache and sink are owned by the server and overridden.
   pipeline::CompileOptions compile;
   obs::Sink* sink = nullptr;  ///< optional; must outlive the server
+  /// Content-addressed plan store segment-log directory ("" = no store):
+  /// compiled result bytes are written through on every first compile and
+  /// rehydrated on start(), so a restarted server answers warm keys
+  /// without recompiling.
+  std::string store_dir;
+  /// Per-tenant admission quotas in front of the queue; rate <= 0 = off.
+  store::QuotaConfig quota;
 };
 
 /// A snapshot of the service's outcome counters.  Every admitted request is
 /// accounted to exactly one of completed / shed / timed_out / failed /
-/// rejected, so `requests == completed + shed + timed_out + failed +
-/// rejected` always holds — the "no request left unanswered" invariant.
+/// rejected / quota_denied, so `requests == completed + shed + timed_out +
+/// failed + rejected + quota_denied` always holds — the "no request left
+/// unanswered" invariant.
 struct ServerStats {
   std::uint64_t connections = 0;
   std::uint64_t requests = 0;       ///< frames that parsed as requests
@@ -66,10 +76,15 @@ struct ServerStats {
   std::uint64_t timed_out = 0;      ///< "timeout" responses
   std::uint64_t failed = 0;         ///< "error" responses (compile failed)
   std::uint64_t rejected = 0;       ///< bad_request / version / draining
+  std::uint64_t quota_denied = 0;   ///< "quota_exceeded" responses
   std::uint64_t batched = 0;        ///< single-flight followers
   std::uint64_t compiles = 0;       ///< compiles actually executed
   std::uint64_t cache_hits = 0;     ///< plan-cache hits
   std::uint64_t cache_misses = 0;
+  std::uint64_t store_hits = 0;     ///< plan-store read-through hits
+  std::uint64_t store_misses = 0;
+  std::uint64_t store_puts = 0;         ///< results written through
+  std::uint64_t store_rehydrated = 0;   ///< records replayed on start()
   std::size_t queue_depth = 0;
   std::size_t max_queue_depth = 0;
 };
@@ -110,6 +125,10 @@ class Server {
   /// Wall-clock admission-to-response latency of every answered request.
   const obs::LogHistogram& latency_histogram() const { return latency_; }
 
+  /// The plan store (nullptr when store_dir was empty).  Valid after
+  /// start(); introspection for tests and the CLI.
+  const store::PlanStore* plan_store() const { return store_.get(); }
+
   /// The RunReport-style shutdown summary: outcome counts, batching and
   /// cache effectiveness, latency percentiles.
   void write_summary(std::ostream& os) const;
@@ -143,6 +162,8 @@ class Server {
   Fd wake_rd_, wake_wr_;  ///< self-pipe: the wire "shutdown" op → run_until
 
   core::PlanCache cache_{core::PlanCache::Scope::kMultiProblem};
+  std::unique_ptr<store::PlanStore> store_;  ///< null = no store tier
+  std::unique_ptr<store::Quota> quota_;      ///< null = no admission quotas
   BoundedQueue<Work> queue_;
 
   std::thread accept_thread_;
@@ -161,8 +182,8 @@ class Server {
 
   // Outcome counters (relaxed: each is touched by exactly one event).
   std::atomic<std::uint64_t> connections_{0}, requests_{0}, completed_{0},
-      shed_{0}, timed_out_{0}, failed_{0}, rejected_{0}, batched_{0},
-      compiles_{0};
+      shed_{0}, timed_out_{0}, failed_{0}, rejected_{0}, quota_denied_{0},
+      batched_{0}, compiles_{0};
   std::atomic<std::size_t> max_queue_depth_{0};
   obs::LogHistogram latency_;
 };

@@ -1,0 +1,267 @@
+// Chaos tests for the replicated plan-store tier: real `tilo_cli --serve`
+// processes on the other side of the socket, killed with SIGKILL (no
+// drain, no goodbye) or handed corrupted segment logs, with the client-
+// visible contract checked from outside:
+//
+//   * a replica SIGKILLed between requests costs the client one failover,
+//     not an answer — and the failover answer is byte-identical, because
+//     the pipeline is deterministic and responses splice result bytes
+//     verbatim;
+//   * a SIGKILLed server restarts into its plan store: every response the
+//     old process ever sent was preceded by its write-through append, so
+//     the restarted process serves those keys from the rehydrated store
+//     without recompiling;
+//   * a corrupt segment-log tail costs exactly the torn record — the
+//     restarted server rehydrates the intact prefix, says so with a
+//     warning, and keeps serving.
+//
+// These run fork + exec and so live in ForkStoreChaosTest, excluded from
+// the TSan preset by name (TSan and fork() do not mix).
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tilo/pipeline/json.hpp"
+#include "tilo/store/ring.hpp"
+#include "tilo/svc/client.hpp"
+#include "tilo/svc/ring_client.hpp"
+#include "tilo/svc/server.hpp"
+#include "tilo/util/error.hpp"
+
+#ifndef TILO_CLI_PATH
+#error "TILO_CLI_PATH must be defined by the build"
+#endif
+
+namespace svc = tilo::svc;
+namespace store = tilo::store;
+using tilo::pipeline::Json;
+using tilo::util::i64;
+
+namespace {
+
+std::string fresh_name(const char* tag, const char* suffix) {
+  static int counter = 0;
+  return ::testing::TempDir() + "store_chaos_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++) +
+         suffix;
+}
+
+constexpr const char* kQuickSource =
+    "FOR i = 0 TO 15\n FOR j = 0 TO 255\n"
+    "  Q(i, j) = 0.5 * (Q(i-1, j) + Q(i, j-1))\n ENDFOR\nENDFOR\n";
+
+svc::CompileParams quick_params(std::string name = "quick") {
+  svc::CompileParams p;
+  p.name = std::move(name);
+  p.source = kQuickSource;
+  p.procs = tilo::lat::Vec(std::vector<i64>{4, 1});
+  p.height = 16;
+  return p;
+}
+
+/// Forks and execs `tilo_cli --serve address --store-dir dir`, stdout and
+/// stderr redirected to `log_path`.  Returns the child pid.
+pid_t spawn_server(const std::string& address, const std::string& store_dir,
+                   const std::string& log_path) {
+  const pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    std::freopen(log_path.c_str(), "a", stdout);
+    std::freopen(log_path.c_str(), "a", stderr);
+    execl(TILO_CLI_PATH, TILO_CLI_PATH, "--serve", address.c_str(),
+          "--store-dir", store_dir.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  return pid;
+}
+
+/// Polls until the server at `address` answers a ping (the socket appears
+/// asynchronously after exec).
+void wait_ready(const std::string& address) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    try {
+      svc::Client client = svc::Client::connect(address);
+      if (client.ping().status == svc::RespStatus::kOk) return;
+    } catch (const tilo::util::Error&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "server at " << address << " never became ready";
+}
+
+void graceful_stop(const std::string& address, pid_t pid) {
+  try {
+    svc::Client client = svc::Client::connect(address);
+    (void)client.shutdown_server();
+  } catch (const tilo::util::Error&) {
+    // Already gone; the waitpid below still reaps it.
+  }
+  int wstatus = 0;
+  EXPECT_EQ(waitpid(pid, &wstatus, 0), pid);
+}
+
+void sigkill(pid_t pid) {
+  ASSERT_EQ(kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// The store_* counters out of a stats response.
+Json stats_json(svc::Client& client) {
+  const svc::Response resp = client.stats();
+  EXPECT_EQ(resp.status, svc::RespStatus::kOk) << resp.error;
+  return Json::parse(resp.result);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+TEST(ForkStoreChaosTest, SigkilledReplicaFailsOverByteIdentical) {
+  struct Replica {
+    std::string address;
+    std::string dir;
+    pid_t pid = -1;
+  };
+  std::vector<Replica> replicas(3);
+  std::vector<std::string> addresses;
+  for (Replica& r : replicas) {
+    r.address = "unix:" + fresh_name("failover", ".sock");
+    r.dir = fresh_name("failover", "");
+    r.pid = spawn_server(r.address, r.dir, fresh_name("failover", ".log"));
+    addresses.push_back(r.address);
+  }
+  for (const Replica& r : replicas) wait_ready(r.address);
+
+  svc::RingClient ring(addresses);
+  const svc::CompileParams params = quick_params("chaos");
+  const std::size_t owner = ring.route(params);
+
+  // The admitted request: the owner compiles and answers.
+  const svc::Response first = ring.compile(params);
+  ASSERT_EQ(first.status, svc::RespStatus::kOk) << first.error;
+  ASSERT_FALSE(first.result.empty());
+
+  // SIGKILL the serving replica — no drain, no deregister.  The ring
+  // client's sticky connection to it is now a dead socket.
+  sigkill(replicas[owner].pid);
+
+  // The same key again: the dead owner costs a failover, and the next arc
+  // owner's fresh compile answers with the exact same bytes.
+  const svc::Response second = ring.compile(params);
+  ASSERT_EQ(second.status, svc::RespStatus::kOk) << second.error;
+  EXPECT_EQ(second.result, first.result);
+  EXPECT_GE(ring.failovers(), 1u);
+
+  for (std::size_t i = 0; i < replicas.size(); ++i)
+    if (i != owner) graceful_stop(replicas[i].address, replicas[i].pid);
+}
+
+TEST(ForkStoreChaosTest, SigkilledServerRehydratesWithoutRecompiling) {
+  const std::string dir = fresh_name("rehydrate", "");
+  const std::string address = "unix:" + fresh_name("rehydrate", ".sock");
+  const pid_t pid =
+      spawn_server(address, dir, fresh_name("rehydrate", ".log"));
+  wait_ready(address);
+
+  std::string warm_bytes;
+  {
+    svc::Client client = svc::Client::connect(address);
+    const svc::Response r = client.compile(quick_params("rehydrate"));
+    ASSERT_EQ(r.status, svc::RespStatus::kOk) << r.error;
+    warm_bytes = r.result;
+  }
+  // The response arrived, so the write-through append preceded it.  Kill
+  // the process without any shutdown path.
+  sigkill(pid);
+
+  // A fresh server (in-process this time) over the same store directory
+  // answers the warm key from the rehydrated store: byte-identical bytes,
+  // zero compiles.
+  svc::ServerConfig cfg;
+  cfg.address = "unix:" + fresh_name("rehydrate2", ".sock");
+  cfg.workers = 2;
+  cfg.store_dir = dir;
+  svc::Server server(cfg);
+  server.start();
+  ASSERT_NE(server.plan_store(), nullptr);
+  EXPECT_GE(server.plan_store()->rehydrated(), 1u);
+  svc::Client client = svc::Client::connect(cfg.address);
+  const svc::Response r = client.compile(quick_params("rehydrate"));
+  ASSERT_EQ(r.status, svc::RespStatus::kOk) << r.error;
+  EXPECT_EQ(r.result, warm_bytes);
+  const svc::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.compiles, 0u) << "the warm key was recompiled";
+  EXPECT_EQ(stats.store_hits, 1u);
+  server.stop();
+}
+
+TEST(ForkStoreChaosTest, CorruptLogTailSkipsOnlyTheTornRecordWithWarning) {
+  const std::string dir = fresh_name("corrupt", "");
+  const std::string address = "unix:" + fresh_name("corrupt", ".sock");
+  {
+    const pid_t pid =
+        spawn_server(address, dir, fresh_name("corrupt", ".log"));
+    wait_ready(address);
+    svc::Client client = svc::Client::connect(address);
+    // Two records, append order "keep" then "lose".
+    std::string keep_bytes;
+    const svc::Response keep = client.compile(quick_params("keep"));
+    ASSERT_EQ(keep.status, svc::RespStatus::kOk) << keep.error;
+    const svc::Response lose = client.compile(quick_params("lose"));
+    ASSERT_EQ(lose.status, svc::RespStatus::kOk) << lose.error;
+    graceful_stop(address, pid);
+  }
+  // Corrupt the log tail: chop bytes off the last record, the torn state
+  // a crash mid-append (or disk truncation) leaves behind.
+  const std::string segment = dir + "/seg-000001.log";
+  std::ifstream in(segment, std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(in.good()) << segment;
+  const auto size = static_cast<long>(in.tellg());
+  in.close();
+  ASSERT_EQ(::truncate(segment.c_str(), size - 9), 0);
+
+  // Restart over the corrupt log, capturing the banner and the warning.
+  const std::string address2 = "unix:" + fresh_name("corrupt2", ".sock");
+  const std::string log_path = fresh_name("corrupt2", ".log");
+  const pid_t pid = spawn_server(address2, dir, log_path);
+  wait_ready(address2);
+  svc::Client client = svc::Client::connect(address2);
+
+  // Exactly the intact record rehydrated; the torn one is gone.
+  Json stats = stats_json(client);
+  EXPECT_EQ(stats.at("store_rehydrated").as_integer("store_rehydrated"), 1);
+  // The intact key serves warm (no compile); the torn key recompiles.
+  const svc::Response keep = client.compile(quick_params("keep"));
+  ASSERT_EQ(keep.status, svc::RespStatus::kOk) << keep.error;
+  const svc::Response lose = client.compile(quick_params("lose"));
+  ASSERT_EQ(lose.status, svc::RespStatus::kOk) << lose.error;
+  stats = stats_json(client);
+  EXPECT_EQ(stats.at("store_hits").as_integer("store_hits"), 1);
+  EXPECT_EQ(stats.at("compiles").as_integer("compiles"), 1);
+  graceful_stop(address2, pid);
+
+  // The operator saw it: the serve banner carries the replay warning.
+  const std::string log = slurp(log_path);
+  EXPECT_NE(log.find("warning:"), std::string::npos) << log;
+  EXPECT_NE(log.find("skipped"), std::string::npos) << log;
+}

@@ -1,0 +1,775 @@
+// Tests for tilo::store — the content-addressed plan store and its
+// replicated serving tier.
+//
+// The acceptance-critical properties pinned down here:
+//   * crash-safe persistence — a segment log replays every intact record
+//     and survives torn tails / flipped bytes with a warning, never an
+//     error; a restarted server rehydrates and answers warm keys without
+//     recompiling (compiles == 0, store hits > 0);
+//   * byte-identity — the same problem key answers with byte-identical
+//     result bytes on every replica of a ring, whichever one serves it;
+//   * admission control — per-tenant token buckets deny over-quota
+//     compiles with the explicit quota_exceeded outcome, and one tenant's
+//     flood never drains another tenant's bucket.
+//
+// Suites named Store* run under TSan (CMakePresets tsan filter); the
+// SIGKILL chaos tests live in store_chaos_test.cpp under ForkStoreChaosTest
+// so the sanitizer job skips them (TSan and fork() do not mix).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tilo/fleet/controller.hpp"
+#include "tilo/fleet/unit.hpp"
+#include "tilo/pipeline/json.hpp"
+#include "tilo/sched/fairshare.hpp"
+#include "tilo/store/plan_store.hpp"
+#include "tilo/store/quota.hpp"
+#include "tilo/store/ring.hpp"
+#include "tilo/store/segment_log.hpp"
+#include "tilo/svc/client.hpp"
+#include "tilo/svc/ring_client.hpp"
+#include "tilo/svc/server.hpp"
+#include "tilo/util/error.hpp"
+
+namespace store = tilo::store;
+namespace svc = tilo::svc;
+namespace sched = tilo::sched;
+using tilo::util::i64;
+
+namespace {
+
+std::string fresh_dir(const char* tag) {
+  static int counter = 0;
+  const std::string dir = ::testing::TempDir() + "store_test_" + tag + "_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++);
+  return dir;
+}
+
+std::string fresh_socket(const char* tag) {
+  static int counter = 0;
+  return "unix:" + ::testing::TempDir() + "store_test_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++) +
+         ".sock";
+}
+
+/// Path of the only segment in a fresh (never-compacted) log directory.
+std::string first_segment(const std::string& dir) {
+  return dir + "/seg-000001.log";
+}
+
+std::vector<std::pair<std::string, std::string>> replay_all(
+    const store::SegmentLog& log, store::ReplayStats* stats = nullptr) {
+  std::vector<std::pair<std::string, std::string>> records;
+  const store::ReplayStats s =
+      log.replay([&records](std::string_view k, std::string_view v) {
+        records.emplace_back(std::string(k), std::string(v));
+      });
+  if (stats) *stats = s;
+  return records;
+}
+
+// ------------------------------------------------------------- segment log
+
+TEST(StoreSegmentLogTest, AppendReplayRoundTrip) {
+  const std::string dir = fresh_dir("roundtrip");
+  store::SegmentLog log = store::SegmentLog::open(dir);
+  log.append("alpha", "one");
+  log.append("beta", "two");
+  log.append("alpha", "three");  // later generations replay in order
+
+  store::ReplayStats stats;
+  const auto records = replay_all(log, &stats);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], (std::pair<std::string, std::string>{"alpha", "one"}));
+  EXPECT_EQ(records[1], (std::pair<std::string, std::string>{"beta", "two"}));
+  EXPECT_EQ(records[2],
+            (std::pair<std::string, std::string>{"alpha", "three"}));
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.skipped_bytes, 0u);
+  EXPECT_TRUE(stats.warning.empty());
+}
+
+TEST(StoreSegmentLogTest, ReplaySurvivesProcessBoundary) {
+  const std::string dir = fresh_dir("reopen");
+  {
+    store::SegmentLog log = store::SegmentLog::open(dir);
+    log.append("k", "v");
+  }  // closed — simulates the process ending
+  store::SegmentLog log = store::SegmentLog::open(dir);
+  log.append("k2", "v2");  // append continues the same segment
+  EXPECT_EQ(replay_all(log).size(), 2u);
+}
+
+TEST(StoreSegmentLogTest, TornTailIsSkippedWithWarning) {
+  const std::string dir = fresh_dir("torn");
+  {
+    store::SegmentLog log = store::SegmentLog::open(dir);
+    log.append("intact", "value");
+    log.append("doomed", "this record will be half written");
+  }
+  // Truncate mid-record — exactly what a crash mid-append leaves behind.
+  std::ifstream in(first_segment(dir), std::ios::binary | std::ios::ate);
+  const auto size = static_cast<long>(in.tellg());
+  in.close();
+  ASSERT_EQ(::truncate(first_segment(dir).c_str(), size - 7), 0);
+
+  store::SegmentLog log = store::SegmentLog::open(dir);
+  store::ReplayStats stats;
+  const auto records = replay_all(log, &stats);
+  ASSERT_EQ(records.size(), 1u);  // the intact prefix survives
+  EXPECT_EQ(records[0].first, "intact");
+  EXPECT_GT(stats.skipped_bytes, 0u);
+  EXPECT_NE(stats.warning.find("torn"), std::string::npos) << stats.warning;
+}
+
+TEST(StoreSegmentLogTest, CrcCatchesFlippedByte) {
+  const std::string dir = fresh_dir("crc");
+  {
+    store::SegmentLog log = store::SegmentLog::open(dir);
+    log.append("first", "good");
+    log.append("second", "about to be corrupted");
+  }
+  // Flip one payload byte of the second record (near the end of the file).
+  std::fstream f(first_segment(dir),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<long>(f.tellg());
+  f.seekp(size - 3);
+  f.put('X');
+  f.close();
+
+  store::SegmentLog log = store::SegmentLog::open(dir);
+  store::ReplayStats stats;
+  const auto records = replay_all(log, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].first, "first");
+  EXPECT_NE(stats.warning.find("CRC"), std::string::npos) << stats.warning;
+}
+
+TEST(StoreSegmentLogTest, ForeignFileAnswersBadMagic) {
+  const std::string dir = fresh_dir("magic");
+  {
+    store::SegmentLog log = store::SegmentLog::open(dir);  // creates the dir
+    (void)log;
+  }
+  std::ofstream(first_segment(dir), std::ios::binary)
+      << "this is not a segment log";
+  store::SegmentLog log = store::SegmentLog::open(dir);
+  store::ReplayStats stats;
+  EXPECT_TRUE(replay_all(log, &stats).empty());
+  EXPECT_NE(stats.warning.find("bad magic"), std::string::npos)
+      << stats.warning;
+}
+
+TEST(StoreSegmentLogTest, CompactionKeepsExactlyTheLiveSet) {
+  const std::string dir = fresh_dir("compact");
+  store::SegmentLog log = store::SegmentLog::open(dir);
+  for (int i = 0; i < 50; ++i)
+    log.append("hot", "generation " + std::to_string(i));
+  log.append("cold", "stable");
+  const std::uint64_t before = log.bytes();
+
+  log.compact({{"cold", "stable"}, {"hot", "generation 49"}});
+  EXPECT_LT(log.bytes(), before);
+  store::ReplayStats stats;
+  const auto records = replay_all(log, &stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(stats.segments, 1u);  // history segments were unlinked
+
+  // Appends after compaction land in the new segment and replay after it.
+  log.append("hot", "generation 50");
+  const auto after = replay_all(log);
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(after[2].second, "generation 50");
+}
+
+// --------------------------------------------------------------- plan store
+
+TEST(StorePlanStoreTest, MemoryOnlyGetPutCounts) {
+  store::PlanStore ps(store::PlanStoreConfig{});
+  EXPECT_FALSE(ps.persistent());
+  EXPECT_FALSE(ps.get("missing").has_value());
+  EXPECT_TRUE(ps.put("k", "v"));
+  EXPECT_FALSE(ps.put("k", "v"));  // idempotent re-put is a no-op
+  EXPECT_EQ(ps.get("k").value(), "v");
+  EXPECT_EQ(ps.hits(), 1u);
+  EXPECT_EQ(ps.misses(), 1u);
+  EXPECT_EQ(ps.puts(), 1u);
+}
+
+TEST(StorePlanStoreTest, RehydratesAcrossGenerations) {
+  store::PlanStoreConfig cfg;
+  cfg.dir = fresh_dir("rehydrate");
+  {
+    store::PlanStore ps(cfg);
+    EXPECT_EQ(ps.rehydrated(), 0u);
+    ps.put("plan-a", "{\"result\":1}");
+    ps.put("plan-b", "{\"result\":2}");
+    ps.put("plan-a", "{\"result\":3}");  // newer generation wins on replay
+  }
+  store::PlanStore ps(cfg);
+  EXPECT_TRUE(ps.persistent());
+  EXPECT_EQ(ps.rehydrated(), 3u);
+  EXPECT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps.get("plan-a").value(), "{\"result\":3}");
+  EXPECT_EQ(ps.get("plan-b").value(), "{\"result\":2}");
+  EXPECT_TRUE(ps.replay_warning().empty());
+}
+
+TEST(StorePlanStoreTest, IdempotentPutDoesNotGrowTheLog) {
+  store::PlanStoreConfig cfg;
+  cfg.dir = fresh_dir("noop");
+  store::PlanStore ps(cfg);
+  ps.put("k", "v");
+  const std::uint64_t bytes = [&cfg] {
+    store::SegmentLog log = store::SegmentLog::open(cfg.dir);
+    return log.bytes();
+  }();
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(ps.put("k", "v"));
+  store::SegmentLog log = store::SegmentLog::open(cfg.dir);
+  EXPECT_EQ(log.bytes(), bytes);
+}
+
+TEST(StorePlanStoreTest, CorruptTailCostsOnlyTheTail) {
+  store::PlanStoreConfig cfg;
+  cfg.dir = fresh_dir("survive");
+  {
+    store::PlanStore ps(cfg);
+    ps.put("keep", "kept");
+    ps.put("lose", "lost to the truncation");
+  }
+  std::ifstream in(first_segment(cfg.dir), std::ios::binary | std::ios::ate);
+  const auto size = static_cast<long>(in.tellg());
+  in.close();
+  ASSERT_EQ(::truncate(first_segment(cfg.dir).c_str(), size - 5), 0);
+
+  store::PlanStore ps(cfg);  // never throws on a corrupt log
+  EXPECT_EQ(ps.rehydrated(), 1u);
+  EXPECT_EQ(ps.get("keep").value(), "kept");
+  EXPECT_FALSE(ps.get("lose").has_value());
+  EXPECT_FALSE(ps.replay_warning().empty());
+}
+
+TEST(StorePlanStoreTest, CompactionBoundsLogGrowth) {
+  store::PlanStoreConfig cfg;
+  cfg.dir = fresh_dir("bound");
+  cfg.compact_min_bytes = 256;  // tiny thresholds so churn triggers it
+  cfg.compact_ratio = 2.0;
+  store::PlanStore ps(cfg);
+  for (int i = 0; i < 200; ++i)
+    ps.put("churn", "generation " + std::to_string(i) +
+                        " padded to make the record non-trivial");
+  store::SegmentLog log = store::SegmentLog::open(cfg.dir);
+  // Without compaction this would be ~200 records; the bound holds it to
+  // the live set plus the post-compaction appends.
+  EXPECT_LT(log.bytes(), 4096u);
+  // And nothing was lost: a restart still sees the newest generation.
+  store::PlanStore reopened(cfg);
+  EXPECT_NE(reopened.get("churn").value().find("generation 199"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------------------- ring
+
+TEST(StoreRingTest, ValidatesItsInputs) {
+  EXPECT_THROW(store::Ring({}), tilo::util::Error);
+  EXPECT_THROW(store::Ring({"a", "b", "a"}), tilo::util::Error);
+  EXPECT_THROW(store::Ring({"a"}, 0), tilo::util::Error);
+}
+
+TEST(StoreRingTest, RoutingIsDeterministicAcrossInstances) {
+  const std::vector<std::string> nodes = {"svc-0", "svc-1", "svc-2"};
+  const store::Ring a(nodes), b(nodes);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "problem-" + std::to_string(i);
+    EXPECT_EQ(a.route(key), b.route(key));
+    EXPECT_EQ(a.sequence(key), b.sequence(key));
+  }
+}
+
+TEST(StoreRingTest, SequenceVisitsEveryNodeOnceStartingAtTheOwner) {
+  const store::Ring ring({"a", "b", "c", "d"});
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::vector<std::size_t> seq = ring.sequence(key);
+    ASSERT_EQ(seq.size(), 4u);
+    EXPECT_EQ(seq[0], ring.route(key));
+    EXPECT_EQ(std::set<std::size_t>(seq.begin(), seq.end()).size(), 4u);
+  }
+}
+
+TEST(StoreRingTest, LoadSpreadsAcrossNodes) {
+  const store::Ring ring({"a", "b", "c"});
+  std::map<std::size_t, int> hits;
+  const int kKeys = 3000;
+  for (int i = 0; i < kKeys; ++i) hits[ring.route("key-" + std::to_string(i))]++;
+  ASSERT_EQ(hits.size(), 3u);
+  for (const auto& [node, count] : hits)
+    EXPECT_GT(count, kKeys / 10) << "node " << node << " starved";
+}
+
+TEST(StoreRingTest, RemovingANodeOnlyRemapsItsOwnKeys) {
+  const std::vector<std::string> full = {"a", "b", "c", "d"};
+  const store::Ring ring(full);
+  // Drop node "c"; every key not owned by "c" must keep its owner (the
+  // consistent-hashing contract — ~1/N of the space remaps, not all of it).
+  std::vector<std::string> reduced;
+  for (const std::string& n : full)
+    if (n != "c") reduced.push_back(n);
+  const store::Ring smaller(reduced);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::string& owner = full[ring.route(key)];
+    if (owner == "c") continue;
+    EXPECT_EQ(owner, reduced[smaller.route(key)]) << key;
+  }
+}
+
+TEST(StoreRingTest, FailoverTargetMatchesTheShrunkenRing) {
+  // sequence()[1] — where a client fails over to — must be the node the
+  // key would route to if the dead owner left the ring entirely.
+  const std::vector<std::string> full = {"a", "b", "c"};
+  const store::Ring ring(full);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::vector<std::size_t> seq = ring.sequence(key);
+    std::vector<std::string> reduced;
+    for (std::size_t n = 0; n < full.size(); ++n)
+      if (n != seq[0]) reduced.push_back(full[n]);
+    const store::Ring shrunk(reduced);
+    EXPECT_EQ(full[seq[1]], reduced[shrunk.route(key)]) << key;
+  }
+}
+
+// -------------------------------------------------------------------- quota
+
+TEST(StoreQuotaTest, DisabledQuotaAdmitsEverything) {
+  store::Quota q(store::QuotaConfig{});
+  EXPECT_FALSE(q.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(q.try_take("anyone", 0));
+  EXPECT_EQ(q.denied(), 0u);
+}
+
+TEST(StoreQuotaTest, BucketStartsFullThenDries) {
+  store::QuotaConfig cfg;
+  cfg.rate = 1.0;
+  cfg.burst = 5.0;
+  store::Quota q(cfg);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_take("t", 0)) << i;
+  EXPECT_FALSE(q.try_take("t", 0));
+  EXPECT_EQ(q.admitted(), 5u);
+  EXPECT_EQ(q.denied(), 1u);
+}
+
+TEST(StoreQuotaTest, RefillIsAnalyticFromCallerTimestamps) {
+  store::QuotaConfig cfg;
+  cfg.rate = 1.0;  // one token per second
+  cfg.burst = 2.0;
+  store::Quota q(cfg);
+  EXPECT_TRUE(q.try_take("t", 0));
+  EXPECT_TRUE(q.try_take("t", 0));
+  EXPECT_FALSE(q.try_take("t", 0));
+  // Two simulated seconds later the bucket holds two tokens again — and
+  // never more than burst, however long the tenant stays idle.
+  const i64 later = 2'000'000'000;
+  EXPECT_TRUE(q.try_take("t", later));
+  EXPECT_TRUE(q.try_take("t", later));
+  EXPECT_FALSE(q.try_take("t", later));
+  EXPECT_FALSE(q.try_take("t", later + 500'000'000));
+  EXPECT_NEAR(q.tokens("t", later + 60'000'000'000), 2.0, 1e-9);
+}
+
+TEST(StoreQuotaTest, SharesScaleBothRateAndBurst) {
+  store::QuotaConfig cfg;
+  cfg.rate = 1.0;
+  cfg.burst = 2.0;
+  cfg.tenants = {{"gold", 3.0}};
+  store::Quota q(cfg);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(q.try_take("gold", 0)) << i;
+  EXPECT_FALSE(q.try_take("gold", 0));
+  // An undeclared tenant gets share 1.0: burst 2.
+  EXPECT_TRUE(q.try_take("bronze", 0));
+  EXPECT_TRUE(q.try_take("bronze", 0));
+  EXPECT_FALSE(q.try_take("bronze", 0));
+}
+
+TEST(StoreQuotaTest, OneTenantsFloodNeverDrainsAnothersBucket) {
+  store::QuotaConfig cfg;
+  cfg.rate = 1.0;
+  cfg.burst = 3.0;
+  store::Quota q(cfg);
+  for (int i = 0; i < 50; ++i) (void)q.try_take("flood", 0);
+  EXPECT_TRUE(q.try_take("quiet", 0));  // unaffected, bucket still full
+  EXPECT_EQ(q.denied(), 47u);
+}
+
+// ----------------------------------------------------- fair-share restore
+
+TEST(StoreFairShareTest, RestoreRoundTripsUsageAndShares) {
+  sched::FairShare a;
+  a.set_half_life(0);  // no decay: exact round-trip arithmetic
+  a.declare({"acme", 2.0});
+  a.charge("acme", 5.0, 1'000);
+  a.charge("acme", 2.5, 2'000);
+  a.charge("initech", 1.0, 2'000);
+
+  const std::vector<sched::TenantStatus> snapshot = a.statuses(2'000);
+  sched::FairShare b;
+  b.set_half_life(0);
+  b.restore(snapshot, 9'000'000);
+  EXPECT_DOUBLE_EQ(b.usage("acme", 9'000'000), 7.5);
+  EXPECT_DOUBLE_EQ(b.usage("initech", 9'000'000), 1.0);
+  const std::vector<sched::TenantStatus> rows = b.statuses(9'000'000);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "acme");
+  EXPECT_DOUBLE_EQ(rows[0].share, 2.0);
+  EXPECT_EQ(rows[0].charged_units, 2u);
+  // The scheduling signal survives the restart: the factor ordering is
+  // the same one the pre-restart scheduler would have used.
+  EXPECT_LT(b.factor("acme", 9'000'000), 1.0);
+}
+
+TEST(StoreFairShareTest, RestoredUsageResumesDecayFromRestoreTime) {
+  sched::FairShare a;
+  a.set_half_life(1'000);
+  a.charge("t", 8.0, 0);
+  sched::FairShare b;
+  b.set_half_life(1'000);
+  b.restore(a.statuses(0), 50'000);  // restored as-of the restore stamp
+  EXPECT_DOUBLE_EQ(b.usage("t", 50'000), 8.0);
+  EXPECT_DOUBLE_EQ(b.usage("t", 51'000), 4.0);  // one half-life later
+}
+
+namespace fleet = tilo::fleet;
+using tilo::pipeline::Json;
+
+fleet::JobArray acct_job(const std::string& tenant, std::size_t base,
+                         std::size_t n) {
+  fleet::JobArray job;
+  job.spec.name = tenant + "-job";
+  job.spec.tenant = tenant;
+  for (std::size_t i = 0; i < n; ++i)
+    job.units.push_back(fleet::WorkUnit{base + i, "{\"toy\":1}"});
+  return job;
+}
+
+/// Completes every unit of a (never-started) controller by hand over the
+/// call_local fast lane, so the fair-share ledger has real completions to
+/// snapshot.
+void drive_to_completion(fleet::Controller& controller, std::size_t units) {
+  svc::Request reg;
+  reg.op = svc::Op::kRegister;
+  Json body = Json::object();
+  body.set("name", Json::string("driver"));
+  reg.fleet = std::move(body);
+  const svc::Response r = controller.call_local(reg);
+  ASSERT_EQ(r.status, svc::RespStatus::kOk) << r.error;
+  const i64 worker_id =
+      Json::parse(r.result).at("worker_id").as_integer("worker_id");
+
+  std::vector<std::pair<i64, std::string>> completed;
+  for (int round = 0; round < 64; ++round) {
+    Json poll = Json::object();
+    poll.set("worker_id", Json::integer(worker_id));
+    poll.set("want", Json::integer(static_cast<i64>(units)));
+    Json arr = Json::array();
+    for (const auto& [index, result] : completed) {
+      Json entry = Json::object();
+      entry.set("unit", Json::integer(index));
+      entry.set("result", Json::parse(result));
+      arr.push(std::move(entry));
+    }
+    poll.set("completed", std::move(arr));
+    svc::Request req;
+    req.op = svc::Op::kUnit;
+    req.fleet = std::move(poll);
+    const svc::Response resp = controller.call_local(req);
+    ASSERT_EQ(resp.status, svc::RespStatus::kOk) << resp.error;
+    completed.clear();
+    const Json parsed = Json::parse(resp.result);
+    if (parsed.at("done").as_bool("done")) return;
+    for (const Json& u : parsed.at("units").as_array("units"))
+      completed.emplace_back(u.at("unit").as_integer("unit"),
+                             "{\"done\":true}");
+  }
+  FAIL() << "fleet never reported done";
+}
+
+TEST(StoreFairShareTest, ControllerAccountingSurvivesRestart) {
+  const std::string dir = fresh_dir("acct");
+  // Generation one: tenant "acme" completes three units, "initech" one,
+  // then stop() snapshots the standing into the accounting log.
+  {
+    fleet::ControllerConfig cfg;
+    cfg.accounting_dir = dir;
+    std::vector<fleet::JobArray> jobs;
+    jobs.push_back(acct_job("acme", 0, 3));
+    jobs.push_back(acct_job("initech", 3, 1));
+    fleet::Controller controller(std::move(cfg), std::move(jobs));
+    drive_to_completion(controller, 4);
+    controller.stop();
+  }
+  // Generation two: a fresh controller over the same log.  Its ledger must
+  // open with the persisted usage, not a clean slate.
+  fleet::ControllerConfig cfg;
+  cfg.accounting_dir = dir;
+  std::vector<fleet::JobArray> jobs;
+  jobs.push_back(acct_job("acme", 0, 1));
+  fleet::Controller controller(std::move(cfg), std::move(jobs));
+  svc::Request acct;
+  acct.op = svc::Op::kAcct;
+  const svc::Response resp = controller.call_local(acct);
+  ASSERT_EQ(resp.status, svc::RespStatus::kOk) << resp.error;
+  const Json parsed = Json::parse(resp.result);
+  double acme_usage = 0.0;
+  i64 acme_units = 0, initech_units = 0;
+  for (const Json& t : parsed.at("tenants").as_array("tenants")) {
+    const std::string name = t.at("name").as_string("name");
+    if (name == "acme") {
+      acme_usage = t.at("usage").as_number("usage");
+      acme_units = t.at("charged_units").as_integer("charged_units");
+    } else if (name == "initech") {
+      initech_units = t.at("charged_units").as_integer("charged_units");
+    }
+  }
+  EXPECT_EQ(acme_units, 3);
+  EXPECT_EQ(initech_units, 1);
+  EXPECT_GT(acme_usage, 2.0);  // 3.0 minus at most a sliver of decay
+  controller.stop();
+}
+
+TEST(StoreFairShareTest, MissingAccountingDirMeansCleanSlate) {
+  fleet::ControllerConfig cfg;  // no accounting_dir
+  std::vector<fleet::JobArray> jobs;
+  jobs.push_back(acct_job("acme", 0, 1));
+  fleet::Controller controller(std::move(cfg), std::move(jobs));
+  svc::Request acct;
+  acct.op = svc::Op::kAcct;
+  const svc::Response resp = controller.call_local(acct);
+  ASSERT_EQ(resp.status, svc::RespStatus::kOk) << resp.error;
+  const Json parsed = Json::parse(resp.result);
+  for (const Json& t : parsed.at("tenants").as_array("tenants"))
+    EXPECT_EQ(t.at("charged_units").as_integer("charged_units"), 0);
+  controller.stop();
+}
+
+// ------------------------------------------------- server with a store
+
+constexpr const char* kQuickSource =
+    "FOR i = 0 TO 15\n FOR j = 0 TO 255\n"
+    "  Q(i, j) = 0.5 * (Q(i-1, j) + Q(i, j-1))\n ENDFOR\nENDFOR\n";
+
+svc::CompileParams quick_params(std::string name = "quick") {
+  svc::CompileParams p;
+  p.name = std::move(name);
+  p.source = kQuickSource;
+  p.procs = tilo::lat::Vec(std::vector<i64>{4, 1});
+  p.height = 16;
+  return p;
+}
+
+TEST(StoreServerTest, RestartedServerAnswersWarmKeysWithoutRecompiling) {
+  const std::string dir = fresh_dir("server");
+  std::string first_bytes;
+  {
+    svc::ServerConfig cfg;
+    cfg.address = fresh_socket("gen1");
+    cfg.workers = 2;
+    cfg.store_dir = dir;
+    svc::Server server(cfg);
+    server.start();
+    svc::Client client = svc::Client::connect(cfg.address);
+    const svc::Response r = client.compile(quick_params());
+    ASSERT_EQ(r.status, svc::RespStatus::kOk) << r.error;
+    first_bytes = r.result;
+    const svc::ServerStats s = server.stats();
+    EXPECT_EQ(s.compiles, 1u);
+    EXPECT_EQ(s.store_puts, 1u);
+    EXPECT_EQ(s.store_misses, 1u);
+    EXPECT_EQ(s.store_rehydrated, 0u);
+    server.stop();
+  }
+  // Generation two: same store directory, fresh process state.  The first
+  // warm-key request must be served from the rehydrated store — no
+  // compile, byte-identical bytes.
+  svc::ServerConfig cfg;
+  cfg.address = fresh_socket("gen2");
+  cfg.workers = 2;
+  cfg.store_dir = dir;
+  svc::Server server(cfg);
+  server.start();
+  ASSERT_NE(server.plan_store(), nullptr);
+  EXPECT_GE(server.plan_store()->rehydrated(), 1u);
+  svc::Client client = svc::Client::connect(cfg.address);
+  const svc::Response r = client.compile(quick_params());
+  ASSERT_EQ(r.status, svc::RespStatus::kOk) << r.error;
+  EXPECT_EQ(r.result, first_bytes);
+  const svc::ServerStats s = server.stats();
+  EXPECT_EQ(s.compiles, 0u) << "warm key must not recompile";
+  EXPECT_EQ(s.store_hits, 1u);
+  EXPECT_GE(s.store_rehydrated, 1u);
+  server.stop();
+}
+
+TEST(StoreServerTest, QuotaDeniesWithExplicitWireOutcome) {
+  svc::ServerConfig cfg;
+  cfg.address = fresh_socket("quota");
+  cfg.workers = 2;
+  cfg.quota.rate = 0.001;  // effectively no refill within the test
+  cfg.quota.burst = 2.0;
+  svc::Server server(cfg);
+  server.start();
+  svc::Client client = svc::Client::connect(cfg.address);
+  // Distinct problem keys so single-flight cannot merge them.
+  ASSERT_EQ(client.compile(quick_params("q0")).status, svc::RespStatus::kOk);
+  ASSERT_EQ(client.compile(quick_params("q1")).status, svc::RespStatus::kOk);
+  const svc::Response denied = client.compile(quick_params("q2"));
+  EXPECT_EQ(denied.status, svc::RespStatus::kQuotaExceeded);
+  EXPECT_NE(denied.error.find("quota"), std::string::npos);
+  // Pings and stats are never quota-gated.
+  EXPECT_EQ(client.ping().status, svc::RespStatus::kOk);
+  const svc::ServerStats s = server.stats();
+  EXPECT_EQ(s.quota_denied, 1u);
+  // The outcome invariant still balances with the new category.
+  EXPECT_EQ(s.requests, s.completed + s.shed + s.timed_out + s.failed +
+                            s.rejected + s.quota_denied);
+  server.stop();
+}
+
+TEST(StoreServerTest, QuotaIsPerTenant) {
+  svc::ServerConfig cfg;
+  cfg.address = fresh_socket("tenants");
+  cfg.workers = 2;
+  cfg.quota.rate = 0.001;
+  cfg.quota.burst = 1.0;
+  svc::Server server(cfg);
+  server.start();
+  svc::Client client = svc::Client::connect(cfg.address);
+  auto compile_as = [&client](const std::string& tenant,
+                              const std::string& name) {
+    svc::Request req;
+    req.op = svc::Op::kCompile;
+    req.compile = quick_params(name);
+    req.tenant = tenant;
+    return client.call(std::move(req));
+  };
+  ASSERT_EQ(compile_as("loud", "l0").status, svc::RespStatus::kOk);
+  EXPECT_EQ(compile_as("loud", "l1").status, svc::RespStatus::kQuotaExceeded);
+  // The other tenant's bucket is untouched by the flood.
+  EXPECT_EQ(compile_as("quiet", "q0").status, svc::RespStatus::kOk);
+  server.stop();
+}
+
+TEST(StoreServerTest, QuotaExceededRoundTripsTheWire) {
+  EXPECT_EQ(svc::status_name(svc::RespStatus::kQuotaExceeded),
+            "quota_exceeded");
+  EXPECT_EQ(svc::status_from("quota_exceeded"),
+            svc::RespStatus::kQuotaExceeded);
+  svc::Response resp;
+  resp.status = svc::RespStatus::kQuotaExceeded;
+  resp.id = 7;
+  resp.error = "tenant \"t\" admission quota exhausted";
+  const svc::Response back = svc::response_from_wire(svc::response_to_wire(resp));
+  EXPECT_EQ(back.status, svc::RespStatus::kQuotaExceeded);
+  EXPECT_EQ(back.id, resp.id);
+  EXPECT_EQ(back.error, resp.error);
+}
+
+// ------------------------------------------------------ replicated tier
+
+struct Replica {
+  std::string address;
+  std::unique_ptr<svc::Server> server;
+};
+
+/// N started replicas, each with its own plan store directory.
+std::vector<Replica> start_replicas(int n, const char* tag) {
+  std::vector<Replica> replicas;
+  for (int i = 0; i < n; ++i) {
+    Replica r;
+    r.address = fresh_socket(tag);
+    svc::ServerConfig cfg;
+    cfg.address = r.address;
+    cfg.workers = 2;
+    cfg.store_dir = fresh_dir(tag);
+    r.server = std::make_unique<svc::Server>(cfg);
+    r.server->start();
+    replicas.push_back(std::move(r));
+  }
+  return replicas;
+}
+
+std::vector<std::string> addresses_of(const std::vector<Replica>& replicas) {
+  std::vector<std::string> out;
+  for (const Replica& r : replicas) out.push_back(r.address);
+  return out;
+}
+
+TEST(StoreRingClientTest, EveryReplicaServesByteIdenticalResults) {
+  std::vector<Replica> replicas = start_replicas(3, "ident");
+  svc::RingClient ring(addresses_of(replicas));
+  const svc::CompileParams params = quick_params("ring");
+
+  const svc::Response routed = ring.compile(params);
+  ASSERT_EQ(routed.status, svc::RespStatus::kOk) << routed.error;
+  ASSERT_FALSE(routed.result.empty());
+  // Ask every replica directly — including the two that each compile the
+  // key for the first time themselves — and require the exact same bytes.
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    svc::Request req;
+    req.op = svc::Op::kCompile;
+    req.compile = params;
+    const svc::Response direct = ring.call_replica(i, std::move(req));
+    ASSERT_EQ(direct.status, svc::RespStatus::kOk) << direct.error;
+    EXPECT_EQ(direct.result, routed.result) << "replica " << i;
+  }
+  for (Replica& r : replicas) r.server->stop();
+}
+
+TEST(StoreRingClientTest, FailsOverToTheNextArcOwner) {
+  // Decide the ring first, then only start the NON-owners: the owner is
+  // "down" from the very first dial, so compile() must fail over.
+  std::vector<std::string> addrs;
+  for (int i = 0; i < 3; ++i) addrs.push_back(fresh_socket("failover"));
+  const svc::CompileParams params = quick_params("failover");
+  const store::Ring plain(addrs);
+  const std::size_t owner = plain.route(svc::problem_key(params));
+
+  std::vector<std::unique_ptr<svc::Server>> live;
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (i == owner) continue;
+    svc::ServerConfig cfg;
+    cfg.address = addrs[i];
+    cfg.workers = 2;
+    live.push_back(std::make_unique<svc::Server>(cfg));
+    live.back()->start();
+  }
+
+  svc::RingClient ring(addrs);
+  const svc::Response r = ring.compile(params);
+  ASSERT_EQ(r.status, svc::RespStatus::kOk) << r.error;
+  EXPECT_GE(ring.failovers(), 1u);
+  EXPECT_FALSE(r.result.empty());
+  for (auto& s : live) s->stop();
+}
+
+TEST(StoreRingClientTest, AllReplicasDownThrowsWithContext) {
+  std::vector<std::string> addrs = {fresh_socket("down"),
+                                    fresh_socket("down")};
+  svc::RingClient ring(addrs);
+  EXPECT_THROW(ring.compile(quick_params("nobody")), tilo::util::Error);
+}
+
+}  // namespace
